@@ -1,0 +1,110 @@
+(* Benchmark harness: regenerates every table and figure of the
+   evaluation (see DESIGN.md's experiment index and EXPERIMENTS.md for
+   paper-vs-measured).
+
+     dune exec bench/main.exe                 -- everything, full depth
+     dune exec bench/main.exe -- --quick      -- everything, reduced depth
+     dune exec bench/main.exe -- f1 e3        -- selected experiments
+     dune exec bench/main.exe -- micro        -- bechamel micro-benches only
+
+   The bechamel section measures real minimal-process creation with OLS
+   regression (complementing T1's sample statistics); the experiment
+   reports then follow in paper order. *)
+
+open Bechamel
+open Toolkit
+
+let bechamel_creation_tests () =
+  let strategies =
+    List.filter Forkroad.Strategy.supported_real Forkroad.Strategy.all
+  in
+  let test_of s =
+    Test.make
+      ~name:(Forkroad.Strategy.name s)
+      (Staged.stage (fun () -> Forkroad.Real_driver.creation_once s))
+  in
+  Test.make_grouped ~name:"creation" (List.map test_of strategies)
+
+let run_bechamel () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances (bechamel_creation_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Metrics.Table.create ~align:[ Metrics.Table.Left ]
+      [ "benchmark"; "ns/run (OLS)"; "r^2" ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> Metrics.Units.ns e
+        | Some [] | None -> "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      rows := (name, [ name; estimate; r2 ]) :: !rows)
+    results;
+  List.iter
+    (fun (_, row) -> Metrics.Table.add_row table row)
+    (List.sort compare !rows);
+  print_endline "========================================================================";
+  print_endline "[MICRO] bechamel: minimal-process creation, real OS (OLS ns/run)";
+  print_endline "========================================================================";
+  print_string (Metrics.Table.render table);
+  print_newline ()
+
+let run_experiment ~quick exp =
+  let t0 = Unix.gettimeofday () in
+  let report = exp.Forkroad.Report.run ~quick in
+  let dt = Unix.gettimeofday () -. t0 in
+  print_string (Forkroad.Report.render report);
+  Printf.printf "paper claim: %s\n" exp.Forkroad.Report.paper_claim;
+  Printf.printf "(generated in %.1fs)\n\n" dt
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.exists (fun a -> a = "--quick" || a = "-q") args in
+  let selectors =
+    List.filter (fun a -> a <> "--quick" && a <> "-q" && a <> "--") args
+    |> List.map String.lowercase_ascii
+  in
+  let micro_only = selectors = [ "micro" ] in
+  let want id =
+    selectors = []
+    || List.mem (String.lowercase_ascii id) selectors
+  in
+  if micro_only then run_bechamel ()
+  else begin
+    if selectors = [] then run_bechamel ();
+    List.iter
+      (fun exp ->
+        if want exp.Forkroad.Report.exp_id then run_experiment ~quick exp)
+      Forkroad.Registry.all;
+    (match
+       List.filter
+         (fun s ->
+           s <> "micro"
+           && not
+                (List.exists
+                   (fun e ->
+                     String.lowercase_ascii e.Forkroad.Report.exp_id = s)
+                   Forkroad.Registry.all))
+         selectors
+     with
+    | [] -> ()
+    | unknown ->
+      Printf.eprintf "unknown experiment(s): %s\nknown: %s\n"
+        (String.concat ", " unknown)
+        (String.concat ", " Forkroad.Registry.ids);
+      exit 2)
+  end

@@ -1,0 +1,80 @@
+(* forkbench — run the forkroad experiments from the command line.
+
+     forkbench list
+     forkbench run F1-SIM E3 --quick
+     forkbench all *)
+
+open Cmdliner
+
+let quick_flag =
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc:"Reduced sample counts/sweeps.")
+
+let format_arg =
+  let formats = [ ("text", `Text); ("csv", `Csv) ] in
+  Arg.(
+    value
+    & opt (enum formats) `Text
+    & info [ "format"; "f" ] ~docv:"FORMAT"
+        ~doc:"Output format: $(b,text) (tables + ASCII charts) or $(b,csv) \
+              (machine-readable, for plotting).")
+
+let run_experiments ~quick ~format exps =
+  List.iter
+    (fun exp ->
+      let report = exp.Forkroad.Report.run ~quick in
+      match format with
+      | `Csv -> print_string (Forkroad.Report.render_csv report)
+      | `Text ->
+        print_string (Forkroad.Report.render report);
+        Printf.printf "paper claim: %s\n\n" exp.Forkroad.Report.paper_claim)
+    exps
+
+let list_cmd =
+  let doc = "List experiments (id, title, paper claim)." in
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-7s %s\n        claim: %s\n" e.Forkroad.Report.exp_id
+          e.Forkroad.Report.exp_title e.Forkroad.Report.paper_claim)
+      Forkroad.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let ids_arg =
+  let doc = "Experiment ids (see $(b,forkbench list))." in
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
+
+let run_cmd =
+  let doc = "Run selected experiments." in
+  let run quick format ids =
+    let missing, found =
+      List.partition_map
+        (fun id ->
+          match Forkroad.Registry.find id with
+          | Some e -> Right e
+          | None -> Left id)
+        ids
+    in
+    match missing with
+    | [] ->
+      run_experiments ~quick ~format found;
+      `Ok ()
+    | _ ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown experiment(s): %s (known: %s)"
+            (String.concat ", " missing)
+            (String.concat ", " Forkroad.Registry.ids) )
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(ret (const run $ quick_flag $ format_arg $ ids_arg))
+
+let all_cmd =
+  let doc = "Run every experiment in paper order." in
+  let run quick format = run_experiments ~quick ~format Forkroad.Registry.all in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ quick_flag $ format_arg)
+
+let () =
+  let doc = "reproduce the evaluation of 'A fork() in the road' (HotOS'19)" in
+  let info = Cmd.info "forkbench" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd ]))

@@ -1,0 +1,69 @@
+(* forkscan — count process-creation call sites in a real C tree, with
+   the same scanner the E7 survey uses.
+
+     forkscan path/to/source [more/paths...] *)
+
+open Cmdliner
+
+let paths_arg =
+  let doc = "Files or directories to scan (.c/.h/.cc/.cpp/.hh)." in
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"PATH" ~doc)
+
+let top_arg =
+  let doc = "Also list the $(docv) files with the most creation-API call sites." in
+  Arg.(value & opt int 0 & info [ "top" ] ~docv:"N" ~doc)
+
+let print_top n paths =
+  if n > 0 then begin
+    let per_file = List.concat_map Forklore.Scanner.scan_directory_files paths in
+    let ranked =
+      List.filter (fun (_, r) -> Forklore.Scanner.total_hits r > 0) per_file
+      |> List.sort (fun (_, a) (_, b) ->
+             compare (Forklore.Scanner.total_hits b) (Forklore.Scanner.total_hits a))
+    in
+    let table =
+      Metrics.Table.create ~align:[ Metrics.Table.Left ] [ "file"; "call sites" ]
+    in
+    List.iteri
+      (fun i (path, r) ->
+        if i < n then
+          Metrics.Table.add_row table
+            [ path; string_of_int (Forklore.Scanner.total_hits r) ])
+      ranked;
+    Printf.printf "\ntop files:\n%s" (Metrics.Table.render table)
+  end
+
+let scan top paths =
+  let table =
+    Metrics.Table.create ~align:[ Metrics.Table.Left ] [ "API"; "call sites" ]
+  in
+  let totals = Hashtbl.create 8 in
+  let files = ref 0 and lines = ref 0 in
+  List.iter
+    (fun path ->
+      let report = Forklore.Scanner.scan_directory path in
+      files := !files + report.Forklore.Scanner.files_scanned;
+      lines := !lines + report.Forklore.Scanner.total_lines;
+      List.iter
+        (fun (api, n) ->
+          Hashtbl.replace totals api
+            (n + Option.value ~default:0 (Hashtbl.find_opt totals api)))
+        report.Forklore.Scanner.total)
+    paths;
+  List.iter
+    (fun api ->
+      Metrics.Table.add_row table
+        [
+          Forklore.Api.name api;
+          string_of_int (Option.value ~default:0 (Hashtbl.find_opt totals api));
+        ])
+    Forklore.Api.all;
+  Printf.printf "scanned %d files, %s lines\n%s" !files
+    (Metrics.Units.count (float_of_int !lines))
+    (Metrics.Table.render table);
+  print_top top paths
+
+let () =
+  let doc = "count process-creation call sites in C source" in
+  let info = Cmd.info "forkscan" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.v info Term.(const scan $ top_arg $ paths_arg)))

@@ -1,0 +1,133 @@
+(* prefork_server: the classic prefork worker pool -- one of the few
+   fork idioms the paper concedes is legitimate -- running on the ksim
+   simulator.
+
+     dune exec examples/prefork_server.exe
+
+   A master opens a request pipe and a response pipe and starts N
+   workers that all read from the shared request pipe, so the kernel
+   load-balances them naturally. Messages are fixed-size (8 bytes) so
+   concurrent reads are atomic, as real prefork accept/read loops rely
+   on. The pool is built twice:
+
+   - with fork: workers inherit every master fd implicitly, and must
+     carefully close the ones they should not hold (the leaked-write-end
+     bug this avoids is exactly the composition hazard the paper
+     describes);
+   - with posix_spawn: the two fds each worker needs are wired
+     explicitly with file actions, everything else is close-on-exec, and
+     there is nothing to forget. *)
+
+let workers = 3
+let requests = 12
+let msg_len = 8
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith ("prefork_server: " ^ Ksim.Errno.to_string e)
+
+let pad s =
+  if String.length s > msg_len then String.sub s 0 msg_len
+  else s ^ String.make (msg_len - String.length s) '.'
+
+let quit_msg = pad "quit"
+
+(* Fixed-size messages make concurrent reads atomic: writers emit whole
+   multiples of [msg_len], so a read of [msg_len] never splits a
+   message. *)
+let read_msg fd =
+  let rec go acc =
+    let need = msg_len - String.length acc in
+    if need = 0 then Some acc
+    else
+      match ok (Ksim.Api.read fd need) with
+      | "" -> if acc = "" then None else Some (pad acc)
+      | chunk -> go (acc ^ chunk)
+  in
+  go ""
+
+let process payload = String.uppercase_ascii payload
+
+let worker_loop ~id ~req_r ~resp_w () =
+  let rec serve served =
+    match read_msg req_r with
+    | None -> finish served
+    | Some msg when msg = quit_msg -> finish served
+    | Some payload ->
+      ok (Ksim.Api.write_all resp_w (pad (Printf.sprintf "w%d:%s" id (process (String.sub payload 0 3)))));
+      serve (served + 1)
+  and finish served =
+    ok (Ksim.Api.write_all resp_w (pad (Printf.sprintf "w%d=%d" id served)));
+    Ksim.Api.exit 0
+  in
+  serve 0
+
+(* The worker as a standalone program for the spawn-based pool: fd 3 is
+   the request pipe, fd 4 the response pipe (wired by file actions). *)
+let worker_prog =
+  Ksim.Program.make ~name:"/bin/pool-worker" (fun ~argv () ->
+      let id = match argv with s :: _ -> int_of_string s | [] -> 0 in
+      worker_loop ~id ~req_r:3 ~resp_w:4 ())
+
+let drive ~label ~make_worker () =
+  Ksim.Api.print
+    (Printf.sprintf "--- %s pool: %d workers, %d requests ---\n" label workers
+       requests);
+  let req_r, req_w = ok (Ksim.Api.pipe ()) in
+  let resp_r, resp_w = ok (Ksim.Api.pipe ()) in
+  let pids = List.init workers (fun i -> make_worker ~id:i ~req_r ~req_w ~resp_r ~resp_w) in
+  (* the master keeps only its own ends *)
+  ok (Ksim.Api.close req_r);
+  ok (Ksim.Api.close resp_w);
+  for i = 1 to requests do
+    ok (Ksim.Api.write_all req_w (pad (Printf.sprintf "r%02d" i)))
+  done;
+  for _ = 1 to workers do
+    ok (Ksim.Api.write_all req_w quit_msg)
+  done;
+  ok (Ksim.Api.close req_w);
+  let rec collect answers tallies =
+    match read_msg resp_r with
+    | None -> (answers, List.rev tallies)
+    | Some msg ->
+      if String.contains msg '=' then collect answers (msg :: tallies)
+      else collect (answers + 1) tallies
+  in
+  let answers, tallies = collect 0 [] in
+  List.iter (fun pid -> ignore (ok (Ksim.Api.wait_for pid))) pids;
+  ok (Ksim.Api.close resp_r);
+  Ksim.Api.print (Printf.sprintf "answers received: %d\n" answers);
+  List.iter (fun t -> Ksim.Api.print ("  load " ^ String.trim t ^ "\n")) tallies
+
+let master () =
+  (* 1: fork-based pool; each worker must drop the fds it should not
+     hold, or the pipes never reach EOF *)
+  drive ~label:"fork"
+    ~make_worker:(fun ~id ~req_r ~req_w ~resp_r ~resp_w ->
+      ok
+        (Ksim.Api.fork ~child:(fun () ->
+             ok (Ksim.Api.close req_w);
+             ok (Ksim.Api.close resp_r);
+             worker_loop ~id ~req_r ~resp_w ())))
+    ();
+  (* 2: spawn-based pool; the master marks its pipe fds close-on-exec so
+     workers receive exactly the two descriptors wired by file actions *)
+  drive ~label:"posix_spawn"
+    ~make_worker:(fun ~id ~req_r ~req_w ~resp_r ~resp_w ->
+      List.iter (fun fd -> ok (Ksim.Api.set_cloexec fd true))
+        [ req_r; req_w; resp_r; resp_w ];
+      ok
+        (Ksim.Api.spawn
+           ~file_actions:
+             [ Ksim.Types.Fa_dup2 (req_r, 3); Ksim.Types.Fa_dup2 (resp_w, 4) ]
+           ~argv:[ string_of_int id ] "/bin/pool-worker"))
+    ();
+  Ksim.Api.print "done.\n"
+
+let () =
+  let init = Ksim.Program.make ~name:"/sbin/init" (fun ~argv:_ () -> master ()) in
+  match Ksim.Kernel.boot ~programs:[ init; worker_prog ] "/sbin/init" with
+  | Error e -> prerr_endline ("boot failed: " ^ Ksim.Errno.to_string e)
+  | Ok (t, outcome) ->
+    print_string (Ksim.Kernel.console t);
+    Format.printf "simulation outcome: %a@." Ksim.Kernel.pp_outcome outcome

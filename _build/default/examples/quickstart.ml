@@ -1,0 +1,56 @@
+(* Quickstart: the spawnlib public API in five snippets.
+
+     dune exec examples/quickstart.exe
+
+   spawnlib is the library form of the paper's recommendation: describe
+   the child (program, argv, file actions, attributes) instead of
+   fork()ing yourself and mutating. *)
+
+let section title = Printf.printf "\n== %s ==\n%!" title
+
+let show_status st = Format.asprintf "%a" Spawnlib.Process.pp_status st
+
+let () =
+  section "1. run a program and wait";
+  (match Spawnlib.Spawn.run ~prog:"/bin/echo" ~argv:[ "echo"; "hello, spawn" ] () with
+  | Ok st -> Printf.printf "echo finished: %s\n%!" (show_status st)
+  | Error e -> Printf.printf "failed: %s\n" (Spawnlib.Spawn.error_message e));
+
+  section "2. capture output";
+  (match Spawnlib.Spawn.capture ~prog:"/bin/date" ~argv:[ "date"; "+%Y" ] () with
+  | Ok (out, _) -> Printf.printf "the year is %s" out
+  | Error e -> Printf.printf "failed: %s\n" (Spawnlib.Spawn.error_message e));
+
+  section "3. file actions: redirect stdout to a file";
+  let path = Filename.temp_file "quickstart" ".txt" in
+  (match
+     Spawnlib.Spawn.run
+       ~actions:[ Spawnlib.File_action.stdout_to_file path ]
+       ~prog:"/bin/echo" ~argv:[ "echo"; "written via file action" ] ()
+   with
+  | Ok _ ->
+    let ic = open_in path in
+    Printf.printf "file now contains: %s\n" (input_line ic);
+    close_in ic;
+    Sys.remove path
+  | Error e -> Printf.printf "failed: %s\n" (Spawnlib.Spawn.error_message e));
+
+  section "4. pipelines without hand-rolled fork plumbing";
+  (match
+     Spawnlib.Pipeline.run_capture
+       [
+         Spawnlib.Pipeline.cmd "/bin/echo" [ "c\na\nb" ];
+         Spawnlib.Pipeline.cmd "/usr/bin/sort" [];
+       ]
+   with
+  | Ok (out, _) -> Printf.printf "echo | sort gives:\n%s" out
+  | Error e -> Printf.printf "failed: %s\n" (Spawnlib.Spawn.error_message e));
+
+  section "5. synchronous errors (the spawn advantage)";
+  (* fork+exec reports a missing binary in the CHILD, after the split;
+     spawnlib reports it right here, to the caller *)
+  match Spawnlib.Spawn.spawn ~prog:"/no/such/binary" ~argv:[ "x" ] () with
+  | Error (Spawnlib.Spawn.Exec_failed err) ->
+    Printf.printf "caller sees the error directly: %s\n" (Unix.error_message err)
+  | Error e -> Printf.printf "failed differently: %s\n" (Spawnlib.Spawn.error_message e)
+  | Ok _ -> Printf.printf "unexpectedly succeeded\n"

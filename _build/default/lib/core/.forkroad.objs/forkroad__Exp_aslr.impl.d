@@ -1,0 +1,1 @@
+lib/core/exp_aslr.ml: Float Hashtbl Ksim List Metrics Option Printf Report Sim_driver String Vmem

@@ -1,0 +1,1 @@
+lib/core/exp_builder.ml: List Metrics Report Sim_driver Strategy

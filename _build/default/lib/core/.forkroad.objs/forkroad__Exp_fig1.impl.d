@@ -1,0 +1,1 @@
+lib/core/exp_fig1.ml: Gc List Metrics Printf Real_driver Report Strategy Sys Workload

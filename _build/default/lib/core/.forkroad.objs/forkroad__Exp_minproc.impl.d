@@ -1,0 +1,1 @@
+lib/core/exp_minproc.ml: List Metrics Real_driver Report Sim_driver Strategy

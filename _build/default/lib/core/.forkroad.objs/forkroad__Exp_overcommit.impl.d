@@ -1,0 +1,1 @@
+lib/core/exp_overcommit.ml: Ksim List Metrics Report Vmem

@@ -1,0 +1,1 @@
+lib/core/exp_snapshot.ml: Ksim List Metrics Report Sim_driver Strategy Vmem Workload

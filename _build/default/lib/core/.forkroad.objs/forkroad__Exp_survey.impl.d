@@ -1,0 +1,1 @@
+lib/core/exp_survey.ml: Forklore List Metrics Printf Report

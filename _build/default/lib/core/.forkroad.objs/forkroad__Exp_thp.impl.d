@@ -1,0 +1,1 @@
+lib/core/exp_thp.ml: Ksim List Metrics Report Sim_driver Vmem

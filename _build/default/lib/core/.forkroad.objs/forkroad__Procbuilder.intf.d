@@ -1,0 +1,1 @@
+lib/core/procbuilder.mli: Ksim Vmem

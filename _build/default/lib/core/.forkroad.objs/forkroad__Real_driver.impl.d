@@ -1,0 +1,1 @@
+lib/core/real_driver.ml: Metrics Printf Spawnlib Strategy Workload

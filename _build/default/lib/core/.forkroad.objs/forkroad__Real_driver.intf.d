@@ -1,0 +1,1 @@
+lib/core/real_driver.mli: Metrics Strategy

@@ -1,0 +1,1 @@
+lib/core/sim_driver.ml: Ksim List Option Procbuilder Strategy Vmem Workload

@@ -1,0 +1,1 @@
+lib/core/sim_driver.mli: Ksim Strategy Vmem

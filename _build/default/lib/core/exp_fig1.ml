@@ -1,0 +1,77 @@
+(* F1 — the paper's Figure 1, on the real OS: process create+exec latency
+   vs parent address-space size, for fork+exec / vfork+exec / posix_spawn. *)
+
+let strategies = [ Strategy.Fork_exec; Strategy.Vfork_exec; Strategy.Posix_spawn ]
+
+let run ~quick =
+  let sizes = if quick then [ 0; 16; 64 ] else Workload.Sweep.fig1_mib in
+  let samples = if quick then 5 else 20 in
+  let rows =
+    List.map
+      (fun mib ->
+        let footprint = Workload.Footprint.allocate ~mib in
+        let stats =
+          List.map
+            (fun s -> (s, Real_driver.creation_stats ~strategy:s ~samples))
+            strategies
+        in
+        (* keep the footprint observably live across the measurements *)
+        ignore (Sys.opaque_identity (Workload.Footprint.checksum footprint));
+        Workload.Footprint.release footprint;
+        Gc.compact ();
+        (mib, stats))
+      sizes
+  in
+  let series_of strategy =
+    {
+      Metrics.Series.label = Strategy.name strategy;
+      points =
+        List.map
+          (fun (mib, stats) ->
+            (float_of_int mib, (List.assoc strategy stats).Metrics.Stats.p50))
+          rows;
+    }
+  in
+  let fig =
+    Metrics.Series.figure ~ylog:true ~title:"F1: create+exec latency (p50, ns) vs parent footprint (MiB) [real OS]"
+      ~xlabel:"MiB" ~ylabel:"ns" (List.map series_of strategies)
+  in
+  let detail = Metrics.Table.create
+      ~align:[ Metrics.Table.Right; Metrics.Table.Left ]
+      [ "MiB"; "strategy"; "mean"; "p50"; "p99" ] in
+  List.iter
+    (fun (mib, stats) ->
+      List.iter
+        (fun (s, st) ->
+          Metrics.Table.add_row detail
+            [
+              string_of_int mib;
+              Strategy.name s;
+              Metrics.Units.ns st.Metrics.Stats.mean;
+              Metrics.Units.ns st.Metrics.Stats.p50;
+              Metrics.Units.ns st.Metrics.Stats.p99;
+            ])
+        stats)
+    rows;
+  Report.make ~id:"F1" ~title:"Figure 1 (real OS): creation latency vs parent footprint"
+    [
+      Report.Figure fig;
+      Report.Table { caption = "per-point statistics"; table = detail };
+      Report.Note
+        (Printf.sprintf
+           "%d samples/point after warmup; child is /bin/true; expected \
+            shape: fork+exec grows with footprint, vfork+exec and \
+            posix_spawn stay flat."
+           samples);
+    ]
+
+let experiment =
+  {
+    Report.exp_id = "F1";
+    exp_title = "Figure 1 (real OS): creation latency vs parent footprint";
+    paper_claim =
+      "fork+exec latency grows linearly with the parent's memory; \
+       posix_spawn (and vfork) are constant, so spawn wins beyond trivial \
+       footprints";
+    run = (fun ~quick -> run ~quick);
+  }

@@ -1,0 +1,47 @@
+(* T1 — minimal-process creation cost per API, real and simulated. *)
+
+let run ~quick =
+  let samples = if quick then 5 else 30 in
+  let table =
+    Metrics.Table.create
+      ~align:[ Metrics.Table.Left ]
+      [ "strategy"; "real mean"; "real p50"; "sim"; "sim cycles" ]
+  in
+  List.iter
+    (fun s ->
+      let real_mean, real_p50 =
+        if Strategy.supported_real s then begin
+          let st = Real_driver.creation_stats ~strategy:s ~samples in
+          (Metrics.Units.ns st.Metrics.Stats.mean, Metrics.Units.ns st.Metrics.Stats.p50)
+        end
+        else ("-", "-")
+      in
+      let sim = Sim_driver.creation_cost ~strategy:s ~heap_mib:0 () in
+      Metrics.Table.add_row table
+        [
+          Strategy.name s;
+          real_mean;
+          real_p50;
+          Metrics.Units.ns sim.Sim_driver.ns;
+          Metrics.Units.cycles sim.Sim_driver.cycles;
+        ])
+    Strategy.all;
+  Report.make ~id:"T1" ~title:"Minimal-process creation cost per API"
+    [
+      Report.Table { caption = "empty parent; child is /bin/true"; table };
+      Report.Note
+        "fork-only is cheapest for a tiny parent (nothing to copy); the \
+         exec-bearing strategies are dominated by image-load cost; this is \
+         the regime where fork still looks good -- F1 shows how quickly \
+         that reverses as the parent grows.";
+    ]
+
+let experiment =
+  {
+    Report.exp_id = "T1";
+    exp_title = "Minimal-process creation cost per API";
+    paper_claim =
+      "even for a minimal process, spawn-style creation is competitive; \
+       fork's apparent cheapness exists only for tiny parents";
+    run = (fun ~quick -> run ~quick);
+  }

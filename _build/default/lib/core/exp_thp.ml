@@ -1,0 +1,80 @@
+(* E12 (ablation) — transparent huge pages vs fork.
+
+   Our real Figure-1 run shows an artifact the paper's era predates at
+   this scale: the 1 GiB fork is FASTER than the 256 MiB one, because the
+   kernel transparently backs the large uniform allocation with 2 MiB
+   pages, dividing the number of PTEs fork must copy by 512. This
+   experiment models THP as a cost-parameter change (per-512-pages PTE
+   and table-page work) and regenerates the Figure-1 sweep under both
+   regimes — showing that THP flattens, but does not remove, fork's
+   dependence on parent size. *)
+
+let thp_params =
+  let p = Vmem.Cost.default in
+  {
+    p with
+    Vmem.Cost.pte_copy = p.Vmem.Cost.pte_copy /. 512.0;
+    pt_node_copy = p.Vmem.Cost.pt_node_copy /. 512.0;
+  }
+
+let creation_ns ?params ~heap_mib () =
+  let config =
+    { (Sim_driver.config_for ~heap_mib) with Ksim.Kernel.cost_params = params }
+  in
+  let scenario ~create () =
+    Sim_driver.with_footprint ~heap_mib ~vmas:1 ();
+    if create then begin
+      match
+        Ksim.Api.fork ~child:(fun () ->
+            (match Ksim.Api.exec "/bin/true" with Ok () | Error _ -> ());
+            Ksim.Api.exit 127)
+      with
+      | Ok pid -> (
+        match Ksim.Api.wait_for pid with
+        | Ok _ -> ()
+        | Error e -> invalid_arg ("Exp_thp: wait: " ^ Ksim.Errno.to_string e))
+      | Error e -> invalid_arg ("Exp_thp: fork: " ^ Ksim.Errno.to_string e)
+    end
+  in
+  let with_op = Sim_driver.run_scenario ~config (scenario ~create:true) in
+  let base = Sim_driver.run_scenario ~config (scenario ~create:false) in
+  Vmem.Cost.cycles_to_ns (with_op.Sim_driver.cycles -. base.Sim_driver.cycles)
+
+let run ~quick =
+  let sizes = if quick then [ 0; 256 ] else [ 0; 16; 64; 256; 1024; 4096 ] in
+  let series label params =
+    {
+      Metrics.Series.label;
+      points =
+        List.map
+          (fun mib -> (float_of_int mib, creation_ns ?params ~heap_mib:mib ()))
+          sizes;
+    }
+  in
+  let fig =
+    Metrics.Series.figure ~ylog:true
+      ~title:"E12: fork+exec cost (model ns) vs footprint, 4 KiB vs THP"
+      ~xlabel:"MiB" ~ylabel:"ns"
+      [ series "4 KiB pages" None; series "2 MiB pages (THP)" (Some thp_params) ]
+  in
+  Report.make ~id:"E12" ~title:"ablation: transparent huge pages vs fork"
+    [
+      Report.Figure fig;
+      Report.Note
+        "THP divides fork's per-page work by 512 and flattens the curve \
+         dramatically -- which is exactly the artifact our real F1 run \
+         shows between 256 MiB and 1 GiB (see EXPERIMENTS.md). The \
+         dependence on parent size remains (it reappears 512x further \
+         out), and THP does nothing for fork's semantic hazards; it is a \
+         kernel-side mitigation of exactly the cost the paper attacks.";
+    ]
+
+let experiment =
+  {
+    Report.exp_id = "E12";
+    exp_title = "ablation: transparent huge pages vs fork";
+    paper_claim =
+      "kernels invest heavily (THP, lazy copying) to keep fork viable; \
+       mitigations shift but do not remove the parent-size dependence";
+    run = (fun ~quick -> run ~quick);
+  }

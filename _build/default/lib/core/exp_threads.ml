@@ -1,0 +1,104 @@
+(* E3 — fork is not thread-safe: probability that a fork child deadlocks
+   on a mutex held by a non-forked thread, vs parent thread count. *)
+
+let ok_or_die = function
+  | Ok v -> v
+  | Error e -> invalid_arg ("Exp_threads: " ^ Ksim.Errno.to_string e)
+
+(* One trial: [threads] workers contend a shared lock while the main
+   thread forks (or spawns) a child that needs the same lock. Returns
+   true when the run deadlocks. *)
+let trial ~threads ~use_spawn ~seed =
+  let config =
+    {
+      Ksim.Kernel.default_config with
+      Ksim.Kernel.sched = `Random;
+      seed;
+      aslr = false;
+    }
+  in
+  let body () =
+    let m = Ksim.Api.mutex_create () in
+    for _ = 1 to threads do
+      ignore
+        (ok_or_die
+           (Ksim.Api.thread_create (fun () ->
+                (* a worker that is sometimes inside the critical section,
+                   like a thread mid-malloc on another CPU *)
+                for _ = 1 to 4 do
+                  ok_or_die (Ksim.Api.mutex_lock m);
+                  Ksim.Api.yield ();
+                  Ksim.Api.yield ();
+                  ok_or_die (Ksim.Api.mutex_unlock m);
+                  Ksim.Api.yield ()
+                done)))
+    done;
+    Ksim.Api.yield ();
+    Ksim.Api.yield ();
+    let pid =
+      if use_spawn then ok_or_die (Ksim.Api.spawn "/bin/true")
+      else
+        ok_or_die
+          (Ksim.Api.fork ~child:(fun () ->
+               (* the child needs the lock -- e.g. to malloc before exec *)
+               ok_or_die (Ksim.Api.mutex_lock m);
+               ok_or_die (Ksim.Api.mutex_unlock m);
+               Ksim.Api.exit 0))
+    in
+    ignore (ok_or_die (Ksim.Api.wait_for pid))
+  in
+  let m = Sim_driver.run_scenario ~config body in
+  match m.Sim_driver.outcome with
+  | Ksim.Kernel.Stalled _ -> true
+  | Ksim.Kernel.All_exited | Ksim.Kernel.Tick_limit -> false
+
+let deadlock_rate ~threads ~use_spawn ~trials =
+  let deadlocks = ref 0 in
+  for seed = 1 to trials do
+    if trial ~threads ~use_spawn ~seed then incr deadlocks
+  done;
+  float_of_int !deadlocks /. float_of_int trials
+
+let run ~quick =
+  let trials = if quick then 30 else 200 in
+  let thread_counts = if quick then [ 1; 4; 16 ] else Workload.Sweep.thread_counts in
+  let series use_spawn label =
+    {
+      Metrics.Series.label;
+      points =
+        List.map
+          (fun threads ->
+            ( float_of_int threads,
+              100.0 *. deadlock_rate ~threads ~use_spawn ~trials ))
+          thread_counts;
+    }
+  in
+  let fig =
+    Metrics.Series.figure
+      ~title:"E3: child deadlock probability (%) vs parent thread count"
+      ~xlabel:"threads" ~ylabel:"% deadlocked"
+      [ series false "fork child"; series true "posix_spawn child" ]
+  in
+  Report.make ~id:"E3" ~title:"fork is not thread-safe"
+    [
+      Report.Figure fig;
+      Report.Note
+        (Printf.sprintf
+           "%d randomized schedules per point; a deadlock is a run the \
+            scheduler reports Stalled on the child's mutex_lock. fork \
+            copies mutex memory verbatim, so a lock held by any \
+            non-forked thread is orphaned in the child; spawn children \
+            share no memory and can never inherit a held lock."
+           trials);
+    ]
+
+let experiment =
+  {
+    Report.exp_id = "E3";
+    exp_title = "fork is not thread-safe";
+    paper_claim =
+      "in a multithreaded parent, the child may deadlock on locks held \
+       by threads that were not replicated; the hazard grows with \
+       parallelism";
+    run = (fun ~quick -> run ~quick);
+  }

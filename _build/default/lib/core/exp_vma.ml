@@ -1,0 +1,44 @@
+(* E8 (ablation) — fork cost vs address-space fragmentation: the same
+   total footprint split across more VMAs. *)
+
+let heap_mib = 256
+
+let run ~quick =
+  let counts = if quick then [ 1; 64; 1024 ] else Workload.Sweep.vma_counts in
+  let point strategy vmas =
+    (Sim_driver.creation_cost ~vmas ~strategy ~heap_mib ()).Sim_driver.ns
+  in
+  let series strategy =
+    {
+      Metrics.Series.label = Strategy.name strategy;
+      points =
+        List.map (fun v -> (float_of_int v, point strategy v)) counts;
+    }
+  in
+  let fig =
+    Metrics.Series.figure ~xlog:true ~ylog:true
+      ~title:
+        (Printf.sprintf
+           "E8: creation cost (model ns) vs VMA count (fixed %d MiB parent)"
+           heap_mib)
+      ~xlabel:"VMAs" ~ylabel:"ns"
+      [ series Strategy.Fork_only; series Strategy.Posix_spawn ]
+  in
+  Report.make ~id:"E8" ~title:"ablation: fork cost vs VMA count"
+    [
+      Report.Figure fig;
+      Report.Note
+        "fork must clone every VMA record in addition to the page tables, \
+         so fragmented address spaces (many small mappings) pay extra per \
+         fork; spawn is indifferent to the parent's mapping structure.";
+    ]
+
+let experiment =
+  {
+    Report.exp_id = "E8";
+    exp_title = "ablation: fork cost vs VMA count";
+    paper_claim =
+      "fork's cost depends on address-space structure, not just size -- \
+       one more way the parent's state leaks into creation latency";
+    run = (fun ~quick -> run ~quick);
+  }

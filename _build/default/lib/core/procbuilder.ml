@@ -1,0 +1,30 @@
+type t = { child : Ksim.Types.pid }
+
+let create () = Result.map (fun child -> { child }) (Ksim.Api.pb_create ())
+let pid t = t.child
+let map t ~len ~perm = Ksim.Api.pb_map ~pid:t.child ~len ~perm
+let write t ~addr data = Ksim.Api.pb_write ~pid:t.child ~addr data
+let copy_fd t ~src ~dst = Ksim.Api.pb_copy_fd ~pid:t.child ~src ~dst
+
+let copy_stdio t =
+  let rec go = function
+    | [] -> Ok ()
+    | fd :: rest -> (
+      match copy_fd t ~src:fd ~dst:fd with
+      | Ok () -> go rest
+      | Error _ as e -> e)
+  in
+  go [ 0; 1; 2 ]
+
+let start t ?argv path = Ksim.Api.pb_start ~pid:t.child ?argv path
+
+let spawn_minimal ?argv path =
+  match create () with
+  | Error _ as e -> e
+  | Ok b -> (
+    match copy_stdio b with
+    | Error e -> Error e
+    | Ok () -> (
+      match start b ?argv path with
+      | Error e -> Error e
+      | Ok () -> Ok (pid b)))

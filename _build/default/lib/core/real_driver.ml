@@ -1,0 +1,37 @@
+let child_prog = "/bin/true"
+let argv = [ "true" ]
+
+let fail_errno what e =
+  failwith
+    (Printf.sprintf "Real_driver: %s failed: %s" what
+       (Spawnlib.Native.errno_message e))
+
+let wait pid = ignore (Spawnlib.Native.wait_exit pid)
+
+let creation_once = function
+  | Strategy.Fork_exec -> (
+    match Spawnlib.Native.fork_exec ~prog:child_prog ~argv () with
+    | Ok pid -> wait pid
+    | Error e -> fail_errno "fork_exec" e)
+  | Strategy.Vfork_exec -> (
+    match Spawnlib.Native.vfork_exec ~prog:child_prog ~argv () with
+    | Ok pid -> wait pid
+    | Error e -> fail_errno "vfork_exec" e)
+  | Strategy.Posix_spawn -> (
+    match Spawnlib.Native.posix_spawn ~prog:child_prog ~argv () with
+    | Ok pid -> wait pid
+    | Error e -> fail_errno "posix_spawn" e)
+  | Strategy.Fork_only -> (
+    match Spawnlib.Native.fork_exit () with
+    | Ok pid -> wait pid
+    | Error e -> fail_errno "fork_exit" e)
+  | (Strategy.Fork_eager | Strategy.Builder) as s ->
+    failwith
+      (Printf.sprintf "Real_driver: %s has no real-OS implementation"
+         (Strategy.name s))
+
+let creation_stats ~strategy ~samples =
+  let samples =
+    Workload.Timer.sample ~warmup:2 ~n:samples (fun () -> creation_once strategy)
+  in
+  Metrics.Stats.of_array samples

@@ -1,0 +1,26 @@
+(* T1 runs first: its real-OS samples measure the harness process itself,
+   so it must precede the gigabyte footprints of F1 (allocator residue
+   would otherwise inflate the "minimal process" numbers). *)
+let all =
+  [
+    Exp_minproc.experiment;
+    Exp_fig1.experiment;
+    Exp_fig1_sim.experiment;
+    Exp_cowtax.experiment;
+    Exp_threads.experiment;
+    Exp_stdio.experiment;
+    Exp_aslr.experiment;
+    Exp_overcommit.experiment;
+    Exp_survey.experiment;
+    Exp_vma.experiment;
+    Exp_tlb.experiment;
+    Exp_builder.experiment;
+    Exp_snapshot.experiment;
+    Exp_thp.experiment;
+  ]
+
+let find id =
+  let id = String.uppercase_ascii id in
+  List.find_opt (fun e -> e.Report.exp_id = id) all
+
+let ids = List.map (fun e -> e.Report.exp_id) all

@@ -1,0 +1,7 @@
+(** All experiments, in paper order. *)
+
+val all : Report.experiment list
+val find : string -> Report.experiment option
+(** Lookup by id, case-insensitive ("f1", "F1-SIM", "e3", ...). *)
+
+val ids : string list

@@ -1,0 +1,56 @@
+type block =
+  | Table of { caption : string; table : Metrics.Table.t }
+  | Figure of Metrics.Series.figure
+  | Note of string
+
+type t = {
+  id : string;
+  title : string;
+  blocks : block list;
+}
+
+let make ~id ~title blocks = { id; title; blocks }
+
+let render t =
+  let buf = Buffer.create 2048 in
+  let rule = String.make 72 '=' in
+  Buffer.add_string buf
+    (Printf.sprintf "%s\n[%s] %s\n%s\n" rule t.id t.title rule);
+  List.iter
+    (fun block ->
+      Buffer.add_char buf '\n';
+      match block with
+      | Table { caption; table } ->
+        Buffer.add_string buf (caption ^ "\n");
+        Buffer.add_string buf (Metrics.Table.render table)
+      | Figure fig ->
+        Buffer.add_string buf (Metrics.Series.render_table fig);
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (Metrics.Series.render_chart fig)
+      | Note note -> Buffer.add_string buf ("note: " ^ note ^ "\n"))
+    t.blocks;
+  Buffer.contents buf
+
+let render_csv t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun block ->
+      match block with
+      | Table { caption; table } ->
+        Buffer.add_string buf (Printf.sprintf "# %s %s\n" t.id caption);
+        Buffer.add_string buf (Metrics.Table.render_csv table);
+        Buffer.add_char buf '\n'
+      | Figure fig ->
+        Buffer.add_string buf (Printf.sprintf "# %s %s\n" t.id fig.Metrics.Series.title);
+        Buffer.add_string buf (Metrics.Series.render_csv fig);
+        Buffer.add_char buf '\n'
+      | Note _ -> ())
+    t.blocks;
+  Buffer.contents buf
+
+type experiment = {
+  exp_id : string;
+  exp_title : string;
+  paper_claim : string;
+  run : quick:bool -> t;
+}

@@ -1,0 +1,33 @@
+(** Experiment reports: the tables and figures the bench harness prints,
+    one report per paper table/figure. *)
+
+type block =
+  | Table of { caption : string; table : Metrics.Table.t }
+  | Figure of Metrics.Series.figure
+  | Note of string
+
+type t = {
+  id : string;  (** experiment id, e.g. "F1" *)
+  title : string;
+  blocks : block list;
+}
+
+val make : id:string -> title:string -> block list -> t
+
+val render : t -> string
+(** Header, then each block: tables rendered via {!Metrics.Table.render},
+    figures as data table {e and} ASCII chart, notes as prose. *)
+
+val render_csv : t -> string
+(** Machine-readable: every table and figure as a CSV block preceded by a
+    ["# id caption"] comment line; notes are omitted. For piping into
+    plotting scripts ([forkbench run F1 --format csv]). *)
+
+(** A runnable experiment as registered in {!Registry}. *)
+type experiment = {
+  exp_id : string;
+  exp_title : string;
+  paper_claim : string;  (** what the paper says this should show *)
+  run : quick:bool -> t;
+      (** [quick] trades sample counts for speed (used by tests) *)
+}

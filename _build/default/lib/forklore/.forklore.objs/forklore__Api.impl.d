@@ -1,0 +1,1 @@
+lib/forklore/api.ml: Format List

@@ -1,0 +1,1 @@
+lib/forklore/api.mli: Format

@@ -1,0 +1,1 @@
+lib/forklore/scanner.ml: Api Array Filename Hashtbl In_channel List Option String Sys

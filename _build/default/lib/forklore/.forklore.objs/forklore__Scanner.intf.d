@@ -1,0 +1,1 @@
+lib/forklore/scanner.mli: Api Result

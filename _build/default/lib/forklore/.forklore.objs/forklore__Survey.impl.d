@@ -1,0 +1,1 @@
+lib/forklore/survey.ml: Api Corpus Format List Printf Scanner

@@ -1,0 +1,1 @@
+lib/forklore/survey.mli: Api Corpus Format Result

@@ -1,0 +1,121 @@
+type package = {
+  name : string;
+  source : string;
+  truth : (Api.t * int) list;
+}
+
+let truth_count p api =
+  match List.assoc_opt api p.truth with Some n -> n | None -> 0
+
+type archetype =
+  | Shell_out
+  | Daemon
+  | Spawner
+  | Low_level
+  | Pure
+
+let archetype_weights =
+  [ (Shell_out, 30); (Daemon, 40); (Spawner, 4); (Low_level, 6); (Pure, 20) ]
+
+let pick_weighted rng weights =
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 weights in
+  let roll = Prng.Splitmix.int rng ~bound:total in
+  let rec go acc = function
+    | [] -> invalid_arg "pick_weighted: empty"
+    | (x, w) :: rest -> if roll < acc + w then x else go (acc + w) rest
+  in
+  go 0 weights
+
+(* Which APIs an archetype calls, with min/max call sites each. *)
+let profile = function
+  | Shell_out -> [ (Api.System, 1, 6); (Api.Popen, 0, 4) ]
+  | Daemon -> [ (Api.Fork, 1, 8); (Api.Exec, 1, 5); (Api.System, 0, 2) ]
+  | Spawner -> [ (Api.Posix_spawn, 1, 4); (Api.Exec, 0, 1) ]
+  | Low_level -> [ (Api.Vfork, 0, 2); (Api.Clone, 1, 3); (Api.Exec, 1, 3) ]
+  | Pure -> []
+
+let call_snippet rng api =
+  let id =
+    let ids = Api.identifiers api in
+    List.nth ids (Prng.Splitmix.int rng ~bound:(List.length ids))
+  in
+  match api with
+  | Api.Fork | Api.Vfork -> Printf.sprintf "  pid = %s();\n" id
+  | Api.Clone ->
+    Printf.sprintf "  pid = %s(child_fn, stack_top, flags, arg);\n" id
+  | Api.Posix_spawn ->
+    Printf.sprintf "  rc = %s(&pid, path, NULL, NULL, argv, envp);\n" id
+  | Api.System -> Printf.sprintf "  rc = %s(command);\n" id
+  | Api.Popen -> Printf.sprintf "  fp = %s(command, \"r\");\n" id
+  | Api.Exec -> Printf.sprintf "  %s(path, argv, envp);\n" id
+
+(* text that must NOT be counted *)
+let distractors =
+  [|
+    "/* fork() considered harmful -- see HotOS'19 */\n";
+    "// TODO: replace fork() with posix_spawn() someday\n";
+    "  log(\"calling fork() now\");\n";
+    "  my_fork_helper(ctx);\n";
+    "  forkful_of_noodles(bowl);\n";
+    "  int forked = 0;\n";
+    "  char c = 'f';\n";
+    "  refork_queue(q); /* system(\"reboot\") in a string: system(\"x\") */\n";
+    "#include <unistd.h>\n";
+    "  spawn_counter++;\n";
+  |]
+
+let filler_functions =
+  [|
+    (fun i ->
+      Printf.sprintf "static int helper_%d(int x) {\n  return x * 2 + 1;\n}\n\n" i);
+    (fun i ->
+      Printf.sprintf
+        "static void log_%d(const char *msg) {\n  write(2, msg, strlen(msg));\n}\n\n"
+        i);
+    (fun i ->
+      Printf.sprintf
+        "static int parse_%d(const char *s, int *out) {\n  *out = atoi(s);\n  return *out != 0;\n}\n\n"
+        i);
+  |]
+
+let generate_package rng index =
+  let arch = pick_weighted rng archetype_weights in
+  let truth = Hashtbl.create 4 in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "#include <stdio.h>\n#include <unistd.h>\n\n";
+  (* some filler + distractor preamble *)
+  for k = 0 to 1 + Prng.Splitmix.int rng ~bound:3 do
+    let pick = Prng.Splitmix.int rng ~bound:(Array.length filler_functions) in
+    Buffer.add_string buf (filler_functions.(pick) ((10 * index) + k))
+  done;
+  Buffer.add_string buf "int main(int argc, char **argv) {\n";
+  Buffer.add_string buf "  int rc = 0; int pid = 0; void *fp = NULL;\n";
+  List.iter
+    (fun (api, lo, hi) ->
+      let calls = lo + Prng.Splitmix.int rng ~bound:(hi - lo + 1) in
+      for _ = 1 to calls do
+        Buffer.add_string buf
+          distractors.(Prng.Splitmix.int rng ~bound:(Array.length distractors));
+        Buffer.add_string buf (call_snippet rng api)
+      done;
+      if calls > 0 then
+        Hashtbl.replace truth api
+          (calls + Option.value ~default:0 (Hashtbl.find_opt truth api)))
+    (profile arch);
+  Buffer.add_string buf
+    distractors.(Prng.Splitmix.int rng ~bound:(Array.length distractors));
+  Buffer.add_string buf "  return rc + pid + (fp != NULL);\n}\n";
+  {
+    name = Printf.sprintf "pkg-%04d" index;
+    source = Buffer.contents buf;
+    truth =
+      List.filter_map
+        (fun api ->
+          Option.map (fun n -> (api, n)) (Hashtbl.find_opt truth api))
+        Api.all;
+  }
+
+let generate ?(packages = 200) ~seed () =
+  if packages < 0 then invalid_arg "Corpus.generate: negative count";
+  let rng = Prng.Splitmix.create ~seed in
+  List.init packages (fun i -> generate_package rng i)

@@ -1,0 +1,32 @@
+(** Synthetic C corpus generator for the usage survey (E7).
+
+    The HotOS'19 discussion rests on a corpus-scale observation: Unix
+    code overwhelmingly creates processes with fork (directly or through
+    system/popen), and spawn-family calls are rare. We cannot ship the
+    Debian source tree, so this module generates a deterministic corpus
+    whose {e mix} follows that qualitative shape, each package carrying
+    its ground-truth call counts so the scanner can be validated exactly.
+    Distractor text (comments, strings, lookalike identifiers,
+    declarations) is woven in to keep the scanner honest. *)
+
+type package = {
+  name : string;
+  source : string;
+  truth : (Api.t * int) list;  (** exact call sites embedded, per API *)
+}
+
+val truth_count : package -> Api.t -> int
+
+(** Package archetypes and their draw weights, mirroring the observed mix
+    (fork-based idioms dominate; spawn is rare). *)
+type archetype =
+  | Shell_out  (** system/popen callers *)
+  | Daemon  (** classic fork + exec servers *)
+  | Spawner  (** the rare posix_spawn adopter *)
+  | Low_level  (** vfork/clone runtimes *)
+  | Pure  (** no process creation at all *)
+
+val archetype_weights : (archetype * int) list
+
+val generate : ?packages:int -> seed:int -> unit -> package list
+(** Deterministic in [seed]. Default 200 packages. *)

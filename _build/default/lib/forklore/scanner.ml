@@ -1,0 +1,143 @@
+type result = {
+  lines : int;
+  counts : (Api.t * int) list;
+}
+
+let count r api =
+  match List.assoc_opt api r.counts with Some n -> n | None -> 0
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+
+type mode = Code | Line_comment | Block_comment | Str | Chr
+
+let scan_string src =
+  let n = String.length src in
+  let tally = Hashtbl.create 8 in
+  let lines = ref 1 in
+  let bump api =
+    Hashtbl.replace tally api (1 + Option.value ~default:0 (Hashtbl.find_opt tally api))
+  in
+  (* called with the span of a complete identifier: count it if it is a
+     tracked name and the next non-space character is '(' *)
+  let consider start stop =
+    match Api.of_identifier (String.sub src start (stop - start)) with
+    | None -> ()
+    | Some api ->
+      let rec next i =
+        if i >= n then ()
+        else
+          match src.[i] with
+          | ' ' | '\t' -> next (i + 1)
+          | '(' -> bump api
+          | _ -> ()
+      in
+      next stop
+  in
+  let rec go i mode =
+    if i >= n then ()
+    else begin
+      let c = src.[i] in
+      if c = '\n' then incr lines;
+      match mode with
+      | Line_comment -> go (i + 1) (if c = '\n' then Code else Line_comment)
+      | Block_comment ->
+        if c = '*' && i + 1 < n && src.[i + 1] = '/' then go (i + 2) Code
+        else go (i + 1) Block_comment
+      | Str ->
+        if c = '\\' then go (i + 2) Str
+        else if c = '"' then go (i + 1) Code
+        else go (i + 1) Str
+      | Chr ->
+        if c = '\\' then go (i + 2) Chr
+        else if c = '\'' then go (i + 1) Code
+        else go (i + 1) Chr
+      | Code ->
+        if c = '/' && i + 1 < n && src.[i + 1] = '/' then go (i + 2) Line_comment
+        else if c = '/' && i + 1 < n && src.[i + 1] = '*' then
+          go (i + 2) Block_comment
+        else if c = '"' then go (i + 1) Str
+        else if c = '\'' then go (i + 1) Chr
+        else if is_ident_start c then begin
+          let stop = ref (i + 1) in
+          while !stop < n && is_ident src.[!stop] do incr stop done;
+          consider i !stop;
+          go !stop Code
+        end
+        else go (i + 1) Code
+    end
+  in
+  go 0 Code;
+  {
+    lines = !lines;
+    counts =
+      List.map
+        (fun api ->
+          (api, Option.value ~default:0 (Hashtbl.find_opt tally api)))
+        Api.all;
+  }
+
+let scan_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> Ok (scan_string contents)
+  | exception Sys_error msg -> Error msg
+
+type dir_report = {
+  files_scanned : int;
+  total_lines : int;
+  total : (Api.t * int) list;
+}
+
+let total_hits r = List.fold_left (fun acc (_, n) -> acc + n) 0 r.counts
+
+let scan_directory_files ?(extensions = [ ".c"; ".h"; ".cc"; ".cpp"; ".hh" ])
+    root =
+  let out = ref [] in
+  let want path =
+    List.exists (fun ext -> Filename.check_suffix path ext) extensions
+  in
+  let scan_into path =
+    match scan_file path with
+    | Ok r -> out := (path, r) :: !out
+    | Error _ -> ()
+  in
+  let rec walk dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> ()
+    | entries ->
+      Array.sort compare entries;
+      Array.iter
+        (fun entry ->
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then walk path
+          else if want path then scan_into path)
+        entries
+  in
+  (match Sys.is_directory root with
+  | true -> walk root
+  | false -> scan_into root
+  | exception Sys_error _ -> ());
+  List.rev !out
+
+let scan_directory ?extensions root =
+  let per_file = scan_directory_files ?extensions root in
+  let tally = Hashtbl.create 8 in
+  let lines = ref 0 in
+  List.iter
+    (fun (_, r) ->
+      lines := !lines + r.lines;
+      List.iter
+        (fun (api, n) ->
+          Hashtbl.replace tally api
+            (n + Option.value ~default:0 (Hashtbl.find_opt tally api)))
+        r.counts)
+    per_file;
+  {
+    files_scanned = List.length per_file;
+    total_lines = !lines;
+    total =
+      List.map
+        (fun api ->
+          (api, Option.value ~default:0 (Hashtbl.find_opt tally api)))
+        Api.all;
+  }

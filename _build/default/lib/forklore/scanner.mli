@@ -1,0 +1,37 @@
+(** Call-site scanner for C-like source.
+
+    Lexes well enough to ignore comments, string and character literals,
+    then counts occurrences of each tracked identifier immediately
+    followed by ['('] — the same heuristic the paper-style "how much code
+    still forks" surveys use. Identifiers embedded in longer names
+    ([my_fork_helper]) never match. *)
+
+type result = {
+  lines : int;
+  counts : (Api.t * int) list;  (** every tracked API, zeroes included *)
+}
+
+val count : result -> Api.t -> int
+
+val scan_string : string -> result
+
+val scan_file : string -> (result, string) Result.t
+(** Reads the file; [Error] carries a message on I/O failure. *)
+
+type dir_report = {
+  files_scanned : int;
+  total_lines : int;
+  total : (Api.t * int) list;
+}
+
+val scan_directory : ?extensions:string list -> string -> dir_report
+(** Recursively scan files with the given extensions (default
+    [[".c"; ".h"; ".cc"; ".cpp"; ".hh"]]). Unreadable files are skipped. *)
+
+val scan_directory_files :
+  ?extensions:string list -> string -> (string * result) list
+(** Per-file results (path, scan), in walk order. Same filtering and
+    error tolerance as {!scan_directory}. *)
+
+val total_hits : result -> int
+(** Sum of call sites across every tracked API. *)

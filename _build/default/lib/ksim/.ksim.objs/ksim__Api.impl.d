@@ -1,0 +1,1 @@
+lib/ksim/api.ml: Buffer Effect List Result String Sysreq Types

@@ -1,0 +1,1 @@
+lib/ksim/api.mli: Errno Types Usignal Vmem

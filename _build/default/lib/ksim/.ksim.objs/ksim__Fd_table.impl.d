@@ -1,0 +1,1 @@
+lib/ksim/fd_table.ml: Array Errno Ofd Result

@@ -1,0 +1,1 @@
+lib/ksim/fd_table.mli: Errno Ofd Types

@@ -1,0 +1,1 @@
+lib/ksim/kernel.mli: Errno Format Proc Program Trace Types Vfs Vmem

@@ -1,0 +1,1 @@
+lib/ksim/ofd.ml: Buffer Errno Pipe String Types Vfs

@@ -1,0 +1,1 @@
+lib/ksim/ofd.mli: Buffer Errno Pipe Types Vfs

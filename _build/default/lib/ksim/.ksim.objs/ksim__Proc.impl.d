@@ -1,0 +1,1 @@
+lib/ksim/proc.ml: Array Effect Fd_table Format Hashtbl List Option Sync Sysreq Types Usignal Vfs Vmem

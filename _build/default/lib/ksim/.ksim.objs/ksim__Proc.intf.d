@@ -1,0 +1,1 @@
+lib/ksim/proc.mli: Effect Fd_table Format Hashtbl Sync Sysreq Types Usignal Vfs Vmem

@@ -1,0 +1,1 @@
+lib/ksim/stdio.ml: Api Char Errno Result String Types Vmem

@@ -1,0 +1,1 @@
+lib/ksim/stdio.mli: Errno Types

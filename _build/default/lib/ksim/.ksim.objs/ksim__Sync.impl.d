@@ -1,0 +1,1 @@
+lib/ksim/sync.ml: Hashtbl List Types

@@ -1,0 +1,1 @@
+lib/ksim/sysreq.ml: Effect Errno Types Usignal Vmem

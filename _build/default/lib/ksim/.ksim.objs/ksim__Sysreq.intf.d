@@ -1,0 +1,1 @@
+lib/ksim/sysreq.mli: Effect Errno Types Usignal Vmem

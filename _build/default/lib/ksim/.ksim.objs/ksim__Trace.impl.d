@@ -1,0 +1,1 @@
+lib/ksim/trace.ml: Array List String Types

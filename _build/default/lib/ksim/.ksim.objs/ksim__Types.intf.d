@@ -1,0 +1,1 @@
+lib/ksim/types.mli: Format Usignal

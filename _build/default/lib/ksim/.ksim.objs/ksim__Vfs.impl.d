@@ -1,0 +1,1 @@
+lib/ksim/vfs.ml: Buffer Bytes Errno Hashtbl List String Types

@@ -1,0 +1,1 @@
+lib/ksim/vfs.mli: Buffer Bytes Errno Hashtbl Types

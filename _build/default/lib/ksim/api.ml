@@ -1,0 +1,122 @@
+let sys req = Effect.perform (Sysreq.Sys req)
+let getpid () = sys Sysreq.Getpid
+let getppid () = sys Sysreq.Getppid
+let gettid () = sys Sysreq.Gettid
+
+(* The libc side of pthread_atfork: prepare handlers run in reverse
+   registration order before the fork; parent and child handlers run in
+   registration order after it (the child's before its body). *)
+let fork ~child =
+  let handlers = sys Sysreq.Atfork_list in
+  let run sel order =
+    List.iter
+      (fun h -> match sel h with Some f -> f () | None -> ())
+      (match order with `Fifo -> handlers | `Lifo -> List.rev handlers)
+  in
+  run (fun h -> h.Types.prepare) `Lifo;
+  let wrapped_child () =
+    run (fun h -> h.Types.in_child) `Fifo;
+    child ()
+  in
+  let result = sys (Sysreq.Fork wrapped_child) in
+  run (fun h -> h.Types.in_parent) `Fifo;
+  result
+
+let atfork ?prepare ?in_parent ?in_child () =
+  sys (Sysreq.Atfork_register { Types.prepare; in_parent; in_child })
+let fork_eager ~child = sys (Sysreq.Fork_eager child)
+let vfork ~child = sys (Sysreq.Vfork child)
+
+let spawn ?(file_actions = []) ?(attr = Types.default_attr) ?(argv = []) path =
+  sys (Sysreq.Spawn { Types.path; argv; file_actions; attr })
+
+let exec ?(argv = []) path = sys (Sysreq.Exec { path; argv })
+
+let exit code =
+  sys (Sysreq.Exit code);
+  (* the kernel never resumes an exited thread *)
+  assert false
+
+let waitpid target = sys (Sysreq.Waitpid target)
+
+let wait_for pid =
+  Result.map (fun (_, status) -> status) (waitpid (Types.Child pid))
+
+let wait_all () =
+  let rec go acc =
+    match waitpid Types.Any_child with
+    | Ok r -> go (r :: acc)
+    | Error _ -> List.rev acc
+  in
+  go []
+
+let kill pid s = sys (Sysreq.Kill (pid, s))
+let sigaction s d = sys (Sysreq.Sigaction (s, d))
+let sigprocmask op set = sys (Sysreq.Sigprocmask (op, set))
+let alarm n = sys (Sysreq.Alarm n)
+let handled_signals name = sys (Sysreq.Handled_signals name)
+let openf ?(flags = Types.o_rdonly) path = sys (Sysreq.Open (path, flags))
+let close fd = sys (Sysreq.Close fd)
+let read fd n = sys (Sysreq.Read (fd, n))
+let write fd s = sys (Sysreq.Write (fd, s))
+
+let write_all fd s =
+  let rec go off =
+    if off >= String.length s then Ok ()
+    else
+      match write fd (String.sub s off (String.length s - off)) with
+      | Ok n -> go (off + n)
+      | Error _ as e -> e
+  in
+  go 0
+
+let read_all fd =
+  let buf = Buffer.create 256 in
+  let rec go () =
+    match read fd 4096 with
+    | Ok "" -> Ok (Buffer.contents buf)
+    | Ok chunk ->
+      Buffer.add_string buf chunk;
+      go ()
+    | Error _ as e -> e
+  in
+  go ()
+
+let print s = match write_all 1 s with Ok () | Error _ -> ()
+let dup fd = sys (Sysreq.Dup fd)
+let dup2 ~src ~dst = sys (Sysreq.Dup2 { src; dst })
+let set_cloexec fd v = sys (Sysreq.Set_cloexec (fd, v))
+let pipe () = sys Sysreq.Pipe
+let try_lock fd = sys (Sysreq.Try_lock fd)
+let unlock fd = sys (Sysreq.Unlock fd)
+let mmap ~len ~perm = sys (Sysreq.Mmap { len; perm })
+let munmap ~addr ~len = sys (Sysreq.Munmap { addr; len })
+let brk () = sys (Sysreq.Brk None)
+
+let sbrk delta =
+  match brk () with
+  | Error _ as e -> e
+  | Ok old -> (
+    if delta = 0 then Ok old
+    else
+      match sys (Sysreq.Brk (Some (old + delta))) with
+      | Ok _ -> Ok old
+      | Error _ as e -> e)
+
+let mem_read ~addr ~len = sys (Sysreq.Mem_read { addr; len })
+let mem_write ~addr data = sys (Sysreq.Mem_write { addr; data })
+let touch ~addr ~len = sys (Sysreq.Touch { addr; len })
+let thread_create body = sys (Sysreq.Thread_create body)
+let mutex_create () = sys Sysreq.Mutex_create
+let mutex_lock id = sys (Sysreq.Mutex_lock id)
+let mutex_unlock id = sys (Sysreq.Mutex_unlock id)
+let mutex_trylock id = sys (Sysreq.Mutex_trylock id)
+let mutex_reinit id = sys (Sysreq.Mutex_reinit id)
+let yield () = sys Sysreq.Yield
+let chdir path = sys (Sysreq.Chdir path)
+let getcwd () = sys Sysreq.Getcwd
+let pb_create () = sys Sysreq.Pb_create
+let pb_map ~pid ~len ~perm = sys (Sysreq.Pb_map { pid; len; perm })
+let pb_write ~pid ~addr data = sys (Sysreq.Pb_write { pid; addr; data })
+let pb_copy_fd ~pid ~src ~dst = sys (Sysreq.Pb_copy_fd { pid; src; dst })
+let pb_start ~pid ?(argv = []) path = sys (Sysreq.Pb_start { pid; path; argv })

@@ -1,0 +1,108 @@
+(** Syscall wrappers for simulated programs.
+
+    Every function here performs the {!Sysreq.Sys} effect and must be
+    called from code running under {!Kernel.run} (from a program body);
+    calling them elsewhere raises [Effect.Unhandled]. *)
+
+val getpid : unit -> Types.pid
+val getppid : unit -> Types.pid
+val gettid : unit -> Types.tid
+
+val fork : child:(unit -> unit) -> (Types.pid, Errno.t) result
+(** COW fork; see {!Sysreq} for the closure-based child convention.
+    Runs registered {!atfork} handlers with POSIX ordering: prepare in
+    reverse registration order before forking (also on failure, like
+    glibc), parent/child handlers in registration order after. *)
+
+val atfork :
+  ?prepare:(unit -> unit) ->
+  ?in_parent:(unit -> unit) ->
+  ?in_child:(unit -> unit) ->
+  unit ->
+  unit
+(** pthread_atfork. Registrations are copied to fork children and
+    destroyed by exec (they are image state). [fork_eager] and [vfork]
+    do not run handlers, matching common libc behaviour. *)
+
+val fork_eager : child:(unit -> unit) -> (Types.pid, Errno.t) result
+val vfork : child:(unit -> unit) -> (Types.pid, Errno.t) result
+
+val spawn :
+  ?file_actions:Types.file_action list ->
+  ?attr:Types.spawn_attr ->
+  ?argv:string list ->
+  string ->
+  (Types.pid, Errno.t) result
+
+val exec : ?argv:string list -> string -> (unit, Errno.t) result
+(** Returns only on failure. *)
+
+val exit : int -> 'a
+(** Terminates the process; never returns. *)
+
+val waitpid : Types.wait_target -> (Types.pid * Types.status, Errno.t) result
+val wait_for : Types.pid -> (Types.status, Errno.t) result
+val wait_all : unit -> (Types.pid * Types.status) list
+(** Reap children until ECHILD; does not block on a child that never
+    exits — it blocks per waitpid, so only use when all children
+    terminate. *)
+
+val kill : Types.pid -> Usignal.t -> (unit, Errno.t) result
+val sigaction :
+  Usignal.t -> Usignal.disposition -> (Usignal.disposition, Errno.t) result
+val sigprocmask : Types.mask_op -> Usignal.Set.t -> Usignal.Set.t
+val alarm : int -> int
+val handled_signals : string -> int
+
+val openf : ?flags:Types.open_flags -> string -> (Types.fd, Errno.t) result
+(** Default flags: read-only. *)
+
+val close : Types.fd -> (unit, Errno.t) result
+val read : Types.fd -> int -> (string, Errno.t) result
+val write : Types.fd -> string -> (int, Errno.t) result
+
+val write_all : Types.fd -> string -> (unit, Errno.t) result
+(** Loop until every byte is written. *)
+
+val read_all : Types.fd -> (string, Errno.t) result
+(** Read until end-of-file. *)
+
+val print : string -> unit
+(** [write_all] to fd 1, ignoring errors (console convenience). *)
+
+val dup : Types.fd -> (Types.fd, Errno.t) result
+val dup2 : src:Types.fd -> dst:Types.fd -> (Types.fd, Errno.t) result
+val set_cloexec : Types.fd -> bool -> (unit, Errno.t) result
+val pipe : unit -> (Types.fd * Types.fd, Errno.t) result
+val try_lock : Types.fd -> (unit, Errno.t) result
+val unlock : Types.fd -> (unit, Errno.t) result
+val mmap : len:int -> perm:Vmem.Perm.t -> (int, Errno.t) result
+val munmap : addr:int -> len:int -> (unit, Errno.t) result
+val brk : unit -> (int, Errno.t) result
+val sbrk : int -> (int, Errno.t) result
+(** Grow the heap by n bytes (page-rounded); returns the old break. *)
+
+val mem_read : addr:int -> len:int -> (string, Errno.t) result
+val mem_write : addr:int -> string -> (unit, Errno.t) result
+val touch : addr:int -> len:int -> (int, Errno.t) result
+val thread_create : (unit -> unit) -> (Types.tid, Errno.t) result
+val mutex_create : unit -> int
+val mutex_lock : int -> (unit, Errno.t) result
+val mutex_unlock : int -> (unit, Errno.t) result
+val mutex_trylock : int -> (unit, Errno.t) result
+
+val mutex_reinit : int -> (unit, Errno.t) result
+(** Force a mutex back to unlocked regardless of owner (atfork child
+    handlers use this to recover orphaned locks). *)
+
+val yield : unit -> unit
+val chdir : string -> (unit, Errno.t) result
+val getcwd : unit -> string
+
+(** Cross-process operations (paper §6; see {!Sysreq}). *)
+
+val pb_create : unit -> (Types.pid, Errno.t) result
+val pb_map : pid:Types.pid -> len:int -> perm:Vmem.Perm.t -> (int, Errno.t) result
+val pb_write : pid:Types.pid -> addr:int -> string -> (unit, Errno.t) result
+val pb_copy_fd : pid:Types.pid -> src:Types.fd -> dst:Types.fd -> (unit, Errno.t) result
+val pb_start : pid:Types.pid -> ?argv:string list -> string -> (unit, Errno.t) result

@@ -1,0 +1,71 @@
+type t =
+  | EPERM
+  | ENOENT
+  | ESRCH
+  | EINTR
+  | EBADF
+  | ECHILD
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EFAULT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | EMFILE
+  | ENOSPC
+  | EPIPE
+  | ENOSYS
+  | ENOEXEC
+  | EDEADLK
+  | E2BIG
+
+let to_string = function
+  | EPERM -> "EPERM"
+  | ENOENT -> "ENOENT"
+  | ESRCH -> "ESRCH"
+  | EINTR -> "EINTR"
+  | EBADF -> "EBADF"
+  | ECHILD -> "ECHILD"
+  | EAGAIN -> "EAGAIN"
+  | ENOMEM -> "ENOMEM"
+  | EACCES -> "EACCES"
+  | EFAULT -> "EFAULT"
+  | EEXIST -> "EEXIST"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | EINVAL -> "EINVAL"
+  | EMFILE -> "EMFILE"
+  | ENOSPC -> "ENOSPC"
+  | EPIPE -> "EPIPE"
+  | ENOSYS -> "ENOSYS"
+  | ENOEXEC -> "ENOEXEC"
+  | EDEADLK -> "EDEADLK"
+  | E2BIG -> "E2BIG"
+
+let message = function
+  | EPERM -> "operation not permitted"
+  | ENOENT -> "no such file or directory"
+  | ESRCH -> "no such process"
+  | EINTR -> "interrupted system call"
+  | EBADF -> "bad file descriptor"
+  | ECHILD -> "no child processes"
+  | EAGAIN -> "resource temporarily unavailable"
+  | ENOMEM -> "out of memory"
+  | EACCES -> "permission denied"
+  | EFAULT -> "bad address"
+  | EEXIST -> "file exists"
+  | ENOTDIR -> "not a directory"
+  | EISDIR -> "is a directory"
+  | EINVAL -> "invalid argument"
+  | EMFILE -> "too many open files"
+  | ENOSPC -> "no space left on device"
+  | EPIPE -> "broken pipe"
+  | ENOSYS -> "function not implemented"
+  | ENOEXEC -> "exec format error"
+  | EDEADLK -> "resource deadlock avoided"
+  | E2BIG -> "argument list too long"
+
+let equal a b = a = b
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,31 @@
+(** POSIX-style error codes returned by simulated syscalls. *)
+
+type t =
+  | EPERM
+  | ENOENT
+  | ESRCH
+  | EINTR
+  | EBADF
+  | ECHILD
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EFAULT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | EMFILE
+  | ENOSPC
+  | EPIPE
+  | ENOSYS
+  | ENOEXEC
+  | EDEADLK
+  | E2BIG
+
+val to_string : t -> string
+val message : t -> string
+(** Human-readable strerror-style message. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

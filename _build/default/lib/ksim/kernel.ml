@@ -1,0 +1,1078 @@
+type config = {
+  phys_pages : int;
+  cost_params : Vmem.Cost.params option;
+  cpus : int;
+  commit_policy : Vmem.Frame.policy;
+  aslr : bool;
+  seed : int;
+  sched : [ `Fifo | `Random ];
+  trace_capacity : int option;
+  pipe_capacity : int;
+  max_fds : int;
+}
+
+let default_config =
+  {
+    phys_pages = 262_144 (* 1 GiB *);
+    cost_params = None;
+    cpus = 4;
+    commit_policy = Vmem.Frame.Strict;
+    aslr = true;
+    seed = 42;
+    sched = `Fifo;
+    trace_capacity = None;
+    pipe_capacity = 65536;
+    max_fds = 256;
+  }
+
+type parked =
+  | Parked : {
+      th : Proc.thread;
+      why : string;
+      check : unit -> 'a option;
+      k : ('a, unit) Effect.Deep.continuation;
+    }
+      -> parked
+
+type stall = { pid : Types.pid; tid : Types.tid; why : string }
+type outcome = All_exited | Stalled of stall list | Tick_limit
+
+let pp_outcome ppf = function
+  | All_exited -> Format.pp_print_string ppf "all-exited"
+  | Tick_limit -> Format.pp_print_string ppf "tick-limit"
+  | Stalled stalls ->
+    Format.fprintf ppf "stalled(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf s -> Format.fprintf ppf "pid%d/tid%d:%s" s.pid s.tid s.why))
+      stalls
+
+type t = {
+  config : config;
+  frames : Vmem.Frame.t;
+  cost : Vmem.Cost.t;
+  tlb : Vmem.Tlb.t;
+  vfs : Vfs.t;
+  programs : (string, Program.t) Hashtbl.t;
+  procs : (Types.pid, Proc.t) Hashtbl.t;
+  statuses : (Types.pid, Types.status) Hashtbl.t;
+  alarms : (Types.pid, int) Hashtbl.t;
+  mutable next_pid : int;
+  mutable next_tid : int;
+  ready : Proc.thread Queue.t;
+  mutable parked : parked list;
+  mutable clock : int;
+  rng : Prng.Splitmix.t;
+  trace : Trace.t option;
+}
+
+let create ?(config = default_config) () =
+  let cost = Vmem.Cost.create ?params:config.cost_params () in
+  {
+    config;
+    frames =
+      Vmem.Frame.create ~policy:config.commit_policy ~frames:config.phys_pages ();
+    cost;
+    tlb = Vmem.Tlb.create ~cpus:config.cpus cost;
+    vfs = Vfs.create ();
+    programs = Hashtbl.create 16;
+    procs = Hashtbl.create 64;
+    statuses = Hashtbl.create 64;
+    alarms = Hashtbl.create 8;
+    next_pid = 1;
+    next_tid = 1;
+    ready = Queue.create ();
+    parked = [];
+    clock = 0;
+    rng = Prng.Splitmix.create ~seed:config.seed;
+    trace = Option.map (fun capacity -> Trace.create ~capacity ()) config.trace_capacity;
+  }
+
+let config t = t.config
+let register t prog = Hashtbl.replace t.programs prog.Program.name prog
+let register_all t progs = List.iter (register t) progs
+let find_program t name = Hashtbl.find_opt t.programs name
+let cost t = t.cost
+let frames t = t.frames
+let vfs t = t.vfs
+let tlb t = t.tlb
+let console t = Buffer.contents (Vfs.console_buffer t.vfs)
+let trace t = t.trace
+let clock t = t.clock
+let find_proc t pid = Hashtbl.find_opt t.procs pid
+
+let procs t =
+  Hashtbl.fold (fun _ p acc -> p :: acc) t.procs []
+  |> List.sort (fun a b -> compare a.Proc.pid b.Proc.pid)
+
+let status_of t pid = Hashtbl.find_opt t.statuses pid
+let params t = Vmem.Cost.params t.cost
+
+let fresh_pid t =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  pid
+
+let fresh_tid t =
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  tid
+
+let proc_of t (th : Proc.thread) =
+  match find_proc t th.Proc.owner with
+  | Some p -> p
+  | None -> invalid_arg "Kernel: thread without process"
+
+let enqueue t th = Queue.add th t.ready
+
+let ready_thread t th resume =
+  th.Proc.entry <- Some (Proc.Resume resume);
+  th.Proc.tstate <- Proc.Ready;
+  enqueue t th
+
+(* ------------------------------------------------------------------ *)
+(* Image loading and address-space layout *)
+
+let text_base = 0x0040_0000
+let stack_len = 1 lsl 20 (* 1 MiB *)
+let stack_top_base = 0x7FFF_F000_0000
+let mmap_base_floor = 0x7000_0000_0000
+let aslr_entropy_pages = 1 lsl 20 (* 20 bits *)
+
+let aslr_offset t =
+  if t.config.aslr then
+    Vmem.Addr.page_size * Prng.Splitmix.int t.rng ~bound:aslr_entropy_pages
+  else 0
+
+(* Load [prog]'s image (text, data, heap base, stack) into [aspace].
+   Shared by exec, posix_spawn and Pb_start; constant in the parent's
+   size — which is the whole point. *)
+let load_image t prog aspace =
+  let p = params t in
+  Vmem.Cost.charge t.cost "exec:base" p.Vmem.Cost.exec_base;
+  let map_segment ~base ~pages ~perm ~kind =
+    let rec go i =
+      if i >= pages then Ok ()
+      else
+        match
+          Vmem.Addr_space.map_image_page aspace
+            ~addr:(base + (i * Vmem.Addr.page_size))
+            ~perm ~kind ()
+        with
+        | Ok () -> go (i + 1)
+        | Error (`Out_of_memory | `Commit_limit | `Overlap | `Invalid) ->
+          Error ()
+    in
+    go 0
+  in
+  let text_pages = Program.text_pages prog in
+  let data_base = text_base + (text_pages * Vmem.Addr.page_size) in
+  let data_pages = Program.data_pages prog in
+  let heap_base = data_base + (data_pages * Vmem.Addr.page_size) in
+  match
+    map_segment ~base:text_base ~pages:text_pages ~perm:Vmem.Perm.rx
+      ~kind:(Vmem.Vma.Text { path = prog.Program.name })
+  with
+  | Error () -> Error Errno.ENOMEM
+  | Ok () -> (
+    match
+      map_segment ~base:data_base ~pages:data_pages ~perm:Vmem.Perm.rw
+        ~kind:(Vmem.Vma.Data { path = prog.Program.name })
+    with
+    | Error () -> Error Errno.ENOMEM
+    | Ok () -> (
+      Vmem.Addr_space.set_heap_base aspace heap_base;
+      let stack_top = stack_top_base - aslr_offset t in
+      let stack_base = stack_top - stack_len in
+      match
+        Vmem.Addr_space.mmap ~addr:stack_base ~len:stack_len
+          ~perm:Vmem.Perm.rw ~kind:Vmem.Vma.Stack aspace
+      with
+      | Error (`No_space | `Overlap | `Commit_limit | `Invalid) ->
+        Error Errno.ENOMEM
+      | Ok _ -> (
+        (* guard page below the stack: runaway growth faults instead of
+           silently scribbling on whatever is mapped beneath *)
+        match
+          Vmem.Addr_space.mmap ~addr:(stack_base - Vmem.Addr.page_size)
+            ~len:Vmem.Addr.page_size ~perm:Vmem.Perm.none ~kind:Vmem.Vma.Guard
+            aspace
+        with
+        | Error (`No_space | `Overlap | `Commit_limit | `Invalid) ->
+          Error Errno.ENOMEM
+        | Ok _ -> Ok ())))
+
+(* Build a fresh address space holding [prog]'s image. *)
+let build_image t prog =
+  let mmap_base = mmap_base_floor + aslr_offset t in
+  let aspace =
+    Vmem.Addr_space.create ~mmap_base ~frames:t.frames ~cost:t.cost ~tlb:t.tlb ()
+  in
+  match load_image t prog aspace with
+  | Ok () -> Ok aspace
+  | Error e ->
+    Vmem.Addr_space.destroy aspace;
+    Error e
+
+(* ------------------------------------------------------------------ *)
+(* Signals and process termination *)
+
+let rec post_signal t (proc : Proc.t) sig_ =
+  if Proc.is_alive proc then begin
+    if Usignal.catchable sig_ && Usignal.Set.mem sig_ proc.Proc.sigmask then
+      proc.Proc.sigpending <- Usignal.Set.add sig_ proc.Proc.sigpending
+    else deliver_signal t proc sig_
+  end
+
+and deliver_signal t proc sig_ =
+  let disp =
+    if Usignal.catchable sig_ then Proc.disposition proc sig_
+    else Usignal.Default
+  in
+  match disp with
+  | Usignal.Ignored -> ()
+  | Usignal.Handler name -> Proc.count_handler_run proc name
+  | Usignal.Default -> (
+    match Usignal.default_action sig_ with
+    | Usignal.Ignore_sig | Usignal.Stop | Usignal.Continue -> ()
+    | Usignal.Terminate -> kill_process t proc (Types.Killed sig_))
+
+and kill_process t (proc : Proc.t) status =
+  if Proc.is_alive proc then begin
+    proc.Proc.pstate <- Proc.Zombie status;
+    Hashtbl.replace t.statuses proc.Proc.pid status;
+    Hashtbl.remove t.alarms proc.Proc.pid;
+    List.iter
+      (fun (th : Proc.thread) ->
+        th.Proc.tstate <- Proc.Exited;
+        th.Proc.entry <- None;
+        th.Proc.pending <- None)
+      proc.Proc.threads;
+    Fd_table.close_all proc.Proc.fdt;
+    List.iter
+      (fun (r : Vfs.regular) ->
+        if r.Vfs.lock_owner = Some proc.Proc.pid then r.Vfs.lock_owner <- None)
+      proc.Proc.held_locks;
+    proc.Proc.held_locks <- [];
+    if proc.Proc.vfork_active then proc.Proc.vfork_active <- false
+    else Vmem.Addr_space.destroy proc.Proc.aspace;
+    (* orphans go to init (pid 1) *)
+    let init = find_proc t 1 in
+    List.iter
+      (fun cpid ->
+        match find_proc t cpid with
+        | None -> ()
+        | Some child -> (
+          child.Proc.parent <- 1;
+          match init with
+          | Some ip when Proc.is_alive ip ->
+            ip.Proc.children <- cpid :: ip.Proc.children
+          | Some _ | None -> (
+            (* no live init: auto-reap terminated orphans *)
+            match child.Proc.pstate with
+            | Proc.Zombie st -> child.Proc.pstate <- Proc.Reaped st
+            | Proc.Alive | Proc.Reaped _ -> ())))
+      proc.Proc.children;
+    proc.Proc.children <- [];
+    match find_proc t proc.Proc.parent with
+    | Some parent when Proc.is_alive parent -> post_signal t parent Usignal.SIGCHLD
+    | Some _ | None -> proc.Proc.pstate <- Proc.Reaped status
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Opening files *)
+
+let console_flags =
+  { Types.o_rdwr with Types.create = false; trunc = false }
+
+let make_console_ofd t = Ofd.make (Ofd.Console (Vfs.console_buffer t.vfs)) ~flags:console_flags
+
+let do_open t (proc : Proc.t) path flags =
+  if flags.Types.create then
+    match Vfs.create_file t.vfs ~cwd:proc.Proc.cwd path ~trunc:flags.Types.trunc with
+    | Error e -> Error e
+    | Ok r -> Ok (Ofd.make (Ofd.Reg_file r) ~flags)
+  else
+    match Vfs.resolve t.vfs ~cwd:proc.Proc.cwd path with
+    | Error e -> Error e
+    | Ok (Vfs.Reg r) ->
+      if flags.Types.trunc && flags.Types.write then Vfs.Reg.truncate r;
+      Ok (Ofd.make (Ofd.Reg_file r) ~flags)
+    | Ok (Vfs.Console buf) -> Ok (Ofd.make (Ofd.Console buf) ~flags)
+    | Ok (Vfs.Dir _) ->
+      if flags.Types.write then Error Errno.EISDIR else Error Errno.EACCES
+
+(* ------------------------------------------------------------------ *)
+(* Process creation *)
+
+let new_thread t proc ~is_main body =
+  let th = Proc.make_thread ~tid:(fresh_tid t) ~owner:proc.Proc.pid ~is_main body in
+  proc.Proc.threads <- proc.Proc.threads @ [ th ];
+  enqueue t th;
+  th
+
+let charge_fd_inherit t fdt =
+  Vmem.Cost.charge t.cost "fd:inherit"
+    ((params t).Vmem.Cost.fd_clone *. float_of_int (Fd_table.count fdt))
+
+(* Shared plumbing of fork and vfork: everything except the address
+   space. Implements the POSIX inheritance matrix: dispositions and mask
+   copied, pending signals cleared, only the calling thread, mutex memory
+   copied verbatim, alarms and file locks NOT inherited. *)
+let make_forked_child t (parent : Proc.t) ~aspace ~body =
+  Vmem.Cost.charge t.cost "proc:create" (params t).Vmem.Cost.proc_create;
+  let fdt = Fd_table.clone parent.Proc.fdt in
+  charge_fd_inherit t fdt;
+  let child =
+    Proc.make ~pid:(fresh_pid t) ~parent:parent.Proc.pid ~aspace ~fdt
+      ~cwd:parent.Proc.cwd ~program:parent.Proc.program
+  in
+  Array.blit parent.Proc.sigdisp 0 child.Proc.sigdisp 0
+    (Array.length parent.Proc.sigdisp);
+  child.Proc.sigmask <- parent.Proc.sigmask;
+  child.Proc.mutexes <- Sync.clone_table parent.Proc.mutexes;
+  child.Proc.atfork <- parent.Proc.atfork;
+  Hashtbl.replace t.procs child.Proc.pid child;
+  parent.Proc.children <- child.Proc.pid :: parent.Proc.children;
+  ignore (new_thread t child ~is_main:true body);
+  child
+
+let do_fork t (parent : Proc.t) ~eager body =
+  let clone =
+    if eager then Vmem.Addr_space.clone_eager else Vmem.Addr_space.clone_cow
+  in
+  match clone parent.Proc.aspace with
+  | Error (`Commit_limit | `Out_of_memory) -> Error Errno.ENOMEM
+  | Ok aspace -> Ok (make_forked_child t parent ~aspace ~body).Proc.pid
+
+let do_vfork t (parent : Proc.t) body =
+  (* the child borrows the parent's address space: no copy at all *)
+  let child = make_forked_child t parent ~aspace:parent.Proc.aspace ~body in
+  child.Proc.vfork_active <- true;
+  Ok child.Proc.pid
+
+let apply_file_action t (child : Proc.t) action =
+  match action with
+  | Types.Fa_close fd -> Fd_table.close child.Proc.fdt fd
+  | Types.Fa_dup2 (src, dst) ->
+    if src = dst then
+      (* POSIX: a spawn dup2 action with equal fds clears FD_CLOEXEC
+         (unlike the dup2 syscall, which would be a no-op) *)
+      Fd_table.set_cloexec child.Proc.fdt dst false
+    else
+      Result.map (fun (_ : Types.fd) -> ())
+        (Fd_table.dup2 child.Proc.fdt ~src ~dst)
+  | Types.Fa_open { fd; path; flags } -> (
+    match do_open t child path flags with
+    | Error e -> Error e
+    | Ok ofd -> (
+      (* ensure the description lands exactly at [fd] *)
+      (match Fd_table.close child.Proc.fdt fd with Ok () | Error _ -> ());
+      match Fd_table.alloc child.Proc.fdt ~at_least:fd ~cloexec:flags.Types.cloexec ofd with
+      | Ok got when got = fd -> Ok ()
+      | Ok got ->
+        ignore (Fd_table.close child.Proc.fdt got);
+        Error Errno.EMFILE
+      | Error e ->
+        Ofd.close ofd;
+        Error e))
+
+let do_spawn t (parent : Proc.t) (req : Types.spawn_req) =
+  match find_program t req.Types.path with
+  | None -> Error Errno.ENOENT (* reported synchronously, unlike fork+exec *)
+  | Some prog -> (
+    Vmem.Cost.charge t.cost "proc:create" (params t).Vmem.Cost.proc_create;
+    match build_image t prog with
+    | Error e -> Error e
+    | Ok aspace -> (
+      let fdt = Fd_table.clone parent.Proc.fdt in
+      charge_fd_inherit t fdt;
+      let child =
+        Proc.make ~pid:(fresh_pid t) ~parent:parent.Proc.pid ~aspace ~fdt
+          ~cwd:parent.Proc.cwd ~program:prog.Program.name
+      in
+      (* signal setup: exec semantics plus the optional wholesale reset *)
+      if req.Types.attr.Types.reset_signals then
+        Array.fill child.Proc.sigdisp 0 (Array.length child.Proc.sigdisp)
+          Usignal.Default
+      else
+        List.iter
+          (fun s ->
+            match Proc.disposition parent s with
+            | Usignal.Ignored -> Proc.set_disposition child s Usignal.Ignored
+            | Usignal.Default | Usignal.Handler _ -> ())
+          Usignal.all;
+      child.Proc.sigmask <-
+        (match req.Types.attr.Types.mask with
+        | Some m -> m
+        | None -> parent.Proc.sigmask);
+      let rec apply = function
+        | [] -> Ok ()
+        | action :: rest -> (
+          match apply_file_action t child action with
+          | Ok () -> apply rest
+          | Error e -> Error e)
+      in
+      match apply req.Types.file_actions with
+      | Error e ->
+        Fd_table.close_all child.Proc.fdt;
+        Vmem.Addr_space.destroy child.Proc.aspace;
+        Error e
+      | Ok () ->
+        Fd_table.close_cloexec child.Proc.fdt;
+        Hashtbl.replace t.procs child.Proc.pid child;
+        parent.Proc.children <- child.Proc.pid :: parent.Proc.children;
+        ignore
+          (new_thread t child ~is_main:true
+             (prog.Program.main ~argv:req.Types.argv));
+        Ok child.Proc.pid))
+
+let do_exec t (proc : Proc.t) (th : Proc.thread) path argv =
+  match find_program t path with
+  | None -> Error Errno.ENOENT
+  | Some prog -> (
+    match build_image t prog with
+    | Error e -> Error e
+    | Ok aspace ->
+      (* only the calling thread survives *)
+      List.iter
+        (fun (other : Proc.thread) ->
+          if other.Proc.tid <> th.Proc.tid then begin
+            other.Proc.tstate <- Proc.Exited;
+            other.Proc.entry <- None;
+            other.Proc.pending <- None
+          end)
+        proc.Proc.threads;
+      proc.Proc.threads <- [ th ];
+      if proc.Proc.vfork_active then proc.Proc.vfork_active <- false
+      else Vmem.Addr_space.destroy proc.Proc.aspace;
+      proc.Proc.aspace <- aspace;
+      (* caught signals reset to default; ignored stay ignored *)
+      List.iter
+        (fun s ->
+          match Proc.disposition proc s with
+          | Usignal.Handler _ -> Proc.set_disposition proc s Usignal.Default
+          | Usignal.Default | Usignal.Ignored -> ())
+        Usignal.all;
+      Fd_table.close_cloexec proc.Proc.fdt;
+      (* mutex memory and atfork registrations die with the old image *)
+      proc.Proc.mutexes <- Sync.create_table ();
+      proc.Proc.atfork <- [];
+      proc.Proc.program <- prog.Program.name;
+      Ok (prog.Program.main ~argv))
+
+(* ------------------------------------------------------------------ *)
+(* The syscall engine *)
+
+type 'a action =
+  | Reply of 'a
+  | Block of string * (unit -> 'a option)
+  | Die
+
+let try_wait t (proc : Proc.t) target =
+  let candidates =
+    match target with
+    | Types.Any_child -> proc.Proc.children
+    | Types.Child pid -> if List.mem pid proc.Proc.children then [ pid ] else []
+  in
+  if candidates = [] then `No_children
+  else begin
+    let zombie =
+      List.find_map
+        (fun pid ->
+          match find_proc t pid with
+          | Some ({ Proc.pstate = Proc.Zombie st; _ } as child) ->
+            Some (child, st)
+          | Some _ -> None
+          | None -> None)
+        candidates
+    in
+    match zombie with
+    | Some (child, st) ->
+      child.Proc.pstate <- Proc.Reaped st;
+      proc.Proc.children <-
+        List.filter (fun p -> p <> child.Proc.pid) proc.Proc.children;
+      `Got (child.Proc.pid, st)
+    | None -> `Wait
+  end
+
+let find_mutex (proc : Proc.t) id = Sync.find proc.Proc.mutexes id
+
+let regular_of_fd (proc : Proc.t) fd =
+  match Fd_table.get proc.Proc.fdt fd with
+  | Error e -> Error e
+  | Ok ofd -> (
+    match Ofd.backing ofd with
+    | Ofd.Reg_file r -> Ok r
+    | Ofd.Console _ | Ofd.Pipe_read _ | Ofd.Pipe_write _ | Ofd.Null ->
+      Error Errno.EINVAL)
+
+let mem_errno = function
+  | `Segfault -> Errno.EFAULT
+  | `Perm_denied -> Errno.EACCES
+  | `Out_of_memory -> Errno.ENOMEM
+
+let write_into aspace addr data =
+  let len = String.length data in
+  let rec go i =
+    if i >= len then Ok ()
+    else
+      match Vmem.Addr_space.write_byte aspace (addr + i) (Char.code data.[i]) with
+      | Ok () -> go (i + 1)
+      | Error e -> Error (mem_errno e)
+  in
+  go 0
+
+(* An embryo is an alive child of [proc] that has no threads yet (made by
+   Pb_create, not yet started). Cross-process operations may only target
+   the caller's own embryos. *)
+let embryo_of t (proc : Proc.t) pid =
+  match find_proc t pid with
+  | None -> Error Errno.ESRCH
+  | Some child ->
+    if not (List.mem pid proc.Proc.children) then Error Errno.EPERM
+    else if not (Proc.is_alive child) then Error Errno.ESRCH
+    else if child.Proc.threads <> [] then Error Errno.EINVAL
+    else Ok child
+
+let attempt : type a. t -> Proc.t -> Proc.thread -> a Sysreq.t -> a action =
+ fun t proc th req ->
+  match req with
+  | Sysreq.Getpid -> Reply proc.Proc.pid
+  | Sysreq.Getppid -> Reply proc.Proc.parent
+  | Sysreq.Gettid -> Reply th.Proc.tid
+  | Sysreq.Fork body -> Reply (do_fork t proc ~eager:false body)
+  | Sysreq.Fork_eager body -> Reply (do_fork t proc ~eager:true body)
+  | Sysreq.Vfork body -> (
+    match do_vfork t proc body with
+    | Error e -> Reply (Error e)
+    | Ok child_pid ->
+      (* the parent thread blocks until the child execs or exits *)
+      Block
+        ( "vfork",
+          fun () ->
+            match find_proc t child_pid with
+            | None -> Some (Ok child_pid)
+            | Some child ->
+              if child.Proc.vfork_active && Proc.is_alive child then None
+              else Some (Ok child_pid) ))
+  | Sysreq.Spawn req -> Reply (do_spawn t proc req)
+  | Sysreq.Exec { path; argv } -> (
+    match do_exec t proc th path argv with
+    | Error e -> Reply (Error e)
+    | Ok body ->
+      (* restart this thread at the new image's entry point *)
+      th.Proc.entry <- Some (Proc.Start body);
+      th.Proc.tstate <- Proc.Ready;
+      enqueue t th;
+      Die)
+  | Sysreq.Exit code ->
+    kill_process t proc (Types.Exited code);
+    Die
+  | Sysreq.Waitpid target -> (
+    match try_wait t proc target with
+    | `No_children -> Reply (Error Errno.ECHILD)
+    | `Got r -> Reply (Ok r)
+    | `Wait ->
+      Block
+        ( "waitpid",
+          fun () ->
+            match try_wait t proc target with
+            | `Got r -> Some (Ok r)
+            | `No_children -> Some (Error Errno.ECHILD)
+            | `Wait -> None ))
+  | Sysreq.Kill (pid, sig_) -> (
+    match find_proc t pid with
+    | Some target when Proc.is_alive target ->
+      post_signal t target sig_;
+      Reply (Ok ())
+    | Some _ | None -> Reply (Error Errno.ESRCH))
+  | Sysreq.Sigaction (sig_, disp) ->
+    if not (Usignal.catchable sig_) then Reply (Error Errno.EINVAL)
+    else begin
+      let old = Proc.disposition proc sig_ in
+      Proc.set_disposition proc sig_ disp;
+      Reply (Ok old)
+    end
+  | Sysreq.Sigprocmask (op, set) ->
+    let old = proc.Proc.sigmask in
+    let set =
+      (* SIGKILL/SIGSTOP cannot be blocked *)
+      Usignal.Set.inter set Usignal.Set.full
+    in
+    let updated =
+      match op with
+      | Types.Block -> Usignal.Set.union old set
+      | Types.Unblock -> Usignal.Set.diff old set
+      | Types.Set_mask -> set
+    in
+    proc.Proc.sigmask <- updated;
+    (* deliver anything newly unblocked *)
+    let deliverable = Usignal.Set.diff proc.Proc.sigpending updated in
+    proc.Proc.sigpending <- Usignal.Set.inter proc.Proc.sigpending updated;
+    List.iter (deliver_signal t proc) (Usignal.Set.to_list deliverable);
+    Reply old
+  | Sysreq.Alarm ticks ->
+    let remaining =
+      match Hashtbl.find_opt t.alarms proc.Proc.pid with
+      | Some at -> max 0 (at - t.clock)
+      | None -> 0
+    in
+    if ticks = 0 then Hashtbl.remove t.alarms proc.Proc.pid
+    else Hashtbl.replace t.alarms proc.Proc.pid (t.clock + ticks);
+    Reply remaining
+  | Sysreq.Open (path, flags) -> (
+    match do_open t proc path flags with
+    | Error e -> Reply (Error e)
+    | Ok ofd -> (
+      match Fd_table.alloc proc.Proc.fdt ~cloexec:flags.Types.cloexec ofd with
+      | Ok fd -> Reply (Ok fd)
+      | Error e ->
+        Ofd.close ofd;
+        Reply (Error e)))
+  | Sysreq.Close fd -> Reply (Fd_table.close proc.Proc.fdt fd)
+  | Sysreq.Read (fd, n) -> (
+    match Fd_table.get proc.Proc.fdt fd with
+    | Error e -> Reply (Error e)
+    | Ok ofd -> (
+      let read_once () =
+        match Ofd.read ofd n with
+        | Ofd.Data s -> Some (Ok s)
+        | Ofd.End_of_file -> Some (Ok "")
+        | Ofd.Fail e -> Some (Error e)
+        | Ofd.Retry -> None
+      in
+      match read_once () with
+      | Some r -> Reply r
+      | None -> Block (Printf.sprintf "read(fd=%d)" fd, read_once)))
+  | Sysreq.Write (fd, data) -> (
+    match Fd_table.get proc.Proc.fdt fd with
+    | Error e -> Reply (Error e)
+    | Ok ofd -> (
+      let write_once () =
+        match Ofd.write ofd data with
+        | Ofd.Wrote n -> Some (Ok n)
+        | Ofd.Fail_write e -> Some (Error e)
+        | Ofd.Broken_pipe ->
+          post_signal t proc Usignal.SIGPIPE;
+          Some (Error Errno.EPIPE)
+        | Ofd.Retry_write -> None
+      in
+      match write_once () with
+      | Some r -> Reply r
+      | None -> Block (Printf.sprintf "write(fd=%d)" fd, write_once)))
+  | Sysreq.Dup fd -> Reply (Fd_table.dup proc.Proc.fdt fd)
+  | Sysreq.Dup2 { src; dst } -> Reply (Fd_table.dup2 proc.Proc.fdt ~src ~dst)
+  | Sysreq.Set_cloexec (fd, v) -> Reply (Fd_table.set_cloexec proc.Proc.fdt fd v)
+  | Sysreq.Pipe -> (
+    let pipe = Pipe.create ~capacity:t.config.pipe_capacity () in
+    let rofd = Ofd.make (Ofd.Pipe_read pipe) ~flags:Types.o_rdonly in
+    let wofd =
+      Ofd.make (Ofd.Pipe_write pipe)
+        ~flags:{ Types.o_wronly with Types.create = false; trunc = false }
+    in
+    match Fd_table.alloc proc.Proc.fdt ~cloexec:false rofd with
+    | Error e ->
+      Ofd.close rofd;
+      Ofd.close wofd;
+      Reply (Error e)
+    | Ok rfd -> (
+      match Fd_table.alloc proc.Proc.fdt ~cloexec:false wofd with
+      | Error e ->
+        ignore (Fd_table.close proc.Proc.fdt rfd);
+        Ofd.close wofd;
+        Reply (Error e)
+      | Ok wfd -> Reply (Ok (rfd, wfd))))
+  | Sysreq.Try_lock fd -> (
+    match regular_of_fd proc fd with
+    | Error e -> Reply (Error e)
+    | Ok r -> (
+      match r.Vfs.lock_owner with
+      | None ->
+        r.Vfs.lock_owner <- Some proc.Proc.pid;
+        proc.Proc.held_locks <- r :: proc.Proc.held_locks;
+        Reply (Ok ())
+      | Some owner when owner = proc.Proc.pid -> Reply (Ok ())
+      | Some _ -> Reply (Error Errno.EAGAIN)))
+  | Sysreq.Unlock fd -> (
+    match regular_of_fd proc fd with
+    | Error e -> Reply (Error e)
+    | Ok r -> (
+      match r.Vfs.lock_owner with
+      | Some owner when owner = proc.Proc.pid ->
+        r.Vfs.lock_owner <- None;
+        proc.Proc.held_locks <-
+          List.filter (fun held -> held != r) proc.Proc.held_locks;
+        Reply (Ok ())
+      | Some _ -> Reply (Error Errno.EPERM)
+      | None -> Reply (Error Errno.EINVAL)))
+  | Sysreq.Mmap { len; perm } -> (
+    match
+      Vmem.Addr_space.mmap ~len ~perm ~kind:Vmem.Vma.Anon proc.Proc.aspace
+    with
+    | Ok addr -> Reply (Ok addr)
+    | Error (`No_space | `Commit_limit) -> Reply (Error Errno.ENOMEM)
+    | Error (`Overlap | `Invalid) -> Reply (Error Errno.EINVAL))
+  | Sysreq.Munmap { addr; len } -> (
+    match Vmem.Addr_space.munmap proc.Proc.aspace ~addr ~len with
+    | Ok () -> Reply (Ok ())
+    | Error `Invalid -> Reply (Error Errno.EINVAL))
+  | Sysreq.Brk request -> (
+    match request with
+    | None -> Reply (Ok (Vmem.Addr_space.brk proc.Proc.aspace))
+    | Some addr -> (
+      match
+        Vmem.Addr_space.set_brk proc.Proc.aspace (Vmem.Addr.align_up addr)
+      with
+      | Ok () -> Reply (Ok (Vmem.Addr_space.brk proc.Proc.aspace))
+      | Error (`Commit_limit | `Overlap) -> Reply (Error Errno.ENOMEM)
+      | Error `Invalid -> Reply (Error Errno.EINVAL)))
+  | Sysreq.Mem_read { addr; len } ->
+    if len < 0 then Reply (Error Errno.EINVAL)
+    else begin
+      let buf = Bytes.create len in
+      let rec go i =
+        if i >= len then Reply (Ok (Bytes.to_string buf))
+        else
+          match Vmem.Addr_space.read_byte proc.Proc.aspace (addr + i) with
+          | Ok b ->
+            Bytes.set buf i (Char.chr b);
+            go (i + 1)
+          | Error e -> Reply (Error (mem_errno e))
+      in
+      go 0
+    end
+  | Sysreq.Mem_write { addr; data } ->
+    let len = String.length data in
+    let rec go i =
+      if i >= len then Reply (Ok ())
+      else
+        match
+          Vmem.Addr_space.write_byte proc.Proc.aspace (addr + i)
+            (Char.code data.[i])
+        with
+        | Ok () -> go (i + 1)
+        | Error e -> Reply (Error (mem_errno e))
+    in
+    go 0
+  | Sysreq.Touch { addr; len } -> (
+    match Vmem.Addr_space.touch_range proc.Proc.aspace ~addr ~len with
+    | Ok pages -> Reply (Ok pages)
+    | Error e -> Reply (Error (mem_errno e)))
+  | Sysreq.Thread_create body ->
+    let thread = new_thread t proc ~is_main:false body in
+    Reply (Ok thread.Proc.tid)
+  | Sysreq.Mutex_create -> Reply (Sync.create proc.Proc.mutexes).Sync.id
+  | Sysreq.Mutex_lock id -> (
+    match find_mutex proc id with
+    | None -> Reply (Error Errno.EINVAL)
+    | Some m -> (
+      let take () =
+        match m.Sync.state with
+        | Sync.Unlocked ->
+          m.Sync.state <- Sync.Locked_by th.Proc.tid;
+          Some (Ok ())
+        | Sync.Locked_by owner when owner = th.Proc.tid ->
+          Some (Error Errno.EDEADLK)
+        | Sync.Locked_by _ -> None
+      in
+      match take () with
+      | Some r -> Reply r
+      | None -> Block (Printf.sprintf "mutex_lock(%d)" id, take)))
+  | Sysreq.Mutex_unlock id -> (
+    match find_mutex proc id with
+    | None -> Reply (Error Errno.EINVAL)
+    | Some m -> (
+      match m.Sync.state with
+      | Sync.Locked_by owner when owner = th.Proc.tid ->
+        m.Sync.state <- Sync.Unlocked;
+        Reply (Ok ())
+      | Sync.Locked_by _ -> Reply (Error Errno.EPERM)
+      | Sync.Unlocked -> Reply (Error Errno.EINVAL)))
+  | Sysreq.Mutex_trylock id -> (
+    match find_mutex proc id with
+    | None -> Reply (Error Errno.EINVAL)
+    | Some m -> (
+      match m.Sync.state with
+      | Sync.Unlocked ->
+        m.Sync.state <- Sync.Locked_by th.Proc.tid;
+        Reply (Ok ())
+      | Sync.Locked_by owner when owner = th.Proc.tid -> Reply (Ok ())
+      | Sync.Locked_by _ -> Reply (Error Errno.EAGAIN)))
+  | Sysreq.Mutex_reinit id -> (
+    match find_mutex proc id with
+    | None -> Reply (Error Errno.EINVAL)
+    | Some m ->
+      m.Sync.state <- Sync.Unlocked;
+      Reply (Ok ()))
+  | Sysreq.Yield -> Reply ()
+  | Sysreq.Handled_signals name -> Reply (Proc.handler_runs proc name)
+  | Sysreq.Chdir path -> (
+    match Vfs.resolve t.vfs ~cwd:proc.Proc.cwd path with
+    | Ok (Vfs.Dir _) ->
+      proc.Proc.cwd <-
+        "/" ^ String.concat "/" (Vfs.normalize ~cwd:proc.Proc.cwd path);
+      Reply (Ok ())
+    | Ok (Vfs.Reg _ | Vfs.Console _) -> Reply (Error Errno.ENOTDIR)
+    | Error e -> Reply (Error e))
+  | Sysreq.Getcwd -> Reply proc.Proc.cwd
+  | Sysreq.Atfork_register handlers ->
+    proc.Proc.atfork <- proc.Proc.atfork @ [ handlers ];
+    Reply ()
+  | Sysreq.Atfork_list -> Reply proc.Proc.atfork
+  | Sysreq.Pb_create ->
+    Vmem.Cost.charge t.cost "proc:create" (params t).Vmem.Cost.proc_create;
+    let mmap_base = mmap_base_floor + aslr_offset t in
+    let aspace =
+      Vmem.Addr_space.create ~mmap_base ~frames:t.frames ~cost:t.cost
+        ~tlb:t.tlb ()
+    in
+    let child =
+      Proc.make ~pid:(fresh_pid t) ~parent:proc.Proc.pid ~aspace
+        ~fdt:(Fd_table.create ~max_fds:t.config.max_fds ())
+        ~cwd:proc.Proc.cwd ~program:"<embryo>"
+    in
+    Hashtbl.replace t.procs child.Proc.pid child;
+    proc.Proc.children <- child.Proc.pid :: proc.Proc.children;
+    Reply (Ok child.Proc.pid)
+  | Sysreq.Pb_map { pid; len; perm } -> (
+    match embryo_of t proc pid with
+    | Error e -> Reply (Error e)
+    | Ok child -> (
+      match
+        Vmem.Addr_space.mmap ~len ~perm ~kind:Vmem.Vma.Anon child.Proc.aspace
+      with
+      | Ok addr -> Reply (Ok addr)
+      | Error (`No_space | `Commit_limit) -> Reply (Error Errno.ENOMEM)
+      | Error (`Overlap | `Invalid) -> Reply (Error Errno.EINVAL)))
+  | Sysreq.Pb_write { pid; addr; data } -> (
+    match embryo_of t proc pid with
+    | Error e -> Reply (Error e)
+    | Ok child -> Reply (write_into child.Proc.aspace addr data))
+  | Sysreq.Pb_copy_fd { pid; src; dst } -> (
+    match embryo_of t proc pid with
+    | Error e -> Reply (Error e)
+    | Ok child -> (
+      match Fd_table.get proc.Proc.fdt src with
+      | Error e -> Reply (Error e)
+      | Ok ofd -> (
+        Vmem.Cost.charge t.cost "fd:inherit" (params t).Vmem.Cost.fd_clone;
+        Ofd.incref ofd;
+        match Fd_table.alloc child.Proc.fdt ~at_least:dst ~cloexec:false ofd with
+        | Ok got when got = dst -> Reply (Ok ())
+        | Ok got ->
+          ignore (Fd_table.close child.Proc.fdt got);
+          Reply (Error Errno.EINVAL)
+        | Error e ->
+          Ofd.close ofd;
+          Reply (Error e))))
+  | Sysreq.Pb_start { pid; path; argv } -> (
+    match embryo_of t proc pid with
+    | Error e -> Reply (Error e)
+    | Ok child -> (
+      match find_program t path with
+      | None -> Reply (Error Errno.ENOENT)
+      | Some prog -> (
+        match load_image t prog child.Proc.aspace with
+        | Error e -> Reply (Error e)
+        | Ok () ->
+          child.Proc.program <- prog.Program.name;
+          ignore
+            (new_thread t child ~is_main:true (prog.Program.main ~argv));
+          Reply (Ok ()))))
+
+let is_memory_op : type a. a Sysreq.t -> bool = function
+  | Sysreq.Mem_read _ | Sysreq.Mem_write _ | Sysreq.Touch _ -> true
+  | _ -> false
+
+let charge_syscall t req =
+  if not (is_memory_op req) then
+    Vmem.Cost.charge t.cost "syscall" (params t).Vmem.Cost.syscall_base
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler *)
+
+let handler t (th : Proc.thread) : (unit, unit) Effect.Deep.handler =
+  ignore t;
+  {
+    Effect.Deep.retc = (fun () -> ());
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Sysreq.Sys req ->
+          Some
+            (fun (k : (a, _) Effect.Deep.continuation) ->
+              th.Proc.pending <- Some (Proc.Pending (req, k)))
+        | _ -> None);
+  }
+
+let park t th why check k =
+  th.Proc.tstate <- Proc.Blocked why;
+  t.parked <- t.parked @ [ Parked { th; why; check; k } ]
+
+let record_trace t proc (th : Proc.thread) req =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Trace.record tr ~tick:t.clock ~pid:proc.Proc.pid ~tid:th.Proc.tid
+      (Sysreq.name req)
+
+let dispatch t (th : Proc.thread) (Proc.Pending (req, k)) =
+  let proc = proc_of t th in
+  record_trace t proc th req;
+  charge_syscall t req;
+  match attempt t proc th req with
+  | Reply v ->
+    if th.Proc.tstate = Proc.Exited then ()
+    else ready_thread t th (fun () -> Effect.Deep.continue k v)
+  | Block (why, check) -> park t th why check k
+  | Die -> ()
+
+let thread_returned t (th : Proc.thread) =
+  let proc = proc_of t th in
+  th.Proc.tstate <- Proc.Exited;
+  th.Proc.entry <- None;
+  if not (Proc.is_alive proc) then ()
+  else if th.Proc.is_main || Proc.live_threads proc = [] then
+    (* main returning, or the last thread gone, ends the process *)
+    kill_process t proc (Types.Exited 0)
+
+let step t (th : Proc.thread) =
+  th.Proc.tstate <- Proc.Running;
+  (match th.Proc.entry with
+  | Some (Proc.Start f) ->
+    th.Proc.entry <- None;
+    Effect.Deep.match_with f () (handler t th)
+  | Some (Proc.Resume r) ->
+    th.Proc.entry <- None;
+    r ()
+  | None -> invalid_arg "Kernel.step: thread with nothing to run");
+  match th.Proc.pending with
+  | Some p ->
+    th.Proc.pending <- None;
+    dispatch t th p
+  | None -> if th.Proc.tstate = Proc.Running then thread_returned t th
+
+let retry_parked t =
+  let entries = t.parked in
+  t.parked <- [];
+  let kept =
+    List.filter
+      (fun (Parked { th; check; k; _ }) ->
+        if th.Proc.tstate = Proc.Exited then false
+        else
+          match check () with
+          | Some v ->
+            if th.Proc.tstate <> Proc.Exited then
+              ready_thread t th (fun () -> Effect.Deep.continue k v);
+            false
+          | None -> true)
+      entries
+  in
+  t.parked <- t.parked @ kept
+
+let next_ready t =
+  (match t.config.sched with
+  | `Fifo -> ()
+  | `Random ->
+    (* rotate a random prefix so the pop is uniform-ish but deterministic *)
+    let n = Queue.length t.ready in
+    if n > 1 then
+      for _ = 1 to Prng.Splitmix.int t.rng ~bound:n do
+        Queue.add (Queue.pop t.ready) t.ready
+      done);
+  let rec pop () =
+    match Queue.take_opt t.ready with
+    | None -> None
+    | Some th when th.Proc.tstate = Proc.Exited -> pop ()
+    | Some th -> Some th
+  in
+  pop ()
+
+let check_alarms t =
+  let due =
+    Hashtbl.fold
+      (fun pid at acc -> if at <= t.clock then pid :: acc else acc)
+      t.alarms []
+  in
+  List.iter
+    (fun pid ->
+      Hashtbl.remove t.alarms pid;
+      match find_proc t pid with
+      | Some proc when Proc.is_alive proc -> post_signal t proc Usignal.SIGALRM
+      | Some _ | None -> ())
+    due
+
+let next_alarm_tick t =
+  Hashtbl.fold
+    (fun _ at acc ->
+      match acc with None -> Some at | Some best -> Some (min best at))
+    t.alarms None
+
+let describe_stalls t =
+  List.map
+    (fun (Parked { th; why; _ }) ->
+      { pid = th.Proc.owner; tid = th.Proc.tid; why })
+    t.parked
+
+let run ?(max_ticks = 10_000_000) t =
+  let deadline = t.clock + max_ticks in
+  let rec loop () =
+    if t.clock >= deadline then Tick_limit
+    else begin
+      check_alarms t;
+      match next_ready t with
+      | Some th ->
+        t.clock <- t.clock + 1;
+        step t th;
+        retry_parked t;
+        loop ()
+      | None -> (
+        retry_parked t;
+        if not (Queue.is_empty t.ready) then loop ()
+        else if t.parked = [] then All_exited
+        else
+          (* blocked threads and an armed alarm: jump time forward *)
+          match next_alarm_tick t with
+          | Some at when at > t.clock ->
+            t.clock <- at;
+            check_alarms t;
+            retry_parked t;
+            if Queue.is_empty t.ready && t.parked <> [] then
+              Stalled (describe_stalls t)
+            else loop ()
+          | Some _ | None -> Stalled (describe_stalls t))
+    end
+  in
+  loop ()
+
+let spawn_init t ?(argv = []) path =
+  match find_program t path with
+  | None -> Error Errno.ENOENT
+  | Some prog -> (
+    Vmem.Cost.charge t.cost "proc:create" (params t).Vmem.Cost.proc_create;
+    match build_image t prog with
+    | Error e -> Error e
+    | Ok aspace ->
+      let fdt = Fd_table.create ~max_fds:t.config.max_fds () in
+      List.iter
+        (fun fd ->
+          match Fd_table.alloc fdt ~at_least:fd ~cloexec:false (make_console_ofd t) with
+          | Ok got -> assert (got = fd)
+          | Error _ -> assert false)
+        [ 0; 1; 2 ];
+      let proc =
+        Proc.make ~pid:(fresh_pid t) ~parent:0 ~aspace ~fdt ~cwd:"/"
+          ~program:prog.Program.name
+      in
+      Hashtbl.replace t.procs proc.Proc.pid proc;
+      ignore (new_thread t proc ~is_main:true (prog.Program.main ~argv));
+      Ok proc.Proc.pid)
+
+let boot ?config ~programs ?argv path =
+  let t = create ?config () in
+  register_all t programs;
+  match spawn_init t ?argv path with
+  | Error e -> Error e
+  | Ok _pid -> Ok (t, run t)

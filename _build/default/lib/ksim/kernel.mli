@@ -1,0 +1,96 @@
+(** The simulated kernel: machine state, scheduler and syscall engine.
+
+    One {!t} is a machine. Simulated programs are OCaml closures that
+    perform {!Sysreq.Sys} effects; the kernel runs them under a
+    deterministic cooperative scheduler (threads yield at syscalls).
+    Determinism: given the same config (including [seed]) and programs,
+    a run is bit-for-bit reproducible.
+
+    Process-creation semantics implemented here (the paper's subject):
+    - [Fork]: COW address-space clone, fd table shared-description clone,
+      dispositions copied, pending signals cleared, {e only the calling
+      thread} replicated, mutex memory copied verbatim (orphaned locks!),
+      alarms not inherited, file locks not inherited.
+    - [Vfork]: child borrows the parent's address space; parent blocks
+      until the child execs or exits; child stores are visible to the
+      parent.
+    - [Exec]: fresh image (ASLR-randomised when enabled), caught signals
+      reset, close-on-exec fds closed, other threads destroyed, alarms
+      and file locks preserved.
+    - [Spawn] (posix_spawn): fresh process with no address-space copy;
+      fd inheritance + file actions + attributes; errors (e.g. ENOENT)
+      are reported synchronously to the caller — the error-reporting
+      advantage the paper credits spawn with. *)
+
+type config = {
+  phys_pages : int;  (** physical memory size, in 4 KiB frames *)
+  cost_params : Vmem.Cost.params option;
+      (** override the cycle-cost constants (None = {!Vmem.Cost.default});
+          used by cost-model ablations such as the THP experiment *)
+  cpus : int;  (** parallelism assumed by the TLB shootdown model *)
+  commit_policy : Vmem.Frame.policy;
+  aslr : bool;  (** randomise image/stack/mmap placement at exec *)
+  seed : int;
+  sched : [ `Fifo | `Random ];  (** ready-queue discipline *)
+  trace_capacity : int option;  (** [Some n] enables syscall tracing *)
+  pipe_capacity : int;
+  max_fds : int;
+}
+
+val default_config : config
+(** 1 GiB memory, 4 cpus, [Strict] commit, ASLR on, seed 42, FIFO
+    scheduling, no tracing, 64 KiB pipes, 256 fds. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+val config : t -> config
+val register : t -> Program.t -> unit
+(** Make a program exec-able under its name. Re-registering replaces. *)
+
+val register_all : t -> Program.t list -> unit
+val find_program : t -> string -> Program.t option
+val cost : t -> Vmem.Cost.t
+val frames : t -> Vmem.Frame.t
+val vfs : t -> Vfs.t
+val tlb : t -> Vmem.Tlb.t
+val console : t -> string
+(** Everything written to /dev/console so far. *)
+
+val trace : t -> Trace.t option
+val clock : t -> int
+
+val spawn_init : t -> ?argv:string list -> string -> (Types.pid, Errno.t) result
+(** Create the initial process from a registered program, fds 0/1/2 on
+    the console. Usually pid 1. Does not run it — call {!run}. *)
+
+type stall = { pid : Types.pid; tid : Types.tid; why : string }
+
+type outcome =
+  | All_exited
+  | Stalled of stall list
+      (** threads remain but none can ever run — e.g. the post-fork
+          mutex deadlock of experiment E3 *)
+  | Tick_limit
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val run : ?max_ticks:int -> t -> outcome
+(** Schedule until every thread exits, no progress is possible, or
+    [max_ticks] (default 10_000_000) slices elapse. Re-entrant: new
+    processes may be spawned between runs. *)
+
+val status_of : t -> Types.pid -> Types.status option
+(** Exit status of a terminated process (recorded even after reaping). *)
+
+val find_proc : t -> Types.pid -> Proc.t option
+val procs : t -> Proc.t list
+
+val boot :
+  ?config:config ->
+  programs:Program.t list ->
+  ?argv:string list ->
+  string ->
+  (t * outcome, Errno.t) result
+(** Convenience: create, register, spawn init from the named program,
+    run to completion. *)

@@ -1,0 +1,49 @@
+type t = {
+  capacity : int;
+  queue : Buffer.t;
+  mutable read_pos : int;  (** consumed prefix of [queue] *)
+  mutable readers : int;
+  mutable writers : int;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Pipe.create: capacity <= 0";
+  { capacity; queue = Buffer.create 256; read_pos = 0; readers = 0; writers = 0 }
+
+let capacity t = t.capacity
+let available t = Buffer.length t.queue - t.read_pos
+let space t = t.capacity - available t
+let readers t = t.readers
+let writers t = t.writers
+let add_reader t = t.readers <- t.readers + 1
+let add_writer t = t.writers <- t.writers + 1
+let drop_reader t = t.readers <- max 0 (t.readers - 1)
+let drop_writer t = t.writers <- max 0 (t.writers - 1)
+
+(* Compact the buffer once the consumed prefix dominates, so long-lived
+   pipes don't grow without bound. *)
+let compact t =
+  if t.read_pos > 4096 && t.read_pos * 2 > Buffer.length t.queue then begin
+    let rest = Buffer.sub t.queue t.read_pos (available t) in
+    Buffer.clear t.queue;
+    Buffer.add_string t.queue rest;
+    t.read_pos <- 0
+  end
+
+let write t s =
+  let n = min (String.length s) (space t) in
+  Buffer.add_substring t.queue s 0 n;
+  n
+
+let read t n =
+  let n = min n (available t) in
+  if n <= 0 then ""
+  else begin
+    let s = Buffer.sub t.queue t.read_pos n in
+    t.read_pos <- t.read_pos + n;
+    compact t;
+    s
+  end
+
+let eof t = available t = 0 && t.writers = 0
+let broken t = t.readers = 0

@@ -1,0 +1,35 @@
+(** Anonymous pipe state (the byte channel only; blocking policy lives in
+    the kernel, which inspects this state to decide when a thread may
+    proceed). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 65536 bytes. @raise Invalid_argument if
+    [capacity <= 0]. *)
+
+val capacity : t -> int
+val available : t -> int
+(** Bytes buffered and ready to read. *)
+
+val space : t -> int
+(** Bytes that can be written without exceeding capacity. *)
+
+val readers : t -> int
+val writers : t -> int
+val add_reader : t -> unit
+val add_writer : t -> unit
+val drop_reader : t -> unit
+val drop_writer : t -> unit
+
+val write : t -> string -> int
+(** Append at most [space t] bytes; returns how many were taken. *)
+
+val read : t -> int -> string
+(** Take up to [n] buffered bytes (possibly [""]). *)
+
+val eof : t -> bool
+(** No data buffered and no writer remains. *)
+
+val broken : t -> bool
+(** No reader remains (writes must fail with EPIPE/SIGPIPE). *)

@@ -1,0 +1,93 @@
+type pending =
+  | Pending :
+      'a Sysreq.t * ('a, unit) Effect.Deep.continuation
+      -> pending
+
+type thread_state = Ready | Running | Blocked of string | Exited
+type entry = Start of (unit -> unit) | Resume of (unit -> unit)
+
+type thread = {
+  tid : Types.tid;
+  owner : Types.pid;
+  is_main : bool;
+  mutable tstate : thread_state;
+  mutable entry : entry option;
+  mutable pending : pending option;
+}
+
+type state = Alive | Zombie of Types.status | Reaped of Types.status
+
+type t = {
+  pid : Types.pid;
+  mutable parent : Types.pid;
+  mutable pstate : state;
+  mutable aspace : Vmem.Addr_space.t;
+  mutable vfork_active : bool;
+  mutable fdt : Fd_table.t;
+  sigdisp : Usignal.disposition array;
+  mutable sigmask : Usignal.Set.t;
+  mutable sigpending : Usignal.Set.t;
+  handler_runs : (string, int) Hashtbl.t;
+  mutable cwd : string;
+  mutable mutexes : Sync.table;
+  mutable threads : thread list;
+  mutable children : Types.pid list;
+  mutable program : string;
+  mutable held_locks : Vfs.regular list;
+  mutable atfork : Types.atfork list;
+}
+
+let make_thread ~tid ~owner ~is_main body =
+  {
+    tid;
+    owner;
+    is_main;
+    tstate = Ready;
+    entry = Some (Start body);
+    pending = None;
+  }
+
+let max_signal_number =
+  List.fold_left (fun acc s -> max acc (Usignal.number s)) 0 Usignal.all
+
+let make ~pid ~parent ~aspace ~fdt ~cwd ~program =
+  {
+    pid;
+    parent;
+    pstate = Alive;
+    aspace;
+    vfork_active = false;
+    fdt;
+    sigdisp = Array.make (max_signal_number + 1) Usignal.Default;
+    sigmask = Usignal.Set.empty;
+    sigpending = Usignal.Set.empty;
+    handler_runs = Hashtbl.create 4;
+    cwd;
+    mutexes = Sync.create_table ();
+    threads = [];
+    children = [];
+    program;
+    held_locks = [];
+    atfork = [];
+  }
+
+let disposition t s = t.sigdisp.(Usignal.number s)
+let set_disposition t s d = t.sigdisp.(Usignal.number s) <- d
+
+let live_threads t =
+  List.filter (fun th -> th.tstate <> Exited) t.threads
+
+let find_thread t tid = List.find_opt (fun th -> th.tid = tid) t.threads
+let is_alive t = t.pstate = Alive
+
+let count_handler_run t name =
+  let cur = Option.value ~default:0 (Hashtbl.find_opt t.handler_runs name) in
+  Hashtbl.replace t.handler_runs name (cur + 1)
+
+let handler_runs t name =
+  Option.value ~default:0 (Hashtbl.find_opt t.handler_runs name)
+
+let pp_state ppf = function
+  | Alive -> Format.pp_print_string ppf "alive"
+  | Zombie st -> Format.fprintf ppf "zombie(%a)" Types.pp_status st
+  | Reaped st -> Format.fprintf ppf "reaped(%a)" Types.pp_status st

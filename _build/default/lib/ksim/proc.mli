@@ -1,0 +1,71 @@
+(** Process control blocks and threads.
+
+    The PCB enumerates exactly the state fork must reason about — address
+    space, fd table, signal state, mutex memory, alarms, file locks —
+    which is the paper's "fork infects every subsystem" point made
+    concrete: every field below carries a fork-specific rule (copied,
+    shared, cleared or dropped), implemented in {!Kernel}. *)
+
+type pending =
+  | Pending :
+      'a Sysreq.t * ('a, unit) Effect.Deep.continuation
+      -> pending
+
+type thread_state = Ready | Running | Blocked of string | Exited
+
+type entry = Start of (unit -> unit) | Resume of (unit -> unit)
+
+type thread = {
+  tid : Types.tid;
+  owner : Types.pid;
+  is_main : bool;  (** its return terminates the whole process *)
+  mutable tstate : thread_state;
+  mutable entry : entry option;  (** what to run when next scheduled *)
+  mutable pending : pending option;  (** set while suspended in a syscall *)
+}
+
+type state = Alive | Zombie of Types.status | Reaped of Types.status
+
+type t = {
+  pid : Types.pid;
+  mutable parent : Types.pid;
+  mutable pstate : state;
+  mutable aspace : Vmem.Addr_space.t;
+  mutable vfork_active : bool;
+      (** true while this process borrows its parent's address space *)
+  mutable fdt : Fd_table.t;
+  sigdisp : Usignal.disposition array;  (** indexed by signal number *)
+  mutable sigmask : Usignal.Set.t;
+  mutable sigpending : Usignal.Set.t;
+  handler_runs : (string, int) Hashtbl.t;
+  mutable cwd : string;
+  mutable mutexes : Sync.table;
+  mutable threads : thread list;
+  mutable children : Types.pid list;
+  mutable program : string;
+  mutable held_locks : Vfs.regular list;
+  mutable atfork : Types.atfork list;  (** registration order *)
+}
+
+val make_thread :
+  tid:Types.tid -> owner:Types.pid -> is_main:bool -> (unit -> unit) -> thread
+
+val make :
+  pid:Types.pid ->
+  parent:Types.pid ->
+  aspace:Vmem.Addr_space.t ->
+  fdt:Fd_table.t ->
+  cwd:string ->
+  program:string ->
+  t
+(** Fresh PCB: default dispositions, empty mask/pending, fresh mutex
+    table, no threads. *)
+
+val disposition : t -> Usignal.t -> Usignal.disposition
+val set_disposition : t -> Usignal.t -> Usignal.disposition -> unit
+val live_threads : t -> thread list
+val find_thread : t -> Types.tid -> thread option
+val is_alive : t -> bool
+val count_handler_run : t -> string -> unit
+val handler_runs : t -> string -> int
+val pp_state : Format.formatter -> state -> unit

@@ -1,0 +1,67 @@
+(* Layout: an 8-byte little-endian length word at [base], then [bufsize]
+   data bytes at [base + 8]. State lives entirely in simulated memory so
+   fork clones it. *)
+
+type t = { fd : Types.fd; base : int; bufsize : int }
+
+let word_len = 8
+
+let encode_len n =
+  String.init word_len (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
+
+let decode_len s =
+  let rec go i acc =
+    if i < 0 then acc else go (i - 1) ((acc lsl 8) lor Char.code s.[i])
+  in
+  go (word_len - 1) 0
+
+let fopen ?(bufsize = 4096) fd =
+  if bufsize <= 0 then Error Errno.EINVAL
+  else
+    match Api.mmap ~len:(word_len + bufsize) ~perm:Vmem.Perm.rw with
+    | Error e -> Error e
+    | Ok base -> (
+      match Api.mem_write ~addr:base (encode_len 0) with
+      | Error e -> Error e
+      | Ok () -> Ok { fd; base; bufsize })
+
+let fd t = t.fd
+let bufsize t = t.bufsize
+
+let buffered t =
+  Result.map decode_len (Api.mem_read ~addr:t.base ~len:word_len)
+
+let set_buffered t n = Api.mem_write ~addr:t.base (encode_len n)
+
+let flush t =
+  match buffered t with
+  | Error e -> Error e
+  | Ok 0 -> Ok ()
+  | Ok n -> (
+    match Api.mem_read ~addr:(t.base + word_len) ~len:n with
+    | Error e -> Error e
+    | Ok data -> (
+      match Api.write_all t.fd data with
+      | Error _ as e -> e
+      | Ok () -> set_buffered t 0))
+
+let rec puts t s =
+  if s = "" then Ok ()
+  else
+    match buffered t with
+    | Error e -> Error e
+    | Ok used ->
+      let space = t.bufsize - used in
+      let n = min space (String.length s) in
+      if n = 0 then
+        match flush t with Error e -> Error e | Ok () -> puts t s
+      else begin
+        match Api.mem_write ~addr:(t.base + word_len + used) (String.sub s 0 n) with
+        | Error e -> Error e
+        | Ok () -> (
+          match set_buffered t (used + n) with
+          | Error e -> Error e
+          | Ok () ->
+            let rest = String.sub s n (String.length s - n) in
+            if rest = "" then Ok () else puts t rest)
+      end

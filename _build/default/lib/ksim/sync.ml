@@ -1,0 +1,30 @@
+type state = Unlocked | Locked_by of Types.tid
+type t = { id : int; mutable state : state }
+type table = { mutable next_id : int; mutexes : (int, t) Hashtbl.t }
+
+let create_table () = { next_id = 0; mutexes = Hashtbl.create 8 }
+
+let create table =
+  let m = { id = table.next_id; state = Unlocked } in
+  table.next_id <- table.next_id + 1;
+  Hashtbl.add table.mutexes m.id m;
+  m
+
+let find table id = Hashtbl.find_opt table.mutexes id
+
+let clone_table table =
+  let fresh = { next_id = table.next_id; mutexes = Hashtbl.create 8 } in
+  Hashtbl.iter
+    (fun id m -> Hashtbl.add fresh.mutexes id { id; state = m.state })
+    table.mutexes;
+  fresh
+
+let fresh_table_ids table = table.next_id
+
+let held_by_missing_thread table ~live_tids =
+  Hashtbl.fold
+    (fun _ m acc ->
+      match m.state with
+      | Locked_by tid when not (List.mem tid live_tids) -> m :: acc
+      | Locked_by _ | Unlocked -> acc)
+    table.mutexes []

@@ -1,0 +1,34 @@
+(** Process-local mutexes whose state lives, conceptually, in process
+    memory.
+
+    This is the heart of the paper's thread-safety argument: a mutex is
+    just a word in the address space, so fork copies it {e as data}. If a
+    thread other than the forker holds a lock at fork time, the child's
+    copy is "held" by a thread that does not exist in the child — and the
+    first lock attempt there blocks forever. {!clone_table} implements
+    exactly that memcpy semantics. Blocking itself is the kernel's job;
+    this module only stores the state. *)
+
+type state = Unlocked | Locked_by of Types.tid
+
+type t = { id : int; mutable state : state }
+
+type table
+
+val create_table : unit -> table
+
+val create : table -> t
+(** Allocate a fresh unlocked mutex with a table-unique id. *)
+
+val find : table -> int -> t option
+
+val clone_table : table -> table
+(** fork: duplicate every mutex record {e including its owner field} —
+    the child inherits locks held by threads it doesn't have. *)
+
+val fresh_table_ids : table -> int
+(** Next id to be allocated (for tests). *)
+
+val held_by_missing_thread : table -> live_tids:Types.tid list -> t list
+(** Mutexes whose owner is not among [live_tids] — the orphaned locks
+    that make a post-fork child deadlock-prone. *)

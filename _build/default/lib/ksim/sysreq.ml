@@ -1,0 +1,109 @@
+type 'a t =
+  | Getpid : Types.pid t
+  | Getppid : Types.pid t
+  | Gettid : Types.tid t
+  | Fork : (unit -> unit) -> (Types.pid, Errno.t) result t
+  | Fork_eager : (unit -> unit) -> (Types.pid, Errno.t) result t
+  | Vfork : (unit -> unit) -> (Types.pid, Errno.t) result t
+  | Spawn : Types.spawn_req -> (Types.pid, Errno.t) result t
+  | Exec : { path : string; argv : string list } -> (unit, Errno.t) result t
+  | Exit : int -> unit t
+  | Waitpid : Types.wait_target -> (Types.pid * Types.status, Errno.t) result t
+  | Kill : Types.pid * Usignal.t -> (unit, Errno.t) result t
+  | Sigaction :
+      Usignal.t * Usignal.disposition
+      -> (Usignal.disposition, Errno.t) result t
+  | Sigprocmask : Types.mask_op * Usignal.Set.t -> Usignal.Set.t t
+  | Alarm : int -> int t
+  | Open : string * Types.open_flags -> (Types.fd, Errno.t) result t
+  | Close : Types.fd -> (unit, Errno.t) result t
+  | Read : Types.fd * int -> (string, Errno.t) result t
+  | Write : Types.fd * string -> (int, Errno.t) result t
+  | Dup : Types.fd -> (Types.fd, Errno.t) result t
+  | Dup2 : { src : Types.fd; dst : Types.fd } -> (Types.fd, Errno.t) result t
+  | Set_cloexec : Types.fd * bool -> (unit, Errno.t) result t
+  | Pipe : (Types.fd * Types.fd, Errno.t) result t
+  | Try_lock : Types.fd -> (unit, Errno.t) result t
+  | Unlock : Types.fd -> (unit, Errno.t) result t
+  | Mmap : { len : int; perm : Vmem.Perm.t } -> (int, Errno.t) result t
+  | Munmap : { addr : int; len : int } -> (unit, Errno.t) result t
+  | Brk : int option -> (int, Errno.t) result t
+  | Mem_read : { addr : int; len : int } -> (string, Errno.t) result t
+  | Mem_write : { addr : int; data : string } -> (unit, Errno.t) result t
+  | Touch : { addr : int; len : int } -> (int, Errno.t) result t
+  | Thread_create : (unit -> unit) -> (Types.tid, Errno.t) result t
+  | Mutex_create : int t
+  | Mutex_lock : int -> (unit, Errno.t) result t
+  | Mutex_unlock : int -> (unit, Errno.t) result t
+  | Mutex_trylock : int -> (unit, Errno.t) result t
+  | Mutex_reinit : int -> (unit, Errno.t) result t
+  | Yield : unit t
+  | Handled_signals : string -> int t
+  | Chdir : string -> (unit, Errno.t) result t
+  | Getcwd : string t
+  | Atfork_register : Types.atfork -> unit t
+  | Atfork_list : Types.atfork list t
+  | Pb_create : (Types.pid, Errno.t) result t
+  | Pb_map :
+      { pid : Types.pid; len : int; perm : Vmem.Perm.t }
+      -> (int, Errno.t) result t
+  | Pb_write :
+      { pid : Types.pid; addr : int; data : string }
+      -> (unit, Errno.t) result t
+  | Pb_copy_fd :
+      { pid : Types.pid; src : Types.fd; dst : Types.fd }
+      -> (unit, Errno.t) result t
+  | Pb_start :
+      { pid : Types.pid; path : string; argv : string list }
+      -> (unit, Errno.t) result t
+
+type _ Effect.t += Sys : 'a t -> 'a Effect.t
+
+let name : type a. a t -> string = function
+  | Getpid -> "getpid"
+  | Getppid -> "getppid"
+  | Gettid -> "gettid"
+  | Fork _ -> "fork"
+  | Fork_eager _ -> "fork_eager"
+  | Vfork _ -> "vfork"
+  | Spawn _ -> "posix_spawn"
+  | Exec _ -> "execve"
+  | Exit _ -> "exit"
+  | Waitpid _ -> "waitpid"
+  | Kill _ -> "kill"
+  | Sigaction _ -> "sigaction"
+  | Sigprocmask _ -> "sigprocmask"
+  | Alarm _ -> "alarm"
+  | Open _ -> "open"
+  | Close _ -> "close"
+  | Read _ -> "read"
+  | Write _ -> "write"
+  | Dup _ -> "dup"
+  | Dup2 _ -> "dup2"
+  | Set_cloexec _ -> "set_cloexec"
+  | Pipe -> "pipe"
+  | Try_lock _ -> "try_lock"
+  | Unlock _ -> "unlock"
+  | Mmap _ -> "mmap"
+  | Munmap _ -> "munmap"
+  | Brk _ -> "brk"
+  | Mem_read _ -> "mem_read"
+  | Mem_write _ -> "mem_write"
+  | Touch _ -> "touch"
+  | Thread_create _ -> "thread_create"
+  | Mutex_create -> "mutex_create"
+  | Mutex_lock _ -> "mutex_lock"
+  | Mutex_unlock _ -> "mutex_unlock"
+  | Mutex_trylock _ -> "mutex_trylock"
+  | Mutex_reinit _ -> "mutex_reinit"
+  | Yield -> "yield"
+  | Handled_signals _ -> "handled_signals"
+  | Chdir _ -> "chdir"
+  | Getcwd -> "getcwd"
+  | Atfork_register _ -> "atfork_register"
+  | Atfork_list -> "atfork_list"
+  | Pb_create -> "pb_create"
+  | Pb_map _ -> "pb_map"
+  | Pb_write _ -> "pb_write"
+  | Pb_copy_fd _ -> "pb_copy_fd"
+  | Pb_start _ -> "pb_start"

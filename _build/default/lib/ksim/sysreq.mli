@@ -1,0 +1,116 @@
+(** The simulated syscall interface.
+
+    ['a t] is a request whose reply has type ['a]; simulated programs
+    perform the {!Sys} effect and the kernel's scheduler handles it.
+
+    {b Fork and closures.} Real fork "returns twice"; an in-process
+    simulator cannot duplicate an OCaml continuation (they are one-shot),
+    so [Fork]/[Vfork] take the child's continuation as an explicit
+    closure and return the child pid to the parent. Everything the
+    {e kernel} duplicates on fork — address space (COW), fd table,
+    signal state, mutex memory — is modelled faithfully; only the
+    user-level program counter is passed explicitly. DESIGN.md records
+    this substitution. *)
+
+type 'a t =
+  | Getpid : Types.pid t
+  | Getppid : Types.pid t
+  | Gettid : Types.tid t
+  | Fork : (unit -> unit) -> (Types.pid, Errno.t) result t
+      (** COW fork; the closure is the child's sole thread. *)
+  | Fork_eager : (unit -> unit) -> (Types.pid, Errno.t) result t
+      (** Ablation: eager-copy fork (no COW). *)
+  | Vfork : (unit -> unit) -> (Types.pid, Errno.t) result t
+      (** Child borrows the parent's address space; the parent blocks
+          until the child execs or exits. *)
+  | Spawn : Types.spawn_req -> (Types.pid, Errno.t) result t
+      (** posix_spawn: fresh process, no address-space copy. *)
+  | Exec : { path : string; argv : string list } -> (unit, Errno.t) result t
+      (** Replaces the calling process image; returns only on error. *)
+  | Exit : int -> unit t  (** Never returns. *)
+  | Waitpid : Types.wait_target -> (Types.pid * Types.status, Errno.t) result t
+  | Kill : Types.pid * Usignal.t -> (unit, Errno.t) result t
+  | Sigaction :
+      Usignal.t * Usignal.disposition
+      -> (Usignal.disposition, Errno.t) result t
+      (** Returns the previous disposition. *)
+  | Sigprocmask : Types.mask_op * Usignal.Set.t -> Usignal.Set.t t
+      (** Returns the previous mask. *)
+  | Alarm : int -> int t
+      (** Schedule SIGALRM after n clock ticks (0 cancels); returns
+          ticks remaining on the previous alarm. *)
+  | Open : string * Types.open_flags -> (Types.fd, Errno.t) result t
+  | Close : Types.fd -> (unit, Errno.t) result t
+  | Read : Types.fd * int -> (string, Errno.t) result t
+      (** [""] is end-of-file. Blocks on an empty pipe with writers. *)
+  | Write : Types.fd * string -> (int, Errno.t) result t
+      (** Blocks on a full pipe; EPIPE (+SIGPIPE) on a broken one. *)
+  | Dup : Types.fd -> (Types.fd, Errno.t) result t
+  | Dup2 : { src : Types.fd; dst : Types.fd } -> (Types.fd, Errno.t) result t
+  | Set_cloexec : Types.fd * bool -> (unit, Errno.t) result t
+  | Pipe : (Types.fd * Types.fd, Errno.t) result t
+  | Try_lock : Types.fd -> (unit, Errno.t) result t
+      (** fcntl-style advisory lock: owned by the process, NOT inherited
+          by fork children. EAGAIN if held by another process. *)
+  | Unlock : Types.fd -> (unit, Errno.t) result t
+  | Mmap : { len : int; perm : Vmem.Perm.t } -> (int, Errno.t) result t
+  | Munmap : { addr : int; len : int } -> (unit, Errno.t) result t
+  | Brk : int option -> (int, Errno.t) result t
+      (** [None] queries the current break. *)
+  | Mem_read : { addr : int; len : int } -> (string, Errno.t) result t
+      (** A load from simulated memory (not a real syscall: charges fault
+          costs only). *)
+  | Mem_write : { addr : int; data : string } -> (unit, Errno.t) result t
+  | Touch : { addr : int; len : int } -> (int, Errno.t) result t
+      (** Write-touch every page of the range without materialising
+          contents (a memset stand-in); returns pages touched. *)
+  | Thread_create : (unit -> unit) -> (Types.tid, Errno.t) result t
+  | Mutex_create : int t
+  | Mutex_lock : int -> (unit, Errno.t) result t
+  | Mutex_unlock : int -> (unit, Errno.t) result t
+  | Mutex_trylock : int -> (unit, Errno.t) result t  (** EAGAIN if held *)
+  | Mutex_reinit : int -> (unit, Errno.t) result t
+      (** Re-initialize to unlocked regardless of owner — what atfork
+          child handlers do to recover locks orphaned by fork. *)
+  | Yield : unit t
+  | Handled_signals : string -> int t
+      (** How many times the named handler ran (test observability). *)
+  | Chdir : string -> (unit, Errno.t) result t
+      (** The working directory is inherited by fork AND spawn children
+          (spawn attrs could override; ours keep it simple). *)
+  | Getcwd : string t
+  | Atfork_register : Types.atfork -> unit t
+      (** pthread_atfork: append a handler triple. Handlers are stored in
+          the PCB (image state): copied by fork, destroyed by exec. The
+          run-the-handlers protocol lives in {!Api.fork}, like libc. *)
+  | Atfork_list : Types.atfork list t
+      (** Registration order. *)
+  | Pb_create : (Types.pid, Errno.t) result t
+      (** Cross-process operations (the paper's §6 proposal, as in ExOS /
+          Fuchsia's process_builder): create an {e embryo} child — a
+          process with an empty address space and fd table and no
+          threads — to be populated piecewise by the parent. *)
+  | Pb_map :
+      { pid : Types.pid; len : int; perm : Vmem.Perm.t }
+      -> (int, Errno.t) result t
+      (** Map anonymous memory {e in the embryo child}; returns the
+          child-relative address. *)
+  | Pb_write :
+      { pid : Types.pid; addr : int; data : string }
+      -> (unit, Errno.t) result t
+      (** Write into the embryo child's memory. *)
+  | Pb_copy_fd :
+      { pid : Types.pid; src : Types.fd; dst : Types.fd }
+      -> (unit, Errno.t) result t
+      (** Install a copy of the parent's [src] descriptor at [dst] in the
+          embryo child. *)
+  | Pb_start :
+      { pid : Types.pid; path : string; argv : string list }
+      -> (unit, Errno.t) result t
+      (** Load a program image into the embryo and start its main
+          thread. After this the child is an ordinary process. *)
+
+type _ Effect.t += Sys : 'a t -> 'a Effect.t
+
+val name : 'a t -> string
+(** Syscall name for traces, e.g. ["fork"]. *)

@@ -1,0 +1,48 @@
+type event = {
+  seq : int;
+  tick : int;
+  pid : Types.pid;
+  tid : Types.tid;
+  what : string;
+}
+
+type t = {
+  capacity : int;
+  ring : event option array;
+  mutable total : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity <= 0";
+  { capacity; ring = Array.make capacity None; total = 0 }
+
+let record t ~tick ~pid ~tid what =
+  let e = { seq = t.total; tick; pid; tid; what } in
+  t.ring.(t.total mod t.capacity) <- Some e;
+  t.total <- t.total + 1
+
+let events t =
+  let out = ref [] in
+  let start = max 0 (t.total - t.capacity) in
+  for seq = t.total - 1 downto start do
+    match t.ring.(seq mod t.capacity) with
+    | Some e when e.seq = seq -> out := e :: !out
+    | Some _ | None -> ()
+  done;
+  !out
+
+let total t = t.total
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.total <- 0
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  if nn = 0 then true
+  else begin
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  end
+
+let find t ~pattern =
+  List.filter (fun e -> contains_substring e.what pattern) (events t)

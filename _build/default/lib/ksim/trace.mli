@@ -1,0 +1,25 @@
+(** Bounded ring of kernel events, for tests and debugging. *)
+
+type event = {
+  seq : int;  (** monotonically increasing across drops *)
+  tick : int;
+  pid : Types.pid;
+  tid : Types.tid;
+  what : string;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 4096 events; older events are dropped. *)
+
+val record : t -> tick:int -> pid:Types.pid -> tid:Types.tid -> string -> unit
+val events : t -> event list
+(** Oldest first. *)
+
+val total : t -> int
+(** Events ever recorded, including dropped ones. *)
+
+val clear : t -> unit
+val find : t -> pattern:string -> event list
+(** Events whose [what] contains [pattern] as a substring. *)

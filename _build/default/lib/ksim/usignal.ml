@@ -1,0 +1,101 @@
+type t =
+  | SIGHUP
+  | SIGINT
+  | SIGQUIT
+  | SIGILL
+  | SIGABRT
+  | SIGFPE
+  | SIGKILL
+  | SIGSEGV
+  | SIGPIPE
+  | SIGALRM
+  | SIGTERM
+  | SIGUSR1
+  | SIGUSR2
+  | SIGCHLD
+  | SIGCONT
+  | SIGSTOP
+
+let all =
+  [
+    SIGHUP; SIGINT; SIGQUIT; SIGILL; SIGABRT; SIGFPE; SIGKILL; SIGSEGV;
+    SIGPIPE; SIGALRM; SIGTERM; SIGUSR1; SIGUSR2; SIGCHLD; SIGCONT; SIGSTOP;
+  ]
+
+let number = function
+  | SIGHUP -> 1
+  | SIGINT -> 2
+  | SIGQUIT -> 3
+  | SIGILL -> 4
+  | SIGABRT -> 6
+  | SIGFPE -> 8
+  | SIGKILL -> 9
+  | SIGSEGV -> 11
+  | SIGPIPE -> 13
+  | SIGALRM -> 14
+  | SIGTERM -> 15
+  | SIGUSR1 -> 10
+  | SIGUSR2 -> 12
+  | SIGCHLD -> 17
+  | SIGCONT -> 18
+  | SIGSTOP -> 19
+
+let of_number n = List.find_opt (fun s -> number s = n) all
+
+let to_string = function
+  | SIGHUP -> "SIGHUP"
+  | SIGINT -> "SIGINT"
+  | SIGQUIT -> "SIGQUIT"
+  | SIGILL -> "SIGILL"
+  | SIGABRT -> "SIGABRT"
+  | SIGFPE -> "SIGFPE"
+  | SIGKILL -> "SIGKILL"
+  | SIGSEGV -> "SIGSEGV"
+  | SIGPIPE -> "SIGPIPE"
+  | SIGALRM -> "SIGALRM"
+  | SIGTERM -> "SIGTERM"
+  | SIGUSR1 -> "SIGUSR1"
+  | SIGUSR2 -> "SIGUSR2"
+  | SIGCHLD -> "SIGCHLD"
+  | SIGCONT -> "SIGCONT"
+  | SIGSTOP -> "SIGSTOP"
+
+let equal a b = a = b
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+type default_action = Terminate | Ignore_sig | Stop | Continue
+
+let default_action = function
+  | SIGCHLD -> Ignore_sig
+  | SIGCONT -> Continue
+  | SIGSTOP -> Stop
+  | SIGHUP | SIGINT | SIGQUIT | SIGILL | SIGABRT | SIGFPE | SIGKILL
+  | SIGSEGV | SIGPIPE | SIGALRM | SIGTERM | SIGUSR1 | SIGUSR2 ->
+    Terminate
+
+let catchable = function SIGKILL | SIGSTOP -> false | _ -> true
+
+module Set = struct
+  type signal = t
+  type t = int
+
+  let bit (s : signal) = 1 lsl number s
+  let empty = 0
+
+  let full =
+    List.fold_left (fun acc s -> if catchable s then acc lor bit s else acc)
+      0 all
+
+  let add s t = t lor bit s
+  let remove s t = t land lnot (bit s)
+  let mem s t = t land bit s <> 0
+  let union = ( lor )
+  let inter = ( land )
+  let diff a b = a land lnot b
+  let of_list l = List.fold_left (fun acc s -> add s acc) empty l
+  let to_list t = List.filter (fun s -> mem s t) all
+  let is_empty t = t = 0
+  let equal (a : t) b = a = b
+end
+
+type disposition = Default | Ignored | Handler of string

@@ -1,0 +1,138 @@
+type regular = {
+  mutable content : Bytes.t;
+  mutable len : int;
+  mutable lock_owner : Types.pid option;
+}
+
+type node =
+  | Reg of regular
+  | Dir of (string, node) Hashtbl.t
+  | Console of Buffer.t
+
+type t = { root : (string, node) Hashtbl.t; console : Buffer.t }
+
+let new_regular () = { content = Bytes.create 0; len = 0; lock_owner = None }
+
+let create () =
+  let root = Hashtbl.create 16 in
+  let console = Buffer.create 256 in
+  let dev = Hashtbl.create 4 in
+  Hashtbl.add dev "console" (Console console);
+  Hashtbl.add root "dev" (Dir dev);
+  Hashtbl.add root "tmp" (Dir (Hashtbl.create 16));
+  { root; console }
+
+let console_buffer t = t.console
+
+let normalize ~cwd path =
+  let absolute =
+    if String.length path > 0 && path.[0] = '/' then path else cwd ^ "/" ^ path
+  in
+  let parts = String.split_on_char '/' absolute in
+  List.fold_left
+    (fun acc part ->
+      match part with
+      | "" | "." -> acc
+      | ".." -> ( match acc with [] -> [] | _ :: rest -> rest)
+      | name -> name :: acc)
+    [] parts
+  |> List.rev
+
+let resolve t ~cwd path =
+  let rec go node = function
+    | [] -> Ok node
+    | name :: rest -> (
+      match node with
+      | Dir entries -> (
+        match Hashtbl.find_opt entries name with
+        | Some child -> go child rest
+        | None -> Error Errno.ENOENT)
+      | Reg _ | Console _ -> Error Errno.ENOTDIR)
+  in
+  go (Dir t.root) (normalize ~cwd path)
+
+(* Resolve the parent directory of [path]; returns (entries, basename). *)
+let resolve_parent t ~cwd path =
+  match List.rev (normalize ~cwd path) with
+  | [] -> Error Errno.EINVAL
+  | base :: rev_parents -> (
+    let parent_parts = List.rev rev_parents in
+    let rec go node = function
+      | [] -> (
+        match node with
+        | Dir entries -> Ok (entries, base)
+        | Reg _ | Console _ -> Error Errno.ENOTDIR)
+      | name :: rest -> (
+        match node with
+        | Dir entries -> (
+          match Hashtbl.find_opt entries name with
+          | Some child -> go child rest
+          | None -> Error Errno.ENOENT)
+        | Reg _ | Console _ -> Error Errno.ENOTDIR)
+    in
+    go (Dir t.root) parent_parts)
+
+let mkdir t ~cwd path =
+  match resolve_parent t ~cwd path with
+  | Error _ as e -> e
+  | Ok (entries, base) ->
+    if Hashtbl.mem entries base then Error Errno.EEXIST
+    else begin
+      Hashtbl.add entries base (Dir (Hashtbl.create 8));
+      Ok ()
+    end
+
+module Reg = struct
+  let size r = r.len
+
+  let ensure r capacity =
+    if Bytes.length r.content < capacity then begin
+      let fresh = Bytes.make (max capacity (2 * Bytes.length r.content)) '\000' in
+      Bytes.blit r.content 0 fresh 0 r.len;
+      r.content <- fresh
+    end
+
+  let read r ~off ~len =
+    if off >= r.len then ""
+    else Bytes.sub_string r.content off (min len (r.len - off))
+
+  let write r ~off s =
+    let n = String.length s in
+    ensure r (off + n);
+    (* sparse writes past EOF read back as zeroes thanks to make '\000' *)
+    Bytes.blit_string s 0 r.content off n;
+    r.len <- max r.len (off + n);
+    n
+
+  let truncate r = r.len <- 0
+end
+
+let create_file t ~cwd path ~trunc =
+  match resolve t ~cwd path with
+  | Ok (Reg r) ->
+    if trunc then Reg.truncate r;
+    Ok r
+  | Ok (Dir _) -> Error Errno.EISDIR
+  | Ok (Console _) -> Error Errno.EACCES
+  | Error Errno.ENOENT -> (
+    match resolve_parent t ~cwd path with
+    | Error _ as e -> e
+    | Ok (entries, base) ->
+      if Hashtbl.mem entries base then Error Errno.EEXIST
+        (* racing component types; unreachable single-threaded *)
+      else begin
+        let r = new_regular () in
+        Hashtbl.add entries base (Reg r);
+        Ok r
+      end)
+  | Error _ as e -> e
+
+let read_file t ~cwd path =
+  match resolve t ~cwd path with
+  | Ok (Reg r) -> Ok (Reg.read r ~off:0 ~len:r.len)
+  | Ok (Dir _) -> Error Errno.EISDIR
+  | Ok (Console _) -> Error Errno.EACCES
+  | Error _ as e -> e
+
+let file_exists t ~cwd path =
+  match resolve t ~cwd path with Ok _ -> true | Error _ -> false

@@ -1,0 +1,58 @@
+(** Minimal in-memory filesystem for the simulator.
+
+    Enough POSIX surface for the experiments: regular files with byte
+    contents, directories, a console device whose output tests can
+    inspect (the E4 double-flush experiment counts bytes written there),
+    and one advisory whole-file lock per regular file (fcntl-style: owned
+    by a process, {e not} inherited across fork — one of the paper's
+    fork special cases). *)
+
+type regular = {
+  mutable content : Bytes.t;
+  mutable len : int;
+  mutable lock_owner : Types.pid option;
+}
+
+type node =
+  | Reg of regular
+  | Dir of (string, node) Hashtbl.t
+  | Console of Buffer.t
+
+type t
+
+val create : unit -> t
+(** Root with an empty [/tmp] and the [/dev/console] device. *)
+
+val console_buffer : t -> Buffer.t
+(** Everything ever written to the console. *)
+
+val normalize : cwd:string -> string -> string list
+(** Resolve [.], [..] and redundant slashes of a (possibly relative)
+    path against [cwd]; result is the component list from the root. *)
+
+val resolve : t -> cwd:string -> string -> (node, Errno.t) result
+(** ENOENT on a missing component, ENOTDIR when traversing a
+    non-directory. *)
+
+val mkdir : t -> cwd:string -> string -> (unit, Errno.t) result
+(** EEXIST if present; ENOENT if the parent is missing. *)
+
+val create_file :
+  t -> cwd:string -> string -> trunc:bool -> (regular, Errno.t) result
+(** Open-with-O_CREAT path: returns the existing regular file (truncated
+    when [trunc]), or creates it. EISDIR on directories. *)
+
+val read_file : t -> cwd:string -> string -> (string, Errno.t) result
+(** Whole contents, for tests and examples. *)
+
+val file_exists : t -> cwd:string -> string -> bool
+
+(** Regular-file byte operations used by open file descriptions. *)
+module Reg : sig
+  val read : regular -> off:int -> len:int -> string
+  val write : regular -> off:int -> string -> int
+  (** Returns bytes written (always all of them; the file grows). *)
+
+  val size : regular -> int
+  val truncate : regular -> unit
+end

@@ -1,0 +1,1 @@
+lib/metrics/histogram.mli:

@@ -1,0 +1,1 @@
+lib/metrics/series.ml: Array Buffer Float List Printf String Table

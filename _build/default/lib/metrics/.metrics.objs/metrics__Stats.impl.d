@@ -1,0 +1,1 @@
+lib/metrics/stats.ml: Array Float Format Units

@@ -1,0 +1,1 @@
+lib/metrics/table.ml: Array Buffer List String

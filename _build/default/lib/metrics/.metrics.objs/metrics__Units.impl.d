@@ -1,0 +1,1 @@
+lib/metrics/units.ml: Float Printf

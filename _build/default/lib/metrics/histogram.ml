@@ -1,0 +1,83 @@
+type t = {
+  base : float;
+  nbuckets : int;
+  counts : int array;
+  mutable total : int;
+  mutable clamped : int;
+}
+
+let create ?(base = 1.0) ?(buckets = 64) () =
+  if buckets < 1 then invalid_arg "Histogram.create: buckets < 1";
+  if base <= 0.0 then invalid_arg "Histogram.create: base <= 0";
+  { base; nbuckets = buckets; counts = Array.make buckets 0; total = 0;
+    clamped = 0 }
+
+let raw_bucket t v =
+  (* log2 of v/base, floored; bucket i covers [base*2^i, base*2^(i+1)) *)
+  if v < t.base then -1
+  else int_of_float (Float.floor (Float.log2 (v /. t.base)))
+
+let bucket_of t v =
+  let i = raw_bucket t v in
+  if i < 0 then 0 else if i >= t.nbuckets then t.nbuckets - 1 else i
+
+let add t v =
+  if v < 0.0 then invalid_arg "Histogram.add: negative sample";
+  let i = raw_bucket t v in
+  if i < 0 || i >= t.nbuckets then t.clamped <- t.clamped + 1;
+  let i = if i < 0 then 0 else if i >= t.nbuckets then t.nbuckets - 1 else i in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1
+
+let add_many t a = Array.iter (add t) a
+let count t = t.total
+let clamped t = t.clamped
+
+let bucket_bounds t i =
+  if i < 0 || i >= t.nbuckets then invalid_arg "Histogram.bucket_bounds";
+  (t.base *. (2.0 ** float_of_int i), t.base *. (2.0 ** float_of_int (i + 1)))
+
+let counts t = Array.copy t.counts
+
+let quantile t q =
+  if t.total = 0 then invalid_arg "Histogram.quantile: empty histogram";
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q out of range";
+  let target = q *. float_of_int t.total in
+  let rec go i acc =
+    if i >= t.nbuckets - 1 then i
+    else begin
+      let acc' = acc + t.counts.(i) in
+      if float_of_int acc' >= target && acc' > 0 then i else go (i + 1) acc'
+    end
+  in
+  let i = go 0 0 in
+  let lo, hi = bucket_bounds t i in
+  sqrt (lo *. hi)
+
+let merge a b =
+  if a.base <> b.base || a.nbuckets <> b.nbuckets then
+    invalid_arg "Histogram.merge: geometry mismatch";
+  let m = create ~base:a.base ~buckets:a.nbuckets () in
+  for i = 0 to a.nbuckets - 1 do
+    m.counts.(i) <- a.counts.(i) + b.counts.(i)
+  done;
+  m.total <- a.total + b.total;
+  m.clamped <- a.clamped + b.clamped;
+  m
+
+let render ?(width = 50) t =
+  let buf = Buffer.create 256 in
+  let maxc = Array.fold_left max 0 t.counts in
+  if maxc = 0 then Buffer.add_string buf "(empty histogram)\n"
+  else
+    for i = 0 to t.nbuckets - 1 do
+      if t.counts.(i) > 0 then begin
+        let lo, hi = bucket_bounds t i in
+        let bar = t.counts.(i) * width / maxc in
+        Buffer.add_string buf
+          (Printf.sprintf "[%10s, %10s) %8d %s\n" (Units.ns lo) (Units.ns hi)
+             t.counts.(i)
+             (String.make (max 1 bar) '#'))
+      end
+    done;
+  Buffer.contents buf

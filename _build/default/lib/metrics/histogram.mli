@@ -1,0 +1,47 @@
+(** Log-bucketed histograms for latency-like quantities.
+
+    Buckets are powers of two of a base unit, so the histogram covers many
+    orders of magnitude with bounded memory — the standard layout for
+    latency recording. *)
+
+type t
+
+val create : ?base:float -> ?buckets:int -> unit -> t
+(** [create ?base ?buckets ()] makes an empty histogram whose bucket [i]
+    holds samples in [[base * 2^i, base * 2^(i+1))]. Defaults: [base = 1.0],
+    [buckets = 64]. Samples below [base] land in bucket 0; samples beyond
+    the last bucket land in the last bucket (both are counted as clamped).
+    @raise Invalid_argument if [buckets < 1] or [base <= 0.]. *)
+
+val add : t -> float -> unit
+(** Record one sample. Negative samples raise [Invalid_argument]. *)
+
+val add_many : t -> float array -> unit
+
+val count : t -> int
+(** Total number of recorded samples. *)
+
+val clamped : t -> int
+(** Number of samples that fell outside the bucket range and were clamped. *)
+
+val bucket_of : t -> float -> int
+(** Index of the bucket a value would land in (after clamping). *)
+
+val bucket_bounds : t -> int -> float * float
+(** [bucket_bounds h i] is the [[lo, hi)] range of bucket [i]. *)
+
+val counts : t -> int array
+(** A copy of the per-bucket counts. *)
+
+val quantile : t -> float -> float
+(** [quantile h q] estimates the [q]-th quantile ([0. <= q <= 1.]) as the
+    geometric midpoint of the bucket containing it.
+    @raise Invalid_argument on an empty histogram or out-of-range [q]. *)
+
+val merge : t -> t -> t
+(** [merge a b] sums two histograms with identical geometry.
+    @raise Invalid_argument if geometries differ. *)
+
+val render : ?width:int -> t -> string
+(** ASCII rendering: one line per non-empty bucket with a proportional
+    bar, suitable for terminal output. *)

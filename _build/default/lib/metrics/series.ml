@@ -1,0 +1,151 @@
+type series = { label : string; points : (float * float) list }
+
+type figure = {
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  xlog : bool;
+  ylog : bool;
+  series : series list;
+}
+
+let figure ?(xlog = false) ?(ylog = false) ~title ~xlabel ~ylabel series =
+  { title; xlabel; ylabel; xlog; ylog; series }
+
+let default_fmt v = Printf.sprintf "%.4g" v
+
+let render_table ?(fmt_x = default_fmt) ?(fmt_y = default_fmt) fig =
+  let xs =
+    List.concat_map (fun s -> List.map fst s.points) fig.series
+    |> List.sort_uniq Float.compare
+  in
+  let tbl =
+    Table.create
+      ~align:(Table.Right :: List.map (fun _ -> Table.Right) fig.series)
+      (fig.xlabel :: List.map (fun s -> s.label) fig.series)
+  in
+  let cell s x =
+    match List.assoc_opt x s.points with
+    | Some y -> fmt_y y
+    | None -> "-"
+  in
+  List.iter
+    (fun x -> Table.add_row tbl (fmt_x x :: List.map (fun s -> cell s x) fig.series))
+    xs;
+  Printf.sprintf "%s\n%s" fig.title (Table.render tbl)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let render_csv fig =
+  let xs =
+    List.concat_map (fun s -> List.map fst s.points) fig.series
+    |> List.sort_uniq Float.compare
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (String.concat ","
+       (csv_escape fig.xlabel
+       :: List.map (fun s -> csv_escape s.label) fig.series));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun x ->
+      Buffer.add_string buf (Printf.sprintf "%.17g" x);
+      List.iter
+        (fun s ->
+          Buffer.add_char buf ',';
+          match List.assoc_opt x s.points with
+          | Some y -> Buffer.add_string buf (Printf.sprintf "%.17g" y)
+          | None -> ())
+        fig.series;
+      Buffer.add_char buf '\n')
+    xs;
+  Buffer.contents buf
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let render_chart ?(width = 64) ?(height = 20) fig =
+  let tx v = if fig.xlog then log10 v else v in
+  let ty v = if fig.ylog then log10 v else v in
+  let usable (x, y) =
+    (not (fig.xlog && x <= 0.0)) && not (fig.ylog && y <= 0.0)
+  in
+  let pts =
+    List.concat_map
+      (fun s -> List.filter usable s.points)
+      fig.series
+  in
+  if pts = [] then "(no data)\n"
+  else begin
+    let xs = List.map (fun (x, _) -> tx x) pts in
+    let ys = List.map (fun (_, y) -> ty y) pts in
+    let fmin = List.fold_left Float.min infinity in
+    let fmax = List.fold_left Float.max neg_infinity in
+    let xmin = fmin xs and xmax = fmax xs in
+    let ymin = fmin ys and ymax = fmax ys in
+    let xspan = if xmax > xmin then xmax -. xmin else 1.0 in
+    let yspan = if ymax > ymin then ymax -. ymin else 1.0 in
+    let grid = Array.make_matrix height width ' ' in
+    let plot gi (x, y) =
+      let c =
+        int_of_float
+          (Float.round ((tx x -. xmin) /. xspan *. float_of_int (width - 1)))
+      in
+      let r =
+        int_of_float
+          (Float.round ((ty y -. ymin) /. yspan *. float_of_int (height - 1)))
+      in
+      let r = height - 1 - r in
+      (* later series overwrite earlier ones at collisions; acceptable for
+         an eyeball chart *)
+      grid.(r).(c) <- glyphs.(gi mod Array.length glyphs)
+    in
+    List.iteri
+      (fun gi s -> List.iter (fun p -> if usable p then plot gi p) s.points)
+      fig.series;
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf fig.title;
+    Buffer.add_char buf '\n';
+    let ylab_hi = default_fmt (if fig.ylog then 10.0 ** ymax else ymax) in
+    let ylab_lo = default_fmt (if fig.ylog then 10.0 ** ymin else ymin) in
+    let margin = max (String.length ylab_hi) (String.length ylab_lo) in
+    Array.iteri
+      (fun r row ->
+        let lab =
+          if r = 0 then ylab_hi
+          else if r = height - 1 then ylab_lo
+          else ""
+        in
+        Buffer.add_string buf (Printf.sprintf "%*s |" margin lab);
+        Buffer.add_string buf (String.init width (fun c -> row.(c)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (String.make (margin + 1) ' ');
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    let xlab_lo = default_fmt (if fig.xlog then 10.0 ** xmin else xmin) in
+    let xlab_hi = default_fmt (if fig.xlog then 10.0 ** xmax else xmax) in
+    let axis = fig.xlabel ^ (if fig.xlog then " (log)" else "") in
+    let mid_pad =
+      max 1
+        ((width - String.length xlab_lo - String.length xlab_hi
+        - String.length axis)
+        / 2)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%*s%s%*s%s%*s%s\n" margin "" xlab_lo mid_pad "" axis
+         mid_pad "" xlab_hi);
+    Buffer.add_string buf "legend:";
+    List.iteri
+      (fun gi s ->
+        Buffer.add_string buf
+          (Printf.sprintf " %c=%s" glyphs.(gi mod Array.length glyphs) s.label))
+      fig.series;
+    Buffer.add_string buf
+      (Printf.sprintf "  [y: %s%s]\n" fig.ylabel
+         (if fig.ylog then ", log scale" else ""));
+    Buffer.contents buf
+  end

@@ -1,0 +1,44 @@
+(** Labelled (x, y) data series and terminal "figures".
+
+    A {!figure} corresponds to one figure of the paper: several series
+    over a shared x-axis, rendered either as an aligned data table (for
+    EXPERIMENTS.md) or as a coarse ASCII scatter chart (for eyeballing
+    shape — who wins, where the crossover falls). *)
+
+type series = { label : string; points : (float * float) list }
+
+type figure = {
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  xlog : bool;  (** render the x axis in log10 space *)
+  ylog : bool;  (** render the y axis in log10 space *)
+  series : series list;
+}
+
+val figure :
+  ?xlog:bool ->
+  ?ylog:bool ->
+  title:string ->
+  xlabel:string ->
+  ylabel:string ->
+  series list ->
+  figure
+(** Build a figure. Defaults: linear axes. *)
+
+val render_table :
+  ?fmt_x:(float -> string) -> ?fmt_y:(float -> string) -> figure -> string
+(** One row per distinct x value (union over series, sorted ascending),
+    one column per series; missing points render as ["-"]. Default
+    formatters print with [%.4g]. *)
+
+val render_chart : ?width:int -> ?height:int -> figure -> string
+(** ASCII scatter chart: each series gets a distinct glyph; axes are
+    annotated with their min/max and a legend follows the plot. Points
+    with non-positive coordinates on a log axis are dropped. Returns
+    ["(no data)\n"] when nothing is plottable. *)
+
+val render_csv : figure -> string
+(** RFC-4180-ish CSV: header [xlabel,series...], one row per distinct x,
+    empty cells for missing points. Values print with full [%.17g]
+    precision for downstream plotting. *)

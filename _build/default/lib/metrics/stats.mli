@@ -1,0 +1,46 @@
+(** Descriptive statistics over float samples.
+
+    A {!t} is an immutable summary computed once from a sample array; the
+    benches compute one per (experiment, parameter) cell. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  total : float;
+}
+
+val of_array : float array -> t
+(** [of_array samples] summarises [samples]. The input array is not
+    modified. @raise Invalid_argument on an empty array. *)
+
+val of_list : float list -> t
+(** List version of {!of_array}. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] returns the [q]-th percentile ([0. <= q <=
+    100.]) of an array sorted in increasing order, with linear
+    interpolation between ranks. @raise Invalid_argument if the array is
+    empty or [q] is out of range. *)
+
+val mean : float array -> float
+(** Arithmetic mean. @raise Invalid_argument on an empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1); returns [0.] for singleton arrays.
+    @raise Invalid_argument on an empty array. *)
+
+val coefficient_of_variation : t -> float
+(** [stddev /. mean]; [nan] when the mean is zero. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering, e.g. ["n=30 mean=1.2ms p50=1.1ms p99=2.0ms"],
+    formatting values with {!Units.ns}. *)
+
+val pp_raw : Format.formatter -> t -> unit
+(** Like {!pp} but prints plain numbers rather than durations. *)

@@ -1,0 +1,43 @@
+let sig3 v =
+  (* three significant digits without scientific notation for the
+     magnitudes we print (values are pre-scaled to [0, 1024)). *)
+  let a = Float.abs v in
+  if a >= 100.0 then Printf.sprintf "%.0f" v
+  else if a >= 10.0 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.2f" v
+
+let scaled v steps unit_of_last =
+  let rec go v = function
+    | [] -> (v, unit_of_last)
+    | (limit, unit) :: rest ->
+      if Float.abs v < limit then (v, unit) else go (v /. limit) rest
+  in
+  go v steps
+
+let ns t =
+  let v, u =
+    scaled t [ (1000.0, "ns"); (1000.0, "us"); (1000.0, "ms") ] "s"
+  in
+  sig3 v ^ u
+
+let cycles c =
+  let v, u =
+    scaled c [ (1000.0, "cyc"); (1000.0, "kcyc"); (1000.0, "Mcyc") ] "Gcyc"
+  in
+  sig3 v ^ u
+
+let bytes n =
+  let v, u =
+    scaled (float_of_int n)
+      [ (1024.0, "B"); (1024.0, "KiB"); (1024.0, "MiB"); (1024.0, "GiB") ]
+      "TiB"
+  in
+  if u = "B" then Printf.sprintf "%dB" n else sig3 v ^ u
+
+let count n =
+  let v, u = scaled n [ (1000.0, ""); (1000.0, "k"); (1000.0, "M") ] "G" in
+  if u = "" && Float.is_integer v then Printf.sprintf "%.0f" v
+  else sig3 v ^ u
+
+let ratio r = sig3 r ^ "x"
+let percent p = sig3 (p *. 100.0) ^ "%"

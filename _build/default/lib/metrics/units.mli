@@ -1,0 +1,27 @@
+(** Human-readable formatting of measurement units.
+
+    All benchmark output in this repository goes through these helpers so
+    that tables and figures use one consistent notation. *)
+
+val ns : float -> string
+(** [ns t] renders a duration of [t] nanoseconds with an adaptive unit
+    (ns, us, ms, s) and three significant digits, e.g. [ns 12_340.0 =
+    "12.3us"]. Negative durations keep their sign. *)
+
+val cycles : float -> string
+(** [cycles c] renders a simulated cycle count with an adaptive SI
+    multiplier, e.g. [cycles 1.5e6 = "1.50Mcyc"]. *)
+
+val bytes : int -> string
+(** [bytes n] renders a byte count with binary multipliers
+    (B, KiB, MiB, GiB, TiB), e.g. [bytes 1536 = "1.5KiB"]. *)
+
+val count : float -> string
+(** [count n] renders a dimensionless count with SI multipliers
+    (k, M, G), e.g. [count 12_000.0 = "12.0k"]. *)
+
+val ratio : float -> string
+(** [ratio r] renders a speedup/ratio as e.g. ["3.42x"]. *)
+
+val percent : float -> string
+(** [percent p] renders a fraction [p] in [0,1] as e.g. ["37.5%"]. *)

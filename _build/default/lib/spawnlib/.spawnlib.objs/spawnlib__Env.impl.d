@@ -1,0 +1,1 @@
+lib/spawnlib/env.ml: Array List Map String Unix

@@ -1,0 +1,1 @@
+lib/spawnlib/env.mli:

@@ -1,0 +1,1 @@
+lib/spawnlib/file_action.mli: Unix

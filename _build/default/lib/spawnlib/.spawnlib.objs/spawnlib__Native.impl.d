@@ -1,0 +1,1 @@
+lib/spawnlib/native.ml: Array Unix

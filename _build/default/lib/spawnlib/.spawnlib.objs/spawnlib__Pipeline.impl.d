@@ -1,0 +1,1 @@
+lib/spawnlib/pipeline.ml: Buffer Bytes File_action List Obj Process Result Spawn Unix

@@ -1,0 +1,1 @@
+lib/spawnlib/pipeline.mli: Process Spawn

@@ -1,0 +1,1 @@
+lib/spawnlib/process.ml: Format Unix

@@ -1,0 +1,1 @@
+lib/spawnlib/spawn.mli: File_action Process Unix

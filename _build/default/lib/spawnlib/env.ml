@@ -1,0 +1,31 @@
+module Smap = Map.Make (String)
+
+type t = string Smap.t
+
+let empty = Smap.empty
+
+let of_list l =
+  List.fold_left (fun m (k, v) -> Smap.add k v m) Smap.empty l
+
+let current () =
+  Array.fold_left
+    (fun m binding ->
+      match String.index_opt binding '=' with
+      | None -> m
+      | Some i ->
+        Smap.add
+          (String.sub binding 0 i)
+          (String.sub binding (i + 1) (String.length binding - i - 1))
+          m)
+    Smap.empty (Unix.environment ())
+
+let to_array t =
+  Smap.bindings t
+  |> List.map (fun (k, v) -> k ^ "=" ^ v)
+  |> Array.of_list
+
+let get t k = Smap.find_opt k t
+let set t k v = Smap.add k v t
+let unset t k = Smap.remove k t
+let merge base overrides = Smap.union (fun _ _ o -> Some o) base overrides
+let cardinal = Smap.cardinal

@@ -1,0 +1,24 @@
+(** Environment manipulation for spawned children.
+
+    Spawn-style creation passes the child environment explicitly, so
+    these helpers make "inherit, plus these overrides" easy to express
+    without mutating the parent's environment (one of fork's implicit
+    inheritances the paper flags). *)
+
+type t
+
+val current : unit -> t
+(** Snapshot of the calling process environment. *)
+
+val empty : t
+val of_list : (string * string) list -> t
+val to_array : t -> string array
+(** ["KEY=value"] strings, sorted by key for determinism. *)
+
+val get : t -> string -> string option
+val set : t -> string -> string -> t
+val unset : t -> string -> t
+val merge : t -> t -> t
+(** [merge base overrides]: keys in [overrides] win. *)
+
+val cardinal : t -> int

@@ -1,0 +1,35 @@
+type t =
+  | Open of { fd : int; path : string; flags : Unix.open_flag list; perm : int }
+  | Dup2 of { src : int; dst : int }
+  | Close of int
+  | Chdir of string
+
+let openf ?(flags = [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ])
+    ?(perm = 0o644) ~fd path =
+  Open { fd; path; flags; perm }
+
+let dup2 ~src ~dst = Dup2 { src; dst }
+let close fd = Close fd
+let chdir path = Chdir path
+
+(* fds are represented as ints at this layer; conversion through
+   file_descr is the standard (if unofficial) identity on Unix *)
+let fd_of_int : int -> Unix.file_descr = Obj.magic
+let int_of_fd : Unix.file_descr -> int = Obj.magic
+
+let apply = function
+  | Open { fd; path; flags; perm } ->
+    let got = Unix.openfile path flags perm in
+    if int_of_fd got <> fd then begin
+      Unix.dup2 got (fd_of_int fd);
+      Unix.close got
+    end
+  | Dup2 { src; dst } -> Unix.dup2 (fd_of_int src) (fd_of_int dst)
+  | Close fd -> Unix.close (fd_of_int fd)
+  | Chdir path -> Unix.chdir path
+
+let stdout_to_file path = openf ~fd:1 path
+let stderr_to_file path = openf ~fd:2 path
+
+let stdin_from_file path =
+  openf ~flags:[ Unix.O_RDONLY ] ~fd:0 path

@@ -1,0 +1,24 @@
+(** posix_spawn-style file actions for the portable {!Spawn} engine,
+    applied in the child between fork and exec, in list order. *)
+
+type t =
+  | Open of { fd : int; path : string; flags : Unix.open_flag list; perm : int }
+      (** open [path] and move the result to [fd] *)
+  | Dup2 of { src : int; dst : int }
+  | Close of int
+  | Chdir of string
+
+val openf : ?flags:Unix.open_flag list -> ?perm:int -> fd:int -> string -> t
+(** Defaults: [O_WRONLY; O_CREAT; O_TRUNC], perm [0o644]. *)
+
+val dup2 : src:int -> dst:int -> t
+val close : int -> t
+val chdir : string -> t
+
+val apply : t -> unit
+(** Run one action in the current process (the child).
+    @raise Unix.Unix_error on failure. *)
+
+val stdout_to_file : string -> t
+val stderr_to_file : string -> t
+val stdin_from_file : string -> t

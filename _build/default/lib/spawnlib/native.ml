@@ -1,0 +1,34 @@
+external posix_spawn_raw : string -> string array -> string array -> int
+  = "forkroad_posix_spawn"
+
+external vfork_exec_raw : string -> string array -> string array -> int
+  = "forkroad_vfork_exec"
+
+external fork_exec_raw : string -> string array -> string array -> int
+  = "forkroad_fork_exec"
+
+external fork_exit_raw : unit -> int = "forkroad_fork_exit"
+external errno_name_raw : int -> string = "forkroad_errno_name"
+
+let wrap result = if result >= 0 then Ok result else Error (-result)
+
+let call raw ~prog ~argv ?(env = []) () =
+  let argv = Array.of_list argv in
+  let env =
+    match env with
+    | [] -> Unix.environment ()
+    | e -> Array.of_list e
+  in
+  wrap (raw prog argv env)
+
+let posix_spawn ~prog ~argv ?env () = call posix_spawn_raw ~prog ~argv ?env ()
+let vfork_exec ~prog ~argv ?env () = call vfork_exec_raw ~prog ~argv ?env ()
+let fork_exec ~prog ~argv ?env () = call fork_exec_raw ~prog ~argv ?env ()
+let fork_exit () = wrap (fork_exit_raw ())
+let errno_message e = errno_name_raw e
+
+let wait_exit pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED code -> code
+  | _, Unix.WSIGNALED s -> 128 + s
+  | _, Unix.WSTOPPED s -> 128 + s

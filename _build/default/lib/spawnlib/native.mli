@@ -1,0 +1,34 @@
+(** Native process-creation backends (C stubs).
+
+    These are the measured subjects of the Figure-1 reproduction:
+    [posix_spawn] (constant-cost creation), [vfork_exec]
+    (borrowed-address-space creation) and [fork_exec] (COW fork whose
+    cost grows with the parent), plus [fork_exit] to isolate pure fork
+    cost. All return the child pid, or the raw [errno] on failure. *)
+
+val posix_spawn :
+  prog:string -> argv:string list -> ?env:string list -> unit ->
+  (int, int) result
+
+val vfork_exec :
+  prog:string -> argv:string list -> ?env:string list -> unit ->
+  (int, int) result
+(** An exec failure in the child is only observable as exit status 127 —
+    the degraded error reporting the paper attributes to this pattern. *)
+
+val fork_exec :
+  prog:string -> argv:string list -> ?env:string list -> unit ->
+  (int, int) result
+(** fork+execve entirely in C (no error pipe), for like-for-like latency
+    comparison with the other two backends. *)
+
+val fork_exit : unit -> (int, int) result
+(** fork a child that [_exit]s immediately: pure address-space
+    duplication cost. *)
+
+val errno_message : int -> string
+(** strerror. *)
+
+val wait_exit : int -> int
+(** Blocking waitpid; returns the exit code (or 128+signal when
+    signalled). Raises [Unix.Unix_error] on wait failure. *)

@@ -1,0 +1,85 @@
+type cmd = { prog : string; argv : string list }
+
+let cmd prog args = { prog; argv = prog :: args }
+
+let fd_int : Unix.file_descr -> int = Obj.magic
+
+(* Spawn the stages left to right; [input] is the read end the next stage
+   should use as stdin (None = inherit). [sink] is an optional fd the
+   LAST stage's stdout should be redirected to. *)
+let spawn_stages cmds ~sink =
+  let rec go acc input = function
+    | [] -> Ok (List.rev acc)
+    | stage :: rest ->
+      let is_last = rest = [] in
+      let next_input, stdout_action =
+        if is_last then
+          ( None,
+            match sink with
+            | Some fd -> [ File_action.dup2 ~src:(fd_int fd) ~dst:1 ]
+            | None -> [] )
+        else begin
+          let r, w = Unix.pipe ~cloexec:true () in
+          (Some (r, w), [ File_action.dup2 ~src:(fd_int w) ~dst:1 ])
+        end
+      in
+      let stdin_action =
+        match input with
+        | Some (r, _) -> [ File_action.dup2 ~src:(fd_int r) ~dst:0 ]
+        | None -> []
+      in
+      let result =
+        Spawn.spawn
+          ~actions:(stdin_action @ stdout_action)
+          ~prog:stage.prog ~argv:stage.argv ()
+      in
+      (* parent closes its copies of this stage's pipe ends *)
+      (match input with
+      | Some (r, w) ->
+        Unix.close r;
+        Unix.close w
+      | None -> ());
+      (match result with
+      | Error e ->
+        (* reap what we already started *)
+        List.iter (fun p -> ignore (Process.wait p)) (List.rev acc);
+        (match next_input with
+        | Some (r, w) ->
+          Unix.close r;
+          Unix.close w
+        | None -> ());
+        Error e
+      | Ok p -> go (p :: acc) next_input rest)
+  in
+  go [] None cmds
+
+let run cmds =
+  if cmds = [] then invalid_arg "Pipeline.run: empty pipeline";
+  Result.map (List.map Process.wait) (spawn_stages cmds ~sink:None)
+
+let read_all_fd fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Buffer.contents buf
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let run_capture cmds =
+  if cmds = [] then invalid_arg "Pipeline.run_capture: empty pipeline";
+  let r, w = Unix.pipe ~cloexec:true () in
+  match spawn_stages cmds ~sink:(Some w) with
+  | Error e ->
+    Unix.close r;
+    Unix.close w;
+    Error e
+  | Ok procs ->
+    Unix.close w;
+    let output = read_all_fd r in
+    Unix.close r;
+    Ok (output, List.map Process.wait procs)

@@ -1,0 +1,17 @@
+(** Shell-style pipelines over the {!Spawn} engine.
+
+    Builds [cmd1 | cmd2 | ...] by wiring pipes through spawn file
+    actions — the structured replacement for the fork-and-plumb idiom. *)
+
+type cmd = { prog : string; argv : string list }
+
+val cmd : string -> string list -> cmd
+(** [cmd prog args] — [argv.(0)] is set to [prog] automatically. *)
+
+val run : cmd list -> (Process.status list, Spawn.error) result
+(** Spawn every stage connected stdin-to-stdout, wait for all; statuses
+    are in pipeline order. The first stage inherits stdin, the last
+    inherits stdout. @raise Invalid_argument on an empty pipeline. *)
+
+val run_capture : cmd list -> (string * Process.status list, Spawn.error) result
+(** Like {!run} but captures the final stage's stdout. *)

@@ -1,0 +1,29 @@
+type status = Exited of int | Signaled of int | Stopped of int
+
+let status_of_unix = function
+  | Unix.WEXITED c -> Exited c
+  | Unix.WSIGNALED s -> Signaled s
+  | Unix.WSTOPPED s -> Stopped s
+
+let pp_status ppf = function
+  | Exited c -> Format.fprintf ppf "exited(%d)" c
+  | Signaled s -> Format.fprintf ppf "signaled(%d)" s
+  | Stopped s -> Format.fprintf ppf "stopped(%d)" s
+
+let status_equal (a : status) b = a = b
+
+type t = int
+
+let of_pid pid = pid
+let pid t = t
+
+let wait t =
+  let _, st = Unix.waitpid [] t in
+  status_of_unix st
+
+let poll t =
+  match Unix.waitpid [ Unix.WNOHANG ] t with
+  | 0, _ -> None
+  | _, st -> Some (status_of_unix st)
+
+let kill t signal = Unix.kill t signal

@@ -1,0 +1,23 @@
+(** Child-process handles for the real OS. *)
+
+type status = Exited of int | Signaled of int | Stopped of int
+
+val status_of_unix : Unix.process_status -> status
+val pp_status : Format.formatter -> status -> unit
+val status_equal : status -> status -> bool
+
+type t
+
+val of_pid : int -> t
+val pid : t -> int
+
+val wait : t -> status
+(** Blocking reap. Calling it twice raises [Unix.Unix_error (ECHILD, ...)]
+    like the syscall would. *)
+
+val poll : t -> status option
+(** Non-blocking: [None] while the child is still running. *)
+
+val kill : t -> int -> unit
+(** Send a signal (use [Sys.sigterm] etc.).
+    @raise Unix.Unix_error on a dead pid. *)

@@ -1,0 +1,98 @@
+type error =
+  | Exec_failed of Unix.error
+  | Fork_failed of Unix.error
+
+let error_message = function
+  | Exec_failed e -> "exec failed: " ^ Unix.error_message e
+  | Fork_failed e -> "fork failed: " ^ Unix.error_message e
+
+type attr = {
+  env : string array option;
+  cwd : string option;
+  new_session : bool;
+}
+
+let default_attr = { env = None; cwd = None; new_session = false }
+
+(* The child reports a pre-exec failure by marshalling the Unix.error
+   over a close-on-exec pipe; a successful exec closes the pipe and the
+   parent reads EOF. Marshalling is safe here: same binary, same run. *)
+let report_and_die w err =
+  let payload = Marshal.to_bytes (err : Unix.error) [] in
+  ignore (Unix.write w payload 0 (Bytes.length payload));
+  Unix._exit 127
+
+let child_branch w ~actions ~attr ~prog ~argv =
+  try
+    if attr.new_session then ignore (Unix.setsid ());
+    (match attr.cwd with Some d -> Unix.chdir d | None -> ());
+    List.iter File_action.apply actions;
+    match attr.env with
+    | Some env -> Unix.execve prog (Array.of_list argv) env
+    | None -> Unix.execv prog (Array.of_list argv)
+  with
+  | Unix.Unix_error (err, _, _) -> report_and_die w err
+  | _ -> report_and_die w (Unix.EUNKNOWNERR 0)
+
+let spawn ?(actions = []) ?(attr = default_attr) ~prog ~argv () =
+  let r, w = Unix.pipe ~cloexec:true () in
+  match Unix.fork () with
+  | exception Unix.Unix_error (err, _, _) ->
+    Unix.close r;
+    Unix.close w;
+    Error (Fork_failed err)
+  | 0 -> child_branch w ~actions ~attr ~prog ~argv
+  | pid -> (
+    Unix.close w;
+    let buf = Bytes.create 4096 in
+    let n =
+      let rec read_retry () =
+        match Unix.read r buf 0 (Bytes.length buf) with
+        | n -> n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_retry ()
+      in
+      read_retry ()
+    in
+    Unix.close r;
+    if n = 0 then Ok (Process.of_pid pid)
+    else begin
+      (* the child failed before exec and already exited: reap it *)
+      ignore (Process.wait (Process.of_pid pid));
+      let err : Unix.error = Marshal.from_bytes buf 0 in
+      Error (Exec_failed err)
+    end)
+
+let run ?actions ?attr ~prog ~argv () =
+  Result.map Process.wait (spawn ?actions ?attr ~prog ~argv ())
+
+let read_all_fd fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Buffer.contents buf
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let fd_int : Unix.file_descr -> int = Obj.magic
+
+let capture ?(actions = []) ?attr ~prog ~argv () =
+  let r, w = Unix.pipe ~cloexec:true () in
+  let actions = actions @ [ File_action.dup2 ~src:(fd_int w) ~dst:1 ] in
+  match spawn ~actions ?attr ~prog ~argv () with
+  | Error e ->
+    Unix.close r;
+    Unix.close w;
+    Error e
+  | Ok p ->
+    Unix.close w;
+    let output = read_all_fd r in
+    Unix.close r;
+    Ok (output, Process.wait p)
+
+let shell cmd = run ~prog:"/bin/sh" ~argv:[ "sh"; "-c"; cmd ] ()
+let shell_capture cmd = capture ~prog:"/bin/sh" ~argv:[ "sh"; "-c"; cmd ] ()

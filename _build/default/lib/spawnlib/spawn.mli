@@ -1,0 +1,56 @@
+(** Portable posix_spawn built on fork + exec with the CLOEXEC
+    error-pipe protocol.
+
+    This is the library form of the paper's recommendation: applications
+    say {e what} the child should look like (file actions + attributes)
+    instead of cloning themselves and mutating. Unlike raw fork+exec,
+    exec failures in the child are reported {e synchronously} to the
+    caller (the child writes the error over a close-on-exec pipe that a
+    successful exec silently closes). *)
+
+type error =
+  | Exec_failed of Unix.error  (** exec or a file action failed in the child *)
+  | Fork_failed of Unix.error
+
+val error_message : error -> string
+
+type attr = {
+  env : string array option;  (** None = inherit the parent environment *)
+  cwd : string option;  (** chdir in the child before actions *)
+  new_session : bool;  (** setsid in the child *)
+}
+
+val default_attr : attr
+
+val spawn :
+  ?actions:File_action.t list ->
+  ?attr:attr ->
+  prog:string ->
+  argv:string list ->
+  unit ->
+  (Process.t, error) result
+(** Create a child running [prog]. On [Error (Exec_failed _)] the child
+    has already been reaped — no zombie escapes. *)
+
+val run :
+  ?actions:File_action.t list ->
+  ?attr:attr ->
+  prog:string ->
+  argv:string list ->
+  unit ->
+  (Process.status, error) result
+(** [spawn] then wait. *)
+
+val capture :
+  ?actions:File_action.t list ->
+  ?attr:attr ->
+  prog:string ->
+  argv:string list ->
+  unit ->
+  (string * Process.status, error) result
+(** [run] with the child's stdout captured into a string. *)
+
+val shell : string -> (Process.status, error) result
+(** [run] through ["/bin/sh -c"]. *)
+
+val shell_capture : string -> (string * Process.status, error) result

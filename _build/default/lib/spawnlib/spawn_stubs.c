@@ -1,0 +1,130 @@
+/* Native process-creation stubs: posix_spawn and vfork+execve.
+ *
+ * Both return the child pid on success and -errno on failure, so the
+ * OCaml side never guesses at errno. The vfork child performs only
+ * async-signal-safe work (execve/_exit) before giving the address space
+ * back, per the vfork contract. */
+
+#define _GNU_SOURCE
+#include <errno.h>
+#include <spawn.h>
+#include <stdlib.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+
+/* Copy an OCaml string array into a NULL-terminated char** the child can
+ * use after fork/vfork (allocated with malloc; freed by the parent). */
+static char **copy_string_array(value arr)
+{
+  mlsize_t n = Wosize_val(arr);
+  char **out = malloc((n + 1) * sizeof(char *));
+  if (out == NULL) return NULL;
+  for (mlsize_t i = 0; i < n; i++) {
+    out[i] = strdup(String_val(Field(arr, i)));
+    if (out[i] == NULL) {
+      for (mlsize_t j = 0; j < i; j++) free(out[j]);
+      free(out);
+      return NULL;
+    }
+  }
+  out[n] = NULL;
+  return out;
+}
+
+static void free_string_array(char **arr)
+{
+  if (arr == NULL) return;
+  for (char **p = arr; *p != NULL; p++) free(*p);
+  free(arr);
+}
+
+CAMLprim value forkroad_posix_spawn(value vprog, value vargv, value venvp)
+{
+  CAMLparam3(vprog, vargv, venvp);
+  char *prog = strdup(String_val(vprog));
+  char **argv = copy_string_array(vargv);
+  char **envp = copy_string_array(venvp);
+  pid_t pid = -1;
+  int rc = ENOMEM;
+
+  if (prog != NULL && argv != NULL && envp != NULL)
+    rc = posix_spawn(&pid, prog, NULL, NULL, argv, envp);
+
+  free(prog);
+  free_string_array(argv);
+  free_string_array(envp);
+  CAMLreturn(Val_long(rc == 0 ? (long)pid : -(long)rc));
+}
+
+CAMLprim value forkroad_vfork_exec(value vprog, value vargv, value venvp)
+{
+  CAMLparam3(vprog, vargv, venvp);
+  char *prog = strdup(String_val(vprog));
+  char **argv = copy_string_array(vargv);
+  char **envp = copy_string_array(venvp);
+  long result;
+
+  if (prog == NULL || argv == NULL || envp == NULL) {
+    result = -(long)ENOMEM;
+  } else {
+    pid_t pid = vfork();
+    if (pid == 0) {
+      execve(prog, argv, envp);
+      _exit(127); /* exec failure is only visible as exit status 127 */
+    }
+    result = pid > 0 ? (long)pid : -(long)errno;
+  }
+
+  free(prog);
+  free_string_array(argv);
+  free_string_array(envp);
+  CAMLreturn(Val_long(result));
+}
+
+CAMLprim value forkroad_fork_exec(value vprog, value vargv, value venvp)
+{
+  CAMLparam3(vprog, vargv, venvp);
+  char *prog = strdup(String_val(vprog));
+  char **argv = copy_string_array(vargv);
+  char **envp = copy_string_array(venvp);
+  long result;
+
+  if (prog == NULL || argv == NULL || envp == NULL) {
+    result = -(long)ENOMEM;
+  } else {
+    pid_t pid = fork();
+    if (pid == 0) {
+      execve(prog, argv, envp);
+      _exit(127);
+    }
+    result = pid > 0 ? (long)pid : -(long)errno;
+  }
+
+  free(prog);
+  free_string_array(argv);
+  free_string_array(envp);
+  CAMLreturn(Val_long(result));
+}
+
+/* Plain fork + immediate _exit in the child: isolates pure
+ * address-space-duplication cost from exec cost in the T1 bench. */
+CAMLprim value forkroad_fork_exit(value unit)
+{
+  CAMLparam1(unit);
+  pid_t pid = fork();
+  if (pid == 0) _exit(0);
+  CAMLreturn(Val_long(pid > 0 ? (long)pid : -(long)errno));
+}
+
+CAMLprim value forkroad_errno_name(value verr)
+{
+  CAMLparam1(verr);
+  CAMLlocal1(result);
+  result = caml_copy_string(strerror(Int_val(verr)));
+  CAMLreturn(result);
+}

@@ -1,0 +1,1 @@
+lib/vmem/addr.ml: Format

@@ -1,0 +1,1 @@
+lib/vmem/addr.mli: Format

@@ -1,0 +1,1 @@
+lib/vmem/addr_space.mli: Cost Format Frame Perm Tlb Vma

@@ -1,0 +1,1 @@
+lib/vmem/cost.ml: Float Format Hashtbl List Metrics

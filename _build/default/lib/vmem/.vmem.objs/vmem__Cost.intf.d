@@ -1,0 +1,1 @@
+lib/vmem/cost.mli: Format

@@ -1,0 +1,1 @@
+lib/vmem/frame.ml: Addr Array Bytes Char Hashtbl String

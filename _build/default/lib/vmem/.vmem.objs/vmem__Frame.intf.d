@@ -1,0 +1,1 @@
+lib/vmem/frame.mli:

@@ -1,0 +1,1 @@
+lib/vmem/page_table.ml: Addr Array Cost Frame Perm Pte

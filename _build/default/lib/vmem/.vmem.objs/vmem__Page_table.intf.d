@@ -1,0 +1,1 @@
+lib/vmem/page_table.mli: Cost Frame Pte

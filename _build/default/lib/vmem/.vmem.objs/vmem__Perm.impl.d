@@ -1,0 +1,1 @@
+lib/vmem/perm.ml: Bytes Format

@@ -1,0 +1,1 @@
+lib/vmem/perm.mli: Format

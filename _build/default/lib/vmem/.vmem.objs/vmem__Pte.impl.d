@@ -1,0 +1,1 @@
+lib/vmem/pte.ml: Format Perm

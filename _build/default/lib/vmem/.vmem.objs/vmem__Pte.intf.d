@@ -1,0 +1,1 @@
+lib/vmem/pte.mli: Format Frame Perm

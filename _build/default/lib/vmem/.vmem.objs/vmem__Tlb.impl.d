@@ -1,0 +1,1 @@
+lib/vmem/tlb.ml: Cost

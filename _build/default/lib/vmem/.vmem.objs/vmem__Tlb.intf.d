@@ -1,0 +1,1 @@
+lib/vmem/tlb.mli: Cost

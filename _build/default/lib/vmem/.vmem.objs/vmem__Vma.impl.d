@@ -1,0 +1,1 @@
+lib/vmem/vma.ml: Format Perm

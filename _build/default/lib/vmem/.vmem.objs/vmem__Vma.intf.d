@@ -1,0 +1,1 @@
+lib/vmem/vma.mli: Format Perm

@@ -1,0 +1,459 @@
+type fault_error = [ `Segfault | `Perm_denied | `Out_of_memory ]
+
+type t = {
+  frames : Frame.t;
+  cost : Cost.t;
+  tlb : Tlb.t;
+  mutable regions : Vma.t Region_map.t;
+  mutable pt : Page_table.t;
+  mmap_base : int;
+  mutable heap : (int * int) option;  (** (base, brk) — brk grows upward *)
+  mutable committed : int;  (** pages this AS has charged to Frame.commit *)
+  mutable dead : bool;
+}
+
+let default_mmap_base = 0x7000_0000_0000
+
+let create ?(mmap_base = default_mmap_base) ~frames ~cost ~tlb () =
+  if not (Addr.is_page_aligned mmap_base) || not (Addr.valid mmap_base) then
+    invalid_arg "Addr_space.create: bad mmap_base";
+  {
+    frames;
+    cost;
+    tlb;
+    regions = Region_map.empty;
+    pt = Page_table.create ();
+    mmap_base;
+    heap = None;
+    committed = 0;
+    dead = false;
+  }
+
+let frames t = t.frames
+let cost t = t.cost
+let mmap_base t = t.mmap_base
+let alive t name = if t.dead then invalid_arg (name ^ ": destroyed address space")
+
+let charge_commit t pages =
+  match Frame.commit t.frames pages with
+  | Ok () ->
+    t.committed <- t.committed + pages;
+    Ok ()
+  | Error `Commit_limit -> Error `Commit_limit
+
+let release_commit t pages =
+  Frame.uncommit t.frames pages;
+  t.committed <- max 0 (t.committed - pages)
+
+let needs_commit vma = not vma.Vma.shared && vma.Vma.kind <> Vma.Guard
+
+let mmap ?addr ?(shared = false) ~len ~perm ~kind t =
+  alive t "Addr_space.mmap";
+  if len <= 0 then Error `Invalid
+  else begin
+    let len = Addr.align_up len in
+    let vma = Vma.make ~shared ~perm ~kind () in
+    let place start =
+      match Region_map.add ~start ~stop:(start + len) vma t.regions with
+      | Error `Overlap -> Error `Overlap
+      | Ok regions ->
+        let pages = len / Addr.page_size in
+        if needs_commit vma then begin
+          match charge_commit t pages with
+          | Error `Commit_limit -> Error `Commit_limit
+          | Ok () ->
+            t.regions <- regions;
+            Ok start
+        end
+        else begin
+          t.regions <- regions;
+          Ok start
+        end
+    in
+    match addr with
+    | Some a ->
+      if not (Addr.is_page_aligned a) || not (Addr.valid a) || a + len > Addr.max_va
+      then Error `Invalid
+      else place a
+    | None -> (
+      match
+        Region_map.find_gap ~min:t.mmap_base ~max:Addr.max_va ~len t.regions
+      with
+      | None -> Error `No_space
+      | Some a -> place a)
+  end
+
+(* Release the frames mapped under [start, stop) and return how many
+   pages were resident. *)
+let release_pages t ~start ~stop =
+  let released = ref 0 in
+  let vpn0 = Addr.page_number start and vpn1 = Addr.page_number (stop - 1) in
+  for vpn = vpn0 to vpn1 do
+    let pte = Page_table.unmap t.pt ~vpn in
+    if Pte.present pte then begin
+      ignore (Frame.decref t.frames (Pte.frame pte));
+      incr released
+    end
+  done;
+  !released
+
+let munmap t ~addr ~len =
+  alive t "Addr_space.munmap";
+  if len <= 0 || not (Addr.is_page_aligned addr) || not (Addr.valid addr) then
+    Error `Invalid
+  else begin
+    let stop = addr + Addr.align_up len in
+    let regions, removed =
+      Region_map.carve ~start:addr ~stop ~crop:Vma.crop t.regions
+    in
+    t.regions <- regions;
+    List.iter
+      (fun (s, e, vma) ->
+        ignore (release_pages t ~start:s ~stop:e);
+        if needs_commit vma then release_commit t ((e - s) / Addr.page_size))
+      removed;
+    if removed <> [] then Tlb.shootdown t.tlb;
+    Ok ()
+  end
+
+let protect t ~addr ~len ~perm =
+  alive t "Addr_space.protect";
+  if len <= 0 || not (Addr.is_page_aligned addr) || not (Addr.valid addr) then
+    Error `Invalid
+  else begin
+    let stop = addr + Addr.align_up len in
+    (* the range must be fully covered by existing VMAs *)
+    let overlaps = Region_map.overlapping ~start:addr ~stop t.regions in
+    let covered =
+      let rec check pos = function
+        | [] -> pos >= stop
+        | (s, e, _) :: rest -> s <= pos && check (max pos e) rest
+      in
+      check addr overlaps
+    in
+    if not covered then Error `No_region
+    else begin
+      let regions, removed =
+        Region_map.carve ~start:addr ~stop ~crop:Vma.crop t.regions
+      in
+      let regions =
+        List.fold_left
+          (fun regions (s, e, vma) ->
+            match
+              Region_map.add ~start:s ~stop:e { vma with Vma.perm } regions
+            with
+            | Ok r -> r
+            | Error `Overlap -> assert false (* we just carved the range *))
+          regions removed
+      in
+      t.regions <- regions;
+      (* downgrade/upgrade PTEs; COW pages keep write off *)
+      let vpn0 = Addr.page_number addr and vpn1 = Addr.page_number (stop - 1) in
+      for vpn = vpn0 to vpn1 do
+        ignore
+          (Page_table.update t.pt ~vpn (fun pte ->
+               let p =
+                 if Pte.cow pte then { perm with Perm.write = false } else perm
+               in
+               Pte.with_perm pte p))
+      done;
+      Tlb.shootdown t.tlb;
+      Ok ()
+    end
+  end
+
+let set_heap_base t base =
+  alive t "Addr_space.set_heap_base";
+  if not (Addr.is_page_aligned base) || not (Addr.valid base) then
+    invalid_arg "Addr_space.set_heap_base: bad base";
+  match t.heap with
+  | Some _ -> invalid_arg "Addr_space.set_heap_base: heap already set"
+  | None -> t.heap <- Some (base, base)
+
+let brk t =
+  alive t "Addr_space.brk";
+  match t.heap with
+  | None -> invalid_arg "Addr_space.brk: no heap"
+  | Some (_, b) -> b
+
+let set_brk t new_brk =
+  alive t "Addr_space.set_brk";
+  match t.heap with
+  | None -> Error `Invalid
+  | Some (base, cur) ->
+    if (not (Addr.is_page_aligned new_brk)) || new_brk < base then Error `Invalid
+    else if new_brk = cur then Ok ()
+    else if new_brk > cur then begin
+      (* grow: extend (or create) the heap VMA *)
+      let vma = Vma.make ~perm:Perm.rw ~kind:Vma.Heap () in
+      let regions, _ =
+        if cur > base then
+          Region_map.carve ~start:base ~stop:cur ~crop:Vma.crop t.regions
+        else (t.regions, [])
+      in
+      match Region_map.add ~start:base ~stop:new_brk vma regions with
+      | Error `Overlap -> Error `Overlap
+      | Ok regions -> (
+        let pages = (new_brk - cur) / Addr.page_size in
+        match charge_commit t pages with
+        | Error `Commit_limit -> Error `Commit_limit
+        | Ok () ->
+          t.regions <- regions;
+          t.heap <- Some (base, new_brk);
+          Ok ())
+    end
+    else begin
+      (* shrink: release the tail *)
+      match munmap t ~addr:new_brk ~len:(cur - new_brk) with
+      | Error `Invalid -> Error `Invalid
+      | Ok () ->
+        t.heap <- Some (base, new_brk);
+        Ok ()
+    end
+
+let params t = Cost.params t.cost
+
+let demand_fill t ~vpn ~perm =
+  let p = params t in
+  match Frame.alloc t.frames with
+  | Error `Out_of_memory -> Error `Out_of_memory
+  | Ok frame ->
+    Cost.charge t.cost "fault:zero-fill" p.Cost.frame_zero;
+    Page_table.map t.pt ~vpn (Pte.make ~frame ~perm ());
+    Ok ()
+
+let break_cow t ~vpn ~pte ~region_perm =
+  let p = params t in
+  let frame = Pte.frame pte in
+  if Frame.refcount t.frames frame = 1 then begin
+    (* last sharer: take the page back in place *)
+    ignore
+      (Page_table.update t.pt ~vpn (fun pte ->
+           Pte.with_cow (Pte.with_perm pte region_perm) false));
+    Tlb.invalidate_page t.tlb;
+    Ok ()
+  end
+  else begin
+    match Frame.alloc t.frames with
+    | Error `Out_of_memory -> Error `Out_of_memory
+    | Ok fresh ->
+      Cost.charge t.cost "fault:cow-copy" p.Cost.frame_copy;
+      Frame.copy_contents t.frames ~src:frame ~dst:fresh;
+      ignore (Frame.decref t.frames frame);
+      Page_table.map t.pt ~vpn (Pte.make ~frame:fresh ~perm:region_perm ());
+      Tlb.invalidate_page t.tlb;
+      Ok ()
+  end
+
+let fault t ~addr ~write =
+  alive t "Addr_space.fault";
+  let p = params t in
+  if not (Addr.valid addr) then Error `Segfault
+  else
+    match Region_map.find_containing addr t.regions with
+    | None -> Error `Segfault
+    | Some (_, _, vma) ->
+      let requested =
+        if write then { Perm.none with Perm.write = true }
+        else { Perm.none with Perm.read = true }
+      in
+      if not (Perm.allows vma.Vma.perm requested) then Error `Perm_denied
+      else begin
+        let vpn = Addr.page_number addr in
+        let pte = Page_table.lookup t.pt ~vpn in
+        if not (Pte.present pte) then begin
+          Cost.charge t.cost "fault:base" p.Cost.fault_base;
+          demand_fill t ~vpn ~perm:vma.Vma.perm
+        end
+        else if write && not (Pte.perm pte).Perm.write then begin
+          Cost.charge t.cost "fault:base" p.Cost.fault_base;
+          if Pte.cow pte then break_cow t ~vpn ~pte ~region_perm:vma.Vma.perm
+          else begin
+            (* stale protection (e.g. mprotect round-trip): refresh in place *)
+            ignore
+              (Page_table.update t.pt ~vpn (fun pte ->
+                   Pte.with_perm pte vma.Vma.perm));
+            Tlb.invalidate_page t.tlb;
+            Ok ()
+          end
+        end
+        else begin
+          ignore
+            (Page_table.update t.pt ~vpn (fun pte ->
+                 let pte = Pte.mark_accessed pte in
+                 if write then Pte.mark_dirty pte else pte));
+          Ok ()
+        end
+      end
+
+let touch t addr = fault t ~addr ~write:true
+
+let touch_range t ~addr ~len =
+  if len <= 0 then Ok 0
+  else begin
+    let vpn0 = Addr.page_number addr in
+    let vpn1 = Addr.page_number (addr + len - 1) in
+    let rec go vpn n =
+      if vpn > vpn1 then Ok n
+      else
+        match touch t (Addr.addr_of_page vpn) with
+        | Ok () -> go (vpn + 1) (n + 1)
+        | Error e -> Error e
+    in
+    go vpn0 0
+  end
+
+let write_byte t addr v =
+  match fault t ~addr ~write:true with
+  | Error e -> Error e
+  | Ok () ->
+    let pte = Page_table.lookup t.pt ~vpn:(Addr.page_number addr) in
+    Frame.write_byte t.frames (Pte.frame pte) ~off:(Addr.page_offset addr) v;
+    Ok ()
+
+let read_byte t addr =
+  match fault t ~addr ~write:false with
+  | Error e -> Error e
+  | Ok () ->
+    let pte = Page_table.lookup t.pt ~vpn:(Addr.page_number addr) in
+    Ok (Frame.read_byte t.frames (Pte.frame pte) ~off:(Addr.page_offset addr))
+
+let map_image_page t ~addr ~perm ?data ~kind () =
+  alive t "Addr_space.map_image_page";
+  if not (Addr.is_page_aligned addr) then Error `Invalid
+  else begin
+    match mmap ~addr ~len:Addr.page_size ~perm ~kind t with
+    | Error (`No_space | `Invalid) -> Error `Invalid
+    | Error (`Overlap | `Commit_limit) as e -> e
+    | Ok _ -> (
+      match Frame.alloc t.frames with
+      | Error `Out_of_memory -> Error `Out_of_memory
+      | Ok frame ->
+        Cost.charge t.cost "exec:load-page" (params t).Cost.exec_per_page;
+        (match data with
+        | Some s -> Frame.blit_string t.frames frame ~off:0 s
+        | None -> ());
+        Page_table.map t.pt ~vpn:(Addr.page_number addr)
+          (Pte.make ~frame ~perm ());
+        Ok ())
+  end
+
+let clone_common t ~pt ~committed_charge =
+  {
+    frames = t.frames;
+    cost = t.cost;
+    tlb = t.tlb;
+    regions = t.regions;
+    pt;
+    mmap_base = t.mmap_base;
+    heap = t.heap;
+    committed = committed_charge;
+    dead = false;
+  }
+
+(* After a COW page-table copy, pages of *shared* VMAs must not be COW:
+   both processes should keep writing the same frame. *)
+let fixup_shared t child_pt =
+  Region_map.iter
+    (fun s e vma ->
+      if vma.Vma.shared then begin
+        let vpn0 = Addr.page_number s and vpn1 = Addr.page_number (e - 1) in
+        for vpn = vpn0 to vpn1 do
+          let restore pt =
+            ignore
+              (Page_table.update pt ~vpn (fun pte ->
+                   if Pte.cow pte then
+                     Pte.with_cow (Pte.with_perm pte vma.Vma.perm) false
+                   else pte))
+          in
+          restore t.pt;
+          restore child_pt
+        done
+      end)
+    t.regions
+
+let clone_cow t =
+  alive t "Addr_space.clone_cow";
+  let p = params t in
+  (* the child re-charges the parent's private commit: this is the
+     accounting pressure that makes strict-commit systems reject big
+     forks even though COW would copy almost nothing *)
+  match Frame.commit t.frames t.committed with
+  | Error `Commit_limit -> Error `Commit_limit
+  | Ok () ->
+    Cost.charge t.cost "fork:vma"
+      (p.Cost.vma_clone *. float_of_int (Region_map.cardinal t.regions));
+    let child_pt = Page_table.clone_cow t.pt ~frames:t.frames ~cost:t.cost in
+    fixup_shared t child_pt;
+    Tlb.shootdown t.tlb;
+    Ok (clone_common t ~pt:child_pt ~committed_charge:t.committed)
+
+let clone_eager t =
+  alive t "Addr_space.clone_eager";
+  let p = params t in
+  match Frame.commit t.frames t.committed with
+  | Error `Commit_limit -> Error `Commit_limit
+  | Ok () ->
+    Cost.charge t.cost "fork:vma"
+      (p.Cost.vma_clone *. float_of_int (Region_map.cardinal t.regions));
+    let child_pt = Page_table.create () in
+    let result =
+      Page_table.fold_present t.pt ~init:(Ok ()) ~f:(fun acc ~vpn pte ->
+          match acc with
+          | Error _ as e -> e
+          | Ok () -> (
+            let vma =
+              Region_map.find_containing (Addr.addr_of_page vpn) t.regions
+            in
+            let perm =
+              match vma with
+              | Some (_, _, v) -> v.Vma.perm
+              | None -> Pte.perm pte
+            in
+            let shared =
+              match vma with Some (_, _, v) -> v.Vma.shared | None -> false
+            in
+            if shared then begin
+              Frame.incref t.frames (Pte.frame pte);
+              Page_table.map child_pt ~vpn
+                (Pte.make ~frame:(Pte.frame pte) ~perm ());
+              Ok ()
+            end
+            else
+              match Frame.alloc t.frames with
+              | Error `Out_of_memory -> Error `Out_of_memory
+              | Ok fresh ->
+                Cost.charge t.cost "fork:eager-copy" p.Cost.frame_copy;
+                Frame.copy_contents t.frames ~src:(Pte.frame pte) ~dst:fresh;
+                Page_table.map child_pt ~vpn (Pte.make ~frame:fresh ~perm ());
+                Ok ()))
+    in
+    (match result with
+    | Error `Out_of_memory ->
+      ignore (Page_table.clear child_pt ~frames:t.frames);
+      Frame.uncommit t.frames t.committed;
+      Error `Out_of_memory
+    | Ok () -> Ok (clone_common t ~pt:child_pt ~committed_charge:t.committed))
+
+let destroy t =
+  if not t.dead then begin
+    Cost.charge t.cost "proc:destroy" (params t).Cost.proc_destroy;
+    ignore (Page_table.clear t.pt ~frames:t.frames);
+    Frame.uncommit t.frames t.committed;
+    t.committed <- 0;
+    t.regions <- Region_map.empty;
+    t.heap <- None;
+    t.dead <- true
+  end
+
+let resident_pages t = Page_table.present_count t.pt
+let committed_pages t = t.committed
+let vma_count t = Region_map.cardinal t.regions
+let regions t = Region_map.to_list t.regions
+let pt_nodes t = Page_table.node_count t.pt
+
+let pp_layout ppf t =
+  Region_map.iter
+    (fun s e vma ->
+      Format.fprintf ppf "%a-%a %a@\n" Addr.pp s Addr.pp e Vma.pp vma)
+    t.regions

@@ -1,0 +1,100 @@
+(** Simulated process address spaces: VMAs + page table + demand paging
+    + copy-on-write.
+
+    This module is where the paper's performance argument lives:
+    {!clone_cow} (fork) walks the whole page table and its cost grows
+    with the parent's resident set, while a spawned process starts from
+    {!create} with an empty table at constant cost. All operations charge
+    the shared {!Cost.t} meter. *)
+
+type fault_error = [ `Segfault | `Perm_denied | `Out_of_memory ]
+
+type t
+
+val create : ?mmap_base:int -> frames:Frame.t -> cost:Cost.t -> tlb:Tlb.t -> unit -> t
+(** A fresh, empty address space. [mmap_base] is where unhinted mmaps are
+    placed (the ASLR knob; default [0x7000_0000_0000]).
+    @raise Invalid_argument if [mmap_base] is not page-aligned or out of
+    range. *)
+
+val frames : t -> Frame.t
+val cost : t -> Cost.t
+val mmap_base : t -> int
+
+val mmap :
+  ?addr:int ->
+  ?shared:bool ->
+  len:int ->
+  perm:Perm.t ->
+  kind:Vma.kind ->
+  t ->
+  (int, [> `No_space | `Overlap | `Commit_limit | `Invalid ]) result
+(** Map [len] bytes (rounded up to pages). Without [addr] the lowest gap
+    at or above [mmap_base] is used; with [addr] the exact (page-aligned)
+    address is required. Private mappings charge commit. Returns the
+    start address. Pages are demand-faulted, not populated. *)
+
+val munmap : t -> addr:int -> len:int -> (unit, [> `Invalid ]) result
+(** Unmap every whole page of [[addr, addr+len)]; mapped sub-ranges are
+    released (frames decref'd, commit uncharged), holes are ignored, and
+    straddling VMAs are split — POSIX semantics. Flushes remote TLBs. *)
+
+val protect :
+  t -> addr:int -> len:int -> perm:Perm.t -> (unit, [> `Invalid | `No_region ]) result
+(** mprotect: change region and PTE permissions for a range that must be
+    fully covered by existing VMAs. COW pages never regain write
+    permission directly (the next write faults and copies). *)
+
+val set_heap_base : t -> int -> unit
+(** Install the heap start (done once by the program loader).
+    @raise Invalid_argument if not page-aligned or already set. *)
+
+val brk : t -> int
+(** Current program break; equals the heap base before any growth.
+    @raise Invalid_argument if no heap base was set. *)
+
+val set_brk : t -> int -> (unit, [> `Invalid | `Commit_limit | `Overlap ]) result
+(** Grow or shrink the heap to end at the given (page-aligned) break. *)
+
+val fault : t -> addr:int -> write:bool -> (unit, fault_error) result
+(** Simulate a memory access: demand-zero fill, COW break, or failure.
+    Charges fault costs. *)
+
+val touch : t -> int -> (unit, fault_error) result
+(** A write access to one address ([fault ~write:true]). *)
+
+val touch_range : t -> addr:int -> len:int -> (int, fault_error) result
+(** Write-touch every page of the range; returns the number of pages
+    touched. Stops at the first fault error. *)
+
+val read_byte : t -> int -> (int, fault_error) result
+val write_byte : t -> int -> int -> (unit, fault_error) result
+
+val map_image_page :
+  t -> addr:int -> perm:Perm.t -> ?data:string -> kind:Vma.kind ->
+  unit -> (unit, [> `Out_of_memory | `Commit_limit | `Overlap | `Invalid ]) result
+(** Loader path: map one populated page at [addr] (creating a one-page
+    VMA), optionally initialised with [data] (at most a page). *)
+
+val clone_cow : t -> (t, [> `Commit_limit | `Out_of_memory ]) result
+(** Fork the address space: share the VMA list, copy the page table with
+    COW downgrades (charging per node and per PTE), re-charge the
+    parent's commit, shoot down the parent's TLB. The child inherits
+    [mmap_base] — the layout-inheritance property that weakens ASLR. *)
+
+val clone_eager : t -> (t, [> `Commit_limit | `Out_of_memory ]) result
+(** Eager copy (no COW): every resident page is copied immediately. The
+    ablation baseline for E9. *)
+
+val destroy : t -> unit
+(** Release every frame and commit charge. Idempotent; using a destroyed
+    address space raises [Invalid_argument]. *)
+
+val resident_pages : t -> int
+val committed_pages : t -> int
+val vma_count : t -> int
+val regions : t -> (int * int * Vma.t) list
+val pt_nodes : t -> int
+
+val pp_layout : Format.formatter -> t -> unit
+(** /proc/pid/maps-style dump, for examples and debugging. *)

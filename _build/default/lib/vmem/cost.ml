@@ -1,0 +1,86 @@
+type params = {
+  syscall_base : float;
+  proc_create : float;
+  proc_destroy : float;
+  vma_clone : float;
+  pt_node_copy : float;
+  pte_copy : float;
+  fault_base : float;
+  frame_zero : float;
+  frame_copy : float;
+  tlb_flush : float;
+  tlb_shootdown : float;
+  tlb_invlpg : float;
+  exec_base : float;
+  exec_per_page : float;
+  fd_clone : float;
+  sched_switch : float;
+}
+
+(* Order-of-magnitude constants for a ~3 GHz server; see the module
+   interface for why only their relative magnitudes matter. *)
+let default =
+  {
+    syscall_base = 1_500.0;
+    proc_create = 30_000.0;
+    proc_destroy = 20_000.0;
+    vma_clone = 600.0;
+    pt_node_copy = 1_200.0;
+    pte_copy = 30.0;
+    fault_base = 2_500.0;
+    frame_zero = 1_000.0;
+    frame_copy = 1_600.0;
+    tlb_flush = 800.0;
+    tlb_shootdown = 4_000.0;
+    tlb_invlpg = 200.0;
+    exec_base = 900_000.0;
+    exec_per_page = 450.0;
+    fd_clone = 120.0;
+    sched_switch = 3_000.0;
+  }
+
+let ghz = 3.0
+let cycles_to_ns c = c /. ghz
+
+type t = {
+  params : params;
+  mutable total : float;
+  by_cat : (string, float ref) Hashtbl.t;
+}
+
+let create ?(params = default) () =
+  { params; total = 0.0; by_cat = Hashtbl.create 16 }
+
+let params t = t.params
+
+let charge t category cycles =
+  if cycles < 0.0 then invalid_arg "Cost.charge: negative charge";
+  t.total <- t.total +. cycles;
+  match Hashtbl.find_opt t.by_cat category with
+  | Some r -> r := !r +. cycles
+  | None -> Hashtbl.add t.by_cat category (ref cycles)
+
+let total t = t.total
+
+let by_category t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.by_cat []
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+
+let get t category =
+  match Hashtbl.find_opt t.by_cat category with Some r -> !r | None -> 0.0
+
+let reset t =
+  t.total <- 0.0;
+  Hashtbl.reset t.by_cat
+
+let delta t f =
+  let before = t.total in
+  let result = f () in
+  (result, t.total -. before)
+
+let pp_breakdown ppf t =
+  Format.fprintf ppf "total %s@\n" (Metrics.Units.cycles t.total);
+  List.iter
+    (fun (cat, c) ->
+      Format.fprintf ppf "  %-20s %s@\n" cat (Metrics.Units.cycles c))
+    (by_category t)

@@ -1,0 +1,62 @@
+(** Cycle-cost model for the simulated kernel.
+
+    Every micro-operation the simulator performs (copying a page-table
+    page, servicing a fault, flushing a TLB, ...) charges a configurable
+    number of cycles to a {!t} meter, broken down by category. The
+    default constants are order-of-magnitude figures for a ~3 GHz x86
+    server and are calibrated against the real Figure-1 sweep in
+    EXPERIMENTS.md; the *shape* of every simulated result (linear vs
+    constant, crossover position) is insensitive to modest changes in
+    them, which is the property the paper's argument rests on. *)
+
+type params = {
+  syscall_base : float;  (** kernel entry/exit + dispatch *)
+  proc_create : float;  (** allocate and link a PCB *)
+  proc_destroy : float;
+  vma_clone : float;  (** duplicate one VMA record on fork *)
+  pt_node_copy : float;  (** copy one page-table page (512 entries) *)
+  pte_copy : float;  (** visit/copy one present PTE on fork *)
+  fault_base : float;  (** page-fault entry + lookup *)
+  frame_zero : float;  (** zero-fill a 4 KiB frame *)
+  frame_copy : float;  (** copy a 4 KiB frame (COW break) *)
+  tlb_flush : float;  (** local full flush *)
+  tlb_shootdown : float;  (** IPI + remote flush, per remote CPU *)
+  tlb_invlpg : float;  (** single-page invalidation *)
+  exec_base : float;  (** image open + headers + loader setup *)
+  exec_per_page : float;  (** map one text/data page (no I/O model) *)
+  fd_clone : float;  (** duplicate one fd-table slot *)
+  sched_switch : float;  (** context switch *)
+}
+
+val default : params
+
+val ghz : float
+(** Clock used to convert simulated cycles to nanoseconds: 3.0. *)
+
+val cycles_to_ns : float -> float
+
+type t
+(** A mutable meter: accumulated cycles, per category. *)
+
+val create : ?params:params -> unit -> t
+val params : t -> params
+
+val charge : t -> string -> float -> unit
+(** [charge m category cycles] adds [cycles] (may be a multiple of a
+    [params] field) under [category]. Negative charges raise
+    [Invalid_argument]. *)
+
+val total : t -> float
+val by_category : t -> (string * float) list
+(** Sorted by descending cost. *)
+
+val get : t -> string -> float
+(** Cycles charged under one category (0. if never charged). *)
+
+val reset : t -> unit
+
+val delta : t -> (unit -> 'a) -> 'a * float
+(** [delta m f] runs [f] and returns its result together with the cycles
+    charged to [m] during the call. *)
+
+val pp_breakdown : Format.formatter -> t -> unit

@@ -1,0 +1,134 @@
+type policy = Strict | Overcommit
+
+type frame = int
+
+type t = {
+  nframes : int;
+  refcounts : int array;
+  mutable next_fresh : int;  (** frames >= this have never been handed out *)
+  mutable free_stack : int list;  (** freed frames available for reuse *)
+  mutable used : int;
+  mutable committed : int;
+  mutable policy : policy;
+  data : (int, Bytes.t) Hashtbl.t;  (** materialised contents *)
+}
+
+let create ?(policy = Strict) ~frames () =
+  if frames <= 0 then invalid_arg "Frame.create: frames <= 0";
+  {
+    nframes = frames;
+    refcounts = Array.make frames 0;
+    next_fresh = 0;
+    free_stack = [];
+    used = 0;
+    committed = 0;
+    policy;
+    data = Hashtbl.create 64;
+  }
+
+let policy t = t.policy
+let set_policy t p = t.policy <- p
+let total t = t.nframes
+let used t = t.used
+let free t = t.nframes - t.used
+
+let check_frame t f name =
+  if f < 0 || f >= t.nframes || t.refcounts.(f) = 0 then
+    invalid_arg (name ^ ": unallocated frame")
+
+let alloc t =
+  match t.free_stack with
+  | f :: rest ->
+    t.free_stack <- rest;
+    t.refcounts.(f) <- 1;
+    t.used <- t.used + 1;
+    Ok f
+  | [] ->
+    if t.next_fresh >= t.nframes then Error `Out_of_memory
+    else begin
+      let f = t.next_fresh in
+      t.next_fresh <- t.next_fresh + 1;
+      t.refcounts.(f) <- 1;
+      t.used <- t.used + 1;
+      Ok f
+    end
+
+let incref t f =
+  check_frame t f "Frame.incref";
+  t.refcounts.(f) <- t.refcounts.(f) + 1
+
+let decref t f =
+  check_frame t f "Frame.decref";
+  t.refcounts.(f) <- t.refcounts.(f) - 1;
+  if t.refcounts.(f) = 0 then begin
+    Hashtbl.remove t.data f;
+    t.free_stack <- f :: t.free_stack;
+    t.used <- t.used - 1;
+    true
+  end
+  else false
+
+let refcount t f =
+  if f < 0 || f >= t.nframes then 0 else t.refcounts.(f)
+
+let commit t pages =
+  if pages < 0 then invalid_arg "Frame.commit: negative";
+  match t.policy with
+  | Overcommit ->
+    t.committed <- t.committed + pages;
+    Ok ()
+  | Strict ->
+    if t.committed + pages > t.nframes then Error `Commit_limit
+    else begin
+      t.committed <- t.committed + pages;
+      Ok ()
+    end
+
+let uncommit t pages =
+  if pages < 0 then invalid_arg "Frame.uncommit: negative";
+  t.committed <- max 0 (t.committed - pages)
+
+let committed t = t.committed
+
+let contents t f =
+  match Hashtbl.find_opt t.data f with
+  | Some b -> b
+  | None ->
+    let b = Bytes.make Addr.page_size '\000' in
+    Hashtbl.add t.data f b;
+    b
+
+let write_byte t f ~off v =
+  check_frame t f "Frame.write_byte";
+  if off < 0 || off >= Addr.page_size then
+    invalid_arg "Frame.write_byte: offset";
+  if v < 0 || v > 255 then invalid_arg "Frame.write_byte: byte value";
+  Bytes.set (contents t f) off (Char.chr v)
+
+let read_byte t f ~off =
+  check_frame t f "Frame.read_byte";
+  if off < 0 || off >= Addr.page_size then invalid_arg "Frame.read_byte: offset";
+  match Hashtbl.find_opt t.data f with
+  | None -> 0
+  | Some b -> Char.code (Bytes.get b off)
+
+let blit_string t f ~off s =
+  check_frame t f "Frame.blit_string";
+  if off < 0 || off + String.length s > Addr.page_size then
+    invalid_arg "Frame.blit_string: range";
+  Bytes.blit_string s 0 (contents t f) off (String.length s)
+
+let read_string t f ~off ~len =
+  check_frame t f "Frame.read_string";
+  if off < 0 || len < 0 || off + len > Addr.page_size then
+    invalid_arg "Frame.read_string: range";
+  match Hashtbl.find_opt t.data f with
+  | None -> String.make len '\000'
+  | Some b -> Bytes.sub_string b off len
+
+let copy_contents t ~src ~dst =
+  check_frame t src "Frame.copy_contents";
+  check_frame t dst "Frame.copy_contents";
+  match Hashtbl.find_opt t.data src with
+  | None -> ()
+  | Some b -> Hashtbl.replace t.data dst (Bytes.copy b)

@@ -1,0 +1,71 @@
+(** Physical frame allocator with reference counts and commit accounting.
+
+    One {!t} models the physical memory of a simulated machine and is
+    shared by every address space on it. Frames are reference-counted so
+    copy-on-write sharing (fork) is explicit and checkable. Frame
+    *contents* are materialised lazily: an allocated frame reads as
+    zeroes until the first byte is written, so a multi-GiB address-space
+    sweep costs O(#frames) small integers, not O(bytes).
+
+    Commit accounting models the policy choice the paper ties to fork:
+    under [Strict] accounting the sum of committed private pages may not
+    exceed physical memory, so forking a large process fails even though
+    COW would rarely copy the pages; [Overcommit] waives the check, which
+    is exactly the Linux-style behaviour the paper blames fork for
+    encouraging (and which surfaces later as OOM kills). *)
+
+type policy = Strict | Overcommit
+
+type t
+
+type frame = int
+(** Frame number in [[0, total)]. *)
+
+val create : ?policy:policy -> frames:int -> unit -> t
+(** [create ~frames ()] models a machine with [frames] physical frames.
+    Default policy is [Strict]. @raise Invalid_argument if [frames <= 0]. *)
+
+val policy : t -> policy
+val set_policy : t -> policy -> unit
+
+val total : t -> int
+val used : t -> int
+val free : t -> int
+
+val alloc : t -> (frame, [> `Out_of_memory ]) result
+(** Allocate a zero-filled frame with refcount 1. *)
+
+val incref : t -> frame -> unit
+(** @raise Invalid_argument on an unallocated frame. *)
+
+val decref : t -> frame -> bool
+(** Drop one reference; returns [true] when this freed the frame (its
+    contents are discarded). @raise Invalid_argument on an unallocated
+    frame. *)
+
+val refcount : t -> frame -> int
+(** 0 for unallocated frames. *)
+
+val commit : t -> int -> (unit, [> `Commit_limit ]) result
+(** [commit t pages] charges [pages] of commit. Fails under [Strict]
+    when the new total would exceed {!total}; always succeeds under
+    [Overcommit]. *)
+
+val uncommit : t -> int -> unit
+(** Releases commit charge; clamps at zero rather than going negative. *)
+
+val committed : t -> int
+
+val write_byte : t -> frame -> off:int -> int -> unit
+(** Materialises the frame contents on first write.
+    @raise Invalid_argument on a bad frame, offset or byte value. *)
+
+val read_byte : t -> frame -> off:int -> int
+(** Reads 0 from never-written frames. *)
+
+val blit_string : t -> frame -> off:int -> string -> unit
+val read_string : t -> frame -> off:int -> len:int -> string
+
+val copy_contents : t -> src:frame -> dst:frame -> unit
+(** Copy page contents (used when breaking COW). Never-written sources
+    leave [dst] untouched (both read as zeroes). *)

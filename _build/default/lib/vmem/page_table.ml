@@ -1,0 +1,163 @@
+type node =
+  | Leaf of int array  (** packed PTEs *)
+  | Inner of node option array
+
+type t = {
+  mutable root : node;
+  mutable present : int;
+  mutable nodes : int;
+}
+
+let new_leaf () = Leaf (Array.make Addr.entries_per_table Pte.absent)
+let new_inner () = Inner (Array.make Addr.entries_per_table None)
+
+let create () = { root = new_inner (); present = 0; nodes = 1 }
+
+let check_vpn vpn =
+  if vpn < 0 || vpn >= Addr.max_va lsr Addr.page_shift then
+    invalid_arg "Page_table: vpn out of range"
+
+(* Walk from the root (level = levels-1) down to the leaf, optionally
+   creating missing nodes. Returns the leaf array. *)
+let rec walk t node level vpn ~create_missing =
+  match node with
+  | Leaf entries -> Some entries
+  | Inner children ->
+    let idx = Addr.table_index ~level vpn in
+    (match children.(idx) with
+    | Some child -> walk t child (level - 1) vpn ~create_missing
+    | None ->
+      if not create_missing then None
+      else begin
+        let child = if level = 1 then new_leaf () else new_inner () in
+        children.(idx) <- Some child;
+        t.nodes <- t.nodes + 1;
+        walk t child (level - 1) vpn ~create_missing
+      end)
+
+let map t ~vpn pte =
+  check_vpn vpn;
+  if not (Pte.present pte) then invalid_arg "Page_table.map: absent pte";
+  match walk t t.root (Addr.levels - 1) vpn ~create_missing:true with
+  | None -> assert false
+  | Some entries ->
+    let idx = Addr.table_index ~level:0 vpn in
+    if not (Pte.present entries.(idx)) then t.present <- t.present + 1;
+    entries.(idx) <- pte
+
+let unmap t ~vpn =
+  check_vpn vpn;
+  match walk t t.root (Addr.levels - 1) vpn ~create_missing:false with
+  | None -> Pte.absent
+  | Some entries ->
+    let idx = Addr.table_index ~level:0 vpn in
+    let old = entries.(idx) in
+    if Pte.present old then begin
+      entries.(idx) <- Pte.absent;
+      t.present <- t.present - 1
+    end;
+    old
+
+let lookup t ~vpn =
+  check_vpn vpn;
+  match walk t t.root (Addr.levels - 1) vpn ~create_missing:false with
+  | None -> Pte.absent
+  | Some entries -> entries.(Addr.table_index ~level:0 vpn)
+
+let update t ~vpn f =
+  check_vpn vpn;
+  match walk t t.root (Addr.levels - 1) vpn ~create_missing:false with
+  | None -> false
+  | Some entries ->
+    let idx = Addr.table_index ~level:0 vpn in
+    let old = entries.(idx) in
+    if not (Pte.present old) then false
+    else begin
+      let updated = f old in
+      if not (Pte.present updated) then
+        invalid_arg "Page_table.update: function returned absent pte";
+      entries.(idx) <- updated;
+      true
+    end
+
+let present_count t = t.present
+let node_count t = t.nodes
+
+let fold_present t ~init ~f =
+  (* vpn is reconstructed incrementally: at each level the child index
+     contributes 9 more bits. *)
+  let rec go node level vpn_prefix acc =
+    match node with
+    | Leaf entries ->
+      let acc = ref acc in
+      for i = 0 to Addr.entries_per_table - 1 do
+        if Pte.present entries.(i) then
+          acc := f !acc ~vpn:((vpn_prefix lsl Addr.index_bits) lor i)
+              entries.(i)
+      done;
+      !acc
+    | Inner children ->
+      let acc = ref acc in
+      for i = 0 to Addr.entries_per_table - 1 do
+        match children.(i) with
+        | None -> ()
+        | Some child ->
+          acc :=
+            go child (level - 1) ((vpn_prefix lsl Addr.index_bits) lor i) !acc
+      done;
+      !acc
+  in
+  go t.root (Addr.levels - 1) 0 init
+
+let clone_cow t ~frames ~cost =
+  let p = Cost.params cost in
+  let nodes = ref 0 in
+  let present = ref 0 in
+  let rec copy node =
+    incr nodes;
+    Cost.charge cost "fork:pt-node" p.Cost.pt_node_copy;
+    match node with
+    | Leaf entries ->
+      let dst = Array.make Addr.entries_per_table Pte.absent in
+      for i = 0 to Addr.entries_per_table - 1 do
+        let pte = entries.(i) in
+        if Pte.present pte then begin
+          Cost.charge cost "fork:pte" p.Cost.pte_copy;
+          incr present;
+          Frame.incref frames (Pte.frame pte);
+          let shared =
+            if (Pte.perm pte).Perm.write then
+              (* downgrade to read-only COW in both tables *)
+              Pte.with_cow
+                (Pte.with_perm pte
+                   { (Pte.perm pte) with Perm.write = false })
+                true
+            else pte
+          in
+          entries.(i) <- shared;
+          dst.(i) <- shared
+        end
+      done;
+      Leaf dst
+    | Inner children ->
+      let dst = Array.make Addr.entries_per_table None in
+      for i = 0 to Addr.entries_per_table - 1 do
+        match children.(i) with
+        | None -> ()
+        | Some child -> dst.(i) <- Some (copy child)
+      done;
+      Inner dst
+  in
+  let root = copy t.root in
+  { root; present = !present; nodes = !nodes }
+
+let clear t ~frames =
+  let dropped =
+    fold_present t ~init:0 ~f:(fun n ~vpn:_ pte ->
+        ignore (Frame.decref frames (Pte.frame pte));
+        n + 1)
+  in
+  t.root <- new_inner ();
+  t.present <- 0;
+  t.nodes <- 1;
+  dropped

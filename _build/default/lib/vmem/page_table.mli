@@ -1,0 +1,49 @@
+(** 4-level radix page table over packed {!Pte} entries.
+
+    This is the data structure whose wholesale duplication makes fork's
+    cost proportional to the parent's address-space size: {!clone_cow}
+    walks and copies every table page containing a present entry, which
+    is exactly what a COW fork must do, while a freshly spawned process
+    starts from an empty table. *)
+
+type t
+
+val create : unit -> t
+
+val map : t -> vpn:int -> Pte.t -> unit
+(** Install (or replace) the entry for virtual page [vpn], allocating
+    intermediate table nodes as needed.
+    @raise Invalid_argument if [vpn] is out of range or the PTE is
+    absent. *)
+
+val unmap : t -> vpn:int -> Pte.t
+(** Remove and return the entry ({!Pte.absent} if none was present). *)
+
+val lookup : t -> vpn:int -> Pte.t
+(** {!Pte.absent} when unmapped. *)
+
+val update : t -> vpn:int -> (Pte.t -> Pte.t) -> bool
+(** Apply a function to a *present* entry in place; returns false (and
+    does nothing) when the page is unmapped. The function must return a
+    present entry. *)
+
+val present_count : t -> int
+(** Number of present leaf entries. *)
+
+val node_count : t -> int
+(** Number of table pages currently allocated, root included. *)
+
+val fold_present : t -> init:'a -> f:('a -> vpn:int -> Pte.t -> 'a) -> 'a
+(** Iterate all present entries in increasing vpn order. *)
+
+val clone_cow : t -> frames:Frame.t -> cost:Cost.t -> t
+(** Duplicate the table for a forked child: every table node is copied
+    (charged as [pt_node_copy]), every present entry visited (charged as
+    [pte_copy]); writable entries are downgraded to read-only+COW in
+    {b both} parent and child, and each referenced frame's refcount is
+    incremented. The caller is responsible for the parent TLB flush this
+    downgrade requires. *)
+
+val clear : t -> frames:Frame.t -> int
+(** Drop every present entry, decrementing frame refcounts; returns the
+    number of entries dropped. Used by exec and process teardown. *)

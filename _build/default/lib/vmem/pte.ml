@@ -1,0 +1,58 @@
+type t = int
+
+let bit_present = 1
+let bit_read = 2
+let bit_write = 4
+let bit_exec = 8
+let bit_cow = 16
+let bit_accessed = 32
+let bit_dirty = 64
+let frame_shift = 8
+let absent = 0
+let present t = t land bit_present <> 0
+
+let make ~frame ~perm ?(cow = false) () =
+  if frame < 0 then invalid_arg "Pte.make: negative frame";
+  (frame lsl frame_shift)
+  lor bit_present
+  lor (if perm.Perm.read then bit_read else 0)
+  lor (if perm.Perm.write then bit_write else 0)
+  lor (if perm.Perm.exec then bit_exec else 0)
+  lor if cow then bit_cow else 0
+
+let frame t = t lsr frame_shift
+
+let perm t =
+  {
+    Perm.read = t land bit_read <> 0;
+    write = t land bit_write <> 0;
+    exec = t land bit_exec <> 0;
+  }
+
+let cow t = t land bit_cow <> 0
+let accessed t = t land bit_accessed <> 0
+let dirty t = t land bit_dirty <> 0
+
+let with_perm t p =
+  let cleared = t land lnot (bit_read lor bit_write lor bit_exec) in
+  cleared
+  lor (if p.Perm.read then bit_read else 0)
+  lor (if p.Perm.write then bit_write else 0)
+  lor if p.Perm.exec then bit_exec else 0
+
+let with_cow t c = if c then t lor bit_cow else t land lnot bit_cow
+
+let with_frame t f =
+  if f < 0 then invalid_arg "Pte.with_frame: negative frame";
+  (f lsl frame_shift) lor (t land ((1 lsl frame_shift) - 1))
+
+let mark_accessed t = t lor bit_accessed
+let mark_dirty t = t lor bit_dirty
+
+let pp ppf t =
+  if not (present t) then Format.pp_print_string ppf "<absent>"
+  else
+    Format.fprintf ppf "frame=%d %a%s%s%s" (frame t) Perm.pp (perm t)
+      (if cow t then " cow" else "")
+      (if accessed t then " acc" else "")
+      (if dirty t then " dirty" else "")

@@ -1,0 +1,32 @@
+(** Packed page-table entries.
+
+    A PTE is a single immutable [int]: bit 0 = present, bits 1-3 =
+    read/write/exec, bit 4 = copy-on-write, bit 5 = accessed, bit 6 =
+    dirty; the frame number occupies the bits above {!frame_shift}.
+    Packing keeps a fully-mapped multi-GiB address space cheap (one int
+    per page). *)
+
+type t = int
+
+val absent : t
+val present : t -> bool
+
+val make : frame:Frame.frame -> perm:Perm.t -> ?cow:bool -> unit -> t
+(** A fresh present entry; [cow] defaults to false.
+    @raise Invalid_argument on a negative frame. *)
+
+val frame : t -> Frame.frame
+val perm : t -> Perm.t
+val cow : t -> bool
+val accessed : t -> bool
+val dirty : t -> bool
+
+val with_perm : t -> Perm.t -> t
+val with_cow : t -> bool -> t
+val with_frame : t -> Frame.frame -> t
+val mark_accessed : t -> t
+val mark_dirty : t -> t
+
+val frame_shift : int
+
+val pp : Format.formatter -> t -> unit

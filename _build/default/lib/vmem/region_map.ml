@@ -1,0 +1,83 @@
+module Imap = Map.Make (Int)
+
+(* Keyed by interval start; the payload stores the exclusive stop. *)
+type 'a t = (int * 'a) Imap.t
+
+let empty = Imap.empty
+let is_empty = Imap.is_empty
+let cardinal = Imap.cardinal
+
+let check_range start stop name =
+  if start < 0 then invalid_arg (name ^ ": negative start");
+  if start >= stop then invalid_arg (name ^ ": empty range")
+
+(* The interval at or before [point], if it covers it. *)
+let find_containing point m =
+  match Imap.find_last_opt (fun s -> s <= point) m with
+  | Some (s, (e, v)) when point < e -> Some (s, e, v)
+  | Some _ | None -> None
+
+let mem point m = Option.is_some (find_containing point m)
+
+let overlapping ~start ~stop m =
+  check_range start stop "Region_map.overlapping";
+  (* candidates: the interval containing [start] plus all intervals whose
+     start lies in [start, stop) *)
+  let before =
+    match find_containing start m with Some iv -> [ iv ] | None -> []
+  in
+  let inside =
+    Imap.fold
+      (fun s (e, v) acc -> if s >= start && s < stop then (s, e, v) :: acc else acc)
+      m []
+    |> List.rev
+  in
+  let all = before @ inside in
+  (* dedupe the containing interval if its start is also in range *)
+  List.sort_uniq (fun (a, _, _) (b, _, _) -> compare a b) all
+
+let add ~start ~stop v m =
+  check_range start stop "Region_map.add";
+  if overlapping ~start ~stop m <> [] then Error `Overlap
+  else Ok (Imap.add start (stop, v) m)
+
+let carve ~start ~stop ~crop m =
+  check_range start stop "Region_map.carve";
+  let victims = overlapping ~start ~stop m in
+  let m, removed =
+    List.fold_left
+      (fun (m, removed) (s, e, v) ->
+        let m = Imap.remove s m in
+        (* left fragment survives *)
+        let m =
+          if s < start then
+            Imap.add s (start, crop ~old_start:s ~start:s ~stop:start v) m
+          else m
+        in
+        (* right fragment survives *)
+        let m =
+          if e > stop then
+            Imap.add stop (e, crop ~old_start:s ~start:stop ~stop:e v) m
+          else m
+        in
+        let mid_s = max s start and mid_e = min e stop in
+        let frag = (mid_s, mid_e, crop ~old_start:s ~start:mid_s ~stop:mid_e v) in
+        (m, frag :: removed))
+      (m, []) victims
+  in
+  (m, List.rev removed)
+
+let iter f m = Imap.iter (fun s (e, v) -> f s e v) m
+let fold f m init = Imap.fold (fun s (e, v) acc -> f s e v acc) m init
+let to_list m = fold (fun s e v acc -> (s, e, v) :: acc) m [] |> List.rev
+
+let find_gap ~min ~max ~len m =
+  if len <= 0 then invalid_arg "Region_map.find_gap: len <= 0";
+  let rec scan pos = function
+    | [] -> if pos + len <= max then Some pos else None
+    | (s, e, _) :: rest ->
+      if pos + len <= s then Some pos else scan (Stdlib.max pos e) rest
+  in
+  scan min (to_list m)
+
+let total_length m = fold (fun s e _ acc -> acc + (e - s)) m 0

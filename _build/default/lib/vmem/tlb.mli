@@ -1,0 +1,33 @@
+(** TLB cost model.
+
+    The simulator does not cache translations (correctness never depends
+    on a TLB); this module only *accounts* for the flush and shootdown
+    work that real kernels must perform — the costs fork's COW downgrade
+    forces onto every CPU running the parent. *)
+
+type t
+
+type stats = {
+  local_flushes : int;
+  shootdowns : int;  (** full-AS remote flushes (one event, all CPUs) *)
+  invalidations : int;  (** single-page invalidations *)
+}
+
+val create : ?cpus:int -> Cost.t -> t
+(** [cpus] is how many CPUs may concurrently run threads of one address
+    space; shootdowns charge per remote CPU. Default 4.
+    @raise Invalid_argument if [cpus < 1]. *)
+
+val cpus : t -> int
+
+val flush_local : t -> unit
+(** Full flush on the current CPU (e.g. context switch to a new AS). *)
+
+val shootdown : t -> unit
+(** Flush an address space on every CPU: one local flush plus an IPI to
+    each of the [cpus - 1] remote CPUs. *)
+
+val invalidate_page : t -> unit
+(** Single-page invalidation on the current CPU (COW break). *)
+
+val stats : t -> stats

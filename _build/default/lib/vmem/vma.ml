@@ -1,0 +1,37 @@
+type kind =
+  | Anon
+  | Heap
+  | Stack
+  | Text of { path : string }
+  | Data of { path : string }
+  | File of { path : string; offset : int }
+  | Guard
+
+type t = { perm : Perm.t; kind : kind; shared : bool }
+
+let make ?(shared = false) ~perm ~kind () = { perm; kind; shared }
+
+let crop ~old_start ~start ~stop:_ t =
+  match t.kind with
+  | File { path; offset } ->
+    { t with kind = File { path; offset = offset + (start - old_start) } }
+  | Anon | Heap | Stack | Text _ | Data _ | Guard -> t
+
+let is_file_backed t =
+  match t.kind with
+  | File _ | Text _ | Data _ -> true
+  | Anon | Heap | Stack | Guard -> false
+
+let kind_name t =
+  match t.kind with
+  | Anon -> "anon"
+  | Heap -> "heap"
+  | Stack -> "stack"
+  | Text _ -> "text"
+  | Data _ -> "data"
+  | File _ -> "file"
+  | Guard -> "guard"
+
+let pp ppf t =
+  Format.fprintf ppf "%a %s%s" Perm.pp t.perm (kind_name t)
+    (if t.shared then " shared" else "")

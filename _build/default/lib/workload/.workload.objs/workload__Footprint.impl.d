@@ -1,0 +1,1 @@
+lib/workload/footprint.ml: Bigarray Char

@@ -1,0 +1,1 @@
+lib/workload/sweep.ml: List

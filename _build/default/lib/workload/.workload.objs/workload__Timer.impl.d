@@ -1,0 +1,1 @@
+lib/workload/timer.ml: Array Unix

@@ -1,0 +1,48 @@
+type buffer =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { mib : int; mutable buf : buffer option }
+
+let page = 4096
+
+let allocate ~mib =
+  if mib < 0 then invalid_arg "Footprint.allocate: negative size";
+  if mib = 0 then { mib; buf = None }
+  else begin
+    let bytes = mib * 1024 * 1024 in
+    let buf = Bigarray.Array1.create Bigarray.char Bigarray.c_layout bytes in
+    let i = ref 0 in
+    while !i < bytes do
+      Bigarray.Array1.set buf !i 'x';
+      i := !i + page
+    done;
+    { mib; buf = Some buf }
+  end
+
+let mib t = t.mib
+
+let touch_again t =
+  match t.buf with
+  | None -> ()
+  | Some buf ->
+    let bytes = Bigarray.Array1.dim buf in
+    let i = ref 0 in
+    while !i < bytes do
+      Bigarray.Array1.set buf !i 'y';
+      i := !i + page
+    done
+
+let checksum t =
+  match t.buf with
+  | None -> 0
+  | Some buf ->
+    let bytes = Bigarray.Array1.dim buf in
+    let acc = ref 0 in
+    let i = ref 0 in
+    while !i < bytes do
+      acc := !acc + Char.code (Bigarray.Array1.get buf !i);
+      i := !i + page
+    done;
+    !acc
+
+let release t = t.buf <- None

@@ -1,0 +1,22 @@
+(** Real-OS parent-memory footprints for the Figure-1 sweep.
+
+    A footprint is an actually-touched allocation held live while fork
+    latency is measured, so the kernel has a correspondingly large page
+    table / anon RSS to duplicate. *)
+
+type t
+
+val allocate : mib:int -> t
+(** Allocate [mib] MiB (as a Bigarray outside the OCaml heap, so the GC
+    neither moves nor scans it) and write one byte per 4 KiB page to
+    commit it. [mib = 0] is a valid empty footprint. *)
+
+val mib : t -> int
+val touch_again : t -> unit
+(** Re-dirty every page (defeats same-page merging across samples). *)
+
+val checksum : t -> int
+(** Reads a byte per page; keeps the allocation observably live. *)
+
+val release : t -> unit
+(** Drop the reference (memory returns to the GC's discretion). *)

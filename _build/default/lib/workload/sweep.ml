@@ -1,0 +1,13 @@
+let geometric ~base ~factor ~count =
+  if base <= 0 || count <= 0 || factor < 2 then
+    invalid_arg "Sweep.geometric: bad parameters";
+  List.init count (fun i ->
+      let rec pow acc n = if n = 0 then acc else pow (acc * factor) (n - 1) in
+      pow base i)
+
+let fig1_mib = [ 0; 1; 4; 16; 64; 256; 1024 ]
+let fig1_sim_mib = [ 0; 1; 4; 16; 64; 256; 1024; 4096; 16384 ]
+let vma_counts = [ 1; 16; 64; 256; 1024; 4096 ]
+let thread_counts = [ 1; 2; 4; 8; 16 ]
+let pages_of_mib mib = mib * 256
+let bytes_of_mib mib = mib * 1024 * 1024

@@ -1,0 +1,22 @@
+(** Parameter sweeps shared by the benches. *)
+
+val geometric : base:int -> factor:int -> count:int -> int list
+(** [geometric ~base ~factor ~count] = [[base; base*factor; ...]], count
+    terms. @raise Invalid_argument on non-positive inputs or factor < 2. *)
+
+val fig1_mib : int list
+(** The Figure-1 x-axis for the {e real} sweep: parent footprint in MiB —
+    [[0; 1; 4; 16; 64; 256; 1024]]. *)
+
+val fig1_sim_mib : int list
+(** The simulator sweep, extended past physical RAM:
+    [[0; 1; 4; 16; 64; 256; 1024; 4096; 16384]]. *)
+
+val vma_counts : int list
+(** E8 x-axis: [[1; 16; 64; 256; 1024; 4096]]. *)
+
+val thread_counts : int list
+(** E3 x-axis: [[1; 2; 4; 8; 16]]. *)
+
+val pages_of_mib : int -> int
+val bytes_of_mib : int -> int

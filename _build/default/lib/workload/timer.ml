@@ -1,0 +1,13 @@
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let time_ns f =
+  let t0 = now_ns () in
+  let result = f () in
+  (result, now_ns () -. t0)
+
+let sample ?(warmup = 3) ~n f =
+  if n <= 0 then invalid_arg "Timer.sample: n <= 0";
+  for _ = 1 to warmup do f () done;
+  Array.init n (fun _ ->
+      let (), dt = time_ns f in
+      dt)

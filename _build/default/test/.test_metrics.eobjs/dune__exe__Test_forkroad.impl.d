@@ -1,0 +1,1 @@
+test/test_forkroad.ml: Alcotest Buffer Forkroad Ksim List Metrics Option String Vmem

@@ -1,0 +1,1 @@
+test/test_ksim.ml: Alcotest Format Ksim List Printf QCheck QCheck_alcotest Set String Vmem

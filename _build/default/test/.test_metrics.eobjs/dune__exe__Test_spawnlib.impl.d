@@ -1,0 +1,1 @@
+test/test_spawnlib.ml: Alcotest Filename List Option Spawnlib String Sys Unix

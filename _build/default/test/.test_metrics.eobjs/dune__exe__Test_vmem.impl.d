@@ -1,0 +1,1 @@
+test/test_vmem.ml: Alcotest Gen Hashtbl Int List QCheck QCheck_alcotest Set Vmem

@@ -1,0 +1,226 @@
+(* Tests for the corpus scanner, generator and survey, plus the prng and
+   workload helpers they depend on. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let scan_count src api = Forklore.Scanner.count (Forklore.Scanner.scan_string src) api
+
+(* ------------------------------------------------------------------ *)
+(* Scanner *)
+
+let test_scanner_counts_calls () =
+  let src = "int main() { pid_t p = fork(); fork (); return p; }" in
+  check_int "two forks" 2 (scan_count src Forklore.Api.Fork)
+
+let test_scanner_ignores_comments () =
+  let src = "// fork()\n/* fork() vfork() */\nint x = 1;\n" in
+  check_int "line comment" 0 (scan_count src Forklore.Api.Fork);
+  check_int "block comment" 0 (scan_count src Forklore.Api.Vfork)
+
+let test_scanner_ignores_strings () =
+  let src = {|printf("fork() failed"); char c = '('; system("ls");|} in
+  check_int "string literal" 0 (scan_count src Forklore.Api.Fork);
+  (* the system() call is real; its argument string is not *)
+  check_int "system call" 1 (scan_count src Forklore.Api.System)
+
+let test_scanner_escaped_quotes () =
+  let src = {|puts("say \"fork()\" aloud"); fork();|} in
+  check_int "one real call" 1 (scan_count src Forklore.Api.Fork)
+
+let test_scanner_identifier_boundaries () =
+  let src = "my_fork_helper(); forkful(); refork(); xfork(); fork_();" in
+  check_int "no lookalikes" 0 (scan_count src Forklore.Api.Fork)
+
+let test_scanner_no_paren_no_call () =
+  let src = "int fork; fork = 3; sizeof fork;" in
+  check_int "bare identifier" 0 (scan_count src Forklore.Api.Fork)
+
+let test_scanner_exec_family () =
+  let src = "execve(a,b,c); execvp(a,b); execl(a,b); posix_spawnp(&p,a,0,0,b,c);" in
+  check_int "exec family" 3 (scan_count src Forklore.Api.Exec);
+  check_int "spawnp" 1 (scan_count src Forklore.Api.Posix_spawn)
+
+let test_scanner_lines () =
+  let r = Forklore.Scanner.scan_string "a\nb\nc" in
+  check_int "lines" 3 r.Forklore.Scanner.lines
+
+let prop_scanner_matches_truth =
+  QCheck.Test.make ~count:30 ~name:"scanner: exact on generated corpus"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let pkgs = Forklore.Corpus.generate ~packages:20 ~seed () in
+      match Forklore.Survey.validate pkgs with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_report msg)
+
+(* ------------------------------------------------------------------ *)
+(* Corpus + survey *)
+
+let test_corpus_deterministic () =
+  let a = Forklore.Corpus.generate ~packages:10 ~seed:1 () in
+  let b = Forklore.Corpus.generate ~packages:10 ~seed:1 () in
+  check_bool "same seed same corpus" true
+    (List.for_all2
+       (fun x y -> x.Forklore.Corpus.source = y.Forklore.Corpus.source)
+       a b);
+  let c = Forklore.Corpus.generate ~packages:10 ~seed:2 () in
+  check_bool "different seed differs" true
+    (List.exists2
+       (fun x y -> x.Forklore.Corpus.source <> y.Forklore.Corpus.source)
+       a c)
+
+let test_survey_shape () =
+  (* the generated mix must reproduce the paper's qualitative claim:
+     fork-family dominates, posix_spawn is rare *)
+  let pkgs = Forklore.Corpus.generate ~packages:400 ~seed:7 () in
+  let rows = Forklore.Survey.of_packages pkgs in
+  let share api =
+    (List.find (fun r -> r.Forklore.Survey.api = api) rows)
+      .Forklore.Survey.package_share
+  in
+  check_bool "fork common" true (share Forklore.Api.Fork > 0.25);
+  check_bool "spawn rare" true (share Forklore.Api.Posix_spawn < 0.10);
+  check_bool "fork >> spawn" true
+    (share Forklore.Api.Fork > 4.0 *. share Forklore.Api.Posix_spawn)
+
+let test_scan_directory () =
+  let dir = Filename.temp_file "forkroad" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let sub = Filename.concat dir "sub" in
+  Unix.mkdir sub 0o755;
+  let write path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  in
+  write (Filename.concat dir "a.c") "int main(){return fork();}";
+  write (Filename.concat sub "b.c") "void f(){system(\"x\"); fork();}";
+  write (Filename.concat dir "notes.txt") "fork() fork() fork()";
+  let report = Forklore.Scanner.scan_directory dir in
+  check_int "two C files" 2 report.Forklore.Scanner.files_scanned;
+  check_int "forks" 2
+    (List.assoc Forklore.Api.Fork report.Forklore.Scanner.total);
+  check_int "system" 1
+    (List.assoc Forklore.Api.System report.Forklore.Scanner.total);
+  (* per-file view agrees with the aggregate *)
+  let per_file = Forklore.Scanner.scan_directory_files dir in
+  check_int "two entries" 2 (List.length per_file);
+  check_int "hit ranking works" 3
+    (List.fold_left (fun acc (_, r) -> acc + Forklore.Scanner.total_hits r) 0 per_file);
+  (* cleanup *)
+  Sys.remove (Filename.concat dir "a.c");
+  Sys.remove (Filename.concat sub "b.c");
+  Sys.remove (Filename.concat dir "notes.txt");
+  Unix.rmdir sub;
+  Unix.rmdir dir
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.Splitmix.create ~seed:9 in
+  let b = Prng.Splitmix.create ~seed:9 in
+  check_bool "same stream" true
+    (List.init 20 (fun _ -> Prng.Splitmix.next a)
+    = List.init 20 (fun _ -> Prng.Splitmix.next b))
+
+let prop_prng_int_bound =
+  QCheck.Test.make ~count:200 ~name:"prng: int stays in bound"
+    QCheck.(pair small_int (1 -- 1000))
+    (fun (seed, bound) ->
+      let rng = Prng.Splitmix.create ~seed in
+      let v = Prng.Splitmix.int rng ~bound in
+      v >= 0 && v < bound)
+
+let prop_prng_float_unit =
+  QCheck.Test.make ~count:200 ~name:"prng: float in [0,1)"
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.Splitmix.create ~seed in
+      let f = Prng.Splitmix.float rng in
+      f >= 0.0 && f < 1.0)
+
+let test_prng_split_independent () =
+  let a = Prng.Splitmix.create ~seed:5 in
+  let b = Prng.Splitmix.split a in
+  check_bool "split differs from parent stream" true
+    (Prng.Splitmix.next a <> Prng.Splitmix.next b)
+
+let test_prng_shuffle_permutes () =
+  let rng = Prng.Splitmix.create ~seed:3 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.Splitmix.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Workload *)
+
+let test_sweep_geometric () =
+  Alcotest.(check (list int))
+    "powers" [ 2; 8; 32 ]
+    (Workload.Sweep.geometric ~base:2 ~factor:4 ~count:3);
+  Alcotest.check_raises "bad factor"
+    (Invalid_argument "Sweep.geometric: bad parameters") (fun () ->
+      ignore (Workload.Sweep.geometric ~base:1 ~factor:1 ~count:3))
+
+let test_sweep_units () =
+  check_int "pages per MiB" 256 (Workload.Sweep.pages_of_mib 1);
+  check_int "bytes" (1 lsl 20) (Workload.Sweep.bytes_of_mib 1)
+
+let test_footprint () =
+  let f = Workload.Footprint.allocate ~mib:1 in
+  check_int "mib" 1 (Workload.Footprint.mib f);
+  check_bool "touched" true (Workload.Footprint.checksum f > 0);
+  Workload.Footprint.touch_again f;
+  Workload.Footprint.release f;
+  let empty = Workload.Footprint.allocate ~mib:0 in
+  check_int "empty checksum" 0 (Workload.Footprint.checksum empty)
+
+let test_timer_sample () =
+  let samples = Workload.Timer.sample ~warmup:1 ~n:5 (fun () -> ignore (Sys.opaque_identity (1 + 1))) in
+  check_int "n samples" 5 (Array.length samples);
+  check_bool "non-negative" true (Array.for_all (fun t -> t >= 0.0) samples)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let tc n f = Alcotest.test_case n `Quick f
+
+let () =
+  Alcotest.run "forklore"
+    [
+      ( "scanner",
+        [
+          tc "counts calls" test_scanner_counts_calls;
+          tc "ignores comments" test_scanner_ignores_comments;
+          tc "ignores strings" test_scanner_ignores_strings;
+          tc "escaped quotes" test_scanner_escaped_quotes;
+          tc "identifier boundaries" test_scanner_identifier_boundaries;
+          tc "no paren no call" test_scanner_no_paren_no_call;
+          tc "exec family" test_scanner_exec_family;
+          tc "line count" test_scanner_lines;
+          tc "scan directory" test_scan_directory;
+        ] );
+      qsuite "scanner-props" [ prop_scanner_matches_truth ];
+      ( "corpus",
+        [
+          tc "deterministic" test_corpus_deterministic;
+          tc "survey shape" test_survey_shape;
+        ] );
+      ( "prng",
+        [
+          tc "deterministic" test_prng_deterministic;
+          tc "split" test_prng_split_independent;
+          tc "shuffle" test_prng_shuffle_permutes;
+        ] );
+      qsuite "prng-props" [ prop_prng_int_bound; prop_prng_float_unit ];
+      ( "workload",
+        [
+          tc "geometric sweep" test_sweep_geometric;
+          tc "units" test_sweep_units;
+          tc "footprint" test_footprint;
+          tc "timer" test_timer_sample;
+        ] );
+    ]

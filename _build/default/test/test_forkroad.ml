@@ -1,0 +1,394 @@
+(* Tests for the forkroad core library: drivers, procbuilder, and every
+   experiment in quick mode (both smoke and shape assertions). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let ok = function
+  | Ok v -> v
+  | Error _ -> Alcotest.fail "expected Ok"
+
+(* ------------------------------------------------------------------ *)
+(* Strategy *)
+
+let test_strategy_names () =
+  List.iter
+    (fun s ->
+      match Forkroad.Strategy.of_name (Forkroad.Strategy.name s) with
+      | Some s' -> check_bool "roundtrip" true (s = s')
+      | None -> Alcotest.fail "name roundtrip")
+    Forkroad.Strategy.all;
+  check_bool "builder not real" false
+    (Forkroad.Strategy.supported_real Forkroad.Strategy.Builder);
+  check_bool "fork_exec real" true
+    (Forkroad.Strategy.supported_real Forkroad.Strategy.Fork_exec)
+
+(* ------------------------------------------------------------------ *)
+(* Report *)
+
+let test_report_render () =
+  let t = Metrics.Table.create [ "a"; "b" ] in
+  Metrics.Table.add_row t [ "1"; "2" ];
+  let r =
+    Forkroad.Report.make ~id:"X1" ~title:"demo"
+      [
+        Forkroad.Report.Table { caption = "cap"; table = t };
+        Forkroad.Report.Note "a note";
+      ]
+  in
+  let s = Forkroad.Report.render r in
+  check_bool "has id" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = "[X1] demo"));
+  check_bool "has caption" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = "cap"));
+  check_bool "has note" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = "note: a note"))
+
+(* ------------------------------------------------------------------ *)
+(* Sim driver *)
+
+let creation_ns strategy heap_mib =
+  (Forkroad.Sim_driver.creation_cost ~strategy ~heap_mib ()).Forkroad.Sim_driver.ns
+
+let test_sim_fork_scales () =
+  let small = creation_ns Forkroad.Strategy.Fork_exec 0 in
+  let big = creation_ns Forkroad.Strategy.Fork_exec 256 in
+  check_bool "fork+exec grows" true (big > small *. 3.0)
+
+let test_sim_spawn_flat () =
+  let small = creation_ns Forkroad.Strategy.Posix_spawn 0 in
+  let big = creation_ns Forkroad.Strategy.Posix_spawn 256 in
+  check_bool "spawn flat" true (big < small *. 1.2 && big > small *. 0.8)
+
+let test_sim_vfork_flat_and_cheap () =
+  let vfork_small = creation_ns Forkroad.Strategy.Vfork_exec 0 in
+  let vfork = creation_ns Forkroad.Strategy.Vfork_exec 256 in
+  let fork = creation_ns Forkroad.Strategy.Fork_exec 256 in
+  check_bool "vfork cheaper than fork at 256MiB" true (vfork < fork /. 2.0);
+  check_bool "vfork flat in parent size" true
+    (vfork < vfork_small *. 1.2 && vfork > vfork_small *. 0.8)
+
+let test_sim_crossover () =
+  (* the paper's headline: beyond small footprints fork+exec loses to
+     spawn, and the gap widens *)
+  let fork_0 = creation_ns Forkroad.Strategy.Fork_exec 0 in
+  let spawn_0 = creation_ns Forkroad.Strategy.Posix_spawn 0 in
+  let fork_256 = creation_ns Forkroad.Strategy.Fork_exec 256 in
+  let spawn_256 = creation_ns Forkroad.Strategy.Posix_spawn 256 in
+  check_bool "similar when empty" true (fork_0 < spawn_0 *. 1.5);
+  check_bool "fork loses big" true (fork_256 > spawn_256 *. 2.0)
+
+let test_sim_deterministic () =
+  let a = creation_ns Forkroad.Strategy.Fork_exec 16 in
+  let b = creation_ns Forkroad.Strategy.Fork_exec 16 in
+  Alcotest.(check (float 0.0)) "bit-for-bit" a b
+
+let test_sim_vma_sensitivity () =
+  let few =
+    (Forkroad.Sim_driver.creation_cost ~vmas:1
+       ~strategy:Forkroad.Strategy.Fork_only ~heap_mib:64 ())
+      .Forkroad.Sim_driver.ns
+  in
+  let many =
+    (Forkroad.Sim_driver.creation_cost ~vmas:1024
+       ~strategy:Forkroad.Strategy.Fork_only ~heap_mib:64 ())
+      .Forkroad.Sim_driver.ns
+  in
+  check_bool "more VMAs cost more" true (many > few)
+
+(* ------------------------------------------------------------------ *)
+(* Real driver (cheap smoke: empty footprint, few samples) *)
+
+let test_real_driver_all_supported () =
+  List.iter
+    (fun s ->
+      if Forkroad.Strategy.supported_real s then begin
+        let st = Forkroad.Real_driver.creation_stats ~strategy:s ~samples:3 in
+        check_int "samples" 3 st.Metrics.Stats.count;
+        check_bool "positive latency" true (st.Metrics.Stats.min > 0.0)
+      end)
+    Forkroad.Strategy.all
+
+let test_real_driver_rejects_sim_only () =
+  match Forkroad.Real_driver.creation_once Forkroad.Strategy.Builder with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "expected failure"
+
+(* ------------------------------------------------------------------ *)
+(* Procbuilder *)
+
+let boot_with body extra_programs =
+  let init = Ksim.Program.make ~name:"/sbin/init" (fun ~argv:_ () -> body ()) in
+  let true_prog =
+    Ksim.Program.make ~name:"/bin/true" (fun ~argv:_ () -> Ksim.Api.exit 0)
+  in
+  match
+    Ksim.Kernel.boot ~programs:(init :: true_prog :: extra_programs) "/sbin/init"
+  with
+  | Error _ -> Alcotest.fail "boot failed"
+  | Ok (t, outcome) -> (t, outcome)
+
+let test_procbuilder_minimal () =
+  let t, outcome =
+    boot_with
+      (fun () ->
+        let pid = ok (Forkroad.Procbuilder.spawn_minimal "/bin/echo-done") in
+        ignore (ok (Ksim.Api.wait_for pid)))
+      [
+        Ksim.Program.make ~name:"/bin/echo-done" (fun ~argv:_ () ->
+            Ksim.Api.print "built!";
+            Ksim.Api.exit 0);
+      ]
+  in
+  check_bool "completed" true (outcome = Ksim.Kernel.All_exited);
+  check_str "child ran with stdio" "built!" (Ksim.Kernel.console t)
+
+let test_procbuilder_premapped_memory () =
+  (* parent maps memory in the embryo and writes initial data; the child
+     reads it back at the address passed through argv *)
+  let reader =
+    Ksim.Program.make ~name:"/bin/reader" (fun ~argv () ->
+        let addr = int_of_string (List.hd argv) in
+        let s = ok (Ksim.Api.mem_read ~addr ~len:5) in
+        Ksim.Api.print s;
+        Ksim.Api.exit 0)
+  in
+  let t, outcome =
+    boot_with
+      (fun () ->
+        let b = ok (Forkroad.Procbuilder.create ()) in
+        let addr =
+          ok (Forkroad.Procbuilder.map b ~len:Vmem.Addr.page_size ~perm:Vmem.Perm.rw)
+        in
+        ok (Forkroad.Procbuilder.write b ~addr "hello");
+        ok (Forkroad.Procbuilder.copy_stdio b);
+        ok (Forkroad.Procbuilder.start b ~argv:[ string_of_int addr ] "/bin/reader");
+        ignore (ok (Ksim.Api.wait_for (Forkroad.Procbuilder.pid b))))
+      [ reader ]
+  in
+  check_bool "completed" true (outcome = Ksim.Kernel.All_exited);
+  check_str "child saw pre-written memory" "hello" (Ksim.Kernel.console t)
+
+let test_procbuilder_started_child_rejected () =
+  let _, outcome =
+    boot_with
+      (fun () ->
+        let b = ok (Forkroad.Procbuilder.create ()) in
+        ok (Forkroad.Procbuilder.copy_stdio b);
+        ok (Forkroad.Procbuilder.start b "/bin/true");
+        (* the embryo has hatched: further builder ops must fail *)
+        (match Forkroad.Procbuilder.map b ~len:4096 ~perm:Vmem.Perm.rw with
+        | Error Ksim.Errno.EINVAL -> Ksim.Api.print "einval"
+        | Error _ | Ok _ -> Ksim.Api.print "unexpected");
+        ignore (ok (Ksim.Api.wait_for (Forkroad.Procbuilder.pid b))))
+      []
+  in
+  check_bool "completed" true (outcome = Ksim.Kernel.All_exited)
+
+let test_procbuilder_foreign_child_rejected () =
+  let _, outcome =
+    boot_with
+      (fun () ->
+        (* a pid that is not our embryo child *)
+        match Ksim.Api.pb_map ~pid:4242 ~len:4096 ~perm:Vmem.Perm.rw with
+        | Error Ksim.Errno.ESRCH -> ()
+        | Error _ | Ok _ -> Alcotest.fail "expected ESRCH")
+      []
+  in
+  check_bool "completed" true (outcome = Ksim.Kernel.All_exited)
+
+(* ------------------------------------------------------------------ *)
+(* Experiments, quick mode *)
+
+let find_exp id =
+  match Forkroad.Registry.find id with
+  | Some e -> e
+  | None -> Alcotest.failf "experiment %s missing" id
+
+let run_exp id = (find_exp id).Forkroad.Report.run ~quick:true
+
+(* whitespace-insensitive line match: runs of blanks collapse to one
+   space before the substring test, so table padding doesn't matter *)
+let squeeze s =
+  let buf = Buffer.create (String.length s) in
+  let last_blank = ref false in
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\t' then begin
+        if not !last_blank then Buffer.add_char buf ' ';
+        last_blank := true
+      end
+      else begin
+        Buffer.add_char buf c;
+        last_blank := false
+      end)
+    (String.trim s);
+  Buffer.contents buf
+
+let contains_line report needle =
+  String.split_on_char '\n' (Forkroad.Report.render report)
+  |> List.exists (fun l ->
+         let l = squeeze l in
+         let rec scan i =
+           i + String.length needle <= String.length l
+           && (String.sub l i (String.length needle) = needle || scan (i + 1))
+         in
+         scan 0)
+
+let test_registry_complete () =
+  Alcotest.(check (list string))
+    "ids in paper order"
+    [ "T1"; "F1"; "F1-SIM"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9";
+      "E10"; "E11"; "E12" ]
+    Forkroad.Registry.ids;
+  check_bool "case-insensitive find" true
+    (Option.is_some (Forkroad.Registry.find "f1-sim"))
+
+let test_exp_fig1_sim () =
+  let r = run_exp "F1-SIM" in
+  check_bool "has fork series" true (contains_line r "fork+exec");
+  check_bool "has spawn series" true (contains_line r "posix_spawn")
+
+let test_exp_minproc () =
+  let r = run_exp "T1" in
+  check_bool "all strategies present" true
+    (List.for_all
+       (fun s -> contains_line r (Forkroad.Strategy.name s))
+       Forkroad.Strategy.all)
+
+let test_exp_cowtax () =
+  let r = run_exp "E2" in
+  check_bool "cow series" true (contains_line r "forked child (COW breaks)")
+
+let test_exp_threads () =
+  let r = run_exp "E3" in
+  check_bool "fork series" true (contains_line r "fork child");
+  check_bool "spawn series" true (contains_line r "posix_spawn child")
+
+let test_exp_threads_deadlocks_happen () =
+  (* at 8 threads, some of 40 random schedules must deadlock, and spawn
+     never does *)
+  let fork_rate =
+    Forkroad.Exp_threads.deadlock_rate ~threads:8 ~use_spawn:false ~trials:40
+  in
+  let spawn_rate =
+    Forkroad.Exp_threads.deadlock_rate ~threads:8 ~use_spawn:true ~trials:40
+  in
+  check_bool "fork deadlocks sometimes" true (fork_rate > 0.0);
+  Alcotest.(check (float 0.0)) "spawn never deadlocks" 0.0 spawn_rate
+
+let test_exp_stdio () =
+  let r = run_exp "E4" in
+  (* with 4096 buffered bytes, fork duplicates all of them, spawn none *)
+  check_bool "fork duplicates" true (contains_line r "4096 4096 0")
+
+let test_exp_aslr () =
+  let r = run_exp "E5" in
+  (* fork: one distinct layout, zero entropy *)
+  check_bool "fork: 1 layout" true (contains_line r "fork 50 1 0.00")
+
+let test_exp_overcommit () =
+  let r = run_exp "E6" in
+  check_bool "30% forks under strict" true (contains_line r "30.0% ok ok");
+  check_bool "60% fails strict, ok overcommit" true
+    (contains_line r "60.0% ENOMEM ok")
+
+let test_exp_survey () =
+  let r = run_exp "E7" in
+  check_bool "fork row" true (contains_line r "fork");
+  check_bool "spawn row" true (contains_line r "posix_spawn")
+
+let test_exp_vma () =
+  let r = run_exp "E8" in
+  check_bool "renders" true (contains_line r "VMAs")
+
+let test_exp_tlb () =
+  let r = run_exp "E9" in
+  check_bool "three strategies" true
+    (contains_line r "fork-only" && contains_line r "fork-eager"
+    && contains_line r "posix_spawn")
+
+let test_exp_builder () =
+  let r = run_exp "E10" in
+  check_bool "builder row" true (contains_line r "procbuilder")
+
+let test_exp_snapshot () =
+  let r = run_exp "E11" in
+  check_bool "cow row" true (contains_line r "fork (COW)");
+  check_bool "eager row" true (contains_line r "fork (eager)")
+
+let test_exp_thp () =
+  let r = run_exp "E12" in
+  check_bool "both series" true
+    (contains_line r "4 KiB pages" && contains_line r "2 MiB pages (THP)");
+  (* THP must flatten the 256MiB point dramatically *)
+  let plain = Forkroad.Exp_thp.creation_ns ~heap_mib:256 () in
+  let thp =
+    Forkroad.Exp_thp.creation_ns ~params:Forkroad.Exp_thp.thp_params
+      ~heap_mib:256 ()
+  in
+  check_bool "THP flattens fork cost" true (thp < plain /. 2.0)
+
+let test_snapshot_tradeoff () =
+  (* COW: small pause, real re-dirty tax; eager: huge pause, ~free re-dirty *)
+  let pause s =
+    (Forkroad.Sim_driver.creation_cost ~strategy:s ~heap_mib:64 ())
+      .Forkroad.Sim_driver.ns
+  in
+  let cow_pause = pause Forkroad.Strategy.Fork_only in
+  let eager_pause = pause Forkroad.Strategy.Fork_eager in
+  check_bool "eager pause dwarfs COW pause" true (eager_pause > cow_pause *. 10.0);
+  let cow_tax = Forkroad.Exp_snapshot.redirty_cost ~eager:false ~heap_mib:64 in
+  let eager_tax = Forkroad.Exp_snapshot.redirty_cost ~eager:true ~heap_mib:64 in
+  check_bool "COW defers a real tax" true (cow_tax > eager_tax *. 10.0)
+
+let tc n f = Alcotest.test_case n `Quick f
+let slow n f = Alcotest.test_case n `Slow f
+
+let () =
+  Alcotest.run "forkroad"
+    [
+      ("strategy", [ tc "names" test_strategy_names ]);
+      ("report", [ tc "render" test_report_render ]);
+      ( "sim-driver",
+        [
+          tc "fork scales" test_sim_fork_scales;
+          tc "spawn flat" test_sim_spawn_flat;
+          tc "vfork cheap" test_sim_vfork_flat_and_cheap;
+          tc "crossover" test_sim_crossover;
+          tc "deterministic" test_sim_deterministic;
+          tc "vma sensitivity" test_sim_vma_sensitivity;
+        ] );
+      ( "real-driver",
+        [
+          tc "all supported strategies" test_real_driver_all_supported;
+          tc "rejects sim-only" test_real_driver_rejects_sim_only;
+        ] );
+      ( "procbuilder",
+        [
+          tc "minimal" test_procbuilder_minimal;
+          tc "premapped memory" test_procbuilder_premapped_memory;
+          tc "started child rejected" test_procbuilder_started_child_rejected;
+          tc "foreign child rejected" test_procbuilder_foreign_child_rejected;
+        ] );
+      ( "experiments",
+        [
+          tc "registry" test_registry_complete;
+          slow "F1-SIM" test_exp_fig1_sim;
+          slow "T1" test_exp_minproc;
+          slow "E2" test_exp_cowtax;
+          slow "E3" test_exp_threads;
+          slow "E3 deadlocks happen" test_exp_threads_deadlocks_happen;
+          slow "E4" test_exp_stdio;
+          slow "E5" test_exp_aslr;
+          slow "E6" test_exp_overcommit;
+          slow "E7" test_exp_survey;
+          slow "E8" test_exp_vma;
+          slow "E9" test_exp_tlb;
+          slow "E10" test_exp_builder;
+          slow "E11" test_exp_snapshot;
+          slow "E11 tradeoff" test_snapshot_tradeoff;
+          slow "E12" test_exp_thp;
+        ] );
+    ]

@@ -1,0 +1,351 @@
+(* Unit and property tests for the metrics library. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Units *)
+
+let test_units_ns () =
+  check_str "ns" "500ns" (Metrics.Units.ns 500.0);
+  check_str "us" "12.3us" (Metrics.Units.ns 12_340.0);
+  check_str "ms" "1.50ms" (Metrics.Units.ns 1_500_000.0);
+  check_str "s" "2.50s" (Metrics.Units.ns 2.5e9);
+  check_str "sub-ns" "0.50ns" (Metrics.Units.ns 0.5)
+
+let test_units_bytes () =
+  check_str "b" "512B" (Metrics.Units.bytes 512);
+  check_str "kib" "1.50KiB" (Metrics.Units.bytes 1536);
+  check_str "mib" "4.00MiB" (Metrics.Units.bytes (4 * 1024 * 1024));
+  check_str "gib" "2.00GiB" (Metrics.Units.bytes (2 * 1024 * 1024 * 1024))
+
+let test_units_count () =
+  check_str "plain" "42" (Metrics.Units.count 42.0);
+  check_str "k" "12.0k" (Metrics.Units.count 12_000.0);
+  check_str "m" "3.50M" (Metrics.Units.count 3_500_000.0)
+
+let test_units_misc () =
+  check_str "ratio" "3.42x" (Metrics.Units.ratio 3.42);
+  check_str "percent" "37.5%" (Metrics.Units.percent 0.375);
+  check_str "cycles" "1.50Mcyc" (Metrics.Units.cycles 1.5e6)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_singleton () =
+  let s = Metrics.Stats.of_array [| 5.0 |] in
+  check_int "count" 1 s.count;
+  check_float "mean" 5.0 s.mean;
+  check_float "sd" 0.0 s.stddev;
+  check_float "p50" 5.0 s.p50;
+  check_float "min" 5.0 s.min;
+  check_float "max" 5.0 s.max
+
+let test_stats_known () =
+  let s = Metrics.Stats.of_array [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  check_float "mean" 5.0 s.mean;
+  check_float "sd" (sqrt (32.0 /. 7.0)) s.stddev;
+  check_float "min" 2.0 s.min;
+  check_float "max" 9.0 s.max;
+  check_float "total" 40.0 s.total
+
+let test_stats_percentile () =
+  let sorted = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float "p0" 1.0 (Metrics.Stats.percentile sorted 0.0);
+  check_float "p100" 5.0 (Metrics.Stats.percentile sorted 100.0);
+  check_float "p50" 3.0 (Metrics.Stats.percentile sorted 50.0);
+  check_float "p25" 2.0 (Metrics.Stats.percentile sorted 25.0);
+  (* interpolation between ranks *)
+  check_float "p10" 1.4 (Metrics.Stats.percentile sorted 10.0)
+
+let test_stats_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.of_array: empty array")
+    (fun () -> ignore (Metrics.Stats.of_array [||]))
+
+let test_stats_order_invariance () =
+  let a = [| 3.0; 1.0; 2.0 |] and b = [| 1.0; 2.0; 3.0 |] in
+  let sa = Metrics.Stats.of_array a and sb = Metrics.Stats.of_array b in
+  check_float "mean" sb.mean sa.mean;
+  check_float "p50" sb.p50 sa.p50;
+  (* input arrays are untouched *)
+  check_float "a0" 3.0 a.(0)
+
+let prop_stats_bounds =
+  QCheck.Test.make ~count:200 ~name:"stats: min <= p50 <= max, mean in range"
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_inclusive 1000.0))
+    (fun l ->
+      let s = Metrics.Stats.of_list l in
+      s.min <= s.p50 && s.p50 <= s.max && s.min <= s.mean && s.mean <= s.max)
+
+let prop_stats_shift =
+  QCheck.Test.make ~count:200 ~name:"stats: mean shifts, stddev invariant"
+    QCheck.(pair (list_of_size Gen.(2 -- 30) (float_bound_inclusive 100.0))
+              (float_bound_inclusive 50.0))
+    (fun (l, c) ->
+      let a = Array.of_list l in
+      let b = Array.map (fun x -> x +. c) a in
+      let sa = Metrics.Stats.of_array a and sb = Metrics.Stats.of_array b in
+      Float.abs (sb.mean -. sa.mean -. c) < 1e-6
+      && Float.abs (sb.stddev -. sa.stddev) < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram *)
+
+let test_hist_basic () =
+  let h = Metrics.Histogram.create () in
+  Metrics.Histogram.add h 1.0;
+  Metrics.Histogram.add h 3.0;
+  Metrics.Histogram.add h 1000.0;
+  check_int "count" 3 (Metrics.Histogram.count h);
+  check_int "clamped" 0 (Metrics.Histogram.clamped h);
+  check_int "bucket of 1" 0 (Metrics.Histogram.bucket_of h 1.0);
+  check_int "bucket of 3" 1 (Metrics.Histogram.bucket_of h 3.0);
+  check_int "bucket of 1000" 9 (Metrics.Histogram.bucket_of h 1000.0)
+
+let test_hist_bounds () =
+  let h = Metrics.Histogram.create ~base:10.0 ~buckets:4 () in
+  let lo, hi = Metrics.Histogram.bucket_bounds h 0 in
+  check_float "lo0" 10.0 lo;
+  check_float "hi0" 20.0 hi;
+  let lo, hi = Metrics.Histogram.bucket_bounds h 3 in
+  check_float "lo3" 80.0 lo;
+  check_float "hi3" 160.0 hi
+
+let test_hist_clamp () =
+  let h = Metrics.Histogram.create ~base:10.0 ~buckets:2 () in
+  Metrics.Histogram.add h 1.0;
+  (* below base *)
+  Metrics.Histogram.add h 1e9;
+  (* beyond top *)
+  check_int "count" 2 (Metrics.Histogram.count h);
+  check_int "clamped" 2 (Metrics.Histogram.clamped h);
+  let c = Metrics.Histogram.counts h in
+  check_int "low bucket" 1 c.(0);
+  check_int "high bucket" 1 c.(1)
+
+let test_hist_merge () =
+  let a = Metrics.Histogram.create ~buckets:8 () in
+  let b = Metrics.Histogram.create ~buckets:8 () in
+  Metrics.Histogram.add a 2.0;
+  Metrics.Histogram.add b 2.0;
+  Metrics.Histogram.add b 64.0;
+  let m = Metrics.Histogram.merge a b in
+  check_int "count" 3 (Metrics.Histogram.count m);
+  let c = Metrics.Histogram.counts m in
+  check_int "bucket1" 2 c.(1);
+  check_int "bucket6" 1 c.(6)
+
+let test_hist_merge_mismatch () =
+  let a = Metrics.Histogram.create ~buckets:8 () in
+  let b = Metrics.Histogram.create ~buckets:4 () in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Histogram.merge: geometry mismatch") (fun () ->
+      ignore (Metrics.Histogram.merge a b))
+
+let test_hist_negative () =
+  let h = Metrics.Histogram.create () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Histogram.add: negative sample") (fun () ->
+      Metrics.Histogram.add h (-1.0))
+
+let prop_hist_quantile_monotone =
+  QCheck.Test.make ~count:100 ~name:"histogram: quantile is monotone in q"
+    QCheck.(list_of_size Gen.(1 -- 100) (float_bound_inclusive 1e6))
+    (fun l ->
+      let h = Metrics.Histogram.create () in
+      List.iter (fun v -> Metrics.Histogram.add h (Float.abs v)) l;
+      let q1 = Metrics.Histogram.quantile h 0.25 in
+      let q2 = Metrics.Histogram.quantile h 0.5 in
+      let q3 = Metrics.Histogram.quantile h 0.99 in
+      q1 <= q2 && q2 <= q3)
+
+let prop_hist_count =
+  QCheck.Test.make ~count:100 ~name:"histogram: counts sum to total"
+    QCheck.(list_of_size Gen.(0 -- 100) (float_bound_inclusive 1e9))
+    (fun l ->
+      let h = Metrics.Histogram.create () in
+      List.iter (fun v -> Metrics.Histogram.add h (Float.abs v)) l;
+      Array.fold_left ( + ) 0 (Metrics.Histogram.counts h)
+      = Metrics.Histogram.count h)
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let test_table_render () =
+  let t = Metrics.Table.create ~align:[ Metrics.Table.Left ] [ "api"; "ns" ] in
+  Metrics.Table.add_row t [ "fork"; "120" ];
+  Metrics.Table.add_row t [ "spawn"; "80" ];
+  let s = Metrics.Table.render t in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | header :: rule :: _ ->
+    Alcotest.(check bool) "header has api" true
+      (String.length header >= 3 && String.sub header 0 3 = "api");
+    Alcotest.(check bool) "rule is dashes" true
+      (String.for_all (fun c -> c = '-') rule && String.length rule > 0)
+  | _ -> Alcotest.fail "too few lines");
+  check_int "rows" 2 (Metrics.Table.row_count t)
+
+let test_table_arity () =
+  let t = Metrics.Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Metrics.Table.add_row t [ "only-one" ])
+
+let test_table_empty_header () =
+  Alcotest.check_raises "no headers" (Invalid_argument "Table.create: no headers")
+    (fun () -> ignore (Metrics.Table.create []))
+
+let test_table_markdown () =
+  let t = Metrics.Table.create ~align:[ Metrics.Table.Left; Metrics.Table.Right ]
+      [ "k"; "v" ] in
+  Metrics.Table.add_row t [ "x"; "1" ];
+  let s = Metrics.Table.render_markdown t in
+  Alcotest.(check bool) "starts with pipe" true (s.[0] = '|');
+  Alcotest.(check bool) "has align row" true
+    (String.split_on_char '\n' s |> fun l -> List.length l >= 3)
+
+let test_table_alignment () =
+  let t =
+    Metrics.Table.create
+      ~align:[ Metrics.Table.Left; Metrics.Table.Right; Metrics.Table.Center ]
+      [ "lll"; "rrr"; "ccc" ]
+  in
+  Metrics.Table.add_row t [ "a"; "b"; "c" ];
+  let s = Metrics.Table.render t in
+  let row = List.nth (String.split_on_char '\n' s) 2 in
+  (* left col: 'a' at col 0; right col: 'b' at end of its field *)
+  Alcotest.(check char) "left" 'a' row.[0];
+  Alcotest.(check char) "right" 'b' row.[7]
+
+(* ------------------------------------------------------------------ *)
+(* Series *)
+
+let fig () =
+  Metrics.Series.figure ~title:"t" ~xlabel:"x" ~ylabel:"y"
+    [ { Metrics.Series.label = "a"; points = [ (1.0, 10.0); (2.0, 20.0) ] };
+      { Metrics.Series.label = "b"; points = [ (1.0, 5.0) ] } ]
+
+let test_series_table () =
+  let s = Metrics.Series.render_table (fig ()) in
+  Alcotest.(check bool) "mentions title" true
+    (String.length s > 0 && String.sub s 0 1 = "t");
+  (* missing point renders as "-" *)
+  Alcotest.(check bool) "dash for missing" true
+    (String.split_on_char '\n' s
+    |> List.exists (fun line ->
+           String.length line > 0
+           && String.ends_with ~suffix:"-" (String.trim line)))
+
+let test_series_chart () =
+  let s = Metrics.Series.render_chart ~width:20 ~height:6 (fig ()) in
+  Alcotest.(check bool) "has legend" true
+    (String.split_on_char '\n' s
+    |> List.exists (String.starts_with ~prefix:"legend:"))
+
+let test_series_chart_empty () =
+  let f =
+    Metrics.Series.figure ~xlog:true ~title:"t" ~xlabel:"x" ~ylabel:"y"
+      [ { Metrics.Series.label = "a"; points = [ (-1.0, 1.0) ] } ]
+  in
+  check_str "no data" "(no data)\n" (Metrics.Series.render_chart f)
+
+let test_hist_render () =
+  let h = Metrics.Histogram.create ~base:100.0 ~buckets:16 () in
+  Metrics.Histogram.add_many h [| 150.0; 150.0; 600.0; 5000.0 |];
+  let s = Metrics.Histogram.render h in
+  (* one line per non-empty bucket, each with a bar *)
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "three buckets" 3 (List.length lines);
+  Alcotest.(check bool) "bars present" true
+    (List.for_all (fun l -> String.contains l '#') lines)
+
+let test_hist_render_empty () =
+  check_str "empty" "(empty histogram)\n"
+    (Metrics.Histogram.render (Metrics.Histogram.create ()))
+
+let test_series_single_point () =
+  let f =
+    Metrics.Series.figure ~title:"t" ~xlabel:"x" ~ylabel:"y"
+      [ { Metrics.Series.label = "a"; points = [ (5.0, 5.0) ] } ]
+  in
+  (* degenerate ranges must not divide by zero *)
+  Alcotest.(check bool) "renders" true
+    (String.length (Metrics.Series.render_chart ~width:10 ~height:4 f) > 0)
+
+let test_table_csv () =
+  let t = Metrics.Table.create [ "name"; "value" ] in
+  Metrics.Table.add_row t [ "plain"; "1" ];
+  Metrics.Table.add_separator t;
+  Metrics.Table.add_row t [ "with,comma"; "quo\"te" ];
+  check_str "csv" "name,value\nplain,1\n\"with,comma\",\"quo\"\"te\"\n"
+    (Metrics.Table.render_csv t)
+
+let test_series_csv () =
+  let s = Metrics.Series.render_csv (fig ()) in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  check_str "header" "x,a,b" (List.hd lines);
+  check_str "row with gap" "2,20," (List.nth lines 2)
+
+let test_series_log_axes () =
+  let f =
+    Metrics.Series.figure ~xlog:true ~ylog:true ~title:"t" ~xlabel:"x"
+      ~ylabel:"y"
+      [ { Metrics.Series.label = "a";
+          points = [ (1.0, 1.0); (10.0, 100.0); (100.0, 10000.0) ] } ]
+  in
+  let s = Metrics.Series.render_chart ~width:30 ~height:8 f in
+  Alcotest.(check bool) "renders" true (String.length s > 50)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "ns" `Quick test_units_ns;
+          Alcotest.test_case "bytes" `Quick test_units_bytes;
+          Alcotest.test_case "count" `Quick test_units_count;
+          Alcotest.test_case "misc" `Quick test_units_misc;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "singleton" `Quick test_stats_singleton;
+          Alcotest.test_case "known values" `Quick test_stats_known;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "order invariance" `Quick test_stats_order_invariance;
+        ] );
+      qsuite "stats-props" [ prop_stats_bounds; prop_stats_shift ];
+      ( "histogram",
+        [
+          Alcotest.test_case "basic buckets" `Quick test_hist_basic;
+          Alcotest.test_case "bucket bounds" `Quick test_hist_bounds;
+          Alcotest.test_case "clamping" `Quick test_hist_clamp;
+          Alcotest.test_case "merge" `Quick test_hist_merge;
+          Alcotest.test_case "merge mismatch" `Quick test_hist_merge_mismatch;
+          Alcotest.test_case "negative rejected" `Quick test_hist_negative;
+          Alcotest.test_case "render" `Quick test_hist_render;
+          Alcotest.test_case "render empty" `Quick test_hist_render_empty;
+        ] );
+      qsuite "histogram-props" [ prop_hist_quantile_monotone; prop_hist_count ];
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity" `Quick test_table_arity;
+          Alcotest.test_case "empty header" `Quick test_table_empty_header;
+          Alcotest.test_case "markdown" `Quick test_table_markdown;
+          Alcotest.test_case "csv" `Quick test_table_csv;
+          Alcotest.test_case "alignment" `Quick test_table_alignment;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "table" `Quick test_series_table;
+          Alcotest.test_case "chart" `Quick test_series_chart;
+          Alcotest.test_case "chart empty" `Quick test_series_chart_empty;
+          Alcotest.test_case "single point" `Quick test_series_single_point;
+          Alcotest.test_case "csv" `Quick test_series_csv;
+          Alcotest.test_case "log axes" `Quick test_series_log_axes;
+        ] );
+    ]

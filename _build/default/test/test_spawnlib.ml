@@ -1,0 +1,318 @@
+(* Tests for the real-OS spawn library. These exercise actual fork/exec/
+   posix_spawn/vfork against /bin/sh, /bin/true and friends. *)
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Spawnlib.Spawn.error_message e)
+
+let status = Alcotest.testable Spawnlib.Process.pp_status Spawnlib.Process.status_equal
+
+(* ------------------------------------------------------------------ *)
+(* Env *)
+
+let test_env_basic () =
+  let e = Spawnlib.Env.of_list [ ("B", "2"); ("A", "1") ] in
+  Alcotest.(check (option string)) "get" (Some "1") (Spawnlib.Env.get e "A");
+  Alcotest.(check (option string)) "missing" None (Spawnlib.Env.get e "Z");
+  let e = Spawnlib.Env.set e "C" "3" in
+  check_int "cardinal" 3 (Spawnlib.Env.cardinal e);
+  Alcotest.(check (array string))
+    "sorted array" [| "A=1"; "B=2"; "C=3" |] (Spawnlib.Env.to_array e);
+  let e = Spawnlib.Env.unset e "B" in
+  check_int "after unset" 2 (Spawnlib.Env.cardinal e)
+
+let test_env_merge () =
+  let base = Spawnlib.Env.of_list [ ("A", "1"); ("B", "2") ] in
+  let over = Spawnlib.Env.of_list [ ("B", "9"); ("C", "3") ] in
+  let m = Spawnlib.Env.merge base over in
+  Alcotest.(check (option string)) "override wins" (Some "9") (Spawnlib.Env.get m "B");
+  Alcotest.(check (option string)) "base kept" (Some "1") (Spawnlib.Env.get m "A");
+  check_int "union size" 3 (Spawnlib.Env.cardinal m)
+
+let test_env_current () =
+  check_bool "PATH present" true
+    (Option.is_some (Spawnlib.Env.get (Spawnlib.Env.current ()) "PATH"))
+
+(* ------------------------------------------------------------------ *)
+(* Spawn (portable engine) *)
+
+let test_run_true_false () =
+  Alcotest.check status "true" (Spawnlib.Process.Exited 0)
+    (ok (Spawnlib.Spawn.run ~prog:"/bin/true" ~argv:[ "true" ] ()));
+  Alcotest.check status "false" (Spawnlib.Process.Exited 1)
+    (ok (Spawnlib.Spawn.run ~prog:"/bin/false" ~argv:[ "false" ] ()))
+
+let test_spawn_enoent_is_synchronous () =
+  match Spawnlib.Spawn.spawn ~prog:"/bin/definitely-missing" ~argv:[ "x" ] () with
+  | Error (Spawnlib.Spawn.Exec_failed Unix.ENOENT) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Spawnlib.Spawn.error_message e)
+  | Ok _ -> Alcotest.fail "expected ENOENT"
+
+let test_spawn_eacces () =
+  (* a directory is not executable *)
+  match Spawnlib.Spawn.spawn ~prog:"/tmp" ~argv:[ "x" ] () with
+  | Error (Spawnlib.Spawn.Exec_failed (Unix.EACCES | Unix.EISDIR)) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Spawnlib.Spawn.error_message e)
+  | Ok _ -> Alcotest.fail "expected exec failure"
+
+let test_capture_echo () =
+  let out, st =
+    ok (Spawnlib.Spawn.capture ~prog:"/bin/echo" ~argv:[ "echo"; "hi" ] ())
+  in
+  Alcotest.check status "status" (Spawnlib.Process.Exited 0) st;
+  check_str "output" "hi\n" out
+
+let test_shell_capture_env () =
+  let attr =
+    { Spawnlib.Spawn.default_attr with
+      Spawnlib.Spawn.env =
+        Some
+          (Spawnlib.Env.to_array
+             (Spawnlib.Env.set (Spawnlib.Env.current ()) "FORKROAD_X" "42")) }
+  in
+  let out, _ =
+    ok
+      (Spawnlib.Spawn.capture ~attr ~prog:"/bin/sh"
+         ~argv:[ "sh"; "-c"; "echo $FORKROAD_X" ] ())
+  in
+  check_str "env reached child" "42\n" out
+
+let test_attr_cwd () =
+  let attr = { Spawnlib.Spawn.default_attr with Spawnlib.Spawn.cwd = Some "/tmp" } in
+  let out, _ =
+    ok (Spawnlib.Spawn.capture ~attr ~prog:"/bin/sh" ~argv:[ "sh"; "-c"; "pwd" ] ())
+  in
+  check_str "cwd" "/tmp\n" out
+
+let test_file_action_redirect () =
+  let path = Filename.temp_file "forkroad" ".out" in
+  let st =
+    ok
+      (Spawnlib.Spawn.run
+         ~actions:[ Spawnlib.File_action.stdout_to_file path ]
+         ~prog:"/bin/echo" ~argv:[ "echo"; "redirected" ] ())
+  in
+  Alcotest.check status "status" (Spawnlib.Process.Exited 0) st;
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  check_str "file content" "redirected" line
+
+let test_file_action_stdin () =
+  let path = Filename.temp_file "forkroad" ".in" in
+  let oc = open_out path in
+  output_string oc "from-file";
+  close_out oc;
+  let out, _ =
+    ok
+      (Spawnlib.Spawn.capture
+         ~actions:[ Spawnlib.File_action.stdin_from_file path ]
+         ~prog:"/bin/cat" ~argv:[ "cat" ] ())
+  in
+  Sys.remove path;
+  check_str "stdin redirected" "from-file" out
+
+let test_shell () =
+  Alcotest.check status "exit 3" (Spawnlib.Process.Exited 3)
+    (ok (Spawnlib.Spawn.shell "exit 3"));
+  let out, _ = ok (Spawnlib.Spawn.shell_capture "echo a b") in
+  check_str "shell capture" "a b\n" out
+
+let test_no_zombie_on_exec_failure () =
+  (* exec failures reap the child internally: a following waitpid(-1)
+     finds no children *)
+  (match Spawnlib.Spawn.spawn ~prog:"/bin/missing" ~argv:[ "x" ] () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected failure");
+  match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  | 0, _ -> Alcotest.fail "unexpected live child"
+  | _, _ -> Alcotest.fail "unexpected zombie"
+
+(* ------------------------------------------------------------------ *)
+(* Process handles *)
+
+let test_process_poll () =
+  let p = ok (Spawnlib.Spawn.spawn ~prog:"/bin/sleep" ~argv:[ "sleep"; "0.05" ] ()) in
+  (* poll until it finishes; bounded busy loop *)
+  let rec wait_poll n =
+    if n = 0 then Alcotest.fail "never finished"
+    else
+      match Spawnlib.Process.poll p with
+      | Some st -> st
+      | None ->
+        ignore (Unix.select [] [] [] 0.01);
+        wait_poll (n - 1)
+  in
+  Alcotest.check status "exited" (Spawnlib.Process.Exited 0) (wait_poll 500)
+
+let test_process_kill () =
+  let p = ok (Spawnlib.Spawn.spawn ~prog:"/bin/sleep" ~argv:[ "sleep"; "10" ] ()) in
+  Spawnlib.Process.kill p Sys.sigterm;
+  match Spawnlib.Process.wait p with
+  | Spawnlib.Process.Signaled s -> check_int "sigterm" Sys.sigterm s
+  | st -> Alcotest.failf "unexpected %a" Spawnlib.Process.pp_status st
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline *)
+
+let test_pipeline_capture () =
+  let out, statuses =
+    ok
+      (Spawnlib.Pipeline.run_capture
+         [
+           Spawnlib.Pipeline.cmd "/bin/echo" [ "pipe-data" ];
+           Spawnlib.Pipeline.cmd "/bin/cat" [];
+           Spawnlib.Pipeline.cmd "/bin/cat" [];
+         ])
+  in
+  check_str "through two cats" "pipe-data\n" out;
+  check_int "three stages" 3 (List.length statuses);
+  List.iter
+    (fun st -> Alcotest.check status "stage ok" (Spawnlib.Process.Exited 0) st)
+    statuses
+
+let test_pipeline_single () =
+  let out, _ =
+    ok (Spawnlib.Pipeline.run_capture [ Spawnlib.Pipeline.cmd "/bin/echo" [ "solo" ] ])
+  in
+  check_str "single stage" "solo\n" out
+
+let test_pipeline_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Pipeline.run: empty pipeline")
+    (fun () -> ignore (Spawnlib.Pipeline.run []))
+
+let test_pipeline_failing_stage_status () =
+  (* a failing middle stage must surface in ITS status slot while the
+     others complete *)
+  let out, statuses =
+    ok
+      (Spawnlib.Pipeline.run_capture
+         [
+           Spawnlib.Pipeline.cmd "/bin/echo" [ "data" ];
+           Spawnlib.Pipeline.cmd "/bin/false" [];
+           Spawnlib.Pipeline.cmd "/bin/cat" [];
+         ])
+  in
+  check_str "false swallows the data" "" out;
+  (match statuses with
+  | [ s1; s2; s3 ] ->
+    (* echo races /bin/false's exit: it may finish cleanly or die of
+       SIGPIPE writing into the closed pipe -- both are correct *)
+    (match s1 with
+    | Spawnlib.Process.Exited 0 -> ()
+    | Spawnlib.Process.Signaled s when s = Sys.sigpipe -> ()
+    | st -> Alcotest.failf "stage1: %a" Spawnlib.Process.pp_status st);
+    Alcotest.check status "stage2 failed" (Spawnlib.Process.Exited 1) s2;
+    Alcotest.check status "stage3" (Spawnlib.Process.Exited 0) s3
+  | _ -> Alcotest.fail "wrong arity")
+
+let test_new_session_attr () =
+  (* a setsid child reports itself as its own session leader *)
+  let attr = { Spawnlib.Spawn.default_attr with Spawnlib.Spawn.new_session = true } in
+  let out, st =
+    ok
+      (Spawnlib.Spawn.capture ~attr ~prog:"/bin/sh"
+         ~argv:[ "sh"; "-c"; "ps -o sid= -p $$ 2>/dev/null || echo skip" ] ())
+  in
+  match String.trim out with
+  | "skip" -> () (* no ps in this container: accept *)
+  | sid ->
+    Alcotest.check status "exited" (Spawnlib.Process.Exited 0) st;
+    check_bool "session id is a pid" true (int_of_string_opt sid <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Native backends *)
+
+let test_native_posix_spawn () =
+  match Spawnlib.Native.posix_spawn ~prog:"/bin/true" ~argv:[ "true" ] () with
+  | Ok pid -> check_int "exit" 0 (Spawnlib.Native.wait_exit pid)
+  | Error e -> Alcotest.failf "posix_spawn: %s" (Spawnlib.Native.errno_message e)
+
+let test_native_posix_spawn_enoent () =
+  match Spawnlib.Native.posix_spawn ~prog:"/bin/missing" ~argv:[ "x" ] () with
+  | Error 2 (* ENOENT *) -> ()
+  | Error e -> Alcotest.failf "wrong errno %d" e
+  | Ok pid ->
+    (* glibc may report exec failure via exit 127 depending on version *)
+    check_int "exit 127" 127 (Spawnlib.Native.wait_exit pid)
+
+let test_native_vfork_exec () =
+  match Spawnlib.Native.vfork_exec ~prog:"/bin/true" ~argv:[ "true" ] () with
+  | Ok pid -> check_int "exit" 0 (Spawnlib.Native.wait_exit pid)
+  | Error e -> Alcotest.failf "vfork: %s" (Spawnlib.Native.errno_message e)
+
+let test_native_vfork_exec_failure_is_127 () =
+  match Spawnlib.Native.vfork_exec ~prog:"/bin/missing" ~argv:[ "x" ] () with
+  | Ok pid -> check_int "degraded error" 127 (Spawnlib.Native.wait_exit pid)
+  | Error e -> Alcotest.failf "vfork: %s" (Spawnlib.Native.errno_message e)
+
+let test_native_fork_exec () =
+  match Spawnlib.Native.fork_exec ~prog:"/bin/true" ~argv:[ "true" ] () with
+  | Ok pid -> check_int "exit" 0 (Spawnlib.Native.wait_exit pid)
+  | Error e -> Alcotest.failf "fork_exec: %s" (Spawnlib.Native.errno_message e)
+
+let test_native_fork_exit () =
+  match Spawnlib.Native.fork_exit () with
+  | Ok pid -> check_int "exit" 0 (Spawnlib.Native.wait_exit pid)
+  | Error e -> Alcotest.failf "fork_exit: %s" (Spawnlib.Native.errno_message e)
+
+let test_native_env () =
+  match
+    Spawnlib.Native.posix_spawn ~prog:"/bin/sh"
+      ~argv:[ "sh"; "-c"; "test \"$NATIVE_X\" = yes" ]
+      ~env:[ "NATIVE_X=yes" ] ()
+  with
+  | Ok pid -> check_int "env seen" 0 (Spawnlib.Native.wait_exit pid)
+  | Error e -> Alcotest.failf "posix_spawn: %s" (Spawnlib.Native.errno_message e)
+
+let tc n f = Alcotest.test_case n `Quick f
+
+let () =
+  Alcotest.run "spawnlib"
+    [
+      ( "env",
+        [
+          tc "basic" test_env_basic;
+          tc "merge" test_env_merge;
+          tc "current" test_env_current;
+        ] );
+      ( "spawn",
+        [
+          tc "true/false" test_run_true_false;
+          tc "enoent synchronous" test_spawn_enoent_is_synchronous;
+          tc "eacces" test_spawn_eacces;
+          tc "capture" test_capture_echo;
+          tc "env via attr" test_shell_capture_env;
+          tc "cwd via attr" test_attr_cwd;
+          tc "redirect stdout" test_file_action_redirect;
+          tc "redirect stdin" test_file_action_stdin;
+          tc "shell" test_shell;
+          tc "no zombies" test_no_zombie_on_exec_failure;
+        ] );
+      ( "process",
+        [ tc "poll" test_process_poll; tc "kill" test_process_kill ] );
+      ( "pipeline",
+        [
+          tc "capture" test_pipeline_capture;
+          tc "single" test_pipeline_single;
+          tc "empty rejected" test_pipeline_empty_rejected;
+          tc "failing stage status" test_pipeline_failing_stage_status;
+        ] );
+      ("attrs", [ tc "new session" test_new_session_attr ]);
+      ( "native",
+        [
+          tc "posix_spawn" test_native_posix_spawn;
+          tc "posix_spawn enoent" test_native_posix_spawn_enoent;
+          tc "vfork" test_native_vfork_exec;
+          tc "vfork degraded error" test_native_vfork_exec_failure_is_127;
+          tc "fork_exec" test_native_fork_exec;
+          tc "fork_exit" test_native_fork_exit;
+          tc "env" test_native_env;
+        ] );
+    ]

@@ -1,0 +1,831 @@
+(* Unit, integration and property tests for the vmem substrate. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let ok = function
+  | Ok v -> v
+  | Error _ -> Alcotest.fail "expected Ok"
+
+(* ------------------------------------------------------------------ *)
+(* Addr *)
+
+let test_addr_alignment () =
+  check_bool "aligned 0" true (Vmem.Addr.is_page_aligned 0);
+  check_bool "aligned 4096" true (Vmem.Addr.is_page_aligned 4096);
+  check_bool "unaligned" false (Vmem.Addr.is_page_aligned 4097);
+  check_int "down" 4096 (Vmem.Addr.align_down 8191);
+  check_int "up" 8192 (Vmem.Addr.align_up 4097);
+  check_int "up exact" 4096 (Vmem.Addr.align_up 4096)
+
+let test_addr_pages () =
+  check_int "page number" 2 (Vmem.Addr.page_number 8192);
+  check_int "offset" 123 (Vmem.Addr.page_offset (8192 + 123));
+  check_int "addr of page" 8192 (Vmem.Addr.addr_of_page 2);
+  check_int "spanning 0" 0 (Vmem.Addr.pages_spanning 0 0);
+  check_int "spanning 1" 1 (Vmem.Addr.pages_spanning 0 1);
+  check_int "spanning exact" 1 (Vmem.Addr.pages_spanning 0 4096);
+  check_int "spanning straddle" 2 (Vmem.Addr.pages_spanning 4095 2)
+
+let test_addr_table_index () =
+  let vpn = (3 lsl 27) lor (5 lsl 18) lor (7 lsl 9) lor 11 in
+  check_int "l3" 3 (Vmem.Addr.table_index ~level:3 vpn);
+  check_int "l2" 5 (Vmem.Addr.table_index ~level:2 vpn);
+  check_int "l1" 7 (Vmem.Addr.table_index ~level:1 vpn);
+  check_int "l0" 11 (Vmem.Addr.table_index ~level:0 vpn)
+
+let prop_addr_align =
+  QCheck.Test.make ~count:500 ~name:"addr: align_down/up bracket the address"
+    QCheck.(int_bound (Vmem.Addr.max_va - Vmem.Addr.page_size))
+    (fun a ->
+      let d = Vmem.Addr.align_down a and u = Vmem.Addr.align_up a in
+      d <= a && a <= u && u - d <= Vmem.Addr.page_size
+      && Vmem.Addr.is_page_aligned d && Vmem.Addr.is_page_aligned u)
+
+let prop_addr_index_recompose =
+  QCheck.Test.make ~count:500 ~name:"addr: table indices recompose the vpn"
+    QCheck.(int_bound ((Vmem.Addr.max_va lsr 12) - 1))
+    (fun vpn ->
+      let i l = Vmem.Addr.table_index ~level:l vpn in
+      (i 3 lsl 27) lor (i 2 lsl 18) lor (i 1 lsl 9) lor i 0 = vpn)
+
+(* ------------------------------------------------------------------ *)
+(* Perm *)
+
+let test_perm_allows () =
+  check_bool "rw allows r" true (Vmem.Perm.allows Vmem.Perm.rw Vmem.Perm.r);
+  check_bool "r allows rw" false (Vmem.Perm.allows Vmem.Perm.r Vmem.Perm.rw);
+  check_bool "anything allows none" true
+    (Vmem.Perm.allows Vmem.Perm.none Vmem.Perm.none);
+  check_bool "rwx allows rx" true (Vmem.Perm.allows Vmem.Perm.rwx Vmem.Perm.rx)
+
+let test_perm_ops () =
+  check_bool "union" true
+    (Vmem.Perm.equal Vmem.Perm.rwx
+       (Vmem.Perm.union Vmem.Perm.rw Vmem.Perm.rx));
+  check_bool "inter" true
+    (Vmem.Perm.equal Vmem.Perm.r (Vmem.Perm.inter Vmem.Perm.rw Vmem.Perm.rx));
+  check_str "to_string" "rw-" (Vmem.Perm.to_string Vmem.Perm.rw);
+  check_str "none" "---" (Vmem.Perm.to_string Vmem.Perm.none)
+
+(* ------------------------------------------------------------------ *)
+(* Frame *)
+
+let test_frame_alloc_free () =
+  let fr = Vmem.Frame.create ~frames:4 () in
+  let a = ok (Vmem.Frame.alloc fr) in
+  let b = ok (Vmem.Frame.alloc fr) in
+  check_bool "distinct" true (a <> b);
+  check_int "used" 2 (Vmem.Frame.used fr);
+  check_int "free" 2 (Vmem.Frame.free fr);
+  check_bool "freed" true (Vmem.Frame.decref fr a);
+  check_int "used after" 1 (Vmem.Frame.used fr);
+  (* freed frame is reused *)
+  let c = ok (Vmem.Frame.alloc fr) in
+  check_int "reuse" a c
+
+let test_frame_refcount () =
+  let fr = Vmem.Frame.create ~frames:4 () in
+  let f = ok (Vmem.Frame.alloc fr) in
+  check_int "rc1" 1 (Vmem.Frame.refcount fr f);
+  Vmem.Frame.incref fr f;
+  check_int "rc2" 2 (Vmem.Frame.refcount fr f);
+  check_bool "not freed" false (Vmem.Frame.decref fr f);
+  check_bool "freed" true (Vmem.Frame.decref fr f);
+  check_int "rc0" 0 (Vmem.Frame.refcount fr f)
+
+let test_frame_oom () =
+  let fr = Vmem.Frame.create ~frames:2 () in
+  ignore (ok (Vmem.Frame.alloc fr));
+  ignore (ok (Vmem.Frame.alloc fr));
+  (match Vmem.Frame.alloc fr with
+  | Error `Out_of_memory -> ()
+  | Ok _ -> Alcotest.fail "expected OOM")
+
+let test_frame_unallocated_ops () =
+  let fr = Vmem.Frame.create ~frames:2 () in
+  Alcotest.check_raises "incref" (Invalid_argument "Frame.incref: unallocated frame")
+    (fun () -> Vmem.Frame.incref fr 0)
+
+let test_frame_commit () =
+  let fr = Vmem.Frame.create ~frames:10 () in
+  ok (Vmem.Frame.commit fr 8);
+  check_int "committed" 8 (Vmem.Frame.committed fr);
+  (match Vmem.Frame.commit fr 3 with
+  | Error `Commit_limit -> ()
+  | Ok () -> Alcotest.fail "expected commit failure");
+  Vmem.Frame.uncommit fr 4;
+  ok (Vmem.Frame.commit fr 3);
+  check_int "committed after" 7 (Vmem.Frame.committed fr)
+
+let test_frame_overcommit () =
+  let fr = Vmem.Frame.create ~policy:Vmem.Frame.Overcommit ~frames:10 () in
+  ok (Vmem.Frame.commit fr 1000);
+  check_int "committed" 1000 (Vmem.Frame.committed fr)
+
+let test_frame_data () =
+  let fr = Vmem.Frame.create ~frames:4 () in
+  let f = ok (Vmem.Frame.alloc fr) in
+  check_int "zero before write" 0 (Vmem.Frame.read_byte fr f ~off:100);
+  Vmem.Frame.write_byte fr f ~off:100 42;
+  check_int "read back" 42 (Vmem.Frame.read_byte fr f ~off:100);
+  Vmem.Frame.blit_string fr f ~off:0 "hi";
+  check_str "string" "hi" (Vmem.Frame.read_string fr f ~off:0 ~len:2);
+  let g = ok (Vmem.Frame.alloc fr) in
+  Vmem.Frame.copy_contents fr ~src:f ~dst:g;
+  check_int "copied" 42 (Vmem.Frame.read_byte fr g ~off:100)
+
+let test_frame_free_discards_data () =
+  let fr = Vmem.Frame.create ~frames:1 () in
+  let f = ok (Vmem.Frame.alloc fr) in
+  Vmem.Frame.write_byte fr f ~off:0 7;
+  ignore (Vmem.Frame.decref fr f);
+  let f' = ok (Vmem.Frame.alloc fr) in
+  check_int "same slot" f f';
+  check_int "zeroed" 0 (Vmem.Frame.read_byte fr f' ~off:0)
+
+(* ------------------------------------------------------------------ *)
+(* Pte *)
+
+let test_pte_roundtrip () =
+  let pte = Vmem.Pte.make ~frame:1234 ~perm:Vmem.Perm.rw ~cow:true () in
+  check_bool "present" true (Vmem.Pte.present pte);
+  check_int "frame" 1234 (Vmem.Pte.frame pte);
+  check_bool "perm" true (Vmem.Perm.equal Vmem.Perm.rw (Vmem.Pte.perm pte));
+  check_bool "cow" true (Vmem.Pte.cow pte);
+  check_bool "not dirty" false (Vmem.Pte.dirty pte);
+  let pte = Vmem.Pte.mark_dirty (Vmem.Pte.mark_accessed pte) in
+  check_bool "dirty" true (Vmem.Pte.dirty pte);
+  check_bool "accessed" true (Vmem.Pte.accessed pte)
+
+let test_pte_updates () =
+  let pte = Vmem.Pte.make ~frame:5 ~perm:Vmem.Perm.rw () in
+  let pte' = Vmem.Pte.with_perm pte Vmem.Perm.r in
+  check_bool "downgraded" true
+    (Vmem.Perm.equal Vmem.Perm.r (Vmem.Pte.perm pte'));
+  check_int "frame preserved" 5 (Vmem.Pte.frame pte');
+  let pte'' = Vmem.Pte.with_frame pte' 9 in
+  check_int "frame swapped" 9 (Vmem.Pte.frame pte'');
+  check_bool "perm preserved" true
+    (Vmem.Perm.equal Vmem.Perm.r (Vmem.Pte.perm pte''))
+
+let prop_pte_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"pte: make/accessors roundtrip"
+    QCheck.(triple (int_bound 1_000_000) bool (pair bool bool))
+    (fun (frame, cow, (w, x)) ->
+      let perm = { Vmem.Perm.read = true; write = w; exec = x } in
+      let pte = Vmem.Pte.make ~frame ~perm ~cow () in
+      Vmem.Pte.frame pte = frame
+      && Vmem.Perm.equal (Vmem.Pte.perm pte) perm
+      && Vmem.Pte.cow pte = cow)
+
+(* ------------------------------------------------------------------ *)
+(* Page_table *)
+
+let test_pt_map_lookup () =
+  let pt = Vmem.Page_table.create () in
+  let pte = Vmem.Pte.make ~frame:7 ~perm:Vmem.Perm.rw () in
+  Vmem.Page_table.map pt ~vpn:42 pte;
+  check_bool "found" true (Vmem.Page_table.lookup pt ~vpn:42 = pte);
+  check_bool "absent" false
+    (Vmem.Pte.present (Vmem.Page_table.lookup pt ~vpn:43));
+  check_int "present" 1 (Vmem.Page_table.present_count pt)
+
+let test_pt_unmap () =
+  let pt = Vmem.Page_table.create () in
+  Vmem.Page_table.map pt ~vpn:1 (Vmem.Pte.make ~frame:1 ~perm:Vmem.Perm.r ());
+  let old = Vmem.Page_table.unmap pt ~vpn:1 in
+  check_bool "returned" true (Vmem.Pte.present old);
+  check_int "empty" 0 (Vmem.Page_table.present_count pt);
+  check_bool "double unmap absent" false
+    (Vmem.Pte.present (Vmem.Page_table.unmap pt ~vpn:1))
+
+let test_pt_node_growth () =
+  let pt = Vmem.Page_table.create () in
+  check_int "root only" 1 (Vmem.Page_table.node_count pt);
+  Vmem.Page_table.map pt ~vpn:0 (Vmem.Pte.make ~frame:0 ~perm:Vmem.Perm.r ());
+  (* root + 2 inner + 1 leaf *)
+  check_int "one path" 4 (Vmem.Page_table.node_count pt);
+  (* same leaf: no growth *)
+  Vmem.Page_table.map pt ~vpn:1 (Vmem.Pte.make ~frame:1 ~perm:Vmem.Perm.r ());
+  check_int "same leaf" 4 (Vmem.Page_table.node_count pt);
+  (* far page: fresh path below root *)
+  Vmem.Page_table.map pt ~vpn:(1 lsl 27)
+    (Vmem.Pte.make ~frame:2 ~perm:Vmem.Perm.r ());
+  check_int "new subtree" 7 (Vmem.Page_table.node_count pt)
+
+let test_pt_fold_order () =
+  let pt = Vmem.Page_table.create () in
+  let vpns = [ 999; 3; 512; 100_000 ] in
+  List.iter
+    (fun v ->
+      Vmem.Page_table.map pt ~vpn:v (Vmem.Pte.make ~frame:v ~perm:Vmem.Perm.r ()))
+    vpns;
+  let seen =
+    Vmem.Page_table.fold_present pt ~init:[] ~f:(fun acc ~vpn pte ->
+        check_int "frame matches vpn" vpn (Vmem.Pte.frame pte);
+        vpn :: acc)
+  in
+  Alcotest.(check (list int)) "sorted" [ 3; 512; 999; 100_000 ] (List.rev seen)
+
+let test_pt_update () =
+  let pt = Vmem.Page_table.create () in
+  check_bool "absent" false (Vmem.Page_table.update pt ~vpn:5 Vmem.Pte.mark_dirty);
+  Vmem.Page_table.map pt ~vpn:5 (Vmem.Pte.make ~frame:5 ~perm:Vmem.Perm.rw ());
+  check_bool "updated" true (Vmem.Page_table.update pt ~vpn:5 Vmem.Pte.mark_dirty);
+  check_bool "dirty" true (Vmem.Pte.dirty (Vmem.Page_table.lookup pt ~vpn:5))
+
+let test_pt_clone_cow () =
+  let fr = Vmem.Frame.create ~frames:16 () in
+  let cost = Vmem.Cost.create () in
+  let pt = Vmem.Page_table.create () in
+  let fa = ok (Vmem.Frame.alloc fr) in
+  let fb = ok (Vmem.Frame.alloc fr) in
+  Vmem.Page_table.map pt ~vpn:1 (Vmem.Pte.make ~frame:fa ~perm:Vmem.Perm.rw ());
+  Vmem.Page_table.map pt ~vpn:2 (Vmem.Pte.make ~frame:fb ~perm:Vmem.Perm.r ());
+  let child = Vmem.Page_table.clone_cow pt ~frames:fr ~cost in
+  check_int "present copied" 2 (Vmem.Page_table.present_count child);
+  check_int "refcount a" 2 (Vmem.Frame.refcount fr fa);
+  check_int "refcount b" 2 (Vmem.Frame.refcount fr fb);
+  (* writable page downgraded in both *)
+  let p1 = Vmem.Page_table.lookup pt ~vpn:1 in
+  let c1 = Vmem.Page_table.lookup child ~vpn:1 in
+  check_bool "parent cow" true (Vmem.Pte.cow p1);
+  check_bool "child cow" true (Vmem.Pte.cow c1);
+  check_bool "parent read-only" false (Vmem.Pte.perm p1).Vmem.Perm.write;
+  (* read-only page untouched *)
+  check_bool "ro not cow" false (Vmem.Pte.cow (Vmem.Page_table.lookup pt ~vpn:2));
+  check_bool "charged" true (Vmem.Cost.total cost > 0.0)
+
+let test_pt_clear () =
+  let fr = Vmem.Frame.create ~frames:16 () in
+  let pt = Vmem.Page_table.create () in
+  for i = 0 to 4 do
+    let f = ok (Vmem.Frame.alloc fr) in
+    Vmem.Page_table.map pt ~vpn:i (Vmem.Pte.make ~frame:f ~perm:Vmem.Perm.rw ())
+  done;
+  check_int "dropped" 5 (Vmem.Page_table.clear pt ~frames:fr);
+  check_int "all freed" 0 (Vmem.Frame.used fr);
+  check_int "empty" 0 (Vmem.Page_table.present_count pt)
+
+let prop_pt_map_unmap =
+  QCheck.Test.make ~count:100 ~name:"page table: present_count tracks ops"
+    QCheck.(list (int_bound 100_000))
+    (fun vpns ->
+      let pt = Vmem.Page_table.create () in
+      let module IS = Set.Make (Int) in
+      let live =
+        List.fold_left
+          (fun live vpn ->
+            Vmem.Page_table.map pt ~vpn
+              (Vmem.Pte.make ~frame:vpn ~perm:Vmem.Perm.r ());
+            IS.add vpn live)
+          IS.empty vpns
+      in
+      Vmem.Page_table.present_count pt = IS.cardinal live
+      && IS.for_all
+           (fun vpn -> Vmem.Pte.frame (Vmem.Page_table.lookup pt ~vpn) = vpn)
+           live)
+
+(* ------------------------------------------------------------------ *)
+(* Region_map *)
+
+let test_rm_add_overlap () =
+  let m = ok (Vmem.Region_map.add ~start:100 ~stop:200 "a" Vmem.Region_map.empty) in
+  (match Vmem.Region_map.add ~start:150 ~stop:160 "b" m with
+  | Error `Overlap -> ()
+  | Ok _ -> Alcotest.fail "expected overlap");
+  (match Vmem.Region_map.add ~start:50 ~stop:101 "b" m with
+  | Error `Overlap -> ()
+  | Ok _ -> Alcotest.fail "expected overlap (left straddle)");
+  let m = ok (Vmem.Region_map.add ~start:200 ~stop:300 "b" m) in
+  check_int "two regions" 2 (Vmem.Region_map.cardinal m)
+
+let test_rm_find () =
+  let m = ok (Vmem.Region_map.add ~start:100 ~stop:200 "a" Vmem.Region_map.empty) in
+  (match Vmem.Region_map.find_containing 150 m with
+  | Some (100, 200, "a") -> ()
+  | _ -> Alcotest.fail "find 150");
+  check_bool "199 in" true (Vmem.Region_map.mem 199 m);
+  check_bool "200 out (exclusive)" false (Vmem.Region_map.mem 200 m);
+  check_bool "99 out" false (Vmem.Region_map.mem 99 m)
+
+let no_crop ~old_start:_ ~start:_ ~stop:_ v = v
+
+let test_rm_carve_middle () =
+  let m = ok (Vmem.Region_map.add ~start:0 ~stop:100 "a" Vmem.Region_map.empty) in
+  let m, removed = Vmem.Region_map.carve ~start:40 ~stop:60 ~crop:no_crop m in
+  Alcotest.(check (list (triple int int string)))
+    "removed middle" [ (40, 60, "a") ] removed;
+  Alcotest.(check (list (triple int int string)))
+    "kept sides" [ (0, 40, "a"); (60, 100, "a") ]
+    (Vmem.Region_map.to_list m)
+
+let test_rm_carve_span () =
+  let m = ok (Vmem.Region_map.add ~start:0 ~stop:10 "a" Vmem.Region_map.empty) in
+  let m = ok (Vmem.Region_map.add ~start:20 ~stop:30 "b" m) in
+  let m, removed = Vmem.Region_map.carve ~start:5 ~stop:25 ~crop:no_crop m in
+  Alcotest.(check (list (triple int int string)))
+    "removed" [ (5, 10, "a"); (20, 25, "b") ] removed;
+  Alcotest.(check (list (triple int int string)))
+    "kept" [ (0, 5, "a"); (25, 30, "b") ]
+    (Vmem.Region_map.to_list m)
+
+let test_rm_carve_crop_callback () =
+  (* payload records its offset from the original start, like a file VMA *)
+  let m = ok (Vmem.Region_map.add ~start:100 ~stop:200 0 Vmem.Region_map.empty) in
+  let crop ~old_start ~start ~stop:_ off = off + (start - old_start) in
+  let m, removed = Vmem.Region_map.carve ~start:150 ~stop:160 ~crop m in
+  Alcotest.(check (list (triple int int int))) "mid offset" [ (150, 160, 50) ] removed;
+  (match Vmem.Region_map.to_list m with
+  | [ (100, 150, 0); (160, 200, 60) ] -> ()
+  | _ -> Alcotest.fail "kept fragments wrong")
+
+let test_rm_find_gap () =
+  let m = ok (Vmem.Region_map.add ~start:100 ~stop:200 "a" Vmem.Region_map.empty) in
+  let m = ok (Vmem.Region_map.add ~start:250 ~stop:300 "b" m) in
+  Alcotest.(check (option int)) "before" (Some 0)
+    (Vmem.Region_map.find_gap ~min:0 ~max:1000 ~len:50 m);
+  Alcotest.(check (option int)) "between" (Some 200)
+    (Vmem.Region_map.find_gap ~min:150 ~max:1000 ~len:50 m);
+  Alcotest.(check (option int)) "after" (Some 300)
+    (Vmem.Region_map.find_gap ~min:150 ~max:1000 ~len:80 m);
+  Alcotest.(check (option int)) "fits exactly before" (Some 0)
+    (Vmem.Region_map.find_gap ~min:0 ~max:320 ~len:100 m);
+  Alcotest.(check (option int)) "too big" None
+    (Vmem.Region_map.find_gap ~min:0 ~max:320 ~len:150 m)
+
+let prop_rm_invariant =
+  (* apply random add/carve ops; intervals must stay disjoint and sorted *)
+  let op =
+    QCheck.Gen.(
+      oneof
+        [
+          map2 (fun s l -> `Add (s * 10, l)) (int_bound 100) (1 -- 5);
+          map2 (fun s l -> `Carve (s * 10, l)) (int_bound 100) (1 -- 5);
+        ])
+  in
+  QCheck.Test.make ~count:200 ~name:"region map: disjoint sorted invariant"
+    (QCheck.make QCheck.Gen.(list_size (1 -- 40) op))
+    (fun ops ->
+      let m =
+        List.fold_left
+          (fun m op ->
+            match op with
+            | `Add (s, l) -> (
+              match Vmem.Region_map.add ~start:s ~stop:(s + (l * 10)) () m with
+              | Ok m -> m
+              | Error `Overlap -> m)
+            | `Carve (s, l) ->
+              fst (Vmem.Region_map.carve ~start:s ~stop:(s + (l * 10)) ~crop:no_crop m))
+          Vmem.Region_map.empty ops
+      in
+      let l = Vmem.Region_map.to_list m in
+      let rec disjoint = function
+        | (_, e1, ()) :: ((s2, _, ()) :: _ as rest) -> e1 <= s2 && disjoint rest
+        | [ _ ] | [] -> true
+      in
+      disjoint l
+      && Vmem.Region_map.total_length m
+         = List.fold_left (fun acc (s, e, ()) -> acc + e - s) 0 l)
+
+(* ------------------------------------------------------------------ *)
+(* Tlb *)
+
+let test_tlb_accounting () =
+  let cost = Vmem.Cost.create () in
+  let tlb = Vmem.Tlb.create ~cpus:4 cost in
+  Vmem.Tlb.flush_local tlb;
+  Vmem.Tlb.shootdown tlb;
+  Vmem.Tlb.invalidate_page tlb;
+  let s = Vmem.Tlb.stats tlb in
+  check_int "flushes" 2 s.Vmem.Tlb.local_flushes;
+  (* shootdown counts its own local flush *)
+  check_int "shootdowns" 1 s.Vmem.Tlb.shootdowns;
+  check_int "invl" 1 s.Vmem.Tlb.invalidations;
+  let p = Vmem.Cost.params cost in
+  Alcotest.(check (float 0.01))
+    "shootdown cycles"
+    (p.Vmem.Cost.tlb_shootdown *. 3.0)
+    (Vmem.Cost.get cost "tlb:shootdown")
+
+(* ------------------------------------------------------------------ *)
+(* Addr_space *)
+
+let make_as ?(frames = 4096) ?policy () =
+  let fr = Vmem.Frame.create ?policy ~frames () in
+  let cost = Vmem.Cost.create () in
+  let tlb = Vmem.Tlb.create cost in
+  (fr, Vmem.Addr_space.create ~frames:fr ~cost ~tlb ())
+
+let page = Vmem.Addr.page_size
+
+let test_as_mmap_gap () =
+  let _, a = make_as () in
+  let x = ok (Vmem.Addr_space.mmap ~len:(2 * page) ~perm:Vmem.Perm.rw ~kind:Vmem.Vma.Anon a) in
+  check_int "at base" (Vmem.Addr_space.mmap_base a) x;
+  let y = ok (Vmem.Addr_space.mmap ~len:page ~perm:Vmem.Perm.rw ~kind:Vmem.Vma.Anon a) in
+  check_int "next gap" (x + (2 * page)) y;
+  check_int "vmas" 2 (Vmem.Addr_space.vma_count a)
+
+let test_as_mmap_hint () =
+  let _, a = make_as () in
+  let hint = 0x1000_0000 in
+  let x = ok (Vmem.Addr_space.mmap ~addr:hint ~len:page ~perm:Vmem.Perm.rw ~kind:Vmem.Vma.Anon a) in
+  check_int "placed at hint" hint x;
+  (match Vmem.Addr_space.mmap ~addr:hint ~len:page ~perm:Vmem.Perm.rw ~kind:Vmem.Vma.Anon a with
+  | Error `Overlap -> ()
+  | _ -> Alcotest.fail "expected overlap");
+  match Vmem.Addr_space.mmap ~addr:(hint + 1) ~len:page ~perm:Vmem.Perm.rw ~kind:Vmem.Vma.Anon a with
+  | Error `Invalid -> ()
+  | _ -> Alcotest.fail "expected invalid (unaligned)"
+
+let test_as_demand_zero () =
+  let fr, a = make_as () in
+  let x = ok (Vmem.Addr_space.mmap ~len:page ~perm:Vmem.Perm.rw ~kind:Vmem.Vma.Anon a) in
+  check_int "nothing resident" 0 (Vmem.Addr_space.resident_pages a);
+  check_int "reads zero" 0 (ok (Vmem.Addr_space.read_byte a x));
+  check_int "one page resident" 1 (Vmem.Addr_space.resident_pages a);
+  ok (Vmem.Addr_space.write_byte a (x + 5) 99);
+  check_int "reads back" 99 (ok (Vmem.Addr_space.read_byte a (x + 5)));
+  check_int "still one page" 1 (Vmem.Addr_space.resident_pages a);
+  check_int "one frame used" 1 (Vmem.Frame.used fr)
+
+let test_as_segfault_and_perms () =
+  let _, a = make_as () in
+  (match Vmem.Addr_space.read_byte a 0x500 with
+  | Error `Segfault -> ()
+  | _ -> Alcotest.fail "expected segfault");
+  let x = ok (Vmem.Addr_space.mmap ~len:page ~perm:Vmem.Perm.r ~kind:Vmem.Vma.Anon a) in
+  (match Vmem.Addr_space.write_byte a x 1 with
+  | Error `Perm_denied -> ()
+  | _ -> Alcotest.fail "expected perm denied");
+  check_int "read ok" 0 (ok (Vmem.Addr_space.read_byte a x))
+
+let test_as_munmap_partial () =
+  let fr, a = make_as () in
+  let x = ok (Vmem.Addr_space.mmap ~len:(4 * page) ~perm:Vmem.Perm.rw ~kind:Vmem.Vma.Anon a) in
+  check_int "touched" 4 (ok (Vmem.Addr_space.touch_range a ~addr:x ~len:(4 * page)));
+  check_int "committed" 4 (Vmem.Addr_space.committed_pages a);
+  ok (Vmem.Addr_space.munmap a ~addr:(x + page) ~len:page);
+  check_int "resident drops" 3 (Vmem.Addr_space.resident_pages a);
+  check_int "commit drops" 3 (Vmem.Addr_space.committed_pages a);
+  check_int "split vmas" 2 (Vmem.Addr_space.vma_count a);
+  check_int "frames freed" 3 (Vmem.Frame.used fr);
+  (* hole faults *)
+  match Vmem.Addr_space.read_byte a (x + page) with
+  | Error `Segfault -> ()
+  | _ -> Alcotest.fail "expected segfault in hole"
+
+let test_as_munmap_hole_ok () =
+  let _, a = make_as () in
+  (* munmap over nothing is fine, POSIX-style *)
+  ok (Vmem.Addr_space.munmap a ~addr:0x4000_0000 ~len:(16 * page))
+
+let test_as_protect () =
+  let _, a = make_as () in
+  let x = ok (Vmem.Addr_space.mmap ~len:(2 * page) ~perm:Vmem.Perm.rw ~kind:Vmem.Vma.Anon a) in
+  ok (Vmem.Addr_space.write_byte a x 1);
+  ok (Vmem.Addr_space.protect a ~addr:x ~len:page ~perm:Vmem.Perm.r);
+  (match Vmem.Addr_space.write_byte a x 2 with
+  | Error `Perm_denied -> ()
+  | _ -> Alcotest.fail "write after mprotect");
+  (* second page unaffected *)
+  ok (Vmem.Addr_space.write_byte a (x + page) 3);
+  (* protect over a hole fails *)
+  match Vmem.Addr_space.protect a ~addr:0x5000_0000 ~len:page ~perm:Vmem.Perm.r with
+  | Error `No_region -> ()
+  | _ -> Alcotest.fail "expected no region"
+
+let test_as_protect_restore () =
+  let _, a = make_as () in
+  let x = ok (Vmem.Addr_space.mmap ~len:page ~perm:Vmem.Perm.rw ~kind:Vmem.Vma.Anon a) in
+  ok (Vmem.Addr_space.write_byte a x 7);
+  ok (Vmem.Addr_space.protect a ~addr:x ~len:page ~perm:Vmem.Perm.r);
+  ok (Vmem.Addr_space.protect a ~addr:x ~len:page ~perm:Vmem.Perm.rw);
+  ok (Vmem.Addr_space.write_byte a x 8);
+  check_int "value" 8 (ok (Vmem.Addr_space.read_byte a x))
+
+let test_as_brk () =
+  let _, a = make_as () in
+  let base = 0x2000_0000 in
+  Vmem.Addr_space.set_heap_base a base;
+  check_int "initial brk" base (Vmem.Addr_space.brk a);
+  ok (Vmem.Addr_space.set_brk a (base + (4 * page)));
+  check_int "grown" (base + (4 * page)) (Vmem.Addr_space.brk a);
+  ok (Vmem.Addr_space.write_byte a (base + (2 * page)) 9);
+  ok (Vmem.Addr_space.set_brk a (base + page));
+  check_int "shrunk" (base + page) (Vmem.Addr_space.brk a);
+  (match Vmem.Addr_space.read_byte a (base + (2 * page)) with
+  | Error `Segfault -> ()
+  | _ -> Alcotest.fail "freed heap page still mapped");
+  match Vmem.Addr_space.set_brk a (base - page) with
+  | Error `Invalid -> ()
+  | _ -> Alcotest.fail "brk below base"
+
+let fork_pair () =
+  let fr, a = make_as () in
+  let x = ok (Vmem.Addr_space.mmap ~len:(2 * page) ~perm:Vmem.Perm.rw ~kind:Vmem.Vma.Anon a) in
+  ok (Vmem.Addr_space.write_byte a x 11);
+  let child = ok (Vmem.Addr_space.clone_cow a) in
+  (fr, a, child, x)
+
+let test_as_cow_semantics () =
+  let fr, parent, child, x = fork_pair () in
+  (* child sees parent's data *)
+  check_int "inherited" 11 (ok (Vmem.Addr_space.read_byte child x));
+  (* same frame, refcount 2 *)
+  check_int "one frame" 1 (Vmem.Frame.used fr);
+  (* child write breaks COW *)
+  ok (Vmem.Addr_space.write_byte child x 22);
+  check_int "child sees own" 22 (ok (Vmem.Addr_space.read_byte child x));
+  check_int "parent unchanged" 11 (ok (Vmem.Addr_space.read_byte parent x));
+  check_int "two frames now" 2 (Vmem.Frame.used fr);
+  (* parent write: sole owner fast path, no new frame *)
+  ok (Vmem.Addr_space.write_byte parent x 33);
+  check_int "still two frames" 2 (Vmem.Frame.used fr);
+  check_int "parent value" 33 (ok (Vmem.Addr_space.read_byte parent x))
+
+let test_as_cow_layout_inherited () =
+  let _, parent, child, _ = fork_pair () in
+  check_int "mmap_base inherited" (Vmem.Addr_space.mmap_base parent)
+    (Vmem.Addr_space.mmap_base child);
+  check_int "same vma count" (Vmem.Addr_space.vma_count parent)
+    (Vmem.Addr_space.vma_count child)
+
+let test_as_fork_cost_scales () =
+  let fr = Vmem.Frame.create ~frames:(1 lsl 20) () in
+  let cost = Vmem.Cost.create () in
+  let tlb = Vmem.Tlb.create cost in
+  let fork_cycles npages =
+    let a = Vmem.Addr_space.create ~frames:fr ~cost ~tlb () in
+    let x = ok (Vmem.Addr_space.mmap ~len:(npages * page) ~perm:Vmem.Perm.rw ~kind:Vmem.Vma.Anon a) in
+    ignore (ok (Vmem.Addr_space.touch_range a ~addr:x ~len:(npages * page)));
+    let child, cycles = Vmem.Cost.delta cost (fun () -> ok (Vmem.Addr_space.clone_cow a)) in
+    Vmem.Addr_space.destroy child;
+    Vmem.Addr_space.destroy a;
+    cycles
+  in
+  let small = fork_cycles 16 in
+  let big = fork_cycles 16384 in
+  check_bool "fork cost grows with resident set" true (big > small *. 10.0)
+
+let test_as_destroy_releases () =
+  let fr, parent, child, x = fork_pair () in
+  ok (Vmem.Addr_space.write_byte child x 1);
+  Vmem.Addr_space.destroy child;
+  check_int "child frames gone" 1 (Vmem.Frame.used fr);
+  check_int "parent still reads" 11 (ok (Vmem.Addr_space.read_byte parent x));
+  Vmem.Addr_space.destroy parent;
+  check_int "all freed" 0 (Vmem.Frame.used fr);
+  check_int "commit zero" 0 (Vmem.Frame.committed fr);
+  Vmem.Addr_space.destroy parent (* idempotent *)
+
+let test_as_fork_commit_limit () =
+  (* strict accounting: a parent using >half of memory cannot fork *)
+  let fr, a = make_as ~frames:100 () in
+  let x = ok (Vmem.Addr_space.mmap ~len:(60 * page) ~perm:Vmem.Perm.rw ~kind:Vmem.Vma.Anon a) in
+  ignore x;
+  (match Vmem.Addr_space.clone_cow a with
+  | Error `Commit_limit -> ()
+  | Error `Out_of_memory -> Alcotest.fail "unexpected OOM"
+  | Ok _ -> Alcotest.fail "fork should exceed commit");
+  (* overcommit policy lets it through *)
+  Vmem.Frame.set_policy fr Vmem.Frame.Overcommit;
+  let child = ok (Vmem.Addr_space.clone_cow a) in
+  Vmem.Addr_space.destroy child
+
+let test_as_clone_eager () =
+  let fr, a = make_as () in
+  let x = ok (Vmem.Addr_space.mmap ~len:(2 * page) ~perm:Vmem.Perm.rw ~kind:Vmem.Vma.Anon a) in
+  ok (Vmem.Addr_space.write_byte a x 5);
+  let child = ok (Vmem.Addr_space.clone_eager a) in
+  (* frames copied immediately: 2 used (1 parent + 1 child) *)
+  check_int "frames doubled" 2 (Vmem.Frame.used fr);
+  check_int "child copy" 5 (ok (Vmem.Addr_space.read_byte child x));
+  (* no COW: parent write doesn't affect child and allocates nothing *)
+  ok (Vmem.Addr_space.write_byte a x 6);
+  check_int "still 2 frames" 2 (Vmem.Frame.used fr);
+  check_int "child isolated" 5 (ok (Vmem.Addr_space.read_byte child x))
+
+let test_as_shared_mapping_fork () =
+  let _, a = make_as () in
+  let x =
+    ok (Vmem.Addr_space.mmap ~shared:true ~len:page ~perm:Vmem.Perm.rw ~kind:Vmem.Vma.Anon a)
+  in
+  ok (Vmem.Addr_space.write_byte a x 1);
+  let child = ok (Vmem.Addr_space.clone_cow a) in
+  (* shared mapping: child writes are visible to the parent *)
+  ok (Vmem.Addr_space.write_byte child x 77);
+  check_int "parent sees shared write" 77 (ok (Vmem.Addr_space.read_byte a x))
+
+let test_as_map_image_page () =
+  let _, a = make_as () in
+  ok
+    (Vmem.Addr_space.map_image_page a ~addr:0x40_0000 ~perm:Vmem.Perm.rx
+       ~data:"\x7fELF" ~kind:(Vmem.Vma.Text { path = "/bin/x" }) ());
+  check_int "populated" 1 (Vmem.Addr_space.resident_pages a);
+  check_int "byte 1" 0x45 (ok (Vmem.Addr_space.read_byte a 0x40_0001))
+
+let test_as_oom_fault () =
+  let _, a = make_as ~frames:2 ~policy:Vmem.Frame.Overcommit () in
+  let x = ok (Vmem.Addr_space.mmap ~len:(8 * page) ~perm:Vmem.Perm.rw ~kind:Vmem.Vma.Anon a) in
+  ok (Vmem.Addr_space.touch a x);
+  ok (Vmem.Addr_space.touch a (x + page));
+  match Vmem.Addr_space.touch a (x + (2 * page)) with
+  | Error `Out_of_memory -> ()
+  | _ -> Alcotest.fail "expected OOM"
+
+let prop_as_fork_refcounts =
+  QCheck.Test.make ~count:50
+    ~name:"addr space: destroy everything frees every frame"
+    QCheck.(pair (1 -- 8) (list_of_size Gen.(0 -- 20) (int_bound 7)))
+    (fun (npages, writes) ->
+      let fr = Vmem.Frame.create ~frames:1024 () in
+      let cost = Vmem.Cost.create () in
+      let tlb = Vmem.Tlb.create cost in
+      let a = Vmem.Addr_space.create ~frames:fr ~cost ~tlb () in
+      let x =
+        match Vmem.Addr_space.mmap ~len:(npages * page) ~perm:Vmem.Perm.rw ~kind:Vmem.Vma.Anon a with
+        | Ok x -> x
+        | Error _ -> QCheck.assume_fail ()
+      in
+      List.iter
+        (fun p ->
+          if p < npages then
+            match Vmem.Addr_space.write_byte a (x + (p * page)) 1 with
+            | Ok () | Error _ -> ())
+        writes;
+      let child =
+        match Vmem.Addr_space.clone_cow a with
+        | Ok c -> c
+        | Error _ -> QCheck.assume_fail ()
+      in
+      List.iter
+        (fun p ->
+          if p < npages then
+            match Vmem.Addr_space.write_byte child (x + (p * page)) 2 with
+            | Ok () | Error _ -> ())
+        writes;
+      Vmem.Addr_space.destroy child;
+      Vmem.Addr_space.destroy a;
+      Vmem.Frame.used fr = 0 && Vmem.Frame.committed fr = 0)
+
+(* ------------------------------------------------------------------ *)
+(* COW model check: a family of forked address spaces must behave like
+   independent byte maps, no matter how writes and forks interleave *)
+
+type world_op =
+  | W_write of int * int * int  (* space index, page*16+off within 8 pages, byte *)
+  | W_fork of int
+  | W_destroy of int
+
+let gen_world_op =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map3 (fun s loc v -> W_write (s, loc, v)) (int_bound 7) (int_bound 127) (int_bound 255));
+        (2, map (fun s -> W_fork s) (int_bound 7));
+        (1, map (fun s -> W_destroy s) (int_bound 7));
+      ])
+
+let prop_cow_model =
+  QCheck.Test.make ~count:60 ~name:"addr space: fork family matches byte-map model"
+    (QCheck.make QCheck.Gen.(list_size (0 -- 40) gen_world_op))
+    (fun ops ->
+      let base = 0x1000_0000 in
+      let npages = 8 in
+      let fr = Vmem.Frame.create ~policy:Vmem.Frame.Overcommit ~frames:4096 () in
+      let cost = Vmem.Cost.create () in
+      let tlb = Vmem.Tlb.create cost in
+      let root = Vmem.Addr_space.create ~frames:fr ~cost ~tlb () in
+      (match
+         Vmem.Addr_space.mmap ~addr:base ~len:(npages * page) ~perm:Vmem.Perm.rw
+           ~kind:Vmem.Vma.Anon root
+       with
+      | Ok _ -> ()
+      | Error _ -> QCheck.assume_fail ());
+      (* each live space paired with its reference byte map *)
+      let live = ref [ (root, Hashtbl.create 64) ] in
+      let addr_of loc = base + ((loc / 16) * page) + (loc mod 16) in
+      let pick i = List.nth !live (i mod List.length !live) in
+      let agree () =
+        List.for_all
+          (fun (aspace, model) ->
+            Hashtbl.fold
+              (fun addr expected acc ->
+                acc
+                &&
+                match Vmem.Addr_space.read_byte aspace addr with
+                | Ok got -> got = expected
+                | Error _ -> false)
+              model true)
+          !live
+      in
+      let ok_steps =
+        List.for_all
+          (fun op ->
+            match op with
+            | W_write (s, loc, v) -> (
+              let aspace, model = pick s in
+              let addr = addr_of loc in
+              match Vmem.Addr_space.write_byte aspace addr v with
+              | Ok () ->
+                Hashtbl.replace model addr v;
+                true
+              | Error _ -> false)
+            | W_fork s -> (
+              let aspace, model = pick s in
+              match Vmem.Addr_space.clone_cow aspace with
+              | Ok child ->
+                live := !live @ [ (child, Hashtbl.copy model) ];
+                true
+              | Error _ -> false)
+            | W_destroy s ->
+              if List.length !live > 1 then begin
+                let victim, _ = pick s in
+                Vmem.Addr_space.destroy victim;
+                live := List.filter (fun (a, _) -> a != victim) !live;
+                true
+              end
+              else true)
+          ops
+      in
+      let consistent = ok_steps && agree () in
+      List.iter (fun (a, _) -> Vmem.Addr_space.destroy a) !live;
+      consistent && Vmem.Frame.used fr = 0 && Vmem.Frame.committed fr = 0)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let tc n f = Alcotest.test_case n `Quick f
+
+let () =
+  Alcotest.run "vmem"
+    [
+      ( "addr",
+        [
+          tc "alignment" test_addr_alignment;
+          tc "pages" test_addr_pages;
+          tc "table index" test_addr_table_index;
+        ] );
+      qsuite "addr-props" [ prop_addr_align; prop_addr_index_recompose ];
+      ("perm", [ tc "allows" test_perm_allows; tc "ops" test_perm_ops ]);
+      ( "frame",
+        [
+          tc "alloc/free" test_frame_alloc_free;
+          tc "refcount" test_frame_refcount;
+          tc "oom" test_frame_oom;
+          tc "unallocated" test_frame_unallocated_ops;
+          tc "commit strict" test_frame_commit;
+          tc "overcommit" test_frame_overcommit;
+          tc "data" test_frame_data;
+          tc "free discards data" test_frame_free_discards_data;
+        ] );
+      ( "pte",
+        [ tc "roundtrip" test_pte_roundtrip; tc "updates" test_pte_updates ] );
+      qsuite "pte-props" [ prop_pte_roundtrip ];
+      ( "page-table",
+        [
+          tc "map/lookup" test_pt_map_lookup;
+          tc "unmap" test_pt_unmap;
+          tc "node growth" test_pt_node_growth;
+          tc "fold order" test_pt_fold_order;
+          tc "update" test_pt_update;
+          tc "clone cow" test_pt_clone_cow;
+          tc "clear" test_pt_clear;
+        ] );
+      qsuite "page-table-props" [ prop_pt_map_unmap ];
+      ( "region-map",
+        [
+          tc "add/overlap" test_rm_add_overlap;
+          tc "find" test_rm_find;
+          tc "carve middle" test_rm_carve_middle;
+          tc "carve span" test_rm_carve_span;
+          tc "carve crop callback" test_rm_carve_crop_callback;
+          tc "find gap" test_rm_find_gap;
+        ] );
+      qsuite "region-map-props" [ prop_rm_invariant ];
+      ("tlb", [ tc "accounting" test_tlb_accounting ]);
+      ( "addr-space",
+        [
+          tc "mmap gap" test_as_mmap_gap;
+          tc "mmap hint" test_as_mmap_hint;
+          tc "demand zero" test_as_demand_zero;
+          tc "segfault/perms" test_as_segfault_and_perms;
+          tc "munmap partial" test_as_munmap_partial;
+          tc "munmap hole" test_as_munmap_hole_ok;
+          tc "protect" test_as_protect;
+          tc "protect restore" test_as_protect_restore;
+          tc "brk" test_as_brk;
+          tc "cow semantics" test_as_cow_semantics;
+          tc "cow layout inherited" test_as_cow_layout_inherited;
+          tc "fork cost scales" test_as_fork_cost_scales;
+          tc "destroy releases" test_as_destroy_releases;
+          tc "fork commit limit" test_as_fork_commit_limit;
+          tc "clone eager" test_as_clone_eager;
+          tc "shared mapping fork" test_as_shared_mapping_fork;
+          tc "map image page" test_as_map_image_page;
+          tc "oom fault" test_as_oom_fault;
+        ] );
+      qsuite "addr-space-props" [ prop_as_fork_refcounts; prop_cow_model ];
+    ]
