@@ -1,13 +1,34 @@
-(* forkscan — count process-creation call sites in a real C tree, with
-   the same scanner the E7 survey uses.
+(* forkscan — survey and lint process-creation in real C trees.
 
-     forkscan path/to/source [more/paths...] *)
+     forkscan [scan] path/to/source [more/paths...]   count call sites
+     forkscan lint path/to/source [--format=json]     fork-hazard lint
+
+   The scan subcommand counts creation-API call sites with the same
+   scanner the E7 survey uses; lint runs the forklint rule registry
+   (see DESIGN.md "forklint rules") and exits 1 on any Error finding,
+   2 when an explicitly given path cannot be read. *)
 
 open Cmdliner
 
 let paths_arg =
   let doc = "Files or directories to scan (.c/.h/.cc/.cpp/.hh)." in
   Arg.(non_empty & pos_all string [] & info [] ~docv:"PATH" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* Shared: skipped-file reporting *)
+
+let report_skipped skipped =
+  List.iter
+    (fun (path, msg) -> Printf.eprintf "forkscan: skipped %s: %s\n" path msg)
+    skipped
+
+(* A skip of one of the paths the user named (as opposed to a file met
+   during the walk) is a hard error. *)
+let explicit_failure paths skipped =
+  List.exists (fun p -> List.mem_assoc p skipped) paths
+
+(* ------------------------------------------------------------------ *)
+(* scan *)
 
 let top_arg =
   let doc = "Also list the $(docv) files with the most creation-API call sites." in
@@ -39,11 +60,13 @@ let scan top paths =
   in
   let totals = Hashtbl.create 8 in
   let files = ref 0 and lines = ref 0 in
+  let skipped = ref [] in
   List.iter
     (fun path ->
       let report = Forklore.Scanner.scan_directory path in
       files := !files + report.Forklore.Scanner.files_scanned;
       lines := !lines + report.Forklore.Scanner.total_lines;
+      skipped := !skipped @ report.Forklore.Scanner.skipped;
       List.iter
         (fun (api, n) ->
           Hashtbl.replace totals api
@@ -61,9 +84,127 @@ let scan top paths =
   Printf.printf "scanned %d files, %s lines\n%s" !files
     (Metrics.Units.count (float_of_int !lines))
     (Metrics.Table.render table);
-  print_top top paths
+  print_top top paths;
+  report_skipped !skipped;
+  if explicit_failure paths !skipped then 2 else 0
+
+(* ------------------------------------------------------------------ *)
+(* lint *)
+
+let format_arg =
+  let doc = "Output format: $(b,text) or $(b,json) (SARIF-like)." in
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FORMAT" ~doc)
+
+let rules_arg =
+  let doc =
+    "Comma-separated rule ids to run (default: every registered rule)."
+  in
+  Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"RULES" ~doc)
+
+let c_extensions = [ ".c"; ".h"; ".cc"; ".cpp"; ".hh" ]
+
+(* every lintable file under [path], plus read failures *)
+let collect_files path =
+  let files = ref [] and skipped = ref [] in
+  let want p =
+    List.exists (fun ext -> Filename.check_suffix p ext) c_extensions
+  in
+  let rec walk dir =
+    match Sys.readdir dir with
+    | exception Sys_error msg -> skipped := (dir, msg) :: !skipped
+    | entries ->
+      Array.sort compare entries;
+      Array.iter
+        (fun entry ->
+          let p = Filename.concat dir entry in
+          if Sys.is_directory p then walk p else if want p then files := p :: !files)
+        entries
+  in
+  (match Sys.is_directory path with
+  | true -> walk path
+  | false -> files := path :: !files
+  | exception Sys_error msg -> skipped := (path, msg) :: !skipped);
+  (List.rev !files, List.rev !skipped)
+
+let resolve_rules = function
+  | None -> Ok Forklore.Rules.all
+  | Some spec ->
+    let ids = String.split_on_char ',' spec |> List.map String.trim in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | id :: rest -> (
+        match Forklore.Rules.find id with
+        | Some r -> go (r :: acc) rest
+        | None -> Error id)
+    in
+    go [] ids
+
+let lint format rules_spec paths =
+  match resolve_rules rules_spec with
+  | Error id ->
+    Printf.eprintf "forkscan lint: unknown rule %s (known: %s)\n" id
+      (String.concat ", " (List.map (fun r -> r.Forklore.Rules.id) Forklore.Rules.all));
+    2
+  | Ok rules ->
+    let skipped = ref [] in
+    let findings = ref [] in
+    List.iter
+      (fun path ->
+        let files, skips = collect_files path in
+        skipped := !skipped @ skips;
+        List.iter
+          (fun file ->
+            match Forklore.Rules.check_file ~rules file with
+            | Ok ds -> findings := !findings @ ds
+            | Error msg -> skipped := !skipped @ [ (file, msg) ])
+          files)
+      paths;
+    let findings = List.sort Forklore.Diagnostic.compare !findings in
+    (match format with
+    | `Json -> print_string (Forklore.Diagnostic.report_to_json findings)
+    | `Text ->
+      List.iter
+        (fun d -> Format.printf "%a@." Forklore.Diagnostic.pp d)
+        findings;
+      Format.printf "%d error(s), %d warning(s), %d info(s)@."
+        (Forklore.Diagnostic.count Forklore.Diagnostic.Error findings)
+        (Forklore.Diagnostic.count Forklore.Diagnostic.Warn findings)
+        (Forklore.Diagnostic.count Forklore.Diagnostic.Info findings));
+    report_skipped !skipped;
+    if explicit_failure paths !skipped then 2
+    else if List.exists Forklore.Diagnostic.is_error findings then 1
+    else 0
+
+(* ------------------------------------------------------------------ *)
+
+let scan_term = Term.(const scan $ top_arg $ paths_arg)
+
+let scan_cmd =
+  let doc = "count process-creation call sites in C source" in
+  Cmd.v (Cmd.info "scan" ~doc) scan_term
+
+let lint_cmd =
+  let doc = "lint C source for the paper's fork hazards" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the forklint rule registry over every C file reachable from \
+         PATH. Each finding carries a $(b,file:line:col) span, the paper \
+         section the rule operationalises and a fix hint naming the \
+         spawn-based alternative.";
+      `P
+        "Exit status: 0 clean (or warnings only), 1 on any Error-severity \
+         finding, 2 when a named path cannot be read or a rule id is \
+         unknown.";
+    ]
+  in
+  Cmd.v (Cmd.info "lint" ~doc ~man) Term.(const lint $ format_arg $ rules_arg $ paths_arg)
 
 let () =
-  let doc = "count process-creation call sites in C source" in
-  let info = Cmd.info "forkscan" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.v info Term.(const scan $ top_arg $ paths_arg)))
+  let doc = "survey and lint process-creation in C source" in
+  let info = Cmd.info "forkscan" ~version:"1.1.0" ~doc in
+  exit (Cmd.eval' (Cmd.group ~default:scan_term info [ scan_cmd; lint_cmd ]))

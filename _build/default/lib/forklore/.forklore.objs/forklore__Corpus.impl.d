@@ -1,1 +1,1 @@
-lib/forklore/corpus.ml: Api Array Buffer Hashtbl List Option Printf Prng
+lib/forklore/corpus.ml: Api Array Buffer Hashtbl List Option Printf Prng String

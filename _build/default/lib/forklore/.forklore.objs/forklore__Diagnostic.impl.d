@@ -1,0 +1,1 @@
+lib/forklore/diagnostic.ml: Buffer Char Format Int List Option Printf Stdlib String

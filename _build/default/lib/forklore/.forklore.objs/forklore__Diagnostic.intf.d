@@ -1,0 +1,1 @@
+lib/forklore/diagnostic.mli: Format

@@ -1,0 +1,1 @@
+lib/forklore/lexer.ml: Buffer List Printf String

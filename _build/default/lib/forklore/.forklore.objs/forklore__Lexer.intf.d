@@ -1,0 +1,1 @@
+lib/forklore/lexer.mli:

@@ -1,0 +1,1 @@
+lib/forklore/rules.ml: Array Diagnostic In_channel Lexer List Printf

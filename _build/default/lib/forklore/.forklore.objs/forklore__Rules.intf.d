@@ -1,0 +1,1 @@
+lib/forklore/rules.mli: Diagnostic Lexer

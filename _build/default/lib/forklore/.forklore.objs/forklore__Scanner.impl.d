@@ -1,1 +1,1 @@
-lib/forklore/scanner.ml: Api Array Filename Hashtbl In_channel List Option String Sys
+lib/forklore/scanner.ml: Api Array Filename Hashtbl In_channel Lexer List Option Sys

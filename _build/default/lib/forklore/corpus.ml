@@ -119,3 +119,187 @@ let generate ?(packages = 200) ~seed () =
   if packages < 0 then invalid_arg "Corpus.generate: negative count";
   let rng = Prng.Splitmix.create ~seed in
   List.init packages (fun i -> generate_package rng i)
+
+(* ------------------------------------------------------------------ *)
+(* Hazard fixtures for forklint: hand-written programs exhibiting the
+   paper's fork hazards, each labelled with the exact findings
+   (rule id, line, col) the rule engine must produce, in
+   Diagnostic.compare order. Columns are 1-based. *)
+
+type hazard = {
+  hz_name : string;
+  hz_source : string;
+  hz_expected : (string * int * int) list;
+}
+
+let src lines = String.concat "\n" lines ^ "\n"
+
+let threaded_noexec =
+  {
+    hz_name = "threaded_noexec.c";
+    hz_source =
+      src
+        [
+          "#include <pthread.h>";
+          "#include <stdio.h>";
+          "#include <fcntl.h>";
+          "";
+          "static void *worker(void *arg) {";
+          "    return arg;";
+          "}";
+          "";
+          "int main(void) {";
+          "    pthread_t th;";
+          "    pthread_create(&th, NULL, worker, NULL);";
+          "    printf(\"hello from the parent\\n\");";
+          "    int fd = open(\"/tmp/scratch\", O_RDWR);";
+          "    pid_t pid = fork();";
+          "    if (pid == 0) {";
+          "        handle_request(fd);";
+          "    }";
+          "    return 0;";
+          "}";
+        ];
+    hz_expected =
+      [
+        ("fd-no-cloexec", 13, 14);
+        ("fork-in-threads", 14, 17);
+        ("fork-no-exec", 14, 17);
+        ("stdio-before-fork", 14, 17);
+      ];
+  }
+
+let clean_spawn =
+  {
+    hz_name = "clean_spawn.c";
+    hz_source =
+      src
+        [
+          "#include <spawn.h>";
+          "";
+          "int run(char *const argv[], char *const envp[]) {";
+          "    pid_t pid;";
+          "    int rc = posix_spawn(&pid, argv[0], NULL, NULL, argv, envp);";
+          "    return rc == 0 ? (int)pid : -1;";
+          "}";
+        ];
+    hz_expected = [];
+  }
+
+let vfork_bad =
+  {
+    hz_name = "vfork_bad.c";
+    hz_source =
+      src
+        [
+          "#include <unistd.h>";
+          "#include <stdio.h>";
+          "";
+          "int main(int argc, char **argv) {";
+          "    pid_t pid = vfork();";
+          "    if (pid == 0) {";
+          "        printf(\"child %d\\n\", argc);";
+          "        execv(argv[1], argv + 1);";
+          "        _exit(127);";
+          "    }";
+          "    return 0;";
+          "}";
+        ];
+    hz_expected = [ ("vfork-misuse", 7, 9) ];
+  }
+
+let vfork_no_exec =
+  {
+    hz_name = "vfork_no_exec.c";
+    hz_source =
+      src
+        [
+          "#include <unistd.h>";
+          "";
+          "int main(void) {";
+          "    if (vfork() == 0) {";
+          "        do_work();";
+          "    }";
+          "    return 0;";
+          "}";
+        ];
+    hz_expected = [ ("vfork-misuse", 4, 9) ];
+  }
+
+let stdio_fork =
+  {
+    hz_name = "stdio_fork.c";
+    hz_source =
+      src
+        [
+          "#include <stdio.h>";
+          "#include <unistd.h>";
+          "";
+          "int main(void) {";
+          "    printf(\"starting worker\\n\");";
+          "    pid_t pid = fork();";
+          "    if (pid == 0) {";
+          "        execlp(\"worker\", \"worker\", (char *)0);";
+          "        _exit(127);";
+          "    }";
+          "    return pid > 0 ? 0 : 1;";
+          "}";
+        ];
+    hz_expected = [ ("stdio-before-fork", 6, 17) ];
+  }
+
+let child_malloc =
+  {
+    hz_name = "child_malloc.c";
+    hz_source =
+      src
+        [
+          "#include <stdlib.h>";
+          "#include <unistd.h>";
+          "";
+          "int main(int argc, char **argv) {";
+          "    pid_t pid = fork();";
+          "    if (pid == 0) {";
+          "        char *buf = malloc(4096);";
+          "        build_argv(buf, argc);";
+          "        execv(argv[1], argv + 1);";
+          "        _exit(127);";
+          "    }";
+          "    return 0;";
+          "}";
+        ];
+    hz_expected = [ ("unsafe-child-work", 7, 21) ];
+  }
+
+let cloexec_leak =
+  {
+    hz_name = "cloexec_leak.c";
+    hz_source =
+      src
+        [
+          "#include <fcntl.h>";
+          "#include <unistd.h>";
+          "";
+          "int main(void) {";
+          "    int log_fd = open(\"/var/log/app.log\", O_WRONLY | O_APPEND);";
+          "    int safe_fd = open(\"/etc/config\", O_RDONLY | O_CLOEXEC);";
+          "    if (fork() == 0) {";
+          "        execl(\"/bin/worker\", \"worker\", (char *)0);";
+          "        _exit(127);";
+          "    }";
+          "    return log_fd + safe_fd;";
+          "}";
+        ];
+    hz_expected = [ ("fd-no-cloexec", 5, 18) ];
+  }
+
+let hazards =
+  [
+    threaded_noexec;
+    clean_spawn;
+    vfork_bad;
+    vfork_no_exec;
+    stdio_fork;
+    child_malloc;
+    cloexec_leak;
+  ]

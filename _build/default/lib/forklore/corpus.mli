@@ -30,3 +30,17 @@ val archetype_weights : (archetype * int) list
 
 val generate : ?packages:int -> seed:int -> unit -> package list
 (** Deterministic in [seed]. Default 200 packages. *)
+
+type hazard = {
+  hz_name : string;
+  hz_source : string;
+  hz_expected : (string * int * int) list;
+      (** ground-truth findings as (rule id, line, col), 1-based, in
+          {!Diagnostic.compare} order *)
+}
+
+val hazards : hazard list
+(** Hand-written fixtures exhibiting the paper's fork hazards (threaded
+    fork without exec, vfork misuse, unflushed stdio, fd leaks, unsafe
+    child-side work) plus a clean posix_spawn program, each labelled
+    with the exact findings {!Rules.check_string} must report. *)

@@ -1,0 +1,172 @@
+type kind =
+  | Ident of string
+  | Number of string
+  | Str of string
+  | Chr of string
+  | Punct of string
+
+type token = { kind : kind; line : int; col : int }
+
+let count_lines src =
+  let n = ref 1 in
+  String.iter (fun c -> if c = '\n' then incr n) src;
+  !n
+
+(* Reserved words must not look like call sites (`if (...)`) to the rule
+   engine, so they are classified here rather than in every rule. *)
+let keywords =
+  [
+    "auto"; "break"; "case"; "char"; "const"; "continue"; "default"; "do";
+    "double"; "else"; "enum"; "extern"; "float"; "for"; "goto"; "if";
+    "inline"; "int"; "long"; "register"; "restrict"; "return"; "short";
+    "signed"; "sizeof"; "static"; "struct"; "switch"; "typedef"; "union";
+    "unsigned"; "void"; "volatile"; "while"; "_Alignas"; "_Alignof";
+    "_Atomic"; "_Bool"; "_Generic"; "_Noreturn"; "_Static_assert";
+    "_Thread_local";
+  ]
+
+let is_keyword id = List.mem id keywords
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Two-character operators kept whole so columns of what follows stay
+   honest; longer operators (<<=, ...) split into these plus '='. *)
+let two_char_ops =
+  [
+    "->"; "++"; "--"; "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||";
+    "+="; "-="; "*="; "/="; "%="; "&="; "|="; "^="; "##";
+  ]
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let line = ref 1 in
+  let col = ref 1 in
+  let emit ~line ~col kind = toks := { kind; line; col } :: !toks in
+  let cur () = src.[!i] in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let advance () =
+    if cur () = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col;
+    incr i
+  in
+  (* consume a backslash escape inside a literal; tolerates EOF *)
+  let skip_escape () =
+    advance ();
+    if !i < n then advance ()
+  in
+  while !i < n do
+    let c = cur () in
+    let l = !line and co = !col in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '\012' then advance ()
+    else if c = '/' && peek 1 = Some '/' then
+      while !i < n && cur () <> '\n' do
+        advance ()
+      done
+    else if c = '/' && peek 1 = Some '*' then begin
+      advance ();
+      advance ();
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if cur () = '*' && peek 1 = Some '/' then begin
+          advance ();
+          advance ();
+          closed := true
+        end
+        else advance ()
+      done
+      (* an unterminated block comment swallows the rest of the file *)
+    end
+    else if c = '"' then begin
+      advance ();
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        match cur () with
+        | '\\' ->
+          Buffer.add_char buf '\\';
+          (match peek 1 with Some e -> Buffer.add_char buf e | None -> ());
+          skip_escape ()
+        | '"' ->
+          advance ();
+          closed := true
+        | ch ->
+          Buffer.add_char buf ch;
+          advance ()
+      done;
+      emit ~line:l ~col:co (Str (Buffer.contents buf))
+    end
+    else if c = '\'' then begin
+      advance ();
+      let buf = Buffer.create 4 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        match cur () with
+        | '\\' ->
+          Buffer.add_char buf '\\';
+          (match peek 1 with Some e -> Buffer.add_char buf e | None -> ());
+          skip_escape ()
+        | '\'' ->
+          advance ();
+          closed := true
+        | ch ->
+          Buffer.add_char buf ch;
+          advance ()
+      done;
+      emit ~line:l ~col:co (Chr (Buffer.contents buf))
+    end
+    else if is_ident_start c then begin
+      let buf = Buffer.create 8 in
+      while !i < n && is_ident (cur ()) do
+        Buffer.add_char buf (cur ());
+        advance ()
+      done;
+      emit ~line:l ~col:co (Ident (Buffer.contents buf))
+    end
+    else if is_digit c then begin
+      (* loose C number: digits, hex/bin letters, suffixes, '.', exponent
+         signs are absorbed; good enough to keep them out of idents *)
+      let buf = Buffer.create 8 in
+      while
+        !i < n
+        && (is_ident (cur ())
+           || cur () = '.'
+           || ((cur () = '+' || cur () = '-')
+              && Buffer.length buf > 0
+              &&
+              match Buffer.nth buf (Buffer.length buf - 1) with
+              | 'e' | 'E' | 'p' | 'P' -> true
+              | _ -> false))
+      do
+        Buffer.add_char buf (cur ());
+        advance ()
+      done;
+      emit ~line:l ~col:co (Number (Buffer.contents buf))
+    end
+    else begin
+      let two =
+        match peek 1 with
+        | Some c2 ->
+          let s = Printf.sprintf "%c%c" c c2 in
+          if List.mem s two_char_ops then Some s else None
+        | None -> None
+      in
+      match two with
+      | Some s ->
+        advance ();
+        advance ();
+        emit ~line:l ~col:co (Punct s)
+      | None ->
+        advance ();
+        emit ~line:l ~col:co (Punct (String.make 1 c))
+    end
+  done;
+  List.rev !toks

@@ -1,0 +1,28 @@
+(** Position-tracking tokenizer for C-like source.
+
+    Splits source into identifiers, numbers, string/char literals and
+    punctuation, each stamped with its 1-based [line]/[col] start.
+    Comments and whitespace are dropped; string and character literals
+    keep their (raw, still-escaped) contents. The lexer is deliberately
+    tolerant: unterminated literals and block comments consume the rest
+    of the input instead of failing, so it can be pointed at arbitrary
+    files. Both {!Scanner} (the call-site survey) and {!Rules} (the
+    forklint rule engine) run on this token stream. *)
+
+type kind =
+  | Ident of string
+  | Number of string
+  | Str of string  (** contents without the quotes, escapes unprocessed *)
+  | Chr of string
+  | Punct of string  (** single char, or a common two-char operator *)
+
+type token = { kind : kind; line : int; col : int }
+
+val tokenize : string -> token list
+
+val is_keyword : string -> bool
+(** C reserved words; [if]/[while]/[return] etc. must not be mistaken
+    for function calls by the rule engine. *)
+
+val count_lines : string -> int
+(** 1 + number of newlines (an empty string has one line). *)

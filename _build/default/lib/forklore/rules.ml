@@ -1,0 +1,465 @@
+(* The forklint rule registry: each of the paper's fork hazards as a
+   checkable pattern over the token stream. The checks are per-file
+   heuristics (no cross-translation-unit dataflow): a call site is any
+   non-keyword identifier whose next token is '(', and a fork call's
+   "child region" extends to the end of the enclosing function (the
+   first '}' back at brace depth 0). That is exactly the level of
+   approximation the paper's own usage survey works at, and it is
+   precise on the labelled hazard corpus. *)
+
+type call = {
+  name : string;
+  line : int;
+  col : int;
+  tok_index : int;
+  depth : int;  (** brace depth at the call site *)
+}
+
+type ctx = {
+  file : string;
+  toks : Lexer.token array;
+  depths : int array;  (** brace depth surrounding each token *)
+  calls : call list;  (** in source order *)
+}
+
+type finding = { f_line : int; f_col : int; f_message : string }
+
+type t = {
+  id : string;
+  severity : Diagnostic.severity;
+  summary : string;
+  citation : string;
+  hint : string;
+  check : ctx -> finding list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Context construction *)
+
+let build_ctx ~file toks =
+  let toks = Array.of_list toks in
+  let n = Array.length toks in
+  let depths = Array.make n 0 in
+  let d = ref 0 in
+  for i = 0 to n - 1 do
+    match toks.(i).Lexer.kind with
+    | Lexer.Punct "{" ->
+      depths.(i) <- !d;
+      incr d
+    | Lexer.Punct "}" ->
+      d := max 0 (!d - 1);
+      depths.(i) <- !d
+    | _ -> depths.(i) <- !d
+  done;
+  let calls = ref [] in
+  for i = 0 to n - 2 do
+    match (toks.(i).Lexer.kind, toks.(i + 1).Lexer.kind) with
+    | Lexer.Ident name, Lexer.Punct "(" when not (Lexer.is_keyword name) ->
+      calls :=
+        {
+          name;
+          line = toks.(i).Lexer.line;
+          col = toks.(i).Lexer.col;
+          tok_index = i;
+          depth = depths.(i);
+        }
+        :: !calls
+    | _ -> ()
+  done;
+  { file; toks; depths; calls = List.rev !calls }
+
+(* First token index after [idx] that closes the enclosing function:
+   a '}' back at depth 0. Array length when the file ends first. *)
+let region_end ctx idx =
+  let n = Array.length ctx.toks in
+  let rec go i =
+    if i >= n then n
+    else
+      match ctx.toks.(i).Lexer.kind with
+      | Lexer.Punct "}" when ctx.depths.(i) = 0 -> i
+      | _ -> go (i + 1)
+  in
+  go (idx + 1)
+
+let calls_between ctx a b =
+  List.filter (fun c -> c.tok_index > a && c.tok_index < b) ctx.calls
+
+(* Tokens of a call's argument list: everything between its '(' and the
+   matching ')'. *)
+let arg_tokens ctx call =
+  let n = Array.length ctx.toks in
+  let out = ref [] in
+  let rec go i depth =
+    if i >= n then ()
+    else
+      match ctx.toks.(i).Lexer.kind with
+      | Lexer.Punct "(" ->
+        if depth > 0 then out := ctx.toks.(i) :: !out;
+        go (i + 1) (depth + 1)
+      | Lexer.Punct ")" ->
+        if depth > 1 then begin
+          out := ctx.toks.(i) :: !out;
+          go (i + 1) (depth - 1)
+        end
+      | _ ->
+        if depth > 0 then out := ctx.toks.(i) :: !out;
+        go (i + 1) depth
+  in
+  go (call.tok_index + 1) 0;
+  List.rev !out
+
+let has_ident name toks =
+  List.exists
+    (fun t -> match t.Lexer.kind with Lexer.Ident i -> i = name | _ -> false)
+    toks
+
+(* ------------------------------------------------------------------ *)
+(* Name sets *)
+
+let fork_names = [ "fork" ]
+let vfork_names = [ "vfork" ]
+
+let creation_names =
+  [ "fork"; "vfork"; "clone"; "clone3"; "posix_spawn"; "posix_spawnp";
+    "system"; "popen" ]
+
+let exec_names =
+  [ "execve"; "execv"; "execvp"; "execvpe"; "execl"; "execlp"; "execle";
+    "fexecve" ]
+
+(* calls that legitimately end a forked child branch *)
+let escape_names = "_exit" :: "_Exit" :: exec_names
+
+let stdio_names =
+  [ "printf"; "fprintf"; "vprintf"; "vfprintf"; "fwrite"; "puts"; "fputs";
+    "putchar"; "fputc"; "putc" ]
+
+(* not async-signal-safe (or stdio-flushing) work that must not run in
+   the window between fork and exec *)
+let unsafe_child_names =
+  [ "malloc"; "calloc"; "realloc"; "free"; "printf"; "fprintf"; "puts";
+    "fopen"; "fclose"; "exit"; "pthread_mutex_lock"; "pthread_mutex_unlock";
+    "pthread_create" ]
+
+let mem name names = List.mem name names
+
+let first_call ctx names =
+  List.find_opt (fun c -> mem c.name names) ctx.calls
+
+(* first escaping call (exec*/_exit) in (a, b) *)
+let first_escape between =
+  List.find_opt (fun c -> mem c.name escape_names) between
+
+(* ------------------------------------------------------------------ *)
+(* The rules *)
+
+let finding c msg = { f_line = c.line; f_col = c.col; f_message = msg }
+
+let rule_fork_in_threads =
+  {
+    id = "fork-in-threads";
+    severity = Diagnostic.Error;
+    summary = "fork() in a program that creates threads";
+    citation =
+      "\194\1672.1 \"fork doesn't compose\": only the calling thread is \
+       replicated; locks held by other threads stay locked forever in the \
+       child";
+    hint =
+      "create the child with posix_spawn (Spawnlib.Spawn) instead of \
+       fork+exec; it does not copy thread or lock state";
+    check =
+      (fun ctx ->
+        match first_call ctx [ "pthread_create"; "thrd_create" ] with
+        | None -> []
+        | Some tc ->
+          List.filter_map
+            (fun c ->
+              if mem c.name fork_names && c.tok_index > tc.tok_index then
+                Some
+                  (finding c
+                     (Printf.sprintf
+                        "%s() after this file starts threads \
+                         (pthread_create at line %d); in the child only the \
+                         forking thread exists and any mutex another thread \
+                         held is orphaned"
+                        c.name tc.line))
+              else None)
+            ctx.calls);
+  }
+
+let rule_fork_no_exec =
+  {
+    id = "fork-no-exec";
+    severity = Diagnostic.Warn;
+    summary = "fork() whose child branch never reaches exec or _exit";
+    citation =
+      "\194\1672/\194\1674 \"fork is no longer simple\": a child that keeps \
+       running inherits the full parent state (buffers, fds, locks, \
+       secrets)";
+    hint =
+      "if the child only runs another program, exec or _exit on the child \
+       branch; if it is a worker, spawn a fresh worker image with \
+       posix_spawn";
+    check =
+      (fun ctx ->
+        List.filter_map
+          (fun c ->
+            if not (mem c.name fork_names) then None
+            else
+              let stop = region_end ctx c.tok_index in
+              let later = calls_between ctx c.tok_index stop in
+              if first_escape later <> None then None
+              else
+                Some
+                  (finding c
+                     (Printf.sprintf
+                        "%s() but no exec*/_exit is reachable in the rest of \
+                         the enclosing function: the child keeps running \
+                         with the parent's entire inherited state"
+                        c.name)))
+          ctx.calls);
+  }
+
+let rule_stdio_before_fork =
+  {
+    id = "stdio-before-fork";
+    severity = Diagnostic.Warn;
+    summary = "buffered stdio written before fork without fflush";
+    citation =
+      "\194\1672.1: user-space stdio buffers are duplicated by fork and \
+       flushed by both processes, emitting output twice";
+    hint =
+      "fflush(NULL) immediately before fork, write(2) directly, or use \
+       posix_spawn which shares no buffers";
+    check =
+      (fun ctx ->
+        let last_stdio = ref None in
+        List.filter_map
+          (fun c ->
+            if mem c.name stdio_names then begin
+              last_stdio := Some c;
+              None
+            end
+            else if c.name = "fflush" then begin
+              last_stdio := None;
+              None
+            end
+            else if mem c.name (fork_names @ vfork_names) then
+              match !last_stdio with
+              | None -> None
+              | Some s ->
+                Some
+                  (finding c
+                     (Printf.sprintf
+                        "%s() with unflushed stdio output (%s at line %d): \
+                         the child inherits and may re-flush the same bytes"
+                        c.name s.name s.line))
+            else None)
+          ctx.calls);
+  }
+
+let rule_unsafe_child_work =
+  {
+    id = "unsafe-child-work";
+    severity = Diagnostic.Warn;
+    summary = "non-async-signal-safe work between fork and exec";
+    citation =
+      "\194\1672.1: after forking a multithreaded process only \
+       async-signal-safe code is safe in the child until exec; malloc or \
+       stdio can deadlock on an orphaned lock";
+    hint =
+      "express fd redirections and attribute changes as posix_spawn file \
+       actions/attributes and delete the in-child setup code";
+    check =
+      (fun ctx ->
+        List.concat_map
+          (fun c ->
+            if not (mem c.name fork_names) then []
+            else
+              let stop = region_end ctx c.tok_index in
+              let later = calls_between ctx c.tok_index stop in
+              match first_escape later with
+              | None -> [] (* fork-no-exec's business *)
+              | Some e ->
+                List.filter_map
+                  (fun o ->
+                    if
+                      o.tok_index < e.tok_index
+                      && mem o.name unsafe_child_names
+                    then
+                      Some
+                        (finding o
+                           (Printf.sprintf
+                              "%s() between fork (line %d) and %s (line %d); \
+                               it is not async-signal-safe and can deadlock \
+                               in the forked child"
+                              o.name c.line e.name e.line))
+                    else None)
+                  later)
+          ctx.calls);
+  }
+
+let rule_fd_no_cloexec =
+  {
+    id = "fd-no-cloexec";
+    severity = Diagnostic.Warn;
+    summary = "fd created without CLOEXEC in a file that forks or spawns";
+    citation =
+      "\194\1673 \"fork is insecure by default\": every fd leaks into every \
+       child unless explicitly marked close-on-exec";
+    hint =
+      "open with O_CLOEXEC (pipe2/SOCK_CLOEXEC for pipes and sockets) and \
+       pass the fds a child should receive via posix_spawn file actions";
+    check =
+      (fun ctx ->
+        if first_call ctx creation_names = None then []
+        else
+          List.filter_map
+            (fun c ->
+              match c.name with
+              | "open" | "open64" | "openat" ->
+                if has_ident "O_CLOEXEC" (arg_tokens ctx c) then None
+                else
+                  Some
+                    (finding c
+                       (Printf.sprintf
+                          "%s() without O_CLOEXEC in a file that creates \
+                           processes: the fd is inherited by every child"
+                          c.name))
+              | "socket" ->
+                if has_ident "SOCK_CLOEXEC" (arg_tokens ctx c) then None
+                else
+                  Some
+                    (finding c
+                       "socket() without SOCK_CLOEXEC in a file that \
+                        creates processes: the fd is inherited by every \
+                        child")
+              | "pipe" ->
+                Some
+                  (finding c
+                     "pipe() cannot set CLOEXEC atomically; use pipe2(fds, \
+                      O_CLOEXEC)")
+              | "creat" ->
+                Some
+                  (finding c
+                     "creat() cannot take O_CLOEXEC; use open(..., O_CREAT \
+                      | O_CLOEXEC, ...)")
+              | _ -> None)
+            ctx.calls);
+  }
+
+let rule_vfork_misuse =
+  {
+    id = "vfork-misuse";
+    severity = Diagnostic.Error;
+    summary = "vfork child doing anything beyond exec/_exit";
+    citation =
+      "\194\1675/\194\1678: the vfork child borrows the parent's address \
+       space and stack; anything but an immediate execve/_exit corrupts the \
+       parent";
+    hint =
+      "keep the vfork child to execve/_exit only (what \
+       spawnlib/spawn_stubs.c does), or use posix_spawn";
+    check =
+      (fun ctx ->
+        List.concat_map
+          (fun c ->
+            if not (mem c.name vfork_names) then []
+            else
+              let stop = region_end ctx c.tok_index in
+              let later = calls_between ctx c.tok_index stop in
+              match first_escape later with
+              | None ->
+                [
+                  finding c
+                    "vfork() but no execve/_exit is reachable in the \
+                     enclosing function; the child shares the parent's \
+                     address space and stack";
+                ]
+              | Some e ->
+                let bad_calls =
+                  List.filter_map
+                    (fun o ->
+                      if
+                        o.tok_index < e.tok_index
+                        && not (mem o.name escape_names)
+                      then
+                        Some
+                          (finding o
+                             (Printf.sprintf
+                                "%s() in the vfork child window (vfork at \
+                                 line %d, %s at line %d): only execve/_exit \
+                                 are permitted there"
+                                o.name c.line e.name e.line))
+                      else None)
+                    later
+                in
+                let bad_return =
+                  let rec scan i =
+                    if i >= e.tok_index then []
+                    else
+                      match ctx.toks.(i).Lexer.kind with
+                      | Lexer.Ident "return" ->
+                        [
+                          {
+                            f_line = ctx.toks.(i).Lexer.line;
+                            f_col = ctx.toks.(i).Lexer.col;
+                            f_message =
+                              Printf.sprintf
+                                "return in the vfork child window (vfork at \
+                                 line %d): returning from the borrowed \
+                                 stack frame is undefined behaviour"
+                                c.line;
+                          };
+                        ]
+                      | _ -> scan (i + 1)
+                  in
+                  scan (c.tok_index + 1)
+                in
+                bad_calls @ bad_return)
+          ctx.calls);
+  }
+
+let all =
+  [
+    rule_fork_in_threads;
+    rule_fork_no_exec;
+    rule_stdio_before_fork;
+    rule_unsafe_child_work;
+    rule_fd_no_cloexec;
+    rule_vfork_misuse;
+  ]
+
+let find id = List.find_opt (fun r -> r.id = id) all
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let make_diagnostic r ~file ~line ~col ~message =
+  {
+    Diagnostic.rule = r.id;
+    severity = r.severity;
+    file;
+    line;
+    col;
+    message;
+    citation = r.citation;
+    hint = r.hint;
+  }
+
+let check_string ?(rules = all) ~file src =
+  let ctx = build_ctx ~file (Lexer.tokenize src) in
+  List.concat_map
+    (fun r ->
+      List.map
+        (fun f ->
+          make_diagnostic r ~file ~line:f.f_line ~col:f.f_col
+            ~message:f.f_message)
+        (r.check ctx))
+    rules
+  |> List.sort Diagnostic.compare
+
+let check_file ?rules path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> Ok (check_string ?rules ~file:path contents)
+  | exception Sys_error msg -> Error msg

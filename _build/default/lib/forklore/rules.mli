@@ -1,0 +1,65 @@
+(** The forklint rule registry.
+
+    Each rule encodes one of the paper's fork hazards as a checkable
+    pattern over the {!Lexer} token stream, with a severity, the paper
+    section it operationalises and a fix hint naming the spawnlib
+    equivalent. [Ksim.Lint] reuses the same registry metadata for its
+    dynamic (trace-replay) findings, so static and dynamic layers report
+    identical rule ids.
+
+    Shipped rules:
+    - [fork-in-threads] (Error): fork after pthread_create in the file.
+    - [fork-no-exec] (Warn): child branch never reaches exec*/_exit.
+    - [stdio-before-fork] (Warn): buffered stdio written, no fflush,
+      then fork.
+    - [unsafe-child-work] (Warn): malloc/stdio/locking between fork and
+      exec.
+    - [fd-no-cloexec] (Warn): open/socket/pipe without CLOEXEC in a file
+      that creates processes.
+    - [vfork-misuse] (Error): vfork child doing anything beyond
+      exec/_exit (including return). *)
+
+type call = {
+  name : string;
+  line : int;
+  col : int;
+  tok_index : int;
+  depth : int;
+}
+
+type ctx = {
+  file : string;
+  toks : Lexer.token array;
+  depths : int array;
+  calls : call list;
+}
+
+type finding = { f_line : int; f_col : int; f_message : string }
+
+type t = {
+  id : string;
+  severity : Diagnostic.severity;
+  summary : string;
+  citation : string;
+  hint : string;
+  check : ctx -> finding list;
+}
+
+val all : t list
+(** Registry, in documentation order. *)
+
+val find : string -> t option
+(** Look a rule up by id (also used by [Ksim.Lint]). *)
+
+val build_ctx : file:string -> Lexer.token list -> ctx
+
+val make_diagnostic :
+  t -> file:string -> line:int -> col:int -> message:string -> Diagnostic.t
+(** Attach registry metadata (severity, citation, hint) to a finding. *)
+
+val check_string : ?rules:t list -> file:string -> string -> Diagnostic.t list
+(** Run the registry (default: {!all}) over one file's source; findings
+    come back in {!Diagnostic.compare} order. *)
+
+val check_file : ?rules:t list -> string -> (Diagnostic.t list, string) result
+(** [Error] carries the I/O failure message. *)

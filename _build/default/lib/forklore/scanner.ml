@@ -1,80 +1,43 @@
+type call = { api : Api.t; id : string; line : int; col : int }
+
 type result = {
   lines : int;
   counts : (Api.t * int) list;
+  calls : call list;
 }
 
 let count r api =
   match List.assoc_opt api r.counts with Some n -> n | None -> 0
 
-let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
-let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
-
-type mode = Code | Line_comment | Block_comment | Str | Chr
-
 let scan_string src =
-  let n = String.length src in
+  let toks = Lexer.tokenize src in
+  let calls = ref [] in
+  let rec go = function
+    | { Lexer.kind = Lexer.Ident id; line; col }
+      :: ({ Lexer.kind = Lexer.Punct "("; _ } :: _ as rest) ->
+      (match Api.of_identifier id with
+      | Some api -> calls := { api; id; line; col } :: !calls
+      | None -> ());
+      go rest
+    | _ :: rest -> go rest
+    | [] -> ()
+  in
+  go toks;
+  let calls = List.rev !calls in
   let tally = Hashtbl.create 8 in
-  let lines = ref 1 in
-  let bump api =
-    Hashtbl.replace tally api (1 + Option.value ~default:0 (Hashtbl.find_opt tally api))
-  in
-  (* called with the span of a complete identifier: count it if it is a
-     tracked name and the next non-space character is '(' *)
-  let consider start stop =
-    match Api.of_identifier (String.sub src start (stop - start)) with
-    | None -> ()
-    | Some api ->
-      let rec next i =
-        if i >= n then ()
-        else
-          match src.[i] with
-          | ' ' | '\t' -> next (i + 1)
-          | '(' -> bump api
-          | _ -> ()
-      in
-      next stop
-  in
-  let rec go i mode =
-    if i >= n then ()
-    else begin
-      let c = src.[i] in
-      if c = '\n' then incr lines;
-      match mode with
-      | Line_comment -> go (i + 1) (if c = '\n' then Code else Line_comment)
-      | Block_comment ->
-        if c = '*' && i + 1 < n && src.[i + 1] = '/' then go (i + 2) Code
-        else go (i + 1) Block_comment
-      | Str ->
-        if c = '\\' then go (i + 2) Str
-        else if c = '"' then go (i + 1) Code
-        else go (i + 1) Str
-      | Chr ->
-        if c = '\\' then go (i + 2) Chr
-        else if c = '\'' then go (i + 1) Code
-        else go (i + 1) Chr
-      | Code ->
-        if c = '/' && i + 1 < n && src.[i + 1] = '/' then go (i + 2) Line_comment
-        else if c = '/' && i + 1 < n && src.[i + 1] = '*' then
-          go (i + 2) Block_comment
-        else if c = '"' then go (i + 1) Str
-        else if c = '\'' then go (i + 1) Chr
-        else if is_ident_start c then begin
-          let stop = ref (i + 1) in
-          while !stop < n && is_ident src.[!stop] do incr stop done;
-          consider i !stop;
-          go !stop Code
-        end
-        else go (i + 1) Code
-    end
-  in
-  go 0 Code;
+  List.iter
+    (fun c ->
+      Hashtbl.replace tally c.api
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tally c.api)))
+    calls;
   {
-    lines = !lines;
+    lines = Lexer.count_lines src;
     counts =
       List.map
         (fun api ->
           (api, Option.value ~default:0 (Hashtbl.find_opt tally api)))
         Api.all;
+    calls;
   }
 
 let scan_file path =
@@ -86,24 +49,27 @@ type dir_report = {
   files_scanned : int;
   total_lines : int;
   total : (Api.t * int) list;
+  skipped : (string * string) list;
 }
 
 let total_hits r = List.fold_left (fun acc (_, n) -> acc + n) 0 r.counts
 
-let scan_directory_files ?(extensions = [ ".c"; ".h"; ".cc"; ".cpp"; ".hh" ])
-    root =
+let default_extensions = [ ".c"; ".h"; ".cc"; ".cpp"; ".hh" ]
+
+let walk_files ?(extensions = default_extensions) root =
   let out = ref [] in
+  let skipped = ref [] in
   let want path =
     List.exists (fun ext -> Filename.check_suffix path ext) extensions
   in
   let scan_into path =
     match scan_file path with
     | Ok r -> out := (path, r) :: !out
-    | Error _ -> ()
+    | Error msg -> skipped := (path, msg) :: !skipped
   in
   let rec walk dir =
     match Sys.readdir dir with
-    | exception Sys_error _ -> ()
+    | exception Sys_error msg -> skipped := (dir, msg) :: !skipped
     | entries ->
       Array.sort compare entries;
       Array.iter
@@ -116,11 +82,13 @@ let scan_directory_files ?(extensions = [ ".c"; ".h"; ".cc"; ".cpp"; ".hh" ])
   (match Sys.is_directory root with
   | true -> walk root
   | false -> scan_into root
-  | exception Sys_error _ -> ());
-  List.rev !out
+  | exception Sys_error msg -> skipped := (root, msg) :: !skipped);
+  (List.rev !out, List.rev !skipped)
+
+let scan_directory_files ?extensions root = fst (walk_files ?extensions root)
 
 let scan_directory ?extensions root =
-  let per_file = scan_directory_files ?extensions root in
+  let per_file, skipped = walk_files ?extensions root in
   let tally = Hashtbl.create 8 in
   let lines = ref 0 in
   List.iter
@@ -140,4 +108,5 @@ let scan_directory ?extensions root =
         (fun api ->
           (api, Option.value ~default:0 (Hashtbl.find_opt tally api)))
         Api.all;
+    skipped;
   }

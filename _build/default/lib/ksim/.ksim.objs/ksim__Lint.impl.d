@@ -1,0 +1,1 @@
+lib/ksim/lint.ml: Forklore Hashtbl List Printf Trace Types

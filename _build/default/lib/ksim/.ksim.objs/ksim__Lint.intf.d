@@ -1,0 +1,1 @@
+lib/ksim/lint.mli: Forklore Trace

@@ -535,18 +535,60 @@ let embryo_of t (proc : Proc.t) pid =
     else if child.Proc.threads <> [] then Error Errno.EINVAL
     else Ok child
 
+(* Structured detail attached to traced events, consumed by {!Lint}:
+   live thread count at fork time, cloexec state at open, fds that
+   would survive an exec, fds still open at exit. *)
+
+let count_fds (proc : Proc.t) ~surviving_exec =
+  let n = ref 0 in
+  Fd_table.iter proc.Proc.fdt (fun fd _ ~cloexec ->
+      if fd > 2 && ((not surviving_exec) || not cloexec) then incr n);
+  !n
+
+let trace_args : type a. Proc.t -> a Sysreq.t -> (string * string) list =
+ fun proc req ->
+  match req with
+  | Sysreq.Fork _ | Sysreq.Fork_eager _ | Sysreq.Vfork _ ->
+    [ ("threads", string_of_int (List.length (Proc.live_threads proc))) ]
+  | Sysreq.Open (path, flags) ->
+    [ ("path", path); ("cloexec", string_of_bool flags.Types.cloexec) ]
+  | Sysreq.Exec _ ->
+    [ ("inherited_fds", string_of_int (count_fds proc ~surviving_exec:true)) ]
+  | Sysreq.Exit _ ->
+    [ ("open_fds", string_of_int (count_fds proc ~surviving_exec:false)) ]
+  | _ -> []
+
+(* A successful fork/vfork/spawn additionally records the child pid, so
+   a trace replay can attribute the child's subsequent events to the
+   creation style that made it. *)
+let record_child t (proc : Proc.t) (th : Proc.thread) what = function
+  | Error _ -> ()
+  | Ok child -> (
+    match t.trace with
+    | None -> ()
+    | Some tr ->
+      Trace.record tr ~tick:t.clock ~pid:proc.Proc.pid ~tid:th.Proc.tid what
+        ~args:[ ("child", string_of_int child) ])
+
 let attempt : type a. t -> Proc.t -> Proc.thread -> a Sysreq.t -> a action =
  fun t proc th req ->
   match req with
   | Sysreq.Getpid -> Reply proc.Proc.pid
   | Sysreq.Getppid -> Reply proc.Proc.parent
   | Sysreq.Gettid -> Reply th.Proc.tid
-  | Sysreq.Fork body -> Reply (do_fork t proc ~eager:false body)
-  | Sysreq.Fork_eager body -> Reply (do_fork t proc ~eager:true body)
+  | Sysreq.Fork body ->
+    let r = do_fork t proc ~eager:false body in
+    record_child t proc th "fork_child" r;
+    Reply r
+  | Sysreq.Fork_eager body ->
+    let r = do_fork t proc ~eager:true body in
+    record_child t proc th "fork_child" r;
+    Reply r
   | Sysreq.Vfork body -> (
     match do_vfork t proc body with
     | Error e -> Reply (Error e)
     | Ok child_pid ->
+      record_child t proc th "vfork_child" (Ok child_pid);
       (* the parent thread blocks until the child execs or exits *)
       Block
         ( "vfork",
@@ -556,7 +598,10 @@ let attempt : type a. t -> Proc.t -> Proc.thread -> a Sysreq.t -> a action =
             | Some child ->
               if child.Proc.vfork_active && Proc.is_alive child then None
               else Some (Ok child_pid) ))
-  | Sysreq.Spawn req -> Reply (do_spawn t proc req)
+  | Sysreq.Spawn req ->
+    let r = do_spawn t proc req in
+    record_child t proc th "spawn_child" r;
+    Reply r
   | Sysreq.Exec { path; argv } -> (
     match do_exec t proc th path argv with
     | Error e -> Reply (Error e)
@@ -916,7 +961,7 @@ let record_trace t proc (th : Proc.thread) req =
   | None -> ()
   | Some tr ->
     Trace.record tr ~tick:t.clock ~pid:proc.Proc.pid ~tid:th.Proc.tid
-      (Sysreq.name req)
+      (Sysreq.name req) ~args:(trace_args proc req)
 
 let dispatch t (th : Proc.thread) (Proc.Pending (req, k)) =
   let proc = proc_of t th in

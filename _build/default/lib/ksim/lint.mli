@@ -1,0 +1,20 @@
+(** Dynamic fork-hazard checker: the forklint rules applied to an
+    execution trace instead of source text.
+
+    Replays a {!Trace.t} (recorded by a kernel created with
+    [trace_capacity = Some n]) and reports the hazards that actually
+    happened: a process that forked while multithreaded
+    ([fork-in-threads]), a forked child that ran to the end of the
+    trace without exec ([fork-no-exec]), a vfork child doing anything
+    but exec/_exit ([vfork-misuse]), non-async-signal-safe syscalls in
+    the fork→exec window ([unsafe-child-work]), and an exec that leaked
+    non-cloexec fds ([fd-no-cloexec]).
+
+    Findings share [Forklore.Diagnostic.t] and the rule registry with
+    the static checker, so the two layers report identical rule ids and
+    can be cross-validated on matching fixtures. [file] defaults to
+    ["<ksim-trace>"]; [line] is the 1-based sequence number of the
+    anchoring event; [col] is always 1. *)
+
+val check : ?file:string -> Trace.t -> Forklore.Diagnostic.t list
+(** Sorted with [Forklore.Diagnostic.compare]. *)

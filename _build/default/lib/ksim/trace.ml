@@ -4,6 +4,7 @@ type event = {
   pid : Types.pid;
   tid : Types.tid;
   what : string;
+  args : (string * string) list;
 }
 
 type t = {
@@ -16,8 +17,8 @@ let create ?(capacity = 4096) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity <= 0";
   { capacity; ring = Array.make capacity None; total = 0 }
 
-let record t ~tick ~pid ~tid what =
-  let e = { seq = t.total; tick; pid; tid; what } in
+let record ?(args = []) t ~tick ~pid ~tid what =
+  let e = { seq = t.total; tick; pid; tid; what; args } in
   t.ring.(t.total mod t.capacity) <- Some e;
   t.total <- t.total + 1
 
@@ -46,3 +47,8 @@ let contains_substring hay needle =
 
 let find t ~pattern =
   List.filter (fun e -> contains_substring e.what pattern) (events t)
+
+let arg e key = List.assoc_opt key e.args
+
+let int_arg e key =
+  match arg e key with Some v -> int_of_string_opt v | None -> None

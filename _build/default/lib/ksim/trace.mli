@@ -1,4 +1,5 @@
-(** Bounded ring of kernel events, for tests and debugging. *)
+(** Bounded ring of kernel events, for tests, debugging and the
+    {!Lint} trace checker. *)
 
 type event = {
   seq : int;  (** monotonically increasing across drops *)
@@ -6,6 +7,9 @@ type event = {
   pid : Types.pid;
   tid : Types.tid;
   what : string;
+  args : (string * string) list;
+      (** structured detail the kernel attaches to fork/exec/open/exit
+          events (live thread counts, child pids, inherited fds, …) *)
 }
 
 type t
@@ -13,7 +17,15 @@ type t
 val create : ?capacity:int -> unit -> t
 (** Default capacity 4096 events; older events are dropped. *)
 
-val record : t -> tick:int -> pid:Types.pid -> tid:Types.tid -> string -> unit
+val record :
+  ?args:(string * string) list ->
+  t ->
+  tick:int ->
+  pid:Types.pid ->
+  tid:Types.tid ->
+  string ->
+  unit
+
 val events : t -> event list
 (** Oldest first. *)
 
@@ -21,5 +33,9 @@ val total : t -> int
 (** Events ever recorded, including dropped ones. *)
 
 val clear : t -> unit
+
 val find : t -> pattern:string -> event list
 (** Events whose [what] contains [pattern] as a substring. *)
+
+val arg : event -> string -> string option
+val int_arg : event -> string -> int option

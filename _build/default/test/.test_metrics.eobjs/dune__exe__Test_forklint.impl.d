@@ -1,0 +1,1 @@
+test/test_forklint.ml: Alcotest Forklore Ksim List Printf Result String

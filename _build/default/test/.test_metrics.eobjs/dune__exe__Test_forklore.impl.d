@@ -1,1 +1,1 @@
-test/test_forklore.ml: Alcotest Array Filename Forklore List Prng QCheck QCheck_alcotest Sys Unix Workload
+test/test_forklore.ml: Alcotest Array Filename Forklore List Prng QCheck QCheck_alcotest Result Sys Unix Workload

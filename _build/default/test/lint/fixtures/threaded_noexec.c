@@ -1,0 +1,19 @@
+#include <pthread.h>
+#include <stdio.h>
+#include <fcntl.h>
+
+static void *worker(void *arg) {
+    return arg;
+}
+
+int main(void) {
+    pthread_t th;
+    pthread_create(&th, NULL, worker, NULL);
+    printf("hello from the parent\n");
+    int fd = open("/tmp/scratch", O_RDWR);
+    pid_t pid = fork();
+    if (pid == 0) {
+        handle_request(fd);
+    }
+    return 0;
+}

@@ -45,6 +45,42 @@ let test_scanner_lines () =
   let r = Forklore.Scanner.scan_string "a\nb\nc" in
   check_int "lines" 3 r.Forklore.Scanner.lines
 
+(* regression: an identifier and its '(' separated by a newline or a
+   comment is still one call site (the old byte scanner missed these) *)
+let test_scanner_call_across_newline () =
+  check_int "newline between name and paren" 1
+    (scan_count "pid_t p = fork\n();" Forklore.Api.Fork);
+  check_int "block comment between" 1
+    (scan_count "fork /* why not */ ();" Forklore.Api.Fork);
+  check_int "line comment between" 1
+    (scan_count "fork // see man 2 fork\n();" Forklore.Api.Fork)
+
+let test_scanner_char_literals () =
+  check_int "escaped quote in char literal" 1
+    (scan_count {|char c = '\''; fork();|} Forklore.Api.Fork);
+  check_int "double quote in char literal" 1
+    (scan_count {|char q = '"'; fork();|} Forklore.Api.Fork)
+
+let test_scanner_unterminated_block_comment () =
+  let src = "fork(); /* vfork(" in
+  check_int "call before comment" 1 (scan_count src Forklore.Api.Fork);
+  check_int "swallowed by open comment" 0 (scan_count src Forklore.Api.Vfork)
+
+let test_scanner_comment_markers_in_strings () =
+  let src = {|s = "// not a comment"; fork(); t = "/*"; vfork();|} in
+  check_int "after //-in-string" 1 (scan_count src Forklore.Api.Fork);
+  check_int "after /*-in-string" 1 (scan_count src Forklore.Api.Vfork)
+
+let test_scanner_call_positions () =
+  let r = Forklore.Scanner.scan_string "fork();\n  vfork();" in
+  Alcotest.(check (list (triple string int int)))
+    "file:line:col spans"
+    [ ("fork", 1, 1); ("vfork", 2, 3) ]
+    (List.map
+       (fun c ->
+         Forklore.Scanner.(c.id, c.line, c.col))
+       r.Forklore.Scanner.calls)
+
 let prop_scanner_matches_truth =
   QCheck.Test.make ~count:30 ~name:"scanner: exact on generated corpus"
     QCheck.(int_bound 10_000)
@@ -83,6 +119,36 @@ let test_survey_shape () =
   check_bool "spawn rare" true (share Forklore.Api.Posix_spawn < 0.10);
   check_bool "fork >> spawn" true
     (share Forklore.Api.Fork > 4.0 *. share Forklore.Api.Posix_spawn)
+
+let test_survey_validate_detects_tamper () =
+  let pkgs = Forklore.Corpus.generate ~packages:5 ~seed:11 () in
+  check_bool "honest corpus validates" true
+    (Result.is_ok (Forklore.Survey.validate pkgs));
+  let tampered =
+    match pkgs with
+    | p :: rest ->
+      {
+        p with
+        Forklore.Corpus.truth =
+          (Forklore.Api.Fork, Forklore.Corpus.truth_count p Forklore.Api.Fork + 1)
+          :: List.remove_assoc Forklore.Api.Fork p.Forklore.Corpus.truth;
+      }
+      :: rest
+    | [] -> Alcotest.fail "empty corpus"
+  in
+  check_bool "tampered truth is rejected" true
+    (Result.is_error (Forklore.Survey.validate tampered))
+
+let test_walk_reports_missing_root () =
+  let bogus = "/no/such/forkroad-dir" in
+  let files, skipped = Forklore.Scanner.walk_files bogus in
+  check_int "no files" 0 (List.length files);
+  check_bool "missing root is reported, not dropped" true
+    (List.mem_assoc bogus skipped);
+  let report = Forklore.Scanner.scan_directory bogus in
+  check_int "nothing scanned" 0 report.Forklore.Scanner.files_scanned;
+  check_bool "skip surfaces in dir report" true
+    (List.mem_assoc bogus report.Forklore.Scanner.skipped)
 
 let test_scan_directory () =
   let dir = Filename.temp_file "forkroad" "" in
@@ -201,13 +267,20 @@ let () =
           tc "no paren no call" test_scanner_no_paren_no_call;
           tc "exec family" test_scanner_exec_family;
           tc "line count" test_scanner_lines;
+          tc "call across newline/comment" test_scanner_call_across_newline;
+          tc "char literals" test_scanner_char_literals;
+          tc "unterminated block comment" test_scanner_unterminated_block_comment;
+          tc "comment markers in strings" test_scanner_comment_markers_in_strings;
+          tc "call positions" test_scanner_call_positions;
           tc "scan directory" test_scan_directory;
+          tc "missing root reported" test_walk_reports_missing_root;
         ] );
       qsuite "scanner-props" [ prop_scanner_matches_truth ];
       ( "corpus",
         [
           tc "deterministic" test_corpus_deterministic;
           tc "survey shape" test_survey_shape;
+          tc "validate rejects tampered truth" test_survey_validate_detects_tamper;
         ] );
       ( "prng",
         [
