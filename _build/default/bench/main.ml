@@ -6,10 +6,16 @@
      dune exec bench/main.exe -- --quick      -- everything, reduced depth
      dune exec bench/main.exe -- f1 e3        -- selected experiments
      dune exec bench/main.exe -- micro        -- bechamel micro-benches only
+     dune exec bench/main.exe -- --smoke      -- sim experiments, tiny
+                                                 parameters, validate the
+                                                 emitted BENCH_*.json
 
-   The bechamel section measures real minimal-process creation with OLS
-   regression (complementing T1's sample statistics); the experiment
-   reports then follow in paper order. *)
+   Every experiment run also writes BENCH_<slug>.json — the full report
+   (series points, per-point cost breakdowns, counters) plus run
+   parameters — so successive runs accumulate a machine-readable perf
+   trajectory. The bechamel section measures real minimal-process
+   creation with OLS regression (complementing T1's sample statistics);
+   the experiment reports then follow in paper order. *)
 
 open Bechamel
 open Toolkit
@@ -63,19 +69,125 @@ let run_bechamel () =
   print_string (Metrics.Table.render table);
   print_newline ()
 
-let run_experiment ~quick exp =
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let bench_json ~quick exp report =
+  Metrics.Json.obj
+    [
+      ("exp", Metrics.Json.str exp.Forkroad.Report.exp_id);
+      ("slug", Metrics.Json.str (Forkroad.Registry.slug exp));
+      ("title", Metrics.Json.str exp.Forkroad.Report.exp_title);
+      ( "kind",
+        Metrics.Json.str
+          (Forkroad.Report.kind_string exp.Forkroad.Report.exp_kind) );
+      ("claim", Metrics.Json.str exp.Forkroad.Report.paper_claim);
+      ("params", Metrics.Json.obj [ ("quick", Metrics.Json.bool quick) ]);
+      ("report", Forkroad.Report.to_json report);
+    ]
+
+let bench_file exp = "BENCH_" ^ Forkroad.Registry.slug exp ^ ".json"
+
+let run_experiment ?(print = true) ~quick exp =
   let t0 = Unix.gettimeofday () in
   let report = exp.Forkroad.Report.run ~quick in
   let dt = Unix.gettimeofday () -. t0 in
-  print_string (Forkroad.Report.render report);
-  Printf.printf "paper claim: %s\n" exp.Forkroad.Report.paper_claim;
-  Printf.printf "(generated in %.1fs)\n\n" dt
+  if print then begin
+    print_string (Forkroad.Report.render report);
+    Printf.printf "paper claim: %s\n" exp.Forkroad.Report.paper_claim;
+    Printf.printf "(generated in %.1fs)\n\n" dt
+  end;
+  write_file (bench_file exp)
+    (Metrics.Json.to_string ~indent:2 (bench_json ~quick exp report) ^ "\n")
+
+(* A BENCH_*.json is useful to downstream tooling only if it parses and
+   actually carries data: at least one figure with a non-empty series, a
+   table with rows, or a data block. *)
+let validate_bench_file path =
+  let read () =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Metrics.Json.of_string (read ()) with
+  | Error e -> Error (Printf.sprintf "%s: parse error: %s" path e)
+  | Ok j -> (
+    let open Metrics.Json in
+    match Option.bind (member "report" j) (member "blocks")
+          |> Fun.flip Option.bind to_list
+    with
+    | None | Some [] -> Error (path ^ ": no report blocks")
+    | Some blocks ->
+      let non_empty b =
+        match Option.bind (member "kind" b) to_str with
+        | Some "figure" -> (
+          match
+            Option.bind (member "figure" b) (member "series")
+            |> Fun.flip Option.bind to_list
+          with
+          | Some (_ :: _ as series) ->
+            List.for_all
+              (fun s ->
+                match
+                  Option.bind (member "points" s) to_list
+                with
+                | Some (_ :: _) -> true
+                | _ -> false)
+              series
+          | _ -> false)
+        | Some "table" -> (
+          match
+            Option.bind (member "table" b) (member "rows")
+            |> Fun.flip Option.bind to_list
+          with
+          | Some (_ :: _) -> true
+          | _ -> false)
+        | Some "data" -> member "data" b <> None
+        | _ -> false
+      in
+      if List.exists non_empty blocks then Ok ()
+      else Error (path ^ ": no non-empty figure/table/data block"))
+
+let run_smoke () =
+  let sims =
+    List.filter
+      (fun e -> e.Forkroad.Report.exp_kind = Forkroad.Report.Sim)
+      Forkroad.Registry.all
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun exp ->
+      let t0 = Unix.gettimeofday () in
+      run_experiment ~print:false ~quick:true exp;
+      let dt = Unix.gettimeofday () -. t0 in
+      let file = bench_file exp in
+      match validate_bench_file file with
+      | Ok () ->
+        Printf.printf "smoke %-7s ok    %s (%.1fs)\n%!"
+          exp.Forkroad.Report.exp_id file dt
+      | Error msg ->
+        incr failures;
+        Printf.printf "smoke %-7s FAIL  %s\n%!" exp.Forkroad.Report.exp_id msg)
+    sims;
+  if !failures > 0 then begin
+    Printf.eprintf "bench smoke: %d experiment(s) failed validation\n"
+      !failures;
+    exit 1
+  end;
+  Printf.printf "bench smoke: %d sim experiments ok\n" (List.length sims)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.exists (fun a -> a = "--quick" || a = "-q") args in
+  let smoke = List.exists (fun a -> a = "--smoke") args in
   let selectors =
-    List.filter (fun a -> a <> "--quick" && a <> "-q" && a <> "--") args
+    List.filter
+      (fun a -> a <> "--quick" && a <> "-q" && a <> "--" && a <> "--smoke")
+      args
     |> List.map String.lowercase_ascii
   in
   let micro_only = selectors = [ "micro" ] in
@@ -83,7 +195,8 @@ let () =
     selectors = []
     || List.mem (String.lowercase_ascii id) selectors
   in
-  if micro_only then run_bechamel ()
+  if smoke then run_smoke ()
+  else if micro_only then run_bechamel ()
   else begin
     if selectors = [] then run_bechamel ();
     List.iter

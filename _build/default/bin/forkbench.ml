@@ -2,7 +2,9 @@
 
      forkbench list
      forkbench run F1-SIM E3 --quick
-     forkbench all *)
+     forkbench run fig1-sim --json out.json
+     forkbench all
+     forkbench stat fig1-sim --trace trace.json *)
 
 open Cmdliner
 
@@ -18,16 +20,52 @@ let format_arg =
         ~doc:"Output format: $(b,text) (tables + ASCII charts) or $(b,csv) \
               (machine-readable, for plotting).")
 
-let run_experiments ~quick ~format exps =
-  List.iter
-    (fun exp ->
-      let report = exp.Forkroad.Report.run ~quick in
-      match format with
-      | `Csv -> print_string (Forkroad.Report.render_csv report)
-      | `Text ->
-        print_string (Forkroad.Report.render report);
-        Printf.printf "paper claim: %s\n\n" exp.Forkroad.Report.paper_claim)
-    exps
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Also write the report(s) as JSON (every block, including the \
+           machine-readable data blocks) to $(docv).")
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let experiment_json exp report =
+  Metrics.Json.obj
+    [
+      ("exp", Metrics.Json.str exp.Forkroad.Report.exp_id);
+      ("slug", Metrics.Json.str (Forkroad.Registry.slug exp));
+      ( "kind",
+        Metrics.Json.str
+          (Forkroad.Report.kind_string exp.Forkroad.Report.exp_kind) );
+      ("claim", Metrics.Json.str exp.Forkroad.Report.paper_claim);
+      ("report", Forkroad.Report.to_json report);
+    ]
+
+let run_experiments ~quick ~format ~json exps =
+  let reports =
+    List.map
+      (fun exp ->
+        let report = exp.Forkroad.Report.run ~quick in
+        (match format with
+        | `Csv -> print_string (Forkroad.Report.render_csv report)
+        | `Text ->
+          print_string (Forkroad.Report.render report);
+          Printf.printf "paper claim: %s\n\n" exp.Forkroad.Report.paper_claim);
+        experiment_json exp report)
+      exps
+  in
+  match json with
+  | None -> ()
+  | Some path ->
+    write_file path
+      (Metrics.Json.to_string ~indent:2 (Metrics.Json.arr reports) ^ "\n");
+    Printf.eprintf "wrote %s\n%!" path
 
 let list_cmd =
   let doc = "List experiments (id, title, paper claim)." in
@@ -46,7 +84,7 @@ let ids_arg =
 
 let run_cmd =
   let doc = "Run selected experiments." in
-  let run quick format ids =
+  let run quick format json ids =
     let missing, found =
       List.partition_map
         (fun id ->
@@ -57,7 +95,7 @@ let run_cmd =
     in
     match missing with
     | [] ->
-      run_experiments ~quick ~format found;
+      run_experiments ~quick ~format ~json found;
       `Ok ()
     | _ ->
       `Error
@@ -67,14 +105,88 @@ let run_cmd =
             (String.concat ", " Forkroad.Registry.ids) )
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(ret (const run $ quick_flag $ format_arg $ ids_arg))
+    Term.(ret (const run $ quick_flag $ format_arg $ json_arg $ ids_arg))
 
 let all_cmd =
   let doc = "Run every experiment in paper order." in
-  let run quick format = run_experiments ~quick ~format Forkroad.Registry.all in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ quick_flag $ format_arg)
+  let run quick format json =
+    run_experiments ~quick ~format ~json Forkroad.Registry.all
+  in
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(const run $ quick_flag $ format_arg $ json_arg)
+
+let stat_cmd =
+  let doc =
+    "Run a canned simulator scenario and print where the cycles went: \
+     per-subsystem and per-category cost breakdowns, kernel counters \
+     (kstat) and a syscall-latency histogram."
+  in
+  let scenario_arg =
+    let keys = String.concat ", " (List.map fst Forkroad.Stat_driver.scenarios) in
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:(Printf.sprintf "Scenario to profile (one of: %s)." keys))
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's span trace in Chrome trace_event format to \
+             $(docv) (load in Perfetto or about://tracing).")
+  in
+  let jsonl_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:"Write the run's span trace as JSON-lines to $(docv).")
+  in
+  let run scenario json trace jsonl =
+    match scenario with
+    | None ->
+      Printf.printf "available scenarios:\n";
+      List.iter
+        (fun (k, d) -> Printf.printf "  %-10s %s\n" k d)
+        Forkroad.Stat_driver.scenarios;
+      `Ok ()
+    | Some key -> (
+      match Forkroad.Stat_driver.run key with
+      | None ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown scenario %S (known: %s)" key
+              (String.concat ", "
+                 (List.map fst Forkroad.Stat_driver.scenarios)) )
+      | Some { Forkroad.Stat_driver.report; trace = tr } ->
+        print_string (Forkroad.Report.render report);
+        (match json with
+        | None -> ()
+        | Some path ->
+          write_file path
+            (Metrics.Json.to_string ~indent:2 (Forkroad.Report.to_json report)
+            ^ "\n");
+          Printf.eprintf "wrote %s\n%!" path);
+        (match trace with
+        | None -> ()
+        | Some path ->
+          write_file path
+            (Metrics.Json.to_string (Ksim.Trace.to_chrome tr) ^ "\n");
+          Printf.eprintf "wrote %s\n%!" path);
+        (match jsonl with
+        | None -> ()
+        | Some path ->
+          write_file path (Ksim.Trace.to_jsonl tr);
+          Printf.eprintf "wrote %s\n%!" path);
+        `Ok ())
+  in
+  Cmd.v (Cmd.info "stat" ~doc)
+    Term.(ret (const run $ scenario_arg $ json_arg $ trace_arg $ jsonl_arg))
 
 let () =
   let doc = "reproduce the evaluation of 'A fork() in the road' (HotOS'19)" in
   let info = Cmd.info "forkbench" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; stat_cmd ]))

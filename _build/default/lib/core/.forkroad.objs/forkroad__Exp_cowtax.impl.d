@@ -1,1 +1,1 @@
-lib/core/exp_cowtax.ml: Ksim List Metrics Printf Report Sim_driver Vmem Workload
+lib/core/exp_cowtax.ml: Ksim List Metrics Option Printf Report Sim_driver Vmem Workload

@@ -1,1 +1,1 @@
-lib/core/exp_fig1_sim.ml: List Metrics Report Sim_driver Strategy Workload
+lib/core/exp_fig1_sim.ml: List Metrics Option Report Sim_driver Strategy Workload

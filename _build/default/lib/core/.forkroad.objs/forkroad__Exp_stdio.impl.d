@@ -1,1 +1,1 @@
-lib/core/exp_stdio.ml: Ksim List Metrics Report Sim_driver String
+lib/core/exp_stdio.ml: Ksim List Metrics Option Report Sim_driver String

@@ -1,1 +1,1 @@
-lib/core/registry.ml: Exp_aslr Exp_builder Exp_cowtax Exp_fig1 Exp_fig1_sim Exp_minproc Exp_overcommit Exp_snapshot Exp_stdio Exp_survey Exp_thp Exp_threads Exp_tlb Exp_vma List Report String
+lib/core/registry.ml: Char Exp_aslr Exp_builder Exp_cowtax Exp_fig1 Exp_fig1_sim Exp_minproc Exp_overcommit Exp_snapshot Exp_stdio Exp_survey Exp_thp Exp_threads Exp_tlb Exp_vma List Report String

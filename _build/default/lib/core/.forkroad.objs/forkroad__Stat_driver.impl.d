@@ -1,0 +1,1 @@
+lib/core/stat_driver.ml: Format Ksim List Metrics Option Printf Report Sim_driver String Vmem Workload

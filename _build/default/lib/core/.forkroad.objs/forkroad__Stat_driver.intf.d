@@ -1,0 +1,1 @@
+lib/core/stat_driver.mli: Ksim Report

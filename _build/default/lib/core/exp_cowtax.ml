@@ -55,26 +55,37 @@ let child_write_cost ~use_spawn ~fraction =
     Sim_driver.run_scenario ~config ~programs:[ toucher_prog ]
       (scenario ~writes:false)
   in
+  let counter_delta k =
+    let get (m : Sim_driver.measurement) =
+      Option.value ~default:0 (List.assoc_opt k m.Sim_driver.counters)
+    in
+    get with_writes - get base
+  in
   ( Vmem.Cost.cycles_to_ns (with_writes.Sim_driver.cycles -. base.Sim_driver.cycles),
-    write_bytes / page )
+    write_bytes / page,
+    counter_delta "cow-breaks",
+    counter_delta "frames-zeroed" )
 
 let run ~quick =
   let fractions =
     if quick then [ 0.0; 0.5; 1.0 ] else [ 0.0; 0.1; 0.25; 0.5; 1.0 ]
   in
-  let series use_spawn label =
+  let measure use_spawn =
+    List.map
+      (fun f -> (f, child_write_cost ~use_spawn ~fraction:f))
+      fractions
+  in
+  let fork_points = measure false in
+  let spawn_points = measure true in
+  let series label points =
     {
       Metrics.Series.label;
       points =
-        List.map
-          (fun f ->
-            let ns, _pages = child_write_cost ~use_spawn ~fraction:f in
-            (f *. 100.0, ns))
-          fractions;
+        List.map (fun (f, (ns, _, _, _)) -> (f *. 100.0, ns)) points;
     }
   in
-  let fork_series = series false "forked child (COW breaks)" in
-  let spawn_series = series true "spawned child (zero-fill)" in
+  let fork_series = series "forked child (COW breaks)" fork_points in
+  let spawn_series = series "spawned child (zero-fill)" spawn_points in
   let fig =
     Metrics.Series.figure
       ~title:
@@ -83,9 +94,50 @@ let run ~quick =
            heap_mib)
       ~xlabel:"% written" ~ylabel:"ns" [ fork_series; spawn_series ]
   in
+  let counters_table =
+    let t =
+      Metrics.Table.create
+        [
+          "% written"; "pages written"; "COW breaks (fork)";
+          "zero-fills (spawn)";
+        ]
+    in
+    List.iter2
+      (fun (f, (_, pages, cow, _)) (_, (_, _, _, zeroed)) ->
+        Metrics.Table.add_row t
+          [
+            Printf.sprintf "%g" (f *. 100.0);
+            string_of_int pages;
+            string_of_int cow;
+            string_of_int zeroed;
+          ])
+      fork_points spawn_points;
+    t
+  in
+  let data =
+    Metrics.Json.arr
+      (List.map2
+         (fun (f, (fork_ns, pages, cow, _)) (_, (spawn_ns, _, _, zeroed)) ->
+           Metrics.Json.obj
+             [
+               ("fraction", Metrics.Json.num f);
+               ("pages_written", Metrics.Json.int pages);
+               ("fork_ns", Metrics.Json.num fork_ns);
+               ("spawn_ns", Metrics.Json.num spawn_ns);
+               ("cow_breaks", Metrics.Json.int cow);
+               ("frames_zeroed", Metrics.Json.int zeroed);
+             ])
+         fork_points spawn_points)
+  in
   Report.make ~id:"E2" ~title:"COW tax after fork"
     [
       Report.Figure fig;
+      Report.Table
+        {
+          caption = "kernel counters (kstat): one COW break per page written";
+          table = counters_table;
+        };
+      Report.Data { name = "points"; json = data };
       Report.Note
         "every write to an inherited page costs the forked child a fault \
          plus a full page copy plus a TLB invalidation, on top of the \
@@ -100,5 +152,6 @@ let experiment =
     paper_claim =
       "COW makes fork look cheap at the call but defers real copying to \
        page faults taken by whichever process writes first";
+    exp_kind = Report.Sim;
     run = (fun ~quick -> run ~quick);
   }

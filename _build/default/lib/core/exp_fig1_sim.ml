@@ -31,14 +31,78 @@ let run ~quick =
          [simulator]"
       ~xlabel:"MiB" ~ylabel:"ns" (List.map series_of strategies)
   in
+  (* Machine-readable per-point cost breakdown: the subsystem groups
+     partition every cycle charged, so for each point
+     sum(groups) = cycles and cycles_to_ns(cycles) = ns. *)
+  let point_json strategy mib (m : Sim_driver.measurement) =
+    Metrics.Json.obj
+      [
+        ("strategy", Metrics.Json.str (Strategy.name strategy));
+        ("mib", Metrics.Json.int mib);
+        ("ns", Metrics.Json.num m.Sim_driver.ns);
+        ("cycles", Metrics.Json.num m.Sim_driver.cycles);
+        ( "groups",
+          Metrics.Json.obj
+            (List.map (fun (g, c) -> (g, Metrics.Json.num c)) m.Sim_driver.groups)
+        );
+        ( "counters",
+          Metrics.Json.obj
+            (List.map
+               (fun (k, n) -> (k, Metrics.Json.int n))
+               m.Sim_driver.counters) );
+      ]
+  in
+  let points =
+    Metrics.Json.arr
+      (List.concat_map
+         (fun (mib, ms) ->
+           List.map (fun (s, m) -> point_json s mib m) ms)
+         rows)
+  in
+  let breakdown_table =
+    let table =
+      Metrics.Table.create
+        ~align:[ Metrics.Table.Left; Metrics.Table.Right ]
+        ([ "strategy"; "MiB"; "ns" ] @ Sim_driver.group_order)
+    in
+    List.iter
+      (fun (mib, ms) ->
+        List.iter
+          (fun (s, (m : Sim_driver.measurement)) ->
+            Metrics.Table.add_row table
+              ([
+                 Strategy.name s;
+                 string_of_int mib;
+                 Metrics.Units.ns m.Sim_driver.ns;
+               ]
+              @ List.map
+                  (fun g ->
+                    let c =
+                      Option.value ~default:0.0
+                        (List.assoc_opt g m.Sim_driver.groups)
+                    in
+                    if c = 0.0 then "-" else Metrics.Units.cycles c)
+                  Sim_driver.group_order))
+          ms)
+      rows;
+    table
+  in
   Report.make ~id:"F1-SIM"
     ~title:"Figure 1 (simulator): creation cost vs parent footprint"
     [
       Report.Figure fig;
+      Report.Table
+        {
+          caption = "per-point cost breakdown (cycles by subsystem)";
+          table = breakdown_table;
+        };
+      Report.Data { name = "points"; json = points };
       Report.Note
         "deterministic cycle model (Vmem.Cost), differential measurement; \
          the fork+exec series grows with the page-table copy while spawn \
-         and vfork pay only the constant image-load cost.";
+         and vfork pay only the constant image-load cost. The subsystem \
+         groups partition every charged cycle, so each point's groups sum \
+         to its headline cost exactly.";
     ]
 
 let experiment =
@@ -49,5 +113,6 @@ let experiment =
       "same shape as F1, extended to footprints beyond physical RAM: the \
        mechanism (page-table copy) is linear in the parent, spawn is \
        constant";
+    exp_kind = Report.Sim;
     run = (fun ~quick -> run ~quick);
   }

@@ -72,5 +72,6 @@ let experiment =
     paper_claim =
       "a process using more than half of memory cannot fork under strict \
        commit accounting; supporting fork pushes systems into overcommit";
+    exp_kind = Report.Sim;
     run = (fun ~quick -> run ~quick);
   }

@@ -85,5 +85,6 @@ let experiment =
       "COW snapshots are fork's remaining legitimate use; the cost \
        structure (small pause, deferred per-page tax) argues for a \
        dedicated API, not for keeping fork";
+    exp_kind = Report.Sim;
     run = (fun ~quick -> run ~quick);
   }

@@ -23,27 +23,51 @@ let duplicated_bytes ~buffered ~use_spawn =
     ok_or_die (Ksim.Stdio.flush f)
   in
   let m = Sim_driver.run_scenario body in
-  String.length m.Sim_driver.console - buffered
+  let counted =
+    Option.value ~default:0
+      (List.assoc_opt "stdio-double-flushed-bytes" m.Sim_driver.counters)
+  in
+  (String.length m.Sim_driver.console - buffered, counted)
 
 let run ~quick =
   let sizes = if quick then [ 0; 4096 ] else [ 0; 64; 1024; 4096 ] in
   let table =
     Metrics.Table.create
-      [ "buffered bytes"; "duplicated (fork)"; "duplicated (spawn)" ]
+      [
+        "buffered bytes"; "duplicated (fork)"; "duplicated (spawn)";
+        "kstat double-flushed";
+      ]
   in
+  let points = ref [] in
   List.iter
     (fun buffered ->
+      let fork_dup, fork_counted =
+        duplicated_bytes ~buffered ~use_spawn:false
+      in
+      let spawn_dup, _ = duplicated_bytes ~buffered ~use_spawn:true in
+      points :=
+        Metrics.Json.obj
+          [
+            ("buffered", Metrics.Json.int buffered);
+            ("fork_duplicated", Metrics.Json.int fork_dup);
+            ("spawn_duplicated", Metrics.Json.int spawn_dup);
+            ("kstat_double_flushed", Metrics.Json.int fork_counted);
+          ]
+        :: !points;
       Metrics.Table.add_row table
         [
           string_of_int buffered;
-          string_of_int (duplicated_bytes ~buffered ~use_spawn:false);
-          string_of_int (duplicated_bytes ~buffered ~use_spawn:true);
+          string_of_int fork_dup;
+          string_of_int spawn_dup;
+          string_of_int fork_counted;
         ])
     sizes;
   Report.make ~id:"E4" ~title:"fork duplicates buffered I/O"
     [
       Report.Table
         { caption = "bytes appearing twice on the console"; table };
+      Report.Data
+        { name = "points"; json = Metrics.Json.arr (List.rev !points) };
       Report.Note
         "the stdio buffer lives in (simulated) user memory, so fork's COW \
          copy includes any unflushed bytes; when parent and child both \
@@ -58,5 +82,6 @@ let experiment =
     paper_claim =
       "fork doesn't compose with user-mode state such as stdio buffers: \
        unflushed output is emitted by both processes";
+    exp_kind = Report.Sim;
     run = (fun ~quick -> run ~quick);
   }

@@ -50,5 +50,6 @@ let experiment =
     paper_claim =
       "fork remains the overwhelmingly dominant creation API in Unix \
        code; spawn-style APIs are rarely used";
+    exp_kind = Report.Static;
     run = (fun ~quick -> run ~quick);
   }

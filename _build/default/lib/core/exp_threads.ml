@@ -100,5 +100,6 @@ let experiment =
       "in a multithreaded parent, the child may deadlock on locks held \
        by threads that were not replicated; the hazard grows with \
        parallelism";
+    exp_kind = Report.Sim;
     run = (fun ~quick -> run ~quick);
   }

@@ -4,40 +4,82 @@
 
 let heap_mib = 64
 
-let category_sum breakdown prefix =
-  List.fold_left
-    (fun acc (cat, c) ->
-      if String.length cat >= String.length prefix
-         && String.sub cat 0 (String.length prefix) = prefix
-      then acc +. c
-      else acc)
-    0.0 breakdown
-
 let run ~quick =
   ignore quick;
   let strategies =
     [ Strategy.Fork_only; Strategy.Fork_eager; Strategy.Posix_spawn ]
+  in
+  let measurements =
+    List.map
+      (fun s -> (s, Sim_driver.creation_cost ~strategy:s ~heap_mib ()))
+      strategies
   in
   let table =
     Metrics.Table.create
       ~align:[ Metrics.Table.Left ]
       [ "strategy"; "total"; "pt copy"; "page copy"; "tlb"; "exec load" ]
   in
+  let group m g =
+    Option.value ~default:0.0 (List.assoc_opt g m.Sim_driver.groups)
+  in
+  let counter m k =
+    Option.value ~default:0 (List.assoc_opt k m.Sim_driver.counters)
+  in
   List.iter
-    (fun s ->
-      let m = Sim_driver.creation_cost ~strategy:s ~heap_mib () in
-      let b = m.Sim_driver.breakdown in
-      let pick cat = Option.value ~default:0.0 (List.assoc_opt cat b) in
+    (fun (s, m) ->
       Metrics.Table.add_row table
         [
           Strategy.name s;
           Metrics.Units.cycles m.Sim_driver.cycles;
-          Metrics.Units.cycles (pick "fork:pt-node" +. pick "fork:pte");
-          Metrics.Units.cycles (pick "fork:eager-copy" +. pick "fault:cow-copy");
-          Metrics.Units.cycles (category_sum b "tlb:");
-          Metrics.Units.cycles (category_sum b "exec:");
+          Metrics.Units.cycles (group m "pt-copy");
+          Metrics.Units.cycles (group m "frame-copy");
+          Metrics.Units.cycles (group m "tlb");
+          Metrics.Units.cycles (group m "exec");
         ])
-    strategies;
+    measurements;
+  let counters_table =
+    let t =
+      Metrics.Table.create
+        ~align:[ Metrics.Table.Left ]
+        [
+          "strategy"; "ptes copied"; "frames copied"; "tlb flushes";
+          "shootdown IPIs";
+        ]
+    in
+    List.iter
+      (fun (s, m) ->
+        Metrics.Table.add_row t
+          [
+            Strategy.name s;
+            string_of_int (counter m "ptes-copied");
+            string_of_int (counter m "frames-copied");
+            string_of_int (counter m "tlb-flushes");
+            string_of_int (counter m "tlb-shootdowns");
+          ])
+      measurements;
+    t
+  in
+  let data =
+    Metrics.Json.arr
+      (List.map
+         (fun (s, m) ->
+           Metrics.Json.obj
+             [
+               ("strategy", Metrics.Json.str (Strategy.name s));
+               ("cycles", Metrics.Json.num m.Sim_driver.cycles);
+               ( "groups",
+                 Metrics.Json.obj
+                   (List.map
+                      (fun (g, c) -> (g, Metrics.Json.num c))
+                      m.Sim_driver.groups) );
+               ( "counters",
+                 Metrics.Json.obj
+                   (List.map
+                      (fun (k, n) -> (k, Metrics.Json.int n))
+                      m.Sim_driver.counters) );
+             ])
+         measurements)
+  in
   Report.make ~id:"E9" ~title:"ablation: COW vs eager copy vs spawn"
     [
       Report.Table
@@ -47,6 +89,9 @@ let run ~quick =
               heap_mib;
           table;
         };
+      Report.Table
+        { caption = "kernel counters (kstat) per creation"; table = counters_table };
+      Report.Data { name = "strategies"; json = data };
       Report.Note
         "COW trades the eager page copy for page-table work plus a \
          mandatory TLB shootdown of the parent (every writable PTE is \
@@ -62,5 +107,6 @@ let experiment =
     paper_claim =
       "supporting fork efficiently is what drags COW machinery and TLB \
        shootdowns into the kernel's memory subsystem";
+    exp_kind = Report.Sim;
     run = (fun ~quick -> run ~quick);
   }

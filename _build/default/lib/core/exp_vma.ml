@@ -40,5 +40,6 @@ let experiment =
     paper_claim =
       "fork's cost depends on address-space structure, not just size -- \
        one more way the parent's state leaks into creation latency";
+    exp_kind = Report.Sim;
     run = (fun ~quick -> run ~quick);
   }

@@ -19,8 +19,37 @@ let all =
     Exp_thp.experiment;
   ]
 
-let find id =
-  let id = String.uppercase_ascii id in
-  List.find_opt (fun e -> e.Report.exp_id = id) all
-
 let ids = List.map (fun e -> e.Report.exp_id) all
+
+(* Filename-friendly names, matching the exp_*.ml module of each
+   experiment — BENCH_<slug>.json is the bench harness's output name. *)
+let slug e =
+  match e.Report.exp_id with
+  | "T1" -> "minproc"
+  | "F1" -> "fig1"
+  | "F1-SIM" -> "fig1_sim"
+  | "E2" -> "cowtax"
+  | "E3" -> "threads"
+  | "E4" -> "stdio"
+  | "E5" -> "aslr"
+  | "E6" -> "overcommit"
+  | "E7" -> "survey"
+  | "E8" -> "vma"
+  | "E9" -> "tlb"
+  | "E10" -> "builder"
+  | "E11" -> "snapshot"
+  | "E12" -> "thp"
+  | id ->
+    String.map
+      (fun c -> if c = '-' then '_' else Char.lowercase_ascii c)
+      id
+
+let find id =
+  let canon s =
+    String.map
+      (fun c -> if c = '-' then '_' else Char.lowercase_ascii c)
+      s
+  in
+  List.find_opt
+    (fun e -> canon e.Report.exp_id = canon id || slug e = canon id)
+    all

@@ -2,6 +2,7 @@ type block =
   | Table of { caption : string; table : Metrics.Table.t }
   | Figure of Metrics.Series.figure
   | Note of string
+  | Data of { name : string; json : Metrics.Json.t }
 
 type t = {
   id : string;
@@ -18,16 +19,20 @@ let render t =
     (Printf.sprintf "%s\n[%s] %s\n%s\n" rule t.id t.title rule);
   List.iter
     (fun block ->
-      Buffer.add_char buf '\n';
       match block with
       | Table { caption; table } ->
+        Buffer.add_char buf '\n';
         Buffer.add_string buf (caption ^ "\n");
         Buffer.add_string buf (Metrics.Table.render table)
       | Figure fig ->
+        Buffer.add_char buf '\n';
         Buffer.add_string buf (Metrics.Series.render_table fig);
         Buffer.add_char buf '\n';
         Buffer.add_string buf (Metrics.Series.render_chart fig)
-      | Note note -> Buffer.add_string buf ("note: " ^ note ^ "\n"))
+      | Note note ->
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf ("note: " ^ note ^ "\n")
+      | Data _ -> ())
     t.blocks;
   Buffer.contents buf
 
@@ -44,13 +49,51 @@ let render_csv t =
         Buffer.add_string buf (Printf.sprintf "# %s %s\n" t.id fig.Metrics.Series.title);
         Buffer.add_string buf (Metrics.Series.render_csv fig);
         Buffer.add_char buf '\n'
-      | Note _ -> ())
+      | Note _ | Data _ -> ())
     t.blocks;
   Buffer.contents buf
+
+let block_json = function
+  | Table { caption; table } ->
+    Metrics.Json.obj
+      [
+        ("kind", Metrics.Json.str "table");
+        ("caption", Metrics.Json.str caption);
+        ("table", Metrics.Table.to_json table);
+      ]
+  | Figure fig ->
+    Metrics.Json.obj
+      [
+        ("kind", Metrics.Json.str "figure");
+        ("figure", Metrics.Series.to_json fig);
+      ]
+  | Note note ->
+    Metrics.Json.obj
+      [ ("kind", Metrics.Json.str "note"); ("text", Metrics.Json.str note) ]
+  | Data { name; json } ->
+    Metrics.Json.obj
+      [
+        ("kind", Metrics.Json.str "data");
+        ("name", Metrics.Json.str name);
+        ("data", json);
+      ]
+
+let to_json t =
+  Metrics.Json.obj
+    [
+      ("id", Metrics.Json.str t.id);
+      ("title", Metrics.Json.str t.title);
+      ("blocks", Metrics.Json.arr (List.map block_json t.blocks));
+    ]
+
+type kind = Sim | Real | Static
+
+let kind_string = function Sim -> "sim" | Real -> "real" | Static -> "static"
 
 type experiment = {
   exp_id : string;
   exp_title : string;
   paper_claim : string;
+  exp_kind : kind;
   run : quick:bool -> t;
 }

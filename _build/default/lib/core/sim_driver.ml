@@ -2,10 +2,42 @@ type measurement = {
   cycles : float;
   ns : float;
   breakdown : (string * float) list;
+  groups : (string * float) list;
+  counters : (string * int) list;
   console : string;
   outcome : Ksim.Kernel.outcome;
   tlb : Vmem.Tlb.stats;
 }
+
+(* Subsystem grouping of the cost-meter categories. The groups
+   partition every category, so their sum always equals the headline
+   cycle count — the invariant the bench report's breakdown relies on. *)
+let group_of cat =
+  let has_prefix p =
+    String.length cat >= String.length p && String.sub cat 0 (String.length p) = p
+  in
+  match cat with
+  | "fork:pt-node" | "fork:pte" -> "pt-copy"
+  | "fault:cow-copy" | "fork:eager-copy" -> "frame-copy"
+  | _ ->
+    if has_prefix "fault:" then "fault"
+    else if has_prefix "tlb:" then "tlb"
+    else if has_prefix "exec:" then "exec"
+    else "other"
+
+let group_order = [ "pt-copy"; "fault"; "frame-copy"; "tlb"; "exec"; "other" ]
+
+let groups_of_breakdown breakdown =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (cat, c) ->
+      let g = group_of cat in
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl g) in
+      Hashtbl.replace tbl g (prev +. c))
+    breakdown;
+  List.filter_map
+    (fun g -> Option.map (fun c -> (g, c)) (Hashtbl.find_opt tbl g))
+    group_order
 
 let true_prog =
   Ksim.Program.make ~name:"/bin/true" (fun ~argv:_ () -> Ksim.Api.exit 0)
@@ -21,10 +53,14 @@ let run_scenario ?config ?(programs = []) body =
   | Ok (t, outcome) ->
     let cost = Ksim.Kernel.cost t in
     let cycles = Vmem.Cost.total cost in
+    let breakdown = Vmem.Cost.by_category cost in
     {
       cycles;
       ns = Vmem.Cost.cycles_to_ns cycles;
-      breakdown = Vmem.Cost.by_category cost;
+      breakdown;
+      groups = groups_of_breakdown breakdown;
+      counters =
+        Ksim.Kstat.snapshot (Ksim.Kstat.global (Ksim.Kernel.kstat t));
       console = Ksim.Kernel.console t;
       outcome;
       tlb = Vmem.Tlb.stats (Ksim.Kernel.tlb t);
@@ -99,17 +135,32 @@ let creation_cost ?(vmas = 1) ~strategy ~heap_mib () =
   let with_op = run_scenario ~config (scenario ~create:true) in
   let base = run_scenario ~config (scenario ~create:false) in
   let cycles = with_op.cycles -. base.cycles in
+  (* ASLR is off and the runs are deterministic, so the base run's
+     charges are a subset of the with-op run's: dropping only exact-zero
+     deltas keeps sum(breakdown) = sum(groups) = headline cycles. *)
+  let breakdown =
+    List.filter_map
+      (fun (cat, c) ->
+        let base_c =
+          Option.value ~default:0.0 (List.assoc_opt cat base.breakdown)
+        in
+        let d = c -. base_c in
+        if d > 0.0 then Some (cat, d) else None)
+      with_op.breakdown
+  in
   {
     with_op with
     cycles;
     ns = Vmem.Cost.cycles_to_ns cycles;
-    breakdown =
+    breakdown;
+    groups = groups_of_breakdown breakdown;
+    counters =
       List.filter_map
-        (fun (cat, c) ->
-          let base_c =
-            Option.value ~default:0.0 (List.assoc_opt cat base.breakdown)
+        (fun (k, n) ->
+          let base_n =
+            Option.value ~default:0 (List.assoc_opt k base.counters)
           in
-          let d = c -. base_c in
-          if d > 0.0 then Some (cat, d) else None)
-        with_op.breakdown;
+          let d = n - base_n in
+          if d <> 0 then Some (k, d) else None)
+        with_op.counters;
   }

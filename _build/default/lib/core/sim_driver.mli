@@ -10,10 +10,23 @@ type measurement = {
   cycles : float;
   ns : float;  (** cycles through {!Vmem.Cost.cycles_to_ns} *)
   breakdown : (string * float) list;
+  groups : (string * float) list;
+      (** [breakdown] folded into subsystems (["pt-copy"], ["fault"],
+          ["frame-copy"], ["tlb"], ["exec"], ["other"]); the groups
+          partition the categories, so they sum to [cycles] exactly *)
+  counters : (string * int) list;
+      (** {!Ksim.Kstat} counter activity (snapshot names); differential
+          measurements report per-operation deltas, zeros dropped *)
   console : string;
   outcome : Ksim.Kernel.outcome;
   tlb : Vmem.Tlb.stats;
 }
+
+val group_order : string list
+(** The subsystem group names in display order. *)
+
+val groups_of_breakdown : (string * float) list -> (string * float) list
+(** Fold any category breakdown into the subsystem groups above. *)
 
 val run_scenario :
   ?config:Ksim.Kernel.config ->

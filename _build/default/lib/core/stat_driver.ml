@@ -1,0 +1,202 @@
+type result = {
+  report : Report.t;
+  trace : Ksim.Trace.t;
+}
+
+let heap_mib = 16
+
+let ok_or_die what = function
+  | Ok v -> v
+  | Error e ->
+    invalid_arg ("Stat_driver: " ^ what ^ ": " ^ Ksim.Errno.to_string e)
+
+let true_prog =
+  Ksim.Program.make ~name:"/bin/true" (fun ~argv:_ () -> Ksim.Api.exit 0)
+
+let wait pid = ignore (ok_or_die "wait" (Ksim.Api.wait_for pid))
+
+let fig1_body () =
+  Sim_driver.with_footprint ~heap_mib ~vmas:1 ();
+  wait
+    (ok_or_die "fork"
+       (Ksim.Api.fork ~child:(fun () ->
+            (match Ksim.Api.exec "/bin/true" with Ok () | Error _ -> ());
+            Ksim.Api.exit 127)))
+
+let cowtax_body () =
+  let total = Workload.Sweep.bytes_of_mib heap_mib in
+  let addr = ok_or_die "mmap" (Ksim.Api.mmap ~len:total ~perm:Vmem.Perm.rw) in
+  ignore (ok_or_die "touch" (Ksim.Api.touch ~addr ~len:total));
+  wait
+    (ok_or_die "fork"
+       (Ksim.Api.fork ~child:(fun () ->
+            ignore (Ksim.Api.touch ~addr ~len:(total / 2));
+            Ksim.Api.exit 0)))
+
+let tlb_body () =
+  Sim_driver.with_footprint ~heap_mib ~vmas:4 ();
+  wait
+    (ok_or_die "fork" (Ksim.Api.fork ~child:(fun () -> Ksim.Api.exit 0)))
+
+let stdio_body () =
+  let f = ok_or_die "fopen" (Ksim.Stdio.fopen ~bufsize:4096 1) in
+  ok_or_die "puts" (Ksim.Stdio.puts f (String.make 1024 'x'));
+  let pid =
+    ok_or_die "fork"
+      (Ksim.Api.fork ~child:(fun () ->
+           ok_or_die "flush" (Ksim.Stdio.flush f);
+           Ksim.Api.exit 0))
+  in
+  wait pid;
+  ok_or_die "flush" (Ksim.Stdio.flush f)
+
+let scenarios =
+  [
+    ("fig1-sim", "fork+exec /bin/true from a 16 MiB parent");
+    ("cowtax", "fork, then the child write-touches half the parent's heap");
+    ("tlb", "fork-only from a 16 MiB parent spread over 4 VMAs");
+    ("stdio", "fork with 1 KiB of unflushed stdio, both sides flush");
+  ]
+
+let body_of = function
+  | "fig1-sim" -> Some fig1_body
+  | "cowtax" -> Some cowtax_body
+  | "tlb" -> Some tlb_body
+  | "stdio" -> Some stdio_body
+  | _ -> None
+
+let pct part total = if total > 0.0 then 100.0 *. part /. total else 0.0
+
+let category_table cost =
+  let total = Vmem.Cost.total cost in
+  let t =
+    Metrics.Table.create
+      ~align:[ Metrics.Table.Left ]
+      [ "category"; "cycles"; "events"; "%" ]
+  in
+  List.iter
+    (fun (cat, (cycles, events)) ->
+      Metrics.Table.add_row t
+        [
+          cat;
+          Metrics.Units.cycles cycles;
+          string_of_int events;
+          Printf.sprintf "%5.1f" (pct cycles total);
+        ])
+    (Vmem.Cost.by_category_counts cost);
+  t
+
+let groups_table cost =
+  let total = Vmem.Cost.total cost in
+  let t =
+    Metrics.Table.create
+      ~align:[ Metrics.Table.Left ]
+      [ "subsystem"; "cycles"; "%" ]
+  in
+  List.iter
+    (fun (g, cycles) ->
+      Metrics.Table.add_row t
+        [
+          g;
+          Metrics.Units.cycles cycles;
+          Printf.sprintf "%5.1f" (pct cycles total);
+        ])
+    (Sim_driver.groups_of_breakdown (Vmem.Cost.by_category cost));
+  t
+
+let counters_table counters =
+  let t =
+    Metrics.Table.create ~align:[ Metrics.Table.Left ] [ "counter"; "count" ]
+  in
+  List.iter
+    (fun (k, n) ->
+      if n <> 0 then Metrics.Table.add_row t [ k; string_of_int n ])
+    (Ksim.Kstat.snapshot counters);
+  t
+
+let kinds_table counters =
+  let t =
+    Metrics.Table.create ~align:[ Metrics.Table.Left ] [ "syscall"; "calls" ]
+  in
+  List.iter
+    (fun (k, n) -> Metrics.Table.add_row t [ k; string_of_int n ])
+    (Ksim.Kstat.kinds counters);
+  t
+
+(* One sample per completed syscall span, in simulated nanoseconds. *)
+let latency_histogram trace =
+  let h = Metrics.Histogram.create ~base:1.0 ~buckets:48 () in
+  List.iter
+    (fun (e : Ksim.Trace.event) ->
+      if e.phase = Ksim.Trace.End then Metrics.Histogram.add h e.span_ns)
+    (Ksim.Trace.events trace);
+  h
+
+let run key =
+  match body_of key with
+  | None -> None
+  | Some body ->
+    let config =
+      {
+        (Sim_driver.config_for ~heap_mib) with
+        Ksim.Kernel.trace_capacity = Some 65536;
+      }
+    in
+    let init =
+      Ksim.Program.make ~name:"/sbin/init" (fun ~argv:_ () -> body ())
+    in
+    (match
+       Ksim.Kernel.boot ~config ~programs:[ init; true_prog ] "/sbin/init"
+     with
+    | Error e ->
+      invalid_arg ("Stat_driver.run: boot failed: " ^ Ksim.Errno.to_string e)
+    | Ok (t, outcome) ->
+      let cost = Ksim.Kernel.cost t in
+      let counters = Ksim.Kstat.global (Ksim.Kernel.kstat t) in
+      let trace =
+        match Ksim.Kernel.trace t with
+        | Some tr -> tr
+        | None -> Ksim.Trace.create ()
+      in
+      let total = Vmem.Cost.total cost in
+      let headline =
+        Printf.sprintf "whole-run cost: %s cycles = %s; outcome: %s"
+          (Metrics.Units.cycles total)
+          (Metrics.Units.ns (Vmem.Cost.cycles_to_ns total))
+          (Format.asprintf "%a" Ksim.Kernel.pp_outcome outcome)
+      in
+      let hist = latency_histogram trace in
+      let report =
+        Report.make ~id:("STAT:" ^ key)
+          ~title:
+            (Printf.sprintf "kstat report: %s"
+               (Option.value ~default:key (List.assoc_opt key scenarios)))
+          [
+            Report.Note headline;
+            Report.Table
+              { caption = "cycles by subsystem"; table = groups_table cost };
+            Report.Table
+              {
+                caption = "cycles by cost category";
+                table = category_table cost;
+              };
+            Report.Table
+              {
+                caption = "kernel counters (kstat, non-zero)";
+                table = counters_table counters;
+              };
+            Report.Table
+              { caption = "syscalls by kind"; table = kinds_table counters };
+            Report.Note
+              (Printf.sprintf
+                 "syscall latency (simulated ns, %d completed spans):\n%s"
+                 (Metrics.Histogram.count hist)
+                 (Metrics.Histogram.render hist));
+            Report.Data
+              {
+                name = "kstat";
+                json = Ksim.Kstat.to_json counters;
+              };
+          ]
+      in
+      Some { report; trace })

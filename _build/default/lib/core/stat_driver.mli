@@ -1,0 +1,19 @@
+(** Backend for [forkbench stat]: run a small canned scenario on a
+    traced simulator instance and report where the cycles went — the
+    per-category cost breakdown, the kernel's typed counters
+    ({!Ksim.Kstat}) and a syscall-latency histogram built from the
+    trace's span events. *)
+
+type result = {
+  report : Report.t;
+  trace : Ksim.Trace.t;
+      (** the run's full span trace, for [--trace] export
+          ({!Ksim.Trace.to_chrome} / {!Ksim.Trace.to_jsonl}) *)
+}
+
+val scenarios : (string * string) list
+(** [(key, description)] pairs of the available scenarios:
+    ["fig1-sim"], ["cowtax"], ["tlb"], ["stdio"]. *)
+
+val run : string -> result option
+(** Run the named scenario; [None] if the key is unknown. *)

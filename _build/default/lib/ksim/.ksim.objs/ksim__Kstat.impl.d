@@ -1,0 +1,1 @@
+lib/ksim/kstat.ml: Hashtbl List Metrics Types

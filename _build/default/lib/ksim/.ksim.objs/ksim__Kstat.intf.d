@@ -1,0 +1,1 @@
+lib/ksim/kstat.mli: Hashtbl Metrics Types

@@ -1,1 +1,1 @@
-lib/ksim/stdio.ml: Api Char Errno Result String Types Vmem
+lib/ksim/stdio.ml: Api Char Effect Errno Result String Sysreq Types Vmem

@@ -1,1 +1,1 @@
-lib/ksim/trace.ml: Array List String Types
+lib/ksim/trace.ml: Array Buffer Errno List Metrics String Types

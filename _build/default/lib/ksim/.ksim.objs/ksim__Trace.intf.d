@@ -1,1 +1,1 @@
-lib/ksim/trace.mli: Types
+lib/ksim/trace.mli: Errno Metrics Types

@@ -31,6 +31,10 @@ type parked =
       why : string;
       check : unit -> 'a option;
       k : ('a, unit) Effect.Deep.continuation;
+      req : 'a Sysreq.t;
+      entry_cycles : float;  (** cost-meter reading at dispatch *)
+      targs : (string * string) list;
+      tdetail : Trace.detail;
     }
       -> parked
 
@@ -64,10 +68,15 @@ type t = {
   mutable clock : int;
   rng : Prng.Splitmix.t;
   trace : Trace.t option;
+  kstat : Kstat.t;
 }
 
 let create ?(config = default_config) () =
   let cost = Vmem.Cost.create ?params:config.cost_params () in
+  let kstat = Kstat.create () in
+  (* every cycle charge anywhere in the machine also lands in kstat,
+     attributed to the pid set at dispatch time *)
+  Vmem.Cost.set_observer cost (Some (Kstat.on_cost kstat));
   {
     config;
     frames =
@@ -86,6 +95,7 @@ let create ?(config = default_config) () =
     clock = 0;
     rng = Prng.Splitmix.create ~seed:config.seed;
     trace = Option.map (fun capacity -> Trace.create ~capacity ()) config.trace_capacity;
+    kstat;
   }
 
 let config t = t.config
@@ -98,6 +108,7 @@ let vfs t = t.vfs
 let tlb t = t.tlb
 let console t = Buffer.contents (Vfs.console_buffer t.vfs)
 let trace t = t.trace
+let kstat t = t.kstat
 let clock t = t.clock
 let find_proc t pid = Hashtbl.find_opt t.procs pid
 
@@ -558,17 +569,36 @@ let trace_args : type a. Proc.t -> a Sysreq.t -> (string * string) list =
     [ ("open_fds", string_of_int (count_fds proc ~surviving_exec:false)) ]
   | _ -> []
 
+(* Typed twin of [trace_args]; {!Lint} prefers this and falls back to
+   the string args only for hand-built traces. *)
+let trace_detail : type a. Proc.t -> a Sysreq.t -> Trace.detail =
+ fun proc req ->
+  match req with
+  | Sysreq.Fork _ | Sysreq.Fork_eager _ | Sysreq.Vfork _ ->
+    Trace.D_fork { live_threads = List.length (Proc.live_threads proc) }
+  | Sysreq.Open (path, flags) ->
+    Trace.D_open { path; cloexec = flags.Types.cloexec }
+  | Sysreq.Exec _ ->
+    Trace.D_exec { inherited_fds = count_fds proc ~surviving_exec:true }
+  | Sysreq.Exit _ ->
+    Trace.D_exit { open_fds = count_fds proc ~surviving_exec:false }
+  | _ -> Trace.D_none
+
+let now_ns t = Vmem.Cost.cycles_to_ns (Vmem.Cost.total t.cost)
+
 (* A successful fork/vfork/spawn additionally records the child pid, so
    a trace replay can attribute the child's subsequent events to the
    creation style that made it. *)
-let record_child t (proc : Proc.t) (th : Proc.thread) what = function
+let record_child t (proc : Proc.t) (th : Proc.thread) what ~style = function
   | Error _ -> ()
   | Ok child -> (
     match t.trace with
     | None -> ()
     | Some tr ->
       Trace.record tr ~tick:t.clock ~pid:proc.Proc.pid ~tid:th.Proc.tid what
-        ~args:[ ("child", string_of_int child) ])
+        ~args:[ ("child", string_of_int child) ]
+        ~detail:(Trace.D_child { child; style })
+        ~ts_ns:(now_ns t))
 
 let attempt : type a. t -> Proc.t -> Proc.thread -> a Sysreq.t -> a action =
  fun t proc th req ->
@@ -578,17 +608,17 @@ let attempt : type a. t -> Proc.t -> Proc.thread -> a Sysreq.t -> a action =
   | Sysreq.Gettid -> Reply th.Proc.tid
   | Sysreq.Fork body ->
     let r = do_fork t proc ~eager:false body in
-    record_child t proc th "fork_child" r;
+    record_child t proc th "fork_child" ~style:"fork" r;
     Reply r
   | Sysreq.Fork_eager body ->
     let r = do_fork t proc ~eager:true body in
-    record_child t proc th "fork_child" r;
+    record_child t proc th "fork_child" ~style:"fork" r;
     Reply r
   | Sysreq.Vfork body -> (
     match do_vfork t proc body with
     | Error e -> Reply (Error e)
     | Ok child_pid ->
-      record_child t proc th "vfork_child" (Ok child_pid);
+      record_child t proc th "vfork_child" ~style:"vfork" (Ok child_pid);
       (* the parent thread blocks until the child execs or exits *)
       Block
         ( "vfork",
@@ -600,7 +630,7 @@ let attempt : type a. t -> Proc.t -> Proc.thread -> a Sysreq.t -> a action =
               else Some (Ok child_pid) ))
   | Sysreq.Spawn req ->
     let r = do_spawn t proc req in
-    record_child t proc th "spawn_child" r;
+    record_child t proc th "spawn_child" ~style:"spawn" r;
     Reply r
   | Sysreq.Exec { path; argv } -> (
     match do_exec t proc th path argv with
@@ -925,14 +955,82 @@ let attempt : type a. t -> Proc.t -> Proc.thread -> a Sysreq.t -> a action =
           ignore
             (new_thread t child ~is_main:true (prog.Program.main ~argv));
           Reply (Ok ()))))
+  | Sysreq.Stdio_flushed { bytes; inherited } ->
+    Kstat.on_stdio_flush t.kstat ~bytes ~inherited;
+    Reply ()
 
 let is_memory_op : type a. a Sysreq.t -> bool = function
   | Sysreq.Mem_read _ | Sysreq.Mem_write _ | Sysreq.Touch _ -> true
   | _ -> false
 
+(* Pure accounting requests: invisible to the cost model, the trace and
+   the syscall counters, so instrumented programs measure identically. *)
+let is_accounting_op : type a. a Sysreq.t -> bool = function
+  | Sysreq.Stdio_flushed _ -> true
+  | _ -> false
+
 let charge_syscall t req =
-  if not (is_memory_op req) then
+  if not (is_memory_op req || is_accounting_op req) then
     Vmem.Cost.charge t.cost "syscall" (params t).Vmem.Cost.syscall_base
+
+(* Errno-level result of a completed request, for the trace's typed End
+   events. [None] for requests whose replies cannot fail. *)
+let outcome_of : type a. a Sysreq.t -> a -> Trace.outcome option =
+ fun req v ->
+  let of_result : type x. (x, Errno.t) result -> Trace.outcome option =
+    function
+    | Ok _ -> Some Trace.Ok_result
+    | Error e -> Some (Trace.Err e)
+  in
+  match req with
+  | Sysreq.Fork _ -> of_result v
+  | Sysreq.Fork_eager _ -> of_result v
+  | Sysreq.Vfork _ -> of_result v
+  | Sysreq.Spawn _ -> of_result v
+  | Sysreq.Exec _ -> of_result v
+  | Sysreq.Waitpid _ -> of_result v
+  | Sysreq.Kill _ -> of_result v
+  | Sysreq.Sigaction _ -> of_result v
+  | Sysreq.Open _ -> of_result v
+  | Sysreq.Close _ -> of_result v
+  | Sysreq.Read _ -> of_result v
+  | Sysreq.Write _ -> of_result v
+  | Sysreq.Dup _ -> of_result v
+  | Sysreq.Dup2 _ -> of_result v
+  | Sysreq.Set_cloexec _ -> of_result v
+  | Sysreq.Pipe -> of_result v
+  | Sysreq.Try_lock _ -> of_result v
+  | Sysreq.Unlock _ -> of_result v
+  | Sysreq.Mmap _ -> of_result v
+  | Sysreq.Munmap _ -> of_result v
+  | Sysreq.Brk _ -> of_result v
+  | Sysreq.Mem_read _ -> of_result v
+  | Sysreq.Mem_write _ -> of_result v
+  | Sysreq.Touch _ -> of_result v
+  | Sysreq.Thread_create _ -> of_result v
+  | Sysreq.Mutex_lock _ -> of_result v
+  | Sysreq.Mutex_unlock _ -> of_result v
+  | Sysreq.Mutex_trylock _ -> of_result v
+  | Sysreq.Mutex_reinit _ -> of_result v
+  | Sysreq.Chdir _ -> of_result v
+  | Sysreq.Pb_create -> of_result v
+  | Sysreq.Pb_map _ -> of_result v
+  | Sysreq.Pb_write _ -> of_result v
+  | Sysreq.Pb_copy_fd _ -> of_result v
+  | Sysreq.Pb_start _ -> of_result v
+  | Sysreq.Getpid -> None
+  | Sysreq.Getppid -> None
+  | Sysreq.Gettid -> None
+  | Sysreq.Exit _ -> None
+  | Sysreq.Sigprocmask _ -> None
+  | Sysreq.Alarm _ -> None
+  | Sysreq.Mutex_create -> None
+  | Sysreq.Yield -> None
+  | Sysreq.Handled_signals _ -> None
+  | Sysreq.Getcwd -> None
+  | Sysreq.Atfork_register _ -> None
+  | Sysreq.Atfork_list -> None
+  | Sysreq.Stdio_flushed _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler *)
@@ -952,27 +1050,57 @@ let handler t (th : Proc.thread) : (unit, unit) Effect.Deep.handler =
         | _ -> None);
   }
 
-let park t th why check k =
+let park t th why check k ~req ~entry_cycles ~targs ~tdetail =
   th.Proc.tstate <- Proc.Blocked why;
-  t.parked <- t.parked @ [ Parked { th; why; check; k } ]
+  t.parked <-
+    t.parked
+    @ [ Parked { th; why; check; k; req; entry_cycles; targs; tdetail } ]
 
-let record_trace t proc (th : Proc.thread) req =
+let record_begin t proc (th : Proc.thread) req ~args ~detail =
   match t.trace with
   | None -> ()
   | Some tr ->
     Trace.record tr ~tick:t.clock ~pid:proc.Proc.pid ~tid:th.Proc.tid
-      (Sysreq.name req) ~args:(trace_args proc req)
+      (Sysreq.name req) ~phase:Trace.Begin ~args ~detail ~ts_ns:(now_ns t)
+
+(* End events repeat the Begin's args/detail so consumers that filter by
+   name (not phase) still see every annotation. *)
+let record_end t ~pid ~tid req ~entry_cycles ~args ~detail outcome =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    let now = Vmem.Cost.total t.cost in
+    Trace.record tr ~tick:t.clock ~pid ~tid (Sysreq.name req)
+      ~phase:Trace.End ~args ~detail
+      ~ts_ns:(Vmem.Cost.cycles_to_ns now)
+      ~span_ns:(Vmem.Cost.cycles_to_ns (now -. entry_cycles))
+      ?outcome
 
 let dispatch t (th : Proc.thread) (Proc.Pending (req, k)) =
   let proc = proc_of t th in
-  record_trace t proc th req;
-  charge_syscall t req;
+  Kstat.set_current t.kstat (Some proc.Proc.pid);
+  let meta = is_accounting_op req in
+  let targs = if meta then [] else trace_args proc req in
+  let tdetail = if meta then Trace.D_none else trace_detail proc req in
+  let entry_cycles = Vmem.Cost.total t.cost in
+  if not meta then begin
+    record_begin t proc th req ~args:targs ~detail:tdetail;
+    Kstat.on_syscall t.kstat (Sysreq.name req);
+    charge_syscall t req
+  end;
   match attempt t proc th req with
   | Reply v ->
+    if not meta then
+      record_end t ~pid:proc.Proc.pid ~tid:th.Proc.tid req ~entry_cycles
+        ~args:targs ~detail:tdetail (outcome_of req v);
     if th.Proc.tstate = Proc.Exited then ()
     else ready_thread t th (fun () -> Effect.Deep.continue k v)
-  | Block (why, check) -> park t th why check k
-  | Die -> ()
+  | Block (why, check) -> park t th why check k ~req ~entry_cycles ~targs ~tdetail
+  | Die ->
+    (* Exec restarting the thread, or Exit: the request succeeded *)
+    if not meta then
+      record_end t ~pid:proc.Proc.pid ~tid:th.Proc.tid req ~entry_cycles
+        ~args:targs ~detail:tdetail (Some Trace.Ok_result)
 
 let thread_returned t (th : Proc.thread) =
   let proc = proc_of t th in
@@ -1004,13 +1132,16 @@ let retry_parked t =
   t.parked <- [];
   let kept =
     List.filter
-      (fun (Parked { th; check; k; _ }) ->
+      (fun (Parked { th; check; k; req; entry_cycles; targs; tdetail; _ }) ->
         if th.Proc.tstate = Proc.Exited then false
         else
           match check () with
           | Some v ->
-            if th.Proc.tstate <> Proc.Exited then
-              ready_thread t th (fun () -> Effect.Deep.continue k v);
+            if th.Proc.tstate <> Proc.Exited then begin
+              record_end t ~pid:th.Proc.owner ~tid:th.Proc.tid req
+                ~entry_cycles ~args:targs ~detail:tdetail (outcome_of req v);
+              ready_thread t th (fun () -> Effect.Deep.continue k v)
+            end;
             false
           | None -> true)
       entries

@@ -58,6 +58,10 @@ val console : t -> string
 (** Everything written to /dev/console so far. *)
 
 val trace : t -> Trace.t option
+
+val kstat : t -> Kstat.t
+(** The machine's typed counters; always on (updating them is cheap). *)
+
 val clock : t -> int
 
 val spawn_init : t -> ?argv:string list -> string -> (Types.pid, Errno.t) result

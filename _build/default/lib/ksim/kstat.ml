@@ -1,0 +1,157 @@
+type counters = {
+  mutable syscalls : int;
+  by_kind : (string, int ref) Hashtbl.t;
+  mutable forks : int;
+  mutable vforks : int;
+  mutable spawns : int;
+  mutable execs : int;
+  mutable faults : int;
+  mutable cow_breaks : int;
+  mutable cow_reuses : int;
+  mutable frames_copied : int;
+  mutable frames_zeroed : int;
+  mutable pt_pages_copied : int;
+  mutable ptes_copied : int;
+  mutable tlb_flushes : int;
+  mutable tlb_shootdowns : int;
+  mutable tlb_invlpgs : int;
+  mutable stdio_flushed_bytes : int;
+  mutable stdio_double_flushed_bytes : int;
+  mutable cycles : float;
+}
+
+let make_counters () =
+  {
+    syscalls = 0;
+    by_kind = Hashtbl.create 16;
+    forks = 0;
+    vforks = 0;
+    spawns = 0;
+    execs = 0;
+    faults = 0;
+    cow_breaks = 0;
+    cow_reuses = 0;
+    frames_copied = 0;
+    frames_zeroed = 0;
+    pt_pages_copied = 0;
+    ptes_copied = 0;
+    tlb_flushes = 0;
+    tlb_shootdowns = 0;
+    tlb_invlpgs = 0;
+    stdio_flushed_bytes = 0;
+    stdio_double_flushed_bytes = 0;
+    cycles = 0.0;
+  }
+
+type t = {
+  global : counters;
+  by_pid : (Types.pid, counters) Hashtbl.t;
+  mutable current : Types.pid option;
+}
+
+let create () =
+  { global = make_counters (); by_pid = Hashtbl.create 16; current = None }
+
+let global t = t.global
+let set_current t pid = t.current <- pid
+let current t = t.current
+let pid_counters t pid = Hashtbl.find_opt t.by_pid pid
+
+let pids t =
+  Hashtbl.fold (fun pid _ acc -> pid :: acc) t.by_pid [] |> List.sort compare
+
+(* Apply [f] to the global counters and, when a current pid is set, to
+   that pid's counters too — every update below goes through here so the
+   two views can never disagree. *)
+let update t f =
+  f t.global;
+  match t.current with
+  | None -> ()
+  | Some pid ->
+    let c =
+      match Hashtbl.find_opt t.by_pid pid with
+      | Some c -> c
+      | None ->
+        let c = make_counters () in
+        Hashtbl.add t.by_pid pid c;
+        c
+    in
+    f c
+
+let on_syscall t kind =
+  update t (fun c ->
+      c.syscalls <- c.syscalls + 1;
+      (match Hashtbl.find_opt c.by_kind kind with
+      | Some r -> incr r
+      | None -> Hashtbl.add c.by_kind kind (ref 1));
+      match kind with
+      | "fork" | "fork_eager" -> c.forks <- c.forks + 1
+      | "vfork" -> c.vforks <- c.vforks + 1
+      | "posix_spawn" -> c.spawns <- c.spawns + 1
+      | "execve" -> c.execs <- c.execs + 1
+      | _ -> ())
+
+(* The Cost observer: translate cycle-meter categories into typed
+   counters. Categories without a counter still contribute cycles. *)
+let on_cost t category ~n cycles =
+  update t (fun c ->
+      c.cycles <- c.cycles +. cycles;
+      match category with
+      | "fault:base" -> c.faults <- c.faults + n
+      | "fault:cow-copy" ->
+        c.cow_breaks <- c.cow_breaks + n;
+        c.frames_copied <- c.frames_copied + n
+      | "fault:cow-reuse" ->
+        c.cow_breaks <- c.cow_breaks + n;
+        c.cow_reuses <- c.cow_reuses + n
+      | "fault:zero-fill" -> c.frames_zeroed <- c.frames_zeroed + n
+      | "fork:pt-node" -> c.pt_pages_copied <- c.pt_pages_copied + n
+      | "fork:pte" -> c.ptes_copied <- c.ptes_copied + n
+      | "fork:eager-copy" -> c.frames_copied <- c.frames_copied + n
+      | "tlb:flush" -> c.tlb_flushes <- c.tlb_flushes + n
+      | "tlb:shootdown" -> c.tlb_shootdowns <- c.tlb_shootdowns + n
+      | "tlb:invlpg" -> c.tlb_invlpgs <- c.tlb_invlpgs + n
+      | _ -> ())
+
+let on_stdio_flush t ~bytes ~inherited =
+  update t (fun c ->
+      c.stdio_flushed_bytes <- c.stdio_flushed_bytes + bytes;
+      c.stdio_double_flushed_bytes <- c.stdio_double_flushed_bytes + inherited)
+
+let kinds c =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) c.by_kind []
+  |> List.sort (fun (ka, na) (kb, nb) ->
+         match compare nb na with 0 -> compare ka kb | d -> d)
+
+let snapshot c =
+  [
+    ("syscalls", c.syscalls);
+    ("forks", c.forks);
+    ("vforks", c.vforks);
+    ("spawns", c.spawns);
+    ("execs", c.execs);
+    ("faults", c.faults);
+    ("cow-breaks", c.cow_breaks);
+    ("cow-reuses", c.cow_reuses);
+    ("frames-copied", c.frames_copied);
+    ("frames-zeroed", c.frames_zeroed);
+    ("pt-pages-copied", c.pt_pages_copied);
+    ("ptes-copied", c.ptes_copied);
+    ("tlb-flushes", c.tlb_flushes);
+    ("tlb-shootdowns", c.tlb_shootdowns);
+    ("tlb-invlpgs", c.tlb_invlpgs);
+    ("stdio-flushed-bytes", c.stdio_flushed_bytes);
+    ("stdio-double-flushed-bytes", c.stdio_double_flushed_bytes);
+  ]
+
+let cycles c = c.cycles
+
+let to_json c =
+  Metrics.Json.obj
+    (List.map (fun (k, v) -> (k, Metrics.Json.int v)) (snapshot c)
+    @ [
+        ("cycles", Metrics.Json.num c.cycles);
+        ( "by-kind",
+          Metrics.Json.obj
+            (List.map (fun (k, n) -> (k, Metrics.Json.int n)) (kinds c)) );
+      ])

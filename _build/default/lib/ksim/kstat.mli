@@ -1,0 +1,72 @@
+(** Typed kernel counters (the "/proc/stat" of ksim).
+
+    One {!t} per kernel instance holds a global {!counters} record plus
+    one per pid. The kernel feeds it from two directions:
+
+    - syscall dispatch calls {!on_syscall} with the request name, and
+      {!set_current} just before so memory-subsystem work is attributed
+      to the calling process;
+    - the shared {!Vmem.Cost} meter's observer hook calls {!on_cost}
+      with every (category, event count, cycles) charge, which this
+      module translates into typed counters (faults, COW breaks, frames
+      copied, page-table pages copied, TLB flushes/shootdowns, ...);
+    - {!Stdio} flush accounting arrives via {!on_stdio_flush}.
+
+    Counters are cheap plain ints; reading them never perturbs the
+    simulation. *)
+
+type counters = {
+  mutable syscalls : int;  (** every dispatched request *)
+  by_kind : (string, int ref) Hashtbl.t;  (** per {!Sysreq.name} *)
+  mutable forks : int;  (** fork + fork_eager *)
+  mutable vforks : int;
+  mutable spawns : int;
+  mutable execs : int;
+  mutable faults : int;  (** page faults taken ("fault:base") *)
+  mutable cow_breaks : int;  (** COW write faults, copy or in-place *)
+  mutable cow_reuses : int;  (** COW breaks resolved without a copy *)
+  mutable frames_copied : int;  (** COW-break + eager-fork frame copies *)
+  mutable frames_zeroed : int;  (** demand zero-fills *)
+  mutable pt_pages_copied : int;  (** page-table pages copied by fork *)
+  mutable ptes_copied : int;  (** present PTEs visited by fork *)
+  mutable tlb_flushes : int;  (** local full flushes *)
+  mutable tlb_shootdowns : int;  (** remote-flush events *)
+  mutable tlb_invlpgs : int;  (** single-page invalidations *)
+  mutable stdio_flushed_bytes : int;  (** bytes written by Stdio.flush *)
+  mutable stdio_double_flushed_bytes : int;
+      (** flushed bytes that were buffered by a {e different} process —
+          the paper's duplicated-output hazard, quantified *)
+  mutable cycles : float;  (** simulated cycles attributed here *)
+}
+
+type t
+
+val create : unit -> t
+val global : t -> counters
+
+val set_current : t -> Types.pid option -> unit
+(** Attribute subsequent updates to this pid (as well as globally). *)
+
+val current : t -> Types.pid option
+val pid_counters : t -> Types.pid -> counters option
+(** [None] when the pid never had anything attributed to it. *)
+
+val pids : t -> Types.pid list
+(** Sorted pids with per-pid counters. *)
+
+val on_syscall : t -> string -> unit
+val on_cost : t -> string -> n:int -> float -> unit
+(** Shaped to plug directly into {!Vmem.Cost.set_observer}. *)
+
+val on_stdio_flush : t -> bytes:int -> inherited:int -> unit
+
+val kinds : counters -> (string * int) list
+(** Syscall counts by kind, most frequent first. *)
+
+val snapshot : counters -> (string * int) list
+(** Every integer counter as a (name, value) list with stable names
+    ("cow-breaks", "tlb-shootdowns", ...); subtracting two snapshots
+    pointwise gives the counter activity between them. *)
+
+val cycles : counters -> float
+val to_json : counters -> Metrics.Json.t

@@ -53,11 +53,28 @@ let check ?(file = "<ksim-trace>") tr =
   in
   let diags = ref [] in
   let line_of (e : Trace.event) = e.Trace.seq + 1 in
+  (* Typed span detail is authoritative when present; string args remain
+     as a fallback for hand-built traces. *)
+  let threads_of (e : Trace.event) =
+    match e.Trace.detail with
+    | Trace.D_fork { live_threads } -> Some live_threads
+    | _ -> Trace.int_arg e "threads"
+  in
+  let child_of (e : Trace.event) =
+    match e.Trace.detail with
+    | Trace.D_child { child; _ } -> Some child
+    | _ -> Trace.int_arg e "child"
+  in
+  let inherited_fds_of (e : Trace.event) =
+    match e.Trace.detail with
+    | Trace.D_exec { inherited_fds } -> Some inherited_fds
+    | _ -> Trace.int_arg e "inherited_fds"
+  in
   let on_event (e : Trace.event) =
     let s = state e.Trace.pid in
     (match e.Trace.what with
     | "fork" | "fork_eager" -> (
-      match Trace.int_arg e "threads" with
+      match threads_of e with
       | Some n when n > 1 ->
         emit diags "fork-in-threads" ~file ~line:(line_of e)
           (Printf.sprintf
@@ -66,7 +83,7 @@ let check ?(file = "<ksim-trace>") tr =
              e.Trace.pid n)
       | Some _ | None -> ())
     | "fork_child" | "vfork_child" | "spawn_child" -> (
-      match Trace.int_arg e "child" with
+      match child_of e with
       | None -> ()
       | Some child ->
         let cs = state child in
@@ -78,7 +95,7 @@ let check ?(file = "<ksim-trace>") tr =
             | _ -> Spawned);
         cs.born_seq <- e.Trace.seq)
     | "execve" ->
-      (match Trace.int_arg e "inherited_fds" with
+      (match inherited_fds_of e with
       | Some n when n > 0 ->
         emit diags "fd-no-cloexec" ~file ~line:(line_of e)
           (Printf.sprintf
@@ -114,7 +131,11 @@ let check ?(file = "<ksim-trace>") tr =
     | _ -> ());
     if s.origin = Some Forked && not s.execed then s.pre_exec <- e :: s.pre_exec
   in
-  List.iter on_event (Trace.events tr);
+  (* span End events repeat the Begin's payload; replay each syscall
+     once by skipping them *)
+  List.iter
+    (fun (e : Trace.event) -> if e.Trace.phase <> Trace.End then on_event e)
+    (Trace.events tr);
   (* end of trace: forked children that never reached exec *)
   Hashtbl.iter
     (fun pid s ->

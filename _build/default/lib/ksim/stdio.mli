@@ -24,5 +24,13 @@ val puts : t -> string -> (unit, Errno.t) result
 val buffered : t -> (int, Errno.t) result
 (** Bytes currently sitting unflushed in simulated memory. *)
 
+val owner : t -> (Types.pid, Errno.t) result
+(** The process that buffered the current contents (claimed by the
+    first {!puts} into an empty buffer). A fork clones this word along
+    with the buffer, so a child flushing inherited bytes is
+    detectable. *)
+
 val flush : t -> (unit, Errno.t) result
-(** Write out and clear the buffer. *)
+(** Write out and clear the buffer. Also reports the flush to the
+    kernel's {!Kstat} meter: bytes buffered by a different process (the
+    fork-duplicated case) are counted as double-flushed. *)

@@ -56,6 +56,7 @@ type 'a t =
   | Pb_start :
       { pid : Types.pid; path : string; argv : string list }
       -> (unit, Errno.t) result t
+  | Stdio_flushed : { bytes : int; inherited : int } -> unit t
 
 type _ Effect.t += Sys : 'a t -> 'a Effect.t
 
@@ -107,3 +108,4 @@ let name : type a. a t -> string = function
   | Pb_write _ -> "pb_write"
   | Pb_copy_fd _ -> "pb_copy_fd"
   | Pb_start _ -> "pb_start"
+  | Stdio_flushed _ -> "stdio_flushed"

@@ -109,6 +109,12 @@ type 'a t =
       -> (unit, Errno.t) result t
       (** Load a program image into the embryo and start its main
           thread. After this the child is an ordinary process. *)
+  | Stdio_flushed : { bytes : int; inherited : int } -> unit t
+      (** Accounting-only request posted by {!Stdio.flush}: [bytes]
+          written out, of which [inherited] were buffered by a different
+          process (fork-duplicated output). Feeds {!Kstat}; charges no
+          cycles and is not traced, so instrumented runs cost the same
+          as bare ones. *)
 
 type _ Effect.t += Sys : 'a t -> 'a Effect.t
 

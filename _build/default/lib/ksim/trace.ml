@@ -1,10 +1,27 @@
+type phase = Begin | End | Instant
+
+type detail =
+  | D_none
+  | D_fork of { live_threads : int }
+  | D_exec of { inherited_fds : int }
+  | D_exit of { open_fds : int }
+  | D_open of { path : string; cloexec : bool }
+  | D_child of { child : Types.pid; style : string }
+
+type outcome = Ok_result | Err of Errno.t
+
 type event = {
   seq : int;
   tick : int;
   pid : Types.pid;
   tid : Types.tid;
   what : string;
+  phase : phase;
   args : (string * string) list;
+  detail : detail;
+  ts_ns : float;
+  span_ns : float;
+  outcome : outcome option;
 }
 
 type t = {
@@ -17,8 +34,23 @@ let create ?(capacity = 4096) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity <= 0";
   { capacity; ring = Array.make capacity None; total = 0 }
 
-let record ?(args = []) t ~tick ~pid ~tid what =
-  let e = { seq = t.total; tick; pid; tid; what; args } in
+let record ?(args = []) ?(phase = Instant) ?(detail = D_none) ?(ts_ns = 0.0)
+    ?(span_ns = 0.0) ?outcome t ~tick ~pid ~tid what =
+  let e =
+    {
+      seq = t.total;
+      tick;
+      pid;
+      tid;
+      what;
+      phase;
+      args;
+      detail;
+      ts_ns;
+      span_ns;
+      outcome;
+    }
+  in
   t.ring.(t.total mod t.capacity) <- Some e;
   t.total <- t.total + 1
 
@@ -33,15 +65,27 @@ let events t =
   !out
 
 let total t = t.total
+
 let clear t =
   Array.fill t.ring 0 t.capacity None;
   t.total <- 0
 
+(* Single substring scan, hoisted so [find] allocates nothing per
+   candidate position: compare in place, short-circuiting on the first
+   character. *)
 let contains_substring hay needle =
   let nh = String.length hay and nn = String.length needle in
   if nn = 0 then true
   else begin
-    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    let c0 = String.unsafe_get needle 0 in
+    let rec rest i j =
+      j >= nn || (String.unsafe_get hay (i + j) = String.unsafe_get needle j
+                  && rest i (j + 1))
+    in
+    let limit = nh - nn in
+    let rec go i =
+      i <= limit && ((String.unsafe_get hay i = c0 && rest i 1) || go (i + 1))
+    in
     go 0
   end
 
@@ -52,3 +96,94 @@ let arg e key = List.assoc_opt key e.args
 
 let int_arg e key =
   match arg e key with Some v -> int_of_string_opt v | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Exporters *)
+
+let phase_string = function Begin -> "B" | End -> "E" | Instant -> "i"
+
+let detail_fields = function
+  | D_none -> []
+  | D_fork { live_threads } ->
+    [ ("live_threads", Metrics.Json.int live_threads) ]
+  | D_exec { inherited_fds } ->
+    [ ("inherited_fds", Metrics.Json.int inherited_fds) ]
+  | D_exit { open_fds } -> [ ("open_fds", Metrics.Json.int open_fds) ]
+  | D_open { path; cloexec } ->
+    [ ("path", Metrics.Json.str path); ("cloexec", Metrics.Json.bool cloexec) ]
+  | D_child { child; style } ->
+    [ ("child", Metrics.Json.int child); ("style", Metrics.Json.str style) ]
+
+let outcome_fields = function
+  | None -> []
+  | Some Ok_result -> [ ("result", Metrics.Json.str "ok") ]
+  | Some (Err e) -> [ ("result", Metrics.Json.str (Errno.to_string e)) ]
+
+let event_json e =
+  Metrics.Json.obj
+    ([
+       ("seq", Metrics.Json.int e.seq);
+       ("tick", Metrics.Json.int e.tick);
+       ("pid", Metrics.Json.int e.pid);
+       ("tid", Metrics.Json.int e.tid);
+       ("what", Metrics.Json.str e.what);
+       ("phase", Metrics.Json.str (phase_string e.phase));
+       ("ts_ns", Metrics.Json.num e.ts_ns);
+     ]
+    @ (if e.span_ns > 0.0 then [ ("span_ns", Metrics.Json.num e.span_ns) ]
+       else [])
+    @ outcome_fields e.outcome
+    @ detail_fields e.detail
+    @
+    match e.args with
+    | [] -> []
+    | args ->
+      [
+        ( "args",
+          Metrics.Json.obj
+            (List.map (fun (k, v) -> (k, Metrics.Json.str v)) args) );
+      ])
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Metrics.Json.to_string (event_json e));
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf
+
+(* Chrome trace_event JSON (load in Perfetto / chrome://tracing).
+   Timestamps are microseconds; Begin/End map to "B"/"E" duration
+   events, everything else to "i" instants. *)
+let to_chrome t =
+  let us ns = ns /. 1000.0 in
+  let ev e =
+    let common =
+      [
+        ("name", Metrics.Json.str e.what);
+        ("ph", Metrics.Json.str (phase_string e.phase));
+        ("ts", Metrics.Json.num (us e.ts_ns));
+        ("pid", Metrics.Json.int e.pid);
+        ("tid", Metrics.Json.int e.tid);
+      ]
+    in
+    let scope =
+      match e.phase with
+      | Instant -> [ ("s", Metrics.Json.str "t") ]
+      | Begin | End -> []
+    in
+    let args =
+      outcome_fields e.outcome
+      @ detail_fields e.detail
+      @ List.map (fun (k, v) -> (k, Metrics.Json.str v)) e.args
+    in
+    Metrics.Json.obj
+      (common @ scope
+      @ match args with [] -> [] | a -> [ ("args", Metrics.Json.obj a) ])
+  in
+  Metrics.Json.obj
+    [
+      ("traceEvents", Metrics.Json.arr (List.map ev (events t)));
+      ("displayTimeUnit", Metrics.Json.str "ns");
+    ]

@@ -1,5 +1,30 @@
-(** Bounded ring of kernel events, for tests, debugging and the
-    {!Lint} trace checker. *)
+(** Bounded ring of kernel events, for tests, debugging, the {!Lint}
+    trace checker and the span exporters.
+
+    Syscalls are recorded as typed {e spans}: a [Begin] event at
+    dispatch and an [End] event at completion carrying the errno-level
+    outcome and the simulated-time duration. Flat [Instant] events
+    (child creation, ad-hoc test events) coexist with spans in the same
+    ring. *)
+
+type phase =
+  | Begin  (** syscall entry *)
+  | End  (** syscall completion (carries [span_ns] and [outcome]) *)
+  | Instant  (** flat event; the default for {!record} *)
+
+(** Structured detail the kernel attaches to events, consumed by
+    {!Lint} without re-parsing the string [args]. *)
+type detail =
+  | D_none
+  | D_fork of { live_threads : int }  (** threads live at fork time *)
+  | D_exec of { inherited_fds : int }  (** fds surviving the exec *)
+  | D_exit of { open_fds : int }  (** fds still open at exit *)
+  | D_open of { path : string; cloexec : bool }
+  | D_child of { child : Types.pid; style : string }
+      (** a fork/vfork/spawn produced [child]; [style] is
+          ["fork"], ["vfork"] or ["spawn"] *)
+
+type outcome = Ok_result | Err of Errno.t
 
 type event = {
   seq : int;  (** monotonically increasing across drops *)
@@ -7,9 +32,14 @@ type event = {
   pid : Types.pid;
   tid : Types.tid;
   what : string;
+  phase : phase;
   args : (string * string) list;
-      (** structured detail the kernel attaches to fork/exec/open/exit
-          events (live thread counts, child pids, inherited fds, …) *)
+      (** stringly detail, kept for backwards compatibility; the typed
+          [detail] field is authoritative when not [D_none] *)
+  detail : detail;
+  ts_ns : float;  (** simulated time when the event was recorded *)
+  span_ns : float;  (** [End] events: simulated duration; else [0.] *)
+  outcome : outcome option;  (** [End] events of syscalls *)
 }
 
 type t
@@ -19,6 +49,11 @@ val create : ?capacity:int -> unit -> t
 
 val record :
   ?args:(string * string) list ->
+  ?phase:phase ->
+  ?detail:detail ->
+  ?ts_ns:float ->
+  ?span_ns:float ->
+  ?outcome:outcome ->
   t ->
   tick:int ->
   pid:Types.pid ->
@@ -27,7 +62,7 @@ val record :
   unit
 
 val events : t -> event list
-(** Oldest first. *)
+(** Oldest first. After overflow, exactly the last [capacity] events. *)
 
 val total : t -> int
 (** Events ever recorded, including dropped ones. *)
@@ -39,3 +74,16 @@ val find : t -> pattern:string -> event list
 
 val arg : event -> string -> string option
 val int_arg : event -> string -> int option
+
+val phase_string : phase -> string
+(** ["B"], ["E"] or ["i"] — the Chrome trace_event phase letters. *)
+
+val event_json : event -> Metrics.Json.t
+
+val to_jsonl : t -> string
+(** One compact JSON object per line, oldest first. *)
+
+val to_chrome : t -> Metrics.Json.t
+(** Chrome [trace_event] document ([{"traceEvents": [...]}]), loadable
+    in Perfetto or chrome://tracing; timestamps in microseconds of
+    simulated time. *)

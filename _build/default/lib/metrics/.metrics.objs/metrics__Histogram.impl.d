@@ -1,1 +1,1 @@
-lib/metrics/histogram.ml: Array Buffer Float Printf String Units
+lib/metrics/histogram.ml: Array Buffer Float Json List Option Printf String Units

@@ -1,1 +1,1 @@
-lib/metrics/histogram.mli:
+lib/metrics/histogram.mli: Json

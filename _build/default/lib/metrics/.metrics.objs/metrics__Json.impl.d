@@ -1,0 +1,1 @@
+lib/metrics/json.ml: Buffer Char Float List Printf String

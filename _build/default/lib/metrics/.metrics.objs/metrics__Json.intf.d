@@ -1,0 +1,1 @@
+lib/metrics/json.mli:

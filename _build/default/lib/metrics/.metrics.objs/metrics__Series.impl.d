@@ -1,1 +1,1 @@
-lib/metrics/series.ml: Array Buffer Float List Printf String Table
+lib/metrics/series.ml: Array Buffer Float Json List Printf String Table

@@ -1,1 +1,1 @@
-lib/metrics/series.mli:
+lib/metrics/series.mli: Json

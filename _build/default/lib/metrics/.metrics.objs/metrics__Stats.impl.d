@@ -1,1 +1,1 @@
-lib/metrics/stats.ml: Array Float Format Units
+lib/metrics/stats.ml: Array Float Format Json Units

@@ -1,1 +1,1 @@
-lib/metrics/stats.mli: Format
+lib/metrics/stats.mli: Format Json

@@ -1,1 +1,1 @@
-lib/metrics/table.ml: Array Buffer List String
+lib/metrics/table.ml: Array Buffer Json List String

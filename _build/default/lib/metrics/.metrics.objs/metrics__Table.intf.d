@@ -1,1 +1,1 @@
-lib/metrics/table.mli:
+lib/metrics/table.mli: Json

@@ -1,0 +1,280 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let obj fields = Obj fields
+let arr items = Arr items
+let str s = Str s
+let int n = Int n
+let num v = Num v
+let bool b = Bool b
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Floats must survive a round-trip and stay valid JSON: no "nan"/"inf"
+   literals (mapped to null), integral values kept compact. *)
+let float_repr v =
+  if Float.is_nan v || v = Float.infinity || v = Float.neg_infinity then "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let rec write buf ~indent ~level v =
+  let pad n = if indent > 0 then Buffer.add_string buf (String.make (n * indent) ' ') in
+  let sep_nl () = if indent > 0 then Buffer.add_char buf '\n' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Num v -> Buffer.add_string buf (float_repr v)
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | Arr [] -> Buffer.add_string buf "[]"
+  | Arr items ->
+    Buffer.add_char buf '[';
+    sep_nl ();
+    List.iteri
+      (fun i item ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          sep_nl ()
+        end;
+        pad (level + 1);
+        write buf ~indent ~level:(level + 1) item)
+      items;
+    sep_nl ();
+    pad level;
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    sep_nl ();
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          sep_nl ()
+        end;
+        pad (level + 1);
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape k);
+        Buffer.add_string buf (if indent > 0 then "\": " else "\":");
+        write buf ~indent ~level:(level + 1) item)
+      fields;
+    sep_nl ();
+    pad level;
+    Buffer.add_char buf '}'
+
+let to_string ?(indent = 0) v =
+  let buf = Buffer.create 1024 in
+  write buf ~indent ~level:0 v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parser: full JSON minus \u surrogate pairs (non-ASCII escapes become
+   '?'), enough for everything the emitter above produces. *)
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let i = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !i)) in
+  let skip_ws () =
+    while
+      !i < n && (s.[!i] = ' ' || s.[!i] = '\n' || s.[!i] = '\t' || s.[!i] = '\r')
+    do
+      incr i
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if !i < n && s.[!i] = c then incr i
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !i + l <= n && String.sub s !i l = word then begin
+      i := !i + l;
+      v
+    end
+    else fail (Printf.sprintf "expected '%s'" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !i >= n then fail "unterminated string"
+      else
+        match s.[!i] with
+        | '"' -> incr i
+        | '\\' ->
+          if !i + 1 >= n then fail "dangling escape";
+          (match s.[!i + 1] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+            if !i + 5 >= n then fail "short \\u escape";
+            let hex = String.sub s (!i + 2) 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail "bad \\u escape"
+            in
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else Buffer.add_char buf '?';
+            i := !i + 4
+          | _ -> fail "unknown escape");
+          i := !i + 2;
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          incr i;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !i in
+    if !i < n && s.[!i] = '-' then incr i;
+    while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+      incr i
+    done;
+    let is_float = ref false in
+    if !i < n && s.[!i] = '.' then begin
+      is_float := true;
+      incr i;
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+        incr i
+      done
+    end;
+    if !i < n && (s.[!i] = 'e' || s.[!i] = 'E') then begin
+      is_float := true;
+      incr i;
+      if !i < n && (s.[!i] = '+' || s.[!i] = '-') then incr i;
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+        incr i
+      done
+    end;
+    let text = String.sub s start (!i - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some v -> Num v
+      | None -> fail "bad number"
+    else
+      match int_of_string_opt text with
+      | Some v -> Int v
+      | None -> (
+        match float_of_string_opt text with
+        | Some v -> Num v
+        | None -> fail "bad number")
+  in
+  let rec parse_value () =
+    skip_ws ();
+    if !i >= n then fail "unexpected end of input"
+    else
+      match s.[!i] with
+      | '{' ->
+        incr i;
+        skip_ws ();
+        if !i < n && s.[!i] = '}' then begin
+          incr i;
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let key = parse_string () in
+            expect ':';
+            let v = parse_value () in
+            fields := (key, v) :: !fields;
+            skip_ws ();
+            if !i < n && s.[!i] = ',' then begin
+              incr i;
+              members ()
+            end
+            else expect '}'
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+      | '[' ->
+        incr i;
+        skip_ws ();
+        if !i < n && s.[!i] = ']' then begin
+          incr i;
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            if !i < n && s.[!i] = ',' then begin
+              incr i;
+              elements ()
+            end
+            else expect ']'
+          in
+          elements ();
+          Arr (List.rev !items)
+        end
+      | '"' -> Str (parse_string ())
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | 'n' -> literal "null" Null
+      | c when c = '-' || (c >= '0' && c <= '9') -> parse_number ()
+      | _ -> fail "unexpected character"
+  in
+  match parse_value () with
+  | v ->
+    skip_ws ();
+    if !i <> n then Error (Printf.sprintf "trailing garbage at offset %d" !i)
+    else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function Arr items -> Some items | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_int = function Int n -> Some n | _ -> None
+
+let to_num = function
+  | Num v -> Some v
+  | Int n -> Some (float_of_int n)
+  | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None

@@ -149,3 +149,25 @@ let render_chart ?(width = 64) ?(height = 20) fig =
          (if fig.ylog then ", log scale" else ""));
     Buffer.contents buf
   end
+
+let to_json fig =
+  let series_json s =
+    Json.obj
+      [
+        ("label", Json.str s.label);
+        ( "points",
+          Json.arr
+            (List.map
+               (fun (x, y) -> Json.arr [ Json.num x; Json.num y ])
+               s.points) );
+      ]
+  in
+  Json.obj
+    [
+      ("title", Json.str fig.title);
+      ("xlabel", Json.str fig.xlabel);
+      ("ylabel", Json.str fig.ylabel);
+      ("xlog", Json.bool fig.xlog);
+      ("ylog", Json.bool fig.ylog);
+      ("series", Json.arr (List.map series_json fig.series));
+    ]

@@ -42,3 +42,6 @@ val render_csv : figure -> string
 (** RFC-4180-ish CSV: header [xlabel,series...], one row per distinct x,
     empty cells for missing points. Values print with full [%.17g]
     precision for downstream plotting. *)
+
+val to_json : figure -> Json.t
+(** Full figure state; points as [[x, y]] pairs. *)

@@ -25,6 +25,18 @@ let add_row t cells =
 let add_rows t rows = List.iter (add_row t) rows
 let add_separator t = t.rows <- Separator :: t.rows
 let row_count t = t.nrows
+let headers t = t.headers
+
+let rows t =
+  List.rev
+    (List.filter_map
+       (function Cells c -> Some c | Separator -> None)
+       t.rows)
+
+let to_json t =
+  let strs l = Json.arr (List.map Json.str l) in
+  Json.obj
+    [ ("headers", strs t.headers); ("rows", Json.arr (List.map strs (rows t))) ]
 
 let widths t =
   let n = List.length t.headers in

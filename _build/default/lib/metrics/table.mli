@@ -22,6 +22,14 @@ val add_separator : t -> unit
 val row_count : t -> int
 (** Number of data rows added so far (separators excluded). *)
 
+val headers : t -> string list
+
+val rows : t -> string list list
+(** Data rows in insertion order (separators excluded). *)
+
+val to_json : t -> Json.t
+(** [{"headers": [...], "rows": [[...], ...]}]. *)
+
 val render : t -> string
 (** Box-drawing-free ASCII rendering with a header rule, columns padded
     per alignment and two-space gutters. Ends with a newline. *)

@@ -227,6 +227,7 @@ let break_cow t ~vpn ~pte ~region_perm =
   let frame = Pte.frame pte in
   if Frame.refcount t.frames frame = 1 then begin
     (* last sharer: take the page back in place *)
+    Cost.tally t.cost "fault:cow-reuse";
     ignore
       (Page_table.update t.pt ~vpn (fun pte ->
            Pte.with_cow (Pte.with_perm pte region_perm) false));
@@ -381,7 +382,7 @@ let clone_cow t =
   match Frame.commit t.frames t.committed with
   | Error `Commit_limit -> Error `Commit_limit
   | Ok () ->
-    Cost.charge t.cost "fork:vma"
+    Cost.charge ~n:(Region_map.cardinal t.regions) t.cost "fork:vma"
       (p.Cost.vma_clone *. float_of_int (Region_map.cardinal t.regions));
     let child_pt = Page_table.clone_cow t.pt ~frames:t.frames ~cost:t.cost in
     fixup_shared t child_pt;
@@ -394,7 +395,7 @@ let clone_eager t =
   match Frame.commit t.frames t.committed with
   | Error `Commit_limit -> Error `Commit_limit
   | Ok () ->
-    Cost.charge t.cost "fork:vma"
+    Cost.charge ~n:(Region_map.cardinal t.regions) t.cost "fork:vma"
       (p.Cost.vma_clone *. float_of_int (Region_map.cardinal t.regions));
     let child_pt = Page_table.create () in
     let result =

@@ -42,32 +42,53 @@ let default =
 let ghz = 3.0
 let cycles_to_ns c = c /. ghz
 
+type entry = { mutable cycles : float; mutable events : int }
+
 type t = {
   params : params;
   mutable total : float;
-  by_cat : (string, float ref) Hashtbl.t;
+  by_cat : (string, entry) Hashtbl.t;
+  mutable observer : (string -> n:int -> float -> unit) option;
 }
 
 let create ?(params = default) () =
-  { params; total = 0.0; by_cat = Hashtbl.create 16 }
+  { params; total = 0.0; by_cat = Hashtbl.create 16; observer = None }
 
 let params t = t.params
+let set_observer t obs = t.observer <- obs
 
-let charge t category cycles =
+let charge ?(n = 1) t category cycles =
   if cycles < 0.0 then invalid_arg "Cost.charge: negative charge";
+  if n < 0 then invalid_arg "Cost.charge: negative event count";
   t.total <- t.total +. cycles;
-  match Hashtbl.find_opt t.by_cat category with
-  | Some r -> r := !r +. cycles
-  | None -> Hashtbl.add t.by_cat category (ref cycles)
+  (match Hashtbl.find_opt t.by_cat category with
+  | Some e ->
+    e.cycles <- e.cycles +. cycles;
+    e.events <- e.events + n
+  | None -> Hashtbl.add t.by_cat category { cycles; events = n });
+  match t.observer with None -> () | Some f -> f category ~n cycles
+
+let tally t category = charge t category 0.0
 
 let total t = t.total
 
 let by_category t =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.by_cat []
+  Hashtbl.fold (fun k e acc -> (k, e.cycles) :: acc) t.by_cat []
   |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
 
+let by_category_counts t =
+  Hashtbl.fold (fun k e acc -> (k, (e.cycles, e.events)) :: acc) t.by_cat []
+  |> List.sort (fun (_, (a, _)) (_, (b, _)) -> Float.compare b a)
+
 let get t category =
-  match Hashtbl.find_opt t.by_cat category with Some r -> !r | None -> 0.0
+  match Hashtbl.find_opt t.by_cat category with
+  | Some e -> e.cycles
+  | None -> 0.0
+
+let count t category =
+  match Hashtbl.find_opt t.by_cat category with
+  | Some e -> e.events
+  | None -> 0
 
 let reset t =
   t.total <- 0.0;
@@ -81,6 +102,7 @@ let delta t f =
 let pp_breakdown ppf t =
   Format.fprintf ppf "total %s@\n" (Metrics.Units.cycles t.total);
   List.iter
-    (fun (cat, c) ->
-      Format.fprintf ppf "  %-20s %s@\n" cat (Metrics.Units.cycles c))
-    (by_category t)
+    (fun (cat, (c, n)) ->
+      Format.fprintf ppf "  %-20s %10s  (%d events)@\n" cat
+        (Metrics.Units.cycles c) n)
+    (by_category_counts t)

@@ -36,22 +36,41 @@ val ghz : float
 val cycles_to_ns : float -> float
 
 type t
-(** A mutable meter: accumulated cycles, per category. *)
+(** A mutable meter: accumulated cycles and event counts, per category. *)
 
 val create : ?params:params -> unit -> t
 val params : t -> params
 
-val charge : t -> string -> float -> unit
+val charge : ?n:int -> t -> string -> float -> unit
 (** [charge m category cycles] adds [cycles] (may be a multiple of a
-    [params] field) under [category]. Negative charges raise
-    [Invalid_argument]. *)
+    [params] field) under [category] and bumps the category's event
+    count by [n] (default 1; pass the multiplicity when one call
+    accounts for many identical operations, e.g. the PTEs copied by a
+    fork). Negative charges or counts raise [Invalid_argument]. *)
+
+val tally : t -> string -> unit
+(** [tally m category] records an event that costs no cycles —
+    equivalent to [charge ~n:1 m category 0.]. Used for counters such as
+    in-place COW reuse where the interesting datum is the count. *)
+
+val set_observer : t -> (string -> n:int -> float -> unit) option -> unit
+(** [set_observer m (Some f)] arranges for [f category ~n cycles] to be
+    called on every subsequent {!charge}/{!tally}, after the meter has
+    been updated. The kernel uses this to feed its per-pid statistics;
+    at most one observer is active at a time. [None] removes it. *)
 
 val total : t -> float
 val by_category : t -> (string * float) list
 (** Sorted by descending cost. *)
 
+val by_category_counts : t -> (string * (float * int)) list
+(** Like {!by_category} but each category carries (cycles, events). *)
+
 val get : t -> string -> float
 (** Cycles charged under one category (0. if never charged). *)
+
+val count : t -> string -> int
+(** Events recorded under one category (0 if never charged). *)
 
 val reset : t -> unit
 

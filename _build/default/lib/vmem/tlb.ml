@@ -4,39 +4,29 @@ type stats = {
   invalidations : int;
 }
 
-type t = {
-  cost : Cost.t;
-  ncpus : int;
-  mutable local_flushes : int;
-  mutable shootdowns : int;
-  mutable invalidations : int;
-}
+type t = { cost : Cost.t; ncpus : int }
 
 let create ?(cpus = 4) cost =
   if cpus < 1 then invalid_arg "Tlb.create: cpus < 1";
-  { cost; ncpus = cpus; local_flushes = 0; shootdowns = 0; invalidations = 0 }
+  { cost; ncpus = cpus }
 
 let cpus t = t.ncpus
 
 let flush_local t =
-  t.local_flushes <- t.local_flushes + 1;
   Cost.charge t.cost "tlb:flush" (Cost.params t.cost).Cost.tlb_flush
 
 let shootdown t =
-  t.shootdowns <- t.shootdowns + 1;
-  t.local_flushes <- t.local_flushes + 1;
   let p = Cost.params t.cost in
   Cost.charge t.cost "tlb:flush" p.Cost.tlb_flush;
   Cost.charge t.cost "tlb:shootdown"
     (p.Cost.tlb_shootdown *. float_of_int (t.ncpus - 1))
 
 let invalidate_page t =
-  t.invalidations <- t.invalidations + 1;
   Cost.charge t.cost "tlb:invlpg" (Cost.params t.cost).Cost.tlb_invlpg
 
 let stats t =
   {
-    local_flushes = t.local_flushes;
-    shootdowns = t.shootdowns;
-    invalidations = t.invalidations;
+    local_flushes = Cost.count t.cost "tlb:flush";
+    shootdowns = Cost.count t.cost "tlb:shootdown";
+    invalidations = Cost.count t.cost "tlb:invlpg";
   }

@@ -31,3 +31,5 @@ val invalidate_page : t -> unit
 (** Single-page invalidation on the current CPU (COW break). *)
 
 val stats : t -> stats
+(** Derived from the event counts the shared {!Cost} meter recorded
+    under the ["tlb:*"] categories, so [Cost.reset] also resets these. *)

@@ -1,0 +1,25 @@
+let () =
+  let config =
+    { Ksim.Kernel.default_config with Ksim.Kernel.trace_capacity = Some 256 }
+  in
+  let init =
+    Ksim.Program.make ~name:"/sbin/init" (fun ~argv:_ () ->
+        let pid =
+          match Ksim.Api.fork ~child:(fun () -> Ksim.Api.exit 0) with
+          | Ok p -> p | Error _ -> failwith "fork"
+        in
+        ignore (Ksim.Api.wait_for pid))
+  in
+  match Ksim.Kernel.boot ~config ~programs:[ init ] "/sbin/init" with
+  | Error _ -> failwith "boot"
+  | Ok (t, _) ->
+    let tr = Option.get (Ksim.Kernel.trace t) in
+    List.iter
+      (fun (e : Ksim.Trace.event) ->
+        Printf.printf "%d pid=%d %-12s %s %s\n" e.seq e.pid e.what
+          (Ksim.Trace.phase_string e.phase)
+          (match e.outcome with
+           | None -> "-"
+           | Some Ksim.Trace.Ok_result -> "ok"
+           | Some (Ksim.Trace.Err er) -> "err:" ^ Ksim.Errno.to_string er))
+      (Ksim.Trace.events tr)

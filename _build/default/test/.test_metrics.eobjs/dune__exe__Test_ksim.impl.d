@@ -1,1 +1,1 @@
-test/test_ksim.ml: Alcotest Format Ksim List Printf QCheck QCheck_alcotest Set String Vmem
+test/test_ksim.ml: Alcotest Format Ksim List Metrics Option Printf QCheck QCheck_alcotest Set String Vmem

@@ -1,1 +1,1 @@
-test/test_metrics.ml: Alcotest Array Float Gen List Metrics QCheck QCheck_alcotest String
+test/test_metrics.ml: Alcotest Array Float Gen List Metrics Option Printf QCheck QCheck_alcotest String

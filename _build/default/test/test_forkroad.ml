@@ -250,6 +250,86 @@ let test_exp_fig1_sim () =
   check_bool "has fork series" true (contains_line r "fork+exec");
   check_bool "has spawn series" true (contains_line r "posix_spawn")
 
+(* Acceptance: the per-point cost breakdown that BENCH_fig1_sim.json
+   carries (the "points" data block of the F1-SIM report) must sum to
+   within 1% of each point's headline simulated cost. *)
+let test_fig1_sim_breakdown_sums () =
+  let r = run_exp "F1-SIM" in
+  let j = Forkroad.Report.to_json r in
+  let open Metrics.Json in
+  let blocks =
+    Option.get (Option.bind (member "blocks" j) to_list)
+  in
+  let points =
+    match
+      List.find_opt
+        (fun b ->
+          Option.bind (member "kind" b) to_str = Some "data"
+          && Option.bind (member "name" b) to_str = Some "points")
+        blocks
+    with
+    | None -> Alcotest.fail "F1-SIM report has no points data block"
+    | Some b -> Option.get (Option.bind (member "data" b) to_list)
+  in
+  check_bool "points non-empty" true (points <> []);
+  List.iter
+    (fun p ->
+      let num k = Option.get (Option.bind (member k p) to_num) in
+      let cycles = num "cycles" in
+      let group_sum =
+        match member "groups" p with
+        | Some (Obj gs) ->
+          List.fold_left
+            (fun acc (_, v) -> acc +. Option.get (to_num v)) 0.0 gs
+        | _ -> Alcotest.fail "point has no groups object"
+      in
+      check_bool
+        (Printf.sprintf "groups sum within 1%% (%s @ %d MiB)"
+           (Option.get (Option.bind (member "strategy" p) to_str))
+           (Option.get (Option.bind (member "mib" p) to_int)))
+        true
+        (Float.abs (group_sum -. cycles) <= 0.01 *. cycles);
+      (* and the headline ns is just the cycle total through the clock
+         model, so the breakdown explains the latency too *)
+      check_bool "ns consistent" true
+        (Float.abs (Vmem.Cost.cycles_to_ns cycles -. num "ns")
+        <= 0.01 *. num "ns"))
+    points
+
+let test_sim_driver_groups_partition () =
+  let m =
+    Forkroad.Sim_driver.creation_cost ~strategy:Forkroad.Strategy.Fork_exec
+      ~heap_mib:16 ()
+  in
+  let sum l = List.fold_left (fun a (_, c) -> a +. c) 0.0 l in
+  Alcotest.(check (float 1e-6))
+    "groups sum to headline" m.Forkroad.Sim_driver.cycles
+    (sum m.Forkroad.Sim_driver.groups);
+  Alcotest.(check (float 1e-6))
+    "breakdown sums to headline" m.Forkroad.Sim_driver.cycles
+    (sum m.Forkroad.Sim_driver.breakdown);
+  (* differential counters isolate the creation itself *)
+  check_bool "one fork" true
+    (List.assoc_opt "forks" m.Forkroad.Sim_driver.counters = Some 1);
+  check_bool "ptes copied" true
+    (match List.assoc_opt "ptes-copied" m.Forkroad.Sim_driver.counters with
+    | Some n -> n > 0
+    | None -> false)
+
+let test_stat_driver () =
+  check_bool "unknown scenario" true (Forkroad.Stat_driver.run "nope" = None);
+  List.iter
+    (fun (key, _) ->
+      match Forkroad.Stat_driver.run key with
+      | None -> Alcotest.failf "scenario %s missing" key
+      | Some { Forkroad.Stat_driver.report; trace } ->
+        check_bool
+          (key ^ " renders")
+          true
+          (String.length (Forkroad.Report.render report) > 200);
+        check_bool (key ^ " traced") true (Ksim.Trace.events trace <> []))
+    Forkroad.Stat_driver.scenarios
+
 let test_exp_minproc () =
   let r = run_exp "T1" in
   check_bool "all strategies present" true
@@ -376,6 +456,9 @@ let () =
         [
           tc "registry" test_registry_complete;
           slow "F1-SIM" test_exp_fig1_sim;
+          slow "F1-SIM breakdown sums" test_fig1_sim_breakdown_sums;
+          slow "sim groups partition" test_sim_driver_groups_partition;
+          slow "stat driver" test_stat_driver;
           slow "T1" test_exp_minproc;
           slow "E2" test_exp_cowtax;
           slow "E3" test_exp_threads;

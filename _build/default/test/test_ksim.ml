@@ -1451,6 +1451,218 @@ let test_trace_records_syscalls () =
     check_bool "fork traced" true (Ksim.Trace.find tr ~pattern:"fork" <> []);
     check_bool "waitpid traced" true (Ksim.Trace.find tr ~pattern:"waitpid" <> [])
 
+(* After overflow the ring must hold exactly the last [capacity] events,
+   oldest first, with consecutive sequence numbers. *)
+let test_trace_wraparound () =
+  let capacity = 8 and total = 20 in
+  let tr = Ksim.Trace.create ~capacity () in
+  for i = 0 to total - 1 do
+    Ksim.Trace.record tr ~tick:i ~pid:1 ~tid:1 (Printf.sprintf "ev%d" i)
+  done;
+  check_int "total" total (Ksim.Trace.total tr);
+  let evs = Ksim.Trace.events tr in
+  check_int "kept" capacity (List.length evs);
+  List.iteri
+    (fun i (e : Ksim.Trace.event) ->
+      let expected = total - capacity + i in
+      check_int (Printf.sprintf "seq %d" i) expected e.Ksim.Trace.seq;
+      check_str
+        (Printf.sprintf "what %d" i)
+        (Printf.sprintf "ev%d" expected)
+        e.Ksim.Trace.what)
+    evs
+
+let traced_config =
+  { Ksim.Kernel.default_config with Ksim.Kernel.trace_capacity = Some 4096 }
+
+let events_of t =
+  match Ksim.Kernel.trace t with
+  | None -> Alcotest.fail "trace missing"
+  | Some tr -> Ksim.Trace.events tr
+
+let test_trace_spans () =
+  let t, outcome =
+    boot ~config:traced_config (fun _ ->
+        let pid = ok (Ksim.Api.fork ~child:(fun () -> Ksim.Api.exit 3)) in
+        ignore (ok (Ksim.Api.wait_for pid)))
+  in
+  all_exited outcome;
+  let evs = events_of t in
+  let of_phase ph what =
+    List.filter
+      (fun (e : Ksim.Trace.event) ->
+        e.Ksim.Trace.phase = ph && e.Ksim.Trace.what = what)
+      evs
+  in
+  let fork_b = of_phase Ksim.Trace.Begin "fork" in
+  let fork_e = of_phase Ksim.Trace.End "fork" in
+  check_int "one fork begin" 1 (List.length fork_b);
+  check_int "one fork end" 1 (List.length fork_e);
+  let b = List.hd fork_b and e = List.hd fork_e in
+  check_bool "end after begin" true (e.Ksim.Trace.seq > b.Ksim.Trace.seq);
+  check_bool "fork ok" true (e.Ksim.Trace.outcome = Some Ksim.Trace.Ok_result);
+  check_bool "span positive" true (e.Ksim.Trace.span_ns > 0.0);
+  check_bool "time advances" true (e.Ksim.Trace.ts_ns >= b.Ksim.Trace.ts_ns);
+  (* args are repeated on the End event so name-based filters see them *)
+  check_bool "end keeps args" true
+    (Ksim.Trace.arg e "threads" = Ksim.Trace.arg b "threads");
+  (* a blocking syscall still gets its End on completion *)
+  let wait_e = of_phase Ksim.Trace.End "waitpid" in
+  check_int "one waitpid end" 1 (List.length wait_e);
+  check_bool "waitpid ok" true
+    ((List.hd wait_e).Ksim.Trace.outcome = Some Ksim.Trace.Ok_result)
+
+let test_trace_span_errno () =
+  let t, outcome =
+    boot ~config:traced_config (fun _ ->
+        (match Ksim.Api.exec "/bin/does-not-exist" with
+        | Ok () -> Alcotest.fail "exec of missing program succeeded"
+        | Error e -> check_bool "enoent" true (e = Ksim.Errno.ENOENT));
+        Ksim.Api.exit 0)
+  in
+  all_exited outcome;
+  let failed_exec =
+    List.filter
+      (fun (e : Ksim.Trace.event) ->
+        e.Ksim.Trace.phase = Ksim.Trace.End
+        && e.Ksim.Trace.what = "execve"
+        && e.Ksim.Trace.outcome = Some (Ksim.Trace.Err Ksim.Errno.ENOENT))
+      (events_of t)
+  in
+  check_int "failed exec span" 1 (List.length failed_exec)
+
+let test_trace_exporters () =
+  let t, outcome =
+    boot ~config:traced_config (fun _ ->
+        let pid = ok (Ksim.Api.fork ~child:(fun () -> Ksim.Api.exit 0)) in
+        ignore (ok (Ksim.Api.wait_for pid)))
+  in
+  all_exited outcome;
+  let tr = Option.get (Ksim.Kernel.trace t) in
+  (* JSONL: every line is a standalone JSON object *)
+  let lines =
+    String.split_on_char '\n' (Ksim.Trace.to_jsonl tr)
+    |> List.filter (fun l -> l <> "")
+  in
+  check_int "one line per event" (List.length (Ksim.Trace.events tr))
+    (List.length lines);
+  List.iter
+    (fun l ->
+      match Metrics.Json.of_string l with
+      | Error e -> Alcotest.fail ("jsonl line: " ^ e)
+      | Ok j -> check_bool "has name" true (Metrics.Json.member "what" j <> None))
+    lines;
+  (* Chrome: a traceEvents array whose phases are B/E/i *)
+  match Metrics.Json.of_string (Metrics.Json.to_string (Ksim.Trace.to_chrome tr)) with
+  | Error e -> Alcotest.fail ("chrome parse: " ^ e)
+  | Ok doc -> (
+    match
+      Option.bind (Metrics.Json.member "traceEvents" doc) Metrics.Json.to_list
+    with
+    | None | Some [] -> Alcotest.fail "no traceEvents"
+    | Some evs ->
+      List.iter
+        (fun ev ->
+          match
+            Option.bind (Metrics.Json.member "ph" ev) Metrics.Json.to_str
+          with
+          | Some ("B" | "E" | "i") -> ()
+          | other ->
+            Alcotest.failf "bad phase %s"
+              (Option.value ~default:"<none>" other))
+        evs)
+
+(* ------------------------------------------------------------------ *)
+(* Kstat counters *)
+
+let counter cs k =
+  Option.value ~default:0 (List.assoc_opt k (Ksim.Kstat.snapshot cs))
+
+let test_kstat_counters () =
+  let pages = 16 in
+  let t, outcome =
+    boot (fun _ ->
+        let addr = ok (Ksim.Api.mmap ~len:(pages * page) ~perm:Vmem.Perm.rw) in
+        ignore (ok (Ksim.Api.touch ~addr ~len:(pages * page)));
+        let pid =
+          ok
+            (Ksim.Api.fork ~child:(fun () ->
+                 ignore (ok (Ksim.Api.touch ~addr ~len:(pages * page)));
+                 Ksim.Api.exit 0))
+        in
+        ignore (ok (Ksim.Api.wait_for pid)))
+  in
+  all_exited outcome;
+  let g = Ksim.Kstat.global (Ksim.Kernel.kstat t) in
+  check_int "forks" 1 (counter g "forks");
+  (* the child re-touches every inherited page: one COW break each *)
+  check_int "cow breaks" pages (counter g "cow-breaks");
+  check_bool "faults counted" true (counter g "faults" >= pages);
+  check_bool "ptes copied" true (counter g "ptes-copied" >= pages);
+  check_bool "cycles attributed" true (Ksim.Kstat.cycles g > 0.0);
+  check_bool "fork kind" true
+    (List.assoc_opt "fork" (Ksim.Kstat.kinds g) = Some 1);
+  (* snapshot totals match the per-kind sum *)
+  check_int "syscalls = sum of kinds"
+    (List.fold_left (fun a (_, n) -> a + n) 0 (Ksim.Kstat.kinds g))
+    (counter g "syscalls")
+
+let test_kstat_per_pid () =
+  let pages = 8 in
+  let child_pid = ref (-1) in
+  let t, outcome =
+    boot (fun _ ->
+        let addr = ok (Ksim.Api.mmap ~len:(pages * page) ~perm:Vmem.Perm.rw) in
+        ignore (ok (Ksim.Api.touch ~addr ~len:(pages * page)));
+        let pid =
+          ok
+            (Ksim.Api.fork ~child:(fun () ->
+                 ignore (ok (Ksim.Api.touch ~addr ~len:(pages * page)));
+                 Ksim.Api.exit 0))
+        in
+        child_pid := pid;
+        ignore (ok (Ksim.Api.wait_for pid)))
+  in
+  all_exited outcome;
+  let ks = Ksim.Kernel.kstat t in
+  match Ksim.Kstat.pid_counters ks !child_pid with
+  | None -> Alcotest.fail "no counters for child pid"
+  | Some child ->
+    (* the COW breaks happened while the child was running *)
+    check_int "child cow breaks" pages (counter child "cow-breaks");
+    let parent = Option.get (Ksim.Kstat.pid_counters ks 1) in
+    check_int "parent cow breaks" 0 (counter parent "cow-breaks");
+    check_bool "parent zero-fills" true (counter parent "frames-zeroed" >= pages)
+
+let test_kstat_stdio_double_flush () =
+  let buffered = 512 in
+  let run use_spawn =
+    let t, outcome =
+      boot ~programs:[ true_prog ] (fun _ ->
+          let f = ok (Ksim.Stdio.fopen ~bufsize:4096 1) in
+          ok (Ksim.Stdio.puts f (String.make buffered 'x'));
+          let pid =
+            if use_spawn then ok (Ksim.Api.spawn "/bin/true")
+            else
+              ok
+                (Ksim.Api.fork ~child:(fun () ->
+                     ok (Ksim.Stdio.flush f);
+                     Ksim.Api.exit 0))
+          in
+          ignore (ok (Ksim.Api.wait_for pid));
+          ok (Ksim.Stdio.flush f))
+    in
+    all_exited outcome;
+    Ksim.Kstat.global (Ksim.Kernel.kstat t)
+  in
+  let forked = run false in
+  check_int "fork double-flushes the buffer" buffered
+    (counter forked "stdio-double-flushed-bytes");
+  check_bool "flushed bytes counted" true
+    (counter forked "stdio-flushed-bytes" >= 2 * buffered);
+  let spawned = run true in
+  check_int "spawn does not" 0 (counter spawned "stdio-double-flushed-bytes")
+
 (* ------------------------------------------------------------------ *)
 (* fork cost scales in-sim; spawn cost does not (F1-SIM mechanism) *)
 
@@ -1593,7 +1805,20 @@ let () =
           tc "clone shares" test_fdt_clone_shares;
         ] );
       ("sync", [ tc "clone copies state" test_sync_clone ]);
-      ("trace", [ tc "ring" test_trace_ring ]);
+      ( "trace",
+        [
+          tc "ring" test_trace_ring;
+          tc "wraparound" test_trace_wraparound;
+          tc "spans" test_trace_spans;
+          tc "span errno" test_trace_span_errno;
+          tc "exporters" test_trace_exporters;
+        ] );
+      ( "kstat",
+        [
+          tc "counters" test_kstat_counters;
+          tc "per-pid" test_kstat_per_pid;
+          tc "stdio double flush" test_kstat_stdio_double_flush;
+        ] );
       ( "kernel-basics",
         [
           tc "hello" test_hello;

@@ -89,6 +89,101 @@ let prop_stats_shift =
       Float.abs (sb.mean -. sa.mean -. c) < 1e-6
       && Float.abs (sb.stddev -. sa.stddev) < 1e-6)
 
+let test_stats_singleton_percentiles () =
+  (* n = 1: every percentile is the sample itself, by interpolation on a
+     single rank. *)
+  let s = Metrics.Stats.of_array [| 42.0 |] in
+  check_float "p50" 42.0 s.p50;
+  check_float "p90" 42.0 s.p90;
+  check_float "p99" 42.0 s.p99;
+  check_float "total" 42.0 s.total
+
+let test_stats_all_equal () =
+  let s = Metrics.Stats.of_array [| 7.0; 7.0; 7.0; 7.0 |] in
+  check_float "sd" 0.0 s.stddev;
+  check_float "cv" 0.0 (Metrics.Stats.coefficient_of_variation s);
+  check_float "p99" 7.0 s.p99
+
+let test_stats_cv_zero_mean () =
+  (* mean exactly 0: CV is 0/0 — documented as nan. *)
+  let s = Metrics.Stats.of_array [| -1.0; 1.0 |] in
+  check_float "mean" 0.0 s.mean;
+  Alcotest.(check bool)
+    "cv nan" true
+    (Float.is_nan (Metrics.Stats.coefficient_of_variation s))
+
+let test_stats_json () =
+  let s = Metrics.Stats.of_array [| 1.0; 2.0; 3.0 |] in
+  let j = Metrics.Stats.to_json s in
+  let get k = Option.bind (Metrics.Json.member k j) Metrics.Json.to_num in
+  check_float "count" 3.0 (Option.get (get "count"));
+  check_float "mean" 2.0 (Option.get (get "mean"));
+  check_float "total" 6.0 (Option.get (get "total"))
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let test_json_roundtrip () =
+  let j =
+    Metrics.Json.obj
+      [
+        ("s", Metrics.Json.str "a \"quoted\"\n\ttab");
+        ("i", Metrics.Json.int (-42));
+        ("f", Metrics.Json.num 1.5);
+        ("b", Metrics.Json.bool true);
+        ("n", Metrics.Json.Null);
+        ( "a",
+          Metrics.Json.arr
+            [ Metrics.Json.int 1; Metrics.Json.str "x"; Metrics.Json.Null ] );
+      ]
+  in
+  (match Metrics.Json.of_string (Metrics.Json.to_string j) with
+  | Error e -> Alcotest.fail ("compact reparse: " ^ e)
+  | Ok j' -> Alcotest.(check bool) "compact" true (j = j'));
+  match Metrics.Json.of_string (Metrics.Json.to_string ~indent:2 j) with
+  | Error e -> Alcotest.fail ("indented reparse: " ^ e)
+  | Ok j' -> Alcotest.(check bool) "indented" true (j = j')
+
+let test_json_non_finite () =
+  (* NaN and infinities have no JSON encoding; they serialise as null so
+     the output always parses. *)
+  check_str "nan" "null" (Metrics.Json.to_string (Metrics.Json.num Float.nan));
+  check_str "inf" "null"
+    (Metrics.Json.to_string (Metrics.Json.num Float.infinity))
+
+let test_json_parse_errors () =
+  let bad s =
+    match Metrics.Json.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" s)
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\" 1}";
+  bad "\"unterminated";
+  bad "tru";
+  bad "1 2"
+
+let test_json_accessors () =
+  match Metrics.Json.of_string {|{"a": [1, 2.5], "s": "hi", "t": true}|} with
+  | Error e -> Alcotest.fail e
+  | Ok j ->
+    check_int "int" 1
+      (Option.get
+         (Metrics.Json.to_int
+            (List.hd
+               (Option.get
+                  (Option.bind (Metrics.Json.member "a" j)
+                     Metrics.Json.to_list)))));
+    check_str "str" "hi"
+      (Option.get (Option.bind (Metrics.Json.member "s" j) Metrics.Json.to_str));
+    Alcotest.(check bool)
+      "bool" true
+      (Option.get
+         (Option.bind (Metrics.Json.member "t" j) Metrics.Json.to_bool));
+    Alcotest.(check bool) "missing" true (Metrics.Json.member "zz" j = None)
+
 (* ------------------------------------------------------------------ *)
 (* Histogram *)
 
@@ -264,6 +359,53 @@ let test_hist_render_empty () =
   check_str "empty" "(empty histogram)\n"
     (Metrics.Histogram.render (Metrics.Histogram.create ()))
 
+let test_hist_json_roundtrip () =
+  let h = Metrics.Histogram.create ~base:10.0 ~buckets:12 () in
+  Metrics.Histogram.add_many h [| 1.0; 15.0; 15.0; 700.0; 1e9 |];
+  match Metrics.Histogram.of_json (Metrics.Histogram.to_json h) with
+  | Error e -> Alcotest.fail ("roundtrip: " ^ e)
+  | Ok h' ->
+    check_int "count" (Metrics.Histogram.count h) (Metrics.Histogram.count h');
+    check_int "clamped" (Metrics.Histogram.clamped h)
+      (Metrics.Histogram.clamped h');
+    Alcotest.(check (array int))
+      "counts" (Metrics.Histogram.counts h)
+      (Metrics.Histogram.counts h');
+    check_float "p50" (Metrics.Histogram.quantile h 0.5)
+      (Metrics.Histogram.quantile h' 0.5)
+
+let test_hist_json_reparse () =
+  (* through the printer and parser, not just the value round-trip *)
+  let h = Metrics.Histogram.create ~base:1.0 ~buckets:8 () in
+  Metrics.Histogram.add_many h [| 1.0; 2.0; 3.0 |];
+  let s = Metrics.Json.to_string ~indent:2 (Metrics.Histogram.to_json h) in
+  match Metrics.Json.of_string s with
+  | Error e -> Alcotest.fail ("parse: " ^ e)
+  | Ok j -> (
+    match Metrics.Histogram.of_json j with
+    | Error e -> Alcotest.fail ("of_json: " ^ e)
+    | Ok h' -> check_int "count" 3 (Metrics.Histogram.count h'))
+
+let test_hist_json_invalid () =
+  let reject name j =
+    match Metrics.Histogram.of_json j with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (name ^ ": accepted invalid histogram json")
+  in
+  reject "not an object" (Metrics.Json.str "x");
+  (* total inconsistent with the bucket counts *)
+  let h = Metrics.Histogram.create ~base:1.0 ~buckets:4 () in
+  Metrics.Histogram.add h 1.0;
+  (match Metrics.Histogram.to_json h with
+  | Metrics.Json.Obj fields ->
+    reject "bad total"
+      (Metrics.Json.Obj
+         (List.map
+            (fun (k, v) ->
+              if k = "total" then (k, Metrics.Json.int 99) else (k, v))
+            fields))
+  | _ -> Alcotest.fail "to_json not an object")
+
 let test_series_single_point () =
   let f =
     Metrics.Series.figure ~title:"t" ~xlabel:"x" ~ylabel:"y"
@@ -316,6 +458,11 @@ let () =
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
           Alcotest.test_case "empty" `Quick test_stats_empty;
           Alcotest.test_case "order invariance" `Quick test_stats_order_invariance;
+          Alcotest.test_case "singleton percentiles" `Quick
+            test_stats_singleton_percentiles;
+          Alcotest.test_case "all equal" `Quick test_stats_all_equal;
+          Alcotest.test_case "cv of zero mean" `Quick test_stats_cv_zero_mean;
+          Alcotest.test_case "json" `Quick test_stats_json;
         ] );
       qsuite "stats-props" [ prop_stats_bounds; prop_stats_shift ];
       ( "histogram",
@@ -328,6 +475,16 @@ let () =
           Alcotest.test_case "negative rejected" `Quick test_hist_negative;
           Alcotest.test_case "render" `Quick test_hist_render;
           Alcotest.test_case "render empty" `Quick test_hist_render_empty;
+          Alcotest.test_case "json roundtrip" `Quick test_hist_json_roundtrip;
+          Alcotest.test_case "json reparse" `Quick test_hist_json_reparse;
+          Alcotest.test_case "json invalid" `Quick test_hist_json_invalid;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "non-finite" `Quick test_json_non_finite;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
         ] );
       qsuite "histogram-props" [ prop_hist_quantile_monotone; prop_hist_count ];
       ( "table",

@@ -87,5 +87,6 @@ let experiment =
     paper_claim =
       "fork children share the parent's layout, voiding ASLR across \
        workers; exec/spawn re-randomizes";
+    exp_kind = Report.Sim;
     run = (fun ~quick -> run ~quick);
   }

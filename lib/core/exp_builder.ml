@@ -41,5 +41,6 @@ let experiment =
     paper_claim =
       "a clean-slate API builds children piecewise at spawn-like constant \
        cost, replacing fork without its hazards";
+    exp_kind = Report.Sim;
     run = (fun ~quick -> run ~quick);
   }

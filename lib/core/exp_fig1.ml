@@ -73,5 +73,6 @@ let experiment =
       "fork+exec latency grows linearly with the parent's memory; \
        posix_spawn (and vfork) are constant, so spawn wins beyond trivial \
        footprints";
+    exp_kind = Report.Real;
     run = (fun ~quick -> run ~quick);
   }

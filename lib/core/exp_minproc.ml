@@ -43,5 +43,6 @@ let experiment =
     paper_claim =
       "even for a minimal process, spawn-style creation is competitive; \
        fork's apparent cheapness exists only for tiny parents";
+    exp_kind = Report.Real;
     run = (fun ~quick -> run ~quick);
   }

@@ -76,5 +76,6 @@ let experiment =
     paper_claim =
       "kernels invest heavily (THP, lazy copying) to keep fork viable; \
        mitigations shift but do not remove the parent-size dependence";
+    exp_kind = Report.Sim;
     run = (fun ~quick -> run ~quick);
   }

@@ -2,6 +2,11 @@
 
 val all : Report.experiment list
 val find : string -> Report.experiment option
-(** Lookup by id, case-insensitive ("f1", "F1-SIM", "e3", ...). *)
+(** Lookup by id or slug, case-insensitive, '-' and '_' interchangeable
+    ("f1", "F1-SIM", "fig1-sim", "e3", ...). *)
 
 val ids : string list
+
+val slug : Report.experiment -> string
+(** Filename-friendly name ("fig1_sim", "cowtax", ...): the bench
+    harness writes [BENCH_<slug>.json]. *)

@@ -5,6 +5,11 @@ type block =
   | Table of { caption : string; table : Metrics.Table.t }
   | Figure of Metrics.Series.figure
   | Note of string
+  | Data of { name : string; json : Metrics.Json.t }
+      (** machine-readable payload (raw series points, counter
+          breakdowns): invisible in text and CSV renderings, included in
+          {!to_json} — how [BENCH_*.json] carries per-point cost
+          breakdowns without cluttering the terminal output *)
 
 type t = {
   id : string;  (** experiment id, e.g. "F1" *)
@@ -16,18 +21,34 @@ val make : id:string -> title:string -> block list -> t
 
 val render : t -> string
 (** Header, then each block: tables rendered via {!Metrics.Table.render},
-    figures as data table {e and} ASCII chart, notes as prose. *)
+    figures as data table {e and} ASCII chart, notes as prose; [Data]
+    blocks are skipped. *)
 
 val render_csv : t -> string
 (** Machine-readable: every table and figure as a CSV block preceded by a
-    ["# id caption"] comment line; notes are omitted. For piping into
-    plotting scripts ([forkbench run F1 --format csv]). *)
+    ["# id caption"] comment line; notes and [Data] blocks are omitted.
+    For piping into plotting scripts ([forkbench run F1 --format csv]). *)
+
+val to_json : t -> Metrics.Json.t
+(** The whole report, every block included:
+    [{"id", "title", "blocks": [{"kind": "table"|"figure"|"note"|"data", ...}]}]. *)
+
+(** How an experiment runs — used to pick which experiments the bench
+    smoke alias can execute everywhere. *)
+type kind =
+  | Sim  (** deterministic, simulator-only: safe anywhere, any speed *)
+  | Real  (** measures the host OS (real fork/spawn): environment-bound *)
+  | Static  (** no execution at all (source-survey style) *)
+
+val kind_string : kind -> string
+(** ["sim"], ["real"] or ["static"]. *)
 
 (** A runnable experiment as registered in {!Registry}. *)
 type experiment = {
   exp_id : string;
   exp_title : string;
   paper_claim : string;  (** what the paper says this should show *)
+  exp_kind : kind;
   run : quick:bool -> t;
       (** [quick] trades sample counts for speed (used by tests) *)
 }

@@ -65,6 +65,45 @@ let merge a b =
   m.clamped <- a.clamped + b.clamped;
   m
 
+let to_json t =
+  Json.obj
+    [
+      ("base", Json.num t.base);
+      ("buckets", Json.int t.nbuckets);
+      ("total", Json.int t.total);
+      ("clamped", Json.int t.clamped);
+      ("counts", Json.arr (Array.to_list (Array.map Json.int t.counts)));
+    ]
+
+let of_json jv =
+  let ( let* ) o f = match o with Some v -> f v | None -> Error "histogram: missing or ill-typed field" in
+  let* base = Option.bind (Json.member "base" jv) Json.to_num in
+  let* nbuckets = Option.bind (Json.member "buckets" jv) Json.to_int in
+  let* total = Option.bind (Json.member "total" jv) Json.to_int in
+  let* clamped = Option.bind (Json.member "clamped" jv) Json.to_int in
+  let* counts = Option.bind (Json.member "counts" jv) Json.to_list in
+  if nbuckets < 1 || base <= 0.0 then Error "histogram: bad geometry"
+  else if List.length counts <> nbuckets then
+    Error "histogram: counts length differs from bucket count"
+  else begin
+    let h = create ~base ~buckets:nbuckets () in
+    let ok = ref true in
+    List.iteri
+      (fun i c ->
+        match Json.to_int c with
+        | Some c when c >= 0 -> h.counts.(i) <- c
+        | Some _ | None -> ok := false)
+      counts;
+    if not !ok then Error "histogram: non-integer bucket count"
+    else if total <> Array.fold_left ( + ) 0 h.counts then
+      Error "histogram: total differs from sum of buckets"
+    else begin
+      h.total <- total;
+      h.clamped <- clamped;
+      Ok h
+    end
+  end
+
 let render ?(width = 50) t =
   let buf = Buffer.create 256 in
   let maxc = Array.fold_left max 0 t.counts in

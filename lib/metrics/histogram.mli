@@ -42,6 +42,14 @@ val merge : t -> t -> t
 (** [merge a b] sums two histograms with identical geometry.
     @raise Invalid_argument if geometries differ. *)
 
+val to_json : t -> Json.t
+(** Full state (base, bucket count, per-bucket counts, total, clamped),
+    suitable for embedding in a bench report. *)
+
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json}; validates geometry and that the recorded
+    total matches the sum of the buckets. *)
+
 val render : ?width:int -> t -> string
 (** ASCII rendering: one line per non-empty bucket with a proportional
     bar, suitable for terminal output. *)

@@ -61,6 +61,20 @@ let of_list l = of_array (Array.of_list l)
 let coefficient_of_variation t =
   if t.mean = 0.0 then Float.nan else t.stddev /. t.mean
 
+let to_json t =
+  Json.obj
+    [
+      ("count", Json.int t.count);
+      ("mean", Json.num t.mean);
+      ("stddev", Json.num t.stddev);
+      ("min", Json.num t.min);
+      ("max", Json.num t.max);
+      ("p50", Json.num t.p50);
+      ("p90", Json.num t.p90);
+      ("p99", Json.num t.p99);
+      ("total", Json.num t.total);
+    ]
+
 let pp ppf t =
   Format.fprintf ppf "n=%d mean=%s sd=%s min=%s p50=%s p90=%s p99=%s max=%s"
     t.count (Units.ns t.mean) (Units.ns t.stddev) (Units.ns t.min)

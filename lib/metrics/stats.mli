@@ -36,7 +36,13 @@ val stddev : float array -> float
     @raise Invalid_argument on an empty array. *)
 
 val coefficient_of_variation : t -> float
-(** [stddev /. mean]; [nan] when the mean is zero. *)
+(** [stddev /. mean]. Edge cases: all-equal samples have [stddev = 0.]
+    and hence CV [0.] (provided the common value is non-zero); when the
+    mean is exactly [0.] the ratio is undefined and the result is
+    [nan]. *)
+
+val to_json : t -> Json.t
+(** All fields as a JSON object (used by the bench report writer). *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line rendering, e.g. ["n=30 mean=1.2ms p50=1.1ms p99=2.0ms"],
