@@ -75,7 +75,7 @@ let write_file path contents =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc contents)
 
-let bench_json ~quick exp report =
+let bench_json ~quick ~wall_ms exp report =
   Metrics.Json.obj
     [
       ("exp", Metrics.Json.str exp.Forkroad.Report.exp_id);
@@ -85,7 +85,13 @@ let bench_json ~quick exp report =
         Metrics.Json.str
           (Forkroad.Report.kind_string exp.Forkroad.Report.exp_kind) );
       ("claim", Metrics.Json.str exp.Forkroad.Report.paper_claim);
-      ("params", Metrics.Json.obj [ ("quick", Metrics.Json.bool quick) ]);
+      ( "params",
+        Metrics.Json.obj
+          [
+            ("quick", Metrics.Json.bool quick);
+            ("jobs", Metrics.Json.int (Workload.Par.jobs ()));
+            ("harness_wall_ms", Metrics.Json.num wall_ms);
+          ] );
       ("report", Forkroad.Report.to_json report);
     ]
 
@@ -101,7 +107,9 @@ let run_experiment ?(print = true) ~quick exp =
     Printf.printf "(generated in %.1fs)\n\n" dt
   end;
   write_file (bench_file exp)
-    (Metrics.Json.to_string ~indent:2 (bench_json ~quick exp report) ^ "\n")
+    (Metrics.Json.to_string ~indent:2
+       (bench_json ~quick ~wall_ms:(dt *. 1000.) exp report)
+    ^ "\n")
 
 (* A BENCH_*.json is useful to downstream tooling only if it parses and
    actually carries data: at least one figure with a non-empty series, a
@@ -180,13 +188,63 @@ let run_smoke () =
   end;
   Printf.printf "bench smoke: %d sim experiments ok\n" (List.length sims)
 
+(* Perf smoke: a quick F1-SIM must finish inside a generous budget and
+   its BENCH json must carry the harness_wall_ms instrumentation. Guards
+   the O(range) fast paths (and the wall-clock plumbing itself) against
+   silent regression to per-page behaviour, where even the quick sweep
+   blows the budget. *)
+let perf_budget_ms = 60_000.0
+
+let run_perf_smoke () =
+  let exp =
+    List.find
+      (fun e -> e.Forkroad.Report.exp_id = "F1-SIM")
+      Forkroad.Registry.all
+  in
+  run_experiment ~print:false ~quick:true exp;
+  let file = bench_file exp in
+  let ic = open_in_bin file in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let fail msg =
+    Printf.eprintf "perf smoke: %s\n" msg;
+    exit 1
+  in
+  match Metrics.Json.of_string contents with
+  | Error e -> fail (Printf.sprintf "%s: parse error: %s" file e)
+  | Ok j -> (
+    let open Metrics.Json in
+    match
+      Option.bind (member "params" j) (member "harness_wall_ms")
+      |> Fun.flip Option.bind to_num
+    with
+    | None -> fail (file ^ ": params.harness_wall_ms missing")
+    | Some ms when ms > perf_budget_ms ->
+      fail
+        (Printf.sprintf "quick F1-SIM took %.0f ms (budget %.0f ms)" ms
+           perf_budget_ms)
+    | Some ms ->
+      Printf.printf "perf smoke: quick F1-SIM in %.0f ms (budget %.0f ms)\n"
+        ms perf_budget_ms)
+
 let () =
+  (* The sim sweeps allocate page-table leaves by the tens of millions;
+     the default 256 KiB minor heap spends a large fraction of the run
+     promoting them. A 32 MiB minor heap is measurably faster and only
+     affects the harness, never a simulated number. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 4 * 1024 * 1024 };
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.exists (fun a -> a = "--quick" || a = "-q") args in
   let smoke = List.exists (fun a -> a = "--smoke") args in
+  let perf_smoke = List.exists (fun a -> a = "--perf-smoke") args in
   let selectors =
     List.filter
-      (fun a -> a <> "--quick" && a <> "-q" && a <> "--" && a <> "--smoke")
+      (fun a ->
+        a <> "--quick" && a <> "-q" && a <> "--" && a <> "--smoke"
+        && a <> "--perf-smoke")
       args
     |> List.map String.lowercase_ascii
   in
@@ -196,6 +254,7 @@ let () =
     || List.mem (String.lowercase_ascii id) selectors
   in
   if smoke then run_smoke ()
+  else if perf_smoke then run_perf_smoke ()
   else if micro_only then run_bechamel ()
   else begin
     if selectors = [] then run_bechamel ();

@@ -1,1 +1,1 @@
-lib/core/exp_overcommit.ml: Ksim List Metrics Report Vmem
+lib/core/exp_overcommit.ml: Ksim List Metrics Report Vmem Workload

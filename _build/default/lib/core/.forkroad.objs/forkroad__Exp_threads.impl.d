@@ -1,1 +1,1 @@
-lib/core/exp_threads.ml: Ksim List Metrics Printf Report Sim_driver Workload
+lib/core/exp_threads.ml: Fun Ksim List Metrics Printf Report Sim_driver Workload

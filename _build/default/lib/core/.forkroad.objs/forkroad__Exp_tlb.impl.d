@@ -1,1 +1,1 @@
-lib/core/exp_tlb.ml: List Metrics Option Printf Report Sim_driver Strategy
+lib/core/exp_tlb.ml: List Metrics Option Printf Report Sim_driver Strategy Workload

@@ -1,1 +1,1 @@
-lib/core/exp_vma.ml: List Metrics Printf Report Sim_driver Strategy Workload
+lib/core/exp_vma.ml: Metrics Printf Report Sim_driver Strategy Workload

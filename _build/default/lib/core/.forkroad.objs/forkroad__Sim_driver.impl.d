@@ -1,1 +1,1 @@
-lib/core/sim_driver.ml: Hashtbl Ksim List Option Procbuilder Strategy String Vmem Workload
+lib/core/sim_driver.ml: Domain Hashtbl Ksim List Option Procbuilder Strategy String Vmem Workload

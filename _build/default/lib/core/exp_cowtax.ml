@@ -71,7 +71,7 @@ let run ~quick =
     if quick then [ 0.0; 0.5; 1.0 ] else [ 0.0; 0.1; 0.25; 0.5; 1.0 ]
   in
   let measure use_spawn =
-    List.map
+    Workload.Par.map
       (fun f -> (f, child_write_cost ~use_spawn ~fraction:f))
       fractions
   in

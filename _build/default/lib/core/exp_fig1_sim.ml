@@ -6,7 +6,9 @@ let strategies = [ Strategy.Fork_exec; Strategy.Vfork_exec; Strategy.Posix_spawn
 let run ~quick =
   let sizes = if quick then [ 0; 16; 256 ] else Workload.Sweep.fig1_sim_mib in
   let rows =
-    List.map
+    (* one work item per footprint: each boots its own kernels, so the
+       sweep fans out across domains *)
+    Workload.Par.map
       (fun mib ->
         ( mib,
           List.map
@@ -14,22 +16,29 @@ let run ~quick =
             strategies ))
       sizes
   in
-  let series_of strategy =
-    {
-      Metrics.Series.label = Strategy.name strategy;
-      points =
-        List.map
-          (fun (mib, ms) ->
-            (float_of_int mib, (List.assoc strategy ms).Sim_driver.ns))
-          rows;
-    }
+  (* transpose rows into one series per strategy in a single pass —
+     [ms] is aligned with [strategies] by construction *)
+  let all_series =
+    let points_per_strategy =
+      List.fold_right
+        (fun (mib, ms) acc ->
+          List.map2
+            (fun (_, m) pts -> (float_of_int mib, m.Sim_driver.ns) :: pts)
+            ms acc)
+        rows
+        (List.map (fun _ -> []) strategies)
+    in
+    List.map2
+      (fun strategy points ->
+        { Metrics.Series.label = Strategy.name strategy; points })
+      strategies points_per_strategy
   in
   let fig =
     Metrics.Series.figure ~ylog:true
       ~title:
         "F1-SIM: create+exec cost (model ns) vs parent footprint (MiB) \
          [simulator]"
-      ~xlabel:"MiB" ~ylabel:"ns" (List.map series_of strategies)
+      ~xlabel:"MiB" ~ylabel:"ns" all_series
   in
   (* Machine-readable per-point cost breakdown: the subsystem groups
      partition every cycle charged, so for each point

@@ -44,14 +44,20 @@ let run ~quick =
     Metrics.Table.create
       [ "parent footprint"; "fork (strict)"; "fork (overcommit)" ]
   in
+  let rows =
+    Workload.Par.map
+      (fun f ->
+        ( f,
+          try_fork ~policy:Vmem.Frame.Strict ~fraction:f,
+          try_fork ~policy:Vmem.Frame.Overcommit ~fraction:f ))
+      fractions
+  in
   List.iter
-    (fun f ->
-      let strict_ok = try_fork ~policy:Vmem.Frame.Strict ~fraction:f in
-      let over_ok = try_fork ~policy:Vmem.Frame.Overcommit ~fraction:f in
+    (fun (f, strict_ok, over_ok) ->
       let show ok = if ok then "ok" else "ENOMEM" in
       Metrics.Table.add_row table
         [ Metrics.Units.percent f; show strict_ok; show over_ok ])
-    fractions;
+    rows;
   Report.make ~id:"E6" ~title:"fork forces memory overcommit"
     [
       Report.Table

@@ -1,1 +1,1 @@
-lib/vmem/addr_space.ml: Addr Cost Format Frame List Page_table Perm Pte Region_map Tlb Vma
+lib/vmem/addr_space.ml: Addr Array Cost Format Frame List Page_table Perm Pte Region_map Tlb Vma

@@ -1,1 +1,1 @@
-lib/vmem/addr_space.mli: Cost Format Frame Perm Tlb Vma
+lib/vmem/addr_space.mli: Cost Format Frame Perm Pte Tlb Vma

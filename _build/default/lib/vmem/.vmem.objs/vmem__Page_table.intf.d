@@ -1,1 +1,1 @@
-lib/vmem/page_table.mli: Cost Frame Pte
+lib/vmem/page_table.mli: Cost Frame Perm Pte

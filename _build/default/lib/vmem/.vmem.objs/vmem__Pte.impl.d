@@ -1,1 +1,1 @@
-lib/vmem/pte.ml: Format Perm
+lib/vmem/pte.ml: Array Format Perm

@@ -1,1 +1,1 @@
-lib/vmem/region_map.ml: Int List Map Option Stdlib
+lib/vmem/region_map.ml: Int List Map Option Seq

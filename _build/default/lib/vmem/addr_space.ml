@@ -10,11 +10,15 @@ type t = {
   mutable heap : (int * int) option;  (** (base, brk) — brk grows upward *)
   mutable committed : int;  (** pages this AS has charged to Frame.commit *)
   mutable dead : bool;
+  batched : bool;
+      (** range-batched hot paths; [false] keeps the per-page reference
+          walks as the oracle the batched paths are tested against *)
 }
 
 let default_mmap_base = 0x7000_0000_0000
 
-let create ?(mmap_base = default_mmap_base) ~frames ~cost ~tlb () =
+let create ?(mmap_base = default_mmap_base) ?(batched = true) ~frames ~cost
+    ~tlb () =
   if not (Addr.is_page_aligned mmap_base) || not (Addr.valid mmap_base) then
     invalid_arg "Addr_space.create: bad mmap_base";
   {
@@ -27,6 +31,7 @@ let create ?(mmap_base = default_mmap_base) ~frames ~cost ~tlb () =
     heap = None;
     committed = 0;
     dead = false;
+    batched;
   }
 
 let frames t = t.frames
@@ -86,16 +91,21 @@ let mmap ?addr ?(shared = false) ~len ~perm ~kind t =
 (* Release the frames mapped under [start, stop) and return how many
    pages were resident. *)
 let release_pages t ~start ~stop =
-  let released = ref 0 in
   let vpn0 = Addr.page_number start and vpn1 = Addr.page_number (stop - 1) in
-  for vpn = vpn0 to vpn1 do
-    let pte = Page_table.unmap t.pt ~vpn in
-    if Pte.present pte then begin
-      ignore (Frame.decref t.frames (Pte.frame pte));
-      incr released
-    end
-  done;
-  !released
+  if t.batched then
+    Page_table.unmap_range t.pt ~vpn0 ~vpn1 ~f:(fun pte ->
+        ignore (Frame.decref t.frames (Pte.frame pte)))
+  else begin
+    let released = ref 0 in
+    for vpn = vpn0 to vpn1 do
+      let pte = Page_table.unmap t.pt ~vpn in
+      if Pte.present pte then begin
+        ignore (Frame.decref t.frames (Pte.frame pte));
+        incr released
+      end
+    done;
+    !released
+  end
 
 let munmap t ~addr ~len =
   alive t "Addr_space.munmap";
@@ -149,14 +159,18 @@ let protect t ~addr ~len ~perm =
       t.regions <- regions;
       (* downgrade/upgrade PTEs; COW pages keep write off *)
       let vpn0 = Addr.page_number addr and vpn1 = Addr.page_number (stop - 1) in
-      for vpn = vpn0 to vpn1 do
-        ignore
-          (Page_table.update t.pt ~vpn (fun pte ->
-               let p =
-                 if Pte.cow pte then { perm with Perm.write = false } else perm
-               in
-               Pte.with_perm pte p))
-      done;
+      let repermit pte =
+        let p =
+          if Pte.cow pte then { perm with Perm.write = false } else perm
+        in
+        Pte.with_perm pte p
+      in
+      if t.batched then
+        ignore (Page_table.protect_range t.pt ~vpn0 ~vpn1 ~f:repermit)
+      else
+        for vpn = vpn0 to vpn1 do
+          ignore (Page_table.update t.pt ~vpn repermit)
+        done;
       Tlb.shootdown t.tlb;
       Ok ()
     end
@@ -289,8 +303,135 @@ let fault t ~addr ~write =
 
 let touch t addr = fault t ~addr ~write:true
 
+exception Fault_stop of fault_error
+
+(* Batched write-fault of [vpn0, vpn1], all inside one VMA whose
+   permission allows writes: the same per-page state transitions as
+   [fault ~write:true], but each leaf is located once and the cost
+   meter is charged once per category for the whole range (all cost
+   parameters are integer-valued floats, so one charge of n*c equals n
+   charges of c exactly, and event counts are summed either way). *)
+let touch_covered_batched t ~rperm ~vpn0 ~vpn1 ~count =
+  let p = params t in
+  let n_base = ref 0 and n_zero = ref 0 and n_reuse = ref 0 in
+  let n_copy = ref 0 and n_invlpg = ref 0 in
+  let flush_charges () =
+    if !n_base > 0 then
+      Cost.charge ~n:!n_base t.cost "fault:base"
+        (p.Cost.fault_base *. float_of_int !n_base);
+    if !n_zero > 0 then
+      Cost.charge ~n:!n_zero t.cost "fault:zero-fill"
+        (p.Cost.frame_zero *. float_of_int !n_zero);
+    if !n_reuse > 0 then Cost.charge ~n:!n_reuse t.cost "fault:cow-reuse" 0.0;
+    if !n_copy > 0 then
+      Cost.charge ~n:!n_copy t.cost "fault:cow-copy"
+        (p.Cost.frame_copy *. float_of_int !n_copy);
+    Tlb.invalidate_pages t.tlb ~n:!n_invlpg
+  in
+  let oom () =
+    flush_charges ();
+    raise (Fault_stop `Out_of_memory)
+  in
+  (* demand-fill a run of [n] absent pages starting at [entries.(i0)];
+     the failing page of a short allocation still pays fault_base, like
+     the per-page walk, and a wholly-failed run creates no leaf *)
+  let fill ~n ~get_entries ~i0 =
+    let frames = Frame.alloc_upto t.frames n in
+    let m = Array.length frames in
+    n_base := !n_base + m;
+    n_zero := !n_zero + m;
+    if m > 0 then begin
+      let entries = get_entries () in
+      Pte.blit_run ~frames ~n:m ~perm:rperm entries ~at:i0;
+      Page_table.note_mapped t.pt m;
+      count := !count + m
+    end;
+    if m < n then begin
+      incr n_base;
+      oom ()
+    end
+  in
+  Page_table.fold_leaves t.pt ~vpn0 ~vpn1 ~init:()
+    ~missing:(fun () ~vpn ~span ~materialize ->
+      fill ~n:span ~get_entries:materialize
+        ~i0:(vpn land (Addr.entries_per_table - 1)))
+    ~leaf:(fun () ~base:_ ~entries:_ ~lo ~hi ~writable ->
+      let entries = writable () in
+      let i = ref lo in
+      while !i <= hi do
+        let pte = entries.(!i) in
+        if not (Pte.present pte) then begin
+          let j = ref (!i + 1) in
+          while !j <= hi && not (Pte.present entries.(!j)) do
+            incr j
+          done;
+          fill ~n:(!j - !i) ~get_entries:(fun () -> entries) ~i0:!i;
+          i := !j
+        end
+        else begin
+          (if (Pte.perm pte).Perm.write then
+             (* plain write hit: reference bits only, no charge *)
+             entries.(!i) <- Pte.mark_dirty (Pte.mark_accessed pte)
+           else if Pte.cow pte then begin
+             let frame = Pte.frame pte in
+             incr n_base;
+             if Frame.refcount t.frames frame = 1 then begin
+               (* last sharer: take the page back in place *)
+               incr n_reuse;
+               entries.(!i) <- Pte.with_cow (Pte.with_perm pte rperm) false;
+               incr n_invlpg
+             end
+             else begin
+               match Frame.alloc t.frames with
+               | Error `Out_of_memory -> oom ()
+               | Ok fresh ->
+                 incr n_copy;
+                 Frame.copy_contents t.frames ~src:frame ~dst:fresh;
+                 ignore (Frame.decref t.frames frame);
+                 entries.(!i) <- Pte.make ~frame:fresh ~perm:rperm ();
+                 incr n_invlpg
+             end
+           end
+           else begin
+             (* stale protection: refresh in place *)
+             incr n_base;
+             entries.(!i) <- Pte.with_perm pte rperm;
+             incr n_invlpg
+           end);
+          incr count;
+          incr i
+        end
+      done);
+  flush_charges ()
+
+let touch_range_batched t ~addr ~len =
+  let vpn1 = Addr.page_number (addr + len - 1) in
+  let count = ref 0 in
+  try
+    let vpn = ref (Addr.page_number addr) in
+    while !vpn <= vpn1 do
+      let a = Addr.addr_of_page !vpn in
+      if not (Addr.valid a) then raise (Fault_stop `Segfault);
+      match Region_map.find_containing a t.regions with
+      | None -> raise (Fault_stop `Segfault)
+      | Some (_, e, vma) ->
+        if not (Perm.allows vma.Vma.perm { Perm.none with Perm.write = true })
+        then raise (Fault_stop `Perm_denied);
+        let sub_end = min vpn1 (Addr.page_number (e - 1)) in
+        touch_covered_batched t ~rperm:vma.Vma.perm ~vpn0:!vpn ~vpn1:sub_end
+          ~count;
+        vpn := sub_end + 1
+    done;
+    Ok !count
+  with Fault_stop err -> Error err
+
 let touch_range t ~addr ~len =
   if len <= 0 then Ok 0
+  else if t.batched then begin
+    (* the per-page walk hits [fault]'s liveness check on page one *)
+    alive t "Addr_space.fault";
+    touch_range_batched t ~addr ~len
+  end
   else begin
     let vpn0 = Addr.page_number addr in
     let vpn1 = Addr.page_number (addr + len - 1) in
@@ -350,6 +491,7 @@ let clone_common t ~pt ~committed_charge =
     heap = t.heap;
     committed = committed_charge;
     dead = false;
+    batched = t.batched;
   }
 
 (* After a COW page-table copy, pages of *shared* VMAs must not be COW:
@@ -373,6 +515,16 @@ let fixup_shared t child_pt =
       end)
     t.regions
 
+(* Page ranges of shared VMAs, ascending and disjoint, with the region
+   permission their PTEs must keep across a fork. *)
+let shared_ranges t =
+  List.filter_map
+    (fun (s, e, vma) ->
+      if vma.Vma.shared then
+        Some (Addr.page_number s, Addr.page_number (e - 1), vma.Vma.perm)
+      else None)
+    (Region_map.to_list t.regions)
+
 let clone_cow t =
   alive t "Addr_space.clone_cow";
   let p = params t in
@@ -384,8 +536,18 @@ let clone_cow t =
   | Ok () ->
     Cost.charge ~n:(Region_map.cardinal t.regions) t.cost "fork:vma"
       (p.Cost.vma_clone *. float_of_int (Region_map.cardinal t.regions));
-    let child_pt = Page_table.clone_cow t.pt ~frames:t.frames ~cost:t.cost in
-    fixup_shared t child_pt;
+    let child_pt =
+      if t.batched then
+        (* lazy subtree sharing; the shared-VMA fixup is fused into the
+           clone's single leaf pass *)
+        Page_table.clone_cow_shared t.pt ~frames:t.frames ~cost:t.cost
+          ~shared:(shared_ranges t)
+      else begin
+        let pt = Page_table.clone_cow t.pt ~frames:t.frames ~cost:t.cost in
+        fixup_shared t pt;
+        pt
+      end
+    in
     Tlb.shootdown t.tlb;
     Ok (clone_common t ~pt:child_pt ~committed_charge:t.committed)
 
@@ -446,6 +608,9 @@ let destroy t =
     t.heap <- None;
     t.dead <- true
   end
+
+let fold_resident t ~init ~f =
+  Page_table.fold_present t.pt ~init ~f:(fun acc ~vpn pte -> f acc ~vpn ~pte)
 
 let resident_pages t = Page_table.present_count t.pt
 let committed_pages t = t.committed

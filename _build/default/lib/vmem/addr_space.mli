@@ -11,9 +11,21 @@ type fault_error = [ `Segfault | `Perm_denied | `Out_of_memory ]
 
 type t
 
-val create : ?mmap_base:int -> frames:Frame.t -> cost:Cost.t -> tlb:Tlb.t -> unit -> t
+val create :
+  ?mmap_base:int ->
+  ?batched:bool ->
+  frames:Frame.t ->
+  cost:Cost.t ->
+  tlb:Tlb.t ->
+  unit ->
+  t
 (** A fresh, empty address space. [mmap_base] is where unhinted mmaps are
-    placed (the ASLR knob; default [0x7000_0000_0000]).
+    placed (the ASLR knob; default [0x7000_0000_0000]). [batched]
+    (default true) selects the O(range) fast paths — leaf-level batch
+    operations and lazily shared page-table subtrees on fork; [false]
+    keeps the original per-page walks, which charge the identical
+    modelled cost and serve as the test oracle for the batched paths.
+    Clones inherit the flag.
     @raise Invalid_argument if [mmap_base] is not page-aligned or out of
     range. *)
 
@@ -89,6 +101,12 @@ val clone_eager : t -> (t, [> `Commit_limit | `Out_of_memory ]) result
 val destroy : t -> unit
 (** Release every frame and commit charge. Idempotent; using a destroyed
     address space raises [Invalid_argument]. *)
+
+val fold_resident :
+  t -> init:'a -> f:('a -> vpn:int -> pte:Pte.t -> 'a) -> 'a
+(** Ascending fold over the present PTEs — introspection for tests
+    (the batched-vs-reference oracle compares exact table contents)
+    and debugging. *)
 
 val resident_pages : t -> int
 val committed_pages : t -> int

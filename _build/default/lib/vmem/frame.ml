@@ -2,28 +2,49 @@ type policy = Strict | Overcommit
 
 type frame = int
 
+(* Refcounts are byte-packed: values 0..254 live directly in [refcounts];
+   the sentinel 255 means the true count (>= 255) is in [spill]. Sweeps
+   allocate tens of millions of frames per boot, so the count store must
+   be one byte per frame, not one word. *)
+let spilled = 255
+
+(* The free list is a LIFO stack, run-compressed: teardown frees frames
+   in long ascending bursts, so the stack stores (lo, hi) runs where the
+   pushes arrived as lo, lo+1, ..., hi. Popping a run yields hi, hi-1,
+   ..., lo — exactly the reverse-push order a flat stack would give.
+   Pushes that don't extend the top run just open a new one, so
+   arbitrary free patterns degrade to one run per frame, never worse
+   than the flat representation. *)
 type t = {
   nframes : int;
-  refcounts : int array;
+  refcounts : Bytes.t;
+  spill : (int, int) Hashtbl.t;  (** true refcounts >= 255 *)
   mutable next_fresh : int;  (** frames >= this have never been handed out *)
-  mutable free_stack : int list;  (** freed frames available for reuse *)
+  mutable run_lo : int array;  (** free-stack run starts *)
+  mutable run_hi : int array;  (** free-stack run ends (inclusive) *)
+  mutable run_top : int;  (** number of live runs *)
   mutable used : int;
   mutable committed : int;
   mutable policy : policy;
   data : (int, Bytes.t) Hashtbl.t;  (** materialised contents *)
+  mutable data_max : int;  (** no frame above this ever had contents *)
 }
 
 let create ?(policy = Strict) ~frames () =
   if frames <= 0 then invalid_arg "Frame.create: frames <= 0";
   {
     nframes = frames;
-    refcounts = Array.make frames 0;
+    refcounts = Bytes.make frames '\000';
+    spill = Hashtbl.create 16;
     next_fresh = 0;
-    free_stack = [];
+    run_lo = [||];
+    run_hi = [||];
+    run_top = 0;
     used = 0;
     committed = 0;
     policy;
     data = Hashtbl.create 64;
+    data_max = -1;
   }
 
 let policy t = t.policy
@@ -32,44 +53,148 @@ let total t = t.nframes
 let used t = t.used
 let free t = t.nframes - t.used
 
+let rc_get t f = Char.code (Bytes.unsafe_get t.refcounts f)
+let rc_set t f v = Bytes.unsafe_set t.refcounts f (Char.unsafe_chr v)
+
 let check_frame t f name =
-  if f < 0 || f >= t.nframes || t.refcounts.(f) = 0 then
+  if f < 0 || f >= t.nframes || rc_get t f = 0 then
     invalid_arg (name ^ ": unallocated frame")
 
+let push_free t f =
+  if t.run_top > 0 && t.run_hi.(t.run_top - 1) + 1 = f then
+    t.run_hi.(t.run_top - 1) <- f
+  else begin
+    if t.run_top = Array.length t.run_lo then begin
+      let cap = max 256 (2 * Array.length t.run_lo) in
+      let lo = Array.make cap 0 and hi = Array.make cap 0 in
+      Array.blit t.run_lo 0 lo 0 t.run_top;
+      Array.blit t.run_hi 0 hi 0 t.run_top;
+      t.run_lo <- lo;
+      t.run_hi <- hi
+    end;
+    t.run_lo.(t.run_top) <- f;
+    t.run_hi.(t.run_top) <- f;
+    t.run_top <- t.run_top + 1
+  end
+
 let alloc t =
-  match t.free_stack with
-  | f :: rest ->
-    t.free_stack <- rest;
-    t.refcounts.(f) <- 1;
+  if t.run_top > 0 then begin
+    let r = t.run_top - 1 in
+    let f = t.run_hi.(r) in
+    if f = t.run_lo.(r) then t.run_top <- r else t.run_hi.(r) <- f - 1;
+    rc_set t f 1;
     t.used <- t.used + 1;
     Ok f
-  | [] ->
-    if t.next_fresh >= t.nframes then Error `Out_of_memory
-    else begin
-      let f = t.next_fresh in
-      t.next_fresh <- t.next_fresh + 1;
-      t.refcounts.(f) <- 1;
-      t.used <- t.used + 1;
-      Ok f
-    end
+  end
+  else if t.next_fresh >= t.nframes then Error `Out_of_memory
+  else begin
+    let f = t.next_fresh in
+    t.next_fresh <- t.next_fresh + 1;
+    rc_set t f 1;
+    t.used <- t.used + 1;
+    Ok f
+  end
+
+let alloc_upto t n =
+  if n < 0 then invalid_arg "Frame.alloc_upto: negative count";
+  let out = Array.make n 0 in
+  (* recycled frames first, newest-freed first — the exact order [n]
+     successive allocs would produce *)
+  let k = ref 0 in
+  while !k < n && t.run_top > 0 do
+    let r = t.run_top - 1 in
+    let lo = t.run_lo.(r) and hi = t.run_hi.(r) in
+    let take = min (n - !k) (hi - lo + 1) in
+    for i = 0 to take - 1 do
+      let f = hi - i in
+      out.(!k + i) <- f;
+      rc_set t f 1
+    done;
+    if take = hi - lo + 1 then t.run_top <- r else t.run_hi.(r) <- hi - take;
+    k := !k + take
+  done;
+  let fresh = min (n - !k) (t.nframes - t.next_fresh) in
+  for i = 0 to fresh - 1 do
+    out.(!k + i) <- t.next_fresh + i;
+    rc_set t (t.next_fresh + i) 1
+  done;
+  t.next_fresh <- t.next_fresh + fresh;
+  k := !k + fresh;
+  t.used <- t.used + !k;
+  if !k = n then out else Array.sub out 0 !k
+
+let incref_spilling t f c =
+  if c = spilled - 1 then begin
+    rc_set t f spilled;
+    Hashtbl.replace t.spill f spilled
+  end
+  else Hashtbl.replace t.spill f (Hashtbl.find t.spill f + 1)
 
 let incref t f =
   check_frame t f "Frame.incref";
-  t.refcounts.(f) <- t.refcounts.(f) + 1
+  let c = rc_get t f in
+  if c < spilled - 1 then rc_set t f (c + 1) else incref_spilling t f c
+
+let decref_spilled t f =
+  let v = Hashtbl.find t.spill f - 1 in
+  if v < spilled then begin
+    Hashtbl.remove t.spill f;
+    rc_set t f v
+  end
+  else Hashtbl.replace t.spill f v
 
 let decref t f =
   check_frame t f "Frame.decref";
-  t.refcounts.(f) <- t.refcounts.(f) - 1;
-  if t.refcounts.(f) = 0 then begin
-    Hashtbl.remove t.data f;
-    t.free_stack <- f :: t.free_stack;
-    t.used <- t.used - 1;
-    true
+  let c = rc_get t f in
+  if c = spilled then begin
+    decref_spilled t f;
+    false
   end
-  else false
+  else begin
+    rc_set t f (c - 1);
+    if c = 1 then begin
+      if f <= t.data_max then Hashtbl.remove t.data f;
+      push_free t f;
+      t.used <- t.used - 1;
+      true
+    end
+    else false
+  end
+
+let incref_many t fs n =
+  if n < 0 || n > Array.length fs then invalid_arg "Frame.incref_many";
+  for i = 0 to n - 1 do
+    let f = Array.unsafe_get fs i in
+    if f < 0 || f >= t.nframes then check_frame t f "Frame.incref";
+    let c = rc_get t f in
+    if c = 0 then check_frame t f "Frame.incref"
+    else if c < spilled - 1 then rc_set t f (c + 1)
+    else incref_spilling t f c
+  done
+
+let decref_many t fs n =
+  if n < 0 || n > Array.length fs then invalid_arg "Frame.decref_many";
+  for i = 0 to n - 1 do
+    let f = Array.unsafe_get fs i in
+    if f < 0 || f >= t.nframes then check_frame t f "Frame.decref";
+    let c = rc_get t f in
+    if c = 1 then begin
+      rc_set t f 0;
+      if f <= t.data_max then Hashtbl.remove t.data f;
+      push_free t f;
+      t.used <- t.used - 1
+    end
+    else if c = 0 then check_frame t f "Frame.decref"
+    else if c < spilled then rc_set t f (c - 1)
+    else decref_spilled t f
+  done
 
 let refcount t f =
-  if f < 0 || f >= t.nframes then 0 else t.refcounts.(f)
+  if f < 0 || f >= t.nframes then 0
+  else
+    match rc_get t f with
+    | c when c = spilled -> Hashtbl.find t.spill f
+    | c -> c
 
 let commit t pages =
   if pages < 0 then invalid_arg "Frame.commit: negative";
@@ -96,6 +221,7 @@ let contents t f =
   | None ->
     let b = Bytes.make Addr.page_size '\000' in
     Hashtbl.add t.data f b;
+    if f > t.data_max then t.data_max <- f;
     b
 
 let write_byte t f ~off v =
@@ -131,4 +257,6 @@ let copy_contents t ~src ~dst =
   check_frame t dst "Frame.copy_contents";
   match Hashtbl.find_opt t.data src with
   | None -> ()
-  | Some b -> Hashtbl.replace t.data dst (Bytes.copy b)
+  | Some b ->
+    Hashtbl.replace t.data dst (Bytes.copy b);
+    if dst > t.data_max then t.data_max <- dst

@@ -35,6 +35,13 @@ val free : t -> int
 val alloc : t -> (frame, [> `Out_of_memory ]) result
 (** Allocate a zero-filled frame with refcount 1. *)
 
+val alloc_upto : t -> int -> frame array
+(** [alloc_upto t n] allocates up to [n] frames (each refcount 1) in
+    exactly the order [n] successive {!alloc} calls would have produced
+    — recycled frames newest-freed first, then fresh ones ascending.
+    The result is shorter than [n] when memory runs out (possibly
+    empty); no error is raised. *)
+
 val incref : t -> frame -> unit
 (** @raise Invalid_argument on an unallocated frame. *)
 
@@ -42,6 +49,17 @@ val decref : t -> frame -> bool
 (** Drop one reference; returns [true] when this freed the frame (its
     contents are discarded). @raise Invalid_argument on an unallocated
     frame. *)
+
+val incref_many : t -> frame array -> int -> unit
+(** [incref_many t fs n] is {!incref} on [fs.(0..n-1)] in order, in one
+    call (the fork pass increfs every resident frame).
+    @raise Invalid_argument like {!incref}, or on a bad [n]. *)
+
+val decref_many : t -> frame array -> int -> unit
+(** [decref_many t fs n] is {!decref} on [fs.(0..n-1)] in order, in one
+    call, discarding the per-frame results (teardown drops whole leaves
+    at a time). @raise Invalid_argument like {!decref}, or on a bad
+    [n]. *)
 
 val refcount : t -> frame -> int
 (** 0 for unallocated frames. *)

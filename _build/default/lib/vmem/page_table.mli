@@ -4,7 +4,15 @@
     cost proportional to the parent's address-space size: {!clone_cow}
     walks and copies every table page containing a present entry, which
     is exactly what a COW fork must do, while a freshly spawned process
-    starts from an empty table. *)
+    starts from an empty table.
+
+    The harness-side representation is decoupled from the modelled cost:
+    table nodes are reference-counted, so {!clone_cow_shared} can charge
+    the full modelled copy while actually sharing untouched subtrees
+    between parent and child, privatising them only when written. Range
+    operations ({!map_range}, {!unmap_range}, {!protect_range},
+    {!fold_leaves}) locate each leaf once and then work on its packed
+    PTE array directly, making hot paths O(leaves), not O(pages). *)
 
 type t
 
@@ -31,10 +39,58 @@ val present_count : t -> int
 (** Number of present leaf entries. *)
 
 val node_count : t -> int
-(** Number of table pages currently allocated, root included. *)
+(** Number of table pages this table logically owns, root included.
+    Subtrees shared with a clone count towards both tables (each was
+    charged for its copy at fork time). *)
 
 val fold_present : t -> init:'a -> f:('a -> vpn:int -> Pte.t -> 'a) -> 'a
 (** Iterate all present entries in increasing vpn order. *)
+
+val map_range : t -> vpn:int -> Pte.t array -> unit
+(** Install [ptes.(i)] at [vpn + i] for every [i], locating each leaf
+    once ([Array.blit] into fresh leaves). Equivalent to repeated
+    {!map}. @raise Invalid_argument on out-of-range vpns or absent
+    PTEs. *)
+
+val unmap_range : t -> vpn0:int -> vpn1:int -> f:(Pte.t -> unit) -> int
+(** Remove every present entry in [[vpn0, vpn1]], calling [f] on each
+    removed PTE in ascending vpn order; returns the number removed.
+    Like {!unmap}, emptied leaf nodes stay allocated. *)
+
+val protect_range : t -> vpn0:int -> vpn1:int -> f:(Pte.t -> Pte.t) -> int
+(** Apply [f] to every present entry in [[vpn0, vpn1]] in place, in
+    ascending vpn order; returns the number updated. [f] must return
+    present entries. Equivalent to {!update} on every page of the
+    range. *)
+
+val fold_leaves :
+  t ->
+  vpn0:int ->
+  vpn1:int ->
+  init:'a ->
+  missing:('a -> vpn:int -> span:int -> materialize:(unit -> int array) -> 'a) ->
+  leaf:
+    ('a ->
+    base:int ->
+    entries:int array ->
+    lo:int ->
+    hi:int ->
+    writable:(unit -> int array) ->
+    'a) ->
+  'a
+(** Leaf-granular cursor over the vpn range [[vpn0, vpn1]], ascending.
+    For each leaf position, calls [leaf] when the leaf exists —
+    [entries] is its packed PTE array, [lo..hi] the indices inside the
+    range, [base] the vpn of [entries.(0)]; treat [entries] as read-only
+    and call [writable ()] (which privatises the path) before mutating —
+    or [missing] when it doesn't, where [materialize ()] creates the
+    leaf (and any intermediate nodes) on demand. Callers that install or
+    remove entries directly must report the net present-count change via
+    {!note_mapped}. *)
+
+val note_mapped : t -> int -> unit
+(** Adjust the present-entry counter by [n] — for range fillers writing
+    through {!fold_leaves}. *)
 
 val clone_cow : t -> frames:Frame.t -> cost:Cost.t -> t
 (** Duplicate the table for a forked child: every table node is copied
@@ -42,8 +98,25 @@ val clone_cow : t -> frames:Frame.t -> cost:Cost.t -> t
     [pte_copy]); writable entries are downgraded to read-only+COW in
     {b both} parent and child, and each referenced frame's refcount is
     incremented. The caller is responsible for the parent TLB flush this
-    downgrade requires. *)
+    downgrade requires. This is the eager reference walk — the oracle
+    the batched path is tested against. *)
+
+val clone_cow_shared :
+  t ->
+  frames:Frame.t ->
+  cost:Cost.t ->
+  shared:(int * int * Perm.t) list ->
+  t
+(** Fork the table with lazy subtree sharing: charges exactly what
+    {!clone_cow} would ([pt_node_copy] per node, [pte_copy] per present
+    entry, each frame incref'd), but the child shares every node with
+    the parent until one side writes. [shared] lists the vpn ranges
+    [(lo, hi, perm)] of shared VMAs, ascending and disjoint: their pages
+    are pinned at the region permission with COW clear (the
+    {!clone_cow}-then-fixup result), all other writable pages are
+    downgraded to read-only COW in both tables. *)
 
 val clear : t -> frames:Frame.t -> int
 (** Drop every present entry, decrementing frame refcounts; returns the
-    number of entries dropped. Used by exec and process teardown. *)
+    number of entries dropped. Subtrees shared with a clone survive
+    under the other table. Used by exec and process teardown. *)

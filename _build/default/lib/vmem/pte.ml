@@ -49,6 +49,50 @@ let with_frame t f =
 let mark_accessed t = t lor bit_accessed
 let mark_dirty t = t lor bit_dirty
 
+(* Batch helpers: the simulator's range paths process pages by the
+   million, and without cross-module inlining a per-page [make] or
+   [frame] call dominates the loop, so these keep the per-page work
+   inside this module. *)
+
+let blit_run ~frames ~n ~perm dst ~at =
+  if n < 0 || n > Array.length frames || at < 0 || at + n > Array.length dst
+  then invalid_arg "Pte.blit_run";
+  if n > 0 then begin
+    let template = make ~frame:0 ~perm () in
+    for k = 0 to n - 1 do
+      Array.unsafe_set dst (at + k)
+        (template lor (Array.unsafe_get frames k lsl frame_shift))
+    done
+  end
+
+let frames_of_run src ~lo ~hi ~dst =
+  if lo < 0 || hi >= Array.length src || hi - lo >= Array.length dst then
+    invalid_arg "Pte.frames_of_run";
+  let k = ref 0 in
+  for i = lo to hi do
+    let pte = Array.unsafe_get src i in
+    if pte land bit_present <> 0 then begin
+      Array.unsafe_set dst !k (pte lsr frame_shift);
+      incr k
+    end
+  done;
+  !k
+
+let downgrade_run src ~lo ~hi ~dst =
+  if lo < 0 || hi >= Array.length src || hi - lo >= Array.length dst then
+    invalid_arg "Pte.downgrade_run";
+  let k = ref 0 in
+  for i = lo to hi do
+    let pte = Array.unsafe_get src i in
+    if pte land bit_present <> 0 then begin
+      Array.unsafe_set dst !k (pte lsr frame_shift);
+      incr k;
+      if pte land bit_write <> 0 then
+        Array.unsafe_set src i ((pte land lnot bit_write) lor bit_cow)
+    end
+  done;
+  !k
+
 let pp ppf t =
   if not (present t) then Format.pp_print_string ppf "<absent>"
   else

@@ -29,4 +29,28 @@ val mark_dirty : t -> t
 
 val frame_shift : int
 
+(** {1 Batch helpers}
+
+    The range paths of the simulator process pages by the million;
+    these keep the per-page bit work inside this module (one call per
+    leaf instead of one cross-module call per page). Each is exactly
+    equivalent to the corresponding per-page loop. *)
+
+val blit_run : frames:int array -> n:int -> perm:Perm.t -> t array -> at:int -> unit
+(** [blit_run ~frames ~n ~perm dst ~at] writes
+    [make ~frame:frames.(k) ~perm ()] into [dst.(at + k)] for
+    [k < n]. @raise Invalid_argument on out-of-bounds slices. *)
+
+val frames_of_run : t array -> lo:int -> hi:int -> dst:int array -> int
+(** Gather the frame numbers of the present entries of
+    [src.(lo..hi)] into [dst] (from index 0); returns how many were
+    present. [dst] must have room for [hi - lo + 1]. *)
+
+val downgrade_run : t array -> lo:int -> hi:int -> dst:int array -> int
+(** The fork pass over one leaf slice: gather present frame numbers
+    into [dst] like {!frames_of_run} and additionally downgrade every
+    present writable entry in place to read-only COW (the
+    accessed/dirty bits survive). Returns the number of present
+    entries. *)
+
 val pp : Format.formatter -> t -> unit

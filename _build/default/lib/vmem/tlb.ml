@@ -24,6 +24,12 @@ let shootdown t =
 let invalidate_page t =
   Cost.charge t.cost "tlb:invlpg" (Cost.params t.cost).Cost.tlb_invlpg
 
+let invalidate_pages t ~n =
+  if n < 0 then invalid_arg "Tlb.invalidate_pages: negative count";
+  if n > 0 then
+    Cost.charge ~n t.cost "tlb:invlpg"
+      ((Cost.params t.cost).Cost.tlb_invlpg *. float_of_int n)
+
 let stats t =
   {
     local_flushes = Cost.count t.cost "tlb:flush";

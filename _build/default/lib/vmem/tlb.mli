@@ -30,6 +30,11 @@ val shootdown : t -> unit
 val invalidate_page : t -> unit
 (** Single-page invalidation on the current CPU (COW break). *)
 
+val invalidate_pages : t -> n:int -> unit
+(** [n] single-page invalidations charged at once — same cycles and
+    event count as [n] {!invalidate_page} calls. No-op at [n = 0].
+    @raise Invalid_argument if [n < 0]. *)
+
 val stats : t -> stats
 (** Derived from the event counts the shared {!Cost} meter recorded
     under the ["tlb:*"] categories, so [Cost.reset] also resets these. *)

@@ -1,0 +1,1 @@
+lib/workload/par.ml: Array Atomic Domain List String Sys

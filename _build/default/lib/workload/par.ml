@@ -1,0 +1,36 @@
+let jobs () =
+  match Sys.getenv_opt "FORKROAD_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> n
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let map ?jobs:requested f xs =
+  let jobs = match requested with Some n -> n | None -> jobs () in
+  let n = List.length xs in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let items = Array.of_list xs in
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match f items.(i) with
+        | r -> results.(i) <- Some r
+        | exception e -> errors.(i) <- Some e);
+        worker ()
+      end
+    in
+    let spawned =
+      List.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    (* deterministic error choice: the earliest-indexed failure wins *)
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.to_list results
+    |> List.map (function Some r -> r | None -> assert false)
+  end

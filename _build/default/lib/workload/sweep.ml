@@ -6,7 +6,7 @@ let geometric ~base ~factor ~count =
       pow base i)
 
 let fig1_mib = [ 0; 1; 4; 16; 64; 256; 1024 ]
-let fig1_sim_mib = [ 0; 1; 4; 16; 64; 256; 1024; 4096; 16384 ]
+let fig1_sim_mib = [ 0; 1; 4; 16; 64; 256; 1024; 4096; 16384; 65536 ]
 let vma_counts = [ 1; 16; 64; 256; 1024; 4096 ]
 let thread_counts = [ 1; 2; 4; 8; 16 ]
 let pages_of_mib mib = mib * 256

@@ -1,1 +1,1 @@
-test/test_forkroad.ml: Alcotest Buffer Float Forkroad Ksim List Metrics Option Printf String Vmem
+test/test_forkroad.ml: Alcotest Buffer Float Forkroad Fun Ksim List Metrics Option Printf String Vmem Workload

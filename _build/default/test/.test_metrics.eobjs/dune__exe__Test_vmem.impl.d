@@ -1,1 +1,1 @@
-test/test_vmem.ml: Alcotest Gen Hashtbl Int List QCheck QCheck_alcotest Set Vmem
+test/test_vmem.ml: Alcotest Array Gen Hashtbl Int List Option Printf QCheck QCheck_alcotest Set Vmem

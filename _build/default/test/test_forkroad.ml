@@ -350,13 +350,35 @@ let test_exp_threads_deadlocks_happen () =
   (* at 8 threads, some of 40 random schedules must deadlock, and spawn
      never does *)
   let fork_rate =
-    Forkroad.Exp_threads.deadlock_rate ~threads:8 ~use_spawn:false ~trials:40
+    Forkroad.Exp_threads.deadlock_rate ~threads:8 ~use_spawn:false ~trials:40 ()
   in
   let spawn_rate =
-    Forkroad.Exp_threads.deadlock_rate ~threads:8 ~use_spawn:true ~trials:40
+    Forkroad.Exp_threads.deadlock_rate ~threads:8 ~use_spawn:true ~trials:40 ()
   in
   check_bool "fork deadlocks sometimes" true (fork_rate > 0.0);
   Alcotest.(check (float 0.0)) "spawn never deadlocks" 0.0 spawn_rate
+
+let test_par_deterministic () =
+  (* The domain-parallel harness must not perturb a single simulated
+     number: E3's seed sweep — one kernel boot per seed, fanned out over
+     a Par pool — yields the same rate at any worker count, and Par.map
+     itself preserves input order. *)
+  let sequential =
+    Forkroad.Exp_threads.deadlock_rate ~jobs:1 ~threads:8 ~use_spawn:false
+      ~trials:40 ()
+  in
+  let parallel =
+    Forkroad.Exp_threads.deadlock_rate ~jobs:4 ~threads:8 ~use_spawn:false
+      ~trials:40 ()
+  in
+  Alcotest.(check (float 0.0)) "jobs=1 vs jobs=4" sequential parallel;
+  let squares = Workload.Par.map ~jobs:4 (fun x -> x * x) (List.init 100 Fun.id) in
+  check_bool "Par.map keeps input order" true
+    (squares = List.init 100 (fun x -> x * x));
+  check_bool "Par.map on empty list" true (Workload.Par.map ~jobs:4 Fun.id [] = []);
+  (match Workload.Par.map ~jobs:4 (fun x -> if x = 3 then failwith "boom" else x) [ 1; 2; 3 ] with
+  | exception Failure msg -> Alcotest.(check string) "exception propagates" "boom" msg
+  | _ -> Alcotest.fail "expected Par.map to re-raise the worker's exception")
 
 let test_exp_stdio () =
   let r = run_exp "E4" in
@@ -463,6 +485,7 @@ let () =
           slow "E2" test_exp_cowtax;
           slow "E3" test_exp_threads;
           slow "E3 deadlocks happen" test_exp_threads_deadlocks_happen;
+          slow "Par determinism" test_par_deterministic;
           slow "E4" test_exp_stdio;
           slow "E5" test_exp_aslr;
           slow "E6" test_exp_overcommit;

@@ -756,6 +756,148 @@ let prop_cow_model =
       List.iter (fun (a, _) -> Vmem.Addr_space.destroy a) !live;
       consistent && Vmem.Frame.used fr = 0 && Vmem.Frame.committed fr = 0)
 
+(* ------------------------------------------------------------------ *)
+(* Batched-vs-reference oracle: the O(range) fast paths (leaf batch ops,
+   lazily shared page-table subtrees on fork) must be indistinguishable
+   from the per-page reference walks ([~batched:false]) — identical op
+   results, PTE contents, cost breakdown with event counts, and frame
+   accounting — under arbitrary interleavings of map / touch / mprotect
+   / clone / unmap, including OOM and commit-limit failures. *)
+
+type oracle_op =
+  | O_mmap of int * int * int * bool  (* page offset, pages, perm, shared *)
+  | O_touch of int * int
+  | O_protect of int * int * int
+  | O_munmap of int * int
+  | O_clone
+
+let gen_oracle_scenario =
+  QCheck.Gen.(
+    let arena = 96 in
+    let op =
+      frequency
+        [
+          ( 4,
+            map3
+              (fun off len (p, sh) -> O_mmap (off, len, p, sh))
+              (int_bound (arena - 1)) (1 -- 16)
+              (pair (int_bound 2) bool) );
+          (6, map2 (fun off len -> O_touch (off, len)) (int_bound (arena - 1)) (1 -- 24));
+          ( 3,
+            map3
+              (fun off len p -> O_protect (off, len, p))
+              (int_bound (arena - 1)) (1 -- 16) (int_bound 2) );
+          (2, map2 (fun off len -> O_munmap (off, len)) (int_bound (arena - 1)) (1 -- 24));
+          (2, return O_clone);
+        ]
+    in
+    triple (list_size (1 -- 45) op) bool bool)
+
+let prop_batched_oracle =
+  let perm_of = [| Vmem.Perm.r; Vmem.Perm.rw; Vmem.Perm.rwx |] in
+  let show_fault = function
+    | `Segfault -> "segv"
+    | `Perm_denied -> "perm"
+    | `Out_of_memory -> "oom"
+  in
+  QCheck.Test.make ~count:200
+    ~name:"addr space: batched paths match the per-page oracle"
+    (QCheck.make gen_oracle_scenario)
+    (fun (ops, small_phys, overcommit) ->
+      let make batched =
+        let fr =
+          Vmem.Frame.create
+            ~policy:(if overcommit then Vmem.Frame.Overcommit else Vmem.Frame.Strict)
+            ~frames:(if small_phys then 48 else 4096)
+            ()
+        in
+        let cost = Vmem.Cost.create () in
+        let tlb = Vmem.Tlb.create cost in
+        (fr, cost, Vmem.Addr_space.create ~batched ~frames:fr ~cost ~tlb (), ref None)
+      in
+      let fast = make true in
+      let slow = make false in
+      let ptes a =
+        Vmem.Addr_space.fold_resident a ~init:[] ~f:(fun acc ~vpn ~pte ->
+            (vpn, pte) :: acc)
+      in
+      let state (fr, cost, a, child) =
+        ( Vmem.Cost.total cost,
+          List.sort compare (Vmem.Cost.by_category_counts cost),
+          (Vmem.Frame.used fr, Vmem.Frame.committed fr),
+          ( Vmem.Addr_space.resident_pages a,
+            Vmem.Addr_space.pt_nodes a,
+            Vmem.Addr_space.vma_count a ),
+          ptes a,
+          Option.map ptes !child )
+      in
+      let apply (fr, _, a, child) op =
+        let base = Vmem.Addr_space.mmap_base a in
+        ignore fr;
+        match op with
+        | O_mmap (off, len, p, shared) -> (
+          match
+            Vmem.Addr_space.mmap ~addr:(base + (off * page)) ~shared
+              ~len:(len * page) ~perm:perm_of.(p) ~kind:Vmem.Vma.Anon a
+          with
+          | Ok x -> Printf.sprintf "mmap:%x" x
+          | Error `No_space -> "mmap:nospace"
+          | Error `Overlap -> "mmap:overlap"
+          | Error `Commit_limit -> "mmap:commit"
+          | Error `Invalid -> "mmap:invalid")
+        | O_touch (off, len) -> (
+          match
+            Vmem.Addr_space.touch_range a ~addr:(base + (off * page))
+              ~len:(len * page)
+          with
+          | Ok n -> Printf.sprintf "touch:%d" n
+          | Error e -> "touch:" ^ show_fault e)
+        | O_protect (off, len, p) -> (
+          match
+            Vmem.Addr_space.protect a ~addr:(base + (off * page))
+              ~len:(len * page) ~perm:perm_of.(p)
+          with
+          | Ok () -> "protect:ok"
+          | Error `Invalid -> "protect:invalid"
+          | Error `No_region -> "protect:noregion")
+        | O_munmap (off, len) -> (
+          match
+            Vmem.Addr_space.munmap a ~addr:(base + (off * page))
+              ~len:(len * page)
+          with
+          | Ok () -> "munmap:ok"
+          | Error `Invalid -> "munmap:invalid")
+        | O_clone -> (
+          (match !child with
+          | Some c ->
+            Vmem.Addr_space.destroy c;
+            child := None
+          | None -> ());
+          match Vmem.Addr_space.clone_cow a with
+          | Ok c ->
+            child := Some c;
+            "clone:ok"
+          | Error `Commit_limit -> "clone:commit"
+          | Error `Out_of_memory -> "clone:oom")
+      in
+      List.iteri
+        (fun i op ->
+          let rf = apply fast op in
+          let rs = apply slow op in
+          if rf <> rs then
+            Alcotest.failf "op %d: result mismatch (batched %s, oracle %s)" i
+              rf rs;
+          if state fast <> state slow then
+            Alcotest.failf "op %d (%s): state diverged" i rf)
+        ops;
+      let finish (fr, _, a, child) =
+        (match !child with Some c -> Vmem.Addr_space.destroy c | None -> ());
+        Vmem.Addr_space.destroy a;
+        (Vmem.Frame.used fr, Vmem.Frame.committed fr)
+      in
+      let uf = finish fast and us = finish slow in
+      uf = us && uf = (0, 0))
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 let tc n f = Alcotest.test_case n `Quick f
 
@@ -827,5 +969,6 @@ let () =
           tc "map image page" test_as_map_image_page;
           tc "oom fault" test_as_oom_fault;
         ] );
-      qsuite "addr-space-props" [ prop_as_fork_refcounts; prop_cow_model ];
+      qsuite "addr-space-props"
+        [ prop_as_fork_refcounts; prop_cow_model; prop_batched_oracle ];
     ]

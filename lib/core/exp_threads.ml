@@ -52,12 +52,17 @@ let trial ~threads ~use_spawn ~seed =
   | Ksim.Kernel.Stalled _ -> true
   | Ksim.Kernel.All_exited | Ksim.Kernel.Tick_limit -> false
 
-let deadlock_rate ~threads ~use_spawn ~trials =
-  let deadlocks = ref 0 in
-  for seed = 1 to trials do
-    if trial ~threads ~use_spawn ~seed then incr deadlocks
-  done;
-  float_of_int !deadlocks /. float_of_int trials
+(* Each trial boots its own kernel, so seeds fan out across domains;
+   results come back in seed order, making the rate identical for any
+   [jobs] (the Par determinism test exercises exactly this sweep). *)
+let deadlock_rate ?jobs ~threads ~use_spawn ~trials () =
+  let outcomes =
+    Workload.Par.map ?jobs
+      (fun seed -> trial ~threads ~use_spawn ~seed)
+      (List.init trials (fun i -> i + 1))
+  in
+  let deadlocks = List.length (List.filter Fun.id outcomes) in
+  float_of_int deadlocks /. float_of_int trials
 
 let run ~quick =
   let trials = if quick then 30 else 200 in
@@ -69,7 +74,7 @@ let run ~quick =
         List.map
           (fun threads ->
             ( float_of_int threads,
-              100.0 *. deadlock_rate ~threads ~use_spawn ~trials ))
+              100.0 *. deadlock_rate ~threads ~use_spawn ~trials () ))
           thread_counts;
     }
   in

@@ -10,7 +10,7 @@ let run ~quick =
     [ Strategy.Fork_only; Strategy.Fork_eager; Strategy.Posix_spawn ]
   in
   let measurements =
-    List.map
+    Workload.Par.map
       (fun s -> (s, Sim_driver.creation_cost ~strategy:s ~heap_mib ()))
       strategies
   in

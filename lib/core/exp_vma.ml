@@ -12,7 +12,7 @@ let run ~quick =
     {
       Metrics.Series.label = Strategy.name strategy;
       points =
-        List.map (fun v -> (float_of_int v, point strategy v)) counts;
+        Workload.Par.map (fun v -> (float_of_int v, point strategy v)) counts;
     }
   in
   let fig =

@@ -21,25 +21,30 @@ let mem point m = Option.is_some (find_containing point m)
 
 let overlapping ~start ~stop m =
   check_range start stop "Region_map.overlapping";
-  (* candidates: the interval containing [start] plus all intervals whose
-     start lies in [start, stop) *)
-  let before =
-    match find_containing start m with Some iv -> [ iv ] | None -> []
+  (* the interval containing [start] plus all intervals whose start lies
+     in [start, stop): walk the map from the containing interval (or the
+     first at/after [start]) instead of folding the whole map *)
+  let from =
+    match find_containing start m with Some (s, _, _) -> s | None -> start
   in
-  let inside =
-    Imap.fold
-      (fun s (e, v) acc -> if s >= start && s < stop then (s, e, v) :: acc else acc)
-      m []
-    |> List.rev
+  let rec collect seq acc =
+    match seq () with
+    | Seq.Cons ((s, (e, v)), rest) when s < stop ->
+      collect rest ((s, e, v) :: acc)
+    | Seq.Cons _ | Seq.Nil -> List.rev acc
   in
-  let all = before @ inside in
-  (* dedupe the containing interval if its start is also in range *)
-  List.sort_uniq (fun (a, _, _) (b, _, _) -> compare a b) all
+  collect (Imap.to_seq_from from m) []
 
 let add ~start ~stop v m =
   check_range start stop "Region_map.add";
-  if overlapping ~start ~stop m <> [] then Error `Overlap
-  else Ok (Imap.add start (stop, v) m)
+  let overlaps =
+    mem start m
+    ||
+    match Imap.find_first_opt (fun s -> s >= start) m with
+    | Some (s, _) -> s < stop
+    | None -> false
+  in
+  if overlaps then Error `Overlap else Ok (Imap.add start (stop, v) m)
 
 let carve ~start ~stop ~crop m =
   check_range start stop "Region_map.carve";
@@ -71,13 +76,20 @@ let iter f m = Imap.iter (fun s (e, v) -> f s e v) m
 let fold f m init = Imap.fold (fun s (e, v) acc -> f s e v acc) m init
 let to_list m = fold (fun s e v acc -> (s, e, v) :: acc) m [] |> List.rev
 
+exception Found_gap of int
+
 let find_gap ~min ~max ~len m =
   if len <= 0 then invalid_arg "Region_map.find_gap: len <= 0";
-  let rec scan pos = function
-    | [] -> if pos + len <= max then Some pos else None
-    | (s, e, _) :: rest ->
-      if pos + len <= s then Some pos else scan (Stdlib.max pos e) rest
-  in
-  scan min (to_list m)
+  (* allocation-free ascending scan; intervals below [min] neither open a
+     gap (their start is below [pos]) nor move [pos] *)
+  let pos = ref min in
+  try
+    Imap.iter
+      (fun s (e, _) ->
+        if !pos + len <= s then raise (Found_gap !pos)
+        else if e > !pos then pos := e)
+      m;
+    if !pos + len <= max then Some !pos else None
+  with Found_gap p -> Some p
 
 let total_length m = fold (fun s e _ acc -> acc + (e - s)) m 0

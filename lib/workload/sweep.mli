@@ -10,7 +10,8 @@ val fig1_mib : int list
 
 val fig1_sim_mib : int list
 (** The simulator sweep, extended past physical RAM:
-    [[0; 1; 4; 16; 64; 256; 1024; 4096; 16384]]. *)
+    [[0; 1; 4; 16; 64; 256; 1024; 4096; 16384; 65536]] — up to a 64 GiB
+    parent footprint. *)
 
 val vma_counts : int list
 (** E8 x-axis: [[1; 16; 64; 256; 1024; 4096]]. *)
