@@ -230,6 +230,24 @@ let run_perf_smoke () =
       Printf.printf "perf smoke: quick F1-SIM in %.0f ms (budget %.0f ms)\n"
         ms perf_budget_ms)
 
+(* Fault smoke: quick E13 (pressure curves + injected-fault retry demo)
+   must run green and emit a valid BENCH_pressure.json. The @fault-smoke
+   alias pairs this with test/test_fault.exe's invariant checker. *)
+let run_fault_smoke () =
+  let exp =
+    List.find (fun e -> e.Forkroad.Report.exp_id = "E13") Forkroad.Registry.all
+  in
+  let t0 = Unix.gettimeofday () in
+  run_experiment ~print:false ~quick:true exp;
+  let file = bench_file exp in
+  match validate_bench_file file with
+  | Ok () ->
+    Printf.printf "fault smoke: quick E13 ok, %s valid (%.1fs)\n" file
+      (Unix.gettimeofday () -. t0)
+  | Error msg ->
+    Printf.eprintf "fault smoke: %s\n" msg;
+    exit 1
+
 let () =
   (* The sim sweeps allocate page-table leaves by the tens of millions;
      the default 256 KiB minor heap spends a large fraction of the run
@@ -240,11 +258,12 @@ let () =
   let quick = List.exists (fun a -> a = "--quick" || a = "-q") args in
   let smoke = List.exists (fun a -> a = "--smoke") args in
   let perf_smoke = List.exists (fun a -> a = "--perf-smoke") args in
+  let fault_smoke = List.exists (fun a -> a = "--fault-smoke") args in
   let selectors =
     List.filter
       (fun a ->
         a <> "--quick" && a <> "-q" && a <> "--" && a <> "--smoke"
-        && a <> "--perf-smoke")
+        && a <> "--perf-smoke" && a <> "--fault-smoke")
       args
     |> List.map String.lowercase_ascii
   in
@@ -255,6 +274,7 @@ let () =
   in
   if smoke then run_smoke ()
   else if perf_smoke then run_perf_smoke ()
+  else if fault_smoke then run_fault_smoke ()
   else if micro_only then run_bechamel ()
   else begin
     if selectors = [] then run_bechamel ();

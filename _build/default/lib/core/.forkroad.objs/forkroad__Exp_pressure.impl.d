@@ -1,0 +1,1 @@
+lib/core/exp_pressure.ml: Ksim List Metrics Option Printf Procbuilder Report Sim_driver Vmem Workload

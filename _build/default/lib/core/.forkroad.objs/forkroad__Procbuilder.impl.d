@@ -1,1 +1,1 @@
-lib/core/procbuilder.ml: Ksim Result
+lib/core/procbuilder.ml: Float Ksim Result Spawnlib

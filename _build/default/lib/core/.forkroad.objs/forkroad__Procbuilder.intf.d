@@ -1,1 +1,1 @@
-lib/core/procbuilder.mli: Ksim Vmem
+lib/core/procbuilder.mli: Ksim Spawnlib Vmem

@@ -9,12 +9,14 @@ let page = Vmem.Addr.page_size
 let toucher_prog =
   Ksim.Program.make ~name:"/bin/toucher" (fun ~argv () ->
       (match argv with
-      | bytes :: _ when int_of_string bytes > 0 ->
-        let len = int_of_string bytes in
-        (match Ksim.Api.mmap ~len ~perm:Vmem.Perm.rw with
-        | Ok addr -> ignore (Ksim.Api.touch ~addr ~len)
-        | Error _ -> ())
-      | _ -> ());
+      | bytes :: _ -> (
+        match int_of_string_opt bytes with
+        | Some len when len > 0 -> (
+          match Ksim.Api.mmap ~len ~perm:Vmem.Perm.rw with
+          | Ok addr -> ignore (Ksim.Api.touch ~addr ~len)
+          | Error _ -> ())
+        | Some _ | None -> ())
+      | [] -> ());
       Ksim.Api.exit 0)
 
 let ok_or_die = function

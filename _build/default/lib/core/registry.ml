@@ -17,6 +17,7 @@ let all =
     Exp_builder.experiment;
     Exp_snapshot.experiment;
     Exp_thp.experiment;
+    Exp_pressure.experiment;
   ]
 
 let ids = List.map (fun e -> e.Report.exp_id) all
@@ -39,6 +40,7 @@ let slug e =
   | "E10" -> "builder"
   | "E11" -> "snapshot"
   | "E12" -> "thp"
+  | "E13" -> "pressure"
   | id ->
     String.map
       (fun c -> if c = '-' then '_' else Char.lowercase_ascii c)

@@ -57,7 +57,10 @@ let groups_of_breakdown breakdown =
 let true_prog =
   Ksim.Program.make ~name:"/bin/true" (fun ~argv:_ () -> Ksim.Api.exit 0)
 
-let run_scenario ?config ?(programs = []) body =
+(* Like {!run_scenario} but hands back the booted machine, for callers
+   that harvest state the measurement record doesn't carry (trace spans,
+   fault-injection counts, per-pid kstat). *)
+let boot_scenario ?config ?(programs = []) body =
   let init = Ksim.Program.make ~name:"/sbin/init" (fun ~argv:_ () -> body ()) in
   match
     Ksim.Kernel.boot ?config ~programs:(init :: true_prog :: programs)
@@ -65,21 +68,23 @@ let run_scenario ?config ?(programs = []) body =
   with
   | Error e ->
     invalid_arg ("Sim_driver.run_scenario: boot failed: " ^ Ksim.Errno.to_string e)
-  | Ok (t, outcome) ->
-    let cost = Ksim.Kernel.cost t in
-    let cycles = Vmem.Cost.total cost in
-    let breakdown = Vmem.Cost.by_category cost in
-    {
-      cycles;
-      ns = Vmem.Cost.cycles_to_ns cycles;
-      breakdown;
-      groups = groups_of_breakdown breakdown;
-      counters =
-        Ksim.Kstat.snapshot (Ksim.Kstat.global (Ksim.Kernel.kstat t));
-      console = Ksim.Kernel.console t;
-      outcome;
-      tlb = Vmem.Tlb.stats (Ksim.Kernel.tlb t);
-    }
+  | Ok (t, outcome) -> (t, outcome)
+
+let run_scenario ?config ?programs body =
+  let t, outcome = boot_scenario ?config ?programs body in
+  let cost = Ksim.Kernel.cost t in
+  let cycles = Vmem.Cost.total cost in
+  let breakdown = Vmem.Cost.by_category cost in
+  {
+    cycles;
+    ns = Vmem.Cost.cycles_to_ns cycles;
+    breakdown;
+    groups = groups_of_breakdown breakdown;
+    counters = Ksim.Kstat.snapshot (Ksim.Kstat.global (Ksim.Kernel.kstat t));
+    console = Ksim.Kernel.console t;
+    outcome;
+    tlb = Vmem.Tlb.stats (Ksim.Kernel.tlb t);
+  }
 
 let config_for ~heap_mib =
   {

@@ -1,1 +1,1 @@
-lib/ksim/errno.ml: Format
+lib/ksim/errno.ml: Format List

@@ -1,0 +1,1 @@
+lib/ksim/fault.ml: Errno Hashtbl List Printf Prng

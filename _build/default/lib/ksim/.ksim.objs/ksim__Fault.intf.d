@@ -1,0 +1,1 @@
+lib/ksim/fault.mli: Errno

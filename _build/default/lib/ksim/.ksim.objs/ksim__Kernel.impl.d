@@ -1,1 +1,1 @@
-lib/ksim/kernel.ml: Array Buffer Bytes Char Effect Errno Fd_table Format Hashtbl Kstat List Ofd Option Pipe Printf Prng Proc Program Queue Result String Sync Sysreq Trace Types Usignal Vfs Vmem
+lib/ksim/kernel.ml: Array Buffer Bytes Char Effect Errno Fault Fd_table Format Hashtbl Kstat List Ofd Option Pipe Printf Prng Proc Program Queue Result String Sync Sysreq Trace Types Usignal Vfs Vmem

@@ -1,1 +1,1 @@
-lib/ksim/kernel.mli: Errno Format Kstat Proc Program Trace Types Vfs Vmem
+lib/ksim/kernel.mli: Errno Fault Format Kstat Proc Program Trace Types Vfs Vmem

@@ -1,1 +1,1 @@
-lib/ksim/kstat.ml: Hashtbl List Metrics Types
+lib/ksim/kstat.ml: Fault Hashtbl List Metrics Types

@@ -1,1 +1,1 @@
-lib/ksim/kstat.mli: Hashtbl Metrics Types
+lib/ksim/kstat.mli: Fault Hashtbl Metrics Types

@@ -1,1 +1,1 @@
-lib/ksim/sysreq.ml: Effect Errno Types Usignal Vmem
+lib/ksim/sysreq.ml: Effect Errno List Types Usignal Vmem

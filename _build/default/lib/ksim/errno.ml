@@ -21,6 +21,13 @@ type t =
   | EDEADLK
   | E2BIG
 
+let all =
+  [
+    EPERM; ENOENT; ESRCH; EINTR; EBADF; ECHILD; EAGAIN; ENOMEM; EACCES;
+    EFAULT; EEXIST; ENOTDIR; EISDIR; EINVAL; EMFILE; ENOSPC; EPIPE; ENOSYS;
+    ENOEXEC; EDEADLK; E2BIG;
+  ]
+
 let to_string = function
   | EPERM -> "EPERM"
   | ENOENT -> "ENOENT"
@@ -43,6 +50,8 @@ let to_string = function
   | ENOEXEC -> "ENOEXEC"
   | EDEADLK -> "EDEADLK"
   | E2BIG -> "E2BIG"
+
+let of_string s = List.find_opt (fun e -> to_string e = s) all
 
 let message = function
   | EPERM -> "operation not permitted"

@@ -23,7 +23,14 @@ type t =
   | EDEADLK
   | E2BIG
 
+val all : t list
+(** Every constructor, in declaration order. *)
+
 val to_string : t -> string
+
+val of_string : string -> t option
+(** Inverse of {!to_string}; [None] for unknown names. *)
+
 val message : t -> string
 (** Human-readable strerror-style message. *)
 

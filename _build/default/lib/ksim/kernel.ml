@@ -9,6 +9,7 @@ type config = {
   trace_capacity : int option;
   pipe_capacity : int;
   max_fds : int;
+  fault : Fault.spec option;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     trace_capacity = None;
     pipe_capacity = 65536;
     max_fds = 256;
+    fault = None;
   }
 
 type parked =
@@ -69,6 +71,7 @@ type t = {
   rng : Prng.Splitmix.t;
   trace : Trace.t option;
   kstat : Kstat.t;
+  fault : Fault.t option;
 }
 
 let create ?(config = default_config) () =
@@ -77,10 +80,38 @@ let create ?(config = default_config) () =
   (* every cycle charge anywhere in the machine also lands in kstat,
      attributed to the pid set at dispatch time *)
   Vmem.Cost.set_observer cost (Some (Kstat.on_cost kstat));
+  let frames =
+    Vmem.Frame.create ~policy:config.commit_policy ~frames:config.phys_pages ()
+  in
+  let fault =
+    match config.fault with
+    | None -> None
+    | Some spec ->
+      let fi = Fault.create spec in
+      (* the deny hooks fire inside the frame allocator, so injected
+         memory-side failures hit every path that allocates — fork's COW
+         clone, demand faults, image loads — not just syscall entry *)
+      Vmem.Frame.set_deny_alloc frames
+        (Some
+           (fun () ->
+             Fault.on_frame_alloc fi
+             && begin
+                  Kstat.on_injection kstat Fault.Frame_alloc;
+                  true
+                end));
+      Vmem.Frame.set_deny_commit frames
+        (Some
+           (fun () ->
+             Fault.on_commit fi
+             && begin
+                  Kstat.on_injection kstat Fault.Commit;
+                  true
+                end));
+      Some fi
+  in
   {
     config;
-    frames =
-      Vmem.Frame.create ~policy:config.commit_policy ~frames:config.phys_pages ();
+    frames;
     cost;
     tlb = Vmem.Tlb.create ~cpus:config.cpus cost;
     vfs = Vfs.create ();
@@ -96,6 +127,7 @@ let create ?(config = default_config) () =
     rng = Prng.Splitmix.create ~seed:config.seed;
     trace = Option.map (fun capacity -> Trace.create ~capacity ()) config.trace_capacity;
     kstat;
+    fault;
   }
 
 let config t = t.config
@@ -109,6 +141,7 @@ let tlb t = t.tlb
 let console t = Buffer.contents (Vfs.console_buffer t.vfs)
 let trace t = t.trace
 let kstat t = t.kstat
+let fault t = t.fault
 let clock t = t.clock
 let find_proc t pid = Hashtbl.find_opt t.procs pid
 
@@ -157,7 +190,14 @@ let aslr_offset t =
 
 (* Load [prog]'s image (text, data, heap base, stack) into [aspace].
    Shared by exec, posix_spawn and Pb_start; constant in the parent's
-   size — which is the whole point. *)
+   size — which is the whole point.
+
+   Transactional: a failed load rolls back every segment it mapped and
+   the heap base, leaving [aspace] exactly as it found it. exec and
+   spawn destroy a fresh aspace on failure anyway, but Pb_start loads
+   into the embryo's {e live} address space — without rollback a
+   transient ENOMEM would leak the partial image (frames the parent can
+   never reclaim) and make any retry fail on [`Overlap]. *)
 let load_image t prog aspace =
   let p = params t in
   Vmem.Cost.charge t.cost "exec:base" p.Vmem.Cost.exec_base;
@@ -180,17 +220,30 @@ let load_image t prog aspace =
   let data_base = text_base + (text_pages * Vmem.Addr.page_size) in
   let data_pages = Program.data_pages prog in
   let heap_base = data_base + (data_pages * Vmem.Addr.page_size) in
+  (* [munmap] ignores holes, so unmapping the whole attempted span also
+     cleans up a partially mapped segment *)
+  let rollback ~heap ~stack =
+    (match stack with
+    | Some stack_base ->
+      ignore (Vmem.Addr_space.munmap aspace ~addr:stack_base ~len:stack_len)
+    | None -> ());
+    if heap then Vmem.Addr_space.reset_heap_base aspace;
+    let image_len = (text_pages + data_pages) * Vmem.Addr.page_size in
+    if image_len > 0 then
+      ignore (Vmem.Addr_space.munmap aspace ~addr:text_base ~len:image_len);
+    Error Errno.ENOMEM
+  in
   match
     map_segment ~base:text_base ~pages:text_pages ~perm:Vmem.Perm.rx
       ~kind:(Vmem.Vma.Text { path = prog.Program.name })
   with
-  | Error () -> Error Errno.ENOMEM
+  | Error () -> rollback ~heap:false ~stack:None
   | Ok () -> (
     match
       map_segment ~base:data_base ~pages:data_pages ~perm:Vmem.Perm.rw
         ~kind:(Vmem.Vma.Data { path = prog.Program.name })
     with
-    | Error () -> Error Errno.ENOMEM
+    | Error () -> rollback ~heap:false ~stack:None
     | Ok () -> (
       Vmem.Addr_space.set_heap_base aspace heap_base;
       let stack_top = stack_top_base - aslr_offset t in
@@ -200,7 +253,7 @@ let load_image t prog aspace =
           ~perm:Vmem.Perm.rw ~kind:Vmem.Vma.Stack aspace
       with
       | Error (`No_space | `Overlap | `Commit_limit | `Invalid) ->
-        Error Errno.ENOMEM
+        rollback ~heap:true ~stack:None
       | Ok _ -> (
         (* guard page below the stack: runaway growth faults instead of
            silently scribbling on whatever is mapped beneath *)
@@ -210,7 +263,7 @@ let load_image t prog aspace =
             aspace
         with
         | Error (`No_space | `Overlap | `Commit_limit | `Invalid) ->
-          Error Errno.ENOMEM
+          rollback ~heap:true ~stack:(Some stack_base)
         | Ok _ -> Ok ())))
 
 (* Build a fresh address space holding [prog]'s image. *)
@@ -1032,6 +1085,95 @@ let outcome_of : type a. a Sysreq.t -> a -> Trace.outcome option =
   | Sysreq.Atfork_list -> None
   | Sysreq.Stdio_flushed _ -> None
 
+(* How to build an injected-error reply for a request, or [None] when
+   the reply type cannot carry an errno (those are never injected). *)
+let injectable_errno : type a. a Sysreq.t -> (Errno.t -> a) option =
+ fun req ->
+  let err : type x. Errno.t -> (x, Errno.t) result = fun e -> Error e in
+  match req with
+  | Sysreq.Fork _ -> Some err
+  | Sysreq.Fork_eager _ -> Some err
+  | Sysreq.Vfork _ -> Some err
+  | Sysreq.Spawn _ -> Some err
+  | Sysreq.Exec _ -> Some err
+  | Sysreq.Waitpid _ -> Some err
+  | Sysreq.Kill _ -> Some err
+  | Sysreq.Sigaction _ -> Some err
+  | Sysreq.Open _ -> Some err
+  | Sysreq.Close _ -> Some err
+  | Sysreq.Read _ -> Some err
+  | Sysreq.Write _ -> Some err
+  | Sysreq.Dup _ -> Some err
+  | Sysreq.Dup2 _ -> Some err
+  | Sysreq.Set_cloexec _ -> Some err
+  | Sysreq.Pipe -> Some err
+  | Sysreq.Try_lock _ -> Some err
+  | Sysreq.Unlock _ -> Some err
+  | Sysreq.Mmap _ -> Some err
+  | Sysreq.Munmap _ -> Some err
+  | Sysreq.Brk _ -> Some err
+  | Sysreq.Mem_read _ -> Some err
+  | Sysreq.Mem_write _ -> Some err
+  | Sysreq.Touch _ -> Some err
+  | Sysreq.Thread_create _ -> Some err
+  | Sysreq.Mutex_lock _ -> Some err
+  | Sysreq.Mutex_unlock _ -> Some err
+  | Sysreq.Mutex_trylock _ -> Some err
+  | Sysreq.Mutex_reinit _ -> Some err
+  | Sysreq.Chdir _ -> Some err
+  | Sysreq.Pb_create -> Some err
+  | Sysreq.Pb_map _ -> Some err
+  | Sysreq.Pb_write _ -> Some err
+  | Sysreq.Pb_copy_fd _ -> Some err
+  | Sysreq.Pb_start _ -> Some err
+  | Sysreq.Getpid -> None
+  | Sysreq.Getppid -> None
+  | Sysreq.Gettid -> None
+  | Sysreq.Exit _ -> None
+  | Sysreq.Sigprocmask _ -> None
+  | Sysreq.Alarm _ -> None
+  | Sysreq.Mutex_create -> None
+  | Sysreq.Yield -> None
+  | Sysreq.Handled_signals _ -> None
+  | Sysreq.Getcwd -> None
+  | Sysreq.Atfork_register _ -> None
+  | Sysreq.Atfork_list -> None
+  | Sysreq.Stdio_flushed _ -> None
+
+(* Consult the fault schedule at dispatch: for a fallible request, an
+   armed trigger replaces the whole syscall with an [Error e] reply —
+   the handler never runs, so there is nothing to roll back. *)
+let inject_syscall : type a. t -> a Sysreq.t -> (a * Errno.t) option =
+ fun t req ->
+  match t.fault with
+  | None -> None
+  | Some fi -> (
+    match injectable_errno req with
+    | None -> None
+    | Some err -> (
+      match Fault.on_syscall fi ~kind:(Sysreq.name req) with
+      | None -> None
+      | Some e ->
+        Kstat.on_injection t.kstat Fault.Syscall;
+        Some (err e, e)))
+
+(* Frame-alloc / commit injections that fired while a handler ran, as
+   extra span args — (site, count) deltas over the whole attempt. *)
+let injection_marks t before =
+  match (t.fault, before) with
+  | Some fi, (a0, c0) ->
+    let mark name n0 n1 acc =
+      if n1 > n0 then (name, string_of_int (n1 - n0)) :: acc else acc
+    in
+    mark "injected_frame_allocs" a0 (Fault.injected fi Fault.Frame_alloc)
+      (mark "injected_commits" c0 (Fault.injected fi Fault.Commit) [])
+  | None, _ -> []
+
+let injection_counts t =
+  match t.fault with
+  | Some fi -> (Fault.injected fi Fault.Frame_alloc, Fault.injected fi Fault.Commit)
+  | None -> (0, 0)
+
 (* ------------------------------------------------------------------ *)
 (* Scheduler *)
 
@@ -1088,19 +1230,29 @@ let dispatch t (th : Proc.thread) (Proc.Pending (req, k)) =
     Kstat.on_syscall t.kstat (Sysreq.name req);
     charge_syscall t req
   end;
-  match attempt t proc th req with
-  | Reply v ->
-    if not meta then
-      record_end t ~pid:proc.Proc.pid ~tid:th.Proc.tid req ~entry_cycles
-        ~args:targs ~detail:tdetail (outcome_of req v);
-    if th.Proc.tstate = Proc.Exited then ()
-    else ready_thread t th (fun () -> Effect.Deep.continue k v)
-  | Block (why, check) -> park t th why check k ~req ~entry_cycles ~targs ~tdetail
-  | Die ->
-    (* Exec restarting the thread, or Exit: the request succeeded *)
-    if not meta then
-      record_end t ~pid:proc.Proc.pid ~tid:th.Proc.tid req ~entry_cycles
-        ~args:targs ~detail:tdetail (Some Trace.Ok_result)
+  match if meta then None else inject_syscall t req with
+  | Some (v, e) ->
+    record_end t ~pid:proc.Proc.pid ~tid:th.Proc.tid req ~entry_cycles
+      ~args:(("injected", Errno.to_string e) :: targs)
+      ~detail:tdetail (outcome_of req v);
+    ready_thread t th (fun () -> Effect.Deep.continue k v)
+  | None -> (
+    let inj0 = injection_counts t in
+    match attempt t proc th req with
+    | Reply v ->
+      if not meta then
+        record_end t ~pid:proc.Proc.pid ~tid:th.Proc.tid req ~entry_cycles
+          ~args:(injection_marks t inj0 @ targs)
+          ~detail:tdetail (outcome_of req v);
+      if th.Proc.tstate = Proc.Exited then ()
+      else ready_thread t th (fun () -> Effect.Deep.continue k v)
+    | Block (why, check) ->
+      park t th why check k ~req ~entry_cycles ~targs ~tdetail
+    | Die ->
+      (* Exec restarting the thread, or Exit: the request succeeded *)
+      if not meta then
+        record_end t ~pid:proc.Proc.pid ~tid:th.Proc.tid req ~entry_cycles
+          ~args:targs ~detail:tdetail (Some Trace.Ok_result))
 
 let thread_returned t (th : Proc.thread) =
   let proc = proc_of t th in

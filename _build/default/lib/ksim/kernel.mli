@@ -35,11 +35,16 @@ type config = {
   trace_capacity : int option;  (** [Some n] enables syscall tracing *)
   pipe_capacity : int;
   max_fds : int;
+  fault : Fault.spec option;
+      (** [Some spec] arms deterministic fault injection: frame
+          allocations, commit charges and fallible syscall replies fail
+          according to the schedule (see {!Fault}). Injections land in
+          {!Kstat} and, when tracing, on the span's args. *)
 }
 
 val default_config : config
 (** 1 GiB memory, 4 cpus, [Strict] commit, ASLR on, seed 42, FIFO
-    scheduling, no tracing, 64 KiB pipes, 256 fds. *)
+    scheduling, no tracing, 64 KiB pipes, 256 fds, no fault injection. *)
 
 type t
 
@@ -61,6 +66,9 @@ val trace : t -> Trace.t option
 
 val kstat : t -> Kstat.t
 (** The machine's typed counters; always on (updating them is cheap). *)
+
+val fault : t -> Fault.t option
+(** The armed fault injector, for inspecting injection counts. *)
 
 val clock : t -> int
 

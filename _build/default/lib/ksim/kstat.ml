@@ -17,6 +17,9 @@ type counters = {
   mutable tlb_invlpgs : int;
   mutable stdio_flushed_bytes : int;
   mutable stdio_double_flushed_bytes : int;
+  mutable inj_frame_allocs : int;
+  mutable inj_commits : int;
+  mutable inj_syscalls : int;
   mutable cycles : float;
 }
 
@@ -40,6 +43,9 @@ let make_counters () =
     tlb_invlpgs = 0;
     stdio_flushed_bytes = 0;
     stdio_double_flushed_bytes = 0;
+    inj_frame_allocs = 0;
+    inj_commits = 0;
+    inj_syscalls = 0;
     cycles = 0.0;
   }
 
@@ -113,6 +119,13 @@ let on_cost t category ~n cycles =
       | "tlb:invlpg" -> c.tlb_invlpgs <- c.tlb_invlpgs + n
       | _ -> ())
 
+let on_injection t site =
+  update t (fun c ->
+      match site with
+      | Fault.Frame_alloc -> c.inj_frame_allocs <- c.inj_frame_allocs + 1
+      | Fault.Commit -> c.inj_commits <- c.inj_commits + 1
+      | Fault.Syscall -> c.inj_syscalls <- c.inj_syscalls + 1)
+
 let on_stdio_flush t ~bytes ~inherited =
   update t (fun c ->
       c.stdio_flushed_bytes <- c.stdio_flushed_bytes + bytes;
@@ -142,6 +155,9 @@ let snapshot c =
     ("tlb-invlpgs", c.tlb_invlpgs);
     ("stdio-flushed-bytes", c.stdio_flushed_bytes);
     ("stdio-double-flushed-bytes", c.stdio_double_flushed_bytes);
+    ("inj-frame-allocs", c.inj_frame_allocs);
+    ("inj-commits", c.inj_commits);
+    ("inj-syscalls", c.inj_syscalls);
   ]
 
 let cycles c = c.cycles

@@ -36,6 +36,9 @@ type counters = {
   mutable stdio_double_flushed_bytes : int;
       (** flushed bytes that were buffered by a {e different} process —
           the paper's duplicated-output hazard, quantified *)
+  mutable inj_frame_allocs : int;  (** injected frame-allocation failures *)
+  mutable inj_commits : int;  (** injected commit-charge failures *)
+  mutable inj_syscalls : int;  (** injected syscall-reply errnos *)
   mutable cycles : float;  (** simulated cycles attributed here *)
 }
 
@@ -57,6 +60,9 @@ val pids : t -> Types.pid list
 val on_syscall : t -> string -> unit
 val on_cost : t -> string -> n:int -> float -> unit
 (** Shaped to plug directly into {!Vmem.Cost.set_observer}. *)
+
+val on_injection : t -> Fault.site -> unit
+(** Record one injected failure at the given {!Fault.site}. *)
 
 val on_stdio_flush : t -> bytes:int -> inherited:int -> unit
 

@@ -109,3 +109,50 @@ let name : type a. a t -> string = function
   | Pb_copy_fd _ -> "pb_copy_fd"
   | Pb_start _ -> "pb_start"
   | Stdio_flushed _ -> "stdio_flushed"
+
+(* The documented errno domain of each fallible syscall: the specific
+   errnos its handler can produce, plus the transient set every fallible
+   syscall can reply with under fault injection ({!Fault.injectable}).
+   [test_fault] checks every traced reply against this table, so keep it
+   in sync with the handlers in [Kernel.attempt]. *)
+let errnos_of_name =
+  let open Errno in
+  let injectable = [ EINTR; EAGAIN; ENOMEM ] in
+  let specific = function
+    | "fork" | "fork_eager" | "vfork" | "pb_create" | "thread_create" ->
+      Some []
+    | "posix_spawn" ->
+      Some [ ENOENT; ENOTDIR; EISDIR; EACCES; EEXIST; EINVAL; EBADF; EMFILE ]
+    | "execve" -> Some [ ENOENT; ENOTDIR; EISDIR; EACCES; EINVAL ]
+    | "waitpid" -> Some [ ECHILD ]
+    | "kill" -> Some [ ESRCH ]
+    | "sigaction" -> Some [ EINVAL ]
+    | "open" -> Some [ ENOENT; ENOTDIR; EISDIR; EACCES; EEXIST; EINVAL; EMFILE ]
+    | "close" | "set_cloexec" -> Some [ EBADF ]
+    | "read" -> Some [ EBADF; EINVAL ]
+    | "write" -> Some [ EBADF; EPIPE ]
+    | "dup" -> Some [ EBADF; EMFILE ]
+    | "dup2" -> Some [ EBADF; EMFILE; EINVAL ]
+    | "pipe" -> Some [ EMFILE ]
+    | "try_lock" -> Some [ EBADF; EINVAL ]
+    | "unlock" -> Some [ EBADF; EINVAL; EPERM ]
+    | "mmap" -> Some [ EINVAL ]
+    | "munmap" -> Some [ EINVAL ]
+    | "brk" -> Some [ EINVAL ]
+    | "mem_read" | "mem_write" | "touch" -> Some [ EFAULT; EACCES ]
+    | "mutex_lock" -> Some [ EINVAL; EDEADLK ]
+    | "mutex_unlock" -> Some [ EINVAL; EPERM ]
+    | "mutex_trylock" -> Some [ EINVAL ]
+    | "mutex_reinit" -> Some [ EINVAL ]
+    | "chdir" -> Some [ ENOENT; ENOTDIR; EACCES ]
+    | "pb_map" -> Some [ ESRCH; EPERM; EINVAL ]
+    | "pb_write" -> Some [ ESRCH; EPERM; EFAULT ]
+    | "pb_copy_fd" -> Some [ ESRCH; EPERM; EBADF; EMFILE ]
+    | "pb_start" -> Some [ ESRCH; EPERM; ENOENT; ENOTDIR; EISDIR; EACCES; EINVAL ]
+    | _ -> None
+  in
+  fun name ->
+    match specific name with
+    | None -> None
+    | Some extra ->
+      Some (extra @ List.filter (fun e -> not (List.mem e extra)) injectable)

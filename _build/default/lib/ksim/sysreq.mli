@@ -120,3 +120,10 @@ type _ Effect.t += Sys : 'a t -> 'a Effect.t
 
 val name : 'a t -> string
 (** Syscall name for traces, e.g. ["fork"]. *)
+
+val errnos_of_name : string -> Errno.t list option
+(** The documented errno domain of the named syscall: every errno its
+    reply may carry, including the transient failures a fault schedule
+    can inject ([EINTR], [EAGAIN], [ENOMEM] — {!Fault.injectable}).
+    [None] for syscalls that cannot fail (and for unknown names). Tests
+    assert every traced reply errno lies in this set. *)

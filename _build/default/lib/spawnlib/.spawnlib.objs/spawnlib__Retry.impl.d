@@ -1,0 +1,1 @@
+lib/spawnlib/retry.ml: List

@@ -1,1 +1,1 @@
-lib/spawnlib/spawn.ml: Array Buffer Bytes File_action List Marshal Obj Process Result Unix
+lib/spawnlib/spawn.ml: Array Buffer Bytes File_action List Marshal Obj Process Result Retry Unix

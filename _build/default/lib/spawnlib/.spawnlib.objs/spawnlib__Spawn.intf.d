@@ -1,1 +1,1 @@
-lib/spawnlib/spawn.mli: File_action Process Unix
+lib/spawnlib/spawn.mli: File_action Process Retry Unix

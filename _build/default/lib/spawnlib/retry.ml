@@ -1,0 +1,35 @@
+type policy = {
+  max_attempts : int;
+  initial_delay : float;
+  backoff : float;
+  max_delay : float;
+}
+
+let default =
+  { max_attempts = 4; initial_delay = 0.001; backoff = 2.0; max_delay = 0.1 }
+
+let validate p =
+  if p.max_attempts < 1 then invalid_arg "Retry: max_attempts < 1";
+  if p.initial_delay < 0.0 then invalid_arg "Retry: negative initial_delay";
+  if p.backoff < 1.0 then invalid_arg "Retry: backoff < 1";
+  if p.max_delay < 0.0 then invalid_arg "Retry: negative max_delay"
+
+let delays p =
+  validate p;
+  List.init
+    (max 0 (p.max_attempts - 1))
+    (fun i -> min p.max_delay (p.initial_delay *. (p.backoff ** float_of_int i)))
+
+let with_policy p ~sleep ~should_retry f =
+  validate p;
+  let rec go attempt delay =
+    match f ~attempt with
+    | Ok _ as ok -> ok
+    | Error e as err ->
+      if attempt >= p.max_attempts || not (should_retry e) then err
+      else begin
+        if delay > 0.0 then sleep delay;
+        go (attempt + 1) (min p.max_delay (delay *. p.backoff))
+      end
+  in
+  go 1 p.initial_delay

@@ -32,6 +32,20 @@ val spawn :
 (** Create a child running [prog]. On [Error (Exec_failed _)] the child
     has already been reaped — no zombie escapes. *)
 
+val spawn_retrying :
+  ?policy:Retry.policy ->
+  ?actions:File_action.t list ->
+  ?attr:attr ->
+  prog:string ->
+  argv:string list ->
+  unit ->
+  (Process.t, error) result
+(** {!spawn} under {!Retry.with_policy} (default {!Retry.default}),
+    sleeping real seconds between attempts. Retries only transient
+    failures — [Fork_failed EAGAIN/ENOMEM/EINTR] and
+    [Exec_failed EINTR]; permanent errors (ENOENT, EACCES, ...) and
+    exhausted attempts return the last underlying error. *)
+
 val run :
   ?actions:File_action.t list ->
   ?attr:attr ->

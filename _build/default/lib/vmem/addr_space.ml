@@ -184,6 +184,17 @@ let set_heap_base t base =
   | Some _ -> invalid_arg "Addr_space.set_heap_base: heap already set"
   | None -> t.heap <- Some (base, base)
 
+(* Rollback hook for failed image loads: forget a heap base that was set
+   while building an image that is now being torn back down. Only legal
+   while the heap is still empty — a grown heap is real state. *)
+let reset_heap_base t =
+  alive t "Addr_space.reset_heap_base";
+  match t.heap with
+  | None -> ()
+  | Some (base, brk) ->
+    if brk <> base then invalid_arg "Addr_space.reset_heap_base: heap in use";
+    t.heap <- None
+
 let brk t =
   alive t "Addr_space.brk";
   match t.heap with

@@ -61,6 +61,11 @@ val set_heap_base : t -> int -> unit
 (** Install the heap start (done once by the program loader).
     @raise Invalid_argument if not page-aligned or already set. *)
 
+val reset_heap_base : t -> unit
+(** Rollback hook for failed image loads: forget the heap base again.
+    No-op when none is set. @raise Invalid_argument if the heap has
+    grown past its base (real state cannot be rolled back this way). *)
+
 val brk : t -> int
 (** Current program break; equals the heap base before any growth.
     @raise Invalid_argument if no heap base was set. *)

@@ -28,6 +28,12 @@ type t = {
   mutable policy : policy;
   data : (int, Bytes.t) Hashtbl.t;  (** materialised contents *)
   mutable data_max : int;  (** no frame above this ever had contents *)
+  mutable deny_alloc : (unit -> bool) option;
+      (** fault-injection hook: consulted once per frame allocation;
+          [true] makes the allocation fail with [`Out_of_memory] *)
+  mutable deny_commit : (unit -> bool) option;
+      (** fault-injection hook: consulted once per non-empty commit
+          charge; [true] makes it fail with [`Commit_limit] *)
 }
 
 let create ?(policy = Strict) ~frames () =
@@ -45,7 +51,14 @@ let create ?(policy = Strict) ~frames () =
     policy;
     data = Hashtbl.create 64;
     data_max = -1;
+    deny_alloc = None;
+    deny_commit = None;
   }
+
+let set_deny_alloc t hook = t.deny_alloc <- hook
+let set_deny_commit t hook = t.deny_commit <- hook
+
+let denied hook = match hook with Some f -> f () | None -> false
 
 let policy t = t.policy
 let set_policy t p = t.policy <- p
@@ -78,7 +91,8 @@ let push_free t f =
   end
 
 let alloc t =
-  if t.run_top > 0 then begin
+  if denied t.deny_alloc then Error `Out_of_memory
+  else if t.run_top > 0 then begin
     let r = t.run_top - 1 in
     let f = t.run_hi.(r) in
     if f = t.run_lo.(r) then t.run_top <- r else t.run_hi.(r) <- f - 1;
@@ -95,8 +109,28 @@ let alloc t =
     Ok f
   end
 
+(* With a deny hook installed, the batched path must consult it once per
+   frame — exactly like [n] successive allocs would — so "fail the Nth
+   frame allocation" schedules bite identically whether the machine runs
+   batched or per-page. *)
+let alloc_upto_hooked t n =
+  let out = Array.make (max n 1) 0 in
+  let rec go k =
+    if k >= n then k
+    else
+      match alloc t with
+      | Ok f ->
+        out.(k) <- f;
+        go (k + 1)
+      | Error `Out_of_memory -> k
+  in
+  let k = go 0 in
+  if k = n then out else Array.sub out 0 k
+
 let alloc_upto t n =
   if n < 0 then invalid_arg "Frame.alloc_upto: negative count";
+  if t.deny_alloc <> None then alloc_upto_hooked t n
+  else begin
   let out = Array.make n 0 in
   (* recycled frames first, newest-freed first — the exact order [n]
      successive allocs would produce *)
@@ -122,6 +156,7 @@ let alloc_upto t n =
   k := !k + fresh;
   t.used <- t.used + !k;
   if !k = n then out else Array.sub out 0 !k
+  end
 
 let incref_spilling t f c =
   if c = spilled - 1 then begin
@@ -198,6 +233,8 @@ let refcount t f =
 
 let commit t pages =
   if pages < 0 then invalid_arg "Frame.commit: negative";
+  if pages > 0 && denied t.deny_commit then Error `Commit_limit
+  else
   match t.policy with
   | Overcommit ->
     t.committed <- t.committed + pages;

@@ -28,6 +28,16 @@ val create : ?policy:policy -> frames:int -> unit -> t
 val policy : t -> policy
 val set_policy : t -> policy -> unit
 
+val set_deny_alloc : t -> (unit -> bool) option -> unit
+(** Install (or clear) a fault-injection hook consulted once per frame
+    allocation, batched paths included; returning [true] fails that
+    allocation with [`Out_of_memory]. Used by [Ksim.Fault]. *)
+
+val set_deny_commit : t -> (unit -> bool) option -> unit
+(** Like {!set_deny_alloc} for {!commit}: consulted once per call that
+    charges a positive number of pages; [true] fails it with
+    [`Commit_limit] regardless of policy. *)
+
 val total : t -> int
 val used : t -> int
 val free : t -> int

@@ -1,1 +1,1 @@
-lib/workload/par.ml: Array Atomic Domain List String Sys
+lib/workload/par.ml: Array Atomic Domain List Printf String Sys

@@ -1,10 +1,32 @@
+let warned = ref false
+
+let warn fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if not !warned then begin
+        warned := true;
+        prerr_endline ("forkroad: warning: " ^ msg)
+      end)
+    fmt
+
 let jobs () =
+  let cores = Domain.recommended_domain_count () in
   match Sys.getenv_opt "FORKROAD_JOBS" with
   | Some s -> (
+    let cap = 4 * cores in
     match int_of_string_opt (String.trim s) with
-    | Some n when n > 0 -> n
-    | Some _ | None -> Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
+    | Some 0 -> 1 (* 0 = explicitly sequential *)
+    | Some n when n < 0 ->
+      warn "FORKROAD_JOBS=%s is negative; using %d (cores)" s cores;
+      cores
+    | Some n when n > cap ->
+      warn "FORKROAD_JOBS=%s exceeds 4x cores; clamping to %d" s cap;
+      cap
+    | Some n -> n
+    | None ->
+      warn "FORKROAD_JOBS=%S is not an integer; using %d (cores)" s cores;
+      cores)
+  | None -> cores
 
 let map ?jobs:requested f xs =
   let jobs = match requested with Some n -> n | None -> jobs () in

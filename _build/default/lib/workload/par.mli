@@ -9,9 +9,13 @@
     this). *)
 
 val jobs : unit -> int
-(** The worker count the pool uses by default: the [FORKROAD_JOBS]
-    environment variable if it parses as a positive integer, otherwise
-    [Domain.recommended_domain_count ()]. *)
+(** The worker count the pool uses by default, from the [FORKROAD_JOBS]
+    environment variable: a positive integer is used as-is but clamped
+    to 4x [Domain.recommended_domain_count ()] (more workers than that
+    only adds contention), [0] explicitly selects sequential execution,
+    and anything invalid (negative, non-numeric) falls back to the core
+    count. Every non-identity interpretation is announced once on
+    stderr so a typo'd value cannot silently change the worker count. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] applies [f] to every element and returns the results in

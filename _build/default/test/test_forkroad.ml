@@ -240,7 +240,7 @@ let test_registry_complete () =
   Alcotest.(check (list string))
     "ids in paper order"
     [ "T1"; "F1"; "F1-SIM"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9";
-      "E10"; "E11"; "E12" ]
+      "E10"; "E11"; "E12"; "E13" ]
     Forkroad.Registry.ids;
   check_bool "case-insensitive find" true
     (Option.is_some (Forkroad.Registry.find "f1-sim"))
@@ -432,6 +432,14 @@ let test_exp_thp () =
   in
   check_bool "THP flattens fork cost" true (thp < plain /. 2.0)
 
+let test_exp_pressure () =
+  let r = run_exp "E13" in
+  (* the pressure curve's headline: fork dies first, the others survive *)
+  check_bool "fork gives up with ENOMEM" true (contains_line r "ENOMEM");
+  check_bool "vfork row" true (contains_line r "vfork");
+  check_bool "retry absorbs the injected fault" true
+    (contains_line r "builder + retry")
+
 let test_snapshot_tradeoff () =
   (* COW: small pause, real re-dirty tax; eager: huge pause, ~free re-dirty *)
   let pause s =
@@ -496,5 +504,6 @@ let () =
           slow "E11" test_exp_snapshot;
           slow "E11 tradeoff" test_snapshot_tradeoff;
           slow "E12" test_exp_thp;
+          slow "E13" test_exp_pressure;
         ] );
     ]

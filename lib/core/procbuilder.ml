@@ -28,3 +28,20 @@ let spawn_minimal ?argv path =
       match start b ?argv path with
       | Error e -> Error e
       | Ok () -> Ok (pid b)))
+
+let transient = function
+  | Ksim.Errno.EAGAIN | Ksim.Errno.ENOMEM | Ksim.Errno.EINTR -> true
+  | _ -> false
+
+(* Backoff in simulated time: each yield is a scheduler slice that
+   charges syscall cost, so the delay both advances the simulated clock
+   and lets other processes run (and possibly release memory). The
+   policy's float delays are interpreted as slice counts. *)
+let sim_sleep delay =
+  for _ = 1 to max 1 (int_of_float (Float.ceil delay)) do
+    Ksim.Api.yield ()
+  done
+
+let spawn_retrying ?(policy = Spawnlib.Retry.default) ?argv path =
+  Spawnlib.Retry.with_policy policy ~sleep:sim_sleep ~should_retry:transient
+    (fun ~attempt:_ -> spawn_minimal ?argv path)

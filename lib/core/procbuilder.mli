@@ -36,3 +36,17 @@ val start : t -> ?argv:string list -> string -> (unit, Ksim.Errno.t) result
 val spawn_minimal :
   ?argv:string list -> string -> (Ksim.Types.pid, Ksim.Errno.t) result
 (** Convenience: create + copy_stdio + start. *)
+
+val spawn_retrying :
+  ?policy:Spawnlib.Retry.policy ->
+  ?argv:string list ->
+  string ->
+  (Ksim.Types.pid, Ksim.Errno.t) result
+(** {!spawn_minimal} under {!Spawnlib.Retry.with_policy} (default
+    policy {!Spawnlib.Retry.default}): transient failures (EAGAIN,
+    ENOMEM, EINTR) are retried with exponential backoff {e in simulated
+    time} — each delay unit is a yielded scheduler slice, so waiting
+    advances the sim clock and gives other processes a chance to free
+    memory. Because every [start] failure rolls the embryo back to a
+    clean state, the retry reuses nothing stale. Permanent errors and
+    exhausted attempts return the last errno. *)

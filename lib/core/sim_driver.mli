@@ -36,6 +36,16 @@ val run_scenario :
 (** Boot a kernel whose init runs the body (with [/bin/true] always
     registered), run to quiescence, and report whole-run totals. *)
 
+val boot_scenario :
+  ?config:Ksim.Kernel.config ->
+  ?programs:Ksim.Program.t list ->
+  (unit -> unit) ->
+  Ksim.Kernel.t * Ksim.Kernel.outcome
+(** {!run_scenario} without the summarising: hands back the quiesced
+    machine for callers that harvest state the measurement record
+    doesn't carry — trace spans (E13's latency percentiles),
+    fault-injection counts, per-pid counters. *)
+
 val config_for : heap_mib:int -> Ksim.Kernel.config
 (** Overcommit, ASLR off (differential runs need identical prefixes),
     physical memory sized to hold the footprint twice over. *)

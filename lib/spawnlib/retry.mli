@@ -1,0 +1,37 @@
+(** Bounded retry with exponential backoff.
+
+    The error-reporting half of the paper's spawn argument: because
+    posix_spawn (and ksim's spawn) report failure {e synchronously} with
+    an errno, a caller can actually distinguish "transient, try again"
+    (EAGAIN, EINTR, ENOMEM under pressure) from "permanent, give up"
+    (ENOENT) — something fork+exec callers almost never get right. This
+    module is the reusable loop: generic over the error type and over
+    how to sleep, so the same policy drives {!Spawn.spawn_retrying}
+    (real [Unix.sleepf] seconds) and [Forkroad.Procbuilder] retries
+    (simulated time via yields). *)
+
+type policy = {
+  max_attempts : int;  (** total attempts, including the first; >= 1 *)
+  initial_delay : float;  (** delay before the 2nd attempt *)
+  backoff : float;  (** delay multiplier per retry; >= 1 *)
+  max_delay : float;  (** cap on any single delay *)
+}
+
+val default : policy
+(** 4 attempts, 1 ms initial delay doubling to a 100 ms cap. *)
+
+val delays : policy -> float list
+(** The backoff sequence a fully-retried call sleeps through
+    ([max_attempts - 1] delays). @raise Invalid_argument on a bad
+    policy (so do the functions below). *)
+
+val with_policy :
+  policy ->
+  sleep:(float -> unit) ->
+  should_retry:('e -> bool) ->
+  (attempt:int -> ('a, 'e) result) ->
+  ('a, 'e) result
+(** [with_policy p ~sleep ~should_retry f] runs [f ~attempt:1], retrying
+    (after sleeping) while it returns an error that [should_retry]
+    accepts and attempts remain. Returns the first success or the last
+    error — the give-up error is always the real one from [f]. *)

@@ -62,6 +62,19 @@ let spawn ?(actions = []) ?(attr = default_attr) ~prog ~argv () =
       Error (Exec_failed err)
     end)
 
+(* Transient spawn failures worth sleeping through: resource pressure
+   (a retry may find memory / a pid slot free) and interruption. ENOENT,
+   EACCES and friends are permanent — retrying cannot help. *)
+let transient = function
+  | Fork_failed (Unix.EAGAIN | Unix.ENOMEM | Unix.EINTR)
+  | Exec_failed Unix.EINTR ->
+    true
+  | Fork_failed _ | Exec_failed _ -> false
+
+let spawn_retrying ?(policy = Retry.default) ?actions ?attr ~prog ~argv () =
+  Retry.with_policy policy ~sleep:Unix.sleepf ~should_retry:transient
+    (fun ~attempt:_ -> spawn ?actions ?attr ~prog ~argv ())
+
 let run ?actions ?attr ~prog ~argv () =
   Result.map Process.wait (spawn ?actions ?attr ~prog ~argv ())
 
