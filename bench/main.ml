@@ -255,6 +255,30 @@ let () =
      affects the harness, never a simulated number. *)
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 4 * 1024 * 1024 };
   let args = List.tl (Array.to_list Sys.argv) in
+  (* --jobs N (or --jobs=N) overrides FORKROAD_JOBS for this run *)
+  let set_jobs s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Workload.Par.set_jobs n
+    | Some _ | None ->
+      Printf.eprintf "bench: --jobs wants a non-negative integer, got %S\n" s;
+      exit 2
+  in
+  let args =
+    let rec strip acc = function
+      | [] -> List.rev acc
+      | [ "--jobs" ] ->
+        Printf.eprintf "bench: --jobs wants a value\n";
+        exit 2
+      | "--jobs" :: v :: rest ->
+        set_jobs v;
+        strip acc rest
+      | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+        set_jobs (String.sub a 7 (String.length a - 7));
+        strip acc rest
+      | a :: rest -> strip (a :: acc) rest
+    in
+    strip [] args
+  in
   let quick = List.exists (fun a -> a = "--quick" || a = "-q") args in
   let smoke = List.exists (fun a -> a = "--smoke") args in
   let perf_smoke = List.exists (fun a -> a = "--perf-smoke") args in

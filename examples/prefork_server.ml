@@ -16,7 +16,12 @@
      describes);
    - with posix_spawn: the two fds each worker needs are wired
      explicitly with file actions, everything else is close-on-exec, and
-     there is nothing to forget. *)
+     there is nothing to forget.
+
+   The same idiom then runs on the real OS through Spawnlib.Pool, which
+   packages the whole pattern -- explicit fd wiring, warm-up, round-robin
+   dispatch, crash-respawn under a retry policy -- behind submit/shutdown,
+   so applications stop hand-rolling the pipe plumbing above. *)
 
 let workers = 3
 let requests = 12
@@ -124,10 +129,49 @@ let master () =
     ();
   Ksim.Api.print "done.\n"
 
+(* 3: the real OS, via Spawnlib.Pool. Workers are shell loops (read and
+   echo are unbuffered builtins, so one request line yields one reply
+   line); the library owns the fd wiring, the warm-up exchange, and
+   crash-respawn -- demonstrated by killing a worker mid-run. *)
+let real_pool () =
+  Printf.printf "--- Spawnlib.Pool (real OS): %d workers, %d requests ---\n"
+    workers requests;
+  let pool_ok = function
+    | Ok v -> v
+    | Error e -> failwith ("prefork_server: " ^ Spawnlib.Pool.error_message e)
+  in
+  let pool =
+    pool_ok
+      (Spawnlib.Pool.create
+         ~warmup:(fun ~send ~recv ->
+           send "warmup";
+           ignore (recv ()))
+         ~size:workers ~prog:"/bin/sh"
+         ~argv:
+           [ "sh"; "-c"; "while read line; do echo \"worker-$$: $line\"; done" ]
+         ())
+  in
+  for i = 1 to requests do
+    Printf.printf "  %s\n" (pool_ok (Spawnlib.Pool.submit pool (Printf.sprintf "r%02d" i)))
+  done;
+  (* crash one worker; the pool reaps, respawns and still answers *)
+  Unix.kill (List.hd (Spawnlib.Pool.pids pool)) Sys.sigkill;
+  Unix.sleepf 0.05;
+  for i = 1 to workers do
+    Printf.printf "  %s\n"
+      (pool_ok (Spawnlib.Pool.submit pool (Printf.sprintf "post-crash-%d" i)))
+  done;
+  let st = Spawnlib.Pool.stats pool in
+  Printf.printf "served=%d spawned=%d respawns=%d\n" st.Spawnlib.Pool.served
+    st.Spawnlib.Pool.spawned st.Spawnlib.Pool.respawns;
+  ignore (Spawnlib.Pool.shutdown pool);
+  print_endline "done."
+
 let () =
   let init = Ksim.Program.make ~name:"/sbin/init" (fun ~argv:_ () -> master ()) in
-  match Ksim.Kernel.boot ~programs:[ init; worker_prog ] "/sbin/init" with
+  (match Ksim.Kernel.boot ~programs:[ init; worker_prog ] "/sbin/init" with
   | Error e -> prerr_endline ("boot failed: " ^ Ksim.Errno.to_string e)
   | Ok (t, outcome) ->
     print_string (Ksim.Kernel.console t);
-    Format.printf "simulation outcome: %a@." Ksim.Kernel.pp_outcome outcome
+    Format.printf "simulation outcome: %a@." Ksim.Kernel.pp_outcome outcome);
+  real_pool ()

@@ -18,6 +18,7 @@ let all =
     Exp_snapshot.experiment;
     Exp_thp.experiment;
     Exp_pressure.experiment;
+    Exp_churn.experiment;
   ]
 
 let ids = List.map (fun e -> e.Report.exp_id) all
@@ -41,6 +42,7 @@ let slug e =
   | "E11" -> "snapshot"
   | "E12" -> "thp"
   | "E13" -> "pressure"
+  | "E14" -> "churn"
   | id ->
     String.map
       (fun c -> if c = '-' then '_' else Char.lowercase_ascii c)

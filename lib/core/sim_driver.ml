@@ -20,7 +20,7 @@ let group_of_uncached cat =
     String.length cat >= String.length p && String.sub cat 0 (String.length p) = p
   in
   match cat with
-  | "fork:pt-node" | "fork:pte" -> "pt-copy"
+  | "fork:pt-node" | "fork:pte" | "zygote:subtree" -> "pt-copy"
   | "fault:cow-copy" | "fork:eager-copy" -> "frame-copy"
   | _ ->
     if has_prefix "fault:" then "fault"

@@ -120,3 +120,6 @@ let pb_map ~pid ~len ~perm = sys (Sysreq.Pb_map { pid; len; perm })
 let pb_write ~pid ~addr data = sys (Sysreq.Pb_write { pid; addr; data })
 let pb_copy_fd ~pid ~src ~dst = sys (Sysreq.Pb_copy_fd { pid; src; dst })
 let pb_start ~pid ?(argv = []) path = sys (Sysreq.Pb_start { pid; path; argv })
+let freeze ?pid () = sys (Sysreq.Template_freeze { pid })
+let spawn_from_template tpl ~child = sys (Sysreq.Template_spawn { tpl; body = child })
+let template_discard tpl = sys (Sysreq.Template_discard tpl)

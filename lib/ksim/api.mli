@@ -106,3 +106,21 @@ val pb_map : pid:Types.pid -> len:int -> perm:Vmem.Perm.t -> (int, Errno.t) resu
 val pb_write : pid:Types.pid -> addr:int -> string -> (unit, Errno.t) result
 val pb_copy_fd : pid:Types.pid -> src:Types.fd -> dst:Types.fd -> (unit, Errno.t) result
 val pb_start : pid:Types.pid -> ?argv:string list -> string -> (unit, Errno.t) result
+
+(** Zygote templates (see {!Sysreq} and {!Template}). *)
+
+val freeze : ?pid:Types.pid -> unit -> (int, Errno.t) result
+(** Seal a warmed process into an immutable template and return its id.
+    [freeze ()] freezes the caller (which keeps running; later writes
+    COW away from the template); [freeze ~pid ()] freezes an alive
+    child of the caller. *)
+
+val spawn_from_template :
+  int -> child:(unit -> unit) -> (Types.pid, Errno.t) result
+(** Clone a child from a template in O(shared page-table subtrees) —
+    creation cost independent of the template's footprint. The child
+    starts at [child] with the template's captured image. *)
+
+val template_discard : int -> (unit, Errno.t) result
+(** Drop a template, freeing its pinned pages. EBUSY while any live
+    process still maps them. *)

@@ -20,12 +20,13 @@ type t =
   | ENOEXEC
   | EDEADLK
   | E2BIG
+  | EBUSY
 
 let all =
   [
     EPERM; ENOENT; ESRCH; EINTR; EBADF; ECHILD; EAGAIN; ENOMEM; EACCES;
     EFAULT; EEXIST; ENOTDIR; EISDIR; EINVAL; EMFILE; ENOSPC; EPIPE; ENOSYS;
-    ENOEXEC; EDEADLK; E2BIG;
+    ENOEXEC; EDEADLK; E2BIG; EBUSY;
   ]
 
 let to_string = function
@@ -50,6 +51,7 @@ let to_string = function
   | ENOEXEC -> "ENOEXEC"
   | EDEADLK -> "EDEADLK"
   | E2BIG -> "E2BIG"
+  | EBUSY -> "EBUSY"
 
 let of_string s = List.find_opt (fun e -> to_string e = s) all
 
@@ -75,6 +77,7 @@ let message = function
   | ENOEXEC -> "exec format error"
   | EDEADLK -> "resource deadlock avoided"
   | E2BIG -> "argument list too long"
+  | EBUSY -> "device or resource busy"
 
 let equal a b = a = b
 let pp ppf t = Format.pp_print_string ppf (to_string t)

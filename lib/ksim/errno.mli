@@ -22,6 +22,7 @@ type t =
   | ENOEXEC
   | EDEADLK
   | E2BIG
+  | EBUSY
 
 val all : t list
 (** Every constructor, in declaration order. *)

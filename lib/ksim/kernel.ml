@@ -72,6 +72,8 @@ type t = {
   trace : Trace.t option;
   kstat : Kstat.t;
   fault : Fault.t option;
+  templates : (int, Template.t) Hashtbl.t;
+  mutable next_tpl : int;
 }
 
 let create ?(config = default_config) () =
@@ -128,6 +130,8 @@ let create ?(config = default_config) () =
     trace = Option.map (fun capacity -> Trace.create ~capacity ()) config.trace_capacity;
     kstat;
     fault;
+    templates = Hashtbl.create 4;
+    next_tpl = 1;
   }
 
 let config t = t.config
@@ -156,6 +160,35 @@ let fresh_pid t =
   let pid = t.next_pid in
   t.next_pid <- pid + 1;
   pid
+
+let find_template t id = Hashtbl.find_opt t.templates id
+
+let templates t =
+  Hashtbl.fold (fun _ tpl acc -> tpl :: acc) t.templates []
+  |> List.sort (fun a b -> compare a.Template.id b.Template.id)
+
+(* Template lifetime: every process whose address space may map a
+   template's pinned frames holds a dep on it — the zygote child, its
+   fork descendants (their COW/shared clones keep mapping the same
+   frames), and the frozen source itself. Deps are released exactly
+   where the address space is destroyed, so discard (which un-pins and
+   frees the pages) can only run once no mapping is left. *)
+let acquire_tpl_deps t ids =
+  List.iter
+    (fun id ->
+      match find_template t id with
+      | Some tpl -> tpl.Template.live_deps <- tpl.Template.live_deps + 1
+      | None -> ())
+    ids
+
+let release_tpl_deps t (proc : Proc.t) =
+  List.iter
+    (fun id ->
+      match find_template t id with
+      | Some tpl -> tpl.Template.live_deps <- tpl.Template.live_deps - 1
+      | None -> ())
+    proc.Proc.tpl_deps;
+  proc.Proc.tpl_deps <- []
 
 let fresh_tid t =
   let tid = t.next_tid in
@@ -319,7 +352,10 @@ and kill_process t (proc : Proc.t) status =
       proc.Proc.held_locks;
     proc.Proc.held_locks <- [];
     if proc.Proc.vfork_active then proc.Proc.vfork_active <- false
-    else Vmem.Addr_space.destroy proc.Proc.aspace;
+    else begin
+      release_tpl_deps t proc;
+      Vmem.Addr_space.destroy proc.Proc.aspace
+    end;
     (* orphans go to init (pid 1) *)
     let init = find_proc t 1 in
     List.iter
@@ -407,7 +443,13 @@ let do_fork t (parent : Proc.t) ~eager body =
   in
   match clone parent.Proc.aspace with
   | Error (`Commit_limit | `Out_of_memory) -> Error Errno.ENOMEM
-  | Ok aspace -> Ok (make_forked_child t parent ~aspace ~body).Proc.pid
+  | Ok aspace ->
+    let child = make_forked_child t parent ~aspace ~body in
+    (* the child's clone keeps mapping any template pages the parent
+       mapped, so it holds the same template deps *)
+    child.Proc.tpl_deps <- parent.Proc.tpl_deps;
+    acquire_tpl_deps t child.Proc.tpl_deps;
+    Ok child.Proc.pid
 
 let do_vfork t (parent : Proc.t) body =
   (* the child borrows the parent's address space: no copy at all *)
@@ -509,7 +551,10 @@ let do_exec t (proc : Proc.t) (th : Proc.thread) path argv =
         proc.Proc.threads;
       proc.Proc.threads <- [ th ];
       if proc.Proc.vfork_active then proc.Proc.vfork_active <- false
-      else Vmem.Addr_space.destroy proc.Proc.aspace;
+      else begin
+        release_tpl_deps t proc;
+        Vmem.Addr_space.destroy proc.Proc.aspace
+      end;
       proc.Proc.aspace <- aspace;
       (* caught signals reset to default; ignored stay ignored *)
       List.iter
@@ -620,6 +665,8 @@ let trace_args : type a. Proc.t -> a Sysreq.t -> (string * string) list =
     [ ("inherited_fds", string_of_int (count_fds proc ~surviving_exec:true)) ]
   | Sysreq.Exit _ ->
     [ ("open_fds", string_of_int (count_fds proc ~surviving_exec:false)) ]
+  | Sysreq.Template_spawn { tpl; _ } -> [ ("tpl", string_of_int tpl) ]
+  | Sysreq.Template_discard id -> [ ("tpl", string_of_int id) ]
   | _ -> []
 
 (* Typed twin of [trace_args]; {!Lint} prefers this and falls back to
@@ -1011,6 +1058,96 @@ let attempt : type a. t -> Proc.t -> Proc.thread -> a Sysreq.t -> a action =
   | Sysreq.Stdio_flushed { bytes; inherited } ->
     Kstat.on_stdio_flush t.kstat ~bytes ~inherited;
     Reply ()
+  | Sysreq.Template_freeze { pid } -> (
+    let target =
+      match pid with
+      | None -> Ok proc
+      | Some p -> (
+        match find_proc t p with
+        | Some tp when Proc.is_alive tp ->
+          if List.mem p proc.Proc.children then Ok tp
+          else Error Errno.EPERM (* only the parent may freeze a child *)
+        | Some _ | None -> Error Errno.ESRCH)
+    in
+    match target with
+    | Error e -> Reply (Error e)
+    | Ok target ->
+      if target.Proc.vfork_active then
+        (* a borrowed address space is not this process's to seal *)
+        Reply (Error Errno.EINVAL)
+      else if not (Vmem.Addr_space.sole_owner target.Proc.aspace) then
+        (* a COW sharer or an earlier template still holds frames of
+           this image: pinning them would steal pages someone else
+           counts on *)
+        Reply (Error Errno.EBUSY)
+      else begin
+        let commit_pages =
+          Vmem.Addr_space.committed_pages target.Proc.aspace
+        in
+        let aspace = Vmem.Addr_space.seal target.Proc.aspace in
+        let fdt = Fd_table.clone target.Proc.fdt in
+        charge_fd_inherit t fdt;
+        let id = t.next_tpl in
+        t.next_tpl <- id + 1;
+        let tpl =
+          Template.make ~id ~aspace ~commit_pages ~fdt
+            ~program:target.Proc.program ~cwd:target.Proc.cwd
+            ~sigdisp:(Array.copy target.Proc.sigdisp)
+            ~sigmask:target.Proc.sigmask ~source:target.Proc.pid
+            ~resident:(Vmem.Addr_space.resident_pages aspace)
+        in
+        Hashtbl.replace t.templates id tpl;
+        (* the source keeps mapping the pinned frames until its own
+           address space dies *)
+        target.Proc.tpl_deps <- id :: target.Proc.tpl_deps;
+        tpl.Template.live_deps <- 1;
+        Kstat.on_template_freeze t.kstat;
+        Reply (Ok id)
+      end)
+  | Sysreq.Template_spawn { tpl; body } -> (
+    match find_template t tpl with
+    | None -> Reply (Error Errno.EINVAL)
+    | Some template -> (
+      (* the commit charge is the only fallible step and runs first, so
+         a failed spawn leaves template and machine untouched *)
+      match
+        Vmem.Addr_space.clone_from_sealed template.Template.aspace
+          ~commit_pages:template.Template.commit_pages
+      with
+      | Error `Commit_limit -> Reply (Error Errno.ENOMEM)
+      | Ok (aspace, subtrees) ->
+        Vmem.Cost.charge t.cost "proc:create"
+          (params t).Vmem.Cost.proc_create;
+        let fdt = Fd_table.clone template.Template.fdt in
+        charge_fd_inherit t fdt;
+        let child =
+          Proc.make ~pid:(fresh_pid t) ~parent:proc.Proc.pid ~aspace ~fdt
+            ~cwd:template.Template.cwd ~program:template.Template.program
+        in
+        Array.blit template.Template.sigdisp 0 child.Proc.sigdisp 0
+          (Array.length template.Template.sigdisp);
+        child.Proc.sigmask <- template.Template.sigmask;
+        child.Proc.tpl_deps <- [ template.Template.id ];
+        template.Template.live_deps <- template.Template.live_deps + 1;
+        template.Template.spawns <- template.Template.spawns + 1;
+        Hashtbl.replace t.procs child.Proc.pid child;
+        proc.Proc.children <- child.Proc.pid :: proc.Proc.children;
+        ignore (new_thread t child ~is_main:true body);
+        Kstat.on_template_spawn t.kstat ~subtrees
+          ~pages:template.Template.resident;
+        record_child t proc th "zygote_child" ~style:"zygote"
+          (Ok child.Proc.pid);
+        Reply (Ok child.Proc.pid)))
+  | Sysreq.Template_discard id -> (
+    match find_template t id with
+    | None -> Reply (Error Errno.EINVAL)
+    | Some template ->
+      if template.Template.live_deps > 0 then Reply (Error Errno.EBUSY)
+      else begin
+        Hashtbl.remove t.templates id;
+        Template.destroy template;
+        Reply (Ok ())
+      end)
 
 let is_memory_op : type a. a Sysreq.t -> bool = function
   | Sysreq.Mem_read _ | Sysreq.Mem_write _ | Sysreq.Touch _ -> true
@@ -1071,6 +1208,9 @@ let outcome_of : type a. a Sysreq.t -> a -> Trace.outcome option =
   | Sysreq.Pb_write _ -> of_result v
   | Sysreq.Pb_copy_fd _ -> of_result v
   | Sysreq.Pb_start _ -> of_result v
+  | Sysreq.Template_freeze _ -> of_result v
+  | Sysreq.Template_spawn _ -> of_result v
+  | Sysreq.Template_discard _ -> of_result v
   | Sysreq.Getpid -> None
   | Sysreq.Getppid -> None
   | Sysreq.Gettid -> None
@@ -1126,6 +1266,9 @@ let injectable_errno : type a. a Sysreq.t -> (Errno.t -> a) option =
   | Sysreq.Pb_write _ -> Some err
   | Sysreq.Pb_copy_fd _ -> Some err
   | Sysreq.Pb_start _ -> Some err
+  | Sysreq.Template_freeze _ -> Some err
+  | Sysreq.Template_spawn _ -> Some err
+  | Sysreq.Template_discard _ -> Some err
   | Sysreq.Getpid -> None
   | Sysreq.Getppid -> None
   | Sysreq.Gettid -> None

@@ -98,6 +98,13 @@ val status_of : t -> Types.pid -> Types.status option
 val find_proc : t -> Types.pid -> Proc.t option
 val procs : t -> Proc.t list
 
+val find_template : t -> int -> Template.t option
+(** Look up a live (not yet discarded) zygote template by id. *)
+
+val templates : t -> Template.t list
+(** Live templates, sorted by id — accounting introspection for tests
+    (pinned-page bookkeeping) and experiments. *)
+
 val boot :
   ?config:config ->
   programs:Program.t list ->

@@ -20,6 +20,10 @@ type counters = {
   mutable inj_frame_allocs : int;
   mutable inj_commits : int;
   mutable inj_syscalls : int;
+  mutable tpl_freezes : int;
+  mutable tpl_spawns : int;
+  mutable tpl_subtrees_shared : int;
+  mutable tpl_pages_shared : int;
   mutable cycles : float;
 }
 
@@ -46,6 +50,10 @@ let make_counters () =
     inj_frame_allocs = 0;
     inj_commits = 0;
     inj_syscalls = 0;
+    tpl_freezes = 0;
+    tpl_spawns = 0;
+    tpl_subtrees_shared = 0;
+    tpl_pages_shared = 0;
     cycles = 0.0;
   }
 
@@ -126,6 +134,18 @@ let on_injection t site =
       | Fault.Commit -> c.inj_commits <- c.inj_commits + 1
       | Fault.Syscall -> c.inj_syscalls <- c.inj_syscalls + 1)
 
+(* Success-only hooks called from the template syscall handlers (a
+   failed freeze/spawn must not move any counter). [pages] is the
+   template's resident set — footprint shared without per-page work. *)
+let on_template_freeze t =
+  update t (fun c -> c.tpl_freezes <- c.tpl_freezes + 1)
+
+let on_template_spawn t ~subtrees ~pages =
+  update t (fun c ->
+      c.tpl_spawns <- c.tpl_spawns + 1;
+      c.tpl_subtrees_shared <- c.tpl_subtrees_shared + subtrees;
+      c.tpl_pages_shared <- c.tpl_pages_shared + pages)
+
 let on_stdio_flush t ~bytes ~inherited =
   update t (fun c ->
       c.stdio_flushed_bytes <- c.stdio_flushed_bytes + bytes;
@@ -159,6 +179,17 @@ let snapshot c =
     ("inj-commits", c.inj_commits);
     ("inj-syscalls", c.inj_syscalls);
   ]
+  (* template keys appear only once the subsystem is used, so snapshots
+     (and the BENCH json counters derived from them) of template-free
+     runs are bit-identical to pre-template builds *)
+  @ (if c.tpl_freezes = 0 then [] else [ ("tpl-freezes", c.tpl_freezes) ])
+  @ (if c.tpl_spawns = 0 then []
+     else
+       [
+         ("tpl-spawns", c.tpl_spawns);
+         ("tpl-subtrees-shared", c.tpl_subtrees_shared);
+         ("tpl-pages-shared", c.tpl_pages_shared);
+       ])
 
 let cycles c = c.cycles
 

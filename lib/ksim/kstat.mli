@@ -39,6 +39,13 @@ type counters = {
   mutable inj_frame_allocs : int;  (** injected frame-allocation failures *)
   mutable inj_commits : int;  (** injected commit-charge failures *)
   mutable inj_syscalls : int;  (** injected syscall-reply errnos *)
+  mutable tpl_freezes : int;  (** templates frozen *)
+  mutable tpl_spawns : int;  (** zygote spawns *)
+  mutable tpl_subtrees_shared : int;
+      (** page-table subtrees shared across all zygote spawns — the
+          O(shared subtrees) work the flat-latency claim rests on *)
+  mutable tpl_pages_shared : int;
+      (** template pages inherited without per-page work *)
   mutable cycles : float;  (** simulated cycles attributed here *)
 }
 
@@ -65,6 +72,13 @@ val on_injection : t -> Fault.site -> unit
 (** Record one injected failure at the given {!Fault.site}. *)
 
 val on_stdio_flush : t -> bytes:int -> inherited:int -> unit
+
+val on_template_freeze : t -> unit
+(** One successful freeze (failed freezes move no counter). *)
+
+val on_template_spawn : t -> subtrees:int -> pages:int -> unit
+(** One successful zygote spawn sharing [subtrees] page-table subtrees
+    covering [pages] resident pages. *)
 
 val kinds : counters -> (string * int) list
 (** Syscall counts by kind, most frequent first. *)

@@ -35,6 +35,11 @@ type t = {
   mutable program : string;
   mutable held_locks : Vfs.regular list;
   mutable atfork : Types.atfork list;
+  mutable tpl_deps : int list;
+      (** template ids whose pages this process's address space may map:
+          set at zygote spawn, inherited across fork (the child shares
+          the same COW image), released when the address space is
+          destroyed. Gates template discard. *)
 }
 
 let make_thread ~tid ~owner ~is_main body =
@@ -69,6 +74,7 @@ let make ~pid ~parent ~aspace ~fdt ~cwd ~program =
     program;
     held_locks = [];
     atfork = [];
+    tpl_deps = [];
   }
 
 let disposition t s = t.sigdisp.(Usignal.number s)

@@ -45,6 +45,10 @@ type t = {
   mutable program : string;
   mutable held_locks : Vfs.regular list;
   mutable atfork : Types.atfork list;  (** registration order *)
+  mutable tpl_deps : int list;
+      (** template ids whose pages this process's address space may map:
+          set at zygote spawn, inherited across fork, released when the
+          address space is destroyed. Gates template discard (EBUSY). *)
 }
 
 val make_thread :

@@ -57,6 +57,11 @@ type 'a t =
       { pid : Types.pid; path : string; argv : string list }
       -> (unit, Errno.t) result t
   | Stdio_flushed : { bytes : int; inherited : int } -> unit t
+  | Template_freeze : { pid : Types.pid option } -> (int, Errno.t) result t
+  | Template_spawn :
+      { tpl : int; body : unit -> unit }
+      -> (Types.pid, Errno.t) result t
+  | Template_discard : int -> (unit, Errno.t) result t
 
 type _ Effect.t += Sys : 'a t -> 'a Effect.t
 
@@ -109,6 +114,9 @@ let name : type a. a t -> string = function
   | Pb_copy_fd _ -> "pb_copy_fd"
   | Pb_start _ -> "pb_start"
   | Stdio_flushed _ -> "stdio_flushed"
+  | Template_freeze _ -> "template_freeze"
+  | Template_spawn _ -> "template_spawn"
+  | Template_discard _ -> "template_discard"
 
 (* The documented errno domain of each fallible syscall: the specific
    errnos its handler can produce, plus the transient set every fallible
@@ -149,6 +157,9 @@ let errnos_of_name =
     | "pb_write" -> Some [ ESRCH; EPERM; EFAULT ]
     | "pb_copy_fd" -> Some [ ESRCH; EPERM; EBADF; EMFILE ]
     | "pb_start" -> Some [ ESRCH; EPERM; ENOENT; ENOTDIR; EISDIR; EACCES; EINVAL ]
+    | "template_freeze" -> Some [ ESRCH; EPERM; EINVAL; EBUSY ]
+    | "template_spawn" -> Some [ EINVAL ]
+    | "template_discard" -> Some [ EINVAL; EBUSY ]
     | _ -> None
   in
   fun name ->

@@ -115,6 +115,28 @@ type 'a t =
           process (fork-duplicated output). Feeds {!Kstat}; charges no
           cycles and is not traced, so instrumented runs cost the same
           as bare ones. *)
+  | Template_freeze : { pid : Types.pid option } -> (int, Errno.t) result t
+      (** Seal a warmed process into an immutable zygote template:
+          [None] freezes the caller, [Some pid] an alive child of the
+          caller. One fork-priced pass downgrades the image to read-only
+          COW and pins its frames immortal; the source keeps running
+          (later writes COW away from the template). Returns the
+          template id. EBUSY unless the source is the sole owner of
+          every resident frame; EINVAL mid-vfork; ESRCH/EPERM on a bad
+          target. *)
+  | Template_spawn :
+      { tpl : int; body : unit -> unit }
+      -> (Types.pid, Errno.t) result t
+      (** Create a child from a template in O(shared subtrees): commit
+          charge first (the only fallible step — failure leaves the
+          template untouched), then share the sealed page table by
+          bumping its root. The child starts at [body] with the
+          template's captured image (fds, signal state, cwd, program).
+          EINVAL on an unknown template id. *)
+  | Template_discard : int -> (unit, Errno.t) result t
+      (** Drop a template, un-pinning and freeing its pages. EBUSY while
+          any live process still depends on it; EINVAL on an unknown
+          id. *)
 
 type _ Effect.t += Sys : 'a t -> 'a Effect.t
 

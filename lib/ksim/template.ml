@@ -1,0 +1,35 @@
+type t = {
+  id : int;
+  aspace : Vmem.Addr_space.t;
+  commit_pages : int;
+  fdt : Fd_table.t;
+  program : string;
+  cwd : string;
+  sigdisp : Usignal.disposition array;
+  sigmask : Usignal.Set.t;
+  source : Types.pid;
+  resident : int;
+  mutable spawns : int;
+  mutable live_deps : int;
+}
+
+let make ~id ~aspace ~commit_pages ~fdt ~program ~cwd ~sigdisp ~sigmask
+    ~source ~resident =
+  {
+    id;
+    aspace;
+    commit_pages;
+    fdt;
+    program;
+    cwd;
+    sigdisp;
+    sigmask;
+    source;
+    resident;
+    spawns = 0;
+    live_deps = 0;
+  }
+
+let destroy t =
+  Fd_table.close_all t.fdt;
+  Vmem.Addr_space.destroy_sealed t.aspace

@@ -1,0 +1,51 @@
+(** Zygote templates: the frozen image of a warmed process.
+
+    A template is what {!Api.freeze} produces — the sealed address
+    space (every resident frame pinned into {!Vmem.Frame}'s immortal
+    refcount class, every PTE already in post-fork read-only/COW form)
+    plus the rest of the process image a child inherits: fd table,
+    program name, cwd, signal dispositions and mask. Spawning from it
+    ({!Api.spawn_from_template}) shares the sealed page table by
+    bumping its root — O(shared subtrees), independent of footprint —
+    which is the paper's closing argument made concrete: creation cost
+    need not scale with the parent once the parent is an immutable
+    template.
+
+    [live_deps] counts the processes whose address space may still map
+    template pages (the zygote children, their fork descendants, and
+    the source process itself); {!Api.template_discard} refuses with
+    EBUSY until it reaches zero, at which point {!destroy} un-pins and
+    frees every page. *)
+
+type t = {
+  id : int;
+  aspace : Vmem.Addr_space.t;  (** sealed handle — never run, only cloned *)
+  commit_pages : int;  (** commit each child re-charges at spawn *)
+  fdt : Fd_table.t;
+  program : string;
+  cwd : string;
+  sigdisp : Usignal.disposition array;
+  sigmask : Usignal.Set.t;
+  source : Types.pid;  (** the process that was frozen *)
+  resident : int;  (** pinned pages, for accounting/tests *)
+  mutable spawns : int;
+  mutable live_deps : int;
+}
+
+val make :
+  id:int ->
+  aspace:Vmem.Addr_space.t ->
+  commit_pages:int ->
+  fdt:Fd_table.t ->
+  program:string ->
+  cwd:string ->
+  sigdisp:Usignal.disposition array ->
+  sigmask:Usignal.Set.t ->
+  source:Types.pid ->
+  resident:int ->
+  t
+
+val destroy : t -> unit
+(** Close the captured fds and tear down the sealed address space
+    (un-pinning and freeing every template page). The caller must have
+    checked [live_deps = 0]. *)

@@ -1,0 +1,177 @@
+(* Prefork worker pool: the real-OS zygote analog. Workers are spawned
+   once (paying the creation cost up front), warmed by a caller hook,
+   and then serve requests over a line-oriented stdin/stdout protocol —
+   so the per-request cost is a pipe round-trip, independent of how big
+   the master has grown. Crashed workers are reaped and respawned under
+   a {!Retry} policy, which is the part of the idiom fork-based pools
+   usually get wrong. *)
+
+type error =
+  | Spawn_error of Spawn.error
+  | Worker_lost
+
+let error_message = function
+  | Spawn_error e -> Spawn.error_message e
+  | Worker_lost -> "worker died and its respawn could not serve the request"
+
+type stats = { size : int; spawned : int; respawns : int; served : int }
+
+type worker = {
+  proc : Process.t;
+  to_worker : Unix.file_descr;  (** worker's stdin (write requests here) *)
+  from_worker : in_channel;  (** worker's stdout (read replies here) *)
+}
+
+type t = {
+  prog : string;
+  argv : string list;
+  attr : Spawn.attr;
+  retry : Retry.policy;
+  warmup : (send:(string -> unit) -> recv:(unit -> string) -> unit) option;
+  workers : worker array;
+  mutable next : int;
+  mutable spawned : int;
+  mutable respawns : int;
+  mutable served : int;
+  mutable closed : bool;
+}
+
+let fd_int : Unix.file_descr -> int = Obj.magic
+
+let write_line fd line =
+  let s = line ^ "\n" in
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let dispose w =
+  (try Unix.close w.to_worker with Unix.Unix_error _ -> ());
+  (try close_in w.from_worker with Sys_error _ -> ());
+  try ignore (Process.wait w.proc) with Unix.Unix_error _ -> ()
+
+let start_worker t =
+  let req_r, req_w = Unix.pipe ~cloexec:true () in
+  let resp_r, resp_w = Unix.pipe ~cloexec:true () in
+  let close_all () =
+    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      [ req_r; req_w; resp_r; resp_w ]
+  in
+  let actions =
+    [
+      File_action.dup2 ~src:(fd_int req_r) ~dst:0;
+      File_action.dup2 ~src:(fd_int resp_w) ~dst:1;
+    ]
+  in
+  match
+    Spawn.spawn_retrying ~policy:t.retry ~actions ~attr:t.attr ~prog:t.prog
+      ~argv:t.argv ()
+  with
+  | Error e ->
+    close_all ();
+    Error (Spawn_error e)
+  | Ok proc ->
+    Unix.close req_r;
+    Unix.close resp_w;
+    let w = { proc; to_worker = req_w; from_worker = Unix.in_channel_of_descr resp_r } in
+    t.spawned <- t.spawned + 1;
+    (match t.warmup with
+    | None -> ()
+    | Some hook ->
+      hook
+        ~send:(fun line -> write_line w.to_worker line)
+        ~recv:(fun () -> input_line w.from_worker));
+    Ok w
+
+let create ?(attr = Spawn.default_attr) ?(retry = Retry.default) ?warmup ~size
+    ~prog ~argv () =
+  if size < 1 then invalid_arg "Pool.create: size < 1";
+  (* writing to a crashed worker must surface as EPIPE, not kill us *)
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  let t =
+    {
+      prog;
+      argv;
+      attr;
+      retry;
+      warmup;
+      workers = [||];
+      next = 0;
+      spawned = 0;
+      respawns = 0;
+      served = 0;
+      closed = false;
+    }
+  in
+  let rec build acc n =
+    if n = 0 then Ok (List.rev acc)
+    else
+      match start_worker t with
+      | Ok w -> build (w :: acc) (n - 1)
+      | Error e ->
+        List.iter dispose acc;
+        Error e
+  in
+  match build [] size with
+  | Error e -> Error e
+  | Ok ws -> Ok { t with workers = Array.of_list ws }
+
+let size t = Array.length t.workers
+let pids t = Array.to_list (Array.map (fun w -> Process.pid w.proc) t.workers)
+
+let stats t =
+  { size = size t; spawned = t.spawned; respawns = t.respawns; served = t.served }
+
+let transact w line =
+  write_line w.to_worker line;
+  input_line w.from_worker
+
+(* Round-robin dispatch. A dead worker (EPIPE on the request, EOF or a
+   read error on the reply) is reaped, its slot respawned, and the
+   request retried once on the replacement; a second death is reported
+   rather than looped on. *)
+let submit t line =
+  if t.closed then invalid_arg "Pool.submit: pool is shut down";
+  let i = t.next in
+  t.next <- (t.next + 1) mod Array.length t.workers;
+  let attempt w =
+    match transact w line with
+    | reply -> Some reply
+    | exception (Unix.Unix_error (Unix.EPIPE, _, _) | End_of_file | Sys_error _)
+      ->
+      None
+  in
+  match attempt t.workers.(i) with
+  | Some reply ->
+    t.served <- t.served + 1;
+    Ok reply
+  | None -> (
+    dispose t.workers.(i);
+    t.respawns <- t.respawns + 1;
+    match start_worker t with
+    | Error e -> Error e
+    | Ok w -> (
+      t.workers.(i) <- w;
+      match attempt w with
+      | Some reply ->
+        t.served <- t.served + 1;
+        Ok reply
+      | None -> Error Worker_lost))
+
+let shutdown t =
+  if t.closed then []
+  else begin
+    t.closed <- true;
+    Array.to_list
+      (Array.map
+         (fun w ->
+           (try Unix.close w.to_worker with Unix.Unix_error _ -> ());
+           let status = Process.wait w.proc in
+           (try close_in w.from_worker with Sys_error _ -> ());
+           status)
+         t.workers)
+  end

@@ -1,0 +1,68 @@
+(** Prefork worker pool — the real-OS analog of the simulator's zygote
+    templates ({!Ksim.Api.freeze} / {!Ksim.Api.spawn_from_template}).
+
+    A pool spawns [size] worker processes up front via {!Spawn.spawn}
+    (so process creation is paid once, while the master is still small),
+    optionally runs a warm-up exchange with each, and then serves
+    requests over a line-oriented stdin/stdout pipe protocol: one
+    request line in, one reply line out.  Workers that crash are reaped
+    and respawned under a {!Retry} policy, and the in-flight request is
+    retried once on the replacement.
+
+    Creating a pool sets [SIGPIPE] to ignored for the whole process, so
+    that writes to a crashed worker surface as [EPIPE] instead of
+    killing the master. *)
+
+type error =
+  | Spawn_error of Spawn.error  (** a (re)spawn failed after retries *)
+  | Worker_lost
+      (** the worker died mid-request and its freshly respawned
+          replacement died too *)
+
+val error_message : error -> string
+
+type stats = {
+  size : int;  (** configured pool size *)
+  spawned : int;  (** workers started over the pool's lifetime *)
+  respawns : int;  (** crash-respawn events *)
+  served : int;  (** successful request/reply round-trips *)
+}
+
+type t
+
+val create :
+  ?attr:Spawn.attr ->
+  ?retry:Retry.policy ->
+  ?warmup:(send:(string -> unit) -> recv:(unit -> string) -> unit) ->
+  size:int ->
+  prog:string ->
+  argv:string list ->
+  unit ->
+  (t, error) result
+(** [create ~size ~prog ~argv ()] starts [size] workers running [prog]
+    with their stdin/stdout wired to per-worker pipes.  [warmup] is
+    invoked once per fresh worker (including crash respawns) with
+    [send]/[recv] closures speaking the line protocol, before the worker
+    serves any pool request.  [retry] governs transient spawn failures
+    (see {!Spawn.spawn_retrying}).  If any worker fails to start, the
+    already-started ones are torn down and the error is returned.
+
+    @raise Invalid_argument if [size < 1]. *)
+
+val submit : t -> string -> (string, error) result
+(** [submit t line] dispatches [line] (newline appended) to the next
+    worker round-robin and waits for one reply line.  A dead worker is
+    reaped, its slot respawned, and the request retried once.
+
+    @raise Invalid_argument if the pool has been shut down. *)
+
+val size : t -> int
+val pids : t -> int list
+(** Current worker pids, in slot order. *)
+
+val stats : t -> stats
+
+val shutdown : t -> Process.status list
+(** Close every worker's stdin (EOF tells well-behaved workers to exit)
+    and wait for each, returning their exit statuses in slot order.
+    Idempotent: subsequent calls return [[]]. *)

@@ -609,6 +609,75 @@ let clone_eager t =
       Error `Out_of_memory
     | Ok () -> Ok (clone_common t ~pt:child_pt ~committed_charge:t.committed))
 
+(* Template (zygote) support.
+
+   [seal] turns a warmed address space into an immutable template image:
+   one fork-shaped pass (charged at exactly the fork categories — the
+   freeze is an honest O(footprint) one-time cost) that downgrades
+   writable pages to read-only COW and pins every resident frame
+   immortal, so per-child spawns never touch those refcounts. The
+   source keeps running; its later writes COW away from the pinned
+   frames. The returned space is the template's handle: it carries the
+   sealed table, the region map and heap marker children inherit, and a
+   zero commit charge (each child re-charges its own commit; the
+   template object owns frames, not commit). *)
+let seal t =
+  alive t "Addr_space.seal";
+  let p = params t in
+  Cost.charge ~n:(Region_map.cardinal t.regions) t.cost "fork:vma"
+    (p.Cost.vma_clone *. float_of_int (Region_map.cardinal t.regions));
+  let tpl_pt =
+    Page_table.seal_cow t.pt ~frames:t.frames ~cost:t.cost
+      ~shared:(shared_ranges t)
+  in
+  Tlb.shootdown t.tlb;
+  clone_common t ~pt:tpl_pt ~committed_charge:0
+
+(* Spawn a child space from a sealed template in O(shared subtrees).
+   The commit charge is the only fallible step and runs first, so a
+   failed spawn leaves the template (and the machine) untouched —
+   the transactional invariant the fault-injection tests check. *)
+let clone_from_sealed tpl ~commit_pages =
+  alive tpl "Addr_space.clone_from_sealed";
+  let p = params tpl in
+  match Frame.commit tpl.frames commit_pages with
+  | Error `Commit_limit -> Error `Commit_limit
+  | Ok () ->
+    Cost.charge ~n:(Region_map.cardinal tpl.regions) tpl.cost "fork:vma"
+      (p.Cost.vma_clone *. float_of_int (Region_map.cardinal tpl.regions));
+    let pt, subtrees = Page_table.clone_sealed tpl.pt ~cost:tpl.cost in
+    Ok (clone_common tpl ~pt ~committed_charge:commit_pages, subtrees)
+
+(* True when every resident frame has refcount exactly 1 — no COW
+   sharer, no template pin. Freezing demands this: a sole-owner source
+   is the only holder of its frames, so pinning them transfers clean
+   ownership to the template and discard can account for every page. *)
+let sole_owner t =
+  alive t "Addr_space.sole_owner";
+  match
+    Page_table.fold_present t.pt ~init:() ~f:(fun () ~vpn:_ pte ->
+        if Frame.refcount t.frames (Pte.frame pte) <> 1 then raise Exit)
+  with
+  | () -> true
+  | exception Exit -> false
+
+(* Tear down a template handle: un-pin every resident frame back to a
+   single counted reference, then drop the table, freeing them. Only
+   legal once nothing alive depends on the template (the kernel's
+   live-dependant count gates this with EBUSY). *)
+let destroy_sealed t =
+  if not t.dead then begin
+    Cost.charge t.cost "proc:destroy" (params t).Cost.proc_destroy;
+    Page_table.fold_present t.pt ~init:() ~f:(fun () ~vpn:_ pte ->
+        Frame.unpin t.frames (Pte.frame pte));
+    ignore (Page_table.clear t.pt ~frames:t.frames);
+    Frame.uncommit t.frames t.committed;
+    t.committed <- 0;
+    t.regions <- Region_map.empty;
+    t.heap <- None;
+    t.dead <- true
+  end
+
 let destroy t =
   if not t.dead then begin
     Cost.charge t.cost "proc:destroy" (params t).Cost.proc_destroy;

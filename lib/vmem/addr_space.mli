@@ -103,6 +103,35 @@ val clone_eager : t -> (t, [> `Commit_limit | `Out_of_memory ]) result
 (** Eager copy (no COW): every resident page is copied immediately. The
     ablation baseline for E9. *)
 
+val seal : t -> t
+(** Freeze the address space into an immutable template image: one
+    fork-shaped pass (charged at the fork categories — freezing is an
+    honest O(footprint) one-time cost) downgrades writable pages to
+    read-only COW, pins every resident frame into the immortal refcount
+    class, and flushes the source TLB. The source space stays live (its
+    later writes COW away from the pinned frames); the returned handle
+    carries the sealed table, the inherited region map and heap marker,
+    and a zero commit charge. *)
+
+val clone_from_sealed :
+  t -> commit_pages:int -> (t * int, [> `Commit_limit ]) result
+(** Spawn a child space from a sealed template in O(shared subtrees):
+    charge [commit_pages] of commit (the only fallible step, performed
+    first so failure leaves the template untouched), then share the
+    sealed table by bumping its root — one ["zygote:subtree"] charge per
+    occupied root slot, independent of footprint. Returns the child and
+    the number of subtrees shared. *)
+
+val sole_owner : t -> bool
+(** True when every resident frame has refcount exactly 1 — the freeze
+    precondition: no COW sharer or template pin may already hold the
+    frames this space is about to seal. *)
+
+val destroy_sealed : t -> unit
+(** Tear down a template handle: un-pin every resident frame and free
+    it. Only legal once nothing alive depends on the template (the
+    kernel gates this with EBUSY). Idempotent. *)
+
 val destroy : t -> unit
 (** Release every frame and commit charge. Idempotent; using a destroyed
     address space raises [Invalid_argument]. *)

@@ -2,11 +2,14 @@ type policy = Strict | Overcommit
 
 type frame = int
 
-(* Refcounts are byte-packed: values 0..254 live directly in [refcounts];
-   the sentinel 255 means the true count (>= 255) is in [spill]. Sweeps
-   allocate tens of millions of frames per boot, so the count store must
-   be one byte per frame, not one word. *)
+(* Refcounts are byte-packed: values 0..253 live directly in [refcounts];
+   the sentinel 255 means the true count (>= 254) is in [spill], and the
+   sentinel 254 marks an {e immortal} frame — pinned by a sealed
+   template, exempt from counting entirely. Sweeps allocate tens of
+   millions of frames per boot, so the count store must be one byte per
+   frame, not one word. *)
 let spilled = 255
+let immortal = 254
 
 (* The free list is a LIFO stack, run-compressed: teardown frees frames
    in long ascending bursts, so the stack stores (lo, hi) runs where the
@@ -24,6 +27,7 @@ type t = {
   mutable run_hi : int array;  (** free-stack run ends (inclusive) *)
   mutable run_top : int;  (** number of live runs *)
   mutable used : int;
+  mutable pinned : int;  (** frames in the immortal class *)
   mutable committed : int;
   mutable policy : policy;
   data : (int, Bytes.t) Hashtbl.t;  (** materialised contents *)
@@ -47,6 +51,7 @@ let create ?(policy = Strict) ~frames () =
     run_hi = [||];
     run_top = 0;
     used = 0;
+    pinned = 0;
     committed = 0;
     policy;
     data = Hashtbl.create 64;
@@ -159,20 +164,22 @@ let alloc_upto t n =
   end
 
 let incref_spilling t f c =
-  if c = spilled - 1 then begin
+  if c = immortal - 1 then begin
     rc_set t f spilled;
-    Hashtbl.replace t.spill f spilled
+    Hashtbl.replace t.spill f (c + 1)
   end
   else Hashtbl.replace t.spill f (Hashtbl.find t.spill f + 1)
 
 let incref t f =
   check_frame t f "Frame.incref";
   let c = rc_get t f in
-  if c < spilled - 1 then rc_set t f (c + 1) else incref_spilling t f c
+  if c < immortal - 1 then rc_set t f (c + 1)
+  else if c = immortal then ()
+  else incref_spilling t f c
 
 let decref_spilled t f =
   let v = Hashtbl.find t.spill f - 1 in
-  if v < spilled then begin
+  if v < immortal then begin
     Hashtbl.remove t.spill f;
     rc_set t f v
   end
@@ -185,6 +192,7 @@ let decref t f =
     decref_spilled t f;
     false
   end
+  else if c = immortal then false
   else begin
     rc_set t f (c - 1);
     if c = 1 then begin
@@ -203,7 +211,8 @@ let incref_many t fs n =
     if f < 0 || f >= t.nframes then check_frame t f "Frame.incref";
     let c = rc_get t f in
     if c = 0 then check_frame t f "Frame.incref"
-    else if c < spilled - 1 then rc_set t f (c + 1)
+    else if c < immortal - 1 then rc_set t f (c + 1)
+    else if c = immortal then ()
     else incref_spilling t f c
   done
 
@@ -220,6 +229,7 @@ let decref_many t fs n =
       t.used <- t.used - 1
     end
     else if c = 0 then check_frame t f "Frame.decref"
+    else if c = immortal then ()
     else if c < spilled then rc_set t f (c - 1)
     else decref_spilled t f
   done
@@ -229,7 +239,39 @@ let refcount t f =
   else
     match rc_get t f with
     | c when c = spilled -> Hashtbl.find t.spill f
+    | c when c = immortal -> max_int
     | c -> c
+
+(* The immortal class: a pinned frame belongs to a sealed template, so
+   it opts out of reference counting — incref/decref become no-ops,
+   {!refcount} reads as [max_int] (COW breaks always copy away from it,
+   never reclaim it in place), and the frame cannot be freed until
+   {!unpin} returns it to a normally-counted single reference. Pinning
+   is what keeps zygote spawns O(shared subtrees): children never touch
+   the per-frame counts of template pages. *)
+let pin t f =
+  check_frame t f "Frame.pin";
+  let c = rc_get t f in
+  if c <> immortal then begin
+    if c = spilled then Hashtbl.remove t.spill f;
+    rc_set t f immortal;
+    t.pinned <- t.pinned + 1
+  end
+
+let pin_many t fs n =
+  if n < 0 || n > Array.length fs then invalid_arg "Frame.pin_many";
+  for i = 0 to n - 1 do
+    pin t (Array.unsafe_get fs i)
+  done
+
+let unpin t f =
+  check_frame t f "Frame.unpin";
+  if rc_get t f <> immortal then invalid_arg "Frame.unpin: frame not pinned";
+  rc_set t f 1;
+  t.pinned <- t.pinned - 1
+
+let is_pinned t f = f >= 0 && f < t.nframes && rc_get t f = immortal
+let pinned t = t.pinned
 
 let commit t pages =
   if pages < 0 then invalid_arg "Frame.commit: negative";

@@ -72,7 +72,31 @@ val decref_many : t -> frame array -> int -> unit
     [n]. *)
 
 val refcount : t -> frame -> int
-(** 0 for unallocated frames. *)
+(** 0 for unallocated frames; [max_int] for pinned (immortal) frames. *)
+
+val pin : t -> frame -> unit
+(** Move the frame into the immortal refcount class: {!incref} and
+    {!decref} become no-ops and {!refcount} reads as [max_int], so COW
+    breaks always copy away from it and nothing can free it. Sealed
+    templates pin their pages so zygote children never touch the
+    per-frame counts. Idempotent. @raise Invalid_argument on an
+    unallocated frame. *)
+
+val pin_many : t -> frame array -> int -> unit
+(** [pin_many t fs n] is {!pin} on [fs.(0..n-1)] (the seal pass pins
+    every resident frame). @raise Invalid_argument like {!pin}, or on a
+    bad [n]. *)
+
+val unpin : t -> frame -> unit
+(** Return a pinned frame to a normally-counted single reference
+    (refcount 1) — the template-teardown path, after which a plain
+    {!decref} frees it. @raise Invalid_argument if the frame is not
+    pinned. *)
+
+val is_pinned : t -> frame -> bool
+
+val pinned : t -> int
+(** Number of frames currently in the immortal class. *)
 
 val commit : t -> int -> (unit, [> `Commit_limit ]) result
 (** [commit t pages] charges [pages] of commit. Fails under [Strict]

@@ -424,6 +424,96 @@ let clone_cow_shared t ~frames ~cost ~shared =
   bump t.root;
   { root = t.root; present = t.present; nodes = t.nodes }
 
+(* Seal pass: identical shape (and identical cost charges) to
+   {!clone_cow_shared}, but the frames move into the immortal refcount
+   class instead of gaining a reference — a sealed template's pages are
+   owned by the template object, not counted per-child. The returned
+   table is the template's immutable handle; [t] stays usable by the
+   source process, whose later writes COW away from the pinned frames. *)
+let seal_cow t ~frames ~cost ~shared =
+  let p = Cost.params cost in
+  Cost.charge ~n:t.nodes cost "fork:pt-node"
+    (p.Cost.pt_node_copy *. float_of_int t.nodes);
+  if t.present > 0 then
+    Cost.charge ~n:t.present cost "fork:pte"
+      (p.Cost.pte_copy *. float_of_int t.present);
+  let shared_tail = ref shared in
+  let scratch = Array.make Addr.entries_per_table 0 in
+  let transform_leaf entries base =
+    let rec advance () =
+      match !shared_tail with
+      | (_, hi, _) :: rest when hi < base ->
+        shared_tail := rest;
+        advance ()
+      | l -> l
+    in
+    let overlaps_leaf =
+      match advance () with
+      | (lo, _, _) :: _ -> lo <= base + Addr.entries_per_table - 1
+      | [] -> false
+    in
+    if not overlaps_leaf then begin
+      let k =
+        Pte.downgrade_run entries ~lo:0 ~hi:(Addr.entries_per_table - 1)
+          ~dst:scratch
+      in
+      if k > 0 then Frame.pin_many frames scratch k
+    end
+    else
+      for i = 0 to Addr.entries_per_table - 1 do
+        let pte = entries.(i) in
+        if Pte.present pte then begin
+          let vpn = base lor i in
+          let rec perm_for () =
+            match !shared_tail with
+            | (_, hi, _) :: rest when hi < vpn ->
+              shared_tail := rest;
+              perm_for ()
+            | (lo, _, rperm) :: _ when lo <= vpn -> Some rperm
+            | _ -> None
+          in
+          Frame.pin frames (Pte.frame pte);
+          let updated = fork_transform pte ~shared_perm:(perm_for ()) in
+          if updated <> pte then entries.(i) <- updated
+        end
+      done
+  in
+  let rec go node level vpn_prefix =
+    match node with
+    | Leaf l -> transform_leaf l.entries (vpn_prefix lsl Addr.index_bits)
+    | Inner i ->
+      for idx = 0 to Addr.entries_per_table - 1 do
+        match i.children.(idx) with
+        | None -> ()
+        | Some child ->
+          go child (level - 1) ((vpn_prefix lsl Addr.index_bits) lor idx)
+      done
+  in
+  go t.root (Addr.levels - 1) 0;
+  bump t.root;
+  { root = t.root; present = t.present; nodes = t.nodes }
+
+(* Clone from a sealed table: every frame behind it is immortal and
+   every PTE is already in post-fork form, so there is nothing to
+   transform and no per-page refcount work — bump the root and charge
+   one node copy per top-level subtree. This is the O(shared subtrees)
+   spawn the zygote subsystem sells: cost is the root fan-out, not the
+   footprint. *)
+let clone_sealed t ~cost =
+  let p = Cost.params cost in
+  let subtrees =
+    match t.root with
+    | Leaf _ -> 1
+    | Inner i ->
+      Array.fold_left
+        (fun n c -> match c with None -> n | Some _ -> n + 1)
+        0 i.children
+  in
+  let n = max subtrees 1 in
+  Cost.charge ~n cost "zygote:subtree" (p.Cost.pt_node_copy *. float_of_int n);
+  bump t.root;
+  ({ root = t.root; present = t.present; nodes = t.nodes }, subtrees)
+
 let clear t ~frames =
   (* Same ascending decref order as a [fold_present] walk, but one
      gather + one [Frame.decref_many] per leaf instead of two

@@ -116,6 +116,28 @@ val clone_cow_shared :
     {!clone_cow}-then-fixup result), all other writable pages are
     downgraded to read-only COW in both tables. *)
 
+val seal_cow :
+  t ->
+  frames:Frame.t ->
+  cost:Cost.t ->
+  shared:(int * int * Perm.t) list ->
+  t
+(** Seal the table into a template image: the same transform pass (and
+    the same [pt_node_copy]/[pte_copy] charges) as {!clone_cow_shared},
+    but every resident frame is moved into the immortal refcount class
+    ({!Frame.pin}) instead of gaining a reference. The returned table is
+    the template's handle; [t] remains usable by the source process,
+    whose later writes COW away from the pinned frames. The caller owes
+    the source TLB flush the downgrade requires. *)
+
+val clone_sealed : t -> cost:Cost.t -> t * int
+(** Clone a sealed template table for a zygote child in O(top-level
+    subtrees): the frames behind it are immortal and the PTEs are
+    already in post-fork form, so the clone bumps the root and charges
+    one [pt_node_copy] per occupied root slot — cost proportional to the
+    root fan-out (category ["zygote:subtree"]), not the footprint.
+    Returns the child table and the number of subtrees shared. *)
+
 val clear : t -> frames:Frame.t -> int
 (** Drop every present entry, decrementing frame refcounts; returns the
     number of entries dropped. Subtrees shared with a clone survive

@@ -9,9 +9,25 @@ let warn fmt =
       end)
     fmt
 
+let override = ref None
+
+let set_jobs n =
+  if n < 0 then invalid_arg "Par.set_jobs: negative job count";
+  override := Some n
+
 let jobs () =
   let cores = Domain.recommended_domain_count () in
-  match Sys.getenv_opt "FORKROAD_JOBS" with
+  match !override with
+  | Some 0 -> 1 (* 0 = explicitly sequential, like the env var *)
+  | Some n ->
+    let cap = 4 * cores in
+    if n > cap then begin
+      warn "--jobs %d exceeds 4x cores; clamping to %d" n cap;
+      cap
+    end
+    else n
+  | None -> (
+    match Sys.getenv_opt "FORKROAD_JOBS" with
   | Some s -> (
     let cap = 4 * cores in
     match int_of_string_opt (String.trim s) with
@@ -26,7 +42,7 @@ let jobs () =
     | None ->
       warn "FORKROAD_JOBS=%S is not an integer; using %d (cores)" s cores;
       cores)
-  | None -> cores
+    | None -> cores)
 
 let map ?jobs:requested f xs =
   let jobs = match requested with Some n -> n | None -> jobs () in

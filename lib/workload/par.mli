@@ -9,13 +9,21 @@
     this). *)
 
 val jobs : unit -> int
-(** The worker count the pool uses by default, from the [FORKROAD_JOBS]
-    environment variable: a positive integer is used as-is but clamped
-    to 4x [Domain.recommended_domain_count ()] (more workers than that
-    only adds contention), [0] explicitly selects sequential execution,
-    and anything invalid (negative, non-numeric) falls back to the core
-    count. Every non-identity interpretation is announced once on
-    stderr so a typo'd value cannot silently change the worker count. *)
+(** The worker count the pool uses by default: {!set_jobs}'s value when
+    one has been set (the bench harness's [--jobs N] flag), otherwise
+    the [FORKROAD_JOBS] environment variable: a positive integer is used
+    as-is but clamped to 4x [Domain.recommended_domain_count ()] (more
+    workers than that only adds contention), [0] explicitly selects
+    sequential execution, and anything invalid (negative, non-numeric)
+    falls back to the core count. Every non-identity interpretation is
+    announced once on stderr so a typo'd value cannot silently change
+    the worker count. *)
+
+val set_jobs : int -> unit
+(** Programmatic override taking precedence over [FORKROAD_JOBS]; the
+    value is interpreted exactly like the environment variable ([0] =
+    sequential, clamped to 4x cores).
+    @raise Invalid_argument on a negative count. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] applies [f] to every element and returns the results in

@@ -170,7 +170,8 @@ let test_errno_domains () =
     [
       "fork"; "vfork"; "posix_spawn"; "execve"; "waitpid"; "open"; "close";
       "read"; "write"; "mmap"; "munmap"; "kill"; "pipe"; "dup"; "dup2";
-      "pb_create"; "pb_start";
+      "pb_create"; "pb_start"; "template_freeze"; "template_spawn";
+      "template_discard";
     ];
   (* infallible syscalls have none *)
   check_bool "getpid has no domain" true (Ksim.Sysreq.errnos_of_name "getpid" = None);
@@ -425,6 +426,57 @@ let test_injected_syscall_and_retry () =
     (List.assoc "inj-syscalls"
        (Ksim.Kstat.snapshot (Ksim.Kstat.global (Ksim.Kernel.kstat t))))
 
+(* An injected transient on a zygote spawn is transactional by
+   construction (dispatch denies the syscall before the handler runs):
+   the template's counters never move and the next spawn succeeds. *)
+let test_injected_template_spawn () =
+  let fault =
+    {
+      Ksim.Fault.seed = 0;
+      triggers =
+        [
+          Ksim.Fault.Syscall_nth
+            { kind = "template_spawn"; nth = 1; errno = Ksim.Errno.EAGAIN };
+        ];
+    }
+  in
+  let config =
+    {
+      Ksim.Kernel.default_config with
+      Ksim.Kernel.aslr = false;
+      fault = Some fault;
+    }
+  in
+  let t, outcome =
+    boot_with ~config (fun t ->
+        let addr = ok (Ksim.Api.mmap ~len:(8 * page) ~perm:Vmem.Perm.rw) in
+        ignore (ok (Ksim.Api.touch ~addr ~len:(8 * page)));
+        let before = snap t in
+        let tpl = ok (Ksim.Api.freeze ()) in
+        let template = Option.get (Ksim.Kernel.find_template t tpl) in
+        expect_errno Ksim.Errno.EAGAIN
+          (Ksim.Api.spawn_from_template tpl ~child:(fun () -> Ksim.Api.exit 0));
+        check_int "spawns unmoved" 0 template.Ksim.Template.spawns;
+        check_int "deps unmoved" 1 template.Ksim.Template.live_deps;
+        Alcotest.(check (list int)) "pid table unmoved" before.pids (pid_table t);
+        let pid =
+          ok (Ksim.Api.spawn_from_template tpl ~child:(fun () -> Ksim.Api.exit 0))
+        in
+        ignore (ok (Ksim.Api.wait_for pid));
+        check_int "second spawn counted" 1 template.Ksim.Template.spawns)
+  in
+  all_exited outcome;
+  check_int "one injection" 1 (Ksim.Fault.injected (fi t) Ksim.Fault.Syscall);
+  (* only the template's pinned pages survive *)
+  let tpl_pages =
+    List.fold_left
+      (fun acc tpl -> acc + tpl.Ksim.Template.resident)
+      0 (Ksim.Kernel.templates t)
+  in
+  check_int "used = pinned template pages" tpl_pages
+    (Vmem.Frame.used (Ksim.Kernel.frames t));
+  check_int "no commit leak" 0 (Vmem.Frame.committed (Ksim.Kernel.frames t))
+
 (* Retry policy unit behaviour: attempts are bounded, delays grow
    geometrically under the cap, and the give-up error is the last real
    one. *)
@@ -475,6 +527,100 @@ let test_retry_policy () =
   in
   check_int "succeeds on 3rd try" 3 (ok r)
 
+(* Retry edge cases: a zero-attempt policy is rejected before any work,
+   a backoff schedule that lands exactly on the cap stays there without
+   overshoot, and the builder's retry backoff burns simulated slices,
+   not wall-clock seconds. *)
+let test_retry_zero_attempts () =
+  let bad =
+    {
+      Spawnlib.Retry.max_attempts = 0;
+      initial_delay = 1.0;
+      backoff = 2.0;
+      max_delay = 4.0;
+    }
+  in
+  Alcotest.check_raises "delays" (Invalid_argument "Retry: max_attempts < 1")
+    (fun () -> ignore (Spawnlib.Retry.delays bad));
+  let calls = ref 0 in
+  Alcotest.check_raises "with_policy"
+    (Invalid_argument "Retry: max_attempts < 1") (fun () ->
+      ignore
+        (Spawnlib.Retry.with_policy bad
+           ~sleep:(fun _ -> ())
+           ~should_retry:(fun _ -> true)
+           (fun ~attempt:_ ->
+             incr calls;
+             (Error Ksim.Errno.EAGAIN : (unit, _) result))));
+  check_int "function never ran" 0 !calls
+
+let test_retry_backoff_cap_exact () =
+  (* 1, 2, 4 = cap hit exactly on the 3rd delay; later delays hold at
+     the cap rather than oscillating or overshooting *)
+  let p =
+    {
+      Spawnlib.Retry.max_attempts = 6;
+      initial_delay = 1.0;
+      backoff = 2.0;
+      max_delay = 4.0;
+    }
+  in
+  Alcotest.(check (list (float 1e-9)))
+    "cap reached exactly, then held"
+    [ 1.0; 2.0; 4.0; 4.0; 4.0 ]
+    (Spawnlib.Retry.delays p);
+  let slept = ref [] in
+  let r =
+    Spawnlib.Retry.with_policy p
+      ~sleep:(fun d -> slept := d :: !slept)
+      ~should_retry:(fun _ -> true)
+      (fun ~attempt:_ -> Error Ksim.Errno.EAGAIN)
+  in
+  expect_errno Ksim.Errno.EAGAIN r;
+  Alcotest.(check (list (float 1e-9)))
+    "with_policy sleeps exactly delays p" (Spawnlib.Retry.delays p)
+    (List.rev !slept)
+
+let test_builder_retry_sim_time () =
+  (* three injected transient failures force the full backoff schedule;
+     with wall-clock sleeps this test would take >= 3 real seconds *)
+  let fault =
+    {
+      Ksim.Fault.seed = 11;
+      triggers =
+        [
+          Ksim.Fault.Syscall_nth
+            { kind = "pb_create"; nth = 1; errno = Ksim.Errno.EAGAIN };
+          Ksim.Fault.Syscall_nth
+            { kind = "pb_create"; nth = 2; errno = Ksim.Errno.EAGAIN };
+          Ksim.Fault.Syscall_nth
+            { kind = "pb_create"; nth = 3; errno = Ksim.Errno.EAGAIN };
+        ];
+    }
+  in
+  let config = { Ksim.Kernel.default_config with Ksim.Kernel.fault = Some fault } in
+  let policy =
+    {
+      Spawnlib.Retry.max_attempts = 4;
+      initial_delay = 1.0;
+      backoff = 1.0;
+      max_delay = 1.0;
+    }
+  in
+  let wall0 = Unix.gettimeofday () in
+  let t, outcome =
+    boot_with ~config (fun t ->
+        let before = Ksim.Kernel.clock t in
+        let pid = ok (Forkroad.Procbuilder.spawn_retrying ~policy "/bin/true") in
+        ignore (ok (Ksim.Api.wait_for pid));
+        check_bool "backoff advanced the simulated clock" true
+          (Ksim.Kernel.clock t > before))
+  in
+  all_exited outcome;
+  check_int "all three faults fired" 3
+    (Ksim.Fault.injected (fi t) Ksim.Fault.Syscall);
+  check_bool "no wall-clock sleeping" true (Unix.gettimeofday () -. wall0 < 1.0)
+
 (* ------------------------------------------------------------------ *)
 (* QCheck: random programs x random fault schedules *)
 
@@ -488,6 +634,9 @@ type fop =
   | F_builder_retry
   | F_brk
   | F_yield
+  | F_freeze
+  | F_tpl_spawn of int
+  | F_tpl_discard of int
 
 let run_fop op =
   match op with
@@ -511,6 +660,12 @@ let run_fop op =
     match Forkroad.Procbuilder.spawn_retrying "/bin/true" with Ok _ | Error _ -> ())
   | F_brk -> ( match Ksim.Api.sbrk page with Ok _ | Error _ -> ())
   | F_yield -> Ksim.Api.yield ()
+  | F_freeze -> ( match Ksim.Api.freeze () with Ok _ | Error _ -> ())
+  | F_tpl_spawn id -> (
+    match Ksim.Api.spawn_from_template id ~child:(fun () -> Ksim.Api.exit 0) with
+    | Ok _ | Error _ -> ())
+  | F_tpl_discard id -> (
+    match Ksim.Api.template_discard id with Ok _ | Error _ -> ())
 
 let gen_fop =
   QCheck.Gen.oneof
@@ -524,6 +679,9 @@ let gen_fop =
       QCheck.Gen.return F_builder_retry;
       QCheck.Gen.return F_brk;
       QCheck.Gen.return F_yield;
+      QCheck.Gen.return F_freeze;
+      QCheck.Gen.map (fun n -> F_tpl_spawn (1 + n)) (QCheck.Gen.int_bound 2);
+      QCheck.Gen.map (fun n -> F_tpl_discard (1 + n)) (QCheck.Gen.int_bound 2);
     ]
 
 let gen_errno = QCheck.Gen.oneofl Ksim.Fault.injectable
@@ -537,6 +695,10 @@ let gen_trigger =
       map2
         (fun n e -> Ksim.Fault.Syscall_nth { kind = "fork"; nth = 1 + n; errno = e })
         (int_bound 3) gen_errno;
+      map2
+        (fun n e ->
+          Ksim.Fault.Syscall_nth { kind = "template_spawn"; nth = 1 + n; errno = e })
+        (int_bound 2) gen_errno;
       map
         (fun p -> Ksim.Fault.Frame_alloc_random (0.02 *. float_of_int p))
         (int_bound 5);
@@ -577,6 +739,9 @@ let show_fop = function
   | F_builder_retry -> "builder_retry"
   | F_brk -> "brk"
   | F_yield -> "yield"
+  | F_freeze -> "freeze"
+  | F_tpl_spawn id -> Printf.sprintf "tpl_spawn%d" id
+  | F_tpl_discard id -> Printf.sprintf "tpl_discard%d" id
 
 let show_case (seed, triggers, ops) =
   Printf.sprintf "seed=%d faults=[%s] ops=[%s]" seed
@@ -628,7 +793,15 @@ let prop_fault_schedules =
         &&
         (match outcome with
         | Ksim.Kernel.All_exited ->
-          Vmem.Frame.used (Ksim.Kernel.frames t) = 0
+          (* the only frames allowed to survive are the pinned pages of
+             still-registered templates; commit charges all return *)
+          let tpl_pages =
+            List.fold_left
+              (fun acc tpl -> acc + tpl.Ksim.Template.resident)
+              0 (Ksim.Kernel.templates t)
+          in
+          Vmem.Frame.used (Ksim.Kernel.frames t) = tpl_pages
+          && Vmem.Frame.pinned (Ksim.Kernel.frames t) = tpl_pages
           && Vmem.Frame.committed (Ksim.Kernel.frames t) = 0
         | Ksim.Kernel.Stalled _ | Ksim.Kernel.Tick_limit ->
           (* injected failures may leave a program blocked; the property
@@ -661,7 +834,11 @@ let () =
           tc "injected eager-fork rollback" test_injected_fork_eager_rollback;
           tc "pb_start retry after injection" test_pb_start_retry_after_injected_failure;
           tc "injected syscall + retry" test_injected_syscall_and_retry;
+          tc "injected zygote spawn" test_injected_template_spawn;
           tc "retry policy" test_retry_policy;
+          tc "retry zero attempts" test_retry_zero_attempts;
+          tc "retry backoff cap exact" test_retry_backoff_cap_exact;
+          tc "builder retry in sim time" test_builder_retry_sim_time;
         ] );
       ("schedules", [ qtest prop_fault_schedules ]);
     ]

@@ -1697,6 +1697,248 @@ let test_fork_cost_scales_spawn_does_not () =
     (spawn_small = 0.0 && spawn_big = 0.0)
 
 (* ------------------------------------------------------------------ *)
+(* zygote templates *)
+
+let test_zygote_lifecycle () =
+  let t, outcome =
+    boot (fun _ ->
+        let addr = ok (Ksim.Api.mmap ~len:(8 * page) ~perm:Vmem.Perm.rw) in
+        ok (Ksim.Api.mem_write ~addr "Z");
+        ignore (ok (Ksim.Api.touch ~addr ~len:(8 * page)));
+        let tpl = ok (Ksim.Api.freeze ()) in
+        (* the source still maps the pinned pages: discard refuses *)
+        expect_errno Ksim.Errno.EBUSY (Ksim.Api.template_discard tpl);
+        let spawn_reader tag =
+          ok
+            (Ksim.Api.spawn_from_template tpl ~child:(fun () ->
+                 Ksim.Api.print
+                   (tag ^ "-sees:" ^ ok (Ksim.Api.mem_read ~addr ~len:1) ^ ";");
+                 ok (Ksim.Api.mem_write ~addr "C");
+                 Ksim.Api.print
+                   (tag ^ "-now:" ^ ok (Ksim.Api.mem_read ~addr ~len:1) ^ ";");
+                 Ksim.Api.exit 0))
+        in
+        let a = spawn_reader "a" in
+        ignore (ok (Ksim.Api.wait_for a));
+        (* the first child's private write never reaches the template:
+           a second child still reads the frozen byte *)
+        let b = spawn_reader "b" in
+        ignore (ok (Ksim.Api.wait_for b));
+        Ksim.Api.print ("source:" ^ ok (Ksim.Api.mem_read ~addr ~len:1)))
+  in
+  all_exited outcome;
+  check_str "console" "a-sees:Z;a-now:C;b-sees:Z;b-now:C;source:Z"
+    (Ksim.Kernel.console t);
+  let g = Ksim.Kstat.global (Ksim.Kernel.kstat t) in
+  check_int "one freeze" 1 (counter g "tpl-freezes");
+  check_int "two zygote spawns" 2 (counter g "tpl-spawns");
+  check_bool "pages shared without per-page work" true
+    (counter g "tpl-pages-shared" >= 16);
+  match Ksim.Kernel.templates t with
+  | [ tpl ] ->
+    check_int "spawn count" 2 tpl.Ksim.Template.spawns;
+    check_int "no live deps after exit" 0 tpl.Ksim.Template.live_deps;
+    (* everything except the pinned template pages was returned *)
+    check_int "used = template resident" tpl.Ksim.Template.resident
+      (Vmem.Frame.used (Ksim.Kernel.frames t));
+    check_int "pinned = resident" tpl.Ksim.Template.resident
+      (Vmem.Frame.pinned (Ksim.Kernel.frames t));
+    check_int "no commit leak" 0 (Vmem.Frame.committed (Ksim.Kernel.frames t))
+  | l -> Alcotest.failf "expected one template, got %d" (List.length l)
+
+(* Freeze a warmed (spawned, hence sole-owner) worker from its parent,
+   spawn from the template while it lives, and discard once every
+   dependent — source, then zygote child — is gone. *)
+let test_zygote_discard_lifecycle () =
+  let warm =
+    prog "/warm" (fun argv ->
+        match argv with
+        | [ ready_w; release_r ] ->
+          let addr = ok (Ksim.Api.mmap ~len:(4 * page) ~perm:Vmem.Perm.rw) in
+          ignore (ok (Ksim.Api.touch ~addr ~len:(4 * page)));
+          ok (Ksim.Api.write_all (int_of_string ready_w) "R");
+          ignore (ok (Ksim.Api.read (int_of_string release_r) 1));
+          Ksim.Api.exit 0
+        | _ -> Ksim.Api.exit 1)
+  in
+  let tref = ref None in
+  let init =
+    prog "/sbin/init" (fun _ ->
+        let t = Option.get !tref in
+        let frames = Ksim.Kernel.frames t in
+        let ready_r, ready_w = ok (Ksim.Api.pipe ()) in
+        let release_r, release_w = ok (Ksim.Api.pipe ()) in
+        let gate_r, gate_w = ok (Ksim.Api.pipe ()) in
+        let worker =
+          ok
+            (Ksim.Api.fork ~child:(fun () ->
+                 match
+                   Ksim.Api.exec
+                     ~argv:
+                       [ string_of_int ready_w; string_of_int release_r ]
+                     "/warm"
+                 with
+                 | Ok () | Error _ -> Ksim.Api.exit 127))
+        in
+        ignore (ok (Ksim.Api.read ready_r 1));
+        (* post-exec the worker owns a fresh image: freezable *)
+        let tpl = ok (Ksim.Api.freeze ~pid:worker ()) in
+        check_bool "pages pinned" true (Vmem.Frame.pinned frames > 0);
+        let child =
+          ok
+            (Ksim.Api.spawn_from_template tpl ~child:(fun () ->
+                 ignore (Ksim.Api.read gate_r 1);
+                 Ksim.Api.exit 0))
+        in
+        (* source and zygote child both alive *)
+        expect_errno Ksim.Errno.EBUSY (Ksim.Api.template_discard tpl);
+        ok (Ksim.Api.write_all release_w "G");
+        ignore (ok (Ksim.Api.wait_for worker));
+        (* source gone, child still maps template pages *)
+        expect_errno Ksim.Errno.EBUSY (Ksim.Api.template_discard tpl);
+        ok (Ksim.Api.write_all gate_w "G");
+        ignore (ok (Ksim.Api.wait_for child));
+        ok (Ksim.Api.template_discard tpl);
+        check_int "unpinned on discard" 0 (Vmem.Frame.pinned frames);
+        (* the id is dead now *)
+        expect_errno Ksim.Errno.EINVAL
+          (Ksim.Api.spawn_from_template tpl ~child:(fun () -> Ksim.Api.exit 0));
+        expect_errno Ksim.Errno.EINVAL (Ksim.Api.template_discard tpl))
+  in
+  let t = Ksim.Kernel.create () in
+  Ksim.Kernel.register_all t [ init; warm ];
+  tref := Some t;
+  (match Ksim.Kernel.spawn_init t "/sbin/init" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "spawn_init failed: %s" (Ksim.Errno.to_string e));
+  let outcome = Ksim.Kernel.run t in
+  all_exited outcome;
+  check_int "templates all gone" 0 (List.length (Ksim.Kernel.templates t));
+  check_int "no frame leak" 0 (Vmem.Frame.used (Ksim.Kernel.frames t));
+  check_int "no commit leak" 0 (Vmem.Frame.committed (Ksim.Kernel.frames t))
+
+let test_zygote_errors () =
+  let t, outcome =
+    boot (fun _ ->
+        expect_errno Ksim.Errno.ESRCH (Ksim.Api.freeze ~pid:999 ());
+        (* only a child of the caller may be frozen by pid *)
+        expect_errno Ksim.Errno.EPERM (Ksim.Api.freeze ~pid:(Ksim.Api.getpid ()) ());
+        expect_errno Ksim.Errno.EINVAL
+          (Ksim.Api.spawn_from_template 42 ~child:(fun () -> Ksim.Api.exit 0));
+        expect_errno Ksim.Errno.EINVAL (Ksim.Api.template_discard 42);
+        (* a fork child still COW-shares its image with us: pinning its
+           frames would steal pages the parent counts on *)
+        let rfd, wfd = ok (Ksim.Api.pipe ()) in
+        let pid =
+          ok
+            (Ksim.Api.fork ~child:(fun () ->
+                 ignore (Ksim.Api.read rfd 1);
+                 Ksim.Api.exit 0))
+        in
+        expect_errno Ksim.Errno.EBUSY (Ksim.Api.freeze ~pid ());
+        ok (Ksim.Api.write_all wfd "x");
+        ignore (ok (Ksim.Api.wait_for pid));
+        (* a vfork child borrows its parent's address space: not its to
+           seal *)
+        let pid =
+          ok
+            (Ksim.Api.vfork ~child:(fun () ->
+                 expect_errno Ksim.Errno.EINVAL (Ksim.Api.freeze ());
+                 Ksim.Api.exit 0))
+        in
+        ignore (ok (Ksim.Api.wait_for pid)))
+  in
+  all_exited outcome;
+  check_int "nothing pinned" 0 (Vmem.Frame.pinned (Ksim.Kernel.frames t));
+  check_int "no templates" 0 (List.length (Ksim.Kernel.templates t))
+
+(* A zygote spawn refused by strict commit accounting is transactional:
+   template counters, frames, commit charges and the pid table are all
+   exactly as before. *)
+let test_zygote_failed_spawn_rolls_back () =
+  let config =
+    {
+      Ksim.Kernel.default_config with
+      Ksim.Kernel.phys_pages = 2048;
+      commit_policy = Vmem.Frame.Strict;
+      aslr = false;
+    }
+  in
+  let tref = ref None in
+  let init =
+    prog "/sbin/init" (fun _ ->
+        let t = Option.get !tref in
+        let frames = Ksim.Kernel.frames t in
+        let addr = ok (Ksim.Api.mmap ~len:(1200 * page) ~perm:Vmem.Perm.rw) in
+        ok (Ksim.Api.mem_write ~addr "Z");
+        ignore (ok (Ksim.Api.touch ~addr ~len:(1200 * page)));
+        let tpl = ok (Ksim.Api.freeze ()) in
+        let template = Option.get (Ksim.Kernel.find_template t tpl) in
+        let used = Vmem.Frame.used frames
+        and committed = Vmem.Frame.committed frames
+        and pids = List.length (Ksim.Kernel.procs t) in
+        expect_errno Ksim.Errno.ENOMEM
+          (Ksim.Api.spawn_from_template tpl ~child:(fun () -> Ksim.Api.exit 0));
+        check_int "spawns unmoved" 0 template.Ksim.Template.spawns;
+        check_int "deps unmoved" 1 template.Ksim.Template.live_deps;
+        check_int "used unmoved" used (Vmem.Frame.used frames);
+        check_int "commit unmoved" committed (Vmem.Frame.committed frames);
+        check_int "no pid created" pids (List.length (Ksim.Kernel.procs t));
+        (* releasing the source's copy frees its commit but not the
+           pinned template pages: the same spawn now fits, and the
+           child still reads the frozen image *)
+        ok (Ksim.Api.munmap ~addr ~len:(1200 * page));
+        let pid =
+          ok
+            (Ksim.Api.spawn_from_template tpl ~child:(fun () ->
+                 Ksim.Api.print
+                   ("sees:" ^ ok (Ksim.Api.mem_read ~addr ~len:1));
+                 Ksim.Api.exit 0))
+        in
+        ignore (ok (Ksim.Api.wait_for pid)))
+  in
+  let t = Ksim.Kernel.create ~config () in
+  Ksim.Kernel.register t init;
+  tref := Some t;
+  (match Ksim.Kernel.spawn_init t "/sbin/init" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "spawn_init failed: %s" (Ksim.Errno.to_string e));
+  let outcome = Ksim.Kernel.run t in
+  all_exited outcome;
+  check_str "frozen image survived the source unmap" "sees:Z"
+    (Ksim.Kernel.console t)
+
+(* The flat-latency mechanism: the page-table work of a zygote spawn is
+   a constant number of shared subtrees, not a function of footprint. *)
+let zygote_subtree_cycles ~heap_pages =
+  let t, outcome =
+    boot
+      ~config:
+        {
+          Ksim.Kernel.default_config with
+          Ksim.Kernel.phys_pages = 1 lsl 20;
+          commit_policy = Vmem.Frame.Overcommit;
+        }
+      (fun _ ->
+        let addr = ok (Ksim.Api.mmap ~len:(heap_pages * page) ~perm:Vmem.Perm.rw) in
+        ignore (ok (Ksim.Api.touch ~addr ~len:(heap_pages * page)));
+        let tpl = ok (Ksim.Api.freeze ()) in
+        let pid =
+          ok (Ksim.Api.spawn_from_template tpl ~child:(fun () -> Ksim.Api.exit 0))
+        in
+        ignore (ok (Ksim.Api.wait_for pid)))
+  in
+  all_exited outcome;
+  Vmem.Cost.get (Ksim.Kernel.cost t) "zygote:subtree"
+
+let test_zygote_cost_flat () =
+  let small = zygote_subtree_cycles ~heap_pages:64 in
+  let big = zygote_subtree_cycles ~heap_pages:8192 in
+  check_bool "charged something" true (small > 0.0);
+  check_bool "zygote page-table work independent of footprint" true
+    (big <= small *. 1.5)
+
+(* ------------------------------------------------------------------ *)
 (* robustness: random programs never crash the kernel, and when
    everything exits, every frame and commit charge is returned *)
 
@@ -1925,5 +2167,13 @@ let () =
         ] );
       ( "creation-cost",
         [ tc "fork scales, spawn flat" test_fork_cost_scales_spawn_does_not ] );
+      ( "zygote",
+        [
+          tc "lifecycle" test_zygote_lifecycle;
+          tc "discard lifecycle" test_zygote_discard_lifecycle;
+          tc "errors" test_zygote_errors;
+          tc "failed spawn rolls back" test_zygote_failed_spawn_rolls_back;
+          tc "cost flat" test_zygote_cost_flat;
+        ] );
       qsuite "robustness" [ prop_random_programs ];
     ]

@@ -238,6 +238,52 @@ let test_hist_merge_mismatch () =
     (Invalid_argument "Histogram.merge: geometry mismatch") (fun () ->
       ignore (Metrics.Histogram.merge a b))
 
+(* merge's algebra is what E14 leans on when it folds per-point
+   histograms gathered from different domains: the result must not
+   depend on fold order, and an empty histogram must be a unit. *)
+let hist_of l =
+  let h = Metrics.Histogram.create ~buckets:16 () in
+  List.iter (fun v -> Metrics.Histogram.add h (Float.abs v)) l;
+  h
+
+let hist_state h =
+  ( Metrics.Histogram.counts h,
+    Metrics.Histogram.count h,
+    Metrics.Histogram.clamped h )
+
+let samples_gen = QCheck.(list_of_size Gen.(0 -- 50) (float_bound_inclusive 1e6))
+
+let prop_hist_merge_commutes =
+  QCheck.Test.make ~count:100 ~name:"histogram: merge commutes"
+    QCheck.(pair samples_gen samples_gen)
+    (fun (la, lb) ->
+      let a = hist_of la and b = hist_of lb in
+      hist_state (Metrics.Histogram.merge a b)
+      = hist_state (Metrics.Histogram.merge b a))
+
+let prop_hist_merge_assoc =
+  QCheck.Test.make ~count:100 ~name:"histogram: merge associates"
+    QCheck.(triple samples_gen samples_gen samples_gen)
+    (fun (la, lb, lc) ->
+      let a = hist_of la and b = hist_of lb and c = hist_of lc in
+      hist_state
+        (Metrics.Histogram.merge (Metrics.Histogram.merge a b) c)
+      = hist_state
+          (Metrics.Histogram.merge a (Metrics.Histogram.merge b c)))
+
+let prop_hist_merge_unit_pure =
+  QCheck.Test.make ~count:100
+    ~name:"histogram: empty is a merge unit and merge is pure" samples_gen
+    (fun l ->
+      let a = hist_of l in
+      let before = hist_state a in
+      let empty = Metrics.Histogram.create ~buckets:16 () in
+      let merged = hist_state (Metrics.Histogram.merge a empty) in
+      (* neither operand is mutated, and merging the unit changes nothing *)
+      merged = before
+      && hist_state a = before
+      && Metrics.Histogram.count empty = 0)
+
 let test_hist_negative () =
   let h = Metrics.Histogram.create () in
   Alcotest.check_raises "negative"
@@ -486,7 +532,14 @@ let () =
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
         ] );
-      qsuite "histogram-props" [ prop_hist_quantile_monotone; prop_hist_count ];
+      qsuite "histogram-props"
+        [
+          prop_hist_quantile_monotone;
+          prop_hist_count;
+          prop_hist_merge_commutes;
+          prop_hist_merge_assoc;
+          prop_hist_merge_unit_pure;
+        ];
       ( "table",
         [
           Alcotest.test_case "render" `Quick test_table_render;

@@ -271,6 +271,93 @@ let test_native_env () =
   | Ok pid -> check_int "env seen" 0 (Spawnlib.Native.wait_exit pid)
   | Error e -> Alcotest.failf "posix_spawn: %s" (Spawnlib.Native.errno_message e)
 
+(* ------------------------------------------------------------------ *)
+(* Pool (prefork workers) *)
+
+let pool_ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "pool error: %s" (Spawnlib.Pool.error_message e)
+
+(* /bin/cat makes a perfect echo worker: one line in, same line out,
+   exits 0 on stdin EOF *)
+let cat_pool ?warmup size =
+  pool_ok
+    (Spawnlib.Pool.create ?warmup ~size ~prog:"/bin/cat" ~argv:[ "cat" ] ())
+
+let test_pool_echo () =
+  let p = cat_pool 3 in
+  check_int "size" 3 (Spawnlib.Pool.size p);
+  let pids = Spawnlib.Pool.pids p in
+  check_int "three pids" 3 (List.length (List.sort_uniq compare pids));
+  for i = 1 to 7 do
+    check_str "echo" (Printf.sprintf "req-%d" i)
+      (pool_ok (Spawnlib.Pool.submit p (Printf.sprintf "req-%d" i)))
+  done;
+  let st = Spawnlib.Pool.stats p in
+  check_int "served" 7 st.Spawnlib.Pool.served;
+  check_int "spawned" 3 st.Spawnlib.Pool.spawned;
+  check_int "no respawns" 0 st.Spawnlib.Pool.respawns;
+  List.iter
+    (fun s -> Alcotest.check status "worker exit" (Spawnlib.Process.Exited 0) s)
+    (Spawnlib.Pool.shutdown p);
+  check_int "shutdown idempotent" 0 (List.length (Spawnlib.Pool.shutdown p));
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      ignore (Spawnlib.Pool.submit p "x"))
+
+let test_pool_warmup () =
+  let warmed = ref 0 in
+  let warmup ~send ~recv =
+    send "warm-ping";
+    check_str "warmup round-trip" "warm-ping" (recv ());
+    incr warmed
+  in
+  let p = cat_pool ~warmup 2 in
+  check_int "every worker warmed" 2 !warmed;
+  check_str "still serves" "after-warmup"
+    (pool_ok (Spawnlib.Pool.submit p "after-warmup"));
+  ignore (Spawnlib.Pool.shutdown p)
+
+let test_pool_crash_respawn () =
+  let p = cat_pool 2 in
+  let victim = List.hd (Spawnlib.Pool.pids p) in
+  Unix.kill victim Sys.sigkill;
+  (* let the kernel tear the victim down so the write sees EPIPE *)
+  Unix.sleepf 0.05;
+  (* next submit hits slot 0 (round-robin from the start), detects the
+     death, respawns and still answers *)
+  check_str "served through respawn" "survive"
+    (pool_ok (Spawnlib.Pool.submit p "survive"));
+  let st = Spawnlib.Pool.stats p in
+  check_int "one respawn" 1 st.Spawnlib.Pool.respawns;
+  check_int "three spawns total" 3 st.Spawnlib.Pool.spawned;
+  check_bool "victim replaced" false
+    (List.mem victim (Spawnlib.Pool.pids p));
+  (* replacement is a full citizen afterwards *)
+  check_str "slot healthy" "again" (pool_ok (Spawnlib.Pool.submit p "again"));
+  check_str "other slot fine" "peer" (pool_ok (Spawnlib.Pool.submit p "peer"));
+  List.iter
+    (fun s -> Alcotest.check status "clean exit" (Spawnlib.Process.Exited 0) s)
+    (Spawnlib.Pool.shutdown p)
+
+let test_pool_bad_size () =
+  Alcotest.check_raises "size 0" (Invalid_argument "Pool.create: size < 1")
+    (fun () ->
+      ignore (Spawnlib.Pool.create ~size:0 ~prog:"/bin/cat" ~argv:[ "cat" ] ()))
+
+let test_pool_spawn_failure_cleans_up () =
+  (match Spawnlib.Pool.create ~size:2 ~prog:"/bin/missing" ~argv:[ "x" ] () with
+  | Error (Spawnlib.Pool.Spawn_error (Spawnlib.Spawn.Exec_failed Unix.ENOENT))
+    ->
+    ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Spawnlib.Pool.error_message e)
+  | Ok _ -> Alcotest.fail "expected ENOENT");
+  (* no stray children survive a failed create *)
+  match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  | 0, _ -> Alcotest.fail "unexpected live child"
+  | _, _ -> Alcotest.fail "unexpected zombie"
+
 let tc n f = Alcotest.test_case n `Quick f
 
 let () =
@@ -305,6 +392,14 @@ let () =
           tc "failing stage status" test_pipeline_failing_stage_status;
         ] );
       ("attrs", [ tc "new session" test_new_session_attr ]);
+      ( "pool",
+        [
+          tc "echo round-robin" test_pool_echo;
+          tc "warmup hook" test_pool_warmup;
+          tc "crash respawn" test_pool_crash_respawn;
+          tc "bad size" test_pool_bad_size;
+          tc "create failure cleanup" test_pool_spawn_failure_cleans_up;
+        ] );
       ( "native",
         [
           tc "posix_spawn" test_native_posix_spawn;

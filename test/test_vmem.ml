@@ -145,6 +145,54 @@ let test_frame_free_discards_data () =
   check_int "same slot" f f';
   check_int "zeroed" 0 (Vmem.Frame.read_byte fr f' ~off:0)
 
+let test_frame_pin () =
+  let fr = Vmem.Frame.create ~frames:8 () in
+  let f = ok (Vmem.Frame.alloc fr) in
+  check_bool "not pinned" false (Vmem.Frame.is_pinned fr f);
+  Vmem.Frame.pin fr f;
+  check_bool "pinned" true (Vmem.Frame.is_pinned fr f);
+  check_int "pinned count" 1 (Vmem.Frame.pinned fr);
+  check_int "refcount saturates" max_int (Vmem.Frame.refcount fr f);
+  (* refcounting is a no-op on a pinned frame: it can never be freed *)
+  Vmem.Frame.incref fr f;
+  check_bool "decref no-op" false (Vmem.Frame.decref fr f);
+  check_bool "still pinned" true (Vmem.Frame.is_pinned fr f);
+  check_int "still used" 1 (Vmem.Frame.used fr);
+  (* pin is idempotent *)
+  Vmem.Frame.pin fr f;
+  check_int "still one pinned" 1 (Vmem.Frame.pinned fr);
+  (* unpin restores a plain sole-owner reference *)
+  Vmem.Frame.unpin fr f;
+  check_int "rc back to 1" 1 (Vmem.Frame.refcount fr f);
+  check_int "none pinned" 0 (Vmem.Frame.pinned fr);
+  check_bool "freed" true (Vmem.Frame.decref fr f);
+  check_int "all returned" 0 (Vmem.Frame.used fr)
+
+let test_frame_pin_spilled () =
+  (* pinning a frame whose count lives in the spill table drops the
+     spill entry; unpin yields rc 1, not the old spilled count *)
+  let fr = Vmem.Frame.create ~frames:4 () in
+  let f = ok (Vmem.Frame.alloc fr) in
+  for _ = 1 to 300 do
+    Vmem.Frame.incref fr f
+  done;
+  check_int "spilled rc" 301 (Vmem.Frame.refcount fr f);
+  Vmem.Frame.pin fr f;
+  check_int "saturated" max_int (Vmem.Frame.refcount fr f);
+  Vmem.Frame.unpin fr f;
+  check_int "unpin forgets spilled count" 1 (Vmem.Frame.refcount fr f);
+  check_bool "freed" true (Vmem.Frame.decref fr f)
+
+let test_frame_pin_many () =
+  let fr = Vmem.Frame.create ~frames:8 () in
+  let fs = Array.init 4 (fun _ -> ok (Vmem.Frame.alloc fr)) in
+  Vmem.Frame.pin_many fr fs 3;
+  check_int "three pinned" 3 (Vmem.Frame.pinned fr);
+  check_bool "fourth untouched" false (Vmem.Frame.is_pinned fr fs.(3));
+  Alcotest.check_raises "unpin unpinned"
+    (Invalid_argument "Frame.unpin: frame not pinned") (fun () ->
+      Vmem.Frame.unpin fr fs.(3))
+
 (* ------------------------------------------------------------------ *)
 (* Pte *)
 
@@ -582,6 +630,58 @@ let test_as_destroy_releases () =
   check_int "commit zero" 0 (Vmem.Frame.committed fr);
   Vmem.Addr_space.destroy parent (* idempotent *)
 
+let test_as_seal_clone () =
+  let fr, a = make_as () in
+  let x =
+    ok (Vmem.Addr_space.mmap ~len:(2 * page) ~perm:Vmem.Perm.rw ~kind:Vmem.Vma.Anon a)
+  in
+  ok (Vmem.Addr_space.write_byte a x 11);
+  check_bool "sole owner before seal" true (Vmem.Addr_space.sole_owner a);
+  let tpl = Vmem.Addr_space.seal a in
+  check_int "resident frame pinned" 1 (Vmem.Frame.pinned fr);
+  (* the template now holds every frame: the source is no longer the
+     sole owner (so it cannot be sealed twice) *)
+  check_bool "not sole owner after seal" false (Vmem.Addr_space.sole_owner a);
+  (* the sealed image is immutable: a source write COWs away from it *)
+  ok (Vmem.Addr_space.write_byte a x 22);
+  check_int "source copied away" 2 (Vmem.Frame.used fr);
+  let child, subtrees = ok (Vmem.Addr_space.clone_from_sealed tpl ~commit_pages:1) in
+  check_bool "shares at least one subtree" true (subtrees >= 1);
+  check_int "child sees the frozen byte" 11 (ok (Vmem.Addr_space.read_byte child x));
+  ok (Vmem.Addr_space.write_byte child x 33);
+  check_int "child copied, template intact" 3 (Vmem.Frame.used fr);
+  check_int "template byte unchanged" 22 (ok (Vmem.Addr_space.read_byte a x));
+  Vmem.Addr_space.destroy child;
+  Vmem.Addr_space.destroy a;
+  check_int "only the pinned page left" 1 (Vmem.Frame.used fr);
+  Vmem.Addr_space.destroy_sealed tpl;
+  check_int "unpinned and freed" 0 (Vmem.Frame.used fr);
+  check_int "no pins left" 0 (Vmem.Frame.pinned fr);
+  check_int "no commit leak" 0 (Vmem.Frame.committed fr)
+
+let test_as_seal_clone_commit_limit () =
+  let fr, a = make_as ~frames:8 () in
+  let x = ok (Vmem.Addr_space.mmap ~len:page ~perm:Vmem.Perm.rw ~kind:Vmem.Vma.Anon a) in
+  ok (Vmem.Addr_space.write_byte a x 5);
+  let tpl = Vmem.Addr_space.seal a in
+  let used = Vmem.Frame.used fr and committed = Vmem.Frame.committed fr in
+  (* the commit charge is the only fallible step of a zygote clone: a
+     refusal leaves the template and the frame pool untouched *)
+  (match Vmem.Addr_space.clone_from_sealed tpl ~commit_pages:100 with
+  | Error `Commit_limit -> ()
+  | Ok _ -> Alcotest.fail "expected commit refusal");
+  check_int "used unmoved" used (Vmem.Frame.used fr);
+  check_int "commit unmoved" committed (Vmem.Frame.committed fr);
+  check_int "still pinned" 1 (Vmem.Frame.pinned fr);
+  (* and the template is still cloneable *)
+  let child, _ = ok (Vmem.Addr_space.clone_from_sealed tpl ~commit_pages:1) in
+  check_int "clone reads frozen byte" 5 (ok (Vmem.Addr_space.read_byte child x));
+  Vmem.Addr_space.destroy child;
+  Vmem.Addr_space.destroy a;
+  Vmem.Addr_space.destroy_sealed tpl;
+  check_int "all freed" 0 (Vmem.Frame.used fr);
+  check_int "commit zero" 0 (Vmem.Frame.committed fr)
+
 let test_as_fork_commit_limit () =
   (* strict accounting: a parent using >half of memory cannot fork *)
   let fr, a = make_as ~frames:100 () in
@@ -922,6 +1022,9 @@ let () =
           tc "overcommit" test_frame_overcommit;
           tc "data" test_frame_data;
           tc "free discards data" test_frame_free_discards_data;
+          tc "pin" test_frame_pin;
+          tc "pin spilled" test_frame_pin_spilled;
+          tc "pin many" test_frame_pin_many;
         ] );
       ( "pte",
         [ tc "roundtrip" test_pte_roundtrip; tc "updates" test_pte_updates ] );
@@ -963,6 +1066,8 @@ let () =
           tc "cow layout inherited" test_as_cow_layout_inherited;
           tc "fork cost scales" test_as_fork_cost_scales;
           tc "destroy releases" test_as_destroy_releases;
+          tc "seal/clone" test_as_seal_clone;
+          tc "seal commit limit" test_as_seal_clone_commit_limit;
           tc "fork commit limit" test_as_fork_commit_limit;
           tc "clone eager" test_as_clone_eager;
           tc "shared mapping fork" test_as_shared_mapping_fork;
