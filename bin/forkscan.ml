@@ -92,10 +92,13 @@ let scan top paths =
 (* lint *)
 
 let format_arg =
-  let doc = "Output format: $(b,text) or $(b,json) (SARIF-like)." in
+  let doc =
+    "Output format: $(b,text), $(b,json) (forklint's own report shape) or \
+     $(b,sarif) (SARIF 2.1.0, for CI code-scanning upload)."
+  in
   Arg.(
     value
-    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
     & info [ "format" ] ~docv:"FORMAT" ~doc)
 
 let rules_arg =
@@ -165,6 +168,7 @@ let lint format rules_spec paths =
     let findings = List.sort Forklore.Diagnostic.compare !findings in
     (match format with
     | `Json -> print_string (Forklore.Diagnostic.report_to_json findings)
+    | `Sarif -> print_string (Forklore.Sarif.report ~rules findings)
     | `Text ->
       List.iter
         (fun d -> Format.printf "%a@." Forklore.Diagnostic.pp d)

@@ -1,0 +1,488 @@
+(* Per-function control-flow graph over {!Cparse} statements.
+
+   Nodes carry an ordered list of call events; terminators carry the
+   branch structure plus a *guard* — the decoded comparison of a fork
+   result against 0/-1 — which is what lets {!Dataflow} split child,
+   parent and error paths. Calls to noreturn functions (exec family,
+   _exit, abort...) seal the current node, so statements after them
+   land in unreachable nodes and are reported by [dead_sites] instead
+   of being analysed as live code. *)
+
+type site = { s_id : int; s_call : Cparse.call }
+
+(* Comparison of a fork result against a literal, normalised so the
+   subject is on the left: [pid == 0] and [0 == pid] both decode to
+   Req0. *)
+type rel = Req0 | Rne0 | Rgt0 | Rlt0 | Rge0 | Rle0 | Req_m1 | Rne_m1
+
+type subject =
+  | Sub_site of int  (** the fork()/vfork() call tested directly *)
+  | Sub_var of string  (** a variable tested; bound by the dataflow *)
+  | Sub_other
+
+type guard = {
+  g_subject : subject;
+  g_rel : rel;
+  g_true_only : bool;
+      (** decoded from one conjunct of [a && b]: the false edge of the
+          whole condition implies nothing about this conjunct *)
+}
+
+type arm =
+  | A_case of int option  (** [Some v] when the case label is a literal *)
+  | A_default
+
+type term =
+  | T_jump of int
+  | T_branch of { br_guard : guard option; br_true : int; br_false : int }
+  | T_switch of { sw_subject : subject; sw_arms : (arm * int) list }
+  | T_return of Cparse.pos  (** explicit [return] *)
+  | T_exit of Cparse.pos  (** implicit return: falling off the body *)
+  | T_dead  (** no successor: after noreturn, or never sealed *)
+
+type node = { mutable n_sites : site list; mutable n_term : term }
+
+type t = {
+  cfg_func : Cparse.func;
+  nodes : node array;
+  entry : int;
+  sites : site array;  (** indexed by [s_id] *)
+}
+
+(* Functions that do not return to the caller. exit/abort terminate the
+   path but are NOT fork-exec "escapes" — that distinction belongs to
+   the dataflow; here they all just cut the edge. *)
+let default_noreturn =
+  [
+    "execl"; "execlp"; "execle"; "execv"; "execvp"; "execve"; "execvpe";
+    "fexecve"; "_exit"; "_Exit"; "exit"; "abort"; "longjmp"; "siglongjmp";
+  ]
+
+let negate_rel = function
+  | Req0 -> Rne0
+  | Rne0 -> Req0
+  | Rgt0 -> Rle0
+  | Rle0 -> Rgt0
+  | Rlt0 -> Rge0
+  | Rge0 -> Rlt0
+  | Req_m1 -> Rne_m1
+  | Rne_m1 -> Req_m1
+
+(* ------------------------------------------------------------------ *)
+(* Guard decoding *)
+
+let punct (t : Lexer.token) =
+  match t.Lexer.kind with Lexer.Punct p -> Some p | _ -> None
+
+(* strip balanced outer parens: ((pid)) -> pid *)
+let rec strip_parens toks =
+  match toks with
+  | { Lexer.kind = Lexer.Punct "("; _ } :: _ -> (
+    let arr = Array.of_list toks in
+    let n = Array.length arr in
+    let rec depth_zero i d =
+      (* does the opening paren close only at the very end? *)
+      if i >= n then false
+      else
+        match punct arr.(i) with
+        | Some "(" -> depth_zero (i + 1) (d + 1)
+        | Some ")" -> if d = 1 then i = n - 1 else depth_zero (i + 1) (d - 1)
+        | _ -> depth_zero (i + 1) d
+    in
+    if n >= 2 && depth_zero 0 0 then
+      strip_parens (Array.to_list (Array.sub arr 1 (n - 2)))
+    else toks)
+  | _ -> toks
+
+(* split on the first occurrence of punct [p] at paren depth 0 *)
+let split_at_depth0 p toks =
+  let rec go acc depth = function
+    | [] -> None
+    | t :: rest -> (
+      match punct t with
+      | Some "(" -> go (t :: acc) (depth + 1) rest
+      | Some ")" -> go (t :: acc) (depth - 1) rest
+      | Some q when q = p && depth = 0 -> Some (List.rev acc, rest)
+      | _ -> go (t :: acc) depth rest)
+  in
+  go [] 0 toks
+
+let contains_depth0 p toks =
+  match split_at_depth0 p toks with Some _ -> true | None -> false
+
+(* literal 0 / -1 (after paren stripping) *)
+let literal toks =
+  match strip_parens toks with
+  | [ { Lexer.kind = Lexer.Number "0"; _ } ] -> Some `Zero
+  | [ { Lexer.kind = Lexer.Punct "-"; _ }; { Lexer.kind = Lexer.Number "1"; _ } ]
+    ->
+    Some `M1
+  | _ -> None
+
+(* [fork_sites]: assoc (line, col) -> site id for the fork/vfork calls
+   of the expression being decoded. *)
+let subject_of ~fork_sites toks =
+  let rec go toks =
+    let toks = strip_parens toks in
+    match toks with
+    | [ { Lexer.kind = Lexer.Ident v; _ } ] when not (Lexer.is_keyword v) ->
+      Sub_var v
+    | _ -> (
+      (* assignment used as a value: (pid = fork()) — decode the rhs *)
+      match split_at_depth0 "=" toks with
+      | Some (_, rhs) -> go rhs
+      | None -> (
+        (* a fork()/vfork() call anywhere in the tokens *)
+        let found =
+          List.find_opt
+            (fun t ->
+              match t.Lexer.kind with
+              | Lexer.Ident _ ->
+                List.mem_assoc (t.Lexer.line, t.Lexer.col) fork_sites
+              | _ -> false)
+            toks
+        in
+        match found with
+        | Some t -> Sub_site (List.assoc (t.Lexer.line, t.Lexer.col) fork_sites)
+        | None -> Sub_other))
+  in
+  go toks
+
+let rel_of_op ~lit op =
+  match (lit, op) with
+  | `Zero, "==" -> Some Req0
+  | `Zero, "!=" -> Some Rne0
+  | `Zero, "<" -> Some Rlt0
+  | `Zero, ">" -> Some Rgt0
+  | `Zero, "<=" -> Some Rle0
+  | `Zero, ">=" -> Some Rge0
+  | `M1, "==" -> Some Req_m1
+  | `M1, "!=" -> Some Rne_m1
+  | `M1, ">" -> Some Rge0 (* pid > -1  ≡  pid >= 0 *)
+  | `M1, "<=" -> Some Rlt0 (* pid <= -1 ≡  pid < 0 *)
+  | `M1, "<" -> Some Rlt0 (* pid < -1 ⇒ pid < 0 (over-approx.) *)
+  | `M1, ">=" -> None (* pid >= -1: vacuous *)
+  | _ -> None
+
+let flip_op = function
+  | "<" -> ">"
+  | ">" -> "<"
+  | "<=" -> ">="
+  | ">=" -> "<="
+  | op -> op (* == and != are symmetric *)
+
+let rel_ops = [ "=="; "!="; "<="; ">="; "<"; ">" ]
+
+let rec decode_guard ~fork_sites toks =
+  let toks = strip_parens toks in
+  match toks with
+  | [] -> None
+  | { Lexer.kind = Lexer.Punct "!"; _ } :: rest -> (
+    match decode_guard ~fork_sites rest with
+    | Some g -> Some { g with g_rel = negate_rel g.g_rel }
+    | None -> None)
+  | _ ->
+    if contains_depth0 "||" toks then None
+    else if contains_depth0 "&&" toks then begin
+      (* first refinable conjunct; only the true edge is informative *)
+      let rec conjuncts toks =
+        match split_at_depth0 "&&" toks with
+        | Some (l, r) -> l :: conjuncts r
+        | None -> [ toks ]
+      in
+      List.find_map
+        (fun c ->
+          match decode_guard ~fork_sites c with
+          | Some g -> Some { g with g_true_only = true }
+          | None -> None)
+        (conjuncts toks)
+    end
+    else begin
+      let op =
+        List.find_map
+          (fun op ->
+            match split_at_depth0 op toks with
+            | Some (l, r) -> Some (op, l, r)
+            | None -> None)
+          rel_ops
+      in
+      match op with
+      | Some (op, lhs, rhs) -> (
+        let make subj_toks op lit =
+          match rel_of_op ~lit op with
+          | None -> None
+          | Some rel -> (
+            match subject_of ~fork_sites subj_toks with
+            | Sub_other -> None
+            | s -> Some { g_subject = s; g_rel = rel; g_true_only = false })
+        in
+        match (literal rhs, literal lhs) with
+        | Some lit, _ -> make lhs op lit
+        | None, Some lit -> make rhs (flip_op op) lit
+        | None, None -> None)
+      | None -> (
+        (* no comparison: truthiness test — if (fork()) / if (pid) *)
+        match subject_of ~fork_sites toks with
+        | Sub_other -> None
+        | s -> Some { g_subject = s; g_rel = Rne0; g_true_only = false })
+    end
+
+(* case label value, when it is an integer literal (possibly negated) *)
+let case_literal toks =
+  match strip_parens toks with
+  | [ { Lexer.kind = Lexer.Number num; _ } ] -> int_of_string_opt num
+  | [ { Lexer.kind = Lexer.Punct "-"; _ }; { Lexer.kind = Lexer.Number num; _ } ]
+    -> (
+    match int_of_string_opt num with Some v -> Some (-v) | None -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Build *)
+
+type builder = {
+  mutable b_nodes : node list;  (* reversed *)
+  mutable b_count : int;
+  mutable b_cur : int;
+  mutable b_sites : site list;  (* reversed *)
+  mutable b_nsites : int;
+  b_labels : (string, int) Hashtbl.t;
+  mutable b_breaks : int list;
+  mutable b_continues : int list;
+  mutable b_switches : ((arm * int) list ref * bool ref) list;
+  b_noreturn : string list;
+}
+
+let node_of b id = List.nth b.b_nodes (b.b_count - 1 - id)
+
+let fresh b =
+  let n = { n_sites = []; n_term = T_dead } in
+  b.b_nodes <- n :: b.b_nodes;
+  b.b_count <- b.b_count + 1;
+  b.b_count - 1
+
+let seal b term = (node_of b b.b_cur).n_term <- term
+
+let label_node b name =
+  match Hashtbl.find_opt b.b_labels name with
+  | Some id -> id
+  | None ->
+    let id = fresh b in
+    Hashtbl.add b.b_labels name id;
+    id
+
+let add_call b (call : Cparse.call) =
+  let s = { s_id = b.b_nsites; s_call = call } in
+  b.b_sites <- s :: b.b_sites;
+  b.b_nsites <- b.b_nsites + 1;
+  let n = node_of b b.b_cur in
+  n.n_sites <- s :: n.n_sites;
+  s.s_id
+
+(* Emit an expression's calls into the current node, in order. A
+   noreturn call seals the node: the rest of the statement (and
+   whatever follows) lands in a fresh, unreachable node. Returns the
+   (line, col) -> site id map for the fork/vfork calls, for guards. *)
+let emit_expr b (e : Cparse.expr) =
+  let fork_sites = ref [] in
+  List.iter
+    (fun (call : Cparse.call) ->
+      let id = add_call b call in
+      if call.Cparse.c_name = "fork" || call.Cparse.c_name = "vfork" then
+        fork_sites := ((call.Cparse.c_line, call.Cparse.c_col), id) :: !fork_sites;
+      if List.mem call.Cparse.c_name b.b_noreturn then begin
+        seal b T_dead;
+        b.b_cur <- fresh b
+      end)
+    e.Cparse.x_calls;
+  !fork_sites
+
+let emit_opt b = function None -> [] | Some e -> emit_expr b e
+
+let rec build_stmt b (s : Cparse.stmt) =
+  match s with
+  | Cparse.S_empty -> ()
+  | Cparse.S_block l -> List.iter (build_stmt b) l
+  | Cparse.S_expr e -> ignore (emit_expr b e)
+  | Cparse.S_if { i_cond; i_then; i_else } ->
+    let fork_sites = emit_expr b i_cond in
+    let g = decode_guard ~fork_sites i_cond.Cparse.x_toks in
+    let tnode = fresh b and fnode = fresh b and join = fresh b in
+    seal b (T_branch { br_guard = g; br_true = tnode; br_false = fnode });
+    b.b_cur <- tnode;
+    build_stmt b i_then;
+    seal b (T_jump join);
+    b.b_cur <- fnode;
+    (match i_else with Some s -> build_stmt b s | None -> ());
+    seal b (T_jump join);
+    b.b_cur <- join
+  | Cparse.S_while { w_cond; w_body } ->
+    let head = fresh b in
+    seal b (T_jump head);
+    b.b_cur <- head;
+    let fork_sites = emit_expr b w_cond in
+    let g = decode_guard ~fork_sites w_cond.Cparse.x_toks in
+    let body = fresh b and join = fresh b in
+    seal b (T_branch { br_guard = g; br_true = body; br_false = join });
+    b.b_breaks <- join :: b.b_breaks;
+    b.b_continues <- head :: b.b_continues;
+    b.b_cur <- body;
+    build_stmt b w_body;
+    seal b (T_jump head);
+    b.b_breaks <- List.tl b.b_breaks;
+    b.b_continues <- List.tl b.b_continues;
+    b.b_cur <- join
+  | Cparse.S_do { d_body; d_cond } ->
+    let body = fresh b in
+    seal b (T_jump body);
+    let cond = fresh b and join = fresh b in
+    b.b_breaks <- join :: b.b_breaks;
+    b.b_continues <- cond :: b.b_continues;
+    b.b_cur <- body;
+    build_stmt b d_body;
+    seal b (T_jump cond);
+    b.b_cur <- cond;
+    let fork_sites = emit_expr b d_cond in
+    let g = decode_guard ~fork_sites d_cond.Cparse.x_toks in
+    seal b (T_branch { br_guard = g; br_true = body; br_false = join });
+    b.b_breaks <- List.tl b.b_breaks;
+    b.b_continues <- List.tl b.b_continues;
+    b.b_cur <- join
+  | Cparse.S_for { f_init; f_test; f_step; f_body } ->
+    ignore (emit_opt b f_init);
+    let head = fresh b in
+    seal b (T_jump head);
+    b.b_cur <- head;
+    let body = fresh b and step = fresh b and join = fresh b in
+    (match f_test with
+    | Some test ->
+      let fork_sites = emit_expr b test in
+      let g = decode_guard ~fork_sites test.Cparse.x_toks in
+      seal b (T_branch { br_guard = g; br_true = body; br_false = join })
+    | None -> seal b (T_jump body) (* for(;;): join only via break *));
+    b.b_breaks <- join :: b.b_breaks;
+    b.b_continues <- step :: b.b_continues;
+    b.b_cur <- body;
+    build_stmt b f_body;
+    seal b (T_jump step);
+    b.b_cur <- step;
+    ignore (emit_opt b f_step);
+    seal b (T_jump head);
+    b.b_breaks <- List.tl b.b_breaks;
+    b.b_continues <- List.tl b.b_continues;
+    b.b_cur <- join
+  | Cparse.S_switch { sw_cond; sw_body } ->
+    let fork_sites = emit_expr b sw_cond in
+    let subject = subject_of ~fork_sites sw_cond.Cparse.x_toks in
+    let join = fresh b in
+    let arms = ref [] and has_default = ref false in
+    let switch_node = b.b_cur in
+    seal b T_dead (* patched below once the arms are known *);
+    b.b_breaks <- join :: b.b_breaks;
+    b.b_switches <- (arms, has_default) :: b.b_switches;
+    (* statements before the first case label are unreachable *)
+    b.b_cur <- fresh b;
+    build_stmt b sw_body;
+    seal b (T_jump join) (* fall out of the last arm *);
+    b.b_breaks <- List.tl b.b_breaks;
+    b.b_switches <- List.tl b.b_switches;
+    let final_arms =
+      let l = List.rev !arms in
+      if !has_default then l else l @ [ (A_default, join) ]
+    in
+    (node_of b switch_node).n_term <-
+      T_switch { sw_subject = subject; sw_arms = final_arms };
+    b.b_cur <- join
+  | Cparse.S_case { case_value; _ } -> (
+    match b.b_switches with
+    | [] -> () (* stray case: ignore *)
+    | (arms, _) :: _ ->
+      let target = fresh b in
+      seal b (T_jump target) (* fallthrough from the previous arm *);
+      b.b_cur <- target;
+      arms := (A_case (case_literal case_value), target) :: !arms)
+  | Cparse.S_default _ -> (
+    match b.b_switches with
+    | [] -> ()
+    | (arms, has_default) :: _ ->
+      let target = fresh b in
+      seal b (T_jump target);
+      b.b_cur <- target;
+      has_default := true;
+      arms := (A_default, target) :: !arms)
+  | Cparse.S_label (name, _) ->
+    let target = label_node b name in
+    seal b (T_jump target);
+    b.b_cur <- target
+  | Cparse.S_goto (name, _) ->
+    let target = if name = "" then None else Some (label_node b name) in
+    seal b (match target with Some t -> T_jump t | None -> T_dead);
+    b.b_cur <- fresh b
+  | Cparse.S_return { r_expr; r_pos } ->
+    ignore (emit_opt b r_expr);
+    seal b (T_return r_pos);
+    b.b_cur <- fresh b
+  | Cparse.S_break pos -> (
+    match b.b_breaks with
+    | target :: _ ->
+      seal b (T_jump target);
+      b.b_cur <- fresh b
+    | [] -> ignore pos (* stray break: no-op *))
+  | Cparse.S_continue pos -> (
+    match b.b_continues with
+    | target :: _ ->
+      seal b (T_jump target);
+      b.b_cur <- fresh b
+    | [] -> ignore pos)
+
+let build ?(noreturn = default_noreturn) (fn : Cparse.func) : t =
+  let b =
+    {
+      b_nodes = [];
+      b_count = 0;
+      b_cur = 0;
+      b_sites = [];
+      b_nsites = 0;
+      b_labels = Hashtbl.create 8;
+      b_breaks = [];
+      b_continues = [];
+      b_switches = [];
+      b_noreturn = noreturn;
+    }
+  in
+  let entry = fresh b in
+  b.b_cur <- entry;
+  List.iter (build_stmt b) fn.Cparse.fn_body;
+  seal b (T_exit fn.Cparse.fn_end);
+  let nodes = Array.of_list (List.rev b.b_nodes) in
+  (* restore in-node source order of call events *)
+  Array.iter (fun n -> n.n_sites <- List.rev n.n_sites) nodes;
+  let sites = Array.of_list (List.rev b.b_sites) in
+  { cfg_func = fn; nodes; entry; sites }
+
+(* ------------------------------------------------------------------ *)
+
+let successors term =
+  match term with
+  | T_jump j -> [ j ]
+  | T_branch { br_true; br_false; _ } -> [ br_true; br_false ]
+  | T_switch { sw_arms; _ } -> List.map snd sw_arms
+  | T_return _ | T_exit _ | T_dead -> []
+
+let reachable (g : t) : bool array =
+  let seen = Array.make (Array.length g.nodes) false in
+  let rec go id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      List.iter go (successors g.nodes.(id).n_term)
+    end
+  in
+  go g.entry;
+  seen
+
+let dead_sites (g : t) : site list =
+  let seen = reachable g in
+  let out = ref [] in
+  Array.iteri
+    (fun id n -> if not seen.(id) then out := List.rev_append n.n_sites !out)
+    g.nodes;
+  List.sort (fun a b -> compare a.s_id b.s_id) !out

@@ -62,6 +62,7 @@ let distractors =
     "  refork_queue(q); /* system(\"reboot\") in a string: system(\"x\") */\n";
     "#include <unistd.h>\n";
     "  spawn_counter++;\n";
+    "  pid_t fork(void); /* local prototype, not a call */\n";
   |]
 
 let filler_functions =
@@ -129,7 +130,8 @@ let generate ?(packages = 200) ~seed () =
 type hazard = {
   hz_name : string;
   hz_source : string;
-  hz_expected : (string * int * int) list;
+  hz_expected : (string * int * int) list;  (* v2 (default rules) truth *)
+  hz_v1 : (string * int * int) list;  (* frozen v1 baseline's output *)
 }
 
 let src lines = String.concat "\n" lines ^ "\n"
@@ -166,6 +168,16 @@ let threaded_noexec =
         ("fork-in-threads", 14, 17);
         ("fork-no-exec", 14, 17);
         ("stdio-before-fork", 14, 17);
+        (* v2-only: the child falls through `if (pid == 0)` to main's
+           return — invisible to the token baseline *)
+        ("child-path-return", 18, 5);
+      ];
+    hz_v1 =
+      [
+        ("fd-no-cloexec", 13, 14);
+        ("fork-in-threads", 14, 17);
+        ("fork-no-exec", 14, 17);
+        ("stdio-before-fork", 14, 17);
       ];
   }
 
@@ -184,6 +196,7 @@ let clean_spawn =
           "}";
         ];
     hz_expected = [];
+    hz_v1 = [];
   }
 
 let vfork_bad =
@@ -206,6 +219,7 @@ let vfork_bad =
           "}";
         ];
     hz_expected = [ ("vfork-misuse", 7, 9) ];
+    hz_v1 = [ ("vfork-misuse", 7, 9) ];
   }
 
 let vfork_no_exec =
@@ -223,7 +237,15 @@ let vfork_no_exec =
           "    return 0;";
           "}";
         ];
-    hz_expected = [ ("vfork-misuse", 4, 9) ];
+    hz_expected =
+      [
+        (* no child path escapes; the do_work call and the return are
+           both inside the vfork child window *)
+        ("vfork-misuse", 4, 9);
+        ("vfork-misuse", 5, 9);
+        ("vfork-misuse", 7, 5);
+      ];
+    hz_v1 = [ ("vfork-misuse", 4, 9) ];
   }
 
 let stdio_fork =
@@ -246,6 +268,7 @@ let stdio_fork =
           "}";
         ];
     hz_expected = [ ("stdio-before-fork", 6, 17) ];
+    hz_v1 = [ ("stdio-before-fork", 6, 17) ];
   }
 
 let child_malloc =
@@ -269,6 +292,7 @@ let child_malloc =
           "}";
         ];
     hz_expected = [ ("unsafe-child-work", 7, 21) ];
+    hz_v1 = [ ("unsafe-child-work", 7, 21) ];
   }
 
 let cloexec_leak =
@@ -291,6 +315,162 @@ let cloexec_leak =
           "}";
         ];
     hz_expected = [ ("fd-no-cloexec", 5, 18) ];
+    hz_v1 = [ ("fd-no-cloexec", 5, 18) ];
+  }
+
+(* --- v2 precision fixtures: each pins a v1 false-positive class that
+   the path-sensitive rules must NOT report, or a hazard only the CFG
+   can see. hz_v1 records the baseline's (wrong) output verbatim. *)
+
+(* Parent-path-only work: malloc/printf/free run only when pid > 0.
+   v1's token window cannot tell the branches apart and flags all
+   three; the dataflow knows the path's role excludes the child. *)
+let parent_path_work =
+  {
+    hz_name = "parent_path_work.c";
+    hz_source =
+      src
+        [
+          "#include <stdio.h>";
+          "#include <stdlib.h>";
+          "#include <unistd.h>";
+          "#include <sys/wait.h>";
+          "";
+          "int main(int argc, char **argv) {";
+          "    pid_t pid = fork();";
+          "    if (pid > 0) {";
+          "        char *line = malloc(256);";
+          "        printf(\"parent waiting for %d\\n\", pid);";
+          "        free(line);";
+          "        waitpid(pid, NULL, 0);";
+          "    } else if (pid == 0) {";
+          "        execv(argv[1], argv + 1);";
+          "        _exit(127);";
+          "    }";
+          "    return 0;";
+          "}";
+        ];
+    hz_expected = [];
+    hz_v1 =
+      [
+        ("unsafe-child-work", 9, 22);
+        ("unsafe-child-work", 10, 9);
+        ("unsafe-child-work", 11, 9);
+      ];
+  }
+
+(* Flush via a helper: the one-level summary knows flush_all reaches
+   fflush, so the dirty-stdio fact dies before the fork. v1 only
+   recognises a literal fflush call. *)
+let helper_flush =
+  {
+    hz_name = "helper_flush.c";
+    hz_source =
+      src
+        [
+          "#include <stdio.h>";
+          "#include <unistd.h>";
+          "";
+          "static void flush_all(void) {";
+          "    fflush(NULL);";
+          "}";
+          "";
+          "int main(void) {";
+          "    printf(\"starting\\n\");";
+          "    flush_all();";
+          "    pid_t pid = fork();";
+          "    if (pid == 0) {";
+          "        execlp(\"worker\", \"worker\", (char *)0);";
+          "        _exit(127);";
+          "    }";
+          "    return pid < 0 ? 1 : 0;";
+          "}";
+        ];
+    hz_expected = [];
+    hz_v1 = [ ("stdio-before-fork", 11, 17) ];
+  }
+
+(* The stdio write lives in a different function that main never calls
+   before forking. v1 scans the whole file in token order and blames
+   the fork anyway; per-function CFGs keep the facts apart. *)
+let cross_function =
+  {
+    hz_name = "cross_function.c";
+    hz_source =
+      src
+        [
+          "#include <stdio.h>";
+          "#include <unistd.h>";
+          "";
+          "static void logger(const char *msg) {";
+          "    printf(\"%s\\n\", msg);";
+          "}";
+          "";
+          "int main(int argc, char **argv) {";
+          "    pid_t pid = fork();";
+          "    if (pid == 0) {";
+          "        execv(argv[1], argv + 1);";
+          "        _exit(127);";
+          "    }";
+          "    logger(\"forked\");";
+          "    return 0;";
+          "}";
+        ];
+    hz_expected = [];
+    hz_v1 = [ ("stdio-before-fork", 9, 17) ];
+  }
+
+(* A mutex held across the fork: only the v2 lock dataflow sees it. *)
+let lock_across_fork =
+  {
+    hz_name = "lock_across_fork.c";
+    hz_source =
+      src
+        [
+          "#include <pthread.h>";
+          "#include <unistd.h>";
+          "";
+          "static pthread_mutex_t mu = PTHREAD_MUTEX_INITIALIZER;";
+          "";
+          "int main(int argc, char **argv) {";
+          "    pthread_mutex_lock(&mu);";
+          "    pid_t pid = fork();";
+          "    if (pid == 0) {";
+          "        execv(argv[1], argv + 1);";
+          "        _exit(127);";
+          "    }";
+          "    pthread_mutex_unlock(&mu);";
+          "    return 0;";
+          "}";
+        ];
+    hz_expected = [ ("lock-across-fork", 8, 17) ];
+    hz_v1 = [];
+  }
+
+(* The child execs only when access() succeeds; on the failure path it
+   falls through to `return -1` and keeps running the caller's code.
+   v1 sees an exec in the region and reports nothing. *)
+let child_fallthrough =
+  {
+    hz_name = "child_fallthrough.c";
+    hz_source =
+      src
+        [
+          "#include <unistd.h>";
+          "";
+          "int spawn_helper(const char *path) {";
+          "    pid_t pid = fork();";
+          "    if (pid == 0) {";
+          "        if (access(path, X_OK) == 0) {";
+          "            execl(path, path, (char *)0);";
+          "        }";
+          "        return -1;";
+          "    }";
+          "    return (int)pid;";
+          "}";
+        ];
+    hz_expected = [ ("child-path-return", 9, 9) ];
+    hz_v1 = [];
   }
 
 let hazards =
@@ -302,4 +482,9 @@ let hazards =
     stdio_fork;
     child_malloc;
     cloexec_leak;
+    parent_path_work;
+    helper_flush;
+    cross_function;
+    lock_across_fork;
+    child_fallthrough;
   ]

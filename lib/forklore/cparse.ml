@@ -1,0 +1,422 @@
+(* A lightweight, tolerant C statement parser on top of the
+   position-tracking lexer. It recovers just enough structure for the
+   fork-hazard dataflow: function bodies, the statement kinds that
+   shape control flow (blocks, if/else, loops, switch/case, goto and
+   labels, return/break/continue) and, inside every expression, the
+   call sites with their argument tokens and, when present, the
+   variable the result is assigned to.
+
+   Tolerance contract: [parse] never raises. Anything it cannot shape
+   (K&R definitions, statement expressions, inline asm) degrades into
+   an opaque expression statement or is skipped; the CFG layer then
+   reports the skipped parts as dead rather than silently analysing
+   wrong structure. *)
+
+type pos = { p_line : int; p_col : int }
+
+let pos_of (t : Lexer.token) = { p_line = t.Lexer.line; p_col = t.Lexer.col }
+
+type call = {
+  c_name : string;
+  c_line : int;
+  c_col : int;
+  c_args : Lexer.token list;  (** tokens between the call's parens *)
+  c_assigned_to : string option;
+      (** [v] in [v = f(...)] / [T v = f(...)] / [v = (T)f(...)] *)
+}
+
+type expr = { x_toks : Lexer.token list; x_calls : call list }
+
+type stmt =
+  | S_block of stmt list
+  | S_if of { i_cond : expr; i_then : stmt; i_else : stmt option }
+  | S_while of { w_cond : expr; w_body : stmt }
+  | S_do of { d_body : stmt; d_cond : expr }
+  | S_for of {
+      f_init : expr option;
+      f_test : expr option;
+      f_step : expr option;
+      f_body : stmt;
+    }
+  | S_switch of { sw_cond : expr; sw_body : stmt }
+  | S_case of { case_value : Lexer.token list; case_pos : pos }
+  | S_default of pos
+  | S_label of string * pos
+  | S_goto of string * pos
+  | S_return of { r_expr : expr option; r_pos : pos }
+  | S_break of pos
+  | S_continue of pos
+  | S_expr of expr  (** expression or declaration statement *)
+  | S_empty
+
+type func = {
+  fn_name : string;
+  fn_pos : pos;
+  fn_body : stmt list;
+  fn_end : pos;  (** the body's closing brace *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Call extraction from a token slice *)
+
+let is_star t = match t.Lexer.kind with Lexer.Punct "*" -> true | _ -> false
+
+(* Is the identifier at [idx] (followed by '(') in declarator position —
+   a prototype, definition or other declaration rather than a call?
+   True when, walking back over any '*'s, the previous token is a type
+   keyword or another identifier: `pid_t fork(void);`,
+   `static int helper(int)`, `char *strdup(const char *s)`. A call is
+   preceded by an operator, '(', ',', '=', 'return', ... instead.
+   (The one ambiguity inherited from C's grammar: `a = b * f();` looks
+   like a pointer declarator and is skipped; multiplication by a call
+   result is far rarer than pointer-returning prototypes.) *)
+let declarator_position (toks : Lexer.token array) idx =
+  let rec back j = if j >= 0 && is_star toks.(j) then back (j - 1) else j in
+  let j = back (idx - 1) in
+  if j < 0 then false
+  else
+    match toks.(j).Lexer.kind with
+    | Lexer.Ident id -> (not (Lexer.is_keyword id)) || Lexer.is_type_keyword id
+    | _ -> false
+
+(* index of the ')' matching the '(' at [open_idx], or [n] *)
+let matching_paren (toks : Lexer.token array) open_idx =
+  let n = Array.length toks in
+  let rec go i depth =
+    if i >= n then n
+    else
+      match toks.(i).Lexer.kind with
+      | Lexer.Punct "(" -> go (i + 1) (depth + 1)
+      | Lexer.Punct ")" -> if depth = 1 then i else go (i + 1) (depth - 1)
+      | _ -> go (i + 1) depth
+  in
+  go open_idx 0
+
+(* [v] in `v = f(...)`, `T v = f(...)` or `v = (T)f(...)`, looking
+   backwards from the call's identifier at [idx]. *)
+let assigned_var (toks : Lexer.token array) idx =
+  let j = idx - 1 in
+  (* skip a cast: `v = (pid_t) f(...)` *)
+  let j =
+    if j >= 0 && toks.(j).Lexer.kind = Lexer.Punct ")" then begin
+      let rec back i depth =
+        if i < 0 then -1
+        else
+          match toks.(i).Lexer.kind with
+          | Lexer.Punct ")" -> back (i - 1) (depth + 1)
+          | Lexer.Punct "(" -> if depth = 1 then i - 1 else back (i - 1) (depth - 1)
+          | _ -> back (i - 1) depth
+      in
+      back j 0
+    end
+    else j
+  in
+  if j >= 1 && toks.(j).Lexer.kind = Lexer.Punct "=" then
+    match toks.(j - 1).Lexer.kind with
+    | Lexer.Ident v when not (Lexer.is_keyword v) -> Some v
+    | _ -> None
+  else None
+
+(* All call sites in [toks.(lo..hi-1)], in source order. *)
+let calls_of_slice (toks : Lexer.token array) lo hi =
+  let out = ref [] in
+  let i = ref lo in
+  while !i < hi - 1 do
+    (match (toks.(!i).Lexer.kind, toks.(!i + 1).Lexer.kind) with
+    | Lexer.Ident name, Lexer.Punct "("
+      when (not (Lexer.is_keyword name)) && not (declarator_position toks !i)
+      ->
+      let close = matching_paren toks (!i + 1) in
+      let close = min close hi in
+      let args = Array.to_list (Array.sub toks (!i + 2) (max 0 (close - !i - 2))) in
+      out :=
+        {
+          c_name = name;
+          c_line = toks.(!i).Lexer.line;
+          c_col = toks.(!i).Lexer.col;
+          c_args = args;
+          c_assigned_to = assigned_var toks !i;
+        }
+        :: !out
+    | _ -> ());
+    incr i
+  done;
+  List.rev !out
+
+let expr_of_slice (toks : Lexer.token array) lo hi =
+  {
+    x_toks = Array.to_list (Array.sub toks lo (max 0 (hi - lo)));
+    x_calls = calls_of_slice toks lo hi;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Statement parsing *)
+
+type cursor = { toks : Lexer.token array; mutable i : int }
+
+let peek c k =
+  if c.i + k < Array.length c.toks then Some c.toks.(c.i + k) else None
+
+let cur c = peek c 0
+let advance c = c.i <- c.i + 1
+let at_punct c p = match cur c with Some t -> t.Lexer.kind = Lexer.Punct p | None -> false
+let at_ident c id = match cur c with Some t -> t.Lexer.kind = Lexer.Ident id | None -> false
+let eat_punct c p = if at_punct c p then advance c
+
+(* Advance to just past the ')' matching an expected '(' here; returns
+   the (lo, hi) slice of the tokens inside. Missing parens: empty. *)
+let parens_slice c =
+  if not (at_punct c "(") then (c.i, c.i)
+  else begin
+    let close = matching_paren c.toks c.i in
+    let lo = c.i + 1 in
+    c.i <- min (Array.length c.toks) (close + 1);
+    (lo, min close (Array.length c.toks))
+  end
+
+(* Consume tokens up to (not including) the next ';' or '}' at paren
+   and brace depth 0, returning the slice. The ';' is then eaten. *)
+let statement_slice c =
+  let n = Array.length c.toks in
+  let lo = c.i in
+  let rec go i pdepth bdepth =
+    if i >= n then i
+    else
+      match c.toks.(i).Lexer.kind with
+      | Lexer.Punct "(" -> go (i + 1) (pdepth + 1) bdepth
+      | Lexer.Punct ")" -> go (i + 1) (max 0 (pdepth - 1)) bdepth
+      | Lexer.Punct "{" -> go (i + 1) pdepth (bdepth + 1)
+      | Lexer.Punct "}" when bdepth > 0 -> go (i + 1) pdepth (bdepth - 1)
+      | Lexer.Punct "}" -> i (* unclosed statement: let the block end *)
+      | Lexer.Punct ";" when pdepth = 0 && bdepth = 0 -> i
+      | _ -> go (i + 1) pdepth bdepth
+  in
+  let hi = go c.i 0 0 in
+  c.i <- hi;
+  eat_punct c ";";
+  (lo, hi)
+
+let rec parse_stmt c : stmt =
+  match cur c with
+  | None -> S_empty
+  | Some t -> (
+    match t.Lexer.kind with
+    | Lexer.Punct ";" ->
+      advance c;
+      S_empty
+    | Lexer.Punct "{" ->
+      advance c;
+      let body = parse_stmts c in
+      eat_punct c "}";
+      S_block body
+    | Lexer.Punct "}" -> S_empty (* caller's block end; do not consume *)
+    | Lexer.Ident "if" ->
+      advance c;
+      let lo, hi = parens_slice c in
+      let i_cond = expr_of_slice c.toks lo hi in
+      let i_then = parse_stmt c in
+      let i_else =
+        if at_ident c "else" then begin
+          advance c;
+          Some (parse_stmt c)
+        end
+        else None
+      in
+      S_if { i_cond; i_then; i_else }
+    | Lexer.Ident "while" ->
+      advance c;
+      let lo, hi = parens_slice c in
+      S_while { w_cond = expr_of_slice c.toks lo hi; w_body = parse_stmt c }
+    | Lexer.Ident "do" ->
+      advance c;
+      let d_body = parse_stmt c in
+      if at_ident c "while" then advance c;
+      let lo, hi = parens_slice c in
+      eat_punct c ";";
+      S_do { d_body; d_cond = expr_of_slice c.toks lo hi }
+    | Lexer.Ident "for" ->
+      advance c;
+      let lo, hi = parens_slice c in
+      (* split the header on ';' at depth 0 within the slice *)
+      let parts =
+        let cuts = ref [] in
+        let depth = ref 0 in
+        for k = lo to hi - 1 do
+          match c.toks.(k).Lexer.kind with
+          | Lexer.Punct "(" -> incr depth
+          | Lexer.Punct ")" -> decr depth
+          | Lexer.Punct ";" when !depth = 0 -> cuts := k :: !cuts
+          | _ -> ()
+        done;
+        match List.rev !cuts with
+        | [ a; b ] -> Some ((lo, a), (a + 1, b), (b + 1, hi))
+        | _ -> None
+      in
+      let part (plo, phi) =
+        if phi <= plo then None else Some (expr_of_slice c.toks plo phi)
+      in
+      let f_init, f_test, f_step =
+        match parts with
+        | Some (a, b, d) -> (part a, part b, part d)
+        | None ->
+          (* malformed header: treat the whole slice as the test *)
+          (None, part (lo, hi), None)
+      in
+      S_for { f_init; f_test; f_step; f_body = parse_stmt c }
+    | Lexer.Ident "switch" ->
+      advance c;
+      let lo, hi = parens_slice c in
+      S_switch { sw_cond = expr_of_slice c.toks lo hi; sw_body = parse_stmt c }
+    | Lexer.Ident "case" ->
+      let case_pos = pos_of t in
+      advance c;
+      let n = Array.length c.toks in
+      let lo = c.i in
+      let rec go i depth =
+        if i >= n then i
+        else
+          match c.toks.(i).Lexer.kind with
+          | Lexer.Punct "(" -> go (i + 1) (depth + 1)
+          | Lexer.Punct ")" -> go (i + 1) (max 0 (depth - 1))
+          | Lexer.Punct ":" when depth = 0 -> i
+          | Lexer.Punct (";" | "{" | "}") -> i (* malformed; stop *)
+          | _ -> go (i + 1) depth
+      in
+      let hi = go c.i 0 in
+      c.i <- hi;
+      eat_punct c ":";
+      S_case
+        {
+          case_value = Array.to_list (Array.sub c.toks lo (max 0 (hi - lo)));
+          case_pos;
+        }
+    | Lexer.Ident "default" ->
+      advance c;
+      eat_punct c ":";
+      S_default (pos_of t)
+    | Lexer.Ident "goto" ->
+      advance c;
+      let target =
+        match cur c with
+        | Some { Lexer.kind = Lexer.Ident l; _ } ->
+          advance c;
+          l
+        | _ -> ""
+      in
+      eat_punct c ";";
+      S_goto (target, pos_of t)
+    | Lexer.Ident "return" ->
+      advance c;
+      let lo, hi = statement_slice c in
+      let r_expr = if hi <= lo then None else Some (expr_of_slice c.toks lo hi) in
+      S_return { r_expr; r_pos = pos_of t }
+    | Lexer.Ident "break" ->
+      advance c;
+      eat_punct c ";";
+      S_break (pos_of t)
+    | Lexer.Ident "continue" ->
+      advance c;
+      eat_punct c ";";
+      S_continue (pos_of t)
+    | Lexer.Ident l
+      when (not (Lexer.is_keyword l))
+           && (match peek c 1 with
+              | Some { Lexer.kind = Lexer.Punct ":"; _ } -> true
+              | _ -> false) ->
+      advance c;
+      advance c;
+      S_label (l, pos_of t)
+    | _ ->
+      let lo, hi = statement_slice c in
+      if hi <= lo then begin
+        (* no progress on this token (stray punctuation): skip it *)
+        advance c;
+        S_empty
+      end
+      else S_expr (expr_of_slice c.toks lo hi))
+
+and parse_stmts c : stmt list =
+  let out = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    match cur c with
+    | None -> continue_ := false
+    | Some { Lexer.kind = Lexer.Punct "}"; _ } -> continue_ := false
+    | Some _ ->
+      let before = c.i in
+      let s = parse_stmt c in
+      if c.i = before then begin
+        (* safety: never loop without progress *)
+        advance c;
+        continue_ := false
+      end
+      else out := s :: !out
+  done;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Top level: find function definitions *)
+
+let parse tokens : func list =
+  let toks = Array.of_list tokens in
+  let n = Array.length toks in
+  let funcs = ref [] in
+  let i = ref 0 in
+  let bdepth = ref 0 in
+  while !i < n - 1 do
+    (match (toks.(!i).Lexer.kind, toks.(!i + 1).Lexer.kind) with
+    | Lexer.Punct "{", _ -> incr bdepth
+    | Lexer.Punct "}", _ -> bdepth := max 0 (!bdepth - 1)
+    | Lexer.Ident name, Lexer.Punct "("
+      when !bdepth = 0 && not (Lexer.is_keyword name) -> (
+      let close = matching_paren toks (!i + 1) in
+      if close + 1 < n && toks.(close + 1).Lexer.kind = Lexer.Punct "{" then begin
+        (* function definition: parse the body *)
+        let body_start = close + 2 in
+        let c = { toks; i = body_start } in
+        let body = parse_stmts c in
+        let fn_end =
+          if c.i < n then pos_of toks.(c.i)
+          else if n > 0 then pos_of toks.(n - 1)
+          else { p_line = 1; p_col = 1 }
+        in
+        eat_punct c "}";
+        funcs :=
+          {
+            fn_name = name;
+            fn_pos = pos_of toks.(!i);
+            fn_body = body;
+            fn_end;
+          }
+          :: !funcs;
+        i := c.i - 1 (* the loop's incr brings us just past the body *)
+      end
+      else i := close (* prototype or call: skip past its parens *))
+    | _ -> ());
+    incr i
+  done;
+  List.rev !funcs
+
+(* ------------------------------------------------------------------ *)
+(* Whole-tree call collection (summaries, tests) *)
+
+let rec calls_of_stmt s =
+  let of_expr e = e.x_calls in
+  let of_opt = function None -> [] | Some e -> e.x_calls in
+  match s with
+  | S_block l -> List.concat_map calls_of_stmt l
+  | S_if { i_cond; i_then; i_else } ->
+    of_expr i_cond @ calls_of_stmt i_then
+    @ (match i_else with None -> [] | Some s -> calls_of_stmt s)
+  | S_while { w_cond; w_body } -> of_expr w_cond @ calls_of_stmt w_body
+  | S_do { d_body; d_cond } -> calls_of_stmt d_body @ of_expr d_cond
+  | S_for { f_init; f_test; f_step; f_body } ->
+    of_opt f_init @ of_opt f_test @ of_opt f_step @ calls_of_stmt f_body
+  | S_switch { sw_cond; sw_body } -> of_expr sw_cond @ calls_of_stmt sw_body
+  | S_return { r_expr; _ } -> of_opt r_expr
+  | S_expr e -> of_expr e
+  | S_case _ | S_default _ | S_label _ | S_goto _ | S_break _ | S_continue _
+  | S_empty ->
+    []
+
+let calls_of_func f = List.concat_map calls_of_stmt f.fn_body

@@ -1,0 +1,666 @@
+(* Path-sensitive fork-fact dataflow over {!Cfg}.
+
+   A forward worklist fixpoint tracks, per program point: the live
+   fork/vfork windows with their child/parent/error role possibilities
+   (refined along guarded edges: the true edge of [pid == 0] keeps
+   only the child role, and an edge whose refinement empties the role
+   set is infeasible and propagates nothing), variables bound to fork
+   results, unflushed stdio writes, fds created without CLOEXEC,
+   pthread mutexes held, and whether threads have been created on the
+   path. A second pass replays the transfer function over the
+   stabilised states and emits {!obs} values, which {!Rules} turns
+   into findings.
+
+   Precision policy, shared with {!Signal_safety}: inside a fork-child
+   window only *known-unsafe* callees are reported (explicit deny
+   list, or a local function summarised as reaching one). Unknown
+   externs are never flagged. Inside a vfork child window every call
+   except exec*/_exit is reported — that is vfork's contract. *)
+
+module SMap = Map.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Name sets *)
+
+let fork_names = [ "fork" ]
+let vfork_names = [ "vfork" ]
+
+let exec_names =
+  [ "execve"; "execv"; "execvp"; "execvpe"; "execl"; "execlp"; "execle";
+    "fexecve" ]
+
+(* calls that legitimately end a forked child branch *)
+let escape_names = "_exit" :: "_Exit" :: exec_names
+
+(* process creators that are not fork: fds leak into their children too *)
+let spawn_names =
+  [ "clone"; "clone3"; "posix_spawn"; "posix_spawnp"; "system"; "popen" ]
+
+let stdio_names =
+  [ "printf"; "fprintf"; "vprintf"; "vfprintf"; "fwrite"; "puts"; "fputs";
+    "putchar"; "fputc"; "putc" ]
+
+let thread_create_names = [ "pthread_create"; "thrd_create" ]
+let lock_names = [ "pthread_mutex_lock"; "mtx_lock" ]
+let unlock_names = [ "pthread_mutex_unlock"; "mtx_unlock" ]
+
+let mem name names = List.mem name names
+
+(* ------------------------------------------------------------------ *)
+(* One-level interprocedural summaries *)
+
+type summary = {
+  sm_forks : bool;
+  sm_execs : bool;  (** calls exec*/_exit/_Exit directly *)
+  sm_unsafe : string option;  (** first known-unsafe function it calls *)
+  sm_threads : bool;
+  sm_flushes : bool;  (** calls fflush *)
+  sm_stdio : string option;  (** first buffered-stdio write *)
+}
+
+let summarize (fn : Cparse.func) : summary =
+  let calls = Cparse.calls_of_func fn in
+  let has p = List.exists (fun (c : Cparse.call) -> p c.Cparse.c_name) calls in
+  let first p =
+    List.find_map
+      (fun (c : Cparse.call) ->
+        if p c.Cparse.c_name then Some c.Cparse.c_name else None)
+      calls
+  in
+  {
+    sm_forks = has (fun n -> mem n fork_names || mem n vfork_names);
+    sm_execs = has (fun n -> mem n escape_names);
+    sm_unsafe = first Signal_safety.is_known_unsafe;
+    sm_threads = has (fun n -> mem n thread_create_names);
+    sm_flushes = has (fun n -> n = "fflush");
+    sm_stdio = first (fun n -> mem n stdio_names);
+  }
+
+let summaries_of (fns : Cparse.func list) : summary SMap.t =
+  List.fold_left
+    (fun m (fn : Cparse.func) -> SMap.add fn.Cparse.fn_name (summarize fn) m)
+    SMap.empty fns
+
+(* ------------------------------------------------------------------ *)
+(* Abstract state *)
+
+type role = { r_child : bool; r_parent : bool; r_err : bool }
+
+let role_top = { r_child = true; r_parent = true; r_err = true }
+let role_empty r = (not r.r_child) && (not r.r_parent) && not r.r_err
+
+let role_inter a b =
+  {
+    r_child = a.r_child && b.r_child;
+    r_parent = a.r_parent && b.r_parent;
+    r_err = a.r_err && b.r_err;
+  }
+
+let role_union a b =
+  {
+    r_child = a.r_child || b.r_child;
+    r_parent = a.r_parent || b.r_parent;
+    r_err = a.r_err || b.r_err;
+  }
+
+let role_diff a b =
+  {
+    r_child = a.r_child && not b.r_child;
+    r_parent = a.r_parent && not b.r_parent;
+    r_err = a.r_err && not b.r_err;
+  }
+
+let role_of_rel : Cfg.rel -> role = function
+  | Cfg.Req0 -> { r_child = true; r_parent = false; r_err = false }
+  | Cfg.Rne0 -> { r_child = false; r_parent = true; r_err = true }
+  | Cfg.Rgt0 -> { r_child = false; r_parent = true; r_err = false }
+  | Cfg.Rlt0 -> { r_child = false; r_parent = false; r_err = true }
+  | Cfg.Rge0 -> { r_child = true; r_parent = true; r_err = false }
+  | Cfg.Rle0 -> { r_child = true; r_parent = false; r_err = true }
+  | Cfg.Req_m1 -> { r_child = false; r_parent = false; r_err = true }
+  | Cfg.Rne_m1 -> { r_child = true; r_parent = true; r_err = false }
+
+type fork_fact = {
+  ff_site : int;  (** site id of the fork/vfork call *)
+  ff_vfork : bool;
+  ff_role : role;
+  ff_escaped : bool;  (** an exec*/_exit already ran on this path *)
+}
+
+type state = {
+  st_forks : fork_fact list;  (* sorted by ff_site *)
+  st_binds : (string * int) list;  (* var -> fork site *)
+  st_dirty : int list;  (* stdio site ids; sorted *)
+  st_fds : (int * string option) list;  (* open site, variable; sorted *)
+  st_locks : (int * string) list;  (* lock site, canonical args; sorted *)
+  st_thread : int option;  (* earliest thread-creating site *)
+}
+
+let init_state =
+  {
+    st_forks = [];
+    st_binds = [];
+    st_dirty = [];
+    st_fds = [];
+    st_locks = [];
+    st_thread = None;
+  }
+
+(* join = union of possible behaviours: roles widen, escaped only if
+   escaped on every path, binds only where both paths agree *)
+let join a b =
+  let rec merge_forks xs ys =
+    match (xs, ys) with
+    | [], l | l, [] -> l
+    | x :: xr, y :: yr ->
+      if x.ff_site < y.ff_site then x :: merge_forks xr ys
+      else if y.ff_site < x.ff_site then y :: merge_forks xs yr
+      else
+        {
+          x with
+          ff_role = role_union x.ff_role y.ff_role;
+          ff_escaped = x.ff_escaped && y.ff_escaped;
+        }
+        :: merge_forks xr yr
+  in
+  let rec merge_sorted xs ys =
+    match (xs, ys) with
+    | [], l | l, [] -> l
+    | x :: xr, y :: yr ->
+      if x < y then x :: merge_sorted xr ys
+      else if y < x then y :: merge_sorted xs yr
+      else x :: merge_sorted xr yr
+  in
+  let rec merge_by_key xs ys =
+    (* union keyed on [fst]; on a key collision keep [x] *)
+    match (xs, ys) with
+    | [], l | l, [] -> l
+    | ((kx, _) as x) :: xr, ((ky, _) as y) :: yr ->
+      if kx < ky then x :: merge_by_key xr ys
+      else if ky < kx then y :: merge_by_key xs yr
+      else x :: merge_by_key xr yr
+  in
+  {
+    st_forks = merge_forks a.st_forks b.st_forks;
+    st_binds =
+      List.filter
+        (fun (v, s) -> List.assoc_opt v b.st_binds = Some s)
+        a.st_binds;
+    st_dirty = merge_sorted a.st_dirty b.st_dirty;
+    st_fds = merge_by_key a.st_fds b.st_fds;
+    st_locks = merge_by_key a.st_locks b.st_locks;
+    st_thread =
+      (match (a.st_thread, b.st_thread) with
+      | Some x, Some y -> Some (min x y)
+      | Some x, None | None, Some x -> Some x
+      | None, None -> None);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Observations *)
+
+type obs =
+  | O_unsafe_child of {
+      o_at : Cparse.call;
+      o_fork : Cparse.call;
+      o_via : string option;  (** unsafe callee reached via a summary *)
+    }
+  | O_vfork_call of { o_at : Cparse.call; o_vfork : Cparse.call }
+  | O_vfork_return of { o_pos : Cparse.pos; o_vfork : Cparse.call }
+  | O_vfork_no_escape of Cparse.call
+  | O_fork_no_escape of Cparse.call
+  | O_stdio_at_fork of { o_fork : Cparse.call; o_stdio : Cparse.call }
+  | O_threads_at_fork of { o_fork : Cparse.call; o_thread : Cparse.call }
+  | O_lock_at_fork of { o_fork : Cparse.call; o_lock : Cparse.call }
+  | O_fd_leak of { o_open : Cparse.call; o_spawn : Cparse.call }
+  | O_child_return of { o_pos : Cparse.pos; o_fork : Cparse.call }
+
+type result = {
+  res_cfg : Cfg.t;
+  res_obs : obs list;  (** node order, then event order within a node *)
+  res_dead : Cfg.site list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Token helpers for argument inspection *)
+
+let token_text (t : Lexer.token) =
+  match t.Lexer.kind with
+  | Lexer.Ident s | Lexer.Number s -> s
+  | Lexer.Str s -> "\"" ^ s ^ "\""
+  | Lexer.Chr s -> "'" ^ s ^ "'"
+  | Lexer.Punct p -> p
+
+let render_tokens toks = String.concat " " (List.map token_text toks)
+
+let has_ident name toks =
+  List.exists
+    (fun (t : Lexer.token) ->
+      match t.Lexer.kind with Lexer.Ident i -> i = name | _ -> false)
+    toks
+
+(* tokens of the first argument (up to the first ',' at depth 0) *)
+let first_arg toks =
+  let rec go acc depth = function
+    | [] -> List.rev acc
+    | (t : Lexer.token) :: rest -> (
+      match t.Lexer.kind with
+      | Lexer.Punct "(" -> go (t :: acc) (depth + 1) rest
+      | Lexer.Punct ")" -> go (t :: acc) (depth - 1) rest
+      | Lexer.Punct "," when depth = 0 -> List.rev acc
+      | _ -> go (t :: acc) depth rest)
+  in
+  go [] 0 toks
+
+let first_arg_ident toks =
+  match first_arg toks with
+  | [ { Lexer.kind = Lexer.Ident v; _ } ] when not (Lexer.is_keyword v) ->
+    Some v
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Transfer function *)
+
+(* innermost (latest) unescaped, child-capable window of the given kind *)
+let active_window ~vfork st =
+  List.fold_left
+    (fun acc ff ->
+      if ff.ff_vfork = vfork && ff.ff_role.r_child && not ff.ff_escaped then
+        Some ff
+      else acc)
+    None st.st_forks
+
+let sorted_insert x l = List.sort_uniq compare (x :: l)
+
+let latest_dirty (cfg : Cfg.t) st =
+  match List.rev st.st_dirty with
+  | [] -> None
+  | sid :: _ -> Some cfg.Cfg.sites.(sid).Cfg.s_call
+
+(* Process one call event against the pre-state. [emit] receives
+   observations (a no-op during the fixpoint); [escape_seen] records
+   fork sites whose child-capable path reached an escape. *)
+let process_call (cfg : Cfg.t) ~summaries ~emit ~escape_seen st
+    (site : Cfg.site) =
+  let call = site.Cfg.s_call in
+  let name = call.Cparse.c_name in
+  let args = call.Cparse.c_args in
+  let summary = SMap.find_opt name summaries in
+  let is_fork = mem name fork_names in
+  let is_vfork = mem name vfork_names in
+  let is_escape =
+    mem name escape_names
+    ||
+    match summary with
+    | Some s -> s.sm_execs && not s.sm_forks
+    | None -> false
+  in
+  let site_call sid = cfg.Cfg.sites.(sid).Cfg.s_call in
+  (* --- flag phase (consults the pre-state) --- *)
+  if not is_escape then begin
+    match active_window ~vfork:true st with
+    | Some ff ->
+      (* vfork child window: any call except exec*/_exit is misuse *)
+      emit (O_vfork_call { o_at = call; o_vfork = site_call ff.ff_site })
+    | None -> (
+      match active_window ~vfork:false st with
+      | Some ff -> (
+        let fork_call = site_call ff.ff_site in
+        if Signal_safety.is_known_unsafe name then
+          emit (O_unsafe_child { o_at = call; o_fork = fork_call; o_via = None })
+        else
+          match summary with
+          | Some { sm_unsafe = Some u; _ } ->
+            emit
+              (O_unsafe_child { o_at = call; o_fork = fork_call; o_via = Some u })
+          | _ -> ())
+      | None -> ())
+  end;
+  (* a creation event: every live un-CLOEXEC'd fd leaks into the child *)
+  let creates_process =
+    is_fork || is_vfork
+    || mem name spawn_names
+    || match summary with Some s -> s.sm_forks | None -> false
+  in
+  if creates_process then
+    List.iter
+      (fun (sid, _) ->
+        emit (O_fd_leak { o_open = site_call sid; o_spawn = call }))
+      st.st_fds;
+  if is_fork || is_vfork then begin
+    (match latest_dirty cfg st with
+    | Some stdio -> emit (O_stdio_at_fork { o_fork = call; o_stdio = stdio })
+    | None -> ());
+    List.iter
+      (fun (sid, _) ->
+        emit (O_lock_at_fork { o_fork = call; o_lock = site_call sid }))
+      st.st_locks;
+    match st.st_thread with
+    | Some tid when is_fork ->
+      emit (O_threads_at_fork { o_fork = call; o_thread = site_call tid })
+    | _ -> ()
+  end;
+  (* --- state update --- *)
+  let st =
+    if is_escape then begin
+      (* every live window on this path has reached exec/_exit *)
+      List.iter
+        (fun ff ->
+          if ff.ff_role.r_child && not ff.ff_escaped then
+            escape_seen ff.ff_site)
+        st.st_forks;
+      {
+        st with
+        st_forks =
+          List.map (fun ff -> { ff with ff_escaped = true }) st.st_forks;
+      }
+    end
+    else st
+  in
+  let st =
+    if is_fork || is_vfork then begin
+      let fact =
+        {
+          ff_site = site.Cfg.s_id;
+          ff_vfork = is_vfork;
+          ff_role = role_top;
+          ff_escaped = false;
+        }
+      in
+      let binds =
+        match call.Cparse.c_assigned_to with
+        | Some v ->
+          List.sort compare
+            ((v, site.Cfg.s_id) :: List.remove_assoc v st.st_binds)
+        | None -> st.st_binds
+      in
+      (* re-forking at the same site (a fork in a loop) opens a fresh
+         window: replace any stale fact for this site *)
+      let forks =
+        List.sort
+          (fun a b -> compare a.ff_site b.ff_site)
+          (fact :: List.filter (fun ff -> ff.ff_site <> site.Cfg.s_id) st.st_forks)
+      in
+      { st with st_forks = forks; st_binds = binds }
+    end
+    else
+      (* a non-fork result assigned to a tracked variable kills its bind *)
+      match call.Cparse.c_assigned_to with
+      | Some v when List.mem_assoc v st.st_binds ->
+        { st with st_binds = List.remove_assoc v st.st_binds }
+      | _ -> st
+  in
+  let flushes =
+    name = "fflush"
+    || match summary with Some s -> s.sm_flushes | None -> false
+  in
+  let st = if flushes then { st with st_dirty = [] } else st in
+  let writes_stdio =
+    mem name stdio_names
+    || match summary with Some s -> s.sm_stdio <> None | None -> false
+  in
+  let st =
+    if writes_stdio then
+      { st with st_dirty = sorted_insert site.Cfg.s_id st.st_dirty }
+    else st
+  in
+  let st =
+    match name with
+    | "open" | "open64" | "openat" ->
+      if has_ident "O_CLOEXEC" args then st
+      else
+        {
+          st with
+          st_fds =
+            (site.Cfg.s_id, call.Cparse.c_assigned_to) :: st.st_fds
+            |> List.sort compare;
+        }
+    | "socket" ->
+      if has_ident "SOCK_CLOEXEC" args then st
+      else
+        {
+          st with
+          st_fds =
+            (site.Cfg.s_id, call.Cparse.c_assigned_to) :: st.st_fds
+            |> List.sort compare;
+        }
+    | "pipe" | "creat" ->
+      {
+        st with
+        st_fds =
+          (site.Cfg.s_id, call.Cparse.c_assigned_to) :: st.st_fds
+          |> List.sort compare;
+      }
+    | "close" -> (
+      match first_arg_ident args with
+      | Some v ->
+        { st with st_fds = List.filter (fun (_, w) -> w <> Some v) st.st_fds }
+      | None -> st)
+    | "fcntl" -> (
+      match (first_arg_ident args, has_ident "FD_CLOEXEC" args) with
+      | Some v, true ->
+        { st with st_fds = List.filter (fun (_, w) -> w <> Some v) st.st_fds }
+      | _ -> st)
+    | _ -> st
+  in
+  let st =
+    if mem name lock_names then
+      {
+        st with
+        st_locks =
+          (site.Cfg.s_id, render_tokens args) :: st.st_locks
+          |> List.sort compare;
+      }
+    else if mem name unlock_names then
+      let key = render_tokens args in
+      { st with st_locks = List.filter (fun (_, k) -> k <> key) st.st_locks }
+    else st
+  in
+  let creates_threads =
+    mem name thread_create_names
+    || match summary with Some s -> s.sm_threads | None -> false
+  in
+  if creates_threads then
+    {
+      st with
+      st_thread =
+        (match st.st_thread with
+        | Some t -> Some (min t site.Cfg.s_id)
+        | None -> Some site.Cfg.s_id);
+    }
+  else st
+
+let transfer cfg ~summaries ~emit ~escape_seen st (node : Cfg.node) =
+  List.fold_left
+    (fun st site -> process_call cfg ~summaries ~emit ~escape_seen st site)
+    st node.Cfg.n_sites
+
+(* ------------------------------------------------------------------ *)
+(* Edge refinement *)
+
+let resolve_subject st = function
+  | Cfg.Sub_site sid -> Some sid
+  | Cfg.Sub_var v -> List.assoc_opt v st.st_binds
+  | Cfg.Sub_other -> None
+
+(* Restrict the role of fork site [sid] to [restrict]; None when the
+   refinement empties the role set (the edge is infeasible). *)
+let refine st sid restrict =
+  let dead = ref false in
+  let forks =
+    List.map
+      (fun ff ->
+        if ff.ff_site = sid then begin
+          let role = role_inter ff.ff_role restrict in
+          if role_empty role then dead := true;
+          { ff with ff_role = role }
+        end
+        else ff)
+      st.st_forks
+  in
+  if !dead then None else Some { st with st_forks = forks }
+
+let apply_guard st (g : Cfg.guard option) ~edge_true =
+  match g with
+  | None -> Some st
+  | Some { Cfg.g_subject; g_rel; g_true_only } -> (
+    if (not edge_true) && g_true_only then Some st
+    else
+      let rel = if edge_true then g_rel else Cfg.negate_rel g_rel in
+      match resolve_subject st g_subject with
+      | None -> Some st
+      | Some sid -> refine st sid (role_of_rel rel))
+
+let arm_role arms arm =
+  let role_of_case v =
+    if v = 0 then { r_child = true; r_parent = false; r_err = false }
+    else if v > 0 then { r_child = false; r_parent = true; r_err = false }
+    else { r_child = false; r_parent = false; r_err = true }
+  in
+  match arm with
+  | Cfg.A_case (Some v) -> Some (role_of_case v)
+  | Cfg.A_case None -> None
+  | Cfg.A_default ->
+    (* whatever the literal arms did not cover *)
+    let covered =
+      List.fold_left
+        (fun acc (a, _) ->
+          match a with
+          | Cfg.A_case (Some v) -> role_union acc (role_of_case v)
+          | _ -> acc)
+        { r_child = false; r_parent = false; r_err = false }
+        arms
+    in
+    Some (role_diff role_top covered)
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint and emission *)
+
+let analyze ?(summaries = SMap.empty) (cfg : Cfg.t) : result =
+  let n = Array.length cfg.Cfg.nodes in
+  let input : state option array = Array.make n None in
+  input.(cfg.Cfg.entry) <- Some init_state;
+  let no_emit _ = () in
+  let escaped = Hashtbl.create 8 in
+  let escape_seen sid = Hashtbl.replace escaped sid () in
+  (* --- fixpoint --- *)
+  let queue = Queue.create () in
+  Queue.push cfg.Cfg.entry queue;
+  let propagate target st =
+    let merged =
+      match input.(target) with None -> st | Some old -> join old st
+    in
+    if input.(target) <> Some merged then begin
+      input.(target) <- Some merged;
+      Queue.push target queue
+    end
+  in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    match input.(id) with
+    | None -> ()
+    | Some st -> (
+      let node = cfg.Cfg.nodes.(id) in
+      let out =
+        transfer cfg ~summaries ~emit:no_emit ~escape_seen:ignore st node
+      in
+      match node.Cfg.n_term with
+      | Cfg.T_jump j -> propagate j out
+      | Cfg.T_branch { br_guard; br_true; br_false } ->
+        (match apply_guard out br_guard ~edge_true:true with
+        | Some st' -> propagate br_true st'
+        | None -> ());
+        (match apply_guard out br_guard ~edge_true:false with
+        | Some st' -> propagate br_false st'
+        | None -> ())
+      | Cfg.T_switch { sw_subject; sw_arms } ->
+        let sid = resolve_subject out sw_subject in
+        List.iter
+          (fun (arm, target) ->
+            let st' =
+              match (sid, arm_role sw_arms arm) with
+              | Some sid, Some restrict -> refine out sid restrict
+              | _ -> Some out
+            in
+            match st' with Some st' -> propagate target st' | None -> ())
+          sw_arms
+      | Cfg.T_return _ | Cfg.T_exit _ | Cfg.T_dead -> ())
+  done;
+  (* --- emission pass over the stabilised states --- *)
+  let obs = ref [] in
+  let emit o = obs := o :: !obs in
+  for id = 0 to n - 1 do
+    match input.(id) with
+    | None -> ()
+    | Some st -> (
+      let node = cfg.Cfg.nodes.(id) in
+      let out = transfer cfg ~summaries ~emit ~escape_seen st node in
+      match node.Cfg.n_term with
+      | Cfg.T_return pos | Cfg.T_exit pos -> (
+        (* a child-capable path leaving the function without escape *)
+        match active_window ~vfork:true out with
+        | Some ff ->
+          emit
+            (O_vfork_return
+               { o_pos = pos; o_vfork = cfg.Cfg.sites.(ff.ff_site).Cfg.s_call })
+        | None -> (
+          match active_window ~vfork:false out with
+          | Some ff ->
+            emit
+              (O_child_return
+                 { o_pos = pos; o_fork = cfg.Cfg.sites.(ff.ff_site).Cfg.s_call })
+          | None -> ()))
+      | _ -> ())
+  done;
+  (* forks whose child path can never reach exec*/_exit *)
+  Array.iter
+    (fun (site : Cfg.site) ->
+      let name = site.Cfg.s_call.Cparse.c_name in
+      let is_fork = mem name fork_names and is_vfork = mem name vfork_names in
+      if (is_fork || is_vfork) && not (Hashtbl.mem escaped site.Cfg.s_id) then begin
+        (* only live sites: a fork in dead code is not a hazard *)
+        let live =
+          let reach = Cfg.reachable cfg in
+          Array.exists Fun.id
+            (Array.mapi
+               (fun id (node : Cfg.node) ->
+                 reach.(id)
+                 && List.exists
+                      (fun (s : Cfg.site) -> s.Cfg.s_id = site.Cfg.s_id)
+                      node.Cfg.n_sites)
+               cfg.Cfg.nodes)
+        in
+        if live then
+          emit
+            (if is_vfork then O_vfork_no_escape site.Cfg.s_call
+             else O_fork_no_escape site.Cfg.s_call)
+      end)
+    cfg.Cfg.sites;
+  (* unsafe-child-work keeps v1's scope — the window *between* fork and
+     exec. A fork whose child never escapes is fork-no-exec's business;
+     flagging its child work too would double-report one defect. *)
+  let escaped_pos =
+    Hashtbl.fold
+      (fun sid () acc ->
+        let c = cfg.Cfg.sites.(sid).Cfg.s_call in
+        (c.Cparse.c_line, c.Cparse.c_col) :: acc)
+      escaped []
+  in
+  let res_obs =
+    List.filter
+      (function
+        | O_unsafe_child { o_fork; _ } ->
+          List.mem (o_fork.Cparse.c_line, o_fork.Cparse.c_col) escaped_pos
+        | _ -> true)
+      (List.rev !obs)
+  in
+  { res_cfg = cfg; res_obs; res_dead = Cfg.dead_sites cfg }
+
+(* ------------------------------------------------------------------ *)
+
+(* Analyze every function of a token stream: parse, summarise all
+   functions (one level), then run each CFG with those summaries. *)
+let analyze_tokens toks : result list =
+  let fns = Cparse.parse toks in
+  let summaries = summaries_of fns in
+  List.map (fun fn -> analyze ~summaries (Cfg.build fn)) fns

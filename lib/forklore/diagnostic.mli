@@ -35,6 +35,10 @@ val count : severity -> t list -> int
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal (shared with
+    the {!Sarif} exporter). *)
+
 val to_json : t -> string
 (** One finding as a JSON object (single line). *)
 

@@ -27,6 +27,18 @@ let keywords =
 
 let is_keyword id = List.mem id keywords
 
+(* Keywords that can open a declaration: a following identifier-`(`
+   pair is a declarator (prototype/definition), not a call site. *)
+let type_keywords =
+  [
+    "auto"; "char"; "const"; "double"; "enum"; "extern"; "float"; "inline";
+    "int"; "long"; "register"; "restrict"; "short"; "signed"; "static";
+    "struct"; "typedef"; "union"; "unsigned"; "void"; "volatile"; "_Atomic";
+    "_Bool"; "_Noreturn"; "_Thread_local";
+  ]
+
+let is_type_keyword id = List.mem id type_keywords
+
 let is_ident_start c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 
@@ -47,26 +59,125 @@ let tokenize src =
   let i = ref 0 in
   let line = ref 1 in
   let col = ref 1 in
-  let emit ~line ~col kind = toks := { kind; line; col } :: !toks in
+  (* beginning-of-line: only whitespace/comments seen since the last
+     newline, which is where a '#' starts a preprocessor directive *)
+  let bol = ref true in
+  let emit ~line ~col kind =
+    bol := false;
+    toks := { kind; line; col } :: !toks
+  in
   let cur () = src.[!i] in
   let peek k = if !i + k < n then Some src.[!i + k] else None in
   let advance () =
     if cur () = '\n' then begin
       incr line;
-      col := 1
+      col := 1;
+      bol := true
     end
     else incr col;
     incr i
+  in
+  (* A '\' immediately before the newline splices the next physical
+     line onto this logical one (C translation phase 2). Without this,
+     multi-line macro definitions leak phantom '\' tokens. *)
+  let splice () =
+    if
+      !i < n
+      && cur () = '\\'
+      && (peek 1 = Some '\n' || (peek 1 = Some '\r' && peek 2 = Some '\n'))
+    then begin
+      advance ();
+      if !i < n && cur () = '\r' then advance ();
+      if !i < n then advance ();
+      (* the logical line continues: a '#' next is NOT a directive *)
+      bol := false;
+      true
+    end
+    else false
   in
   (* consume a backslash escape inside a literal; tolerates EOF *)
   let skip_escape () =
     advance ();
     if !i < n then advance ()
   in
+  (* Rest of the current logical directive line (backslash splices
+     continue it); the terminating newline is left for the main loop. *)
+  let directive_rest () =
+    let buf = Buffer.create 16 in
+    let stop = ref false in
+    while (not !stop) && !i < n do
+      if splice () then Buffer.add_char buf ' '
+      else if cur () = '\n' then stop := true
+      else begin
+        Buffer.add_char buf (cur ());
+        advance ()
+      end
+    done;
+    Buffer.contents buf
+  in
+  (* first identifier of a directive body, and what follows it *)
+  let directive_name rest =
+    let m = String.length rest in
+    let j = ref 0 in
+    while !j < m && (rest.[!j] = ' ' || rest.[!j] = '\t') do
+      incr j
+    done;
+    let start = !j in
+    while !j < m && is_ident rest.[!j] do
+      incr j
+    done;
+    (String.sub rest start (!j - start), String.sub rest !j (m - !j))
+  in
+  (* `#if 0` (possibly with a trailing comment) — the conventional
+     block-comment-out idiom whose body must not produce tokens *)
+  let is_zero_condition arg =
+    let arg = String.trim arg in
+    arg = "0"
+    || String.length arg > 1
+       && arg.[0] = '0'
+       && (match arg.[1] with ' ' | '\t' | '/' -> true | _ -> false)
+  in
+  (* Skip a `#if 0` region: consume up to the matching `#endif`
+     (tracking `#if`/`#ifdef`/`#ifndef` nesting) or a depth-1
+     `#else`/`#elif`, whose branch is live again. *)
+  let skip_dead_region () =
+    let depth = ref 1 in
+    let live = ref false in
+    while (not !live) && !i < n do
+      if !bol && cur () = '#' then begin
+        advance ();
+        let name, _ = directive_name (directive_rest ()) in
+        match name with
+        | "if" | "ifdef" | "ifndef" -> incr depth
+        | "endif" ->
+          decr depth;
+          if !depth = 0 then live := true
+        | "else" | "elif" -> if !depth = 1 then live := true
+        | _ -> ()
+      end
+      else begin
+        if not (cur () = ' ' || cur () = '\t' || cur () = '\n'
+                || cur () = '\r' || cur () = '\012')
+        then bol := false;
+        advance ()
+      end
+    done
+  in
   while !i < n do
     let c = cur () in
     let l = !line and co = !col in
     if c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '\012' then advance ()
+    else if splice () then ()
+    else if c = '#' && !bol then begin
+      (* Preprocessor directive: consumed whole, emitting no tokens
+         (so `#define fork(x)` is not a call site and `#include <f.h>`
+         has no phantom '<'/'>' punctuation). `#if 0` additionally
+         kills its region. *)
+      advance ();
+      let rest = directive_rest () in
+      let name, arg = directive_name rest in
+      if name = "if" && is_zero_condition arg then skip_dead_region ()
+    end
     else if c = '/' && peek 1 = Some '/' then
       while !i < n && cur () <> '\n' do
         advance ()
@@ -124,10 +235,16 @@ let tokenize src =
       emit ~line:l ~col:co (Chr (Buffer.contents buf))
     end
     else if is_ident_start c then begin
+      (* a splice mid-identifier glues the halves (phase 2 runs before
+         tokenisation): [fo\<newline>rk] is the single identifier fork *)
       let buf = Buffer.create 8 in
-      while !i < n && is_ident (cur ()) do
-        Buffer.add_char buf (cur ());
-        advance ()
+      let stop = ref false in
+      while (not !stop) && !i < n do
+        if is_ident (cur ()) then begin
+          Buffer.add_char buf (cur ());
+          advance ()
+        end
+        else if not (splice ()) then stop := true
       done;
       emit ~line:l ~col:co (Ident (Buffer.contents buf))
     end

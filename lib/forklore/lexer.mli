@@ -3,11 +3,17 @@
     Splits source into identifiers, numbers, string/char literals and
     punctuation, each stamped with its 1-based [line]/[col] start.
     Comments and whitespace are dropped; string and character literals
-    keep their (raw, still-escaped) contents. The lexer is deliberately
-    tolerant: unterminated literals and block comments consume the rest
-    of the input instead of failing, so it can be pointed at arbitrary
-    files. Both {!Scanner} (the call-site survey) and {!Rules} (the
-    forklint rule engine) run on this token stream. *)
+    keep their (raw, still-escaped) contents. Backslash-newline splices
+    continue the logical line (so multi-line macros emit no phantom
+    ['\'] tokens); preprocessor directive lines are consumed whole and
+    emit nothing (a [#define fork(x)] is not a call site), and a
+    [#if 0 ... #endif] region is skipped entirely (nesting-aware, with
+    a depth-1 [#else]/[#elif] branch treated as live). The lexer is
+    deliberately tolerant: unterminated literals and block comments
+    consume the rest of the input instead of failing, so it can be
+    pointed at arbitrary files. {!Scanner} (the call-site survey),
+    {!Cparse} (the statement parser) and {!Rules} (the forklint rule
+    engine) all run on this token stream. *)
 
 type kind =
   | Ident of string
@@ -23,6 +29,11 @@ val tokenize : string -> token list
 val is_keyword : string -> bool
 (** C reserved words; [if]/[while]/[return] etc. must not be mistaken
     for function calls by the rule engine. *)
+
+val is_type_keyword : string -> bool
+(** Keywords that can open a declaration ([int], [static], [struct],
+    ...): an identifier-['('] pair right after one is a declarator
+    (prototype or definition), not a call site. *)
 
 val count_lines : string -> int
 (** 1 + number of newlines (an empty string has one line). *)

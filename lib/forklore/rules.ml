@@ -1,11 +1,17 @@
-(* The forklint rule registry: each of the paper's fork hazards as a
-   checkable pattern over the token stream. The checks are per-file
-   heuristics (no cross-translation-unit dataflow): a call site is any
-   non-keyword identifier whose next token is '(', and a fork call's
-   "child region" extends to the end of the enclosing function (the
-   first '}' back at brace depth 0). That is exactly the level of
-   approximation the paper's own usage survey works at, and it is
-   precise on the labelled hazard corpus. *)
+(* The forklint rule registry.
+
+   v2: the default rules are dataflow rules — they consume the
+   {!Dataflow} observations computed over per-function {!Cfg}s, so a
+   hazard is only reported on a path that can actually be the forked
+   child (the true edge of [if (pid == 0)]), stdio facts are killed by
+   fflush, and fd facts must *reach* a fork on some path. The v1 token
+   rules (same ids, whole-file token-window heuristics — the level of
+   approximation the paper's own survey works at) are kept as {!v1}
+   so the corpus experiment can measure the precision win.
+
+   Both layers share ids and metadata with [Ksim.Lint], the dynamic
+   (trace-replay) checker, so static and dynamic findings cross-
+   validate. *)
 
 type call = {
   name : string;
@@ -20,6 +26,7 @@ type ctx = {
   toks : Lexer.token array;
   depths : int array;  (** brace depth surrounding each token *)
   calls : call list;  (** in source order *)
+  results : Dataflow.result list;  (** one per parsed function *)
 }
 
 type finding = { f_line : int; f_col : int; f_message : string }
@@ -37,6 +44,7 @@ type t = {
 (* Context construction *)
 
 let build_ctx ~file toks =
+  let results = Dataflow.analyze_tokens toks in
   let toks = Array.of_list toks in
   let n = Array.length toks in
   let depths = Array.make n 0 in
@@ -66,7 +74,7 @@ let build_ctx ~file toks =
         :: !calls
     | _ -> ()
   done;
-  { file; toks; depths; calls = List.rev !calls }
+  { file; toks; depths; calls = List.rev !calls; results }
 
 (* First token index after [idx] that closes the enclosing function:
    a '}' back at depth 0. Array length when the file ends first. *)
@@ -114,28 +122,22 @@ let has_ident name toks =
     toks
 
 (* ------------------------------------------------------------------ *)
-(* Name sets *)
+(* Name sets (the v1 token rules keep their own lists so their
+   behaviour is frozen as the measured baseline) *)
 
-let fork_names = [ "fork" ]
-let vfork_names = [ "vfork" ]
+let fork_names = Dataflow.fork_names
+let vfork_names = Dataflow.vfork_names
 
 let creation_names =
   [ "fork"; "vfork"; "clone"; "clone3"; "posix_spawn"; "posix_spawnp";
     "system"; "popen" ]
 
-let exec_names =
-  [ "execve"; "execv"; "execvp"; "execvpe"; "execl"; "execlp"; "execle";
-    "fexecve" ]
-
-(* calls that legitimately end a forked child branch *)
-let escape_names = "_exit" :: "_Exit" :: exec_names
-
-let stdio_names =
-  [ "printf"; "fprintf"; "vprintf"; "vfprintf"; "fwrite"; "puts"; "fputs";
-    "putchar"; "fputc"; "putc" ]
+let escape_names = Dataflow.escape_names
+let stdio_names = Dataflow.stdio_names
 
 (* not async-signal-safe (or stdio-flushing) work that must not run in
-   the window between fork and exec *)
+   the window between fork and exec — v1's short list; v2 consults the
+   full {!Signal_safety} table instead *)
 let unsafe_child_names =
   [ "malloc"; "calloc"; "realloc"; "free"; "printf"; "fprintf"; "puts";
     "fopen"; "fclose"; "exit"; "pthread_mutex_lock"; "pthread_mutex_unlock";
@@ -151,274 +153,464 @@ let first_escape between =
   List.find_opt (fun c -> mem c.name escape_names) between
 
 (* ------------------------------------------------------------------ *)
-(* The rules *)
+(* Shared metadata: id, severity, citation and hint are identical in
+   the v1 and v2 variants of a rule, so diagnostics stay comparable. *)
 
 let finding c msg = { f_line = c.line; f_col = c.col; f_message = msg }
 
-let rule_fork_in_threads =
-  {
-    id = "fork-in-threads";
-    severity = Diagnostic.Error;
-    summary = "fork() in a program that creates threads";
-    citation =
-      "\194\1672.1 \"fork doesn't compose\": only the calling thread is \
-       replicated; locks held by other threads stay locked forever in the \
-       child";
-    hint =
-      "create the child with posix_spawn (Spawnlib.Spawn) instead of \
-       fork+exec; it does not copy thread or lock state";
-    check =
-      (fun ctx ->
-        match first_call ctx [ "pthread_create"; "thrd_create" ] with
-        | None -> []
-        | Some tc ->
-          List.filter_map
-            (fun c ->
-              if mem c.name fork_names && c.tok_index > tc.tok_index then
-                Some
-                  (finding c
-                     (Printf.sprintf
-                        "%s() after this file starts threads \
-                         (pthread_create at line %d); in the child only the \
-                         forking thread exists and any mutex another thread \
-                         held is orphaned"
-                        c.name tc.line))
-              else None)
-            ctx.calls);
-  }
+let meta_fork_in_threads =
+  ( "fork-in-threads",
+    Diagnostic.Error,
+    "fork() in a program that creates threads",
+    "\194\1672.1 \"fork doesn't compose\": only the calling thread is \
+     replicated; locks held by other threads stay locked forever in the \
+     child",
+    "create the child with posix_spawn (Spawnlib.Spawn) instead of \
+     fork+exec; it does not copy thread or lock state" )
 
-let rule_fork_no_exec =
-  {
-    id = "fork-no-exec";
-    severity = Diagnostic.Warn;
-    summary = "fork() whose child branch never reaches exec or _exit";
-    citation =
-      "\194\1672/\194\1674 \"fork is no longer simple\": a child that keeps \
-       running inherits the full parent state (buffers, fds, locks, \
-       secrets)";
-    hint =
-      "if the child only runs another program, exec or _exit on the child \
-       branch; if it is a worker, spawn a fresh worker image with \
-       posix_spawn";
-    check =
-      (fun ctx ->
+let meta_fork_no_exec =
+  ( "fork-no-exec",
+    Diagnostic.Warn,
+    "fork() whose child branch never reaches exec or _exit",
+    "\194\1672/\194\1674 \"fork is no longer simple\": a child that keeps \
+     running inherits the full parent state (buffers, fds, locks, secrets)",
+    "if the child only runs another program, exec or _exit on the child \
+     branch; if it is a worker, spawn a fresh worker image with posix_spawn"
+  )
+
+let meta_stdio_before_fork =
+  ( "stdio-before-fork",
+    Diagnostic.Warn,
+    "buffered stdio written before fork without fflush",
+    "\194\1672.1: user-space stdio buffers are duplicated by fork and \
+     flushed by both processes, emitting output twice",
+    "fflush(NULL) immediately before fork, write(2) directly, or use \
+     posix_spawn which shares no buffers" )
+
+let meta_unsafe_child_work =
+  ( "unsafe-child-work",
+    Diagnostic.Warn,
+    "non-async-signal-safe work between fork and exec",
+    "\194\1672.1: after forking a multithreaded process only \
+     async-signal-safe code is safe in the child until exec; malloc or \
+     stdio can deadlock on an orphaned lock",
+    "express fd redirections and attribute changes as posix_spawn file \
+     actions/attributes and delete the in-child setup code" )
+
+let meta_fd_no_cloexec =
+  ( "fd-no-cloexec",
+    Diagnostic.Warn,
+    "fd created without CLOEXEC in a file that forks or spawns",
+    "\194\1673 \"fork is insecure by default\": every fd leaks into every \
+     child unless explicitly marked close-on-exec",
+    "open with O_CLOEXEC (pipe2/SOCK_CLOEXEC for pipes and sockets) and \
+     pass the fds a child should receive via posix_spawn file actions" )
+
+let meta_vfork_misuse =
+  ( "vfork-misuse",
+    Diagnostic.Error,
+    "vfork child doing anything beyond exec/_exit",
+    "\194\1675/\194\1678: the vfork child borrows the parent's address \
+     space and stack; anything but an immediate execve/_exit corrupts the \
+     parent",
+    "keep the vfork child to execve/_exit only (what \
+     spawnlib/spawn_stubs.c does), or use posix_spawn" )
+
+let meta_lock_across_fork =
+  ( "lock-across-fork",
+    Diagnostic.Error,
+    "fork() while holding a pthread mutex",
+    "\194\1672.1: fork replicates the mutex in its locked state into the \
+     child; with other threads gone, nothing will ever unlock the child's \
+     copy",
+    "unlock (or scope the critical section to exclude process creation) \
+     before forking, or use posix_spawn and keep the lock parent-only" )
+
+let meta_child_path_return =
+  ( "child-path-return",
+    Diagnostic.Warn,
+    "fork child path falls through into parent code",
+    "\194\1672/\194\1674: a child that returns from the forking function \
+     keeps executing the caller's logic — double side effects, duplicated \
+     output, and two processes believing they are the parent",
+    "end every child branch with exec*/_exit(127); never let it reach the \
+     function's return" )
+
+let make ~check (id, severity, summary, citation, hint) =
+  { id; severity; summary; citation; hint; check }
+
+(* ------------------------------------------------------------------ *)
+(* v1: the frozen token-window baseline *)
+
+let v1_fork_in_threads =
+  make meta_fork_in_threads ~check:(fun ctx ->
+      match first_call ctx [ "pthread_create"; "thrd_create" ] with
+      | None -> []
+      | Some tc ->
         List.filter_map
           (fun c ->
-            if not (mem c.name fork_names) then None
+            if mem c.name fork_names && c.tok_index > tc.tok_index then
+              Some
+                (finding c
+                   (Printf.sprintf
+                      "%s() after this file starts threads (pthread_create \
+                       at line %d); in the child only the forking thread \
+                       exists and any mutex another thread held is orphaned"
+                      c.name tc.line))
+            else None)
+          ctx.calls)
+
+let v1_fork_no_exec =
+  make meta_fork_no_exec ~check:(fun ctx ->
+      List.filter_map
+        (fun c ->
+          if not (mem c.name fork_names) then None
+          else
+            let stop = region_end ctx c.tok_index in
+            let later = calls_between ctx c.tok_index stop in
+            if first_escape later <> None then None
             else
-              let stop = region_end ctx c.tok_index in
-              let later = calls_between ctx c.tok_index stop in
-              if first_escape later <> None then None
+              Some
+                (finding c
+                   (Printf.sprintf
+                      "%s() but no exec*/_exit is reachable in the rest of \
+                       the enclosing function: the child keeps running with \
+                       the parent's entire inherited state"
+                      c.name)))
+        ctx.calls)
+
+let v1_stdio_before_fork =
+  make meta_stdio_before_fork ~check:(fun ctx ->
+      let last_stdio = ref None in
+      List.filter_map
+        (fun c ->
+          if mem c.name stdio_names then begin
+            last_stdio := Some c;
+            None
+          end
+          else if c.name = "fflush" then begin
+            last_stdio := None;
+            None
+          end
+          else if mem c.name (fork_names @ vfork_names) then
+            match !last_stdio with
+            | None -> None
+            | Some s ->
+              Some
+                (finding c
+                   (Printf.sprintf
+                      "%s() with unflushed stdio output (%s at line %d): \
+                       the child inherits and may re-flush the same bytes"
+                      c.name s.name s.line))
+          else None)
+        ctx.calls)
+
+let v1_unsafe_child_work =
+  make meta_unsafe_child_work ~check:(fun ctx ->
+      List.concat_map
+        (fun c ->
+          if not (mem c.name fork_names) then []
+          else
+            let stop = region_end ctx c.tok_index in
+            let later = calls_between ctx c.tok_index stop in
+            match first_escape later with
+            | None -> [] (* fork-no-exec's business *)
+            | Some e ->
+              List.filter_map
+                (fun o ->
+                  if
+                    o.tok_index < e.tok_index && mem o.name unsafe_child_names
+                  then
+                    Some
+                      (finding o
+                         (Printf.sprintf
+                            "%s() between fork (line %d) and %s (line %d); \
+                             it is not async-signal-safe and can deadlock \
+                             in the forked child"
+                            o.name c.line e.name e.line))
+                  else None)
+                later)
+        ctx.calls)
+
+let v1_fd_no_cloexec =
+  make meta_fd_no_cloexec ~check:(fun ctx ->
+      if first_call ctx creation_names = None then []
+      else
+        List.filter_map
+          (fun c ->
+            match c.name with
+            | "open" | "open64" | "openat" ->
+              if has_ident "O_CLOEXEC" (arg_tokens ctx c) then None
               else
                 Some
                   (finding c
                      (Printf.sprintf
-                        "%s() but no exec*/_exit is reachable in the rest of \
-                         the enclosing function: the child keeps running \
-                         with the parent's entire inherited state"
-                        c.name)))
-          ctx.calls);
-  }
-
-let rule_stdio_before_fork =
-  {
-    id = "stdio-before-fork";
-    severity = Diagnostic.Warn;
-    summary = "buffered stdio written before fork without fflush";
-    citation =
-      "\194\1672.1: user-space stdio buffers are duplicated by fork and \
-       flushed by both processes, emitting output twice";
-    hint =
-      "fflush(NULL) immediately before fork, write(2) directly, or use \
-       posix_spawn which shares no buffers";
-    check =
-      (fun ctx ->
-        let last_stdio = ref None in
-        List.filter_map
-          (fun c ->
-            if mem c.name stdio_names then begin
-              last_stdio := Some c;
-              None
-            end
-            else if c.name = "fflush" then begin
-              last_stdio := None;
-              None
-            end
-            else if mem c.name (fork_names @ vfork_names) then
-              match !last_stdio with
-              | None -> None
-              | Some s ->
+                        "%s() without O_CLOEXEC in a file that creates \
+                         processes: the fd is inherited by every child"
+                        c.name))
+            | "socket" ->
+              if has_ident "SOCK_CLOEXEC" (arg_tokens ctx c) then None
+              else
                 Some
                   (finding c
-                     (Printf.sprintf
-                        "%s() with unflushed stdio output (%s at line %d): \
-                         the child inherits and may re-flush the same bytes"
-                        c.name s.name s.line))
-            else None)
-          ctx.calls);
-  }
+                     "socket() without SOCK_CLOEXEC in a file that creates \
+                      processes: the fd is inherited by every child")
+            | "pipe" ->
+              Some
+                (finding c
+                   "pipe() cannot set CLOEXEC atomically; use pipe2(fds, \
+                    O_CLOEXEC)")
+            | "creat" ->
+              Some
+                (finding c
+                   "creat() cannot take O_CLOEXEC; use open(..., O_CREAT | \
+                    O_CLOEXEC, ...)")
+            | _ -> None)
+          ctx.calls)
 
-let rule_unsafe_child_work =
-  {
-    id = "unsafe-child-work";
-    severity = Diagnostic.Warn;
-    summary = "non-async-signal-safe work between fork and exec";
-    citation =
-      "\194\1672.1: after forking a multithreaded process only \
-       async-signal-safe code is safe in the child until exec; malloc or \
-       stdio can deadlock on an orphaned lock";
-    hint =
-      "express fd redirections and attribute changes as posix_spawn file \
-       actions/attributes and delete the in-child setup code";
-    check =
-      (fun ctx ->
-        List.concat_map
-          (fun c ->
-            if not (mem c.name fork_names) then []
-            else
-              let stop = region_end ctx c.tok_index in
-              let later = calls_between ctx c.tok_index stop in
-              match first_escape later with
-              | None -> [] (* fork-no-exec's business *)
-              | Some e ->
+let v1_vfork_misuse =
+  make meta_vfork_misuse ~check:(fun ctx ->
+      List.concat_map
+        (fun c ->
+          if not (mem c.name vfork_names) then []
+          else
+            let stop = region_end ctx c.tok_index in
+            let later = calls_between ctx c.tok_index stop in
+            match first_escape later with
+            | None ->
+              [
+                finding c
+                  "vfork() but no execve/_exit is reachable in the \
+                   enclosing function; the child shares the parent's \
+                   address space and stack";
+              ]
+            | Some e ->
+              let bad_calls =
                 List.filter_map
                   (fun o ->
                     if
                       o.tok_index < e.tok_index
-                      && mem o.name unsafe_child_names
+                      && not (mem o.name escape_names)
                     then
                       Some
                         (finding o
                            (Printf.sprintf
-                              "%s() between fork (line %d) and %s (line %d); \
-                               it is not async-signal-safe and can deadlock \
-                               in the forked child"
+                              "%s() in the vfork child window (vfork at \
+                               line %d, %s at line %d): only execve/_exit \
+                               are permitted there"
                               o.name c.line e.name e.line))
                     else None)
-                  later)
-          ctx.calls);
-  }
+                  later
+              in
+              let bad_return =
+                let rec scan i =
+                  if i >= e.tok_index then []
+                  else
+                    match ctx.toks.(i).Lexer.kind with
+                    | Lexer.Ident "return" ->
+                      [
+                        {
+                          f_line = ctx.toks.(i).Lexer.line;
+                          f_col = ctx.toks.(i).Lexer.col;
+                          f_message =
+                            Printf.sprintf
+                              "return in the vfork child window (vfork at \
+                               line %d): returning from the borrowed stack \
+                               frame is undefined behaviour"
+                              c.line;
+                        };
+                      ]
+                    | _ -> scan (i + 1)
+                in
+                scan (c.tok_index + 1)
+              in
+              bad_calls @ bad_return)
+        ctx.calls)
+
+let v1 =
+  [
+    v1_fork_in_threads;
+    v1_fork_no_exec;
+    v1_stdio_before_fork;
+    v1_unsafe_child_work;
+    v1_fd_no_cloexec;
+    v1_vfork_misuse;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* v2: dataflow rules over {!Dataflow.obs} *)
+
+let at (c : Cparse.call) msg =
+  { f_line = c.Cparse.c_line; f_col = c.Cparse.c_col; f_message = msg }
+
+let at_pos (p : Cparse.pos) msg =
+  { f_line = p.Cparse.p_line; f_col = p.Cparse.p_col; f_message = msg }
+
+(* one finding per source position (an fd can reach several forks; the
+   defect is still the one open() call) *)
+let dedupe findings =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun f ->
+      let k = (f.f_line, f.f_col) in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    findings
+
+let obs_findings ctx f =
+  dedupe
+    (List.concat_map
+       (fun (r : Dataflow.result) -> List.filter_map f r.Dataflow.res_obs)
+       ctx.results)
+
+let rule_fork_in_threads =
+  make meta_fork_in_threads ~check:(fun ctx ->
+      obs_findings ctx (function
+        | Dataflow.O_threads_at_fork { o_fork; o_thread } ->
+          Some
+            (at o_fork
+               (Printf.sprintf
+                  "%s() on a path where threads exist (%s at line %d); in \
+                   the child only the forking thread exists and any mutex \
+                   another thread held is orphaned"
+                  o_fork.Cparse.c_name o_thread.Cparse.c_name
+                  o_thread.Cparse.c_line))
+        | _ -> None))
+
+let rule_fork_no_exec =
+  make meta_fork_no_exec ~check:(fun ctx ->
+      obs_findings ctx (function
+        | Dataflow.O_fork_no_escape c ->
+          Some
+            (at c
+               (Printf.sprintf
+                  "%s() but no exec*/_exit is reachable on any child path: \
+                   the child keeps running with the parent's entire \
+                   inherited state"
+                  c.Cparse.c_name))
+        | _ -> None))
+
+let rule_stdio_before_fork =
+  make meta_stdio_before_fork ~check:(fun ctx ->
+      obs_findings ctx (function
+        | Dataflow.O_stdio_at_fork { o_fork; o_stdio } ->
+          Some
+            (at o_fork
+               (Printf.sprintf
+                  "%s() with unflushed stdio output on this path (%s at \
+                   line %d): the child inherits and may re-flush the same \
+                   bytes"
+                  o_fork.Cparse.c_name o_stdio.Cparse.c_name
+                  o_stdio.Cparse.c_line))
+        | _ -> None))
+
+let rule_unsafe_child_work =
+  make meta_unsafe_child_work ~check:(fun ctx ->
+      obs_findings ctx (function
+        | Dataflow.O_unsafe_child { o_at; o_fork; o_via } ->
+          let callee =
+            match o_via with
+            | None -> Printf.sprintf "%s()" o_at.Cparse.c_name
+            | Some u ->
+              Printf.sprintf "%s() (which calls %s)" o_at.Cparse.c_name u
+          in
+          Some
+            (at o_at
+               (Printf.sprintf
+                  "%s on a child path of fork (line %d) before exec; it is \
+                   not async-signal-safe (POSIX.1-2017 XSH \194\1672.4.3) \
+                   and can deadlock in the forked child"
+                  callee o_fork.Cparse.c_line))
+        | _ -> None))
 
 let rule_fd_no_cloexec =
-  {
-    id = "fd-no-cloexec";
-    severity = Diagnostic.Warn;
-    summary = "fd created without CLOEXEC in a file that forks or spawns";
-    citation =
-      "\194\1673 \"fork is insecure by default\": every fd leaks into every \
-       child unless explicitly marked close-on-exec";
-    hint =
-      "open with O_CLOEXEC (pipe2/SOCK_CLOEXEC for pipes and sockets) and \
-       pass the fds a child should receive via posix_spawn file actions";
-    check =
-      (fun ctx ->
-        if first_call ctx creation_names = None then []
-        else
-          List.filter_map
-            (fun c ->
-              match c.name with
-              | "open" | "open64" | "openat" ->
-                if has_ident "O_CLOEXEC" (arg_tokens ctx c) then None
-                else
-                  Some
-                    (finding c
-                       (Printf.sprintf
-                          "%s() without O_CLOEXEC in a file that creates \
-                           processes: the fd is inherited by every child"
-                          c.name))
-              | "socket" ->
-                if has_ident "SOCK_CLOEXEC" (arg_tokens ctx c) then None
-                else
-                  Some
-                    (finding c
-                       "socket() without SOCK_CLOEXEC in a file that \
-                        creates processes: the fd is inherited by every \
-                        child")
-              | "pipe" ->
-                Some
-                  (finding c
-                     "pipe() cannot set CLOEXEC atomically; use pipe2(fds, \
-                      O_CLOEXEC)")
-              | "creat" ->
-                Some
-                  (finding c
-                     "creat() cannot take O_CLOEXEC; use open(..., O_CREAT \
-                      | O_CLOEXEC, ...)")
-              | _ -> None)
-            ctx.calls);
-  }
+  make meta_fd_no_cloexec ~check:(fun ctx ->
+      obs_findings ctx (function
+        | Dataflow.O_fd_leak { o_open; o_spawn } ->
+          let reach =
+            Printf.sprintf "reaches %s() at line %d" o_spawn.Cparse.c_name
+              o_spawn.Cparse.c_line
+          in
+          let msg =
+            match o_open.Cparse.c_name with
+            | "socket" ->
+              Printf.sprintf
+                "socket() without SOCK_CLOEXEC %s: the fd is inherited by \
+                 the child"
+                reach
+            | "pipe" ->
+              Printf.sprintf
+                "pipe() cannot set CLOEXEC atomically and %s; use \
+                 pipe2(fds, O_CLOEXEC)"
+                reach
+            | "creat" ->
+              Printf.sprintf
+                "creat() cannot take O_CLOEXEC and %s; use open(..., \
+                 O_CREAT | O_CLOEXEC, ...)"
+                reach
+            | name ->
+              Printf.sprintf
+                "%s() without O_CLOEXEC %s: the fd is inherited by the \
+                 child"
+                name reach
+          in
+          Some (at o_open msg)
+        | _ -> None))
 
 let rule_vfork_misuse =
-  {
-    id = "vfork-misuse";
-    severity = Diagnostic.Error;
-    summary = "vfork child doing anything beyond exec/_exit";
-    citation =
-      "\194\1675/\194\1678: the vfork child borrows the parent's address \
-       space and stack; anything but an immediate execve/_exit corrupts the \
-       parent";
-    hint =
-      "keep the vfork child to execve/_exit only (what \
-       spawnlib/spawn_stubs.c does), or use posix_spawn";
-    check =
-      (fun ctx ->
-        List.concat_map
-          (fun c ->
-            if not (mem c.name vfork_names) then []
-            else
-              let stop = region_end ctx c.tok_index in
-              let later = calls_between ctx c.tok_index stop in
-              match first_escape later with
-              | None ->
-                [
-                  finding c
-                    "vfork() but no execve/_exit is reachable in the \
-                     enclosing function; the child shares the parent's \
-                     address space and stack";
-                ]
-              | Some e ->
-                let bad_calls =
-                  List.filter_map
-                    (fun o ->
-                      if
-                        o.tok_index < e.tok_index
-                        && not (mem o.name escape_names)
-                      then
-                        Some
-                          (finding o
-                             (Printf.sprintf
-                                "%s() in the vfork child window (vfork at \
-                                 line %d, %s at line %d): only execve/_exit \
-                                 are permitted there"
-                                o.name c.line e.name e.line))
-                      else None)
-                    later
-                in
-                let bad_return =
-                  let rec scan i =
-                    if i >= e.tok_index then []
-                    else
-                      match ctx.toks.(i).Lexer.kind with
-                      | Lexer.Ident "return" ->
-                        [
-                          {
-                            f_line = ctx.toks.(i).Lexer.line;
-                            f_col = ctx.toks.(i).Lexer.col;
-                            f_message =
-                              Printf.sprintf
-                                "return in the vfork child window (vfork at \
-                                 line %d): returning from the borrowed \
-                                 stack frame is undefined behaviour"
-                                c.line;
-                          };
-                        ]
-                      | _ -> scan (i + 1)
-                  in
-                  scan (c.tok_index + 1)
-                in
-                bad_calls @ bad_return)
-          ctx.calls);
-  }
+  make meta_vfork_misuse ~check:(fun ctx ->
+      obs_findings ctx (function
+        | Dataflow.O_vfork_no_escape c ->
+          Some
+            (at c
+               "vfork() but no execve/_exit is reachable on any child \
+                path; the child shares the parent's address space and \
+                stack")
+        | Dataflow.O_vfork_call { o_at; o_vfork } ->
+          Some
+            (at o_at
+               (Printf.sprintf
+                  "%s() on a child path of vfork (line %d): only \
+                   execve/_exit are permitted there"
+                  o_at.Cparse.c_name o_vfork.Cparse.c_line))
+        | Dataflow.O_vfork_return { o_pos; o_vfork } ->
+          Some
+            (at_pos o_pos
+               (Printf.sprintf
+                  "return reachable from the vfork child (vfork at line \
+                   %d): returning from the borrowed stack frame is \
+                   undefined behaviour"
+                  o_vfork.Cparse.c_line))
+        | _ -> None))
+
+let rule_lock_across_fork =
+  make meta_lock_across_fork ~check:(fun ctx ->
+      obs_findings ctx (function
+        | Dataflow.O_lock_at_fork { o_fork; o_lock } ->
+          Some
+            (at o_fork
+               (Printf.sprintf
+                  "%s() while a mutex is held (%s at line %d): the child's \
+                   copy of the mutex stays locked forever"
+                  o_fork.Cparse.c_name o_lock.Cparse.c_name
+                  o_lock.Cparse.c_line))
+        | _ -> None))
+
+let rule_child_path_return =
+  make meta_child_path_return ~check:(fun ctx ->
+      obs_findings ctx (function
+        | Dataflow.O_child_return { o_pos; o_fork } ->
+          Some
+            (at_pos o_pos
+               (Printf.sprintf
+                  "this return is reachable from the child of fork (line \
+                   %d) without exec*/_exit: the child falls through into \
+                   the parent's code"
+                  o_fork.Cparse.c_line))
+        | _ -> None))
 
 let all =
   [
@@ -428,6 +620,8 @@ let all =
     rule_unsafe_child_work;
     rule_fd_no_cloexec;
     rule_vfork_misuse;
+    rule_lock_across_fork;
+    rule_child_path_return;
   ]
 
 let find id = List.find_opt (fun r -> r.id = id) all

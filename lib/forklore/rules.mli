@@ -1,23 +1,35 @@
 (** The forklint rule registry.
 
-    Each rule encodes one of the paper's fork hazards as a checkable
-    pattern over the {!Lexer} token stream, with a severity, the paper
-    section it operationalises and a fix hint naming the spawnlib
-    equivalent. [Ksim.Lint] reuses the same registry metadata for its
-    dynamic (trace-replay) findings, so static and dynamic layers report
+    Each rule encodes one of the paper's fork hazards, with a severity,
+    the paper section it operationalises and a fix hint naming the
+    spawnlib equivalent. The default {!all} rules are v2 {e dataflow}
+    rules: they consume {!Dataflow} observations computed over
+    per-function {!Cfg}s, so a hazard is only reported on a path that
+    can actually be the forked child, stdio facts are killed by
+    [fflush], and fd facts must reach a fork on some path. The frozen
+    {!v1} token-window heuristics (same rule ids) remain available as
+    the measured baseline for the corpus precision experiment.
+    [Ksim.Lint] reuses the same registry metadata for its dynamic
+    (trace-replay) findings, so static and dynamic layers report
     identical rule ids.
 
     Shipped rules:
-    - [fork-in-threads] (Error): fork after pthread_create in the file.
-    - [fork-no-exec] (Warn): child branch never reaches exec*/_exit.
-    - [stdio-before-fork] (Warn): buffered stdio written, no fflush,
-      then fork.
-    - [unsafe-child-work] (Warn): malloc/stdio/locking between fork and
-      exec.
-    - [fd-no-cloexec] (Warn): open/socket/pipe without CLOEXEC in a file
-      that creates processes.
+    - [fork-in-threads] (Error): fork on a path where threads were
+      created.
+    - [fork-no-exec] (Warn): no child path reaches exec*/_exit.
+    - [stdio-before-fork] (Warn): unflushed stdio reaches a fork on
+      some path.
+    - [unsafe-child-work] (Warn): a function on the {!Signal_safety}
+      deny list (or a local function summarised as reaching one) on a
+      child path before exec.
+    - [fd-no-cloexec] (Warn): an fd created without CLOEXEC reaches a
+      fork/spawn on some path.
     - [vfork-misuse] (Error): vfork child doing anything beyond
-      exec/_exit (including return). *)
+      exec/_exit (including return).
+    - [lock-across-fork] (Error): a pthread mutex is held at a fork
+      site. v2-only.
+    - [child-path-return] (Warn): some child path reaches
+      return/function-exit without exec*/_exit. v2-only. *)
 
 type call = {
   name : string;
@@ -32,6 +44,7 @@ type ctx = {
   toks : Lexer.token array;
   depths : int array;
   calls : call list;
+  results : Dataflow.result list;  (** one per parsed function *)
 }
 
 type finding = { f_line : int; f_col : int; f_message : string }
@@ -46,10 +59,14 @@ type t = {
 }
 
 val all : t list
-(** Registry, in documentation order. *)
+(** The v2 dataflow registry, in documentation order. *)
+
+val v1 : t list
+(** The frozen token-window baseline (six rules, same ids as their v2
+    rewrites): what [exp_survey]'s precision table measures against. *)
 
 val find : string -> t option
-(** Look a rule up by id (also used by [Ksim.Lint]). *)
+(** Look a rule up by id in {!all} (also used by [Ksim.Lint]). *)
 
 val build_ctx : file:string -> Lexer.token list -> ctx
 

@@ -1,0 +1,79 @@
+(* SARIF 2.1.0 export for forklint findings.
+
+   Hand-rolled like Diagnostic's JSON emitter (the tree has no json
+   dependency). The output is deterministic: rules appear in registry
+   order, results in Diagnostic.compare order, and no timestamps or
+   absolute paths are embedded, so reports diff cleanly in CI. *)
+
+let version = "2.1.0"
+
+let schema_uri =
+  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+(* SARIF has a three-point level scale; forklint's Info maps to "note". *)
+let level_of_severity = function
+  | Diagnostic.Error -> "error"
+  | Diagnostic.Warn -> "warning"
+  | Diagnostic.Info -> "note"
+
+let esc = Diagnostic.json_escape
+
+let reporting_descriptor (r : Rules.t) =
+  Printf.sprintf
+    "{\"id\":\"%s\",\"shortDescription\":{\"text\":\"%s\"},\"help\":{\"text\":\"%s\"},\"helpUri\":\"%s\",\"defaultConfiguration\":{\"level\":\"%s\"},\"properties\":{\"citation\":\"%s\"}}"
+    (esc r.Rules.id) (esc r.Rules.summary)
+    (esc (Printf.sprintf "%s (paper: %s)" r.Rules.hint r.Rules.citation))
+    (esc "https://www.microsoft.com/en-us/research/publication/a-fork-in-the-road/")
+    (level_of_severity r.Rules.severity)
+    (esc r.Rules.citation)
+
+let result_of ~rule_index (d : Diagnostic.t) =
+  let index_field =
+    match rule_index d.rule with
+    | Some i -> Printf.sprintf "\"ruleIndex\":%d," i
+    | None -> ""
+  in
+  Printf.sprintf
+    "{\"ruleId\":\"%s\",%s\"level\":\"%s\",\"message\":{\"text\":\"%s\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"%s\"},\"region\":{\"startLine\":%d,\"startColumn\":%d}}}],\"properties\":{\"citation\":\"%s\",\"hint\":\"%s\"}}"
+    (esc d.rule) index_field
+    (level_of_severity d.severity)
+    (esc (Printf.sprintf "%s. Fix: %s" d.message d.hint))
+    (esc d.file) d.line d.col (esc d.citation) (esc d.hint)
+
+let report ?(rules = Rules.all) ds =
+  let ds = List.sort Diagnostic.compare ds in
+  let rule_index id =
+    let rec go i = function
+      | [] -> None
+      | (r : Rules.t) :: rest -> if r.Rules.id = id then Some i else go (i + 1) rest
+    in
+    go 0 rules
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"$schema\": \"%s\",\n" schema_uri);
+  Buffer.add_string buf (Printf.sprintf "  \"version\": \"%s\",\n" version);
+  Buffer.add_string buf "  \"runs\": [\n    {\n";
+  Buffer.add_string buf
+    "      \"tool\": {\n        \"driver\": {\n          \"name\": \
+     \"forklint\",\n          \"informationUri\": \
+     \"https://www.microsoft.com/en-us/research/publication/a-fork-in-the-road/\",\n\
+    \          \"version\": \"2.0.0\",\n          \"rules\": [";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n            ";
+      Buffer.add_string buf (reporting_descriptor r))
+    rules;
+  if rules <> [] then Buffer.add_string buf "\n          ";
+  Buffer.add_string buf "]\n        }\n      },\n";
+  Buffer.add_string buf "      \"results\": [";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n        ";
+      Buffer.add_string buf (result_of ~rule_index d))
+    ds;
+  if ds <> [] then Buffer.add_string buf "\n      ";
+  Buffer.add_string buf "]\n    }\n  ]\n}\n";
+  Buffer.contents buf

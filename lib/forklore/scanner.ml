@@ -10,20 +10,19 @@ let count r api =
   match List.assoc_opt api r.counts with Some n -> n | None -> 0
 
 let scan_string src =
-  let toks = Lexer.tokenize src in
-  let calls = ref [] in
-  let rec go = function
-    | { Lexer.kind = Lexer.Ident id; line; col }
-      :: ({ Lexer.kind = Lexer.Punct "("; _ } :: _ as rest) ->
-      (match Api.of_identifier id with
-      | Some api -> calls := { api; id; line; col } :: !calls
-      | None -> ());
-      go rest
-    | _ :: rest -> go rest
-    | [] -> ()
+  let toks = Array.of_list (Lexer.tokenize src) in
+  (* Cparse.calls_of_slice skips identifier-'(' pairs in declarator
+     position, so prototypes like [pid_t fork(void);] are not counted
+     as call sites. *)
+  let calls =
+    Cparse.calls_of_slice toks 0 (Array.length toks)
+    |> List.filter_map (fun (c : Cparse.call) ->
+           match Api.of_identifier c.Cparse.c_name with
+           | Some api ->
+             Some
+               { api; id = c.Cparse.c_name; line = c.Cparse.c_line; col = c.Cparse.c_col }
+           | None -> None)
   in
-  go toks;
-  let calls = List.rev !calls in
   let tally = Hashtbl.create 8 in
   List.iter
     (fun c ->

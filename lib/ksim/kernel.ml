@@ -667,6 +667,8 @@ let trace_args : type a. Proc.t -> a Sysreq.t -> (string * string) list =
     [ ("open_fds", string_of_int (count_fds proc ~surviving_exec:false)) ]
   | Sysreq.Template_spawn { tpl; _ } -> [ ("tpl", string_of_int tpl) ]
   | Sysreq.Template_discard id -> [ ("tpl", string_of_int id) ]
+  | Sysreq.Mutex_lock id | Sysreq.Mutex_unlock id | Sysreq.Mutex_trylock id ->
+    [ ("mutex", string_of_int id) ]
   | _ -> []
 
 (* Typed twin of [trace_args]; {!Lint} prefers this and falls back to

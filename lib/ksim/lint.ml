@@ -17,6 +17,7 @@ type pstate = {
   mutable vfork_flagged : bool;
   mutable born_seq : int;
   mutable pre_exec : Trace.event list;  (* newest first, Forked only *)
+  mutable held : int list;  (* mutex ids locked and not yet unlocked *)
 }
 
 let fresh () =
@@ -27,6 +28,7 @@ let fresh () =
     vfork_flagged = false;
     born_seq = 0;
     pre_exec = [];
+    held = [];
   }
 
 (* syscalls that are not async-signal-safe territory for a forked child
@@ -70,8 +72,36 @@ let check ?(file = "<ksim-trace>") tr =
     | Trace.D_exec { inherited_fds } -> Some inherited_fds
     | _ -> Trace.int_arg e "inherited_fds"
   in
+  let mutex_of (e : Trace.event) = Trace.int_arg e "mutex" in
+  let flag_held_locks (e : Trace.event) s =
+    match s.held with
+    | [] -> ()
+    | held ->
+      emit diags "lock-across-fork" ~file ~line:(line_of e)
+        (Printf.sprintf
+           "pid %d created a process while holding mutex%s %s; the child's \
+            cop%s stay%s locked forever"
+           e.Trace.pid
+           (if List.length held > 1 then "es" else "")
+           (String.concat ", " (List.map string_of_int (List.rev held)))
+           (if List.length held > 1 then "ies" else "y")
+           (if List.length held > 1 then "" else "s"))
+  in
   let on_event (e : Trace.event) =
     let s = state e.Trace.pid in
+    (match e.Trace.what with
+    | "fork" | "fork_eager" | "vfork" when s.held <> [] -> flag_held_locks e s
+    | _ -> ());
+    (match e.Trace.what with
+    | "mutex_lock" -> (
+      match mutex_of e with
+      | Some id when not (List.mem id s.held) -> s.held <- id :: s.held
+      | Some _ | None -> ())
+    | "mutex_unlock" -> (
+      match mutex_of e with
+      | Some id -> s.held <- List.filter (fun h -> h <> id) s.held
+      | None -> ())
+    | _ -> ());
     (match e.Trace.what with
     | "fork" | "fork_eager" -> (
       match threads_of e with

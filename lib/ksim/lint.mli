@@ -7,8 +7,10 @@
     ([fork-in-threads]), a forked child that ran to the end of the
     trace without exec ([fork-no-exec]), a vfork child doing anything
     but exec/_exit ([vfork-misuse]), non-async-signal-safe syscalls in
-    the fork→exec window ([unsafe-child-work]), and an exec that leaked
-    non-cloexec fds ([fd-no-cloexec]).
+    the fork→exec window ([unsafe-child-work]), an exec that leaked
+    non-cloexec fds ([fd-no-cloexec]), and a fork/vfork issued while
+    the process held a mutex it had not unlocked ([lock-across-fork],
+    tracked from [mutex_lock]/[mutex_unlock] events).
 
     Findings share [Forklore.Diagnostic.t] and the rule registry with
     the static checker, so the two layers report identical rule ids and

@@ -1,0 +1,373 @@
+(* CFG builder and dataflow on adversarial control-flow shapes: goto
+   crossing the child branch, switch(fork()) fallthrough, forks in
+   loops, nested forks — plus a QCheck property that every call site a
+   function contains is either reachable from entry or reported by
+   dead_sites, never silently lost. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let parse_one src =
+  match Forklore.Cparse.parse (Forklore.Lexer.tokenize src) with
+  | [ f ] -> f
+  | fs -> Alcotest.failf "expected 1 function, parsed %d" (List.length fs)
+
+let build src = Forklore.Cfg.build (parse_one src)
+
+let rules_of src =
+  List.sort_uniq String.compare
+    (List.map
+       (fun d -> d.Forklore.Diagnostic.rule)
+       (Forklore.Rules.check_string ~file:"t.c" src))
+
+(* reachable call-site names, via the reachable-node mask *)
+let live_site_names (cfg : Forklore.Cfg.t) =
+  let reach = Forklore.Cfg.reachable cfg in
+  Array.to_list cfg.Forklore.Cfg.nodes
+  |> List.mapi (fun i (n : Forklore.Cfg.node) -> (i, n))
+  |> List.concat_map (fun (i, (n : Forklore.Cfg.node)) ->
+         if reach.(i) then
+           List.map
+             (fun (s : Forklore.Cfg.site) -> s.s_call.Forklore.Cparse.c_name)
+             n.Forklore.Cfg.n_sites
+         else [])
+  |> List.sort_uniq String.compare
+
+let dead_site_names cfg =
+  List.map
+    (fun (s : Forklore.Cfg.site) -> s.s_call.Forklore.Cparse.c_name)
+    (Forklore.Cfg.dead_sites cfg)
+  |> List.sort_uniq String.compare
+
+(* ------------------------------------------------------------------ *)
+(* goto out of the child branch *)
+
+let goto_out_src =
+  "int spawn(void) {\n\
+  \  pid_t pid = fork();\n\
+  \  if (pid == 0) {\n\
+  \    goto out;\n\
+  \  }\n\
+  \  waitpid(pid, 0, 0);\n\
+  out:\n\
+  \  return 0;\n\
+   }\n"
+
+let test_goto_out_of_child () =
+  let cfg = build goto_out_src in
+  (* the goto edge keeps the label's code reachable... *)
+  check_bool "return reachable" true
+    (Array.exists Fun.id (Forklore.Cfg.reachable cfg));
+  check_int "nothing dead" 0 (List.length (Forklore.Cfg.dead_sites cfg));
+  (* ...and the child role rides it to the function's return *)
+  let rules = rules_of goto_out_src in
+  check_bool "child-path-return via goto" true
+    (List.mem "child-path-return" rules);
+  check_bool "fork-no-exec" true (List.mem "fork-no-exec" rules)
+
+(* goto into the child branch: label inside the guarded region *)
+
+let goto_in_src =
+  "int spawn(void) {\n\
+  \  pid_t pid = fork();\n\
+  \  if (pid == 0) {\n\
+  again:\n\
+  \    execl(\"/bin/sh\", \"sh\", (char *)0);\n\
+  \    goto again;\n\
+  \  }\n\
+  \  waitpid(pid, 0, 0);\n\
+  \  return 0;\n\
+   }\n"
+
+let test_goto_into_child () =
+  let cfg = build goto_in_src in
+  check_int "nothing dead" 0 (List.length (Forklore.Cfg.dead_sites cfg));
+  let rules = rules_of goto_in_src in
+  (* the retry loop back into the child branch must not confuse the
+     escape analysis: the child execs, so no fork-no-exec and no
+     child-path-return *)
+  check_bool "no fork-no-exec" true (not (List.mem "fork-no-exec" rules));
+  check_bool "no child-path-return" true
+    (not (List.mem "child-path-return" rules))
+
+(* switch(fork()) with case-0 fallthrough into the parent arm *)
+
+let switch_fallthrough_src =
+  "int run(void) {\n\
+  \  switch (fork()) {\n\
+  \  case 0:\n\
+  \    prepare();\n\
+  \  default:\n\
+  \    waitpid(-1, 0, 0);\n\
+  \  }\n\
+  \  return 0;\n\
+   }\n"
+
+let test_switch_fallthrough () =
+  let cfg = build switch_fallthrough_src in
+  (match cfg.Forklore.Cfg.nodes.(0).Forklore.Cfg.n_term with
+  | Forklore.Cfg.T_switch { sw_arms; _ } ->
+    check_int "two arms" 2 (List.length sw_arms);
+    check_bool "has case 0" true
+      (List.exists
+         (fun (a, _) -> a = Forklore.Cfg.A_case (Some 0))
+         sw_arms);
+    check_bool "has default" true
+      (List.exists (fun (a, _) -> a = Forklore.Cfg.A_default) sw_arms)
+  | _ -> Alcotest.fail "expected switch terminator at entry");
+  let rules = rules_of switch_fallthrough_src in
+  (* case 0 falls through into the parent's waitpid and on to return:
+     the child leaks out of the switch *)
+  check_bool "child-path-return through fallthrough" true
+    (List.mem "child-path-return" rules);
+  check_bool "fork-no-exec" true (List.mem "fork-no-exec" rules)
+
+let switch_clean_src =
+  "int run(void) {\n\
+  \  switch (fork()) {\n\
+  \  case 0:\n\
+  \    execl(\"/bin/true\", \"true\", (char *)0);\n\
+  \    _exit(127);\n\
+  \  case -1:\n\
+  \    return -1;\n\
+  \  default:\n\
+  \    waitpid(-1, 0, 0);\n\
+  \  }\n\
+  \  return 0;\n\
+   }\n"
+
+let test_switch_clean () =
+  Alcotest.(check (list string))
+    "well-formed switch(fork()) lints clean" [] (rules_of switch_clean_src)
+
+(* fork in a loop: the back edge must reach a fixpoint and the re-fork
+   must replace, not accumulate, the per-site fact *)
+
+let fork_in_loop_src =
+  "int herd(int n) {\n\
+  \  for (int i = 0; i < n; i++) {\n\
+  \    pid_t pid = fork();\n\
+  \    if (pid == 0) {\n\
+  \      execl(\"/bin/work\", \"work\", (char *)0);\n\
+  \      _exit(127);\n\
+  \    }\n\
+  \  }\n\
+  \  while (wait(0) > 0) { }\n\
+  \  return 0;\n\
+   }\n"
+
+let test_fork_in_loop () =
+  let cfg = build fork_in_loop_src in
+  let res = Forklore.Dataflow.analyze cfg in
+  (* the only statically-dead site is the belt-and-suspenders _exit
+     after the noreturn execl; the loop itself stays live *)
+  Alcotest.(check (list string))
+    "only the post-exec _exit is dead" [ "_exit" ]
+    (List.map
+       (fun (s : Forklore.Cfg.site) -> s.s_call.Forklore.Cparse.c_name)
+       res.Forklore.Dataflow.res_dead);
+  Alcotest.(check (list string))
+    "fork+exec in a loop lints clean" [] (rules_of fork_in_loop_src)
+
+(* nested forks: grandchild double-fork daemonisation *)
+
+let nested_forks_src =
+  "int daemonize(void) {\n\
+  \  pid_t outer = fork();\n\
+  \  if (outer == 0) {\n\
+  \    pid_t inner = fork();\n\
+  \    if (inner == 0) {\n\
+  \      execl(\"/usr/sbin/daemon\", \"daemon\", (char *)0);\n\
+  \      _exit(127);\n\
+  \    }\n\
+  \    _exit(0);\n\
+  \  }\n\
+  \  waitpid(outer, 0, 0);\n\
+  \  return 0;\n\
+   }\n"
+
+let test_nested_forks () =
+  let cfg = build nested_forks_src in
+  check_int "two fork sites" 2
+    (Array.to_list cfg.Forklore.Cfg.sites
+    |> List.filter (fun (s : Forklore.Cfg.site) ->
+           s.s_call.Forklore.Cparse.c_name = "fork")
+    |> List.length);
+  Alcotest.(check (list string))
+    "double-fork daemonisation lints clean" [] (rules_of nested_forks_src)
+
+(* code after exec is dead, and its call sites are reported, not lost *)
+
+let dead_code_src =
+  "int run(void) {\n\
+  \  execl(\"/bin/true\", \"true\", (char *)0);\n\
+  \  cleanup();\n\
+  \  return 0;\n\
+   }\n"
+
+let test_dead_after_exec () =
+  let cfg = build dead_code_src in
+  check_bool "execl live" true (List.mem "execl" (live_site_names cfg));
+  Alcotest.(check (list string))
+    "cleanup dead" [ "cleanup" ] (dead_site_names cfg)
+
+(* goto to a label that does not exist: downstream code is dead, not
+   misattributed *)
+
+let test_goto_unknown_label () =
+  let cfg =
+    build
+      "int run(void) {\n  goto nowhere;\n  after();\n  return 0;\n}\n"
+  in
+  Alcotest.(check (list string)) "after() dead" [ "after" ]
+    (dead_site_names cfg)
+
+(* ------------------------------------------------------------------ *)
+(* guard decoding, straight from the documented table *)
+
+let decode toks_src =
+  let toks = Forklore.Lexer.tokenize toks_src in
+  Forklore.Cfg.decode_guard ~fork_sites:[] toks
+
+let test_guard_decoding () =
+  let open Forklore.Cfg in
+  (match decode "pid == 0" with
+  | Some { g_subject = Sub_var "pid"; g_rel = Req0; g_true_only = false } -> ()
+  | _ -> Alcotest.fail "pid == 0");
+  (match decode "0 == pid" with
+  | Some { g_rel = Req0; _ } -> ()
+  | _ -> Alcotest.fail "0 == pid (subject normalised left)");
+  (match decode "pid > -1" with
+  | Some { g_rel = Rge0; _ } -> ()
+  | _ -> Alcotest.fail "pid > -1 decodes as >= 0");
+  (match decode "!pid" with
+  | Some { g_rel = Req0; _ } -> ()
+  | _ -> Alcotest.fail "!pid");
+  (match decode "pid" with
+  | Some { g_rel = Rne0; _ } -> ()
+  | _ -> Alcotest.fail "truthiness");
+  (match decode "pid == 0 && ready" with
+  | Some { g_rel = Req0; g_true_only = true; _ } -> ()
+  | _ -> Alcotest.fail "conjunct is true-only");
+  (match decode "pid == 0 || ready" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "disjunction decodes no guard");
+  check_bool "negate involution" true
+    (List.for_all
+       (fun r -> negate_rel (negate_rel r) = r)
+       [ Req0; Rne0; Rgt0; Rlt0; Rge0; Rle0; Req_m1; Rne_m1 ])
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: no call site is silently lost *)
+
+(* A small grammar of statement shapes, nested to a bounded depth.
+   Includes the adversarial ingredients: noreturn calls mid-block,
+   goto (sometimes to a missing label), switch on fork, loops. *)
+let gen_func =
+  let open QCheck.Gen in
+  let atom =
+    oneofl
+      [
+        "work();";
+        "pid = fork();";
+        "execl(\"/bin/true\", \"true\", (char *)0);";
+        "_exit(1);";
+        "goto l1;";
+        "goto missing;";
+        "l1: touch();";
+        "return 0;";
+        "break;";
+        "continue;";
+      ]
+  in
+  let rec stmt depth =
+    if depth = 0 then atom
+    else
+      frequency
+        [
+          (4, atom);
+          ( 1,
+            map2
+              (fun c body -> Printf.sprintf "if (%s) { %s }" c body)
+              (oneofl [ "pid == 0"; "pid > 0"; "pid < 0"; "flag" ])
+              (stmt (depth - 1)) );
+          ( 1,
+            map
+              (fun body -> Printf.sprintf "while (flag) { %s }" body)
+              (stmt (depth - 1)) );
+          ( 1,
+            map
+              (fun body ->
+                Printf.sprintf
+                  "switch (fork()) { case 0: %s default: wait(0); }" body)
+              (stmt (depth - 1)) );
+        ]
+  in
+  let+ stmts = list_size (int_range 1 8) (stmt 2) in
+  Printf.sprintf "int f(void) {\n  int pid = 0; int flag = 1;\n  %s\n}\n"
+    (String.concat "\n  " stmts)
+
+let count_calls_in_func f =
+  List.length (Forklore.Cparse.calls_of_func f)
+
+let prop_sites_reachable_or_dead =
+  QCheck.Test.make ~count:200 ~name:"every call site reachable or dead"
+    (QCheck.make gen_func ~print:(fun s -> s))
+    (fun src ->
+      match Forklore.Cparse.parse (Forklore.Lexer.tokenize src) with
+      | [] -> QCheck.Test.fail_report "function did not parse"
+      | f :: _ ->
+        let cfg = Forklore.Cfg.build f in
+        let reach = Forklore.Cfg.reachable cfg in
+        let live = ref 0 in
+        Array.iteri
+          (fun i (n : Forklore.Cfg.node) ->
+            if reach.(i) then
+              live := !live + List.length n.Forklore.Cfg.n_sites)
+          cfg.Forklore.Cfg.nodes;
+        let dead = List.length (Forklore.Cfg.dead_sites cfg) in
+        let total = Array.length cfg.Forklore.Cfg.sites in
+        (* partition: every site the parser saw is exactly one of
+           live or dead, and the CFG kept them all *)
+        if total <> count_calls_in_func f then
+          QCheck.Test.fail_reportf "CFG lost sites: %d of %d" total
+            (count_calls_in_func f)
+        else if !live + dead <> total then
+          QCheck.Test.fail_reportf "live %d + dead %d <> total %d" !live dead
+            total
+        else true)
+
+(* and the analysis must terminate and not raise on any generated shape *)
+let prop_analysis_total =
+  QCheck.Test.make ~count:200 ~name:"dataflow total on generated functions"
+    (QCheck.make gen_func ~print:(fun s -> s))
+    (fun src ->
+      let results =
+        Forklore.Dataflow.analyze_tokens (Forklore.Lexer.tokenize src)
+      in
+      ignore (Forklore.Rules.check_string ~file:"gen.c" src);
+      results <> [])
+
+let tc n f = Alcotest.test_case n `Quick f
+
+let () =
+  Alcotest.run "cfg"
+    [
+      ( "adversarial",
+        [
+          tc "goto out of child branch" test_goto_out_of_child;
+          tc "goto into child branch" test_goto_into_child;
+          tc "switch fallthrough" test_switch_fallthrough;
+          tc "switch clean" test_switch_clean;
+          tc "fork in loop" test_fork_in_loop;
+          tc "nested forks" test_nested_forks;
+          tc "dead after exec" test_dead_after_exec;
+          tc "goto unknown label" test_goto_unknown_label;
+        ] );
+      ("guards", [ tc "decoding table" test_guard_decoding ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_sites_reachable_or_dead;
+          QCheck_alcotest.to_alcotest prop_analysis_total;
+        ] );
+    ]

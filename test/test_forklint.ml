@@ -61,13 +61,66 @@ let test_threaded_fixture_detail () =
      go 0)
 
 let test_rule_registry () =
-  check_int "six rules" 6 (List.length Forklore.Rules.all);
+  check_int "eight rules" 8 (List.length Forklore.Rules.all);
   check_bool "find known" true (Forklore.Rules.find "vfork-misuse" <> None);
+  check_bool "find new v2 rules" true
+    (Forklore.Rules.find "lock-across-fork" <> None
+    && Forklore.Rules.find "child-path-return" <> None);
   check_bool "find unknown" true (Forklore.Rules.find "no-such-rule" = None);
   (* ids are unique *)
   let ids = List.map (fun r -> r.Forklore.Rules.id) Forklore.Rules.all in
   check_int "unique ids" (List.length ids)
-    (List.length (List.sort_uniq String.compare ids))
+    (List.length (List.sort_uniq String.compare ids));
+  (* the frozen v1 baseline: six rules, every id also a v2 id, and
+     identical metadata so precision comparisons are like-for-like *)
+  check_int "six v1 rules" 6 (List.length Forklore.Rules.v1);
+  List.iter
+    (fun (r1 : Forklore.Rules.t) ->
+      match Forklore.Rules.find r1.Forklore.Rules.id with
+      | None -> Alcotest.failf "v1 rule %s missing from v2" r1.Forklore.Rules.id
+      | Some r2 ->
+        check_bool "same severity" true
+          (r1.Forklore.Rules.severity = r2.Forklore.Rules.severity);
+        check_bool "same citation" true
+          (r1.Forklore.Rules.citation = r2.Forklore.Rules.citation))
+    Forklore.Rules.v1
+
+let test_v1_baseline () =
+  (* hz_v1 records what the token rules report; the precision table in
+     E7 is only meaningful if that baseline stays frozen *)
+  List.iter
+    (fun h ->
+      let got =
+        List.map finding_triple
+          (Forklore.Rules.check_string ~rules:Forklore.Rules.v1
+             ~file:h.Forklore.Corpus.hz_name h.Forklore.Corpus.hz_source)
+      in
+      if got <> h.Forklore.Corpus.hz_v1 then
+        Alcotest.failf "%s: v1 expected [%s] got [%s]" h.Forklore.Corpus.hz_name
+          (pp_triples h.Forklore.Corpus.hz_v1)
+          (pp_triples got))
+    Forklore.Corpus.hazards
+
+let test_path_sensitivity_wins () =
+  (* the acceptance fixtures: hazard-shaped code on non-child paths must
+     lint clean under v2 while v1 false-positives on every one *)
+  List.iter
+    (fun name ->
+      let h =
+        List.find
+          (fun h -> h.Forklore.Corpus.hz_name = name)
+          Forklore.Corpus.hazards
+      in
+      let v2 =
+        Forklore.Rules.check_string ~file:name h.Forklore.Corpus.hz_source
+      in
+      let v1 =
+        Forklore.Rules.check_string ~rules:Forklore.Rules.v1 ~file:name
+          h.Forklore.Corpus.hz_source
+      in
+      check_int (name ^ " clean under v2") 0 (List.length v2);
+      check_bool (name ^ " flagged by v1") true (v1 <> []))
+    [ "parent_path_work.c"; "helper_flush.c"; "cross_function.c" ]
 
 let test_rule_subset () =
   let h = List.hd Forklore.Corpus.hazards in
@@ -123,6 +176,102 @@ let test_json_escaping () =
   | Ok [ d' ] -> check_bool "escaped fields survive" true (Forklore.Diagnostic.equal d d')
   | Ok _ -> Alcotest.fail "wrong count"
   | Error msg -> Alcotest.failf "parse back failed: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* SARIF export *)
+
+let jget path jv =
+  let step acc key =
+    match acc with
+    | None -> None
+    | Some v -> (
+      match int_of_string_opt key with
+      | Some i -> (
+        match Metrics.Json.to_list v with
+        | Some items when i < List.length items -> Some (List.nth items i)
+        | _ -> None)
+      | None -> Metrics.Json.member key v)
+  in
+  List.fold_left step (Some jv) (String.split_on_char '.' path)
+
+let test_sarif_shape () =
+  let ds = List.sort Forklore.Diagnostic.compare (all_hazard_diags ()) in
+  check_bool "have findings" true (ds <> []);
+  let sarif = Forklore.Sarif.report ds in
+  match Metrics.Json.of_string sarif with
+  | Error msg -> Alcotest.failf "SARIF is not valid JSON: %s" msg
+  | Ok jv ->
+    let str path =
+      match Option.bind (jget path jv) Metrics.Json.to_str with
+      | Some s -> s
+      | None -> Alcotest.failf "missing string at %s" path
+    in
+    check_bool "2.1.0 schema uri" true
+      (str "$schema" = Forklore.Sarif.schema_uri);
+    Alcotest.(check string) "version" "2.1.0" (str "version");
+    Alcotest.(check string) "driver name" "forklint"
+      (str "runs.0.tool.driver.name");
+    let rules =
+      match Option.bind (jget "runs.0.tool.driver.rules" jv) Metrics.Json.to_list with
+      | Some l -> l
+      | None -> Alcotest.fail "missing rules array"
+    in
+    check_int "rule table is the registry" (List.length Forklore.Rules.all)
+      (List.length rules);
+    let results =
+      match Option.bind (jget "runs.0.results" jv) Metrics.Json.to_list with
+      | Some l -> l
+      | None -> Alcotest.fail "missing results array"
+    in
+    check_int "one result per finding" (List.length ds) (List.length results);
+    List.iter2
+      (fun (d : Forklore.Diagnostic.t) r ->
+        let rstr path =
+          match Option.bind (jget path r) Metrics.Json.to_str with
+          | Some s -> s
+          | None -> Alcotest.failf "result missing %s" path
+        in
+        let rint path =
+          match Option.bind (jget path r) Metrics.Json.to_int with
+          | Some i -> i
+          | None -> Alcotest.failf "result missing %s" path
+        in
+        Alcotest.(check string) "ruleId" d.rule (rstr "ruleId");
+        Alcotest.(check string) "level"
+          (Forklore.Sarif.level_of_severity d.severity)
+          (rstr "level");
+        Alcotest.(check string) "uri" d.file
+          (rstr "locations.0.physicalLocation.artifactLocation.uri");
+        check_int "startLine" d.line
+          (rint "locations.0.physicalLocation.region.startLine");
+        check_int "startColumn" d.col
+          (rint "locations.0.physicalLocation.region.startColumn");
+        (* ruleIndex points back at the right rule-table entry *)
+        let idx = rint "ruleIndex" in
+        (match Option.bind (jget (Printf.sprintf "runs.0.tool.driver.rules.%d.id" idx) jv) Metrics.Json.to_str with
+        | Some id -> Alcotest.(check string) "ruleIndex resolves" d.rule id
+        | None -> Alcotest.fail "ruleIndex out of range");
+        (* the fix hint rides in the message and the properties bag *)
+        check_bool "hint in properties" true
+          (rstr "properties.hint" = d.hint))
+      ds results
+
+let test_sarif_level_mapping () =
+  Alcotest.(check string) "error" "error"
+    (Forklore.Sarif.level_of_severity Forklore.Diagnostic.Error);
+  Alcotest.(check string) "warning" "warning"
+    (Forklore.Sarif.level_of_severity Forklore.Diagnostic.Warn);
+  Alcotest.(check string) "note" "note"
+    (Forklore.Sarif.level_of_severity Forklore.Diagnostic.Info)
+
+let test_sarif_empty_report () =
+  match Metrics.Json.of_string (Forklore.Sarif.report []) with
+  | Error msg -> Alcotest.failf "empty SARIF invalid: %s" msg
+  | Ok jv ->
+    (match Option.bind (jget "runs.0.results" jv) Metrics.Json.to_list with
+    | Some [] -> ()
+    | Some _ -> Alcotest.fail "expected empty results"
+    | None -> Alcotest.fail "missing results array")
 
 let test_json_rejects_garbage () =
   check_bool "not json" true
@@ -249,6 +398,43 @@ let test_dynamic_unsafe_child_work () =
     [ "unsafe-child-work" ]
     (rule_ids (Ksim.Lint.check tr))
 
+let test_dynamic_lock_across_fork () =
+  let tr =
+    run_traced ~programs:[ true_prog ] (fun () ->
+        let mu = Ksim.Api.mutex_create () in
+        ignore (ok (Ksim.Api.mutex_lock mu));
+        let pid =
+          ok
+            (Ksim.Api.fork ~child:(fun () ->
+                 ignore (Ksim.Api.exec "/bin/true")))
+        in
+        ignore (ok (Ksim.Api.mutex_unlock mu));
+        ignore (ok (Ksim.Api.wait_for pid)))
+  in
+  let dynamic = rule_ids (Ksim.Lint.check tr) in
+  check_bool "lock held at fork observed" true
+    (List.mem "lock-across-fork" dynamic);
+  (* cross-validation: the static twin fixture reports the same rule *)
+  Alcotest.(check (list string))
+    "same rule as the static lock fixture" [ "lock-across-fork" ]
+    (static_rules_of_fixture "lock_across_fork.c")
+
+let test_dynamic_unlocked_fork_is_clean () =
+  let tr =
+    run_traced ~programs:[ true_prog ] (fun () ->
+        let mu = Ksim.Api.mutex_create () in
+        ignore (ok (Ksim.Api.mutex_lock mu));
+        ignore (ok (Ksim.Api.mutex_unlock mu));
+        let pid =
+          ok
+            (Ksim.Api.fork ~child:(fun () ->
+                 ignore (Ksim.Api.exec "/bin/true")))
+        in
+        ignore (ok (Ksim.Api.wait_for pid)))
+  in
+  check_bool "unlock before fork is clean" true
+    (not (List.mem "lock-across-fork" (rule_ids (Ksim.Lint.check tr))))
+
 let test_dynamic_spawn_is_clean () =
   let tr =
     run_traced ~programs:[ true_prog ] (fun () ->
@@ -291,6 +477,8 @@ let () =
           tc "hazard corpus ground truth" test_hazard_corpus_ground_truth;
           tc "threaded fixture detail" test_threaded_fixture_detail;
           tc "rule registry" test_rule_registry;
+          tc "v1 baseline frozen" test_v1_baseline;
+          tc "path sensitivity wins" test_path_sensitivity_wins;
           tc "rule subset" test_rule_subset;
         ] );
       ( "json",
@@ -299,6 +487,12 @@ let () =
           tc "escaping" test_json_escaping;
           tc "rejects garbage" test_json_rejects_garbage;
         ] );
+      ( "sarif",
+        [
+          tc "2.1.0 shape" test_sarif_shape;
+          tc "level mapping" test_sarif_level_mapping;
+          tc "empty report" test_sarif_empty_report;
+        ] );
       ( "dynamic",
         [
           tc "threaded fork" test_dynamic_threaded_fork;
@@ -306,6 +500,8 @@ let () =
           tc "fd leak at exec" test_dynamic_fd_leak;
           tc "cloexec clean" test_dynamic_cloexec_is_clean;
           tc "unsafe child work" test_dynamic_unsafe_child_work;
+          tc "lock across fork" test_dynamic_lock_across_fork;
+          tc "unlocked fork clean" test_dynamic_unlocked_fork_is_clean;
           tc "spawn clean" test_dynamic_spawn_is_clean;
           tc "trace args" test_trace_args_present;
         ] );

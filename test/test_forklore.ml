@@ -81,6 +81,70 @@ let test_scanner_call_positions () =
          Forklore.Scanner.(c.id, c.line, c.col))
        r.Forklore.Scanner.calls)
 
+(* regression: identifiers in declarator position are declarations, not
+   calls — a local prototype must not inflate the survey *)
+let test_scanner_declarator_position () =
+  check_int "prototype is not a call" 0
+    (scan_count "pid_t fork(void);" Forklore.Api.Fork);
+  check_int "extern prototype" 0
+    (scan_count "extern pid_t vfork(void);" Forklore.Api.Vfork);
+  check_int "pointer declarator" 0
+    (scan_count "int *system(const char *cmd);" Forklore.Api.System);
+  (* and the real call right after the prototype still counts *)
+  check_int "prototype then call" 1
+    (scan_count "pid_t fork(void);\nint main(void) { return fork(); }"
+       Forklore.Api.Fork)
+
+(* ------------------------------------------------------------------ *)
+(* Lexer: continuation splices, directives, #if 0 regions *)
+
+let test_lexer_backslash_newline_splice () =
+  (* a splice inside an identifier glues the halves back together *)
+  check_int "spliced identifier is one call" 1
+    (scan_count "fo\\\nrk();" Forklore.Api.Fork);
+  check_int "splice between name and paren" 1
+    (scan_count "fork\\\n();" Forklore.Api.Fork);
+  (* splices do not hide a call on a continued line *)
+  check_int "call on continued line" 1
+    (scan_count "int x = 1 + \\\n fork();" Forklore.Api.Fork)
+
+let test_lexer_directives_emit_nothing () =
+  check_int "define body not scanned" 0
+    (scan_count "#define SPAWN fork()\n" Forklore.Api.Fork);
+  check_int "continued define not scanned" 0
+    (scan_count "#define SPAWN \\\n  fork()\nint x;\n" Forklore.Api.Fork);
+  check_int "include not scanned" 0
+    (scan_count "#include <fork(h)>\n" Forklore.Api.Fork);
+  (* code after the directive is still live *)
+  check_int "code after define" 1
+    (scan_count "#define N 4\nint main(void) { return fork(); }"
+       Forklore.Api.Fork)
+
+let test_lexer_if0_skipped () =
+  check_int "#if 0 region dead" 0
+    (scan_count "#if 0\nfork();\n#endif\n" Forklore.Api.Fork);
+  check_int "code after #endif live" 1
+    (scan_count "#if 0\nfork();\n#endif\nfork();\n" Forklore.Api.Fork);
+  (* nested conditionals inside the dead region stay dead *)
+  check_int "nested #if inside #if 0" 0
+    (scan_count "#if 0\n#ifdef X\nfork();\n#endif\nfork();\n#endif\n"
+       Forklore.Api.Fork);
+  (* #if 1 and other conditionals keep their bodies *)
+  check_int "#if 1 live" 1
+    (scan_count "#if 1\nfork();\n#endif\n" Forklore.Api.Fork);
+  check_int "#ifdef live" 1
+    (scan_count "#ifdef HAVE_FORK\nfork();\n#endif\n" Forklore.Api.Fork)
+
+let test_lexer_positions_after_splice () =
+  (* positions keep pointing at the physical source line *)
+  let r = Forklore.Scanner.scan_string "int x = \\\n1;\nfork();" in
+  Alcotest.(check (list (triple string int int)))
+    "post-splice spans"
+    [ ("fork", 3, 1) ]
+    (List.map
+       (fun c -> Forklore.Scanner.(c.id, c.line, c.col))
+       r.Forklore.Scanner.calls)
+
 let prop_scanner_matches_truth =
   QCheck.Test.make ~count:30 ~name:"scanner: exact on generated corpus"
     QCheck.(int_bound 10_000)
@@ -272,8 +336,16 @@ let () =
           tc "unterminated block comment" test_scanner_unterminated_block_comment;
           tc "comment markers in strings" test_scanner_comment_markers_in_strings;
           tc "call positions" test_scanner_call_positions;
+          tc "declarator position" test_scanner_declarator_position;
           tc "scan directory" test_scan_directory;
           tc "missing root reported" test_walk_reports_missing_root;
+        ] );
+      ( "lexer",
+        [
+          tc "backslash-newline splice" test_lexer_backslash_newline_splice;
+          tc "directives emit nothing" test_lexer_directives_emit_nothing;
+          tc "#if 0 skipped" test_lexer_if0_skipped;
+          tc "positions after splice" test_lexer_positions_after_splice;
         ] );
       qsuite "scanner-props" [ prop_scanner_matches_truth ];
       ( "corpus",
