@@ -95,7 +95,12 @@ let bench_json ~quick ~wall_ms exp report =
       ("report", Forkroad.Report.to_json report);
     ]
 
-let bench_file exp = "BENCH_" ^ Forkroad.Registry.slug exp ^ ".json"
+(* Where BENCH_*.json land; --outdir redirects (e.g. into a scratch dir
+   for a regress comparison, or bench/baselines/* when refreshing). *)
+let outdir = ref "."
+
+let bench_file exp =
+  Filename.concat !outdir ("BENCH_" ^ Forkroad.Registry.slug exp ^ ".json")
 
 let run_experiment ?(print = true) ~quick exp =
   let t0 = Unix.gettimeofday () in
@@ -113,7 +118,10 @@ let run_experiment ?(print = true) ~quick exp =
 
 (* A BENCH_*.json is useful to downstream tooling only if it parses and
    actually carries data: at least one figure with a non-empty series, a
-   table with rows, or a data block. *)
+   table with rows, or a data block. The harness instrumentation must
+   also be sane — harness_wall_ms present, numeric (NaN serialises to
+   null) and non-negative — and reports expected to carry a blame
+   ledger (cowtax) must actually have a populated one. *)
 let validate_bench_file path =
   let read () =
     let ic = open_in_bin path in
@@ -125,10 +133,42 @@ let validate_bench_file path =
   | Error e -> Error (Printf.sprintf "%s: parse error: %s" path e)
   | Ok j -> (
     let open Metrics.Json in
+    let wall_ok =
+      match Option.bind (member "params" j) (member "harness_wall_ms") with
+      | None -> Error (path ^ ": params.harness_wall_ms missing")
+      | Some v -> (
+        match to_num v with
+        | None ->
+          Error (path ^ ": params.harness_wall_ms not a number (NaN?)")
+        | Some ms when Float.is_nan ms || ms < 0.0 ->
+          Error
+            (Printf.sprintf "%s: params.harness_wall_ms invalid: %g" path ms)
+        | Some _ -> Ok ())
+    in
+    let blame_ok blocks =
+      match Option.bind (member "slug" j) to_str with
+      | Some "cowtax" ->
+        let populated b =
+          Option.bind (member "kind" b) to_str = Some "data"
+          && Option.bind (member "name" b) to_str = Some "blame"
+          && (match
+                Option.bind (member "data" b) (member "events")
+                |> Fun.flip Option.bind to_list
+              with
+             | Some (_ :: _) -> true
+             | _ -> false)
+          && Option.bind (member "data" b) (member "unattributed") <> None
+        in
+        if List.exists populated blocks then Ok ()
+        else Error (path ^ ": cowtax lacks a populated blame data block")
+      | _ -> Ok ()
+    in
     match Option.bind (member "report" j) (member "blocks")
           |> Fun.flip Option.bind to_list
     with
     | None | Some [] -> Error (path ^ ": no report blocks")
+    | Some _ when wall_ok <> Ok () -> wall_ok
+    | Some blocks when blame_ok blocks <> Ok () -> blame_ok blocks
     | Some blocks ->
       let non_empty b =
         match Option.bind (member "kind" b) to_str with
@@ -248,6 +288,79 @@ let run_fault_smoke () =
     Printf.eprintf "fault smoke: %s\n" msg;
     exit 1
 
+(* bench regress --baseline DIR [--current DIR] [--report FILE]
+                 [--wall-factor F] [--wall-slack-ms MS]
+
+   Diff the current directory's BENCH_*.json against a committed
+   baseline (see Forkroad.Regress for the per-block rules) and exit
+   nonzero on any regression — the CI perf gate. *)
+let run_regress args =
+  let baseline = ref None
+  and current = ref "."
+  and report = ref None
+  and tol = ref Forkroad.Regress.default_tolerance in
+  let usage () =
+    Printf.eprintf
+      "usage: bench regress --baseline DIR [--current DIR] [--report FILE]\n\
+      \       [--wall-factor F] [--wall-slack-ms MS]\n";
+    exit 2
+  in
+  let float_arg name v =
+    match float_of_string_opt v with
+    | Some f when f >= 0.0 -> f
+    | Some _ | None ->
+      Printf.eprintf "bench regress: %s wants a non-negative number, got %S\n"
+        name v;
+      exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--baseline" :: v :: rest ->
+      baseline := Some v;
+      parse rest
+    | "--current" :: v :: rest ->
+      current := v;
+      parse rest
+    | "--report" :: v :: rest ->
+      report := Some v;
+      parse rest
+    | "--wall-factor" :: v :: rest ->
+      tol := { !tol with Forkroad.Regress.wall_factor = float_arg "--wall-factor" v };
+      parse rest
+    | "--wall-slack-ms" :: v :: rest ->
+      tol :=
+        { !tol with Forkroad.Regress.wall_slack_ms = float_arg "--wall-slack-ms" v };
+      parse rest
+    | _ -> usage ()
+  in
+  parse args;
+  match !baseline with
+  | None -> usage ()
+  | Some baseline ->
+    let findings =
+      Forkroad.Regress.compare_dirs ~tol:!tol ~baseline ~current:!current ()
+    in
+    (match !report with
+    | None -> ()
+    | Some path ->
+      write_file path
+        (Metrics.Json.to_string ~indent:2
+           (Forkroad.Regress.report_to_json findings)
+        ^ "\n");
+      Printf.eprintf "wrote %s\n%!" path);
+    (match findings with
+    | [] ->
+      Printf.printf "bench regress: no regressions vs %s\n" baseline;
+      exit 0
+    | fs ->
+      List.iter
+        (fun f ->
+          Printf.printf "REGRESSION %s\n" (Forkroad.Regress.finding_to_string f))
+        fs;
+      Printf.eprintf "bench regress: %d finding(s) vs %s\n" (List.length fs)
+        baseline;
+      exit 1)
+
 let () =
   (* The sim sweeps allocate page-table leaves by the tens of millions;
      the default 256 KiB minor heap spends a large fraction of the run
@@ -255,6 +368,9 @@ let () =
      affects the harness, never a simulated number. *)
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 4 * 1024 * 1024 };
   let args = List.tl (Array.to_list Sys.argv) in
+  (* `bench regress` is a pure JSON diff; it never runs an experiment
+     and always exits from run_regress. *)
+  (match args with "regress" :: rest -> run_regress rest | _ -> ());
   (* --jobs N (or --jobs=N) overrides FORKROAD_JOBS for this run *)
   let set_jobs s =
     match int_of_string_opt s with
@@ -262,6 +378,13 @@ let () =
     | Some _ | None ->
       Printf.eprintf "bench: --jobs wants a non-negative integer, got %S\n" s;
       exit 2
+  in
+  let set_outdir d =
+    if not (Sys.file_exists d && Sys.is_directory d) then begin
+      Printf.eprintf "bench: --outdir %S is not a directory\n" d;
+      exit 2
+    end;
+    outdir := d
   in
   let args =
     let rec strip acc = function
@@ -274,6 +397,15 @@ let () =
         strip acc rest
       | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
         set_jobs (String.sub a 7 (String.length a - 7));
+        strip acc rest
+      | [ "--outdir" ] ->
+        Printf.eprintf "bench: --outdir wants a value\n";
+        exit 2
+      | "--outdir" :: v :: rest ->
+        set_outdir v;
+        strip acc rest
+      | a :: rest when String.length a > 9 && String.sub a 0 9 = "--outdir=" ->
+        set_outdir (String.sub a 9 (String.length a - 9));
         strip acc rest
       | a :: rest -> strip (a :: acc) rest
     in

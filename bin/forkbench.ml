@@ -145,7 +145,25 @@ let stat_cmd =
       & info [ "jsonl" ] ~docv:"FILE"
           ~doc:"Write the run's span trace as JSON-lines to $(docv).")
   in
-  let run scenario json trace jsonl =
+  let flame_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flame" ] ~docv:"FILE"
+          ~doc:
+            "Write a folded-stack flamegraph (process tree $(i,x) subsystem \
+             groups; feed to flamegraph.pl or speedscope) to $(docv), or \
+             stdout when $(docv) is $(b,-).")
+  in
+  let critical_path_flag =
+    Arg.(
+      value & flag
+      & info [ "critical-path" ]
+          ~doc:
+            "Also print the critical-path report: the chain of processes \
+             bounding end-to-end simulated time.")
+  in
+  let run scenario json trace jsonl flame critical_path =
     match scenario with
     | None ->
       Printf.printf "available scenarios:\n";
@@ -161,8 +179,17 @@ let stat_cmd =
             Printf.sprintf "unknown scenario %S (known: %s)" key
               (String.concat ", "
                  (List.map fst Forkroad.Stat_driver.scenarios)) )
-      | Some { Forkroad.Stat_driver.report; trace = tr } ->
+      | Some { Forkroad.Stat_driver.report; trace = tr; machine } ->
         print_string (Forkroad.Report.render report);
+        let tree = lazy (Profile.Span_tree.build machine) in
+        if critical_path then
+          print_string (Profile.Critical_path.render (Lazy.force tree) ^ "\n");
+        (match flame with
+        | None -> ()
+        | Some "-" -> print_string (Profile.Folded.render (Lazy.force tree))
+        | Some path ->
+          write_file path (Profile.Folded.render (Lazy.force tree));
+          Printf.eprintf "wrote %s\n%!" path);
         (match json with
         | None -> ()
         | Some path ->
@@ -184,7 +211,10 @@ let stat_cmd =
         `Ok ())
   in
   Cmd.v (Cmd.info "stat" ~doc)
-    Term.(ret (const run $ scenario_arg $ json_arg $ trace_arg $ jsonl_arg))
+    Term.(
+      ret
+        (const run $ scenario_arg $ json_arg $ trace_arg $ jsonl_arg
+       $ flame_arg $ critical_path_flag))
 
 let () =
   let doc = "reproduce the evaluation of 'A fork() in the road' (HotOS'19)" in

@@ -68,6 +68,30 @@ let child_write_cost ~use_spawn ~fraction =
     counter_delta "cow-breaks",
     counter_delta "frames-zeroed" )
 
+(* One representative run of the fork side at [fraction], harvested for
+   the blame ledger: shows the fork event charged both its sync cost
+   (page-table copy) and the deferred COW breaks the child takes later. *)
+let blame_of_fraction fraction =
+  let total = Workload.Sweep.bytes_of_mib heap_mib in
+  let write_bytes =
+    Vmem.Addr.align_up (int_of_float (float_of_int total *. fraction))
+  in
+  let config = Sim_driver.config_for ~heap_mib in
+  let machine, _ =
+    Sim_driver.boot_scenario ~config ~programs:[ toucher_prog ] (fun () ->
+        let addr = ok_or_die (Ksim.Api.mmap ~len:total ~perm:Vmem.Perm.rw) in
+        ignore (ok_or_die (Ksim.Api.touch ~addr ~len:total));
+        let pid =
+          ok_or_die
+            (Ksim.Api.fork ~child:(fun () ->
+                 if write_bytes > 0 then
+                   ignore (ok_or_die (Ksim.Api.touch ~addr ~len:write_bytes));
+                 Ksim.Api.exit 0))
+        in
+        ignore (ok_or_die (Ksim.Api.wait_for pid)))
+  in
+  Ksim.Kernel.blame machine
+
 let run ~quick =
   let fractions =
     if quick then [ 0.0; 0.5; 1.0 ] else [ 0.0; 0.1; 0.25; 0.5; 1.0 ]
@@ -131,6 +155,7 @@ let run ~quick =
              ])
          fork_points spawn_points)
   in
+  let blame = blame_of_fraction (List.fold_left Float.max 0.0 fractions) in
   Report.make ~id:"E2" ~title:"COW tax after fork"
     [
       Report.Figure fig;
@@ -140,6 +165,14 @@ let run ~quick =
           table = counters_table;
         };
       Report.Data { name = "points"; json = data };
+      Report.Table
+        {
+          caption =
+            "blame ledger (100% written): deferred COW cost charged back \
+             to the fork";
+          table = Profile.Blame_report.table blame;
+        };
+      Report.Data { name = "blame"; json = Profile.Blame_report.to_json blame };
       Report.Note
         "every write to an inherited page costs the forked child a fault \
          plus a full page copy plus a TLB invalidation, on top of the \

@@ -1,0 +1,233 @@
+(* Perf-regression gate. Simulated numbers in BENCH reports are
+   deterministic, so the only honest comparison is bit-identity; the few
+   wall-clock fields get a slowdown-only tolerance so a loaded CI runner
+   doesn't flap the gate. See the .mli for the per-block rules. *)
+
+module Json = Metrics.Json
+
+type tolerance = { wall_factor : float; wall_slack_ms : float }
+
+let default_tolerance = { wall_factor = 3.0; wall_slack_ms = 500.0 }
+
+type finding = { file : string; path : string; message : string }
+
+let finding_to_string f = Printf.sprintf "%s: %s: %s" f.file f.path f.message
+
+(* Fields holding host wall-clock time, in ms. Everything else is
+   simulator output (or a count) and must match exactly. *)
+let wall_like key =
+  key = "harness_wall_ms"
+  ||
+  let suf = "wall_ms" in
+  let lk = String.length key and ls = String.length suf in
+  lk >= ls && String.sub key (lk - ls) ls = suf
+
+let num_string v =
+  (* integral floats render without a fraction, like the report writer *)
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let compare_reports ?(tol = default_tolerance) ~file ~baseline ~current ()
+    =
+  let findings = ref [] in
+  let add path fmt =
+    Printf.ksprintf
+      (fun message -> findings := { file; path; message } :: !findings)
+      fmt
+  in
+  let mem k j = Json.member k j in
+  let check_wall path b c =
+    match (Json.to_num b, Json.to_num c) with
+    | Some b, Some c ->
+      if Float.is_nan c then add path "wall time is NaN"
+      else
+        let limit = Float.max (b *. tol.wall_factor) (b +. tol.wall_slack_ms) in
+        if c > limit then
+          add path "wall time regressed: %s -> %s (limit %s)" (num_string b)
+            (num_string c) (num_string limit)
+    | Some _, None -> add path "wall time missing or non-numeric"
+    | None, _ -> () (* baseline had no number here; nothing to compare *)
+  in
+  (* Deep structural equality with exact numeric comparison; [wall_like]
+     object fields divert to the tolerance rule. *)
+  let rec deep path (b : Json.t) (c : Json.t) =
+    match (b, c) with
+    | (Int _ | Num _), (Int _ | Num _) -> (
+      match (Json.to_num b, Json.to_num c) with
+      | Some bv, Some cv ->
+        if Float.is_nan cv then add path "value is NaN"
+        else if bv <> cv then
+          add path "value changed: %s -> %s" (num_string bv) (num_string cv)
+      | _ -> add path "non-numeric number")
+    | (Int _ | Num _), Null -> add path "numeric value became null (NaN?)"
+    | Null, Null -> ()
+    | Bool b', Bool c' ->
+      if b' <> c' then add path "value changed: %b -> %b" b' c'
+    | Str b', Str c' ->
+      if b' <> c' then add path "value changed: %S -> %S" b' c'
+    | Arr bs, Arr cs ->
+      let nb = List.length bs and nc = List.length cs in
+      if nb <> nc then add path "array length changed: %d -> %d" nb nc
+      else
+        List.iteri
+          (fun i (b', c') -> deep (Printf.sprintf "%s[%d]" path i) b' c')
+          (List.combine bs cs)
+    | Obj bs, Obj cs ->
+      List.iter
+        (fun (k, bv) ->
+          let p = path ^ "." ^ k in
+          match List.assoc_opt k cs with
+          | None -> add p "field missing"
+          | Some cv -> if wall_like k then check_wall p bv cv else deep p bv cv)
+        bs;
+      List.iter
+        (fun (k, _) ->
+          if List.assoc_opt k bs = None then add (path ^ "." ^ k) "field added")
+        cs
+    | _ -> add path "JSON kind changed"
+  in
+  let check_str_field path b c =
+    match (Json.to_str b, Json.to_str c) with
+    | Some b', Some c' ->
+      if b' <> c' then add path "changed: %S -> %S" b' c'
+    | _ -> add path "expected strings"
+  in
+  (* identity *)
+  List.iter
+    (fun k ->
+      match (mem k baseline, mem k current) with
+      | Some b, Some c -> check_str_field k b c
+      | None, _ -> () (* field absent from the baseline: not compared *)
+      | Some _, None -> add k "field missing")
+    [ "exp"; "slug"; "title"; "kind"; "claim" ];
+  (* params: quick exact, jobs ignored, harness_wall_ms tolerant *)
+  (match (mem "params" baseline, mem "params" current) with
+  | Some bp, Some cp ->
+    (match (mem "quick" bp, mem "quick" cp) with
+    | Some bq, Some cq ->
+      if bq <> cq then
+        add "params.quick" "quick mode differs from baseline"
+    | Some _, None -> add "params.quick" "field missing"
+    | None, _ -> ());
+    (match (mem "harness_wall_ms" bp, mem "harness_wall_ms" cp) with
+    | Some bw, Some cw -> check_wall "params.harness_wall_ms" bw cw
+    | Some _, None -> add "params.harness_wall_ms" "field missing"
+    | None, _ -> ())
+  | Some _, None -> add "params" "field missing"
+  | None, _ -> ());
+  (* blocks *)
+  let blocks j =
+    Option.bind (mem "report" j) (mem "blocks")
+    |> Fun.flip Option.bind Json.to_list
+  in
+  (match (blocks baseline, blocks current) with
+  | Some bs, Some cs ->
+    let nb = List.length bs and nc = List.length cs in
+    if nb <> nc then
+      add "report.blocks" "block count changed: %d -> %d" nb nc
+    else
+      List.iteri
+        (fun i (b, c) ->
+          let path = Printf.sprintf "report.blocks[%d]" i in
+          let kind j =
+            Option.value ~default:"?" (Option.bind (mem "kind" j) Json.to_str)
+          in
+          let bk = kind b and ck = kind c in
+          if bk <> ck then add path "block kind changed: %s -> %s" bk ck
+          else
+            match bk with
+            | "note" -> ()
+            | "figure" -> (
+              match (mem "figure" b, mem "figure" c) with
+              | Some bf, Some cf -> deep (path ^ ".figure") bf cf
+              | _ -> add path "malformed figure block")
+            | "data" -> (
+              (match (mem "name" b, mem "name" c) with
+              | Some bn, Some cn -> check_str_field (path ^ ".name") bn cn
+              | _ -> add path "malformed data block");
+              match (mem "data" b, mem "data" c) with
+              | Some bd, Some cd -> deep (path ^ ".data") bd cd
+              | _ -> add path "malformed data block")
+            | "table" -> (
+              (match (mem "caption" b, mem "caption" c) with
+              | Some bc, Some cc ->
+                check_str_field (path ^ ".caption") bc cc
+              | _ -> add path "malformed table block");
+              match (mem "table" b, mem "table" c) with
+              | Some bt, Some ct ->
+                (match (mem "headers" bt, mem "headers" ct) with
+                | Some bh, Some ch -> deep (path ^ ".table.headers") bh ch
+                | _ -> add path "table headers missing");
+                (* cells hold real-OS measurements: compare shape only *)
+                let rows j =
+                  match Option.bind (mem "rows" j) Json.to_list with
+                  | Some l -> List.length l
+                  | None -> -1
+                in
+                let br = rows bt and cr = rows ct in
+                if br <> cr then
+                  add (path ^ ".table.rows") "row count changed: %d -> %d" br
+                    cr
+              | _ -> add path "malformed table block")
+            | k -> add path "unknown block kind %S left uncompared" k)
+        (List.combine bs cs)
+  | Some _, None -> add "report.blocks" "blocks missing"
+  | None, _ -> ());
+  List.rev !findings
+
+let read_json path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+    match Json.of_string contents with
+    | Ok j -> Ok j
+    | Error msg -> Error (Printf.sprintf "parse error: %s" msg))
+
+let compare_dirs ?(tol = default_tolerance) ~baseline ~current () =
+  let is_bench f =
+    String.length f > 11
+    && String.sub f 0 6 = "BENCH_"
+    && Filename.check_suffix f ".json"
+  in
+  let files =
+    match Sys.readdir baseline with
+    | exception Sys_error msg ->
+      [ Error { file = baseline; path = "-"; message = msg } ]
+    | entries ->
+      Array.to_list entries |> List.filter is_bench |> List.sort compare
+      |> List.map (fun f -> Ok f)
+  in
+  List.concat_map
+    (function
+      | Error f -> [ f ]
+      | Ok file -> (
+        match read_json (Filename.concat baseline file) with
+        | Error msg -> [ { file; path = "-"; message = "baseline " ^ msg } ]
+        | Ok b -> (
+          let cur_path = Filename.concat current file in
+          if not (Sys.file_exists cur_path) then
+            [ { file; path = "-"; message = "missing from current run" } ]
+          else
+            match read_json cur_path with
+            | Error msg -> [ { file; path = "-"; message = msg } ]
+            | Ok c -> compare_reports ~tol ~file ~baseline:b ~current:c ())))
+    files
+
+let report_to_json findings =
+  let open Json in
+  obj
+    [
+      ("regressions", int (List.length findings));
+      ( "findings",
+        arr
+          (List.map
+             (fun f ->
+               obj
+                 [
+                   ("file", str f.file);
+                   ("path", str f.path);
+                   ("message", str f.message);
+                 ])
+             findings) );
+    ]

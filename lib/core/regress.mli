@@ -1,0 +1,58 @@
+(** Perf-regression gate: diff freshly produced [BENCH_*.json] reports
+    against a committed baseline directory.
+
+    The comparison knows which numbers are {e simulated} (deterministic,
+    must be bit-identical) and which are {e measured} (wall-clock on the
+    host, compared with a noise-aware, slowdown-only tolerance):
+
+    - top-level identity ([exp], [slug], [title], [kind], [claim]) and
+      [params.quick] must match exactly; [params.jobs] is ignored;
+    - [Figure] blocks: series labels, point counts and every x/y value
+      must be exactly equal — figures carry simulator output only;
+    - [Data] blocks: deep-exact, except fields named [harness_wall_ms]
+      or ending in [wall_ms], which get the wall tolerance;
+    - [Table] blocks: structure only (caption, headers, row count) —
+      table cells may hold real-OS measurements;
+    - [Note] blocks: caption-only prose, skipped entirely;
+    - a baseline file with no counterpart in the current directory is a
+      regression (an experiment silently vanished).
+
+    Wall tolerance is slowdown-only: current [c] vs baseline [b] fails
+    iff [c > max (b *. wall_factor) (b +. wall_slack_ms)].  Speedups
+    never fail the gate. *)
+
+type tolerance = {
+  wall_factor : float;  (** allowed multiplicative slowdown (default 3.0) *)
+  wall_slack_ms : float;
+      (** absolute slack for tiny baselines, in the unit of the compared
+          field — milliseconds everywhere today (default 500.0) *)
+}
+
+val default_tolerance : tolerance
+
+type finding = {
+  file : string;  (** report file name, e.g. ["BENCH_cowtax.json"] *)
+  path : string;  (** JSON path of the offending value *)
+  message : string;
+}
+
+val finding_to_string : finding -> string
+
+val compare_reports :
+  ?tol:tolerance ->
+  file:string ->
+  baseline:Metrics.Json.t ->
+  current:Metrics.Json.t ->
+  unit ->
+  finding list
+(** Pure comparison of two parsed reports; order of findings follows
+    document order of the baseline. *)
+
+val compare_dirs :
+  ?tol:tolerance -> baseline:string -> current:string -> unit -> finding list
+(** Compare every [BENCH_*.json] in [baseline] against the same file
+    name in [current].  Unreadable or unparsable files yield findings
+    rather than exceptions. *)
+
+val report_to_json : finding list -> Metrics.Json.t
+(** [{"regressions": N, "findings": [{"file","path","message"}...]}] *)

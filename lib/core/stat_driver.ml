@@ -1,6 +1,7 @@
 type result = {
   report : Report.t;
   trace : Ksim.Trace.t;
+  machine : Ksim.Kernel.t;
 }
 
 let heap_mib = 16
@@ -192,11 +193,21 @@ let run key =
                  "syscall latency (simulated ns, %d completed spans):\n%s"
                  (Metrics.Histogram.count hist)
                  (Metrics.Histogram.render hist));
+            Report.Table
+              {
+                caption = "cost attribution by creation event (blame)";
+                table = Profile.Blame_report.table (Ksim.Kernel.blame t);
+              };
             Report.Data
               {
                 name = "kstat";
                 json = Ksim.Kstat.to_json counters;
               };
+            Report.Data
+              {
+                name = "blame";
+                json = Profile.Blame_report.to_json (Ksim.Kernel.blame t);
+              };
           ]
       in
-      Some { report; trace })
+      Some { report; trace; machine = t })

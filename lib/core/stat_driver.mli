@@ -9,6 +9,9 @@ type result = {
   trace : Ksim.Trace.t;
       (** the run's full span trace, for [--trace] export
           ({!Ksim.Trace.to_chrome} / {!Ksim.Trace.to_jsonl}) *)
+  machine : Ksim.Kernel.t;
+      (** the halted machine, for profile exports that need more than
+          the trace ({!Profile.Span_tree.build} reads per-pid kstat) *)
 }
 
 val scenarios : (string * string) list

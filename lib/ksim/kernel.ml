@@ -71,6 +71,7 @@ type t = {
   rng : Prng.Splitmix.t;
   trace : Trace.t option;
   kstat : Kstat.t;
+  blame : Vmem.Blame.t;
   fault : Fault.t option;
   templates : (int, Template.t) Hashtbl.t;
   mutable next_tpl : int;
@@ -79,9 +80,15 @@ type t = {
 let create ?(config = default_config) () =
   let cost = Vmem.Cost.create ?params:config.cost_params () in
   let kstat = Kstat.create () in
+  let blame = Vmem.Blame.create () in
   (* every cycle charge anywhere in the machine also lands in kstat,
-     attributed to the pid set at dispatch time *)
-  Vmem.Cost.set_observer cost (Some (Kstat.on_cost kstat));
+     attributed to the pid set at dispatch time, and in the blame
+     ledger, attributed to the active creation event (if any) *)
+  Vmem.Cost.set_observer cost
+    (Some
+       (fun category ~n cycles ->
+         Kstat.on_cost kstat category ~n cycles;
+         Vmem.Blame.on_cost blame category ~n cycles));
   let frames =
     Vmem.Frame.create ~policy:config.commit_policy ~frames:config.phys_pages ()
   in
@@ -129,6 +136,7 @@ let create ?(config = default_config) () =
     rng = Prng.Splitmix.create ~seed:config.seed;
     trace = Option.map (fun capacity -> Trace.create ~capacity ()) config.trace_capacity;
     kstat;
+    blame;
     fault;
     templates = Hashtbl.create 4;
     next_tpl = 1;
@@ -145,6 +153,7 @@ let tlb t = t.tlb
 let console t = Buffer.contents (Vfs.console_buffer t.vfs)
 let trace t = t.trace
 let kstat t = t.kstat
+let blame t = t.blame
 let fault t = t.fault
 let clock t = t.clock
 let find_proc t pid = Hashtbl.find_opt t.procs pid
@@ -303,7 +312,7 @@ let load_image t prog aspace =
 let build_image t prog =
   let mmap_base = mmap_base_floor + aslr_offset t in
   let aspace =
-    Vmem.Addr_space.create ~mmap_base ~frames:t.frames ~cost:t.cost ~tlb:t.tlb ()
+    Vmem.Addr_space.create ~mmap_base ~blame:t.blame ~frames:t.frames ~cost:t.cost ~tlb:t.tlb ()
   in
   match load_image t prog aspace with
   | Ok () -> Ok aspace
@@ -702,6 +711,34 @@ let record_child t (proc : Proc.t) (th : Proc.thread) what ~style = function
         ~detail:(Trace.D_child { child; style })
         ~ts_ns:(now_ns t))
 
+(* Blame-ledger plumbing. Every creation-shaped request allocates a
+   ledger event and runs its handler under that event's Sync context:
+   the setup half of the bill (page-table walk, VMA clones, PCB, fd
+   table, shootdown) lands on the event immediately. The deferred half
+   — COW breaks induced by the sharing it created — arrives later via
+   the address spaces' blame origins (see Addr_space.set_blame_origin).
+   A failed creation keeps its ledger row, flagged. *)
+let creation_blame t ~style ~parent f =
+  let ev = Vmem.Blame.new_event t.blame ~style ~parent in
+  let r = Vmem.Blame.with_context t.blame ~id:ev Vmem.Blame.Sync f in
+  (match r with
+  | Ok _ -> ()
+  | Error _ -> Vmem.Blame.mark_failed t.blame ev);
+  (ev, r)
+
+let stamp_child_origin t ev child =
+  match find_proc t child with
+  | Some c -> Vmem.Addr_space.set_blame_origin c.Proc.aspace ev
+  | None -> ()
+
+(* Process-builder operations after Pb_create keep charging the embryo's
+   creation event: the builder spreads creation cost over several
+   syscalls, and the ledger reassembles the total. *)
+let builder_blame t pid f =
+  match Vmem.Blame.event_of_child t.blame pid with
+  | Some ev -> Vmem.Blame.with_context t.blame ~id:ev Vmem.Blame.Sync f
+  | None -> f ()
+
 let attempt : type a. t -> Proc.t -> Proc.thread -> a Sysreq.t -> a action =
  fun t proc th req ->
   match req with
@@ -709,17 +746,41 @@ let attempt : type a. t -> Proc.t -> Proc.thread -> a Sysreq.t -> a action =
   | Sysreq.Getppid -> Reply proc.Proc.parent
   | Sysreq.Gettid -> Reply th.Proc.tid
   | Sysreq.Fork body ->
-    let r = do_fork t proc ~eager:false body in
+    let ev, r =
+      creation_blame t ~style:"fork" ~parent:proc.Proc.pid (fun () ->
+          do_fork t proc ~eager:false body)
+    in
+    (match r with
+    | Error _ -> ()
+    | Ok child ->
+      Vmem.Blame.set_child t.blame ev ~child;
+      (* a COW fork re-downgrades every resident private page on BOTH
+         sides, so this event becomes the newest sharing origin of
+         parent and child alike *)
+      Vmem.Addr_space.set_blame_origin proc.Proc.aspace ev;
+      stamp_child_origin t ev child);
     record_child t proc th "fork_child" ~style:"fork" r;
     Reply r
   | Sysreq.Fork_eager body ->
-    let r = do_fork t proc ~eager:true body in
+    let ev, r =
+      creation_blame t ~style:"fork_eager" ~parent:proc.Proc.pid (fun () ->
+          do_fork t proc ~eager:true body)
+    in
+    (* eager copies up front: no COW sharing, so no origin to stamp *)
+    (match r with
+    | Error _ -> ()
+    | Ok child -> Vmem.Blame.set_child t.blame ev ~child);
     record_child t proc th "fork_child" ~style:"fork" r;
     Reply r
   | Sysreq.Vfork body -> (
-    match do_vfork t proc body with
+    let ev, r =
+      creation_blame t ~style:"vfork" ~parent:proc.Proc.pid (fun () ->
+          do_vfork t proc body)
+    in
+    match r with
     | Error e -> Reply (Error e)
     | Ok child_pid ->
+      Vmem.Blame.set_child t.blame ev ~child:child_pid;
       record_child t proc th "vfork_child" ~style:"vfork" (Ok child_pid);
       (* the parent thread blocks until the child execs or exits *)
       Block
@@ -731,7 +792,15 @@ let attempt : type a. t -> Proc.t -> Proc.thread -> a Sysreq.t -> a action =
               if child.Proc.vfork_active && Proc.is_alive child then None
               else Some (Ok child_pid) ))
   | Sysreq.Spawn req ->
-    let r = do_spawn t proc req in
+    let ev, r =
+      creation_blame t ~style:"spawn" ~parent:proc.Proc.pid (fun () ->
+          do_spawn t proc req)
+    in
+    (* spawn builds a fresh image: no sharing, hence no deferred bill —
+       exactly the paper's point, now visible as an empty column *)
+    (match r with
+    | Error _ -> ()
+    | Ok child -> Vmem.Blame.set_child t.blame ev ~child);
     record_child t proc th "spawn_child" ~style:"spawn" r;
     Reply r
   | Sysreq.Exec { path; argv } -> (
@@ -998,26 +1067,37 @@ let attempt : type a. t -> Proc.t -> Proc.thread -> a Sysreq.t -> a action =
     Reply ()
   | Sysreq.Atfork_list -> Reply proc.Proc.atfork
   | Sysreq.Pb_create ->
-    Vmem.Cost.charge t.cost "proc:create" (params t).Vmem.Cost.proc_create;
-    let mmap_base = mmap_base_floor + aslr_offset t in
-    let aspace =
-      Vmem.Addr_space.create ~mmap_base ~frames:t.frames ~cost:t.cost
-        ~tlb:t.tlb ()
+    let ev, r =
+      creation_blame t ~style:"builder" ~parent:proc.Proc.pid (fun () ->
+          Vmem.Cost.charge t.cost "proc:create"
+            (params t).Vmem.Cost.proc_create;
+          let mmap_base = mmap_base_floor + aslr_offset t in
+          let aspace =
+            Vmem.Addr_space.create ~mmap_base ~blame:t.blame ~frames:t.frames
+              ~cost:t.cost ~tlb:t.tlb ()
+          in
+          let child =
+            Proc.make ~pid:(fresh_pid t) ~parent:proc.Proc.pid ~aspace
+              ~fdt:(Fd_table.create ~max_fds:t.config.max_fds ())
+              ~cwd:proc.Proc.cwd ~program:"<embryo>"
+          in
+          Hashtbl.replace t.procs child.Proc.pid child;
+          proc.Proc.children <- child.Proc.pid :: proc.Proc.children;
+          Ok child.Proc.pid)
     in
-    let child =
-      Proc.make ~pid:(fresh_pid t) ~parent:proc.Proc.pid ~aspace
-        ~fdt:(Fd_table.create ~max_fds:t.config.max_fds ())
-        ~cwd:proc.Proc.cwd ~program:"<embryo>"
-    in
-    Hashtbl.replace t.procs child.Proc.pid child;
-    proc.Proc.children <- child.Proc.pid :: proc.Proc.children;
-    Reply (Ok child.Proc.pid)
+    (match r with
+    | Error (_ : Errno.t) -> ()
+    | Ok child -> Vmem.Blame.set_child t.blame ev ~child);
+    record_child t proc th "builder_child" ~style:"builder" r;
+    Reply r
   | Sysreq.Pb_map { pid; len; perm } -> (
     match embryo_of t proc pid with
     | Error e -> Reply (Error e)
     | Ok child -> (
       match
-        Vmem.Addr_space.mmap ~len ~perm ~kind:Vmem.Vma.Anon child.Proc.aspace
+        builder_blame t pid (fun () ->
+            Vmem.Addr_space.mmap ~len ~perm ~kind:Vmem.Vma.Anon
+              child.Proc.aspace)
       with
       | Ok addr -> Reply (Ok addr)
       | Error (`No_space | `Commit_limit) -> Reply (Error Errno.ENOMEM)
@@ -1025,7 +1105,8 @@ let attempt : type a. t -> Proc.t -> Proc.thread -> a Sysreq.t -> a action =
   | Sysreq.Pb_write { pid; addr; data } -> (
     match embryo_of t proc pid with
     | Error e -> Reply (Error e)
-    | Ok child -> Reply (write_into child.Proc.aspace addr data))
+    | Ok child ->
+      Reply (builder_blame t pid (fun () -> write_into child.Proc.aspace addr data)))
   | Sysreq.Pb_copy_fd { pid; src; dst } -> (
     match embryo_of t proc pid with
     | Error e -> Reply (Error e)
@@ -1033,7 +1114,8 @@ let attempt : type a. t -> Proc.t -> Proc.thread -> a Sysreq.t -> a action =
       match Fd_table.get proc.Proc.fdt src with
       | Error e -> Reply (Error e)
       | Ok ofd -> (
-        Vmem.Cost.charge t.cost "fd:inherit" (params t).Vmem.Cost.fd_clone;
+        builder_blame t pid (fun () ->
+            Vmem.Cost.charge t.cost "fd:inherit" (params t).Vmem.Cost.fd_clone);
         Ofd.incref ofd;
         match Fd_table.alloc child.Proc.fdt ~at_least:dst ~cloexec:false ofd with
         | Ok got when got = dst -> Reply (Ok ())
@@ -1050,7 +1132,10 @@ let attempt : type a. t -> Proc.t -> Proc.thread -> a Sysreq.t -> a action =
       match find_program t path with
       | None -> Reply (Error Errno.ENOENT)
       | Some prog -> (
-        match load_image t prog child.Proc.aspace with
+        match
+          builder_blame t pid (fun () ->
+              load_image t prog child.Proc.aspace)
+        with
         | Error e -> Reply (Error e)
         | Ok () ->
           child.Proc.program <- prog.Program.name;
@@ -1083,63 +1168,89 @@ let attempt : type a. t -> Proc.t -> Proc.thread -> a Sysreq.t -> a action =
            counts on *)
         Reply (Error Errno.EBUSY)
       else begin
-        let commit_pages =
-          Vmem.Addr_space.committed_pages target.Proc.aspace
+        let ev, r =
+          creation_blame t ~style:"freeze" ~parent:proc.Proc.pid (fun () ->
+              let commit_pages =
+                Vmem.Addr_space.committed_pages target.Proc.aspace
+              in
+              let aspace = Vmem.Addr_space.seal target.Proc.aspace in
+              let fdt = Fd_table.clone target.Proc.fdt in
+              charge_fd_inherit t fdt;
+              let id = t.next_tpl in
+              t.next_tpl <- id + 1;
+              let tpl =
+                Template.make ~id ~aspace ~commit_pages ~fdt
+                  ~program:target.Proc.program ~cwd:target.Proc.cwd
+                  ~sigdisp:(Array.copy target.Proc.sigdisp)
+                  ~sigmask:target.Proc.sigmask ~source:target.Proc.pid
+                  ~resident:(Vmem.Addr_space.resident_pages aspace)
+              in
+              Hashtbl.replace t.templates id tpl;
+              (* the source keeps mapping the pinned frames until its own
+                 address space dies *)
+              target.Proc.tpl_deps <- id :: target.Proc.tpl_deps;
+              tpl.Template.live_deps <- 1;
+              Kstat.on_template_freeze t.kstat;
+              Ok id)
         in
-        let aspace = Vmem.Addr_space.seal target.Proc.aspace in
-        let fdt = Fd_table.clone target.Proc.fdt in
-        charge_fd_inherit t fdt;
-        let id = t.next_tpl in
-        t.next_tpl <- id + 1;
-        let tpl =
-          Template.make ~id ~aspace ~commit_pages ~fdt
-            ~program:target.Proc.program ~cwd:target.Proc.cwd
-            ~sigdisp:(Array.copy target.Proc.sigdisp)
-            ~sigmask:target.Proc.sigmask ~source:target.Proc.pid
-            ~resident:(Vmem.Addr_space.resident_pages aspace)
-        in
-        Hashtbl.replace t.templates id tpl;
-        (* the source keeps mapping the pinned frames until its own
-           address space dies *)
-        target.Proc.tpl_deps <- id :: target.Proc.tpl_deps;
-        tpl.Template.live_deps <- 1;
-        Kstat.on_template_freeze t.kstat;
-        Reply (Ok id)
+        (match r with
+        | Error (_ : Errno.t) -> ()
+        | Ok id ->
+          Vmem.Blame.set_tag t.blame ev (Printf.sprintf "tpl:%d" id);
+          (* the freeze downgraded the source's writable pages to COW
+             against the pinned template frames: its later writes are
+             this event's deferred bill *)
+          Vmem.Addr_space.set_blame_origin target.Proc.aspace ev);
+        Reply r
       end)
   | Sysreq.Template_spawn { tpl; body } -> (
     match find_template t tpl with
     | None -> Reply (Error Errno.EINVAL)
     | Some template -> (
-      (* the commit charge is the only fallible step and runs first, so
-         a failed spawn leaves template and machine untouched *)
-      match
-        Vmem.Addr_space.clone_from_sealed template.Template.aspace
-          ~commit_pages:template.Template.commit_pages
-      with
-      | Error `Commit_limit -> Reply (Error Errno.ENOMEM)
-      | Ok (aspace, subtrees) ->
-        Vmem.Cost.charge t.cost "proc:create"
-          (params t).Vmem.Cost.proc_create;
-        let fdt = Fd_table.clone template.Template.fdt in
-        charge_fd_inherit t fdt;
-        let child =
-          Proc.make ~pid:(fresh_pid t) ~parent:proc.Proc.pid ~aspace ~fdt
-            ~cwd:template.Template.cwd ~program:template.Template.program
-        in
-        Array.blit template.Template.sigdisp 0 child.Proc.sigdisp 0
-          (Array.length template.Template.sigdisp);
-        child.Proc.sigmask <- template.Template.sigmask;
-        child.Proc.tpl_deps <- [ template.Template.id ];
-        template.Template.live_deps <- template.Template.live_deps + 1;
-        template.Template.spawns <- template.Template.spawns + 1;
-        Hashtbl.replace t.procs child.Proc.pid child;
-        proc.Proc.children <- child.Proc.pid :: proc.Proc.children;
-        ignore (new_thread t child ~is_main:true body);
-        Kstat.on_template_spawn t.kstat ~subtrees
-          ~pages:template.Template.resident;
-        record_child t proc th "zygote_child" ~style:"zygote"
-          (Ok child.Proc.pid);
-        Reply (Ok child.Proc.pid)))
+      let ev, r =
+        creation_blame t ~style:"zygote" ~parent:proc.Proc.pid (fun () ->
+            (* the commit charge is the only fallible step and runs
+               first, so a failed spawn leaves template and machine
+               untouched *)
+            match
+              Vmem.Addr_space.clone_from_sealed template.Template.aspace
+                ~commit_pages:template.Template.commit_pages
+            with
+            | Error `Commit_limit -> Error Errno.ENOMEM
+            | Ok (aspace, subtrees) ->
+              Vmem.Cost.charge t.cost "proc:create"
+                (params t).Vmem.Cost.proc_create;
+              let fdt = Fd_table.clone template.Template.fdt in
+              charge_fd_inherit t fdt;
+              let child =
+                Proc.make ~pid:(fresh_pid t) ~parent:proc.Proc.pid ~aspace
+                  ~fdt ~cwd:template.Template.cwd
+                  ~program:template.Template.program
+              in
+              Array.blit template.Template.sigdisp 0 child.Proc.sigdisp 0
+                (Array.length template.Template.sigdisp);
+              child.Proc.sigmask <- template.Template.sigmask;
+              child.Proc.tpl_deps <- [ template.Template.id ];
+              template.Template.live_deps <- template.Template.live_deps + 1;
+              template.Template.spawns <- template.Template.spawns + 1;
+              Hashtbl.replace t.procs child.Proc.pid child;
+              proc.Proc.children <- child.Proc.pid :: proc.Proc.children;
+              ignore (new_thread t child ~is_main:true body);
+              Kstat.on_template_spawn t.kstat ~subtrees
+                ~pages:template.Template.resident;
+              Ok child.Proc.pid)
+      in
+      match r with
+      | Error e -> Reply (Error e)
+      | Ok child ->
+        Vmem.Blame.set_child t.blame ev ~child;
+        Vmem.Blame.set_tag t.blame ev
+          (Printf.sprintf "tpl:%d" template.Template.id);
+        (* the child's writes COW away from the pinned template frames:
+           charge those breaks to this spawn *)
+        stamp_child_origin t ev child;
+        record_child t proc th "zygote_child" ~style:"zygote" (Ok child);
+        Reply (Ok child)))
   | Sysreq.Template_discard id -> (
     match find_template t id with
     | None -> Reply (Error Errno.EINVAL)

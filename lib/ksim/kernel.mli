@@ -67,6 +67,12 @@ val trace : t -> Trace.t option
 val kstat : t -> Kstat.t
 (** The machine's typed counters; always on (updating them is cheap). *)
 
+val blame : t -> Vmem.Blame.t
+(** The cost-attribution ledger; always on. Each creation syscall
+    (fork, vfork, spawn, builder, template freeze / zygote spawn) gets a
+    ledger event carrying the cycles charged during the syscall (sync)
+    and the COW-break cycles its sharing later induced (deferred). *)
+
 val fault : t -> Fault.t option
 (** The armed fault injector, for inspecting injection counts. *)
 

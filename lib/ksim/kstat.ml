@@ -25,7 +25,10 @@ type counters = {
   mutable tpl_subtrees_shared : int;
   mutable tpl_pages_shared : int;
   mutable cycles : float;
+  by_cost : (string, cost_entry) Hashtbl.t;
 }
+
+and cost_entry = { mutable cost_cycles : float; mutable cost_events : int }
 
 let make_counters () =
   {
@@ -55,6 +58,7 @@ let make_counters () =
     tpl_subtrees_shared = 0;
     tpl_pages_shared = 0;
     cycles = 0.0;
+    by_cost = Hashtbl.create 16;
   }
 
 type t = {
@@ -110,6 +114,13 @@ let on_syscall t kind =
 let on_cost t category ~n cycles =
   update t (fun c ->
       c.cycles <- c.cycles +. cycles;
+      (match Hashtbl.find_opt c.by_cost category with
+      | Some e ->
+        e.cost_cycles <- e.cost_cycles +. cycles;
+        e.cost_events <- e.cost_events + n
+      | None ->
+        Hashtbl.add c.by_cost category
+          { cost_cycles = cycles; cost_events = n });
       match category with
       | "fault:base" -> c.faults <- c.faults + n
       | "fault:cow-copy" ->
@@ -192,6 +203,17 @@ let snapshot c =
        ])
 
 let cycles c = c.cycles
+
+(* Per-category cycle spend of one (per-pid or global) counter set,
+   descending cycles, name as tie-break — the profiler's input for
+   attributing subsystem groups to tree nodes. Kept out of [snapshot]
+   and [to_json] so pre-existing BENCH output stays bit-identical. *)
+let cost_categories c =
+  Hashtbl.fold
+    (fun k (e : cost_entry) acc -> (k, (e.cost_cycles, e.cost_events)) :: acc)
+    c.by_cost []
+  |> List.sort (fun (ka, (ca, _)) (kb, (cb, _)) ->
+         match Float.compare cb ca with 0 -> compare ka kb | d -> d)
 
 let to_json c =
   Metrics.Json.obj

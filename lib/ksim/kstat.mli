@@ -47,7 +47,12 @@ type counters = {
   mutable tpl_pages_shared : int;
       (** template pages inherited without per-page work *)
   mutable cycles : float;  (** simulated cycles attributed here *)
+  by_cost : (string, cost_entry) Hashtbl.t;
+      (** full per-category (cycles, events) spend — the profiler's
+          per-pid analogue of {!Vmem.Cost.by_category_counts} *)
 }
+
+and cost_entry = { mutable cost_cycles : float; mutable cost_events : int }
 
 type t
 
@@ -89,4 +94,10 @@ val snapshot : counters -> (string * int) list
     pointwise gives the counter activity between them. *)
 
 val cycles : counters -> float
+
+val cost_categories : counters -> (string * (float * int)) list
+(** Per-category (cycles, events) spend of one counter set, descending
+    cycles then name. Not part of {!snapshot}/{!to_json}, so existing
+    BENCH output is unchanged. *)
+
 val to_json : counters -> Metrics.Json.t

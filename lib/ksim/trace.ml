@@ -155,9 +155,72 @@ let to_jsonl t =
 
 (* Chrome trace_event JSON (load in Perfetto / chrome://tracing).
    Timestamps are microseconds; Begin/End map to "B"/"E" duration
-   events, everything else to "i" instants. *)
+   events, everything else to "i" instants. Every event already carries
+   its real pid/tid, so each process gets its own track; the "M"
+   metadata events below name the tracks (pid 1 is the root, children
+   are labelled with the creation style recorded in their D_child
+   instant) and order them by pid, which is creation order. *)
 let to_chrome t =
   let us ns = ns /. 1000.0 in
+  let evs = events t in
+  let styles : (Types.pid, string) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      match e.detail with
+      | D_child { child; style } ->
+        if not (Hashtbl.mem styles child) then Hashtbl.add styles child style
+      | _ -> ())
+    evs;
+  let pids =
+    List.sort_uniq compare (List.map (fun e -> e.pid) evs)
+  in
+  let tids =
+    List.sort_uniq compare (List.map (fun e -> (e.pid, e.tid)) evs)
+  in
+  let meta name pid extra_args =
+    Metrics.Json.obj
+      ([
+         ("name", Metrics.Json.str name);
+         ("ph", Metrics.Json.str "M");
+         ("pid", Metrics.Json.int pid);
+       ]
+      @ extra_args)
+  in
+  let process_meta =
+    List.concat_map
+      (fun pid ->
+        let label =
+          match Hashtbl.find_opt styles pid with
+          | Some style -> Printf.sprintf "pid %d (%s)" pid style
+          | None -> Printf.sprintf "pid %d" pid
+        in
+        [
+          meta "process_name" pid
+            [
+              ( "args",
+                Metrics.Json.obj [ ("name", Metrics.Json.str label) ] );
+            ];
+          meta "process_sort_index" pid
+            [
+              ( "args",
+                Metrics.Json.obj [ ("sort_index", Metrics.Json.int pid) ] );
+            ];
+        ])
+      pids
+  in
+  let thread_meta =
+    List.map
+      (fun (pid, tid) ->
+        meta "thread_name" pid
+          [
+            ("tid", Metrics.Json.int tid);
+            ( "args",
+              Metrics.Json.obj
+                [ ("name", Metrics.Json.str (Printf.sprintf "tid %d" tid)) ]
+            );
+          ])
+      tids
+  in
   let ev e =
     let common =
       [
@@ -184,6 +247,7 @@ let to_chrome t =
   in
   Metrics.Json.obj
     [
-      ("traceEvents", Metrics.Json.arr (List.map ev (events t)));
+      ( "traceEvents",
+        Metrics.Json.arr (process_meta @ thread_meta @ List.map ev evs) );
       ("displayTimeUnit", Metrics.Json.str "ns");
     ]

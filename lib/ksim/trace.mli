@@ -86,4 +86,7 @@ val to_jsonl : t -> string
 val to_chrome : t -> Metrics.Json.t
 (** Chrome [trace_event] document ([{"traceEvents": [...]}]), loadable
     in Perfetto or chrome://tracing; timestamps in microseconds of
-    simulated time. *)
+    simulated time. Events carry their real pid/tid so each process
+    renders as its own track, and ["M"] metadata events name the tracks
+    ("pid 3 (fork)", from the creation-style instants) and sort them in
+    pid order. *)

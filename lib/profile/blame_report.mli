@@ -1,0 +1,10 @@
+(** Report rendering of the {!Vmem.Blame} cost-attribution ledger. *)
+
+val table : Vmem.Blame.t -> Metrics.Table.t
+(** One row per creation event: style, parent, child (or template tag,
+    or "failed"), sync cycles, deferred cycles, deferred COW breaks and
+    frame copies. Rows in event (creation) order. *)
+
+val to_json : Vmem.Blame.t -> Metrics.Json.t
+(** Alias of {!Vmem.Blame.to_json}: the full ledger, suitable for a
+    BENCH data block. *)

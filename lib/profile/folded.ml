@@ -1,0 +1,30 @@
+(* Folded-stack flamegraph export.
+
+   One line per (process-ancestry path, subsystem group) with an
+   integral cycle count:
+
+     root:1;fork:3;fault 1280000
+
+   is the format flamegraph.pl and speedscope ingest directly. The
+   "stack" axis is the process tree (frame = style:pid), the leaf frame
+   is the subsystem group, and the value is the cycles that pid spent in
+   that group — so the flamegraph shows both who descends from whom and
+   where each descendant's cycles went. Cost parameters are
+   integer-valued, so the per-group sums print exactly with %.0f. *)
+
+let frame (n : Span_tree.node) = Printf.sprintf "%s:%d" n.style n.pid
+
+let render (t : Span_tree.t) =
+  let buf = Buffer.create 1024 in
+  let rec emit path (n : Span_tree.node) =
+    let path = if path = "" then frame n else path ^ ";" ^ frame n in
+    List.iter
+      (fun (group, cycles) ->
+        if cycles > 0.0 then
+          Buffer.add_string buf
+            (Printf.sprintf "%s;%s %.0f\n" path group cycles))
+      n.groups;
+    List.iter (emit path) n.children
+  in
+  List.iter (emit "") t.roots;
+  Buffer.contents buf

@@ -1,0 +1,146 @@
+(* Causal span tree: process genealogy reconstructed from the trace's
+   creation instants (D_child), annotated with each pid's kstat deltas.
+   Everything here is read-only over the machine, so building a tree
+   never perturbs a simulated number. *)
+
+type node = {
+  pid : int;
+  style : string;
+  parent : int option;
+  created_ns : float;
+  creation_span_ns : float;
+  last_ns : float;
+  cycles : float;
+  cost : (string * (float * int)) list;
+  groups : (string * float) list;
+  counters : (string * int) list;
+  mutable children : node list;
+}
+
+type t = { roots : node list; nodes : node list; total_cycles : float }
+
+(* Trace names of the syscall whose End event closes a creation of the
+   given style. The D_child instant is recorded inside the handler, so
+   the matching End is the first one at or after it. For vfork the span
+   includes the parent's block until the child execs or exits — that IS
+   vfork's cost to the parent, so the attribution is the honest one. *)
+let end_names_of_style = function
+  | "fork" -> [ "fork"; "fork_eager" ]
+  | "vfork" -> [ "vfork" ]
+  | "spawn" -> [ "posix_spawn" ]
+  | "zygote" -> [ "template_spawn" ]
+  | "builder" -> [ "pb_create" ]
+  | _ -> []
+
+let build machine =
+  let events =
+    match Ksim.Kernel.trace machine with
+    | Some tr -> Ksim.Trace.events tr
+    | None -> []
+  in
+  (* genealogy: child pid -> (parent, style, creation timestamp) *)
+  let genealogy = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Ksim.Trace.event) ->
+      match e.Ksim.Trace.detail with
+      | Ksim.Trace.D_child { child; style } ->
+        if not (Hashtbl.mem genealogy child) then
+          Hashtbl.add genealogy child
+            (e.Ksim.Trace.pid, style, e.Ksim.Trace.ts_ns)
+      | _ -> ())
+    events;
+  let ends =
+    List.filter
+      (fun (e : Ksim.Trace.event) -> e.Ksim.Trace.phase = Ksim.Trace.End)
+      events
+  in
+  let creation_span ~parent ~style ~created_ns =
+    let names = end_names_of_style style in
+    let matches (e : Ksim.Trace.event) =
+      e.Ksim.Trace.pid = parent
+      && List.mem e.Ksim.Trace.what names
+      && e.Ksim.Trace.ts_ns >= created_ns
+    in
+    match List.find_opt matches ends with
+    | Some e -> e.Ksim.Trace.span_ns
+    | None -> 0.0
+  in
+  let last_ns = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Ksim.Trace.event) ->
+      let prev =
+        Option.value ~default:0.0 (Hashtbl.find_opt last_ns e.Ksim.Trace.pid)
+      in
+      if e.Ksim.Trace.ts_ns > prev then
+        Hashtbl.replace last_ns e.Ksim.Trace.pid e.Ksim.Trace.ts_ns)
+    events;
+  let kstat = Ksim.Kernel.kstat machine in
+  let pids =
+    let tbl = Hashtbl.create 32 in
+    let note pid = Hashtbl.replace tbl pid () in
+    List.iter note (Ksim.Kstat.pids kstat);
+    Hashtbl.iter (fun pid _ -> note pid) genealogy;
+    List.iter (fun (e : Ksim.Trace.event) -> note e.Ksim.Trace.pid) events;
+    Hashtbl.fold (fun pid () acc -> pid :: acc) tbl [] |> List.sort compare
+  in
+  let node_of pid =
+    let parent, style, created_ns, creation_span_ns =
+      match Hashtbl.find_opt genealogy pid with
+      | Some (parent, style, created_ns) ->
+        ( Some parent,
+          style,
+          created_ns,
+          creation_span ~parent ~style ~created_ns )
+      | None -> (None, "root", 0.0, 0.0)
+    in
+    let cycles, cost, counters =
+      match Ksim.Kstat.pid_counters kstat pid with
+      | Some c ->
+        ( Ksim.Kstat.cycles c,
+          Ksim.Kstat.cost_categories c,
+          Ksim.Kstat.snapshot c )
+      | None -> (0.0, [], [])
+    in
+    {
+      pid;
+      style;
+      parent;
+      created_ns;
+      creation_span_ns;
+      last_ns = Option.value ~default:0.0 (Hashtbl.find_opt last_ns pid);
+      cycles;
+      cost;
+      groups =
+        Subsys.groups_of_breakdown
+          (List.map (fun (cat, (cyc, _)) -> (cat, cyc)) cost);
+      counters;
+      children = [];
+    }
+  in
+  let nodes = List.map node_of pids in
+  let by_pid = Hashtbl.create 32 in
+  List.iter (fun n -> Hashtbl.replace by_pid n.pid n) nodes;
+  List.iter
+    (fun n ->
+      match n.parent with
+      | Some p -> (
+        match Hashtbl.find_opt by_pid p with
+        | Some pn -> pn.children <- pn.children @ [ n ]
+        | None -> ())
+      | None -> ())
+    nodes;
+  let roots =
+    List.filter
+      (fun n ->
+        match n.parent with
+        | None -> true
+        | Some p -> not (Hashtbl.mem by_pid p))
+      nodes
+  in
+  {
+    roots;
+    nodes;
+    total_cycles = Vmem.Cost.total (Ksim.Kernel.cost machine);
+  }
+
+let find t pid = List.find_opt (fun n -> n.pid = pid) t.nodes

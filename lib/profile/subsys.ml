@@ -1,0 +1,46 @@
+(* Subsystem grouping of the cost-meter categories. The groups
+   partition every category, so their sum always equals the headline
+   cycle count — the invariant both the bench report's breakdown and the
+   flamegraph's leaf frames rely on. The category set is small and the
+   function runs on every breakdown entry of every sweep point, so
+   resolved names are memoized (per domain — the harness may fan sweep
+   points out across domains). *)
+let group_of_uncached cat =
+  let has_prefix p =
+    String.length cat >= String.length p
+    && String.sub cat 0 (String.length p) = p
+  in
+  match cat with
+  | "fork:pt-node" | "fork:pte" | "zygote:subtree" -> "pt-copy"
+  | "fault:cow-copy" | "fork:eager-copy" -> "frame-copy"
+  | _ ->
+    if has_prefix "fault:" then "fault"
+    else if has_prefix "tlb:" then "tlb"
+    else if has_prefix "exec:" then "exec"
+    else "other"
+
+let group_cache : (string, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 32)
+
+let group_of cat =
+  let tbl = Domain.DLS.get group_cache in
+  match Hashtbl.find_opt tbl cat with
+  | Some g -> g
+  | None ->
+    let g = group_of_uncached cat in
+    Hashtbl.add tbl cat g;
+    g
+
+let group_order = [ "pt-copy"; "fault"; "frame-copy"; "tlb"; "exec"; "other" ]
+
+let groups_of_breakdown breakdown =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (cat, c) ->
+      let g = group_of cat in
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl g) in
+      Hashtbl.replace tbl g (prev +. c))
+    breakdown;
+  List.filter_map
+    (fun g -> Option.map (fun c -> (g, c)) (Hashtbl.find_opt tbl g))
+    group_order

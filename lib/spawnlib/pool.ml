@@ -16,6 +16,17 @@ let error_message = function
 
 type stats = { size : int; spawned : int; respawns : int; served : int }
 
+(* Per-slot serving statistics. A slot keeps its stats across crash
+   respawns — operationally a slot is "worker #i of the pool", whatever
+   pid currently fills it — which is exactly what a serving dashboard
+   wants to watch. *)
+type slot_stats = {
+  slot : int;
+  mutable slot_served : int;
+  mutable slot_crashes : int;
+  latency : Metrics.Window.t;  (** request latency in seconds *)
+}
+
 type worker = {
   proc : Process.t;
   to_worker : Unix.file_descr;  (** worker's stdin (write requests here) *)
@@ -29,10 +40,13 @@ type t = {
   retry : Retry.policy;
   warmup : (send:(string -> unit) -> recv:(unit -> string) -> unit) option;
   workers : worker array;
+  wstats : slot_stats array;
   mutable next : int;
   mutable spawned : int;
   mutable respawns : int;
   mutable served : int;
+  mutable inflight : int;
+  mutable max_inflight : int;
   mutable closed : bool;
 }
 
@@ -87,8 +101,8 @@ let start_worker t =
         ~recv:(fun () -> input_line w.from_worker));
     Ok w
 
-let create ?(attr = Spawn.default_attr) ?(retry = Retry.default) ?warmup ~size
-    ~prog ~argv () =
+let create ?(attr = Spawn.default_attr) ?(retry = Retry.default) ?warmup
+    ?(latency_window = 10.0) ~size ~prog ~argv () =
   if size < 1 then invalid_arg "Pool.create: size < 1";
   (* writing to a crashed worker must surface as EPIPE, not kill us *)
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
@@ -100,10 +114,22 @@ let create ?(attr = Spawn.default_attr) ?(retry = Retry.default) ?warmup ~size
       retry;
       warmup;
       workers = [||];
+      wstats =
+        Array.init size (fun slot ->
+            {
+              slot;
+              slot_served = 0;
+              slot_crashes = 0;
+              latency =
+                Metrics.Window.create ~width:latency_window
+                  ~hist_base:1e-6 ();
+            });
       next = 0;
       spawned = 0;
       respawns = 0;
       served = 0;
+      inflight = 0;
+      max_inflight = 0;
       closed = false;
     }
   in
@@ -126,6 +152,10 @@ let pids t = Array.to_list (Array.map (fun w -> Process.pid w.proc) t.workers)
 let stats t =
   { size = size t; spawned = t.spawned; respawns = t.respawns; served = t.served }
 
+let worker_stats t = Array.to_list t.wstats
+let depth t = t.inflight
+let max_depth t = t.max_inflight
+
 let transact w line =
   write_line w.to_worker line;
   input_line w.from_worker
@@ -138,29 +168,43 @@ let submit t line =
   if t.closed then invalid_arg "Pool.submit: pool is shut down";
   let i = t.next in
   t.next <- (t.next + 1) mod Array.length t.workers;
+  let ws = t.wstats.(i) in
+  let t0 = Unix.gettimeofday () in
+  t.inflight <- t.inflight + 1;
+  if t.inflight > t.max_inflight then t.max_inflight <- t.inflight;
+  let record_served () =
+    t.served <- t.served + 1;
+    ws.slot_served <- ws.slot_served + 1;
+    let now = Unix.gettimeofday () in
+    Metrics.Window.add ws.latency ~now (Float.max 0.0 (now -. t0))
+  in
   let attempt w =
     match transact w line with
     | reply -> Some reply
     | exception (Unix.Unix_error (Unix.EPIPE, _, _) | End_of_file | Sys_error _)
       ->
+      ws.slot_crashes <- ws.slot_crashes + 1;
       None
   in
-  match attempt t.workers.(i) with
-  | Some reply ->
-    t.served <- t.served + 1;
-    Ok reply
-  | None -> (
-    dispose t.workers.(i);
-    t.respawns <- t.respawns + 1;
-    match start_worker t with
-    | Error e -> Error e
-    | Ok w -> (
-      t.workers.(i) <- w;
-      match attempt w with
+  Fun.protect
+    ~finally:(fun () -> t.inflight <- t.inflight - 1)
+    (fun () ->
+      match attempt t.workers.(i) with
       | Some reply ->
-        t.served <- t.served + 1;
+        record_served ();
         Ok reply
-      | None -> Error Worker_lost))
+      | None -> (
+        dispose t.workers.(i);
+        t.respawns <- t.respawns + 1;
+        match start_worker t with
+        | Error e -> Error e
+        | Ok w -> (
+          t.workers.(i) <- w;
+          match attempt w with
+          | Some reply ->
+            record_served ();
+            Ok reply
+          | None -> Error Worker_lost)))
 
 let shutdown t =
   if t.closed then []

@@ -28,12 +28,24 @@ type stats = {
   served : int;  (** successful request/reply round-trips *)
 }
 
+type slot_stats = {
+  slot : int;  (** worker slot index, 0-based *)
+  mutable slot_served : int;  (** requests served from this slot *)
+  mutable slot_crashes : int;  (** times a request found this slot dead *)
+  latency : Metrics.Window.t;
+      (** request latency in seconds over a sliding wall-clock window;
+          query with [now = Unix.gettimeofday ()]. Slot stats survive
+          crash respawns — the slot is the serving unit, whatever pid
+          currently fills it. *)
+}
+
 type t
 
 val create :
   ?attr:Spawn.attr ->
   ?retry:Retry.policy ->
   ?warmup:(send:(string -> unit) -> recv:(unit -> string) -> unit) ->
+  ?latency_window:float ->
   size:int ->
   prog:string ->
   argv:string list ->
@@ -46,6 +58,8 @@ val create :
     serves any pool request.  [retry] governs transient spawn failures
     (see {!Spawn.spawn_retrying}).  If any worker fails to start, the
     already-started ones are torn down and the error is returned.
+    [latency_window] is the width in seconds of each slot's sliding
+    latency window (default 10).
 
     @raise Invalid_argument if [size < 1]. *)
 
@@ -61,6 +75,15 @@ val pids : t -> int list
 (** Current worker pids, in slot order. *)
 
 val stats : t -> stats
+
+val worker_stats : t -> slot_stats list
+(** Per-slot counters and latency windows, in slot order. *)
+
+val depth : t -> int
+(** Requests currently in flight (queue depth as seen by the pool). *)
+
+val max_depth : t -> int
+(** High-water mark of {!depth} over the pool's lifetime. *)
 
 val shutdown : t -> Process.status list
 (** Close every worker's stdin (EOF tells well-behaved workers to exit)

@@ -13,12 +13,16 @@ type t = {
   batched : bool;
       (** range-batched hot paths; [false] keeps the per-page reference
           walks as the oracle the batched paths are tested against *)
+  blame : Blame.t option;
+  mutable blame_origin : int;
+      (** id of the most recent {!Blame} sharing event this space took
+          part in, or -1; COW breaks are deferred-charged to it *)
 }
 
 let default_mmap_base = 0x7000_0000_0000
 
-let create ?(mmap_base = default_mmap_base) ?(batched = true) ~frames ~cost
-    ~tlb () =
+let create ?(mmap_base = default_mmap_base) ?(batched = true) ?blame ~frames
+    ~cost ~tlb () =
   if not (Addr.is_page_aligned mmap_base) || not (Addr.valid mmap_base) then
     invalid_arg "Addr_space.create: bad mmap_base";
   {
@@ -32,7 +36,22 @@ let create ?(mmap_base = default_mmap_base) ?(batched = true) ~frames ~cost
     committed = 0;
     dead = false;
     batched;
+    blame;
+    blame_origin = -1;
   }
+
+let set_blame_origin t id = t.blame_origin <- id
+
+let blame_origin t = if t.blame_origin >= 0 then Some t.blame_origin else None
+
+(* Run [f] with charges deferred-attributed to this space's sharing
+   origin: wraps only the COW-break paths, so a space that never forked
+   (or a vmem used without a ledger) attributes nothing. *)
+let deferred_blame t f =
+  match t.blame with
+  | Some b when t.blame_origin >= 0 ->
+    Blame.with_context b ~id:t.blame_origin Blame.Deferred f
+  | Some _ | None -> f ()
 
 let frames t = t.frames
 let cost t = t.cost
@@ -292,9 +311,14 @@ let fault t ~addr ~write =
           demand_fill t ~vpn ~perm:vma.Vma.perm
         end
         else if write && not (Pte.perm pte).Perm.write then begin
-          Cost.charge t.cost "fault:base" p.Cost.fault_base;
-          if Pte.cow pte then break_cow t ~vpn ~pte ~region_perm:vma.Vma.perm
+          if Pte.cow pte then
+            (* the deferred half of a fork's bill: charge the break to
+               the sharing event that created this COW mapping *)
+            deferred_blame t (fun () ->
+                Cost.charge t.cost "fault:base" p.Cost.fault_base;
+                break_cow t ~vpn ~pte ~region_perm:vma.Vma.perm)
           else begin
+            Cost.charge t.cost "fault:base" p.Cost.fault_base;
             (* stale protection (e.g. mprotect round-trip): refresh in place *)
             ignore
               (Page_table.update t.pt ~vpn (fun pte ->
@@ -326,6 +350,11 @@ let touch_covered_batched t ~rperm ~vpn0 ~vpn1 ~count =
   let p = params t in
   let n_base = ref 0 and n_zero = ref 0 and n_reuse = ref 0 in
   let n_copy = ref 0 and n_invlpg = ref 0 in
+  (* COW-break work is tallied apart from ordinary fills so its charges
+     can carry the deferred-blame context; splitting one charge of
+     (a+b)*c into a*c and b*c is exact (integer-valued params), so the
+     meter's totals and event counts are unchanged. *)
+  let n_base_cow = ref 0 and n_invlpg_cow = ref 0 in
   let flush_charges () =
     if !n_base > 0 then
       Cost.charge ~n:!n_base t.cost "fault:base"
@@ -333,11 +362,19 @@ let touch_covered_batched t ~rperm ~vpn0 ~vpn1 ~count =
     if !n_zero > 0 then
       Cost.charge ~n:!n_zero t.cost "fault:zero-fill"
         (p.Cost.frame_zero *. float_of_int !n_zero);
-    if !n_reuse > 0 then Cost.charge ~n:!n_reuse t.cost "fault:cow-reuse" 0.0;
-    if !n_copy > 0 then
-      Cost.charge ~n:!n_copy t.cost "fault:cow-copy"
-        (p.Cost.frame_copy *. float_of_int !n_copy);
-    Tlb.invalidate_pages t.tlb ~n:!n_invlpg
+    Tlb.invalidate_pages t.tlb ~n:!n_invlpg;
+    if !n_base_cow > 0 || !n_reuse > 0 || !n_copy > 0 || !n_invlpg_cow > 0
+    then
+      deferred_blame t (fun () ->
+          if !n_base_cow > 0 then
+            Cost.charge ~n:!n_base_cow t.cost "fault:base"
+              (p.Cost.fault_base *. float_of_int !n_base_cow);
+          if !n_reuse > 0 then
+            Cost.charge ~n:!n_reuse t.cost "fault:cow-reuse" 0.0;
+          if !n_copy > 0 then
+            Cost.charge ~n:!n_copy t.cost "fault:cow-copy"
+              (p.Cost.frame_copy *. float_of_int !n_copy);
+          Tlb.invalidate_pages t.tlb ~n:!n_invlpg_cow)
   in
   let oom () =
     flush_charges ();
@@ -385,12 +422,12 @@ let touch_covered_batched t ~rperm ~vpn0 ~vpn1 ~count =
              entries.(!i) <- Pte.mark_dirty (Pte.mark_accessed pte)
            else if Pte.cow pte then begin
              let frame = Pte.frame pte in
-             incr n_base;
+             incr n_base_cow;
              if Frame.refcount t.frames frame = 1 then begin
                (* last sharer: take the page back in place *)
                incr n_reuse;
                entries.(!i) <- Pte.with_cow (Pte.with_perm pte rperm) false;
-               incr n_invlpg
+               incr n_invlpg_cow
              end
              else begin
                match Frame.alloc t.frames with
@@ -400,7 +437,7 @@ let touch_covered_batched t ~rperm ~vpn0 ~vpn1 ~count =
                  Frame.copy_contents t.frames ~src:frame ~dst:fresh;
                  ignore (Frame.decref t.frames frame);
                  entries.(!i) <- Pte.make ~frame:fresh ~perm:rperm ();
-                 incr n_invlpg
+                 incr n_invlpg_cow
              end
            end
            else begin
@@ -503,6 +540,10 @@ let clone_common t ~pt ~committed_charge =
     committed = committed_charge;
     dead = false;
     batched = t.batched;
+    blame = t.blame;
+    (* the kernel stamps the clone's sharing origin explicitly after the
+       creating syscall succeeds; until then nothing is attributed *)
+    blame_origin = -1;
   }
 
 (* After a COW page-table copy, pages of *shared* VMAs must not be COW:

@@ -14,6 +14,7 @@ type t
 val create :
   ?mmap_base:int ->
   ?batched:bool ->
+  ?blame:Blame.t ->
   frames:Frame.t ->
   cost:Cost.t ->
   tlb:Tlb.t ->
@@ -25,13 +26,25 @@ val create :
     operations and lazily shared page-table subtrees on fork; [false]
     keeps the original per-page walks, which charge the identical
     modelled cost and serve as the test oracle for the batched paths.
-    Clones inherit the flag.
+    [blame] attaches a cost-attribution ledger: COW-break charges are
+    then deferred-attributed to the space's current sharing origin (see
+    {!set_blame_origin}). Clones inherit both.
     @raise Invalid_argument if [mmap_base] is not page-aligned or out of
     range. *)
 
 val frames : t -> Frame.t
 val cost : t -> Cost.t
 val mmap_base : t -> int
+
+val set_blame_origin : t -> int -> unit
+(** Stamp the {!Blame} event id that most recently made this space's
+    pages COW-shared (fork stamps both sides; freeze stamps the source;
+    a zygote spawn stamps the child). Later COW breaks in this space are
+    deferred-charged to that event — "most recent sharing event wins",
+    which is sound because every sharing operation re-downgrades all
+    resident private pages. *)
+
+val blame_origin : t -> int option
 
 val mmap :
   ?addr:int ->

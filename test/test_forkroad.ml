@@ -322,7 +322,7 @@ let test_stat_driver () =
     (fun (key, _) ->
       match Forkroad.Stat_driver.run key with
       | None -> Alcotest.failf "scenario %s missing" key
-      | Some { Forkroad.Stat_driver.report; trace } ->
+      | Some { Forkroad.Stat_driver.report; trace; _ } ->
         check_bool
           (key ^ " renders")
           true

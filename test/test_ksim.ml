@@ -1552,7 +1552,8 @@ let test_trace_exporters () =
       | Error e -> Alcotest.fail ("jsonl line: " ^ e)
       | Ok j -> check_bool "has name" true (Metrics.Json.member "what" j <> None))
     lines;
-  (* Chrome: a traceEvents array whose phases are B/E/i *)
+  (* Chrome: a traceEvents array whose phases are B/E/i, plus the "M"
+     metadata events that label pid/tid lanes for the viewer *)
   match Metrics.Json.of_string (Metrics.Json.to_string (Ksim.Trace.to_chrome tr)) with
   | Error e -> Alcotest.fail ("chrome parse: " ^ e)
   | Ok doc -> (
@@ -1566,11 +1567,17 @@ let test_trace_exporters () =
           match
             Option.bind (Metrics.Json.member "ph" ev) Metrics.Json.to_str
           with
-          | Some ("B" | "E" | "i") -> ()
+          | Some ("B" | "E" | "i" | "M") -> ()
           | other ->
             Alcotest.failf "bad phase %s"
               (Option.value ~default:"<none>" other))
-        evs)
+        evs;
+      check_bool "has lane metadata" true
+        (List.exists
+           (fun ev ->
+             Option.bind (Metrics.Json.member "ph" ev) Metrics.Json.to_str
+             = Some "M")
+           evs))
 
 (* ------------------------------------------------------------------ *)
 (* Kstat counters *)
@@ -2024,6 +2031,114 @@ let prop_random_programs =
              is only that the kernel never throws *)
           true))
 
+(* ------------------------------------------------------------------ *)
+(* blame ledger: cost attribution back to creation events *)
+
+(* Partition property: every cycle the cost meter records lands in
+   exactly one blame bucket (some event's sync, some event's deferred,
+   or unattributed), so the ledger's grand totals equal the meter's
+   per-category totals — exactly, since all cost parameters are
+   integer-valued floats and integer float sums are order-independent. *)
+let prop_blame_partition =
+  QCheck.Test.make ~count:60 ~name:"blame: buckets partition the cost meter"
+    (QCheck.make QCheck.Gen.(list_size (0 -- 20) gen_op))
+    (fun ops ->
+      let init =
+        prog "/sbin/init" (fun _ ->
+            List.iter run_op ops;
+            ignore (Ksim.Api.wait_all ()))
+      in
+      let true_prog = prog "/bin/true" (fun _ -> Ksim.Api.exit 0) in
+      match Ksim.Kernel.boot ~programs:[ init; true_prog ] "/sbin/init" with
+      | Error _ -> false
+      | Ok (t, _) ->
+        let by_name l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+        Vmem.Blame.totals (Ksim.Kernel.blame t)
+        = by_name (Vmem.Cost.by_category_counts (Ksim.Kernel.cost t)))
+
+(* Deferred charges go to the event that created the sharing being
+   broken — the most recent one. Two sequential forks: the parent's
+   post-wait writes break the sharing left by the second fork. *)
+let test_blame_deferred_to_latest_fork () =
+  let pages = 4 in
+  let t, outcome =
+    boot (fun _ ->
+        let addr = ok (Ksim.Api.mmap ~len:(pages * page) ~perm:Vmem.Perm.rw) in
+        ignore (ok (Ksim.Api.touch ~addr ~len:(pages * page)));
+        let f1 = ok (Ksim.Api.fork ~child:(fun () -> Ksim.Api.exit 0)) in
+        ignore (ok (Ksim.Api.wait_for f1));
+        let f2 = ok (Ksim.Api.fork ~child:(fun () -> Ksim.Api.exit 0)) in
+        ignore (ok (Ksim.Api.wait_for f2));
+        ignore (ok (Ksim.Api.touch ~addr ~len:(pages * page)));
+        Ksim.Api.exit 0)
+  in
+  all_exited outcome;
+  let blame = Ksim.Kernel.blame t in
+  match Vmem.Blame.events blame with
+  | [ e1; e2 ] ->
+    check_str "both forks" "fork/fork"
+      (e1.Vmem.Blame.style ^ "/" ^ e2.Vmem.Blame.style);
+    check_bool "sync cost on both" true
+      (Vmem.Blame.sync_cycles e1 > 0.0 && Vmem.Blame.sync_cycles e2 > 0.0);
+    (* both children exited untouched: the only COW activity is the
+       parent's, and it breaks the sharing of the *second* fork *)
+    check_int "first fork: no deferred reuse" 0
+      (Vmem.Blame.deferred_count e1 "fault:cow-reuse");
+    check_int "second fork: all reuse breaks" pages
+      (Vmem.Blame.deferred_count e2 "fault:cow-reuse");
+    check_bool "second fork deferred cycles > 0" true
+      (Vmem.Blame.deferred_cycles e2 > 0.0)
+  | evs -> Alcotest.failf "expected 2 blame events, got %d" (List.length evs)
+
+(* A child writing to inherited pages is charged back to the fork that
+   created the sharing, as real frame copies this time (both sides
+   live). *)
+let test_blame_child_cow_copies () =
+  let pages = 3 in
+  let t, outcome =
+    boot (fun _ ->
+        let addr = ok (Ksim.Api.mmap ~len:(pages * page) ~perm:Vmem.Perm.rw) in
+        ignore (ok (Ksim.Api.touch ~addr ~len:(pages * page)));
+        let f =
+          ok
+            (Ksim.Api.fork ~child:(fun () ->
+                 ignore (ok (Ksim.Api.touch ~addr ~len:(pages * page)));
+                 Ksim.Api.exit 0))
+        in
+        ignore (ok (Ksim.Api.wait_for f));
+        Ksim.Api.exit 0)
+  in
+  all_exited outcome;
+  match Vmem.Blame.events (Ksim.Kernel.blame t) with
+  | [ e ] ->
+    check_int "copies charged to the fork" pages
+      (Vmem.Blame.deferred_count e "fault:cow-copy")
+  | evs -> Alcotest.failf "expected 1 blame event, got %d" (List.length evs)
+
+(* Spawn creates no COW sharing: its event carries sync cost only, and
+   later writes by either side stay out of the deferred buckets. *)
+let test_blame_spawn_has_no_deferred () =
+  let t, outcome =
+    boot
+      ~programs:[ prog "/bin/true" (fun _ -> Ksim.Api.exit 0) ]
+      (fun _ ->
+        let addr = ok (Ksim.Api.mmap ~len:(2 * page) ~perm:Vmem.Perm.rw) in
+        ignore (ok (Ksim.Api.touch ~addr ~len:(2 * page)));
+        let p = ok (Ksim.Api.spawn "/bin/true") in
+        ignore (ok (Ksim.Api.wait_for p));
+        ignore (ok (Ksim.Api.touch ~addr ~len:(2 * page)));
+        Ksim.Api.exit 0)
+  in
+  all_exited outcome;
+  match Vmem.Blame.events (Ksim.Kernel.blame t) with
+  | [ e ] ->
+    check_str "spawn style" "spawn" e.Vmem.Blame.style;
+    check_bool "sync cost" true (Vmem.Blame.sync_cycles e > 0.0);
+    Alcotest.(check (float 0.0))
+      "no deferred" 0.0
+      (Vmem.Blame.deferred_cycles e)
+  | evs -> Alcotest.failf "expected 1 blame event, got %d" (List.length evs)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 let tc n f = Alcotest.test_case n `Quick f
 
@@ -2175,5 +2290,12 @@ let () =
           tc "failed spawn rolls back" test_zygote_failed_spawn_rolls_back;
           tc "cost flat" test_zygote_cost_flat;
         ] );
+      ( "blame",
+        [
+          tc "deferred to latest fork" test_blame_deferred_to_latest_fork;
+          tc "child COW copies" test_blame_child_cow_copies;
+          tc "spawn has no deferred" test_blame_spawn_has_no_deferred;
+        ] );
       qsuite "robustness" [ prop_random_programs ];
+      qsuite "blame-props" [ prop_blame_partition ];
     ]

@@ -3,6 +3,7 @@
 let check_float = Alcotest.(check (float 1e-9))
 let check_str = Alcotest.(check string)
 let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
 
 (* ------------------------------------------------------------------ *)
 (* Units *)
@@ -487,6 +488,79 @@ let test_series_log_axes () =
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
+(* ------------------------------------------------------------------ *)
+(* Window: sliding-window statistics (caller-supplied clock) *)
+
+let test_window_basics () =
+  let w = Metrics.Window.create ~width:10.0 ~slots:10 () in
+  check_int "empty" 0 (Metrics.Window.observations w ~now:0.0);
+  Metrics.Window.add w ~now:1.0 2.0;
+  Metrics.Window.add w ~now:2.5 4.0;
+  check_int "obs" 2 (Metrics.Window.observations w ~now:3.0);
+  check_float "sum" 6.0 (Metrics.Window.sum w ~now:3.0);
+  Alcotest.(check (option (float 1e-9)))
+    "mean" (Some 3.0) (Metrics.Window.mean w ~now:3.0);
+  Alcotest.(check (option (float 1e-9)))
+    "min" (Some 2.0) (Metrics.Window.minimum w ~now:3.0);
+  Alcotest.(check (option (float 1e-9)))
+    "max" (Some 4.0) (Metrics.Window.maximum w ~now:3.0);
+  check_float "rate = obs/width" 0.2 (Metrics.Window.rate w ~now:3.0)
+
+let test_window_expiry () =
+  (* width 10, 10 slots: a sample at t=1 is live through t in [1, 11)
+     and expired from t=11 on (slot-granular expiry) *)
+  let w = Metrics.Window.create ~width:10.0 ~slots:10 () in
+  Metrics.Window.add w ~now:1.0 5.0;
+  check_int "live just before expiry" 1
+    (Metrics.Window.observations w ~now:10.9);
+  check_int "expired" 0 (Metrics.Window.observations w ~now:11.0);
+  (* the ring reuses the slot for the new epoch without resurrecting
+     the stale data *)
+  Metrics.Window.add w ~now:21.0 7.0;
+  check_int "only the new sample" 1 (Metrics.Window.observations w ~now:21.0);
+  Alcotest.(check (option (float 1e-9)))
+    "new min" (Some 7.0)
+    (Metrics.Window.minimum w ~now:21.0)
+
+let test_window_quantile () =
+  let w = Metrics.Window.create ~width:60.0 () in
+  check_bool "empty quantile" true (Metrics.Window.quantile w ~now:0.0 0.5 = None);
+  for i = 1 to 100 do
+    Metrics.Window.add w ~now:1.0 (float_of_int i)
+  done;
+  match
+    ( Metrics.Window.quantile w ~now:1.0 0.5,
+      Metrics.Window.quantile w ~now:1.0 0.95 )
+  with
+  | Some p50, Some p95 ->
+    check_bool "p50 <= p95" true (p50 <= p95);
+    check_bool "p50 sane" true (p50 > 0.0)
+  | _ -> Alcotest.fail "quantiles missing"
+
+let test_window_invalid () =
+  Alcotest.check_raises "width" (Invalid_argument "Window.create: width <= 0")
+    (fun () -> ignore (Metrics.Window.create ~width:0.0 ()));
+  Alcotest.check_raises "slots" (Invalid_argument "Window.create: slots < 2")
+    (fun () -> ignore (Metrics.Window.create ~width:1.0 ~slots:1 ()));
+  let w = Metrics.Window.create ~width:1.0 () in
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Window.add: negative time") (fun () ->
+      Metrics.Window.add w ~now:(-1.0) 0.0);
+  Alcotest.check_raises "negative sample"
+    (Invalid_argument "Window.add: negative sample") (fun () ->
+      Metrics.Window.add w ~now:0.0 (-1.0))
+
+let test_window_json () =
+  let w = Metrics.Window.create ~width:10.0 () in
+  Metrics.Window.add w ~now:1.0 3.0;
+  let j = Metrics.Window.to_json w ~now:1.0 in
+  Alcotest.(check (option int))
+    "observations" (Some 1)
+    (Option.bind (Metrics.Json.member "observations" j) Metrics.Json.to_int);
+  Alcotest.(check (option (float 1e-9)))
+    "rate" (Some 0.1)
+    (Option.bind (Metrics.Json.member "rate" j) Metrics.Json.to_num)
+
 let () =
   Alcotest.run "metrics"
     [
@@ -548,6 +622,14 @@ let () =
           Alcotest.test_case "markdown" `Quick test_table_markdown;
           Alcotest.test_case "csv" `Quick test_table_csv;
           Alcotest.test_case "alignment" `Quick test_table_alignment;
+        ] );
+      ( "window",
+        [
+          Alcotest.test_case "basics" `Quick test_window_basics;
+          Alcotest.test_case "expiry" `Quick test_window_expiry;
+          Alcotest.test_case "quantile" `Quick test_window_quantile;
+          Alcotest.test_case "invalid args" `Quick test_window_invalid;
+          Alcotest.test_case "json" `Quick test_window_json;
         ] );
       ( "series",
         [

@@ -1,0 +1,380 @@
+(* Tests for the profile library (span trees, folded flamegraphs,
+   critical path, blame report) and the perf-regression gate. The
+   folded/critical-path goldens pin exact output for a deterministic
+   stat scenario: any drift in a simulated number or in export
+   formatting shows up as a string diff. *)
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let stat key =
+  match Forkroad.Stat_driver.run key with
+  | Some r -> r
+  | None -> Alcotest.failf "unknown stat scenario %s" key
+
+(* ------------------------------------------------------------------ *)
+(* Span tree *)
+
+let test_span_tree_structure () =
+  let { Forkroad.Stat_driver.machine; _ } = stat "cowtax" in
+  let tree = Profile.Span_tree.build machine in
+  check_int "one root" 1 (List.length tree.Profile.Span_tree.roots);
+  let root = List.hd tree.Profile.Span_tree.roots in
+  check_int "root is init" 1 root.Profile.Span_tree.pid;
+  check_str "root style" "root" root.Profile.Span_tree.style;
+  (match root.Profile.Span_tree.children with
+  | [ child ] ->
+    check_int "child pid" 2 child.Profile.Span_tree.pid;
+    check_str "child style" "fork" child.Profile.Span_tree.style;
+    check_bool "creation span measured" true
+      (child.Profile.Span_tree.creation_span_ns > 0.0);
+    check_bool "child cycles attributed" true
+      (child.Profile.Span_tree.cycles > 0.0)
+  | cs -> Alcotest.failf "expected 1 child, got %d" (List.length cs));
+  (* per-pid attribution is bounded by the machine total; the gap is
+     kernel-side work charged outside any process context (image
+     prefaulting at boot, process teardown) *)
+  let sum =
+    List.fold_left
+      (fun a n -> a +. n.Profile.Span_tree.cycles)
+      0.0 tree.Profile.Span_tree.nodes
+  in
+  check_bool "per-pid sum bounded by machine total" true
+    (sum > 0.0 && sum <= tree.Profile.Span_tree.total_cycles)
+
+(* An orphaned grandchild outlives everyone: the critical path must
+   descend through the intermediate fork even though that process is
+   long gone by the end of the run. Nobody waits — a waiting ancestor's
+   own last event would bound end-to-end time and the path would
+   (correctly) stop at the root. *)
+let test_critical_path_descends () =
+  let config =
+    {
+      (Forkroad.Sim_driver.config_for ~heap_mib:1) with
+      Ksim.Kernel.trace_capacity = Some 4096;
+    }
+  in
+  let machine, _ =
+    Forkroad.Sim_driver.boot_scenario ~config (fun () ->
+        (match
+           Ksim.Api.fork ~child:(fun () ->
+               (match
+                  Ksim.Api.fork ~child:(fun () ->
+                      for _ = 1 to 8 do
+                        Ksim.Api.yield ()
+                      done;
+                      Ksim.Api.exit 0)
+                with
+               | Ok _ | Error _ -> ());
+               (* exit without waiting: the grandchild is orphaned *)
+               Ksim.Api.exit 0)
+         with
+        | Ok _ | Error _ -> ());
+        Ksim.Api.exit 0)
+  in
+  let tree = Profile.Span_tree.build machine in
+  let hops = Profile.Critical_path.compute tree in
+  check_int "three hops" 3 (List.length hops);
+  check_str "hop styles" "root/fork/fork"
+    (String.concat "/"
+       (List.map (fun h -> h.Profile.Critical_path.style) hops));
+  let last = List.nth hops 2 in
+  check_int "ends at grandchild" 3 last.Profile.Critical_path.pid;
+  check_bool "render mentions hops" true
+    (contains (Profile.Critical_path.render tree) "critical path: 3 hop(s)")
+
+(* ------------------------------------------------------------------ *)
+(* Golden exports: fig1-sim (fork+exec) and cowtax (fork + child COW) *)
+
+let fig1_folded_golden =
+  "root:1;pt-copy 140280\n\
+   root:1;fault 14336000\n\
+   root:1;tlb 12800\n\
+   root:1;other 50160\n\
+   root:1;fork:2;exec 909000\n\
+   root:1;fork:2;other 63000\n"
+
+let cowtax_folded_golden =
+  "root:1;pt-copy 140280\n\
+   root:1;fault 14336000\n\
+   root:1;tlb 12800\n\
+   root:1;other 50160\n\
+   root:1;fork:2;fault 5120000\n\
+   root:1;fork:2;frame-copy 3276800\n\
+   root:1;fork:2;tlb 409600\n\
+   root:1;fork:2;other 41500\n"
+
+let test_folded_golden () =
+  let folded key =
+    let { Forkroad.Stat_driver.machine; _ } = stat key in
+    Profile.Folded.render (Profile.Span_tree.build machine)
+  in
+  check_str "fig1-sim folded" fig1_folded_golden (folded "fig1-sim");
+  check_str "cowtax folded" cowtax_folded_golden (folded "cowtax")
+
+let test_critical_path_golden () =
+  let { Forkroad.Stat_driver.machine; _ } = stat "fig1-sim" in
+  let tree = Profile.Span_tree.build machine in
+  check_str "fig1-sim critical path"
+    "critical path: 1 hop(s), ends at 5.48ms\n\
+     pid  style  created  creation span  last event    cycles\n\
+     --------------------------------------------------------\n\
+     1    root    0.00ns         0.00ns      5.48ms  14.5Mcyc\n"
+    (Profile.Critical_path.render tree)
+
+(* ------------------------------------------------------------------ *)
+(* Blame report *)
+
+let test_blame_report_table () =
+  let { Forkroad.Stat_driver.machine; _ } = stat "cowtax" in
+  let blame = Ksim.Kernel.blame machine in
+  let rendered = Metrics.Table.render (Profile.Blame_report.table blame) in
+  check_bool "has fork row" true (contains rendered "fork");
+  (* json shape: events array + unattributed bucket *)
+  let j = Profile.Blame_report.to_json blame in
+  check_bool "events non-empty" true
+    (match
+       Option.bind (Metrics.Json.member "events" j) Metrics.Json.to_list
+     with
+    | Some (_ :: _) -> true
+    | _ -> false);
+  check_bool "unattributed present" true
+    (Metrics.Json.member "unattributed" j <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export: real pid/tid lanes need metadata events *)
+
+let test_chrome_metadata () =
+  let { Forkroad.Stat_driver.trace; _ } = stat "fig1-sim" in
+  let j = Ksim.Trace.to_chrome trace in
+  let events =
+    match
+      Option.bind (Metrics.Json.member "traceEvents" j) Metrics.Json.to_list
+    with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents"
+  in
+  let meta name =
+    List.filter_map
+      (fun e ->
+        if
+          Option.bind (Metrics.Json.member "ph" e) Metrics.Json.to_str
+            = Some "M"
+          && Option.bind (Metrics.Json.member "name" e) Metrics.Json.to_str
+             = Some name
+        then
+          Option.bind (Metrics.Json.member "args" e) (Metrics.Json.member "name")
+          |> Fun.flip Option.bind Metrics.Json.to_str
+        else None)
+      events
+  in
+  let process_names = meta "process_name" in
+  check_int "one lane per pid" 2 (List.length process_names);
+  check_bool "init lane labelled" true (List.mem "pid 1" process_names);
+  check_bool "child lane carries style" true
+    (List.mem "pid 2 (fork)" process_names);
+  check_bool "thread lanes labelled" true (meta "thread_name" <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate *)
+
+module J = Metrics.Json
+
+let bench ?(wall = 10.0) ?(blocks = []) () =
+  J.obj
+    [
+      ("exp", J.str "E2");
+      ("slug", J.str "cowtax");
+      ("title", J.str "t");
+      ("kind", J.str "sim");
+      ("claim", J.str "c");
+      ( "params",
+        J.obj
+          [
+            ("quick", J.bool true);
+            ("jobs", J.int 1);
+            ("harness_wall_ms", J.num wall);
+          ] );
+      ("report", J.obj [ ("id", J.str "E2"); ("blocks", J.arr blocks) ]);
+    ]
+
+let figure_block y =
+  J.obj
+    [
+      ("kind", J.str "figure");
+      ( "figure",
+        J.obj
+          [
+            ("title", J.str "f");
+            ( "series",
+              J.arr
+                [
+                  J.obj
+                    [
+                      ("label", J.str "s");
+                      ("points", J.arr [ J.arr [ J.num 1.0; J.num y ] ]);
+                    ];
+                ] );
+          ] );
+    ]
+
+let table_block rows =
+  J.obj
+    [
+      ("kind", J.str "table");
+      ("caption", J.str "t");
+      ( "table",
+        J.obj
+          [
+            ("headers", J.arr [ J.str "a"; J.str "b" ]);
+            ( "rows",
+              J.arr (List.map (fun (a, b) -> J.arr [ J.str a; J.str b ]) rows)
+            );
+          ] );
+    ]
+
+let data_block fields = J.obj [ ("kind", J.str "data"); ("name", J.str "d"); ("data", J.obj fields) ]
+
+let compare b c =
+  Forkroad.Regress.compare_reports ~file:"BENCH_test.json" ~baseline:b
+    ~current:c ()
+
+let test_regress_identical () =
+  let doc =
+    bench ~blocks:[ figure_block 5.0; table_block [ ("1", "2") ] ] ()
+  in
+  check_int "no findings" 0 (List.length (compare doc doc))
+
+let test_regress_sim_number () =
+  let b = bench ~blocks:[ figure_block 5.0 ] () in
+  let c = bench ~blocks:[ figure_block 5.0000001 ] () in
+  match compare b c with
+  | [ f ] ->
+    check_str "path"
+      "report.blocks[0].figure.series[0].points[0][1]"
+      f.Forkroad.Regress.path
+  | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs)
+
+let test_regress_wall_tolerance () =
+  let b = bench ~wall:100.0 () in
+  (* +400ms: inside the 500ms slack *)
+  check_int "slack absorbs noise" 0
+    (List.length (compare b (bench ~wall:480.0 ())));
+  (* massive slowdown: beyond both factor and slack *)
+  check_int "slowdown flagged" 1
+    (List.length (compare b (bench ~wall:5000.0 ())));
+  (* speedups never fail the gate *)
+  check_int "speedup fine" 0 (List.length (compare b (bench ~wall:1.0 ())))
+
+let test_regress_table_cells_free () =
+  let b = bench ~blocks:[ table_block [ ("10", "20") ] ] () in
+  let c = bench ~blocks:[ table_block [ ("11", "99") ] ] () in
+  check_int "cells may drift (real-OS numbers)" 0 (List.length (compare b c));
+  let c2 = bench ~blocks:[ table_block [ ("10", "20"); ("x", "y") ] ] () in
+  check_int "row count is structure" 1 (List.length (compare b c2))
+
+let test_regress_data_block () =
+  let b = bench ~blocks:[ data_block [ ("count", J.int 4) ] ] () in
+  let c = bench ~blocks:[ data_block [ ("count", J.int 5) ] ] () in
+  check_int "data numbers exact" 1 (List.length (compare b c));
+  (* wall-like keys inside data blocks are tolerant *)
+  let bw = bench ~blocks:[ data_block [ ("setup_wall_ms", J.num 10.0) ] ] () in
+  let cw = bench ~blocks:[ data_block [ ("setup_wall_ms", J.num 200.0) ] ] () in
+  check_int "wall-like keys tolerant" 0 (List.length (compare bw cw));
+  (* NaN serialises to null: flagged, never silently equal *)
+  let cn = bench ~blocks:[ data_block [ ("count", J.Null) ] ] () in
+  check_int "null-for-number flagged" 1 (List.length (compare b cn))
+
+let test_regress_quick_mismatch () =
+  let b = bench () in
+  let c =
+    match bench () with
+    | J.Obj fields ->
+      J.Obj
+        (List.map
+           (function
+             | "params", J.Obj ps ->
+               ( "params",
+                 J.Obj
+                   (List.map
+                      (function
+                        | "quick", _ -> ("quick", J.bool false)
+                        | kv -> kv)
+                      ps) )
+             | kv -> kv)
+           fields)
+    | _ -> assert false
+  in
+  check_int "quick mode must match" 1 (List.length (compare b c))
+
+let test_regress_dirs () =
+  let tmp =
+    Filename.temp_file "regress" "" |> fun f ->
+    Sys.remove f;
+    f
+  in
+  let base = tmp ^ ".base" and cur = tmp ^ ".cur" in
+  Sys.mkdir base 0o755;
+  Sys.mkdir cur 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      let rm d =
+        Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+        Sys.rmdir d
+      in
+      rm base;
+      rm cur)
+    (fun () ->
+      let write dir name j =
+        let oc = open_out (Filename.concat dir name) in
+        output_string oc (J.to_string j);
+        close_out oc
+      in
+      let doc = bench ~blocks:[ figure_block 5.0 ] () in
+      write base "BENCH_cowtax.json" doc;
+      write cur "BENCH_cowtax.json" doc;
+      check_int "clean dirs" 0
+        (List.length
+           (Forkroad.Regress.compare_dirs ~baseline:base ~current:cur ()));
+      (* a baseline report with no current counterpart is a regression *)
+      write base "BENCH_gone.json" doc;
+      match Forkroad.Regress.compare_dirs ~baseline:base ~current:cur () with
+      | [ f ] ->
+        check_str "missing file" "BENCH_gone.json" f.Forkroad.Regress.file
+      | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs))
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "span-tree",
+        [
+          Alcotest.test_case "structure" `Quick test_span_tree_structure;
+          Alcotest.test_case "critical path descends" `Quick
+            test_critical_path_descends;
+        ] );
+      ( "exports",
+        [
+          Alcotest.test_case "folded golden" `Quick test_folded_golden;
+          Alcotest.test_case "critical-path golden" `Quick
+            test_critical_path_golden;
+          Alcotest.test_case "blame report" `Quick test_blame_report_table;
+          Alcotest.test_case "chrome metadata" `Quick test_chrome_metadata;
+        ] );
+      ( "regress",
+        [
+          Alcotest.test_case "identical" `Quick test_regress_identical;
+          Alcotest.test_case "sim number" `Quick test_regress_sim_number;
+          Alcotest.test_case "wall tolerance" `Quick test_regress_wall_tolerance;
+          Alcotest.test_case "table cells free" `Quick
+            test_regress_table_cells_free;
+          Alcotest.test_case "data block" `Quick test_regress_data_block;
+          Alcotest.test_case "quick mismatch" `Quick test_regress_quick_mismatch;
+          Alcotest.test_case "dirs" `Quick test_regress_dirs;
+        ] );
+    ]

@@ -336,9 +336,43 @@ let test_pool_crash_respawn () =
   (* replacement is a full citizen afterwards *)
   check_str "slot healthy" "again" (pool_ok (Spawnlib.Pool.submit p "again"));
   check_str "other slot fine" "peer" (pool_ok (Spawnlib.Pool.submit p "peer"));
+  (* slot stats survive the respawn: the slot is the serving unit *)
+  (match Spawnlib.Pool.worker_stats p with
+  | [ s0; s1 ] ->
+    check_int "slot 0 crash recorded" 1 s0.Spawnlib.Pool.slot_crashes;
+    check_int "slot 0 kept serving" 2 s0.Spawnlib.Pool.slot_served;
+    check_int "slot 1 untouched" 0 s1.Spawnlib.Pool.slot_crashes
+  | ws -> Alcotest.failf "expected 2 slot stats, got %d" (List.length ws));
   List.iter
     (fun s -> Alcotest.check status "clean exit" (Spawnlib.Process.Exited 0) s)
     (Spawnlib.Pool.shutdown p)
+
+let test_pool_worker_stats () =
+  let p = cat_pool 2 in
+  check_int "depth idle" 0 (Spawnlib.Pool.depth p);
+  for i = 1 to 4 do
+    ignore (pool_ok (Spawnlib.Pool.submit p (string_of_int i)))
+  done;
+  let now = Unix.gettimeofday () in
+  (match Spawnlib.Pool.worker_stats p with
+  | [ s0; s1 ] ->
+    check_int "slot ids" 0 s0.Spawnlib.Pool.slot;
+    check_int "slot ids" 1 s1.Spawnlib.Pool.slot;
+    (* 4 submissions round-robin over 2 slots: 2 each *)
+    List.iter
+      (fun s ->
+        check_int "served per slot" 2 s.Spawnlib.Pool.slot_served;
+        check_int "no crashes" 0 s.Spawnlib.Pool.slot_crashes;
+        check_int "latency samples" 2
+          (Metrics.Window.observations s.Spawnlib.Pool.latency ~now);
+        check_bool "latency p50 exists" true
+          (Metrics.Window.quantile s.Spawnlib.Pool.latency ~now 0.5 <> None))
+      [ s0; s1 ]
+  | ws -> Alcotest.failf "expected 2 slot stats, got %d" (List.length ws));
+  (* synchronous submits: exactly one request in flight at a time *)
+  check_int "max depth" 1 (Spawnlib.Pool.max_depth p);
+  check_int "depth idle again" 0 (Spawnlib.Pool.depth p);
+  ignore (Spawnlib.Pool.shutdown p)
 
 let test_pool_bad_size () =
   Alcotest.check_raises "size 0" (Invalid_argument "Pool.create: size < 1")
@@ -397,6 +431,7 @@ let () =
           tc "echo round-robin" test_pool_echo;
           tc "warmup hook" test_pool_warmup;
           tc "crash respawn" test_pool_crash_respawn;
+          tc "worker stats" test_pool_worker_stats;
           tc "bad size" test_pool_bad_size;
           tc "create failure cleanup" test_pool_spawn_failure_cleans_up;
         ] );
