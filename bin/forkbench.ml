@@ -129,6 +129,15 @@ let stat_cmd =
       & info [] ~docv:"SCENARIO"
           ~doc:(Printf.sprintf "Scenario to profile (one of: %s)." keys))
   in
+  let cpus_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "cpus" ] ~docv:"N"
+          ~doc:
+            "Simulated CPU count. With $(docv) > 1 the scenario boots the \
+             SMP kernel and the report adds a per-CPU counter table and the \
+             shootdown-fanout histogram.")
+  in
   let trace_arg =
     Arg.(
       value
@@ -137,6 +146,16 @@ let stat_cmd =
           ~doc:
             "Write the run's span trace in Chrome trace_event format to \
              $(docv) (load in Perfetto or about://tracing).")
+  in
+  let lanes_arg =
+    Arg.(
+      value
+      & opt (enum [ ("pid", `Pid); ("cpu", `Cpu) ]) `Pid
+      & info [ "lanes" ] ~docv:"LANES"
+          ~doc:
+            "Row grouping for the $(b,--trace) export: $(b,pid) (one lane \
+             per process, the default) or $(b,cpu) (one lane per simulated \
+             CPU — shows placement, steals and migrations).")
   in
   let jsonl_arg =
     Arg.(
@@ -163,7 +182,7 @@ let stat_cmd =
             "Also print the critical-path report: the chain of processes \
              bounding end-to-end simulated time.")
   in
-  let run scenario json trace jsonl flame critical_path =
+  let run scenario cpus json trace lanes jsonl flame critical_path =
     match scenario with
     | None ->
       Printf.printf "available scenarios:\n";
@@ -172,7 +191,7 @@ let stat_cmd =
         Forkroad.Stat_driver.scenarios;
       `Ok ()
     | Some key -> (
-      match Forkroad.Stat_driver.run key with
+      match Forkroad.Stat_driver.run ~cpus key with
       | None ->
         `Error
           ( false,
@@ -201,7 +220,7 @@ let stat_cmd =
         | None -> ()
         | Some path ->
           write_file path
-            (Metrics.Json.to_string (Ksim.Trace.to_chrome tr) ^ "\n");
+            (Metrics.Json.to_string (Ksim.Trace.to_chrome ~lanes tr) ^ "\n");
           Printf.eprintf "wrote %s\n%!" path);
         (match jsonl with
         | None -> ()
@@ -213,8 +232,8 @@ let stat_cmd =
   Cmd.v (Cmd.info "stat" ~doc)
     Term.(
       ret
-        (const run $ scenario_arg $ json_arg $ trace_arg $ jsonl_arg
-       $ flame_arg $ critical_path_flag))
+        (const run $ scenario_arg $ cpus_arg $ json_arg $ trace_arg
+       $ lanes_arg $ jsonl_arg $ flame_arg $ critical_path_flag))
 
 let () =
   let doc = "reproduce the evaluation of 'A fork() in the road' (HotOS'19)" in

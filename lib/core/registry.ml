@@ -19,6 +19,7 @@ let all =
     Exp_thp.experiment;
     Exp_pressure.experiment;
     Exp_churn.experiment;
+    Exp_smp.experiment;
   ]
 
 let ids = List.map (fun e -> e.Report.exp_id) all
@@ -43,6 +44,7 @@ let slug e =
   | "E12" -> "thp"
   | "E13" -> "pressure"
   | "E14" -> "churn"
+  | "E16" -> "smp"
   | id ->
     String.map
       (fun c -> if c = '-' then '_' else Char.lowercase_ascii c)

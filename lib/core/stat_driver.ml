@@ -51,12 +51,36 @@ let stdio_body () =
   wait pid;
   ok_or_die "flush" (Ksim.Stdio.flush f)
 
+(* Fork-heavy SMP scenario: spinner threads hold the other CPUs so
+   every fork's shootdown has remote TLBs to interrupt (run it with
+   --cpus N; on one CPU it degenerates to plain fork churn). *)
+let smp_body () =
+  Sim_driver.with_footprint ~heap_mib ~vmas:4 ();
+  let stop = ref false in
+  for _ = 2 to 4 do
+    ignore
+      (ok_or_die "spinner"
+         (Ksim.Api.thread_create (fun () ->
+              while not !stop do
+                Ksim.Api.yield ()
+              done)))
+  done;
+  for _ = 1 to 2 do
+    Ksim.Api.yield ()
+  done;
+  for _ = 1 to 4 do
+    wait
+      (ok_or_die "fork" (Ksim.Api.fork ~child:(fun () -> Ksim.Api.exit 0)))
+  done;
+  stop := true
+
 let scenarios =
   [
     ("fig1-sim", "fork+exec /bin/true from a 16 MiB parent");
     ("cowtax", "fork, then the child write-touches half the parent's heap");
     ("tlb", "fork-only from a 16 MiB parent spread over 4 VMAs");
     ("stdio", "fork with 1 KiB of unflushed stdio, both sides flush");
+    ("smp", "fork churn with spinner threads holding the other CPUs");
   ]
 
 let body_of = function
@@ -64,6 +88,7 @@ let body_of = function
   | "cowtax" -> Some cowtax_body
   | "tlb" -> Some tlb_body
   | "stdio" -> Some stdio_body
+  | "smp" -> Some smp_body
   | _ -> None
 
 let pct part total = if total > 0.0 then 100.0 *. part /. total else 0.0
@@ -124,6 +149,36 @@ let kinds_table counters =
     (Ksim.Kstat.kinds counters);
   t
 
+(* Per-CPU counter breakdown, present only when the boot was SMP. *)
+let smp_table (s : Ksim.Kstat.smp) =
+  let t =
+    Metrics.Table.create
+      ~align:[ Metrics.Table.Left ]
+      [ "cpu"; "ipis sent"; "ipis received"; "steals"; "migrations" ]
+  in
+  for cpu = 0 to s.Ksim.Kstat.smp_cpus - 1 do
+    Metrics.Table.add_row t
+      [
+        string_of_int cpu;
+        string_of_int s.Ksim.Kstat.sent.(cpu);
+        string_of_int s.Ksim.Kstat.received.(cpu);
+        string_of_int s.Ksim.Kstat.steals.(cpu);
+        string_of_int s.Ksim.Kstat.migrations.(cpu);
+      ]
+  done;
+  t
+
+let fanout_note (s : Ksim.Kstat.smp) =
+  let rows =
+    Hashtbl.fold (fun k n acc -> (k, !n) :: acc) s.Ksim.Kstat.fanout []
+    |> List.sort compare
+  in
+  if rows = [] then "shootdown fanout: no full-AS shootdowns reached a remote TLB"
+  else
+    "shootdown fanout (remote CPUs interrupted per full-AS shootdown): "
+    ^ String.concat ", "
+        (List.map (fun (k, n) -> Printf.sprintf "%d CPUs x%d" k n) rows)
+
 (* One sample per completed syscall span, in simulated nanoseconds. *)
 let latency_histogram trace =
   let h = Metrics.Histogram.create ~base:1.0 ~buckets:48 () in
@@ -133,14 +188,19 @@ let latency_histogram trace =
     (Ksim.Trace.events trace);
   h
 
-let run key =
+let run ?(cpus = 1) key =
   match body_of key with
   | None -> None
   | Some body ->
+    let base = Sim_driver.config_for ~heap_mib in
+    (* cpus = 1 keeps the legacy machine untouched, including its
+       [config_for] cpu count (the broadcast-TLB cost formula reads it) *)
     let config =
       {
-        (Sim_driver.config_for ~heap_mib) with
+        base with
         Ksim.Kernel.trace_capacity = Some 65536;
+        smp = cpus > 1;
+        cpus = (if cpus > 1 then cpus else base.Ksim.Kernel.cpus);
       }
     in
     let init =
@@ -167,12 +227,25 @@ let run key =
           (Format.asprintf "%a" Ksim.Kernel.pp_outcome outcome)
       in
       let hist = latency_histogram trace in
+      let smp_blocks =
+        match Ksim.Kstat.smp (Ksim.Kernel.kstat t) with
+        | None -> []
+        | Some s ->
+          [
+            Report.Table
+              {
+                caption = "per-CPU counters (smp)";
+                table = smp_table s;
+              };
+            Report.Note (fanout_note s);
+          ]
+      in
       let report =
         Report.make ~id:("STAT:" ^ key)
           ~title:
             (Printf.sprintf "kstat report: %s"
                (Option.value ~default:key (List.assoc_opt key scenarios)))
-          [
+          ([
             Report.Note headline;
             Report.Table
               { caption = "cycles by subsystem"; table = groups_table cost };
@@ -188,6 +261,9 @@ let run key =
               };
             Report.Table
               { caption = "syscalls by kind"; table = kinds_table counters };
+          ]
+          @ smp_blocks
+          @ [
             Report.Note
               (Printf.sprintf
                  "syscall latency (simulated ns, %d completed spans):\n%s"
@@ -208,6 +284,6 @@ let run key =
                 name = "blame";
                 json = Profile.Blame_report.to_json (Ksim.Kernel.blame t);
               };
-          ]
+          ])
       in
       Some { report; trace; machine = t })

@@ -16,7 +16,12 @@ type result = {
 
 val scenarios : (string * string) list
 (** [(key, description)] pairs of the available scenarios:
-    ["fig1-sim"], ["cowtax"], ["tlb"], ["stdio"]. *)
+    ["fig1-sim"], ["cowtax"], ["tlb"], ["stdio"], ["smp"]. *)
 
-val run : string -> result option
-(** Run the named scenario; [None] if the key is unknown. *)
+val run : ?cpus:int -> string -> result option
+(** Run the named scenario; [None] if the key is unknown. [cpus]
+    (default 1) sizes the simulated machine: with [cpus > 1] the
+    scenario boots the SMP kernel and the report gains a per-CPU
+    counter table plus the shootdown-fanout histogram. Any scenario
+    can run SMP; the ["smp"] scenario only produces interesting
+    numbers there (its spinner threads need other CPUs to hold). *)

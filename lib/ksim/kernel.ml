@@ -10,6 +10,8 @@ type config = {
   pipe_capacity : int;
   max_fds : int;
   fault : Fault.spec option;
+  smp : bool;
+  par_jobs : int;
 }
 
 let default_config =
@@ -25,6 +27,8 @@ let default_config =
     pipe_capacity = 65536;
     max_fds = 256;
     fault = None;
+    smp = false;
+    par_jobs = 1;
   }
 
 type parked =
@@ -42,6 +46,18 @@ type parked =
 
 type stall = { pid : Types.pid; tid : Types.tid; why : string }
 type outcome = All_exited | Stalled of stall list | Tick_limit
+
+(* SMP machines replace the single ready queue with per-CPU run queues.
+   Threads have an affinity home ([Proc.thread.cpu]); idle CPUs steal
+   from the longest remote queue. *)
+type smp_state = {
+  ncpu : int;
+  runqs : Proc.thread Queue.t array;  (* indexed by home CPU *)
+  last_as : Vmem.Addr_space.t option array;
+      (* the space last run on each CPU, for context-switch flush
+         accounting. Compared with [==] only — it may be destroyed. *)
+  mutable rr : int;  (* round-robin placement cursor for new threads *)
+}
 
 let pp_outcome ppf = function
   | All_exited -> Format.pp_print_string ppf "all-exited"
@@ -75,11 +91,30 @@ type t = {
   fault : Fault.t option;
   templates : (int, Template.t) Hashtbl.t;
   mutable next_tpl : int;
+  smp_st : smp_state option;
+  (* Record-and-replay hand-off of the parallel dispatch phase: the
+     per-round batch executor precomputes a whitelisted syscall's core
+     (address-space clone / touch) against scratch meters and parks the
+     result here, together with a thunk replaying the recorded charges
+     into the real meters; [attempt] consumes it in place of running the
+     core itself. Always [None] outside a dispatch_batch round. *)
+  mutable fork_override :
+    ((Vmem.Addr_space.t, Errno.t) result * (unit -> unit)) option;
+  mutable touch_override :
+    ((int, Vmem.Addr_space.fault_error) result * (unit -> unit)) option;
 }
 
 let create ?(config = default_config) () =
+  if config.smp && (config.cpus < 1 || config.cpus > Vmem.Cpuset.max_cpus)
+  then
+    invalid_arg
+      (Printf.sprintf "Kernel.create: smp cpus must be 1..%d (got %d)"
+         Vmem.Cpuset.max_cpus config.cpus);
+  if config.par_jobs < 1 then
+    invalid_arg "Kernel.create: par_jobs must be >= 1";
   let cost = Vmem.Cost.create ?params:config.cost_params () in
   let kstat = Kstat.create () in
+  if config.smp then Kstat.enable_smp kstat ~cpus:config.cpus;
   let blame = Vmem.Blame.create () in
   (* every cycle charge anywhere in the machine also lands in kstat,
      attributed to the pid set at dispatch time, and in the blame
@@ -118,11 +153,19 @@ let create ?(config = default_config) () =
                 end));
       Some fi
   in
+  let tlb = Vmem.Tlb.create ~cpus:config.cpus ~tracked:config.smp cost in
+  if config.smp then
+    (* per-CPU IPI counters ride on the shootdown charges; the cycles
+       themselves arrive through the cost observer above *)
+    Vmem.Tlb.set_ipi_hook tlb
+      (Some
+         (fun ~src ~dsts ~full ~n ->
+           Kstat.on_ipi kstat ~src ~dsts:(Vmem.Cpuset.to_list dsts) ~full ~n));
   {
     config;
     frames;
     cost;
-    tlb = Vmem.Tlb.create ~cpus:config.cpus cost;
+    tlb;
     vfs = Vfs.create ();
     programs = Hashtbl.create 16;
     procs = Hashtbl.create 64;
@@ -140,6 +183,18 @@ let create ?(config = default_config) () =
     fault;
     templates = Hashtbl.create 4;
     next_tpl = 1;
+    smp_st =
+      (if config.smp then
+         Some
+           {
+             ncpu = config.cpus;
+             runqs = Array.init config.cpus (fun _ -> Queue.create ());
+             last_as = Array.make config.cpus None;
+             rr = 0;
+           }
+       else None);
+    fork_override = None;
+    touch_override = None;
   }
 
 let config t = t.config
@@ -209,7 +264,15 @@ let proc_of t (th : Proc.thread) =
   | Some p -> p
   | None -> invalid_arg "Kernel: thread without process"
 
-let enqueue t th = Queue.add th t.ready
+let enqueue t th =
+  match t.smp_st with
+  | None -> Queue.add th t.ready
+  | Some s -> Queue.add th s.runqs.(th.Proc.cpu)
+
+(* Traced events carry their CPU only on SMP machines, so single-CPU
+   trace JSON (and the chrome goldens) are byte-identical to before. *)
+let cpu_of t (th : Proc.thread) =
+  match t.smp_st with Some _ -> Some th.Proc.cpu | None -> None
 
 let ready_thread t th resume =
   th.Proc.entry <- Some (Proc.Resume resume);
@@ -416,6 +479,13 @@ let do_open t (proc : Proc.t) path flags =
 
 let new_thread t proc ~is_main body =
   let th = Proc.make_thread ~tid:(fresh_tid t) ~owner:proc.Proc.pid ~is_main body in
+  (* round-robin placement: deterministic, and it spreads a fork storm
+     across every CPU, which is what makes the shootdown study honest *)
+  (match t.smp_st with
+  | Some s ->
+    th.Proc.cpu <- s.rr mod s.ncpu;
+    s.rr <- s.rr + 1
+  | None -> ());
   proc.Proc.threads <- proc.Proc.threads @ [ th ];
   enqueue t th;
   th
@@ -446,12 +516,34 @@ let make_forked_child t (parent : Proc.t) ~aspace ~body =
   ignore (new_thread t child ~is_main:true body);
   child
 
+let kernel_meters t =
+  { Vmem.Addr_space.m_cost = t.cost; m_tlb = t.tlb; m_blame = Some t.blame }
+
 let do_fork t (parent : Proc.t) ~eager body =
-  let clone =
-    if eager then Vmem.Addr_space.clone_eager else Vmem.Addr_space.clone_cow
+  let cloned =
+    match t.fork_override with
+    | Some (r, replay) ->
+      (* the parallel phase already ran the clone against scratch
+         meters; replay its recorded charges here, inside the creation
+         event's Sync context, exactly where a sequential clone would
+         have charged them *)
+      t.fork_override <- None;
+      replay ();
+      (match r with
+      | Ok aspace -> Vmem.Addr_space.set_meters aspace (kernel_meters t)
+      | Error _ -> ());
+      r
+    | None -> (
+      let clone =
+        if eager then Vmem.Addr_space.clone_eager
+        else Vmem.Addr_space.clone_cow
+      in
+      match clone parent.Proc.aspace with
+      | Error (`Commit_limit | `Out_of_memory) -> Error Errno.ENOMEM
+      | Ok aspace -> Ok aspace)
   in
-  match clone parent.Proc.aspace with
-  | Error (`Commit_limit | `Out_of_memory) -> Error Errno.ENOMEM
+  match cloned with
+  | Error e -> Error e
   | Ok aspace ->
     let child = make_forked_child t parent ~aspace ~body in
     (* the child's clone keeps mapping any template pages the parent
@@ -709,7 +801,7 @@ let record_child t (proc : Proc.t) (th : Proc.thread) what ~style = function
       Trace.record tr ~tick:t.clock ~pid:proc.Proc.pid ~tid:th.Proc.tid what
         ~args:[ ("child", string_of_int child) ]
         ~detail:(Trace.D_child { child; style })
-        ~ts_ns:(now_ns t))
+        ~ts_ns:(now_ns t) ?cpu:(cpu_of t th))
 
 (* Blame-ledger plumbing. Every creation-shaped request allocates a
    ledger event and runs its handler under that event's Sync context:
@@ -1002,9 +1094,17 @@ let attempt : type a. t -> Proc.t -> Proc.thread -> a Sysreq.t -> a action =
     in
     go 0
   | Sysreq.Touch { addr; len } -> (
-    match Vmem.Addr_space.touch_range proc.Proc.aspace ~addr ~len with
-    | Ok pages -> Reply (Ok pages)
-    | Error e -> Reply (Error (mem_errno e)))
+    match t.touch_override with
+    | Some (r, replay) ->
+      t.touch_override <- None;
+      replay ();
+      (match r with
+      | Ok pages -> Reply (Ok pages)
+      | Error e -> Reply (Error (mem_errno e)))
+    | None -> (
+      match Vmem.Addr_space.touch_range proc.Proc.aspace ~addr ~len with
+      | Ok pages -> Reply (Ok pages)
+      | Error e -> Reply (Error (mem_errno e))))
   | Sysreq.Thread_create body ->
     let thread = new_thread t proc ~is_main:false body in
     Reply (Ok thread.Proc.tid)
@@ -1460,10 +1560,11 @@ let record_begin t proc (th : Proc.thread) req ~args ~detail =
   | Some tr ->
     Trace.record tr ~tick:t.clock ~pid:proc.Proc.pid ~tid:th.Proc.tid
       (Sysreq.name req) ~phase:Trace.Begin ~args ~detail ~ts_ns:(now_ns t)
+      ?cpu:(cpu_of t th)
 
 (* End events repeat the Begin's args/detail so consumers that filter by
    name (not phase) still see every annotation. *)
-let record_end t ~pid ~tid req ~entry_cycles ~args ~detail outcome =
+let record_end t ~pid ~tid ~cpu req ~entry_cycles ~args ~detail outcome =
   match t.trace with
   | None -> ()
   | Some tr ->
@@ -1472,7 +1573,7 @@ let record_end t ~pid ~tid req ~entry_cycles ~args ~detail outcome =
       ~phase:Trace.End ~args ~detail
       ~ts_ns:(Vmem.Cost.cycles_to_ns now)
       ~span_ns:(Vmem.Cost.cycles_to_ns (now -. entry_cycles))
-      ?outcome
+      ?outcome ?cpu
 
 let dispatch t (th : Proc.thread) (Proc.Pending (req, k)) =
   let proc = proc_of t th in
@@ -1488,7 +1589,8 @@ let dispatch t (th : Proc.thread) (Proc.Pending (req, k)) =
   end;
   match if meta then None else inject_syscall t req with
   | Some (v, e) ->
-    record_end t ~pid:proc.Proc.pid ~tid:th.Proc.tid req ~entry_cycles
+    record_end t ~pid:proc.Proc.pid ~tid:th.Proc.tid ~cpu:(cpu_of t th) req
+      ~entry_cycles
       ~args:(("injected", Errno.to_string e) :: targs)
       ~detail:tdetail (outcome_of req v);
     ready_thread t th (fun () -> Effect.Deep.continue k v)
@@ -1497,7 +1599,8 @@ let dispatch t (th : Proc.thread) (Proc.Pending (req, k)) =
     match attempt t proc th req with
     | Reply v ->
       if not meta then
-        record_end t ~pid:proc.Proc.pid ~tid:th.Proc.tid req ~entry_cycles
+        record_end t ~pid:proc.Proc.pid ~tid:th.Proc.tid ~cpu:(cpu_of t th)
+          req ~entry_cycles
           ~args:(injection_marks t inj0 @ targs)
           ~detail:tdetail (outcome_of req v);
       if th.Proc.tstate = Proc.Exited then ()
@@ -1507,8 +1610,9 @@ let dispatch t (th : Proc.thread) (Proc.Pending (req, k)) =
     | Die ->
       (* Exec restarting the thread, or Exit: the request succeeded *)
       if not meta then
-        record_end t ~pid:proc.Proc.pid ~tid:th.Proc.tid req ~entry_cycles
-          ~args:targs ~detail:tdetail (Some Trace.Ok_result))
+        record_end t ~pid:proc.Proc.pid ~tid:th.Proc.tid ~cpu:(cpu_of t th)
+          req ~entry_cycles ~args:targs ~detail:tdetail
+          (Some Trace.Ok_result))
 
 let thread_returned t (th : Proc.thread) =
   let proc = proc_of t th in
@@ -1546,8 +1650,9 @@ let retry_parked t =
           match check () with
           | Some v ->
             if th.Proc.tstate <> Proc.Exited then begin
-              record_end t ~pid:th.Proc.owner ~tid:th.Proc.tid req
-                ~entry_cycles ~args:targs ~detail:tdetail (outcome_of req v);
+              record_end t ~pid:th.Proc.owner ~tid:th.Proc.tid
+                ~cpu:(cpu_of t th) req ~entry_cycles ~args:targs
+                ~detail:tdetail (outcome_of req v);
               ready_thread t th (fun () -> Effect.Deep.continue k v)
             end;
             false
@@ -1600,7 +1705,334 @@ let describe_stalls t =
       { pid = th.Proc.owner; tid = th.Proc.tid; why })
     t.parked
 
-let run ?(max_ticks = 10_000_000) t =
+(* ------------------------------------------------------------------ *)
+(* SMP scheduling *)
+
+let pop_runq t q =
+  (match t.config.sched with
+  | `Fifo -> ()
+  | `Random ->
+    (* same rotate-a-random-prefix trick as the single-CPU queue *)
+    let n = Queue.length q in
+    if n > 1 then
+      for _ = 1 to Prng.Splitmix.int t.rng ~bound:n do
+        Queue.add (Queue.pop q) q
+      done);
+  let rec pop () =
+    match Queue.take_opt q with
+    | None -> None
+    | Some th when th.Proc.tstate = Proc.Exited -> pop ()
+    | Some th -> Some th
+  in
+  pop ()
+
+(* Steal from the longest remote queue still holding at least two
+   entries (always leave the victim its own next slice); ties break to
+   the lowest CPU index, keeping the policy deterministic. *)
+let steal t s ~thief =
+  let best = ref None in
+  for cpu = 0 to s.ncpu - 1 do
+    if cpu <> thief then begin
+      let n = Queue.length s.runqs.(cpu) in
+      if n >= 2 then
+        match !best with
+        | Some (_, bn) when bn >= n -> ()
+        | Some _ | None -> best := Some (cpu, n)
+    end
+  done;
+  match !best with
+  | None -> None
+  | Some (victim, _) -> (
+    match pop_runq t s.runqs.(victim) with
+    | None -> None
+    | Some th ->
+      th.Proc.cpu <- thief;
+      Kstat.set_current t.kstat None;
+      Kstat.on_steal t.kstat ~cpu:thief;
+      Kstat.on_migration t.kstat ~cpu:thief;
+      Some th)
+
+(* One scheduling round: at most one thread slice per CPU, own queue
+   first, then work stealing. *)
+let pick_batch t s =
+  let batch = ref [] in
+  for cpu = 0 to s.ncpu - 1 do
+    match
+      match pop_runq t s.runqs.(cpu) with
+      | Some th -> Some th
+      | None -> steal t s ~thief:cpu
+    with
+    | Some th -> batch := (cpu, th) :: !batch
+    | None -> ()
+  done;
+  List.rev !batch
+
+(* Phase A of a round: charge the context switch, note the CPU in the
+   space's mask, and run the thread until it performs a syscall (sets
+   [pending]) or returns. Dispatch is deferred to phase B so eligible
+   syscall cores of one round can execute concurrently. *)
+let run_slice t s (cpu, (th : Proc.thread)) =
+  t.clock <- t.clock + 1;
+  Vmem.Tlb.set_active t.tlb cpu;
+  let asp = (proc_of t th).Proc.aspace in
+  (match s.last_as.(cpu) with
+  | Some prev when prev == asp -> ()
+  | Some _ | None ->
+    s.last_as.(cpu) <- Some asp;
+    Vmem.Tlb.flush_local t.tlb);
+  (* unconditionally, not just on switch: a shootdown collapses the mask
+     to its sender, and a still-running remote CPU re-caches the space
+     the moment it runs again *)
+  Vmem.Addr_space.note_cpu asp ~cpu;
+  th.Proc.tstate <- Proc.Running;
+  match th.Proc.entry with
+  | Some (Proc.Start f) ->
+    th.Proc.entry <- None;
+    Effect.Deep.match_with f () (handler t th)
+  | Some (Proc.Resume r) ->
+    th.Proc.entry <- None;
+    r ()
+  | None -> invalid_arg "Kernel.run: scheduled thread with nothing to run"
+
+(* Syscalls whose heavy core — the address-space walk — may run on a
+   worker domain: it touches only the caller's own space, that space's
+   COW family, and the (mutex-protected) frame allocator. *)
+type par_core =
+  | Core_fork of { eager : bool }
+  | Core_touch of { addr : int; len : int }
+
+let core_of_pending (Proc.Pending (req, _)) =
+  match req with
+  | Sysreq.Fork _ -> Some (Core_fork { eager = false })
+  | Sysreq.Fork_eager _ -> Some (Core_fork { eager = true })
+  | Sysreq.Touch { addr; len } -> Some (Core_touch { addr; len })
+  | _ -> None
+
+(* Requests that reach into a *different* process's address space
+   (embryo builders, template freeze/spawn): a round holding one runs
+   fully sequentially, because the family-disjointness check below only
+   covers each pending's own space. *)
+let crosses_aspaces (Proc.Pending (req, _)) =
+  match req with
+  | Sysreq.Pb_create | Sysreq.Pb_map _ | Sysreq.Pb_write _
+  | Sysreq.Pb_copy_fd _ | Sysreq.Pb_start _ | Sysreq.Template_freeze _
+  | Sysreq.Template_spawn _ ->
+    true
+  | _ -> false
+
+(* An ordered log of everything a core charged against its scratch
+   meters, replayed verbatim into the real meters at dispatch time. *)
+type scratch_entry =
+  | S_charge of (int * Vmem.Blame.kind) option * string * int * float
+  | S_ipi of int * int list * bool * int
+
+type par_task = {
+  pt_cpu : int;
+  pt_asp : Vmem.Addr_space.t;
+  pt_core : par_core;
+  pt_log : scratch_entry list ref;
+  mutable pt_fork : (Vmem.Addr_space.t, Errno.t) result option;
+  mutable pt_touch : (int, Vmem.Addr_space.fault_error) result option;
+}
+
+let prepare_task t s (cpu, th) core =
+  let asp = (proc_of t th).Proc.aspace in
+  let log = ref [] in
+  let sc_cost = Vmem.Cost.create ~params:(params t) () in
+  let sc_blame = Vmem.Blame.create () in
+  let sc_tlb = Vmem.Tlb.create ~cpus:s.ncpu ~tracked:true sc_cost in
+  Vmem.Tlb.set_active sc_tlb cpu;
+  Vmem.Cost.set_observer sc_cost
+    (Some
+       (fun cat ~n cycles ->
+         log :=
+           S_charge (Vmem.Blame.context sc_blame, cat, n, cycles) :: !log));
+  Vmem.Tlb.set_ipi_hook sc_tlb
+    (Some
+       (fun ~src ~dsts ~full ~n ->
+         log := S_ipi (src, Vmem.Cpuset.to_list dsts, full, n) :: !log));
+  Vmem.Addr_space.set_meters asp
+    {
+      Vmem.Addr_space.m_cost = sc_cost;
+      m_tlb = sc_tlb;
+      m_blame = Some sc_blame;
+    };
+  { pt_cpu = cpu; pt_asp = asp; pt_core = core; pt_log = log;
+    pt_fork = None; pt_touch = None }
+
+let run_core task =
+  match task.pt_core with
+  | Core_fork { eager } ->
+    let clone =
+      if eager then Vmem.Addr_space.clone_eager else Vmem.Addr_space.clone_cow
+    in
+    task.pt_fork <-
+      Some
+        (match clone task.pt_asp with
+        | Error (`Commit_limit | `Out_of_memory) -> Error Errno.ENOMEM
+        | Ok a -> Ok a)
+  | Core_touch { addr; len } ->
+    task.pt_touch <- Some (Vmem.Addr_space.touch_range task.pt_asp ~addr ~len)
+
+(* Replay the recorded charges into the real meters, reconstructing the
+   attribution context each was observed under. Runs with the
+   dispatching syscall's ambient blame context active, so context-free
+   charges land exactly where a sequential core would have put them. *)
+let replay_log t task () =
+  List.iter
+    (function
+      | S_charge (None, cat, n, cycles) ->
+        Vmem.Cost.charge ~n t.cost cat cycles
+      | S_charge (Some (id, kind), cat, n, cycles) ->
+        Vmem.Blame.with_context t.blame ~id kind (fun () ->
+            Vmem.Cost.charge ~n t.cost cat cycles)
+      | S_ipi (src, dsts, full, n) ->
+        Kstat.on_ipi t.kstat ~src ~dsts ~full ~n)
+    (List.rev !(task.pt_log))
+
+(* Phase B: dispatch every pending of the round in ascending CPU order.
+   Whitelisted cores of pendings whose COW family appears exactly once
+   in the round are precomputed first — concurrently when the kernel has
+   a worker pool — against scratch meters; each dispatch then replays
+   its recorded charges in its sequential position. The replay order
+   equals the sequential dispatch order, so every simulated number is
+   identical at any [par_jobs]. *)
+let dispatch_batch t s pool batch =
+  let pendings =
+    List.filter_map
+      (fun (cpu, (th : Proc.thread)) ->
+        match th.Proc.pending with
+        | Some p -> Some (cpu, th, p)
+        | None -> None)
+      batch
+  in
+  let family_of th = Vmem.Addr_space.family (proc_of t th).Proc.aspace in
+  let fam_count = Hashtbl.create 8 in
+  List.iter
+    (fun (_, th, _) ->
+      let fam = family_of th in
+      let n = Option.value ~default:0 (Hashtbl.find_opt fam_count fam) in
+      Hashtbl.replace fam_count fam (n + 1))
+    pendings;
+  let par_ok =
+    t.fault = None
+    && not (List.exists (fun (_, _, p) -> crosses_aspaces p) pendings)
+  in
+  let eligible =
+    if not par_ok then []
+    else
+      List.filter_map
+        (fun (cpu, th, p) ->
+          match core_of_pending p with
+          | Some core when Hashtbl.find fam_count (family_of th) = 1 ->
+            Some (cpu, th, core)
+          | Some _ | None -> None)
+        pendings
+  in
+  let tasks =
+    (* a single eligible core gains nothing from the scratch detour:
+       direct dispatch already is the sequential order *)
+    if List.length eligible < 2 then []
+    else
+      List.map (fun (cpu, th, core) -> prepare_task t s (cpu, th) core)
+        eligible
+  in
+  (match tasks with
+  | [] -> ()
+  | tasks ->
+    (match pool with
+    | Some pool ->
+      Workload.Par.Pool.run pool
+        (Array.of_list (List.map (fun task () -> run_core task) tasks))
+    | None -> List.iter run_core tasks);
+    (* cores done: point the spaces back at the kernel meters before any
+       dispatch charges *)
+    List.iter
+      (fun task -> Vmem.Addr_space.set_meters task.pt_asp (kernel_meters t))
+      tasks);
+  let task_for cpu = List.find_opt (fun task -> task.pt_cpu = cpu) tasks in
+  List.iter
+    (fun (cpu, (th : Proc.thread)) ->
+      Vmem.Tlb.set_active t.tlb cpu;
+      if th.Proc.tstate = Proc.Exited then (
+        (* an earlier dispatch of this round killed the process, so
+           sequentially this syscall never ran: quietly undo the
+           precomputed clone (its charges were never replayed) *)
+        match task_for cpu with
+        | Some { pt_fork = Some (Ok aspace); _ } ->
+          Vmem.Addr_space.destroy aspace
+        | Some _ | None -> ())
+      else
+        match th.Proc.pending with
+        | Some p ->
+          th.Proc.pending <- None;
+          (match task_for cpu with
+          | Some task -> (
+            match task.pt_core with
+            | Core_fork _ ->
+              t.fork_override <-
+                Some (Option.get task.pt_fork, replay_log t task)
+            | Core_touch _ ->
+              t.touch_override <-
+                Some (Option.get task.pt_touch, replay_log t task))
+          | None -> ());
+          dispatch t th p;
+          t.fork_override <- None;
+          t.touch_override <- None
+        | None -> if th.Proc.tstate = Proc.Running then thread_returned t th)
+    batch
+
+let queues_empty s = Array.for_all Queue.is_empty s.runqs
+
+let run_smp ~max_ticks t s =
+  let deadline = t.clock + max_ticks in
+  (* the in-kernel pool draws from the same process-wide jobs budget as
+     Workload.Par.map, so a sweep harness fanning kernels out across
+     domains cannot be oversubscribed by the kernels' own pools: inner
+     pools then get zero workers and run their batches sequentially *)
+  let pool =
+    if t.config.par_jobs > 1 then
+      Some (Workload.Par.Pool.create ~workers:(t.config.par_jobs - 1))
+    else None
+  in
+  if Option.is_some pool then Vmem.Frame.set_threadsafe t.frames true;
+  let finally () =
+    match pool with
+    | Some p ->
+      Workload.Par.Pool.shutdown p;
+      Vmem.Frame.set_threadsafe t.frames false
+    | None -> ()
+  in
+  Fun.protect ~finally (fun () ->
+      let rec loop () =
+        if t.clock >= deadline then Tick_limit
+        else begin
+          check_alarms t;
+          match pick_batch t s with
+          | [] -> (
+            retry_parked t;
+            if not (queues_empty s) then loop ()
+            else if t.parked = [] then All_exited
+            else
+              match next_alarm_tick t with
+              | Some at when at > t.clock ->
+                t.clock <- at;
+                check_alarms t;
+                retry_parked t;
+                if queues_empty s && t.parked <> [] then
+                  Stalled (describe_stalls t)
+                else loop ()
+              | Some _ | None -> Stalled (describe_stalls t))
+          | batch ->
+            List.iter (run_slice t s) batch;
+            dispatch_batch t s pool batch;
+            retry_parked t;
+            loop ()
+        end
+      in
+      loop ())
+
+let run_seq ~max_ticks t =
   let deadline = t.clock + max_ticks in
   let rec loop () =
     if t.clock >= deadline then Tick_limit
@@ -1630,6 +2062,11 @@ let run ?(max_ticks = 10_000_000) t =
     end
   in
   loop ()
+
+let run ?(max_ticks = 10_000_000) t =
+  match t.smp_st with
+  | None -> run_seq ~max_ticks t
+  | Some s -> run_smp ~max_ticks t s
 
 let spawn_init t ?(argv = []) path =
   match find_program t path with

@@ -40,11 +40,30 @@ type config = {
           allocations, commit charges and fallible syscall replies fail
           according to the schedule (see {!Fault}). Injections land in
           {!Kstat} and, when tracing, on the span's args. *)
+  smp : bool;
+      (** [true] turns [cpus] into real simulated CPUs: per-CPU run
+          queues with affinity + work stealing, per-address-space CPU
+          masks, and tracked TLB shootdowns that IPI only the remote
+          CPUs actually caching the space (see {!Vmem.Tlb.ipi}).
+          [false] (the default) keeps the legacy single-queue scheduler
+          and broadcast shootdown model — bit-identical to every
+          historical BENCH number. With [smp], [cpus] must be in
+          1..{!Vmem.Cpuset.max_cpus}. *)
+  par_jobs : int;
+      (** SMP only: OCaml domains used to execute eligible syscall cores
+          of one scheduling round concurrently (fork's address-space
+          clone, large touches — when the round's pendings touch
+          disjoint COW families). The kernel records each core's charges
+          against scratch meters and replays them sequentially in CPU
+          order, so results are bit-identical at any value; [1] (the
+          default) runs everything in the calling domain. Workers come
+          from the shared {!Workload.Par} budget. *)
 }
 
 val default_config : config
 (** 1 GiB memory, 4 cpus, [Strict] commit, ASLR on, seed 42, FIFO
-    scheduling, no tracing, 64 KiB pipes, 256 fds, no fault injection. *)
+    scheduling, no tracing, 64 KiB pipes, 256 fds, no fault injection,
+    SMP off (legacy broadcast-TLB accounting), [par_jobs = 1]. *)
 
 type t
 

@@ -15,6 +15,10 @@ type counters = {
   mutable tlb_flushes : int;
   mutable tlb_shootdowns : int;
   mutable tlb_invlpgs : int;
+  mutable ipis_sent : int;
+  mutable ipis_received : int;
+  mutable cpu_migrations : int;
+  mutable cpu_steals : int;
   mutable stdio_flushed_bytes : int;
   mutable stdio_double_flushed_bytes : int;
   mutable inj_frame_allocs : int;
@@ -48,6 +52,10 @@ let make_counters () =
     tlb_flushes = 0;
     tlb_shootdowns = 0;
     tlb_invlpgs = 0;
+    ipis_sent = 0;
+    ipis_received = 0;
+    cpu_migrations = 0;
+    cpu_steals = 0;
     stdio_flushed_bytes = 0;
     stdio_double_flushed_bytes = 0;
     inj_frame_allocs = 0;
@@ -61,14 +69,49 @@ let make_counters () =
     by_cost = Hashtbl.create 16;
   }
 
+(* Per-CPU machine-wide dimension, present only on SMP machines: where
+   the per-pid tables answer "who paid", these arrays answer "which CPU
+   did it happen on" — the axis the E16 scaling story is about. *)
+type smp = {
+  smp_cpus : int;
+  sent : int array;  (** IPIs sent, by source CPU *)
+  received : int array;  (** IPIs received, by interrupted CPU *)
+  steals : int array;  (** work-steals, by the stealing CPU *)
+  migrations : int array;  (** cross-CPU thread migrations, by new CPU *)
+  fanout : (int, int ref) Hashtbl.t;
+      (** full-AS shootdowns by remote-CPU count k (how many CPUs one
+          fork/munmap/mprotect had to interrupt) *)
+}
+
 type t = {
   global : counters;
   by_pid : (Types.pid, counters) Hashtbl.t;
   mutable current : Types.pid option;
+  mutable smp : smp option;
 }
 
 let create () =
-  { global = make_counters (); by_pid = Hashtbl.create 16; current = None }
+  {
+    global = make_counters ();
+    by_pid = Hashtbl.create 16;
+    current = None;
+    smp = None;
+  }
+
+let enable_smp t ~cpus =
+  if cpus < 1 then invalid_arg "Kstat.enable_smp: cpus < 1";
+  t.smp <-
+    Some
+      {
+        smp_cpus = cpus;
+        sent = Array.make cpus 0;
+        received = Array.make cpus 0;
+        steals = Array.make cpus 0;
+        migrations = Array.make cpus 0;
+        fanout = Hashtbl.create 8;
+      }
+
+let smp t = t.smp
 
 let global t = t.global
 let set_current t pid = t.current <- pid
@@ -138,6 +181,40 @@ let on_cost t category ~n cycles =
       | "tlb:invlpg" -> c.tlb_invlpgs <- c.tlb_invlpgs + n
       | _ -> ())
 
+(* IPI observer (tracked-TLB mode): [dsts] are the remote CPUs actually
+   interrupted (the sender is never among them), [n] pages per dst
+   ([full] = whole-AS flush). Charged cycles arrive separately through
+   [on_cost] ("tlb:shootdown"); this hook only moves the counters. *)
+let on_ipi t ~src ~dsts ~full ~n =
+  let k = List.length dsts in
+  if k > 0 && n > 0 then begin
+    update t (fun c ->
+        c.ipis_sent <- c.ipis_sent + (n * k);
+        c.ipis_received <- c.ipis_received + (n * k));
+    match t.smp with
+    | None -> ()
+    | Some s ->
+      s.sent.(src) <- s.sent.(src) + (n * k);
+      List.iter (fun d -> s.received.(d) <- s.received.(d) + n) dsts;
+      if full then begin
+        match Hashtbl.find_opt s.fanout k with
+        | Some r -> incr r
+        | None -> Hashtbl.add s.fanout k (ref 1)
+      end
+  end
+
+let on_steal t ~cpu =
+  update t (fun c -> c.cpu_steals <- c.cpu_steals + 1);
+  match t.smp with
+  | None -> ()
+  | Some s -> s.steals.(cpu) <- s.steals.(cpu) + 1
+
+let on_migration t ~cpu =
+  update t (fun c -> c.cpu_migrations <- c.cpu_migrations + 1);
+  match t.smp with
+  | None -> ()
+  | Some s -> s.migrations.(cpu) <- s.migrations.(cpu) + 1
+
 let on_injection t site =
   update t (fun c ->
       match site with
@@ -201,6 +278,14 @@ let snapshot c =
          ("tpl-subtrees-shared", c.tpl_subtrees_shared);
          ("tpl-pages-shared", c.tpl_pages_shared);
        ])
+  (* SMP keys likewise appear only on machines that sent an IPI or moved
+     a thread, keeping single-CPU (and legacy-TLB) snapshots unchanged *)
+  @ (if c.ipis_sent = 0 then []
+     else
+       [ ("ipis-sent", c.ipis_sent); ("ipis-received", c.ipis_received) ])
+  @ (if c.cpu_migrations = 0 then []
+     else [ ("cpu-migrations", c.cpu_migrations) ])
+  @ if c.cpu_steals = 0 then [] else [ ("cpu-steals", c.cpu_steals) ]
 
 let cycles c = c.cycles
 

@@ -30,8 +30,13 @@ type counters = {
   mutable pt_pages_copied : int;  (** page-table pages copied by fork *)
   mutable ptes_copied : int;  (** present PTEs visited by fork *)
   mutable tlb_flushes : int;  (** local full flushes *)
-  mutable tlb_shootdowns : int;  (** remote-flush events *)
+  mutable tlb_shootdowns : int;
+      (** remote-flush events (tracked-TLB mode: individual IPIs) *)
   mutable tlb_invlpgs : int;  (** single-page invalidations *)
+  mutable ipis_sent : int;  (** tracked-TLB shootdown IPIs sent *)
+  mutable ipis_received : int;  (** ... and received (equal in total) *)
+  mutable cpu_migrations : int;  (** threads moved to another CPU *)
+  mutable cpu_steals : int;  (** scheduler work-steal events *)
   mutable stdio_flushed_bytes : int;  (** bytes written by Stdio.flush *)
   mutable stdio_double_flushed_bytes : int;
       (** flushed bytes that were buffered by a {e different} process —
@@ -54,10 +59,31 @@ type counters = {
 
 and cost_entry = { mutable cost_cycles : float; mutable cost_events : int }
 
+type smp = {
+  smp_cpus : int;
+  sent : int array;  (** IPIs sent, by source CPU *)
+  received : int array;  (** IPIs received, by interrupted CPU *)
+  steals : int array;  (** work-steals, by the stealing CPU *)
+  migrations : int array;  (** cross-CPU thread migrations, by new CPU *)
+  fanout : (int, int ref) Hashtbl.t;
+      (** full-AS shootdowns by remote-CPU count k — the histogram of
+          how many CPUs each fork/munmap/mprotect had to interrupt *)
+}
+(** The per-CPU dimension, present only on SMP machines: where the
+    per-pid tables answer "who paid", these arrays answer "on which
+    CPU". *)
+
 type t
 
 val create : unit -> t
 val global : t -> counters
+
+val enable_smp : t -> cpus:int -> unit
+(** Allocate the per-CPU dimension. Done once by the SMP kernel at boot;
+    single-CPU machines never call it, so their snapshots (and BENCH
+    counters) are unchanged. @raise Invalid_argument if [cpus < 1]. *)
+
+val smp : t -> smp option
 
 val set_current : t -> Types.pid option -> unit
 (** Attribute subsequent updates to this pid (as well as globally). *)
@@ -75,6 +101,18 @@ val on_cost : t -> string -> n:int -> float -> unit
 
 val on_injection : t -> Fault.site -> unit
 (** Record one injected failure at the given {!Fault.site}. *)
+
+val on_ipi : t -> src:int -> dsts:int list -> full:bool -> n:int -> unit
+(** Record [n] pages' worth of shootdown IPIs from CPU [src] to each
+    CPU in [dsts] (the sender is never a destination); [full] marks a
+    whole-AS flush and feeds the fanout histogram. The cycles arrive
+    separately through {!on_cost}; this only moves counters. *)
+
+val on_steal : t -> cpu:int -> unit
+(** CPU [cpu] stole a runnable thread from another CPU's queue. *)
+
+val on_migration : t -> cpu:int -> unit
+(** A thread changed home to CPU [cpu]. *)
 
 val on_stdio_flush : t -> bytes:int -> inherited:int -> unit
 

@@ -13,6 +13,9 @@ type thread = {
   mutable tstate : thread_state;
   mutable entry : entry option;
   mutable pending : pending option;
+  mutable cpu : int;
+      (** simulated CPU this thread last ran on (its affinity home in
+          the SMP scheduler); always 0 on a single-CPU machine *)
 }
 
 type state = Alive | Zombie of Types.status | Reaped of Types.status
@@ -50,6 +53,7 @@ let make_thread ~tid ~owner ~is_main body =
     tstate = Ready;
     entry = Some (Start body);
     pending = None;
+    cpu = 0;
   }
 
 let max_signal_number =

@@ -22,6 +22,9 @@ type thread = {
   mutable tstate : thread_state;
   mutable entry : entry option;  (** what to run when next scheduled *)
   mutable pending : pending option;  (** set while suspended in a syscall *)
+  mutable cpu : int;
+      (** simulated CPU this thread last ran on (its affinity home in
+          the SMP scheduler); always 0 on a single-CPU machine *)
 }
 
 type state = Alive | Zombie of Types.status | Reaped of Types.status

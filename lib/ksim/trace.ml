@@ -22,6 +22,7 @@ type event = {
   ts_ns : float;
   span_ns : float;
   outcome : outcome option;
+  cpu : int option;  (** simulated CPU, recorded only by SMP kernels *)
 }
 
 type t = {
@@ -35,7 +36,7 @@ let create ?(capacity = 4096) () =
   { capacity; ring = Array.make capacity None; total = 0 }
 
 let record ?(args = []) ?(phase = Instant) ?(detail = D_none) ?(ts_ns = 0.0)
-    ?(span_ns = 0.0) ?outcome t ~tick ~pid ~tid what =
+    ?(span_ns = 0.0) ?outcome ?cpu t ~tick ~pid ~tid what =
   let e =
     {
       seq = t.total;
@@ -49,6 +50,7 @@ let record ?(args = []) ?(phase = Instant) ?(detail = D_none) ?(ts_ns = 0.0)
       ts_ns;
       span_ns;
       outcome;
+      cpu;
     }
   in
   t.ring.(t.total mod t.capacity) <- Some e;
@@ -132,6 +134,9 @@ let event_json e =
      ]
     @ (if e.span_ns > 0.0 then [ ("span_ns", Metrics.Json.num e.span_ns) ]
        else [])
+    @ (match e.cpu with
+      | Some c -> [ ("cpu", Metrics.Json.int c) ]
+      | None -> [])
     @ outcome_fields e.outcome
     @ detail_fields e.detail
     @
@@ -159,8 +164,12 @@ let to_jsonl t =
    its real pid/tid, so each process gets its own track; the "M"
    metadata events below name the tracks (pid 1 is the root, children
    are labelled with the creation style recorded in their D_child
-   instant) and order them by pid, which is creation order. *)
-let to_chrome t =
+   instant) and order them by pid, which is creation order.
+
+   [~lanes:`Cpu] instead renders one lane per simulated CPU (one
+   synthetic process, tid = cpu id): the per-CPU timeline view of an
+   SMP run. Events recorded without a cpu land in a "cpu ?" lane. *)
+let to_chrome ?(lanes = `Pid) t =
   let us ns = ns /. 1000.0 in
   let evs = events t in
   let styles : (Types.pid, string) Hashtbl.t = Hashtbl.create 16 in
@@ -221,14 +230,47 @@ let to_chrome t =
           ])
       tids
   in
+  (* lane assignment: `Pid keeps the real (pid, tid); `Cpu collapses
+     everything into one synthetic process whose threads are the CPUs *)
+  let lane_pid, lane_tid =
+    match lanes with
+    | `Pid -> ((fun e -> e.pid), fun e -> e.tid)
+    | `Cpu ->
+      ( (fun _ -> 0),
+        fun e -> match e.cpu with Some c -> c | None -> -1 )
+  in
+  let cpu_meta =
+    match lanes with
+    | `Pid -> []
+    | `Cpu ->
+      let cpus =
+        List.sort_uniq compare
+          (List.map (fun e -> match e.cpu with Some c -> c | None -> -1) evs)
+      in
+      meta "process_name" 0
+        [
+          ( "args",
+            Metrics.Json.obj [ ("name", Metrics.Json.str "ksim cpus") ] );
+        ]
+      :: List.map
+           (fun c ->
+             let name = if c < 0 then "cpu ?" else Printf.sprintf "cpu %d" c in
+             meta "thread_name" 0
+               [
+                 ("tid", Metrics.Json.int c);
+                 ( "args",
+                   Metrics.Json.obj [ ("name", Metrics.Json.str name) ] );
+               ])
+           cpus
+  in
   let ev e =
     let common =
       [
         ("name", Metrics.Json.str e.what);
         ("ph", Metrics.Json.str (phase_string e.phase));
         ("ts", Metrics.Json.num (us e.ts_ns));
-        ("pid", Metrics.Json.int e.pid);
-        ("tid", Metrics.Json.int e.tid);
+        ("pid", Metrics.Json.int (lane_pid e));
+        ("tid", Metrics.Json.int (lane_tid e));
       ]
     in
     let scope =
@@ -245,9 +287,13 @@ let to_chrome t =
       (common @ scope
       @ match args with [] -> [] | a -> [ ("args", Metrics.Json.obj a) ])
   in
+  let metadata =
+    match lanes with
+    | `Pid -> process_meta @ thread_meta
+    | `Cpu -> cpu_meta
+  in
   Metrics.Json.obj
     [
-      ( "traceEvents",
-        Metrics.Json.arr (process_meta @ thread_meta @ List.map ev evs) );
+      ("traceEvents", Metrics.Json.arr (metadata @ List.map ev evs));
       ("displayTimeUnit", Metrics.Json.str "ns");
     ]

@@ -40,6 +40,9 @@ type event = {
   ts_ns : float;  (** simulated time when the event was recorded *)
   span_ns : float;  (** [End] events: simulated duration; else [0.] *)
   outcome : outcome option;  (** [End] events of syscalls *)
+  cpu : int option;
+      (** the simulated CPU the event happened on; recorded only by SMP
+          kernels, so single-CPU traces (and their JSON) are unchanged *)
 }
 
 type t
@@ -54,6 +57,7 @@ val record :
   ?ts_ns:float ->
   ?span_ns:float ->
   ?outcome:outcome ->
+  ?cpu:int ->
   t ->
   tick:int ->
   pid:Types.pid ->
@@ -83,10 +87,13 @@ val event_json : event -> Metrics.Json.t
 val to_jsonl : t -> string
 (** One compact JSON object per line, oldest first. *)
 
-val to_chrome : t -> Metrics.Json.t
+val to_chrome : ?lanes:[ `Pid | `Cpu ] -> t -> Metrics.Json.t
 (** Chrome [trace_event] document ([{"traceEvents": [...]}]), loadable
     in Perfetto or chrome://tracing; timestamps in microseconds of
-    simulated time. Events carry their real pid/tid so each process
-    renders as its own track, and ["M"] metadata events name the tracks
-    ("pid 3 (fork)", from the creation-style instants) and sort them in
-    pid order. *)
+    simulated time. With [`Pid] lanes (the default) events carry their
+    real pid/tid so each process renders as its own track, and ["M"]
+    metadata events name the tracks ("pid 3 (fork)", from the
+    creation-style instants) and sort them in pid order. With [`Cpu]
+    lanes, events render in one synthetic process whose threads are the
+    simulated CPUs ("cpu 0", "cpu 1", ...) — the per-CPU timeline of an
+    SMP run; events recorded without a cpu land in a "cpu ?" lane. *)

@@ -2,8 +2,8 @@ type fault_error = [ `Segfault | `Perm_denied | `Out_of_memory ]
 
 type t = {
   frames : Frame.t;
-  cost : Cost.t;
-  tlb : Tlb.t;
+  mutable cost : Cost.t;
+  mutable tlb : Tlb.t;
   mutable regions : Vma.t Region_map.t;
   mutable pt : Page_table.t;
   mmap_base : int;
@@ -13,13 +13,34 @@ type t = {
   batched : bool;
       (** range-batched hot paths; [false] keeps the per-page reference
           walks as the oracle the batched paths are tested against *)
-  blame : Blame.t option;
+  mutable blame : Blame.t option;
   mutable blame_origin : int;
       (** id of the most recent {!Blame} sharing event this space took
           part in, or -1; COW breaks are deferred-charged to it *)
+  family : int;
+      (** clone lineage id: spaces whose frames may be COW-entangled
+          (fork children, template children) share a family; the SMP
+          kernel parallelises only across distinct families *)
+  mutable cpumask : Cpuset.t;
+      (** which simulated CPUs may cache translations of this space —
+          maintained by the SMP scheduler; drives targeted shootdowns *)
 }
 
+(* cost/tlb/blame are mutable only so the SMP kernel can swap scratch
+   meters in for the record-and-replay parallel phase; outside that
+   window they are fixed for the life of the space. *)
+type meters = { m_cost : Cost.t; m_tlb : Tlb.t; m_blame : Blame.t option }
+
+let meters t = { m_cost = t.cost; m_tlb = t.tlb; m_blame = t.blame }
+
+let set_meters t { m_cost; m_tlb; m_blame } =
+  t.cost <- m_cost;
+  t.tlb <- m_tlb;
+  t.blame <- m_blame
+
 let default_mmap_base = 0x7000_0000_0000
+
+let next_family = Atomic.make 0
 
 let create ?(mmap_base = default_mmap_base) ?(batched = true) ?blame ~frames
     ~cost ~tlb () =
@@ -38,7 +59,13 @@ let create ?(mmap_base = default_mmap_base) ?(batched = true) ?blame ~frames
     batched;
     blame;
     blame_origin = -1;
+    family = Atomic.fetch_and_add next_family 1;
+    cpumask = Cpuset.empty;
   }
+
+let family t = t.family
+let cpumask t = t.cpumask
+let note_cpu t ~cpu = t.cpumask <- Cpuset.add cpu t.cpumask
 
 let set_blame_origin t id = t.blame_origin <- id
 
@@ -52,6 +79,29 @@ let deferred_blame t f =
   | Some b when t.blame_origin >= 0 ->
     Blame.with_context b ~id:t.blame_origin Blame.Deferred f
   | Some _ | None -> f ()
+
+(* Full-address-space remote flush. Legacy Tlbs broadcast to every
+   configured CPU; tracked Tlbs IPI only the CPUs that actually cache a
+   mapping of this space (its cpumask, minus the sender), then collapse
+   the mask to the sender alone — every remote CPU just dropped its
+   cached translations. *)
+let as_shootdown t =
+  if Tlb.tracked t.tlb then begin
+    Tlb.flush_local t.tlb;
+    Tlb.ipi t.tlb ~dsts:t.cpumask ~full:true ~n:1;
+    t.cpumask <- Cpuset.singleton (Tlb.active_cpu t.tlb)
+  end
+  else Tlb.shootdown t.tlb
+
+(* Per-page invalidation. Tracked Tlbs additionally IPI each remote CPU
+   in the mask once per page (the invlpg must reach every CPU that may
+   cache the stale translation); the mask is *not* collapsed — other
+   translations of this space stay cached remotely. *)
+let invalidate t ~n =
+  Tlb.invalidate_pages t.tlb ~n;
+  if Tlb.tracked t.tlb && n > 0 then Tlb.ipi t.tlb ~dsts:t.cpumask ~full:false ~n
+
+let invalidate_one t = invalidate t ~n:1
 
 let frames t = t.frames
 let cost t = t.cost
@@ -141,7 +191,7 @@ let munmap t ~addr ~len =
         ignore (release_pages t ~start:s ~stop:e);
         if needs_commit vma then release_commit t ((e - s) / Addr.page_size))
       removed;
-    if removed <> [] then Tlb.shootdown t.tlb;
+    if removed <> [] then as_shootdown t;
     Ok ()
   end
 
@@ -190,7 +240,7 @@ let protect t ~addr ~len ~perm =
         for vpn = vpn0 to vpn1 do
           ignore (Page_table.update t.pt ~vpn repermit)
         done;
-      Tlb.shootdown t.tlb;
+      as_shootdown t;
       Ok ()
     end
   end
@@ -275,7 +325,7 @@ let break_cow t ~vpn ~pte ~region_perm =
     ignore
       (Page_table.update t.pt ~vpn (fun pte ->
            Pte.with_cow (Pte.with_perm pte region_perm) false));
-    Tlb.invalidate_page t.tlb;
+    invalidate_one t;
     Ok ()
   end
   else begin
@@ -286,7 +336,7 @@ let break_cow t ~vpn ~pte ~region_perm =
       Frame.copy_contents t.frames ~src:frame ~dst:fresh;
       ignore (Frame.decref t.frames frame);
       Page_table.map t.pt ~vpn (Pte.make ~frame:fresh ~perm:region_perm ());
-      Tlb.invalidate_page t.tlb;
+      invalidate_one t;
       Ok ()
   end
 
@@ -323,7 +373,7 @@ let fault t ~addr ~write =
             ignore
               (Page_table.update t.pt ~vpn (fun pte ->
                    Pte.with_perm pte vma.Vma.perm));
-            Tlb.invalidate_page t.tlb;
+            invalidate_one t;
             Ok ()
           end
         end
@@ -362,7 +412,7 @@ let touch_covered_batched t ~rperm ~vpn0 ~vpn1 ~count =
     if !n_zero > 0 then
       Cost.charge ~n:!n_zero t.cost "fault:zero-fill"
         (p.Cost.frame_zero *. float_of_int !n_zero);
-    Tlb.invalidate_pages t.tlb ~n:!n_invlpg;
+    invalidate t ~n:!n_invlpg;
     if !n_base_cow > 0 || !n_reuse > 0 || !n_copy > 0 || !n_invlpg_cow > 0
     then
       deferred_blame t (fun () ->
@@ -374,7 +424,7 @@ let touch_covered_batched t ~rperm ~vpn0 ~vpn1 ~count =
           if !n_copy > 0 then
             Cost.charge ~n:!n_copy t.cost "fault:cow-copy"
               (p.Cost.frame_copy *. float_of_int !n_copy);
-          Tlb.invalidate_pages t.tlb ~n:!n_invlpg_cow)
+          invalidate t ~n:!n_invlpg_cow)
   in
   let oom () =
     flush_charges ();
@@ -544,6 +594,10 @@ let clone_common t ~pt ~committed_charge =
     (* the kernel stamps the clone's sharing origin explicitly after the
        creating syscall succeeds; until then nothing is attributed *)
     blame_origin = -1;
+    (* COW entanglement with the source: same family *)
+    family = t.family;
+    (* no CPU caches the clone's translations until it is scheduled *)
+    cpumask = Cpuset.empty;
   }
 
 (* After a COW page-table copy, pages of *shared* VMAs must not be COW:
@@ -600,7 +654,7 @@ let clone_cow t =
         pt
       end
     in
-    Tlb.shootdown t.tlb;
+    as_shootdown t;
     Ok (clone_common t ~pt:child_pt ~committed_charge:t.committed)
 
 let clone_eager t =
@@ -671,7 +725,7 @@ let seal t =
     Page_table.seal_cow t.pt ~frames:t.frames ~cost:t.cost
       ~shared:(shared_ranges t)
   in
-  Tlb.shootdown t.tlb;
+  as_shootdown t;
   clone_common t ~pt:tpl_pt ~committed_charge:0
 
 (* Spawn a child space from a sealed template in O(shared subtrees).

@@ -36,6 +36,36 @@ val frames : t -> Frame.t
 val cost : t -> Cost.t
 val mmap_base : t -> int
 
+val family : t -> int
+(** Clone-lineage id: spaces whose frames may be COW-entangled (a forked
+    child and its parent, children of one template) share a family. The
+    SMP kernel runs syscalls concurrently only across distinct families,
+    so refcount races between entangled spaces cannot arise. Fresh
+    spaces from {!create} get a new family; clones inherit. *)
+
+val cpumask : t -> Cpuset.t
+(** Which simulated CPUs may currently cache translations of this space.
+    Maintained by the SMP scheduler via {!note_cpu}; consulted by the
+    tracked-shootdown paths so fork/munmap/mprotect IPI only the CPUs
+    that actually hold stale entries. Empty until first scheduled. *)
+
+val note_cpu : t -> cpu:int -> unit
+(** The scheduler's half of the mask contract: called for the running
+    CPU on every scheduling step of a thread of this space (not just on
+    context switch — a full shootdown collapses the mask to the sender,
+    and still-running remote CPUs must be re-observed immediately). *)
+
+type meters = { m_cost : Cost.t; m_tlb : Tlb.t; m_blame : Blame.t option }
+(** The accounting sinks an address space charges into. Mutable only to
+    support the SMP kernel's record-and-replay parallel phase: each
+    concurrent task swaps in a scratch meter set, records the charges it
+    generates, and the kernel replays them into the real meters
+    sequentially in CPU order — so parallel execution never changes any
+    simulated number. *)
+
+val meters : t -> meters
+val set_meters : t -> meters -> unit
+
 val set_blame_origin : t -> int -> unit
 (** Stamp the {!Blame} event id that most recently made this space's
     pages COW-shared (fork stamps both sides; freeze stamps the source;

@@ -38,6 +38,12 @@ type t = {
   mutable deny_commit : (unit -> bool) option;
       (** fault-injection hook: consulted once per non-empty commit
           charge; [true] makes it fail with [`Commit_limit] *)
+  lock : Mutex.t;
+  mutable threadsafe : bool;
+      (** serialise the shared allocator state (free stack, spill and
+          data tables, commit pool) across OCaml domains; enabled by the
+          SMP kernel only while its parallel phase is live, so the
+          sequential paths never pay for the lock *)
 }
 
 let create ?(policy = Strict) ~frames () =
@@ -58,7 +64,13 @@ let create ?(policy = Strict) ~frames () =
     data_max = -1;
     deny_alloc = None;
     deny_commit = None;
+    lock = Mutex.create ();
+    threadsafe = false;
   }
+
+let set_threadsafe t b = t.threadsafe <- b
+let[@inline] lock t = if t.threadsafe then Mutex.lock t.lock
+let[@inline] unlock t = if t.threadsafe then Mutex.unlock t.lock
 
 let set_deny_alloc t hook = t.deny_alloc <- hook
 let set_deny_commit t hook = t.deny_commit <- hook
@@ -97,21 +109,28 @@ let push_free t f =
 
 let alloc t =
   if denied t.deny_alloc then Error `Out_of_memory
-  else if t.run_top > 0 then begin
-    let r = t.run_top - 1 in
-    let f = t.run_hi.(r) in
-    if f = t.run_lo.(r) then t.run_top <- r else t.run_hi.(r) <- f - 1;
-    rc_set t f 1;
-    t.used <- t.used + 1;
-    Ok f
-  end
-  else if t.next_fresh >= t.nframes then Error `Out_of_memory
   else begin
-    let f = t.next_fresh in
-    t.next_fresh <- t.next_fresh + 1;
-    rc_set t f 1;
-    t.used <- t.used + 1;
-    Ok f
+    lock t;
+    let r =
+      if t.run_top > 0 then begin
+        let r = t.run_top - 1 in
+        let f = t.run_hi.(r) in
+        if f = t.run_lo.(r) then t.run_top <- r else t.run_hi.(r) <- f - 1;
+        rc_set t f 1;
+        t.used <- t.used + 1;
+        Ok f
+      end
+      else if t.next_fresh >= t.nframes then Error `Out_of_memory
+      else begin
+        let f = t.next_fresh in
+        t.next_fresh <- t.next_fresh + 1;
+        rc_set t f 1;
+        t.used <- t.used + 1;
+        Ok f
+      end
+    in
+    unlock t;
+    r
   end
 
 (* With a deny hook installed, the batched path must consult it once per
@@ -136,30 +155,39 @@ let alloc_upto t n =
   if n < 0 then invalid_arg "Frame.alloc_upto: negative count";
   if t.deny_alloc <> None then alloc_upto_hooked t n
   else begin
+  lock t;
   let out = Array.make n 0 in
+  (* Only the shared free-list/counter manipulation needs the lock; the
+     refcount initialisation loop below runs outside it. The popped
+     frames are exclusively this caller's until it hands them out, so
+     no other domain can touch their count bytes, and byte stores to
+     distinct indices don't interfere. This keeps parallel SMP touch
+     cores from serialising on O(pages) work under the mutex. *)
+  let k = ref 0 in
   (* recycled frames first, newest-freed first — the exact order [n]
      successive allocs would produce *)
-  let k = ref 0 in
   while !k < n && t.run_top > 0 do
     let r = t.run_top - 1 in
     let lo = t.run_lo.(r) and hi = t.run_hi.(r) in
     let take = min (n - !k) (hi - lo + 1) in
     for i = 0 to take - 1 do
-      let f = hi - i in
-      out.(!k + i) <- f;
-      rc_set t f 1
+      out.(!k + i) <- hi - i
     done;
     if take = hi - lo + 1 then t.run_top <- r else t.run_hi.(r) <- hi - take;
     k := !k + take
   done;
   let fresh = min (n - !k) (t.nframes - t.next_fresh) in
-  for i = 0 to fresh - 1 do
-    out.(!k + i) <- t.next_fresh + i;
-    rc_set t (t.next_fresh + i) 1
-  done;
+  let fresh0 = t.next_fresh in
   t.next_fresh <- t.next_fresh + fresh;
+  t.used <- t.used + !k + fresh;
+  unlock t;
+  for i = 0 to fresh - 1 do
+    out.(!k + i) <- fresh0 + i
+  done;
   k := !k + fresh;
-  t.used <- t.used + !k;
+  for i = 0 to !k - 1 do
+    rc_set t out.(i) 1
+  done;
   if !k = n then out else Array.sub out 0 !k
   end
 
@@ -172,10 +200,12 @@ let incref_spilling t f c =
 
 let incref t f =
   check_frame t f "Frame.incref";
+  lock t;
   let c = rc_get t f in
   if c < immortal - 1 then rc_set t f (c + 1)
   else if c = immortal then ()
-  else incref_spilling t f c
+  else incref_spilling t f c;
+  unlock t
 
 let decref_spilled t f =
   let v = Hashtbl.find t.spill f - 1 in
@@ -187,25 +217,31 @@ let decref_spilled t f =
 
 let decref t f =
   check_frame t f "Frame.decref";
+  lock t;
   let c = rc_get t f in
-  if c = spilled then begin
-    decref_spilled t f;
-    false
-  end
-  else if c = immortal then false
-  else begin
-    rc_set t f (c - 1);
-    if c = 1 then begin
-      if f <= t.data_max then Hashtbl.remove t.data f;
-      push_free t f;
-      t.used <- t.used - 1;
-      true
+  let r =
+    if c = spilled then begin
+      decref_spilled t f;
+      false
     end
-    else false
-  end
+    else if c = immortal then false
+    else begin
+      rc_set t f (c - 1);
+      if c = 1 then begin
+        if f <= t.data_max then Hashtbl.remove t.data f;
+        push_free t f;
+        t.used <- t.used - 1;
+        true
+      end
+      else false
+    end
+  in
+  unlock t;
+  r
 
 let incref_many t fs n =
   if n < 0 || n > Array.length fs then invalid_arg "Frame.incref_many";
+  lock t;
   for i = 0 to n - 1 do
     let f = Array.unsafe_get fs i in
     if f < 0 || f >= t.nframes then check_frame t f "Frame.incref";
@@ -214,10 +250,12 @@ let incref_many t fs n =
     else if c < immortal - 1 then rc_set t f (c + 1)
     else if c = immortal then ()
     else incref_spilling t f c
-  done
+  done;
+  unlock t
 
 let decref_many t fs n =
   if n < 0 || n > Array.length fs then invalid_arg "Frame.decref_many";
+  lock t;
   for i = 0 to n - 1 do
     let f = Array.unsafe_get fs i in
     if f < 0 || f >= t.nframes then check_frame t f "Frame.decref";
@@ -232,15 +270,22 @@ let decref_many t fs n =
     else if c = immortal then ()
     else if c < spilled then rc_set t f (c - 1)
     else decref_spilled t f
-  done
+  done;
+  unlock t
 
 let refcount t f =
   if f < 0 || f >= t.nframes then 0
-  else
-    match rc_get t f with
-    | c when c = spilled -> Hashtbl.find t.spill f
-    | c when c = immortal -> max_int
-    | c -> c
+  else begin
+    lock t;
+    let r =
+      match rc_get t f with
+      | c when c = spilled -> Hashtbl.find t.spill f
+      | c when c = immortal -> max_int
+      | c -> c
+    in
+    unlock t;
+    r
+  end
 
 (* The immortal class: a pinned frame belongs to a sealed template, so
    it opts out of reference counting — incref/decref become no-ops,
@@ -276,21 +321,29 @@ let pinned t = t.pinned
 let commit t pages =
   if pages < 0 then invalid_arg "Frame.commit: negative";
   if pages > 0 && denied t.deny_commit then Error `Commit_limit
-  else
-  match t.policy with
-  | Overcommit ->
-    t.committed <- t.committed + pages;
-    Ok ()
-  | Strict ->
-    if t.committed + pages > t.nframes then Error `Commit_limit
-    else begin
-      t.committed <- t.committed + pages;
-      Ok ()
-    end
+  else begin
+    lock t;
+    let r =
+      match t.policy with
+      | Overcommit ->
+        t.committed <- t.committed + pages;
+        Ok ()
+      | Strict ->
+        if t.committed + pages > t.nframes then Error `Commit_limit
+        else begin
+          t.committed <- t.committed + pages;
+          Ok ()
+        end
+    in
+    unlock t;
+    r
+  end
 
 let uncommit t pages =
   if pages < 0 then invalid_arg "Frame.uncommit: negative";
-  t.committed <- max 0 (t.committed - pages)
+  lock t;
+  t.committed <- max 0 (t.committed - pages);
+  unlock t
 
 let committed t = t.committed
 
@@ -308,34 +361,50 @@ let write_byte t f ~off v =
   if off < 0 || off >= Addr.page_size then
     invalid_arg "Frame.write_byte: offset";
   if v < 0 || v > 255 then invalid_arg "Frame.write_byte: byte value";
-  Bytes.set (contents t f) off (Char.chr v)
+  lock t;
+  Bytes.set (contents t f) off (Char.chr v);
+  unlock t
 
 let read_byte t f ~off =
   check_frame t f "Frame.read_byte";
   if off < 0 || off >= Addr.page_size then invalid_arg "Frame.read_byte: offset";
-  match Hashtbl.find_opt t.data f with
-  | None -> 0
-  | Some b -> Char.code (Bytes.get b off)
+  lock t;
+  let r =
+    match Hashtbl.find_opt t.data f with
+    | None -> 0
+    | Some b -> Char.code (Bytes.get b off)
+  in
+  unlock t;
+  r
 
 let blit_string t f ~off s =
   check_frame t f "Frame.blit_string";
   if off < 0 || off + String.length s > Addr.page_size then
     invalid_arg "Frame.blit_string: range";
-  Bytes.blit_string s 0 (contents t f) off (String.length s)
+  lock t;
+  Bytes.blit_string s 0 (contents t f) off (String.length s);
+  unlock t
 
 let read_string t f ~off ~len =
   check_frame t f "Frame.read_string";
   if off < 0 || len < 0 || off + len > Addr.page_size then
     invalid_arg "Frame.read_string: range";
-  match Hashtbl.find_opt t.data f with
-  | None -> String.make len '\000'
-  | Some b -> Bytes.sub_string b off len
+  lock t;
+  let r =
+    match Hashtbl.find_opt t.data f with
+    | None -> String.make len '\000'
+    | Some b -> Bytes.sub_string b off len
+  in
+  unlock t;
+  r
 
 let copy_contents t ~src ~dst =
   check_frame t src "Frame.copy_contents";
   check_frame t dst "Frame.copy_contents";
-  match Hashtbl.find_opt t.data src with
+  lock t;
+  (match Hashtbl.find_opt t.data src with
   | None -> ()
   | Some b ->
     Hashtbl.replace t.data dst (Bytes.copy b);
-    if dst > t.data_max then t.data_max <- dst
+    if dst > t.data_max then t.data_max <- dst);
+  unlock t
