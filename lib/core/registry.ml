@@ -20,6 +20,7 @@ let all =
     Exp_pressure.experiment;
     Exp_churn.experiment;
     Exp_smp.experiment;
+    Exp_serve.experiment;
   ]
 
 let ids = List.map (fun e -> e.Report.exp_id) all
@@ -45,6 +46,7 @@ let slug e =
   | "E13" -> "pressure"
   | "E14" -> "churn"
   | "E16" -> "smp"
+  | "E17" -> "serve"
   | id ->
     String.map
       (fun c -> if c = '-' then '_' else Char.lowercase_ascii c)

@@ -74,6 +74,52 @@ let smp_body () =
   done;
   stop := true
 
+(* Prefork serving scenario: two workers accept on a shared listener,
+   the main thread plays eight clients (polling each connection before
+   reading), then retires the workers with QUIT connections. Exercises
+   the whole socket/poll syscall family in one kstat report. *)
+let serve_body () =
+  let port = 80 in
+  let lfd = ok_or_die "socket" (Ksim.Api.socket ()) in
+  ok_or_die "bind" (Ksim.Api.bind lfd ~port);
+  ok_or_die "listen" (Ksim.Api.listen lfd ~backlog:4);
+  let rec worker () =
+    match Ksim.Api.accept lfd with
+    | Error _ -> Ksim.Api.exit 1
+    | Ok conn -> (
+      match Ksim.Api.read conn 16 with
+      | Ok "Q" | Ok "" | Error _ ->
+        ignore (Ksim.Api.close conn);
+        Ksim.Api.exit 0
+      | Ok _ ->
+        ignore (Ksim.Api.write_all conn "k");
+        ignore (Ksim.Api.close conn);
+        worker ())
+  in
+  for _ = 1 to 2 do
+    ignore (ok_or_die "fork" (Ksim.Api.fork ~child:worker))
+  done;
+  let request payload =
+    let fd = ok_or_die "socket" (Ksim.Api.socket ()) in
+    (match Ksim.Api.connect fd ~port with
+    | Error _ -> ()
+    | Ok () ->
+      ignore (Ksim.Api.write_all fd payload);
+      if payload <> "Q" then begin
+        ignore (Ksim.Api.poll [ Ksim.Types.pollin fd ]);
+        ignore (Ksim.Api.read fd 16)
+      end);
+    ignore (Ksim.Api.close fd)
+  in
+  for _ = 1 to 8 do
+    request "R"
+  done;
+  for _ = 1 to 2 do
+    request "Q"
+  done;
+  ignore (Ksim.Api.wait_all ());
+  ignore (ok_or_die "close" (Ksim.Api.close lfd))
+
 let scenarios =
   [
     ("fig1-sim", "fork+exec /bin/true from a 16 MiB parent");
@@ -81,6 +127,7 @@ let scenarios =
     ("tlb", "fork-only from a 16 MiB parent spread over 4 VMAs");
     ("stdio", "fork with 1 KiB of unflushed stdio, both sides flush");
     ("smp", "fork churn with spinner threads holding the other CPUs");
+    ("serve", "two prefork workers accept 8 polled client requests");
   ]
 
 let body_of = function
@@ -89,6 +136,7 @@ let body_of = function
   | "tlb" -> Some tlb_body
   | "stdio" -> Some stdio_body
   | "smp" -> Some smp_body
+  | "serve" -> Some serve_body
   | _ -> None
 
 let pct part total = if total > 0.0 then 100.0 *. part /. total else 0.0

@@ -16,7 +16,8 @@ type result = {
 
 val scenarios : (string * string) list
 (** [(key, description)] pairs of the available scenarios:
-    ["fig1-sim"], ["cowtax"], ["tlb"], ["stdio"], ["smp"]. *)
+    ["fig1-sim"], ["cowtax"], ["tlb"], ["stdio"], ["smp"],
+    ["serve"]. *)
 
 val run : ?cpus:int -> string -> result option
 (** Run the named scenario; [None] if the key is unknown. [cpus]

@@ -123,3 +123,9 @@ let pb_start ~pid ?(argv = []) path = sys (Sysreq.Pb_start { pid; path; argv })
 let freeze ?pid () = sys (Sysreq.Template_freeze { pid })
 let spawn_from_template tpl ~child = sys (Sysreq.Template_spawn { tpl; body = child })
 let template_discard tpl = sys (Sysreq.Template_discard tpl)
+let socket () = sys Sysreq.Socket
+let bind fd ~port = sys (Sysreq.Bind (fd, port))
+let listen fd ~backlog = sys (Sysreq.Listen { fd; backlog })
+let accept fd = sys (Sysreq.Accept fd)
+let connect fd ~port = sys (Sysreq.Connect (fd, port))
+let poll ?(timeout = -1) interests = sys (Sysreq.Poll { interests; timeout })

@@ -124,3 +124,26 @@ val spawn_from_template :
 val template_discard : int -> (unit, Errno.t) result
 (** Drop a template, freeing its pinned pages. EBUSY while any live
     process still maps them. *)
+
+(** Stream sockets and readiness multiplexing (see {!Sysreq} and
+    {!Socket}). *)
+
+val socket : unit -> (Types.fd, Errno.t) result
+val bind : Types.fd -> port:int -> (unit, Errno.t) result
+val listen : Types.fd -> backlog:int -> (unit, Errno.t) result
+
+val accept : Types.fd -> (Types.fd, Errno.t) result
+(** Blocks while the accept queue is empty. *)
+
+val connect : Types.fd -> port:int -> (unit, Errno.t) result
+(** ECONNREFUSED when no live listener holds the port or its backlog is
+    full (overflow refuses rather than blocks). *)
+
+val poll :
+  ?timeout:int ->
+  Types.poll_interest list ->
+  (Types.poll_revent list, Errno.t) result
+(** [timeout] in clock ticks: [0] probes without blocking, negative
+    (the default) blocks until ready, positive blocks at most that many
+    ticks and returns [[]] on timeout. Build interests with
+    {!Types.pollin} / {!Types.pollout}. *)

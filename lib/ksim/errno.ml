@@ -21,12 +21,14 @@ type t =
   | EDEADLK
   | E2BIG
   | EBUSY
+  | EADDRINUSE
+  | ECONNREFUSED
 
 let all =
   [
     EPERM; ENOENT; ESRCH; EINTR; EBADF; ECHILD; EAGAIN; ENOMEM; EACCES;
     EFAULT; EEXIST; ENOTDIR; EISDIR; EINVAL; EMFILE; ENOSPC; EPIPE; ENOSYS;
-    ENOEXEC; EDEADLK; E2BIG; EBUSY;
+    ENOEXEC; EDEADLK; E2BIG; EBUSY; EADDRINUSE; ECONNREFUSED;
   ]
 
 let to_string = function
@@ -52,6 +54,8 @@ let to_string = function
   | EDEADLK -> "EDEADLK"
   | E2BIG -> "E2BIG"
   | EBUSY -> "EBUSY"
+  | EADDRINUSE -> "EADDRINUSE"
+  | ECONNREFUSED -> "ECONNREFUSED"
 
 let of_string s = List.find_opt (fun e -> to_string e = s) all
 
@@ -78,6 +82,8 @@ let message = function
   | EDEADLK -> "resource deadlock avoided"
   | E2BIG -> "argument list too long"
   | EBUSY -> "device or resource busy"
+  | EADDRINUSE -> "address already in use"
+  | ECONNREFUSED -> "connection refused"
 
 let equal a b = a = b
 let pp ppf t = Format.pp_print_string ppf (to_string t)

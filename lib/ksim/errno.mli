@@ -23,6 +23,8 @@ type t =
   | EDEADLK
   | E2BIG
   | EBUSY
+  | EADDRINUSE
+  | ECONNREFUSED
 
 val all : t list
 (** Every constructor, in declaration order. *)

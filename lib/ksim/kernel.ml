@@ -91,6 +91,14 @@ type t = {
   fault : Fault.t option;
   templates : (int, Template.t) Hashtbl.t;
   mutable next_tpl : int;
+  (* the "network": port -> bound/listening socket. Entries go stale
+     when the socket's final close moves it to [Closed]; lookups treat
+     stale entries as free and [bind] reclaims them. *)
+  socks : (int, Socket.t) Hashtbl.t;
+  (* tid -> absolute tick at which that thread's in-progress poll times
+     out; folded into [next_timer_tick] so an all-parked machine jumps
+     the clock to the nearest poll deadline like it does for alarms *)
+  poll_deadlines : (Types.tid, int) Hashtbl.t;
   smp_st : smp_state option;
   (* Record-and-replay hand-off of the parallel dispatch phase: the
      per-round batch executor precomputes a whitelisted syscall's core
@@ -183,6 +191,8 @@ let create ?(config = default_config) () =
     fault;
     templates = Hashtbl.create 4;
     next_tpl = 1;
+    socks = Hashtbl.create 8;
+    poll_deadlines = Hashtbl.create 8;
     smp_st =
       (if config.smp then
          Some
@@ -714,8 +724,72 @@ let regular_of_fd (proc : Proc.t) fd =
   | Ok ofd -> (
     match Ofd.backing ofd with
     | Ofd.Reg_file r -> Ok r
-    | Ofd.Console _ | Ofd.Pipe_read _ | Ofd.Pipe_write _ | Ofd.Null ->
+    | Ofd.Console _ | Ofd.Pipe_read _ | Ofd.Pipe_write _ | Ofd.Null
+    | Ofd.Socket _ ->
       Error Errno.EINVAL)
+
+let socket_of_fd (proc : Proc.t) fd =
+  match Fd_table.get proc.Proc.fdt fd with
+  | Error e -> Error e
+  | Ok ofd -> (
+    match Ofd.backing ofd with
+    | Ofd.Socket sk -> Ok sk
+    | Ofd.Reg_file _ | Ofd.Console _ | Ofd.Pipe_read _ | Ofd.Pipe_write _
+    | Ofd.Null ->
+      (* not a socket: EINVAL (we carry no ENOTSOCK) *)
+      Error Errno.EINVAL)
+
+(* Sockets are bidirectional and never create/truncate anything. *)
+let sock_flags =
+  {
+    Types.read = true;
+    write = true;
+    append = false;
+    create = false;
+    trunc = false;
+    cloexec = false;
+  }
+
+(* One fd's poll readiness, POSIX-flavored: POLLHUP when the read side
+   is at EOF with no writers left, POLLERR when the write side has no
+   readers (writes would EPIPE) — both reported regardless of the
+   subscription. Regular files, console and null are always ready, like
+   poll(2) on anything that isn't a pipe/socket/tty. *)
+let poll_ready (i : Types.poll_interest) ofd =
+  let readable p = Pipe.available p > 0 || Pipe.eof p in
+  let r_in, r_out, r_hup, r_err =
+    match Ofd.backing ofd with
+    | Ofd.Pipe_read p -> (readable p, false, Pipe.eof p, false)
+    | Ofd.Pipe_write p ->
+      (false, Pipe.space p > 0 && not (Pipe.broken p), false, Pipe.broken p)
+    | Ofd.Socket sk -> (
+      match Socket.state sk with
+      | Socket.Listening { pending; _ } ->
+        (* a listener is "readable" when accept would not block *)
+        (Queue.length pending > 0, false, false, false)
+      | Socket.Connected { conn; role } ->
+        let rp = Socket.read_pipe conn role in
+        let wp = Socket.write_pipe conn role in
+        ( readable rp,
+          Pipe.space wp > 0 && not (Pipe.broken wp),
+          Pipe.eof rp,
+          Pipe.broken wp )
+      | Socket.Fresh | Socket.Bound _ | Socket.Closed ->
+        (false, false, false, true))
+    | Ofd.Reg_file _ | Ofd.Console _ | Ofd.Null -> (true, true, false, false)
+  in
+  let pr_in = i.Types.pi_in && r_in in
+  let pr_out = i.Types.pi_out && r_out in
+  if pr_in || pr_out || r_hup || r_err then
+    Some
+      {
+        Types.pr_fd = i.Types.pi_fd;
+        pr_in;
+        pr_out;
+        pr_hup = r_hup;
+        pr_err = r_err;
+      }
+  else None
 
 let mem_errno = function
   | `Segfault -> Errno.EFAULT
@@ -770,6 +844,14 @@ let trace_args : type a. Proc.t -> a Sysreq.t -> (string * string) list =
   | Sysreq.Template_discard id -> [ ("tpl", string_of_int id) ]
   | Sysreq.Mutex_lock id | Sysreq.Mutex_unlock id | Sysreq.Mutex_trylock id ->
     [ ("mutex", string_of_int id) ]
+  | Sysreq.Bind (_, port) | Sysreq.Connect (_, port) ->
+    [ ("port", string_of_int port) ]
+  | Sysreq.Listen { backlog; _ } -> [ ("backlog", string_of_int backlog) ]
+  | Sysreq.Poll { interests; timeout } ->
+    [
+      ("nfds", string_of_int (List.length interests));
+      ("timeout", string_of_int timeout);
+    ]
   | _ -> []
 
 (* Typed twin of [trace_args]; {!Lint} prefers this and falls back to
@@ -1361,6 +1443,132 @@ let attempt : type a. t -> Proc.t -> Proc.thread -> a Sysreq.t -> a action =
         Template.destroy template;
         Reply (Ok ())
       end)
+  | Sysreq.Socket -> (
+    let ofd = Ofd.make (Ofd.Socket (Socket.create ())) ~flags:sock_flags in
+    match Fd_table.alloc proc.Proc.fdt ~cloexec:false ofd with
+    | Ok fd -> Reply (Ok fd)
+    | Error e ->
+      Ofd.close ofd;
+      Reply (Error e))
+  | Sysreq.Bind (fd, port) -> (
+    match socket_of_fd proc fd with
+    | Error e -> Reply (Error e)
+    | Ok sk -> (
+      match Hashtbl.find_opt t.socks port with
+      | Some holder when Socket.state holder <> Socket.Closed ->
+        Reply (Error Errno.EADDRINUSE)
+      | Some _ | None -> (
+        match Socket.bind sk port with
+        | Ok () ->
+          Hashtbl.replace t.socks port sk;
+          Reply (Ok ())
+        | Error e -> Reply (Error e))))
+  | Sysreq.Listen { fd; backlog } -> (
+    match socket_of_fd proc fd with
+    | Error e -> Reply (Error e)
+    | Ok sk -> Reply (Socket.listen sk backlog))
+  | Sysreq.Accept fd -> (
+    match socket_of_fd proc fd with
+    | Error e -> Reply (Error e)
+    | Ok sk -> (
+      match Socket.state sk with
+      | Socket.Fresh | Socket.Bound _ | Socket.Connected _ | Socket.Closed
+        ->
+        Reply (Error Errno.EINVAL)
+      | Socket.Listening _ -> (
+        (* re-polled while parked; several accepters may park on one
+           listener (the per-worker accept idiom) and the longest-parked
+           one wins each connection, deterministically *)
+        let accept_once () =
+          match Socket.accept sk with
+          | Some conn_sk -> (
+            let ofd = Ofd.make (Ofd.Socket conn_sk) ~flags:sock_flags in
+            match Fd_table.alloc proc.Proc.fdt ~cloexec:false ofd with
+            | Ok newfd ->
+              Kstat.on_accept t.kstat ~pid:proc.Proc.pid;
+              Some (Ok newfd)
+            | Error e ->
+              (* releases the adopted server endpoint: the client sees
+                 EOF/EPIPE, not a connection leak *)
+              Ofd.close ofd;
+              Some (Error e))
+          | None -> (
+            match Socket.state sk with
+            | Socket.Listening _ -> None
+            | Socket.Fresh | Socket.Bound _ | Socket.Connected _
+            | Socket.Closed ->
+              (* listener closed while we were parked *)
+              Some (Error Errno.EINVAL))
+        in
+        match accept_once () with
+        | Some r -> Reply r
+        | None -> Block (Printf.sprintf "accept(fd=%d)" fd, accept_once))))
+  | Sysreq.Connect (fd, port) -> (
+    match socket_of_fd proc fd with
+    | Error e -> Reply (Error e)
+    | Ok sk -> (
+      match Hashtbl.find_opt t.socks port with
+      | (Some _ | None) when Socket.state sk <> Socket.Fresh ->
+        Reply (Error Errno.EINVAL)
+      | Some srv when Socket.state srv <> Socket.Closed -> (
+        let r = Socket.connect sk ~srv in
+        Kstat.on_connect t.kstat
+          ~refused:(r = Error Errno.ECONNREFUSED);
+        match r with
+        | Ok () ->
+          (match Socket.backlog_depth srv with
+          | Some depth -> Kstat.on_accept_queue t.kstat ~depth
+          | None -> ());
+          Reply (Ok ())
+        | Error e -> Reply (Error e))
+      | Some _ | None ->
+        (* nobody (alive) listens on that port *)
+        Kstat.on_connect t.kstat ~refused:true;
+        Reply (Error Errno.ECONNREFUSED)))
+  | Sysreq.Poll { interests; timeout } -> (
+    let rec lookup acc = function
+      | [] -> Ok (List.rev acc)
+      | i :: rest -> (
+        match Fd_table.get proc.Proc.fdt i.Types.pi_fd with
+        | Error e -> Error e
+        | Ok ofd -> lookup ((i, ofd) :: acc) rest)
+    in
+    match lookup [] interests with
+    | Error e -> Reply (Error e)
+    | Ok pairs ->
+      let scan () = List.filter_map (fun (i, ofd) -> poll_ready i ofd) pairs in
+      let ready = scan () in
+      if ready <> [] || timeout = 0 then begin
+        (* timeout=0 is the non-blocking probe: report current readiness
+           (possibly []) without parking *)
+        Kstat.on_poll_wake t.kstat ~pid:proc.Proc.pid
+          ~timed_out:(ready = []);
+        Reply (Ok ready)
+      end
+      else begin
+        let deadline =
+          if timeout < 0 then None else Some (t.clock + timeout)
+        in
+        (match deadline with
+        | Some d -> Hashtbl.replace t.poll_deadlines th.Proc.tid d
+        | None -> ());
+        let check () =
+          let ready = scan () in
+          if ready <> [] then begin
+            Hashtbl.remove t.poll_deadlines th.Proc.tid;
+            Kstat.on_poll_wake t.kstat ~pid:proc.Proc.pid ~timed_out:false;
+            Some (Ok ready)
+          end
+          else
+            match deadline with
+            | Some d when t.clock >= d ->
+              Hashtbl.remove t.poll_deadlines th.Proc.tid;
+              Kstat.on_poll_wake t.kstat ~pid:proc.Proc.pid ~timed_out:true;
+              Some (Ok [])
+            | Some _ | None -> None
+        in
+        Block (Printf.sprintf "poll(n=%d)" (List.length interests), check)
+      end)
 
 let is_memory_op : type a. a Sysreq.t -> bool = function
   | Sysreq.Mem_read _ | Sysreq.Mem_write _ | Sysreq.Touch _ -> true
@@ -1424,6 +1632,12 @@ let outcome_of : type a. a Sysreq.t -> a -> Trace.outcome option =
   | Sysreq.Template_freeze _ -> of_result v
   | Sysreq.Template_spawn _ -> of_result v
   | Sysreq.Template_discard _ -> of_result v
+  | Sysreq.Socket -> of_result v
+  | Sysreq.Bind _ -> of_result v
+  | Sysreq.Listen _ -> of_result v
+  | Sysreq.Accept _ -> of_result v
+  | Sysreq.Connect _ -> of_result v
+  | Sysreq.Poll _ -> of_result v
   | Sysreq.Getpid -> None
   | Sysreq.Getppid -> None
   | Sysreq.Gettid -> None
@@ -1482,6 +1696,12 @@ let injectable_errno : type a. a Sysreq.t -> (Errno.t -> a) option =
   | Sysreq.Template_freeze _ -> Some err
   | Sysreq.Template_spawn _ -> Some err
   | Sysreq.Template_discard _ -> Some err
+  | Sysreq.Socket -> Some err
+  | Sysreq.Bind _ -> Some err
+  | Sysreq.Listen _ -> Some err
+  | Sysreq.Accept _ -> Some err
+  | Sysreq.Connect _ -> Some err
+  | Sysreq.Poll _ -> Some err
   | Sysreq.Getpid -> None
   | Sysreq.Getppid -> None
   | Sysreq.Gettid -> None
@@ -1645,7 +1865,13 @@ let retry_parked t =
   let kept =
     List.filter
       (fun (Parked { th; check; k; req; entry_cycles; targs; tdetail; _ }) ->
-        if th.Proc.tstate = Proc.Exited then false
+        if th.Proc.tstate = Proc.Exited then begin
+          (* a thread that died mid-poll must not leave a stale deadline
+             behind (it would make an all-parked machine jump the clock
+             to a tick nobody is waiting for) *)
+          Hashtbl.remove t.poll_deadlines th.Proc.tid;
+          false
+        end
         else
           match check () with
           | Some v ->
@@ -1698,6 +1924,15 @@ let next_alarm_tick t =
     (fun _ at acc ->
       match acc with None -> Some at | Some best -> Some (min best at))
     t.alarms None
+
+(* The nearest tick at which time itself unblocks someone: an armed
+   alarm or a parked poll's timeout. Both run loops jump the clock here
+   when every thread is parked. *)
+let next_timer_tick t =
+  Hashtbl.fold
+    (fun _ at acc ->
+      match acc with None -> Some at | Some best -> Some (min best at))
+    t.poll_deadlines (next_alarm_tick t)
 
 let describe_stalls t =
   List.map
@@ -2014,7 +2249,7 @@ let run_smp ~max_ticks t s =
             if not (queues_empty s) then loop ()
             else if t.parked = [] then All_exited
             else
-              match next_alarm_tick t with
+              match next_timer_tick t with
               | Some at when at > t.clock ->
                 t.clock <- at;
                 check_alarms t;
@@ -2049,8 +2284,9 @@ let run_seq ~max_ticks t =
         if not (Queue.is_empty t.ready) then loop ()
         else if t.parked = [] then All_exited
         else
-          (* blocked threads and an armed alarm: jump time forward *)
-          match next_alarm_tick t with
+          (* blocked threads and an armed alarm or poll deadline: jump
+             time forward *)
+          match next_timer_tick t with
           | Some at when at > t.clock ->
             t.clock <- at;
             check_alarms t;

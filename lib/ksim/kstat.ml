@@ -28,6 +28,12 @@ type counters = {
   mutable tpl_spawns : int;
   mutable tpl_subtrees_shared : int;
   mutable tpl_pages_shared : int;
+  mutable sock_connects : int;
+  mutable sock_refused : int;
+  mutable sock_accepts : int;
+  mutable accept_queue_peak : int;
+  mutable poll_wakeups : int;
+  mutable poll_timeouts : int;
   mutable cycles : float;
   by_cost : (string, cost_entry) Hashtbl.t;
 }
@@ -65,6 +71,12 @@ let make_counters () =
     tpl_spawns = 0;
     tpl_subtrees_shared = 0;
     tpl_pages_shared = 0;
+    sock_connects = 0;
+    sock_refused = 0;
+    sock_accepts = 0;
+    accept_queue_peak = 0;
+    poll_wakeups = 0;
+    poll_timeouts = 0;
     cycles = 0.0;
     by_cost = Hashtbl.create 16;
   }
@@ -124,20 +136,27 @@ let pids t =
 (* Apply [f] to the global counters and, when a current pid is set, to
    that pid's counters too — every update below goes through here so the
    two views can never disagree. *)
+let pid_slot t pid =
+  match Hashtbl.find_opt t.by_pid pid with
+  | Some c -> c
+  | None ->
+    let c = make_counters () in
+    Hashtbl.add t.by_pid pid c;
+    c
+
 let update t f =
   f t.global;
   match t.current with
   | None -> ()
-  | Some pid ->
-    let c =
-      match Hashtbl.find_opt t.by_pid pid with
-      | Some c -> c
-      | None ->
-        let c = make_counters () in
-        Hashtbl.add t.by_pid pid c;
-        c
-    in
-    f c
+  | Some pid -> f (pid_slot t pid)
+
+(* Like [update], but attributing to an explicit pid instead of
+   [current] — for completions the scheduler performs on behalf of a
+   parked thread (accept/poll wakeups in [retry_parked]), where no
+   syscall is being dispatched and [current] is unset or wrong. *)
+let update_for t pid f =
+  f t.global;
+  f (pid_slot t pid)
 
 let on_syscall t kind =
   update t (fun c ->
@@ -234,6 +253,28 @@ let on_template_spawn t ~subtrees ~pages =
       c.tpl_subtrees_shared <- c.tpl_subtrees_shared + subtrees;
       c.tpl_pages_shared <- c.tpl_pages_shared + pages)
 
+(* Socket/poll observability. Accepts are attributed to an explicit pid
+   (per-pid [sock_accepts] is the dispatch-imbalance axis E17 reports:
+   with per-worker accept, whichever worker wakes first wins the
+   connection) because the completion often happens in [retry_parked],
+   after the accepting thread had long been parked. *)
+let on_connect t ~refused =
+  update t (fun c ->
+      c.sock_connects <- c.sock_connects + 1;
+      if refused then c.sock_refused <- c.sock_refused + 1)
+
+let on_accept t ~pid =
+  update_for t pid (fun c -> c.sock_accepts <- c.sock_accepts + 1)
+
+let on_accept_queue t ~depth =
+  update t (fun c ->
+      if depth > c.accept_queue_peak then c.accept_queue_peak <- depth)
+
+let on_poll_wake t ~pid ~timed_out =
+  update_for t pid (fun c ->
+      c.poll_wakeups <- c.poll_wakeups + 1;
+      if timed_out then c.poll_timeouts <- c.poll_timeouts + 1)
+
 let on_stdio_flush t ~bytes ~inherited =
   update t (fun c ->
       c.stdio_flushed_bytes <- c.stdio_flushed_bytes + bytes;
@@ -285,7 +326,20 @@ let snapshot c =
        [ ("ipis-sent", c.ipis_sent); ("ipis-received", c.ipis_received) ])
   @ (if c.cpu_migrations = 0 then []
      else [ ("cpu-migrations", c.cpu_migrations) ])
-  @ if c.cpu_steals = 0 then [] else [ ("cpu-steals", c.cpu_steals) ]
+  @ (if c.cpu_steals = 0 then [] else [ ("cpu-steals", c.cpu_steals) ])
+  (* socket/poll keys appear only once the socket family is used, so
+     snapshots of socket-free runs stay bit-identical to older builds *)
+  @ (if c.sock_connects = 0 && c.sock_accepts = 0 then []
+     else
+       [
+         ("sock-connects", c.sock_connects);
+         ("sock-refused", c.sock_refused);
+         ("sock-accepts", c.sock_accepts);
+         ("accept-queue-peak", c.accept_queue_peak);
+       ])
+  @
+  if c.poll_wakeups = 0 then []
+  else [ ("poll-wakeups", c.poll_wakeups); ("poll-timeouts", c.poll_timeouts) ]
 
 let cycles c = c.cycles
 

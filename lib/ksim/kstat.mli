@@ -51,6 +51,15 @@ type counters = {
           O(shared subtrees) work the flat-latency claim rests on *)
   mutable tpl_pages_shared : int;
       (** template pages inherited without per-page work *)
+  mutable sock_connects : int;  (** connect() attempts (incl. refused) *)
+  mutable sock_refused : int;  (** connects refused (no listener/backlog) *)
+  mutable sock_accepts : int;
+      (** connections accepted. The {e per-pid} values are the
+          dispatch-imbalance axis: with per-worker accept, whichever
+          worker wakes first wins the connection. *)
+  mutable accept_queue_peak : int;  (** deepest accept queue observed *)
+  mutable poll_wakeups : int;  (** poll() returns, ready or timed out *)
+  mutable poll_timeouts : int;  (** poll() returns with nothing ready *)
   mutable cycles : float;  (** simulated cycles attributed here *)
   by_cost : (string, cost_entry) Hashtbl.t;
       (** full per-category (cycles, events) spend — the profiler's
@@ -115,6 +124,22 @@ val on_migration : t -> cpu:int -> unit
 (** A thread changed home to CPU [cpu]. *)
 
 val on_stdio_flush : t -> bytes:int -> inherited:int -> unit
+
+val on_connect : t -> refused:bool -> unit
+(** One connect() attempt by the current pid. *)
+
+val on_accept : t -> pid:Types.pid -> unit
+(** One accepted connection, attributed to an explicit [pid] — accept
+    completions often happen in the scheduler's parked-thread retry,
+    where no syscall is being dispatched. *)
+
+val on_accept_queue : t -> depth:int -> unit
+(** Observe an accept-queue depth (after a connect enqueued); keeps the
+    peak. *)
+
+val on_poll_wake : t -> pid:Types.pid -> timed_out:bool -> unit
+(** One poll() completion for [pid]; [timed_out] when it returned with
+    no fd ready. *)
 
 val on_template_freeze : t -> unit
 (** One successful freeze (failed freezes move no counter). *)

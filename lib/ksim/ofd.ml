@@ -4,6 +4,7 @@ type backing =
   | Pipe_read of Pipe.t
   | Pipe_write of Pipe.t
   | Null
+  | Socket of Socket.t
 
 type t = {
   backing : backing;
@@ -18,7 +19,9 @@ let make backing ~flags =
   (match backing with
   | Pipe_read p -> Pipe.add_reader p
   | Pipe_write p -> Pipe.add_writer p
-  | Reg_file _ | Console _ | Null -> ());
+  (* sockets manage their own pipe-end counts: connect attaches both
+     endpoints, Socket.release drops them on final close *)
+  | Reg_file _ | Console _ | Null | Socket _ -> ());
   {
     backing;
     readable = flags.Types.read;
@@ -47,6 +50,7 @@ let close t =
     match t.backing with
     | Pipe_read p -> Pipe.drop_reader p
     | Pipe_write p -> Pipe.drop_writer p
+    | Socket s -> Socket.release s
     | Reg_file _ | Console _ | Null -> ()
 
 type read_outcome = Data of string | End_of_file | Retry | Fail of Errno.t
@@ -75,6 +79,17 @@ let read t n =
       else if Pipe.eof p then End_of_file
       else Retry
     | Pipe_write _ -> Fail Errno.EBADF
+    | Socket s -> (
+      match Socket.state s with
+      | Socket.Connected { conn; role } ->
+        let p = Socket.read_pipe conn role in
+        if Pipe.available p > 0 then Data (Pipe.read p n)
+        else if Pipe.eof p then End_of_file
+        else Retry
+      | Socket.Fresh | Socket.Bound _ | Socket.Listening _ | Socket.Closed
+        ->
+        (* read on an unconnected socket: EINVAL (we carry no ENOTCONN) *)
+        Fail Errno.EINVAL)
     | Console _ | Null -> End_of_file
 
 let write t s =
@@ -95,6 +110,16 @@ let write t s =
       else if Pipe.space p = 0 && String.length s > 0 then Retry_write
       else Wrote (Pipe.write p s)
     | Pipe_read _ -> Fail_write Errno.EBADF
+    | Socket sk -> (
+      match Socket.state sk with
+      | Socket.Connected { conn; role } ->
+        let p = Socket.write_pipe conn role in
+        if Pipe.broken p then Broken_pipe
+        else if Pipe.space p = 0 && String.length s > 0 then Retry_write
+        else Wrote (Pipe.write p s)
+      | Socket.Fresh | Socket.Bound _ | Socket.Listening _ | Socket.Closed
+        ->
+        Fail_write Errno.EINVAL)
     | Null -> Wrote (String.length s)
 
 let describe t =
@@ -104,3 +129,4 @@ let describe t =
   | Pipe_read _ -> "pipe:r"
   | Pipe_write _ -> "pipe:w"
   | Null -> "null"
+  | Socket s -> Socket.describe s

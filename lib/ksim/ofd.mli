@@ -13,12 +13,15 @@ type backing =
   | Pipe_read of Pipe.t
   | Pipe_write of Pipe.t
   | Null
+  | Socket of Socket.t
 
 type t
 
 val make : backing -> flags:Types.open_flags -> t
 (** Refcount starts at 1. Pipe-end reader/writer counts are incremented
-    here and decremented by the final {!close}. *)
+    here and decremented by the final {!close}. [Socket] backings manage
+    their own pipe-end counts ({!Socket.connect} attaches them, the
+    final close calls {!Socket.release}). *)
 
 val backing : t -> backing
 val readable : t -> bool

@@ -1,0 +1,118 @@
+(* A deliberately small TCP-flavored socket: a connection is a pair of
+   bounded pipes, one per direction, and the "network" is the kernel's
+   port table. The handshake is synchronous-at-connect: a successful
+   connect() enqueues a fully-wired connection on the listener's backlog
+   queue, so the client can start writing before the server accepts —
+   exactly the buffering a real SYN/accept queue provides. accept()
+   merely adopts the server side of an already-established pair. *)
+
+type conn = {
+  c2s : Pipe.t;  (* client writes here, server reads *)
+  s2c : Pipe.t;  (* server writes here, client reads *)
+}
+
+type role = Client | Server
+
+type state =
+  | Fresh
+  | Bound of int
+  | Listening of { port : int; backlog : int; pending : conn Queue.t }
+  | Connected of { conn : conn; role : role }
+  | Closed
+
+type t = { mutable state : state }
+
+let create () = { state = Fresh }
+let state t = t.state
+
+let port t =
+  match t.state with
+  | Bound p | Listening { port = p; _ } -> Some p
+  | Fresh | Connected _ | Closed -> None
+
+let bind t port =
+  match t.state with
+  | Fresh ->
+    t.state <- Bound port;
+    Ok ()
+  | Bound _ | Listening _ | Connected _ | Closed -> Error Errno.EINVAL
+
+let listen t backlog =
+  if backlog < 1 then Error Errno.EINVAL
+  else
+    match t.state with
+    | Bound port ->
+      t.state <- Listening { port; backlog; pending = Queue.create () };
+      Ok ()
+    | Fresh | Listening _ | Connected _ | Closed -> Error Errno.EINVAL
+
+(* Establish a connection against listener [srv], transitioning client
+   socket [t] to [Connected]. All four pipe-end counts are attached here
+   — both the client's ends and the server side that will sit in the
+   accept queue — so neither direction sees a premature EOF between
+   connect and accept. Backlog overflow is refused outright
+   (ECONNREFUSED), never blocked: deterministic, and it matches a
+   listener whose SYN queue is full with syncookies off. *)
+let connect t ~srv =
+  match (t.state, srv.state) with
+  | Fresh, Listening { backlog; pending; _ } ->
+    if Queue.length pending >= backlog then Error Errno.ECONNREFUSED
+    else begin
+      let conn = { c2s = Pipe.create (); s2c = Pipe.create () } in
+      Pipe.add_writer conn.c2s;
+      Pipe.add_reader conn.c2s;
+      Pipe.add_writer conn.s2c;
+      Pipe.add_reader conn.s2c;
+      Queue.add conn pending;
+      t.state <- Connected { conn; role = Client };
+      Ok ()
+    end
+  | Fresh, _ -> Error Errno.ECONNREFUSED
+  | (Bound _ | Listening _ | Connected _ | Closed), _ -> Error Errno.EINVAL
+
+let backlog_depth t =
+  match t.state with
+  | Listening { pending; _ } -> Some (Queue.length pending)
+  | Fresh | Bound _ | Connected _ | Closed -> None
+
+(* Take the oldest established connection off the accept queue and wrap
+   it in a fresh server-role socket. The server-side pipe-end counts
+   were attached at connect time; the accepted socket adopts them. *)
+let accept t =
+  match t.state with
+  | Listening { pending; _ } -> (
+    match Queue.take_opt pending with
+    | None -> None
+    | Some conn -> Some { state = Connected { conn; role = Server } })
+  | Fresh | Bound _ | Connected _ | Closed -> None
+
+let read_pipe conn = function Client -> conn.s2c | Server -> conn.c2s
+let write_pipe conn = function Client -> conn.c2s | Server -> conn.s2c
+
+(* Drop one endpoint's pipe-end counts: its read end loses a reader (the
+   peer's writes start failing EPIPE once no reader remains) and its
+   write end loses a writer (the peer reads drain to EOF). *)
+let release_endpoint conn role =
+  Pipe.drop_reader (read_pipe conn role);
+  Pipe.drop_writer (write_pipe conn role)
+
+(* Final close from the OFD layer. A dying listener drains its accept
+   queue, releasing the queued server endpoints so their clients observe
+   EOF/EPIPE — connections refused by teardown, not leaked. *)
+let release t =
+  (match t.state with
+  | Fresh | Bound _ | Closed -> ()
+  | Listening { pending; _ } ->
+    Queue.iter (fun conn -> release_endpoint conn Server) pending;
+    Queue.clear pending
+  | Connected { conn; role } -> release_endpoint conn role);
+  t.state <- Closed
+
+let describe t =
+  match t.state with
+  | Fresh -> "sock"
+  | Bound p -> Printf.sprintf "sock:bound(%d)" p
+  | Listening { port; _ } -> Printf.sprintf "sock:listen(%d)" port
+  | Connected { role = Client; _ } -> "sock:conn:c"
+  | Connected { role = Server; _ } -> "sock:conn:s"
+  | Closed -> "sock:closed"

@@ -62,6 +62,14 @@ type 'a t =
       { tpl : int; body : unit -> unit }
       -> (Types.pid, Errno.t) result t
   | Template_discard : int -> (unit, Errno.t) result t
+  | Socket : (Types.fd, Errno.t) result t
+  | Bind : Types.fd * int -> (unit, Errno.t) result t
+  | Listen : { fd : Types.fd; backlog : int } -> (unit, Errno.t) result t
+  | Accept : Types.fd -> (Types.fd, Errno.t) result t
+  | Connect : Types.fd * int -> (unit, Errno.t) result t
+  | Poll :
+      { interests : Types.poll_interest list; timeout : int }
+      -> (Types.poll_revent list, Errno.t) result t
 
 type _ Effect.t += Sys : 'a t -> 'a Effect.t
 
@@ -117,6 +125,12 @@ let name : type a. a t -> string = function
   | Template_freeze _ -> "template_freeze"
   | Template_spawn _ -> "template_spawn"
   | Template_discard _ -> "template_discard"
+  | Socket -> "socket"
+  | Bind _ -> "bind"
+  | Listen _ -> "listen"
+  | Accept _ -> "accept"
+  | Connect _ -> "connect"
+  | Poll _ -> "poll"
 
 (* The documented errno domain of each fallible syscall: the specific
    errnos its handler can produce, plus the transient set every fallible
@@ -160,6 +174,12 @@ let errnos_of_name =
     | "template_freeze" -> Some [ ESRCH; EPERM; EINVAL; EBUSY ]
     | "template_spawn" -> Some [ EINVAL ]
     | "template_discard" -> Some [ EINVAL; EBUSY ]
+    | "socket" -> Some [ EMFILE ]
+    | "bind" -> Some [ EBADF; EINVAL; EADDRINUSE ]
+    | "listen" -> Some [ EBADF; EINVAL ]
+    | "accept" -> Some [ EBADF; EINVAL; EMFILE ]
+    | "connect" -> Some [ EBADF; EINVAL; ECONNREFUSED ]
+    | "poll" -> Some [ EBADF; EINVAL ]
     | _ -> None
   in
   fun name ->

@@ -137,6 +137,32 @@ type 'a t =
       (** Drop a template, un-pinning and freeing its pages. EBUSY while
           any live process still depends on it; EINVAL on an unknown
           id. *)
+  | Socket : (Types.fd, Errno.t) result t
+      (** Fresh stream socket (see {!Socket}): EMFILE when the fd table
+          is full. *)
+  | Bind : Types.fd * int -> (unit, Errno.t) result t
+      (** Bind to a port on the simulated host. EADDRINUSE if another
+          live socket holds the port; EINVAL if not fresh. *)
+  | Listen : { fd : Types.fd; backlog : int } -> (unit, Errno.t) result t
+      (** EINVAL unless bound, or if [backlog < 1]. *)
+  | Accept : Types.fd -> (Types.fd, Errno.t) result t
+      (** Pop the oldest established connection as a new connected fd;
+          blocks while the accept queue is empty. EINVAL on a
+          non-listening socket. *)
+  | Connect : Types.fd * int -> (unit, Errno.t) result t
+      (** Connect a fresh socket to a listening port. The handshake
+          completes here (the connection joins the listener's accept
+          queue); ECONNREFUSED when no live listener holds the port
+          {e or} its backlog is full — overflow refuses, never blocks
+          (documented in DESIGN.md §16). *)
+  | Poll :
+      { interests : Types.poll_interest list; timeout : int }
+      -> (Types.poll_revent list, Errno.t) result t
+      (** Readiness multiplexing over pipe and socket fds. [timeout] is
+          in clock ticks: [0] polls and returns immediately (possibly
+          [[]]), negative blocks until some fd is ready, positive blocks
+          at most that many ticks ([[]] on timeout). EBADF if any
+          polled fd is unknown. *)
 
 type _ Effect.t += Sys : 'a t -> 'a Effect.t
 

@@ -61,3 +61,16 @@ type atfork = {
 
 type wait_target = Any_child | Child of pid
 type mask_op = Block | Unblock | Set_mask
+
+type poll_interest = { pi_fd : fd; pi_in : bool; pi_out : bool }
+
+type poll_revent = {
+  pr_fd : fd;
+  pr_in : bool;
+  pr_out : bool;
+  pr_hup : bool;
+  pr_err : bool;
+}
+
+let pollin fd = { pi_fd = fd; pi_in = true; pi_out = false }
+let pollout fd = { pi_fd = fd; pi_in = false; pi_out = true }

@@ -64,3 +64,22 @@ type wait_target = Any_child | Child of pid
 
 (** sigprocmask operation. *)
 type mask_op = Block | Unblock | Set_mask
+
+(** poll() subscription: which readiness events the caller cares about
+    on [pi_fd]. *)
+type poll_interest = { pi_fd : fd; pi_in : bool; pi_out : bool }
+
+(** poll() result entry. [pr_hup]/[pr_err] are reported regardless of
+    the subscription, POLLHUP/POLLERR-style: [pr_hup] when the read side
+    is at EOF with no writers left, [pr_err] when the write side has no
+    readers left (writes would EPIPE). *)
+type poll_revent = {
+  pr_fd : fd;
+  pr_in : bool;
+  pr_out : bool;
+  pr_hup : bool;
+  pr_err : bool;
+}
+
+val pollin : fd -> poll_interest
+val pollout : fd -> poll_interest

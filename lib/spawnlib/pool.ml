@@ -9,10 +9,12 @@
 type error =
   | Spawn_error of Spawn.error
   | Worker_lost
+  | Warmup_failed of string
 
 let error_message = function
   | Spawn_error e -> Spawn.error_message e
   | Worker_lost -> "worker died and its respawn could not serve the request"
+  | Warmup_failed what -> "worker warmup failed: " ^ what
 
 type stats = { size : int; spawned : int; respawns : int; served : int }
 
@@ -24,7 +26,9 @@ type slot_stats = {
   slot : int;
   mutable slot_served : int;
   mutable slot_crashes : int;
-  latency : Metrics.Window.t;  (** request latency in seconds *)
+  mutable slot_failed : int;
+  latency : Metrics.Window.t;
+      (** request latency in seconds, failed requests included *)
 }
 
 type worker = {
@@ -88,18 +92,26 @@ let start_worker t =
   | Error e ->
     close_all ();
     Error (Spawn_error e)
-  | Ok proc ->
+  | Ok proc -> (
     Unix.close req_r;
     Unix.close resp_w;
     let w = { proc; to_worker = req_w; from_worker = Unix.in_channel_of_descr resp_r } in
     t.spawned <- t.spawned + 1;
-    (match t.warmup with
-    | None -> ()
-    | Some hook ->
-      hook
-        ~send:(fun line -> write_line w.to_worker line)
-        ~recv:(fun () -> input_line w.from_worker));
-    Ok w
+    match t.warmup with
+    | None -> Ok w
+    | Some hook -> (
+      (* a worker that dies mid-warmup (End_of_file on recv, EPIPE on
+         send) must not leak the process or let the exception escape
+         create/submit: reap it and report a typed error *)
+      match
+        hook
+          ~send:(fun line -> write_line w.to_worker line)
+          ~recv:(fun () -> input_line w.from_worker)
+      with
+      | () -> Ok w
+      | exception e ->
+        dispose w;
+        Error (Warmup_failed (Printexc.to_string e))))
 
 let create ?(attr = Spawn.default_attr) ?(retry = Retry.default) ?warmup
     ?(latency_window = 10.0) ~size ~prog ~argv () =
@@ -120,6 +132,7 @@ let create ?(attr = Spawn.default_attr) ?(retry = Retry.default) ?warmup
               slot;
               slot_served = 0;
               slot_crashes = 0;
+              slot_failed = 0;
               latency =
                 Metrics.Window.create ~width:latency_window
                   ~hist_base:1e-6 ();
@@ -172,11 +185,21 @@ let submit t line =
   let t0 = Unix.gettimeofday () in
   t.inflight <- t.inflight + 1;
   if t.inflight > t.max_inflight then t.max_inflight <- t.inflight;
+  (* Latency is recorded whether the request succeeded or not: a crash
+     plus respawn is exactly the tail a latency window exists to show,
+     and dropping it understated p99 precisely when workers were dying. *)
+  let record_latency () =
+    let now = Unix.gettimeofday () in
+    Metrics.Window.add ws.latency ~now (Float.max 0.0 (now -. t0))
+  in
   let record_served () =
     t.served <- t.served + 1;
     ws.slot_served <- ws.slot_served + 1;
-    let now = Unix.gettimeofday () in
-    Metrics.Window.add ws.latency ~now (Float.max 0.0 (now -. t0))
+    record_latency ()
+  in
+  let record_failed () =
+    ws.slot_failed <- ws.slot_failed + 1;
+    record_latency ()
   in
   let attempt w =
     match transact w line with
@@ -197,14 +220,232 @@ let submit t line =
         dispose t.workers.(i);
         t.respawns <- t.respawns + 1;
         match start_worker t with
-        | Error e -> Error e
+        | Error e ->
+          record_failed ();
+          Error e
         | Ok w -> (
           t.workers.(i) <- w;
           match attempt w with
           | Some reply ->
             record_served ();
             Ok reply
-          | None -> Error Worker_lost)))
+          | None ->
+            record_failed ();
+            Error Worker_lost)))
+
+(* Select-based concurrent load driver. [submit] is strictly one
+   request in flight per call; a serving benchmark needs hundreds. The
+   driver keeps up to [concurrency] requests outstanding across the
+   pool's workers, multiplexing replies with [Unix.select] and talking
+   to the reply pipes with raw [Unix.read] (bypassing the [in_channel]
+   buffer, which must be empty when the run starts — i.e. run it before
+   any [submit]). A worker that dies mid-run (EOF on its reply pipe) is
+   respawned and its in-flight requests are re-queued, so a SIGKILL at
+   load is survived rather than reported as a batch of errors. *)
+module Load = struct
+  type result = {
+    sent : int;
+    completed : int;
+    errors : int;
+    retried : int;
+    respawns : int;
+    max_outstanding : int;
+    wall_s : float;
+    latencies : float array;
+  }
+
+  type slot = {
+    idx : int;
+    mutable cur : worker;
+    mutable dead : bool;
+    rbuf : Buffer.t;  (* partial reply line carried between reads *)
+    inflight : (int * float) Queue.t;  (* (request id, send time) FIFO *)
+  }
+
+  let run ?(concurrency = 256) ?kill_after ~requests ~request t =
+    if t.closed then invalid_arg "Pool.Load.run: pool is shut down";
+    if concurrency < 1 then invalid_arg "Pool.Load.run: concurrency < 1";
+    let nw = Array.length t.workers in
+    let slots =
+      Array.mapi
+        (fun idx w ->
+          { idx; cur = w; dead = false; rbuf = Buffer.create 256;
+            inflight = Queue.create () })
+        t.workers
+    in
+    let lat = ref [] in
+    let sent = ref 0 and completed = ref 0 and errors = ref 0 in
+    let retried = ref 0 and respawns = ref 0 and max_out = ref 0 in
+    let killed = ref false in
+    let resend = Queue.create () in
+    let next = ref 0 in
+    let outstanding () =
+      Array.fold_left (fun a s -> a + Queue.length s.inflight) 0 slots
+    in
+    let crash s =
+      (* replies the dead worker owed us will never come: re-queue them
+         on the replacement (the protocol is a pure request/reply echo,
+         so a duplicate send is harmless) *)
+      let ids =
+        List.rev (Queue.fold (fun acc (id, _) -> id :: acc) [] s.inflight)
+      in
+      Queue.clear s.inflight;
+      Buffer.clear s.rbuf;
+      dispose s.cur;
+      incr respawns;
+      t.respawns <- t.respawns + 1;
+      match start_worker t with
+      | Ok w ->
+        s.cur <- w;
+        t.workers.(s.idx) <- w;
+        List.iter
+          (fun id ->
+            incr retried;
+            Queue.add id resend)
+          ids
+      | Error _ ->
+        s.dead <- true;
+        errors := !errors + List.length ids
+    in
+    let send_one id =
+      let rec pick k =
+        if k = 0 then None
+        else begin
+          let s = slots.(!next) in
+          next := (!next + 1) mod nw;
+          if s.dead then pick (k - 1) else Some s
+        end
+      in
+      match pick nw with
+      | None -> incr errors
+      | Some s -> (
+        Queue.add (id, Unix.gettimeofday ()) s.inflight;
+        (* on EPIPE the request stays queued: the read side will see EOF
+           on this worker and [crash] will re-queue it *)
+        try write_line s.cur.to_worker (request id)
+        with Unix.Unix_error (Unix.EPIPE, _, _) | Sys_error _ -> ())
+    in
+    let complete s =
+      match Queue.take_opt s.inflight with
+      | None -> ()  (* unsolicited output line; not a reply we asked for *)
+      | Some (_, t0) ->
+        incr completed;
+        lat := (Unix.gettimeofday () -. t0) :: !lat
+    in
+    let scratch = Bytes.create 65536 in
+    let on_readable s =
+      match
+        Unix.read
+          (Unix.descr_of_in_channel s.cur.from_worker)
+          scratch 0 (Bytes.length scratch)
+      with
+      | 0 -> crash s
+      | n ->
+        Buffer.add_subbytes s.rbuf scratch 0 n;
+        let data = Buffer.contents s.rbuf in
+        Buffer.clear s.rbuf;
+        let len = String.length data in
+        let start = ref 0 in
+        (try
+           while !start < len do
+             let nl = String.index_from data !start '\n' in
+             complete s;
+             start := nl + 1
+           done
+         with Not_found -> ());
+        if !start < len then
+          Buffer.add_substring s.rbuf data !start (len - !start)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ -> crash s
+    in
+    let t_start = Unix.gettimeofday () in
+    let idle_rounds = ref 0 in
+    while !completed + !errors < requests do
+      (* keep the window full: re-queued work first, then fresh ids *)
+      while
+        outstanding () < concurrency
+        && ((not (Queue.is_empty resend)) || !sent < requests)
+        && Array.exists (fun s -> not s.dead) slots
+      do
+        (match Queue.take_opt resend with
+        | Some id -> send_one id
+        | None ->
+          let id = !sent in
+          incr sent;
+          send_one id);
+        let o = outstanding () in
+        if o > !max_out then max_out := o
+      done;
+      (match kill_after with
+      | Some k when (not !killed) && !completed >= k ->
+        killed := true;
+        let s = slots.(0) in
+        if not s.dead then
+          (try Unix.kill (Process.pid s.cur.proc) Sys.sigkill
+           with Unix.Unix_error _ -> ())
+      | _ -> ());
+      let waiting =
+        Array.to_list slots
+        |> List.filter (fun s ->
+               (not s.dead) && not (Queue.is_empty s.inflight))
+      in
+      if waiting = [] then begin
+        if not (Array.exists (fun s -> not s.dead) slots) then
+          (* every slot dead and respawns failing: fail the remainder *)
+          errors := !errors + (requests - !completed - !errors)
+      end
+      else begin
+        let fds =
+          List.map (fun s -> Unix.descr_of_in_channel s.cur.from_worker)
+            waiting
+        in
+        match Unix.select fds [] [] 1.0 with
+        | [], _, _ ->
+          incr idle_rounds;
+          if !idle_rounds > 30 then
+            failwith "Pool.Load.run: stalled (no worker replied for 30s)"
+        | readable, _, _ ->
+          idle_rounds := 0;
+          List.iter
+            (fun s ->
+              if
+                (not s.dead)
+                && List.mem
+                     (Unix.descr_of_in_channel s.cur.from_worker)
+                     readable
+              then on_readable s)
+            waiting
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      end
+    done;
+    let wall_s = Unix.gettimeofday () -. t_start in
+    t.served <- t.served + !completed;
+    let latencies = Array.of_list !lat in
+    Array.sort compare latencies;
+    {
+      sent = !sent;
+      completed = !completed;
+      errors = !errors;
+      retried = !retried;
+      respawns = !respawns;
+      max_outstanding = !max_out;
+      wall_s;
+      latencies;
+    }
+end
+
+(* Read and discard the worker's remaining output until EOF. A worker
+   blocked mid-[write] on a reply larger than the pipe buffer can never
+   exit, so waiting on it before emptying its stdout pipe would deadlock
+   the shutdown; draining unsticks the write and lets the worker see the
+   closed stdin and terminate. *)
+let drain_replies w =
+  let buf = Bytes.create 65536 in
+  try
+    while input w.from_worker buf 0 (Bytes.length buf) > 0 do
+      ()
+    done
+  with Sys_error _ | End_of_file -> ()
 
 let shutdown t =
   if t.closed then []
@@ -214,6 +455,7 @@ let shutdown t =
       (Array.map
          (fun w ->
            (try Unix.close w.to_worker with Unix.Unix_error _ -> ());
+           drain_replies w;
            let status = Process.wait w.proc in
            (try close_in w.from_worker with Sys_error _ -> ());
            status)

@@ -18,6 +18,9 @@ type error =
   | Worker_lost
       (** the worker died mid-request and its freshly respawned
           replacement died too *)
+  | Warmup_failed of string
+      (** the warmup hook raised (e.g. [End_of_file] from a worker that
+          crashed mid-warmup); the worker has been reaped, not leaked *)
 
 val error_message : error -> string
 
@@ -32,11 +35,15 @@ type slot_stats = {
   slot : int;  (** worker slot index, 0-based *)
   mutable slot_served : int;  (** requests served from this slot *)
   mutable slot_crashes : int;  (** times a request found this slot dead *)
+  mutable slot_failed : int;
+      (** requests that ended in [Error] on this slot (respawn failed or
+          the replacement died too) *)
   latency : Metrics.Window.t;
       (** request latency in seconds over a sliding wall-clock window;
-          query with [now = Unix.gettimeofday ()]. Slot stats survive
-          crash respawns — the slot is the serving unit, whatever pid
-          currently fills it. *)
+          query with [now = Unix.gettimeofday ()]. Failed requests are
+          recorded too — crash + respawn time is exactly the tail the
+          window exists to show. Slot stats survive crash respawns — the
+          slot is the serving unit, whatever pid currently fills it. *)
 }
 
 type t
@@ -86,6 +93,44 @@ val max_depth : t -> int
 (** High-water mark of {!depth} over the pool's lifetime. *)
 
 val shutdown : t -> Process.status list
-(** Close every worker's stdin (EOF tells well-behaved workers to exit)
-    and wait for each, returning their exit statuses in slot order.
-    Idempotent: subsequent calls return [[]]. *)
+(** Close every worker's stdin (EOF tells well-behaved workers to exit),
+    drain any remaining reply output to EOF — a worker blocked writing a
+    reply larger than the pipe buffer would otherwise never exit and the
+    wait would deadlock — then wait for each, returning their exit
+    statuses in slot order. Idempotent: subsequent calls return [[]]. *)
+
+(** Concurrent open-loop load driver over a pool: keeps up to
+    [concurrency] requests in flight across all workers at once,
+    multiplexing replies with [Unix.select]. Run it on a fresh pool
+    (before any {!submit}) — it reads the reply pipes directly,
+    bypassing the buffered channel [submit] uses. *)
+module Load : sig
+  type result = {
+    sent : int;  (** requests written to a worker (including re-sends) *)
+    completed : int;  (** replies received *)
+    errors : int;  (** requests abandoned (respawn failed) *)
+    retried : int;  (** requests re-queued after their worker died *)
+    respawns : int;  (** workers replaced mid-run *)
+    max_outstanding : int;  (** high-water mark of in-flight requests *)
+    wall_s : float;  (** run duration, seconds *)
+    latencies : float array;  (** per-reply latency in seconds, sorted *)
+  }
+
+  val run :
+    ?concurrency:int ->
+    ?kill_after:int ->
+    requests:int ->
+    request:(int -> string) ->
+    t ->
+    result
+  (** [run ~requests ~request t] drives [requests] request/reply
+      round-trips through the pool, keeping up to [concurrency]
+      (default 256) outstanding; [request i] is the line sent for
+      request [i]. Workers that die mid-run are respawned and their
+      in-flight requests re-sent (the protocol must tolerate duplicate
+      delivery). [kill_after n] SIGKILLs worker slot 0 once [n] replies
+      have arrived — a seeded crash-at-load probe.
+
+      @raise Invalid_argument if the pool is shut down.
+      @raise Failure if no worker produces a reply for 30 seconds. *)
+end

@@ -392,6 +392,88 @@ let test_pool_spawn_failure_cleans_up () =
   | 0, _ -> Alcotest.fail "unexpected live child"
   | _, _ -> Alcotest.fail "unexpected zombie"
 
+let test_pool_warmup_crash_no_leak () =
+  (* worker exits before answering the warmup ping: create must reap it
+     and report Warmup_failed, not leak the child or let the warmup
+     exception escape *)
+  (match
+     Spawnlib.Pool.create ~size:2 ~prog:"/bin/true" ~argv:[ "true" ]
+       ~warmup:(fun ~send ~recv ->
+         send "ping";
+         ignore (recv ()))
+       ()
+   with
+  | Error (Spawnlib.Pool.Warmup_failed _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Spawnlib.Pool.error_message e)
+  | Ok _ -> Alcotest.fail "expected Warmup_failed");
+  match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  | 0, _ -> Alcotest.fail "unexpected live child"
+  | _, _ -> Alcotest.fail "unexpected zombie"
+
+let test_pool_shutdown_big_reply () =
+  (* on stdin EOF the worker floods ~200 KiB into its reply pipe before
+     exiting: shutdown must drain the pipe before waiting, or the worker
+     blocks on the full pipe and the wait deadlocks *)
+  let p =
+    pool_ok
+      (Spawnlib.Pool.create ~size:2 ~prog:"/bin/sh"
+         ~argv:[ "sh"; "-c"; "cat; yes | head -n 100000" ]
+         ())
+  in
+  check_str "echoes first" "hello" (pool_ok (Spawnlib.Pool.submit p "hello"));
+  List.iter
+    (fun s ->
+      Alcotest.check status "drained exit" (Spawnlib.Process.Exited 0) s)
+    (Spawnlib.Pool.shutdown p)
+
+let test_pool_failed_latency () =
+  (* workers exit immediately: the submit fails through the respawn
+     retry, and both the failure count and its latency sample land in
+     the slot stats (dropping them understated p99 exactly when workers
+     were dying) *)
+  let p =
+    pool_ok
+      (Spawnlib.Pool.create ~size:1 ~prog:"/bin/true" ~argv:[ "true" ] ())
+  in
+  (match Spawnlib.Pool.submit p "ping" with
+  | Error Spawnlib.Pool.Worker_lost -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Spawnlib.Pool.error_message e)
+  | Ok r -> Alcotest.failf "unexpected reply %S" r);
+  let now = Unix.gettimeofday () in
+  (match Spawnlib.Pool.worker_stats p with
+  | [ s ] ->
+    check_int "failure recorded" 1 s.Spawnlib.Pool.slot_failed;
+    check_int "no serves" 0 s.Spawnlib.Pool.slot_served;
+    check_bool "failure latency sampled" true
+      (Metrics.Window.observations s.Spawnlib.Pool.latency ~now >= 1)
+  | ws -> Alcotest.failf "expected 1 slot stats, got %d" (List.length ws));
+  ignore (Spawnlib.Pool.shutdown p)
+
+let test_pool_load_concurrent_kill () =
+  (* the select-loop driver: hundreds of requests in flight at once,
+     one worker SIGKILLed mid-run; every request still gets a reply *)
+  let p = cat_pool 4 in
+  let r =
+    Spawnlib.Pool.Load.run ~concurrency:220 ~kill_after:50 ~requests:300
+      ~request:(Printf.sprintf "req-%d")
+      p
+  in
+  check_int "all requests answered" 300 r.Spawnlib.Pool.Load.completed;
+  check_int "no abandoned requests" 0 r.Spawnlib.Pool.Load.errors;
+  check_bool ">=200 in flight" true
+    (r.Spawnlib.Pool.Load.max_outstanding >= 200);
+  check_bool "killed worker replaced" true
+    (r.Spawnlib.Pool.Load.respawns >= 1);
+  check_bool "killed worker's requests re-sent" true
+    (r.Spawnlib.Pool.Load.retried >= 1);
+  check_int "one latency per reply" 300
+    (Array.length r.Spawnlib.Pool.Load.latencies);
+  (* the pool serves normally after the storm *)
+  check_str "alive after load" "still-up"
+    (pool_ok (Spawnlib.Pool.submit p "still-up"));
+  ignore (Spawnlib.Pool.shutdown p)
+
 let tc n f = Alcotest.test_case n `Quick f
 
 let () =
@@ -434,6 +516,10 @@ let () =
           tc "worker stats" test_pool_worker_stats;
           tc "bad size" test_pool_bad_size;
           tc "create failure cleanup" test_pool_spawn_failure_cleans_up;
+          tc "warmup crash no leak" test_pool_warmup_crash_no_leak;
+          tc "shutdown big reply" test_pool_shutdown_big_reply;
+          tc "failed submit latency" test_pool_failed_latency;
+          tc "concurrent load + kill" test_pool_load_concurrent_kill;
         ] );
       ( "native",
         [
