@@ -69,10 +69,26 @@ let run ~quick =
          rows)
   in
   let breakdown_table =
+    (* the pager column only exists when some point actually charged
+       pager cycles (demand-paged machines); the eager sweep's table —
+       and its BENCH baseline — keep the historical column set *)
+    let cols =
+      List.filter
+        (fun g ->
+          g <> "pager"
+          || List.exists
+               (fun (_, ms) ->
+                 List.exists
+                   (fun (_, (m : Sim_driver.measurement)) ->
+                     List.mem_assoc g m.Sim_driver.groups)
+                   ms)
+               rows)
+        Sim_driver.group_order
+    in
     let table =
       Metrics.Table.create
         ~align:[ Metrics.Table.Left; Metrics.Table.Right ]
-        ([ "strategy"; "MiB"; "ns" ] @ Sim_driver.group_order)
+        ([ "strategy"; "MiB"; "ns" ] @ cols)
     in
     List.iter
       (fun (mib, ms) ->
@@ -91,7 +107,7 @@ let run ~quick =
                         (List.assoc_opt g m.Sim_driver.groups)
                     in
                     if c = 0.0 then "-" else Metrics.Units.cycles c)
-                  Sim_driver.group_order))
+                  cols))
           ms)
       rows;
     table

@@ -21,6 +21,7 @@ let all =
     Exp_churn.experiment;
     Exp_smp.experiment;
     Exp_serve.experiment;
+    Exp_demand.experiment;
   ]
 
 let ids = List.map (fun e -> e.Report.exp_id) all
@@ -47,6 +48,7 @@ let slug e =
   | "E14" -> "churn"
   | "E16" -> "smp"
   | "E17" -> "serve"
+  | "E18" -> "demand"
   | id ->
     String.map
       (fun c -> if c = '-' then '_' else Char.lowercase_ascii c)

@@ -120,6 +120,36 @@ let serve_body () =
   ignore (Ksim.Api.wait_all ());
   ignore (ok_or_die "close" (Ksim.Api.close lfd))
 
+(* Demand-paging scenario: the machine boots with a pager installed
+   (readahead 8), so every exec maps its image lazily. Four spawns of a
+   1 MiB-data worker; child i write-touches i/4 of the data segment,
+   taking major faults the pager serves. The report's per-pid fault
+   table shows the major/minor split per child. *)
+let demand_data_len = 1024 * 1024
+
+let demand_worker =
+  Ksim.Program.make ~name:"/lazy-worker" ~data_kib:(demand_data_len / 1024)
+    (fun ~argv () ->
+      (match argv with
+      | [ len ] ->
+        let len = int_of_string len in
+        if len > 0 then
+          ignore
+            (ok_or_die "worker touch"
+               (Ksim.Api.touch
+                  ~addr:(Ksim.Kernel.image_base + (64 * 1024))
+                  ~len))
+      | _ -> ());
+      Ksim.Api.exit 0)
+
+let demand_body () =
+  for i = 1 to 4 do
+    let len = i * demand_data_len / 4 in
+    wait
+      (ok_or_die "spawn"
+         (Ksim.Api.spawn ~argv:[ string_of_int len ] "/lazy-worker"))
+  done
+
 let scenarios =
   [
     ("fig1-sim", "fork+exec /bin/true from a 16 MiB parent");
@@ -128,6 +158,7 @@ let scenarios =
     ("stdio", "fork with 1 KiB of unflushed stdio, both sides flush");
     ("smp", "fork churn with spinner threads holding the other CPUs");
     ("serve", "two prefork workers accept 8 polled client requests");
+    ("demand", "4 lazy spawns of a 1 MiB image, children touch 25-100%");
   ]
 
 let body_of = function
@@ -137,6 +168,7 @@ let body_of = function
   | "stdio" -> Some stdio_body
   | "smp" -> Some smp_body
   | "serve" -> Some serve_body
+  | "demand" -> Some demand_body
   | _ -> None
 
 let pct part total = if total > 0.0 then 100.0 *. part /. total else 0.0
@@ -216,6 +248,38 @@ let smp_table (s : Ksim.Kstat.smp) =
   done;
   t
 
+(* Major/minor fault breakdown by pid — only rendered when a pager
+   actually served faults, so eager scenarios keep their report shape. *)
+let faults_table kstat =
+  let t =
+    Metrics.Table.create
+      ~align:[ Metrics.Table.Left ]
+      [
+        "pid"; "major faults"; "minor faults"; "pages fetched";
+        "readahead hits";
+      ]
+  in
+  let row label (c : Ksim.Kstat.counters) =
+    Metrics.Table.add_row t
+      [
+        label;
+        string_of_int c.Ksim.Kstat.major_faults;
+        string_of_int c.Ksim.Kstat.minor_faults;
+        string_of_int c.Ksim.Kstat.pages_fetched;
+        string_of_int c.Ksim.Kstat.readahead_hits;
+      ]
+  in
+  List.iter
+    (fun pid ->
+      match Ksim.Kstat.pid_counters kstat pid with
+      | Some c
+        when c.Ksim.Kstat.major_faults + c.Ksim.Kstat.minor_faults > 0 ->
+        row (string_of_int pid) c
+      | Some _ | None -> ())
+    (Ksim.Kstat.pids kstat);
+  row "total" (Ksim.Kstat.global kstat);
+  t
+
 let fanout_note (s : Ksim.Kstat.smp) =
   let rows =
     Hashtbl.fold (fun k n acc -> (k, !n) :: acc) s.Ksim.Kstat.fanout []
@@ -243,20 +307,24 @@ let run ?(cpus = 1) key =
     let base = Sim_driver.config_for ~heap_mib in
     (* cpus = 1 keeps the legacy machine untouched, including its
        [config_for] cpu count (the broadcast-TLB cost formula reads it) *)
+    let demand = key = "demand" in
     let config =
       {
         base with
         Ksim.Kernel.trace_capacity = Some 65536;
         smp = cpus > 1;
         cpus = (if cpus > 1 then cpus else base.Ksim.Kernel.cpus);
+        demand_paging = demand;
+        pager_readahead = (if demand then 8 else 0);
       }
     in
     let init =
       Ksim.Program.make ~name:"/sbin/init" (fun ~argv:_ () -> body ())
     in
-    (match
-       Ksim.Kernel.boot ~config ~programs:[ init; true_prog ] "/sbin/init"
-     with
+    let programs =
+      [ init; true_prog ] @ if demand then [ demand_worker ] else []
+    in
+    (match Ksim.Kernel.boot ~config ~programs "/sbin/init" with
     | Error e ->
       invalid_arg ("Stat_driver.run: boot failed: " ^ Ksim.Errno.to_string e)
     | Ok (t, outcome) ->
@@ -275,6 +343,18 @@ let run ?(cpus = 1) key =
           (Format.asprintf "%a" Ksim.Kernel.pp_outcome outcome)
       in
       let hist = latency_histogram trace in
+      let fault_blocks =
+        if (Ksim.Kstat.global (Ksim.Kernel.kstat t)).Ksim.Kstat.major_faults = 0
+        then []
+        else
+          [
+            Report.Table
+              {
+                caption = "page faults by pid (major = pager-served)";
+                table = faults_table (Ksim.Kernel.kstat t);
+              };
+          ]
+      in
       let smp_blocks =
         match Ksim.Kstat.smp (Ksim.Kernel.kstat t) with
         | None -> []
@@ -310,7 +390,7 @@ let run ?(cpus = 1) key =
             Report.Table
               { caption = "syscalls by kind"; table = kinds_table counters };
           ]
-          @ smp_blocks
+          @ fault_blocks @ smp_blocks
           @ [
             Report.Note
               (Printf.sprintf

@@ -1,4 +1,4 @@
-type site = Frame_alloc | Commit | Syscall
+type site = Frame_alloc | Commit | Syscall | Pager_fetch
 
 type trigger =
   | Frame_alloc_nth of int
@@ -7,6 +7,8 @@ type trigger =
   | Frame_alloc_random of float
   | Commit_random of float
   | Syscall_random of { kind : string option; p : float; errno : Errno.t }
+  | Pager_fetch_nth of int
+  | Pager_fetch_random of float
 
 type spec = { seed : int; triggers : trigger list }
 
@@ -33,10 +35,11 @@ let validate spec =
       | Error _ -> acc
       | Ok () -> (
         match tr with
-        | Frame_alloc_nth n | Commit_nth n -> check_nth n
+        | Frame_alloc_nth n | Commit_nth n | Pager_fetch_nth n -> check_nth n
         | Syscall_nth { nth; errno; _ } -> (
           match check_nth nth with Error _ as e -> e | Ok () -> check_errno errno)
-        | Frame_alloc_random p | Commit_random p -> check_p p
+        | Frame_alloc_random p | Commit_random p | Pager_fetch_random p ->
+          check_p p
         | Syscall_random { p; errno; _ } -> (
           match check_p p with Error _ as e -> e | Ok () -> check_errno errno)))
     (Ok ()) spec.triggers
@@ -48,17 +51,21 @@ type t = {
   mutable commit_seen : int;
   mutable syscall_seen : int;  (** fallible dispatches, any kind *)
   per_kind : (string, int) Hashtbl.t;  (** fallible dispatches by kind *)
+  mutable pager_seen : int;
   mutable alloc_inj : int;
   mutable commit_inj : int;
   mutable syscall_inj : int;
+  mutable pager_inj : int;
   (* random triggers pre-split by site so the single-stream draws at one
      site don't depend on how often the other sites fire *)
   alloc_random : float list;
   commit_random : float list;
   syscall_random : (string option * float * Errno.t) list;
+  pager_random : float list;
   alloc_nth : int list;
   commit_nth : int list;
   syscall_nth : (string * int * Errno.t) list;
+  pager_nth : int list;
 }
 
 let spec t = t.spec
@@ -66,9 +73,9 @@ let spec t = t.spec
 let create spec =
   (match validate spec with Ok () -> () | Error m -> invalid_arg m);
   let alloc_random = ref [] and commit_random = ref [] in
-  let syscall_random = ref [] in
+  let syscall_random = ref [] and pager_random = ref [] in
   let alloc_nth = ref [] and commit_nth = ref [] in
-  let syscall_nth = ref [] in
+  let syscall_nth = ref [] and pager_nth = ref [] in
   List.iter
     (function
       | Frame_alloc_nth n -> alloc_nth := n :: !alloc_nth
@@ -78,7 +85,9 @@ let create spec =
       | Frame_alloc_random p -> alloc_random := p :: !alloc_random
       | Commit_random p -> commit_random := p :: !commit_random
       | Syscall_random { kind; p; errno } ->
-        syscall_random := (kind, p, errno) :: !syscall_random)
+        syscall_random := (kind, p, errno) :: !syscall_random
+      | Pager_fetch_nth n -> pager_nth := n :: !pager_nth
+      | Pager_fetch_random p -> pager_random := p :: !pager_random)
     spec.triggers;
   {
     spec;
@@ -87,15 +96,19 @@ let create spec =
     commit_seen = 0;
     syscall_seen = 0;
     per_kind = Hashtbl.create 8;
+    pager_seen = 0;
     alloc_inj = 0;
     commit_inj = 0;
     syscall_inj = 0;
+    pager_inj = 0;
     alloc_random = !alloc_random;
     commit_random = !commit_random;
     syscall_random = !syscall_random;
+    pager_random = !pager_random;
     alloc_nth = !alloc_nth;
     commit_nth = !commit_nth;
     syscall_nth = !syscall_nth;
+    pager_nth = !pager_nth;
   }
 
 (* Each random trigger consumes exactly one draw per occurrence whether
@@ -124,6 +137,18 @@ let on_commit t =
   in
   if nth_hit || rand_hit then begin
     t.commit_inj <- t.commit_inj + 1;
+    true
+  end
+  else false
+
+let on_pager_fetch t =
+  t.pager_seen <- t.pager_seen + 1;
+  let nth_hit = List.mem t.pager_seen t.pager_nth in
+  let rand_hit =
+    List.fold_left (fun hit p -> draw t p || hit) false t.pager_random
+  in
+  if nth_hit || rand_hit then begin
+    t.pager_inj <- t.pager_inj + 1;
     true
   end
   else false
@@ -158,10 +183,13 @@ let injected t = function
   | Frame_alloc -> t.alloc_inj
   | Commit -> t.commit_inj
   | Syscall -> t.syscall_inj
+  | Pager_fetch -> t.pager_inj
 
-let total_injected t = t.alloc_inj + t.commit_inj + t.syscall_inj
+let total_injected t =
+  t.alloc_inj + t.commit_inj + t.syscall_inj + t.pager_inj
 
 let seen t = function
   | Frame_alloc -> t.alloc_seen
   | Commit -> t.commit_seen
   | Syscall -> t.syscall_seen
+  | Pager_fetch -> t.pager_seen

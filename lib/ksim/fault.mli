@@ -26,6 +26,7 @@ type site =
   | Frame_alloc  (** a physical frame allocation *)
   | Commit  (** a strict-commit accounting charge *)
   | Syscall  (** a syscall reply, decided at dispatch *)
+  | Pager_fetch  (** a user-mode pager pulling one page at first touch *)
 
 type trigger =
   | Frame_alloc_nth of int
@@ -40,6 +41,10 @@ type trigger =
   | Syscall_random of { kind : string option; p : float; errno : Errno.t }
       (** fail each dispatch of [kind] ([None] = any fallible syscall)
           with probability [p] *)
+  | Pager_fetch_nth of int
+      (** fail the Nth page the pager pulls (readahead pages count) *)
+  | Pager_fetch_random of float
+      (** fail each pager page pull with this probability *)
 
 type spec = { seed : int; triggers : trigger list }
 
@@ -67,6 +72,12 @@ val on_frame_alloc : t -> bool
 (** Advance the frame-allocation occurrence counter; [true] = deny. *)
 
 val on_commit : t -> bool
+
+val on_pager_fetch : t -> bool
+(** Advance the pager-pull occurrence counter; [true] = deny the fetch
+    (the page stays lazy/absent; a denied faulting page surfaces as
+    ENOMEM or an OOM kill, a denied readahead page just stops the
+    batch). *)
 
 val on_syscall : t -> kind:string -> Errno.t option
 (** Advance [kind]'s occurrence counter; [Some e] = reply [Error e]

@@ -12,6 +12,8 @@ type config = {
   fault : Fault.spec option;
   smp : bool;
   par_jobs : int;
+  demand_paging : bool;
+  pager_readahead : int;
 }
 
 let default_config =
@@ -29,6 +31,8 @@ let default_config =
     fault = None;
     smp = false;
     par_jobs = 1;
+    demand_paging = false;
+    pager_readahead = 0;
   }
 
 type parked =
@@ -89,6 +93,10 @@ type t = {
   kstat : Kstat.t;
   blame : Vmem.Blame.t;
   fault : Fault.t option;
+  (* the machine's one user-mode pager, installed into every address
+     space the kernel creates when [demand_paging] is on; [None] keeps
+     every fault path bit-identical to the eager simulator *)
+  pager : Vmem.Addr_space.pager option;
   templates : (int, Template.t) Hashtbl.t;
   mutable next_tpl : int;
   (* the "network": port -> bound/listening socket. Entries go stale
@@ -161,6 +169,27 @@ let create ?(config = default_config) () =
                 end));
       Some fi
   in
+  let pager =
+    if not config.demand_paging then None
+    else begin
+      if config.pager_readahead < 0 then
+        invalid_arg "Kernel.create: pager_readahead must be >= 0";
+      (* pager pulls go through their own injection site so a schedule
+         can fail the Nth fetch without perturbing frame-alloc draws *)
+      let deny =
+        match fault with
+        | None -> fun () -> false
+        | Some fi ->
+          fun () ->
+            Fault.on_pager_fetch fi
+            && begin
+                 Kstat.on_injection kstat Fault.Pager_fetch;
+                 true
+               end
+      in
+      Some (Pager.make ~frames ~deny ~readahead:config.pager_readahead ())
+    end
+  in
   let tlb = Vmem.Tlb.create ~cpus:config.cpus ~tracked:config.smp cost in
   if config.smp then
     (* per-CPU IPI counters ride on the shootdown charges; the cycles
@@ -189,6 +218,7 @@ let create ?(config = default_config) () =
     kstat;
     blame;
     fault;
+    pager;
     templates = Hashtbl.create 4;
     next_tpl = 1;
     socks = Hashtbl.create 8;
@@ -293,6 +323,7 @@ let ready_thread t th resume =
 (* Image loading and address-space layout *)
 
 let text_base = 0x0040_0000
+let image_base = text_base
 let stack_len = 1 lsl 20 (* 1 MiB *)
 let stack_top_base = 0x7FFF_F000_0000
 let mmap_base_floor = 0x7000_0000_0000
@@ -316,20 +347,38 @@ let aslr_offset t =
 let load_image t prog aspace =
   let p = params t in
   Vmem.Cost.charge t.cost "exec:base" p.Vmem.Cost.exec_base;
-  let map_segment ~base ~pages ~perm ~kind =
-    let rec go i =
-      if i >= pages then Ok ()
-      else
-        match
-          Vmem.Addr_space.map_image_page aspace
-            ~addr:(base + (i * Vmem.Addr.page_size))
-            ~perm ~kind ()
-        with
-        | Ok () -> go (i + 1)
-        | Error (`Out_of_memory | `Commit_limit | `Overlap | `Invalid) ->
-          Error ()
-    in
-    go 0
+  (* With a pager each image segment becomes one run of lazy PTEs
+     carrying image cookies — O(segments) instead of O(pages), the
+     near-constant-time exec of the demand-paging study. [page0] numbers
+     the segment's first page within the whole image so the pager can
+     tell which image page a later first touch is pulling. Heap, stack
+     and guard stay eager-absent: their faults are demand-zero minors
+     that never need the pager. *)
+  let map_segment ~base ~pages ~perm ~kind ~page0 =
+    match t.pager with
+    | Some _ when pages > 0 -> (
+      match
+        Vmem.Addr_space.map_lazy ~addr:base ~len:(pages * Vmem.Addr.page_size)
+          ~perm ~kind
+          ~cookie0:(Pager.image_cookie ~page:page0)
+          ~stride:Pager.image_stride aspace
+      with
+      | Ok (_ : int) -> Ok ()
+      | Error (`No_space | `Commit_limit | `Overlap | `Invalid) -> Error ())
+    | Some _ | None ->
+      let rec go i =
+        if i >= pages then Ok ()
+        else
+          match
+            Vmem.Addr_space.map_image_page aspace
+              ~addr:(base + (i * Vmem.Addr.page_size))
+              ~perm ~kind ()
+          with
+          | Ok () -> go (i + 1)
+          | Error (`Out_of_memory | `Commit_limit | `Overlap | `Invalid) ->
+            Error ()
+      in
+      go 0
   in
   let text_pages = Program.text_pages prog in
   let data_base = text_base + (text_pages * Vmem.Addr.page_size) in
@@ -351,12 +400,14 @@ let load_image t prog aspace =
   match
     map_segment ~base:text_base ~pages:text_pages ~perm:Vmem.Perm.rx
       ~kind:(Vmem.Vma.Text { path = prog.Program.name })
+      ~page0:0
   with
   | Error () -> rollback ~heap:false ~stack:None
   | Ok () -> (
     match
       map_segment ~base:data_base ~pages:data_pages ~perm:Vmem.Perm.rw
         ~kind:(Vmem.Vma.Data { path = prog.Program.name })
+        ~page0:text_pages
     with
     | Error () -> rollback ~heap:false ~stack:None
     | Ok () -> (
@@ -387,6 +438,7 @@ let build_image t prog =
   let aspace =
     Vmem.Addr_space.create ~mmap_base ~blame:t.blame ~frames:t.frames ~cost:t.cost ~tlb:t.tlb ()
   in
+  Vmem.Addr_space.set_pager aspace t.pager;
   match load_image t prog aspace with
   | Ok () -> Ok aspace
   | Error e ->
@@ -460,6 +512,50 @@ and kill_process t (proc : Proc.t) status =
     | Some parent when Proc.is_alive parent -> post_signal t parent Usignal.SIGCHLD
     | Some _ | None -> proc.Proc.pstate <- Proc.Reaped status
   end
+
+(* ------------------------------------------------------------------ *)
+(* The Demand-policy OOM killer *)
+
+(* Victim choice when a first-touch fault cannot be backed: the largest
+   resident process — biggest instant relief, the dominant term of every
+   real badness heuristic — excluding the faulter (killing it would turn
+   a recoverable stall into a self-inflicted crash), init, and
+   vfork-paused parents (their space is on loan; killing them frees
+   nothing). Ties break toward the lowest pid. *)
+let oom_victim t ~faulter =
+  Hashtbl.fold
+    (fun pid p best ->
+      if
+        pid = faulter || pid = 1 || not (Proc.is_alive p)
+        || p.Proc.vfork_active
+      then best
+      else
+        let r = Vmem.Addr_space.resident_pages p.Proc.aspace in
+        match best with
+        | Some (_, br) when br > r -> best
+        | Some (bpid, br) when br = r && bpid < pid -> best
+        | _ -> Some (pid, r))
+    t.procs None
+
+(* Under [Demand] the commit-time check was waived, so the reckoning
+   happens here: an un-backable touch kills a victim and retries instead
+   of bouncing ENOMEM to the toucher, surfacing failure only once no
+   victim is left. Other policies (and non-memory faults) pass straight
+   through. *)
+let rec touch_with_oom t (proc : Proc.t) ~addr ~len =
+  match Vmem.Addr_space.touch_range proc.Proc.aspace ~addr ~len with
+  | Error `Out_of_memory
+    when Vmem.Frame.policy t.frames = Vmem.Frame.Demand -> (
+    match oom_victim t ~faulter:proc.Proc.pid with
+    | None -> Error `Out_of_memory
+    | Some (victim_pid, _) ->
+      (match find_proc t victim_pid with
+      | Some victim ->
+        Kstat.on_oom_kill t.kstat ~pid:victim_pid;
+        kill_process t victim (Types.Killed Usignal.SIGKILL)
+      | None -> ());
+      touch_with_oom t proc ~addr ~len)
+  | r -> r
 
 (* ------------------------------------------------------------------ *)
 (* Opening files *)
@@ -1184,7 +1280,7 @@ let attempt : type a. t -> Proc.t -> Proc.thread -> a Sysreq.t -> a action =
       | Ok pages -> Reply (Ok pages)
       | Error e -> Reply (Error (mem_errno e)))
     | None -> (
-      match Vmem.Addr_space.touch_range proc.Proc.aspace ~addr ~len with
+      match touch_with_oom t proc ~addr ~len with
       | Ok pages -> Reply (Ok pages)
       | Error e -> Reply (Error (mem_errno e))))
   | Sysreq.Thread_create body ->
@@ -1258,6 +1354,7 @@ let attempt : type a. t -> Proc.t -> Proc.thread -> a Sysreq.t -> a action =
             Vmem.Addr_space.create ~mmap_base ~blame:t.blame ~frames:t.frames
               ~cost:t.cost ~tlb:t.tlb ()
           in
+          Vmem.Addr_space.set_pager aspace t.pager;
           let child =
             Proc.make ~pid:(fresh_pid t) ~parent:proc.Proc.pid ~aspace
               ~fdt:(Fd_table.create ~max_fds:t.config.max_fds ())
@@ -1349,6 +1446,10 @@ let attempt : type a. t -> Proc.t -> Proc.thread -> a Sysreq.t -> a action =
            this image: pinning them would steal pages someone else
            counts on *)
         Reply (Error Errno.EBUSY)
+      else if Vmem.Addr_space.pager_active target.Proc.aspace then
+        (* unresolved pager-backed pages: sealing now would snapshot
+           holes. Warm the image (touch it) and retry *)
+        Reply (Error Errno.EAGAIN)
       else begin
         let ev, r =
           creation_blame t ~style:"freeze" ~parent:proc.Proc.pid (fun () ->
@@ -1395,7 +1496,8 @@ let attempt : type a. t -> Proc.t -> Proc.thread -> a Sysreq.t -> a action =
                first, so a failed spawn leaves template and machine
                untouched *)
             match
-              Vmem.Addr_space.clone_from_sealed template.Template.aspace
+              Vmem.Addr_space.clone_from_sealed
+                ~lazy_:t.config.demand_paging template.Template.aspace
                 ~commit_pages:template.Template.commit_pages
             with
             | Error `Commit_limit -> Error Errno.ENOMEM
@@ -2159,8 +2261,17 @@ let dispatch_batch t s pool batch =
       List.filter_map
         (fun (cpu, th, p) ->
           match core_of_pending p with
-          | Some core when Hashtbl.find fam_count (family_of th) = 1 ->
-            Some (cpu, th, core)
+          | Some core when Hashtbl.find fam_count (family_of th) = 1 -> (
+            match core with
+            | Core_touch _
+              when Vmem.Addr_space.pager_active (proc_of t th).Proc.aspace
+                   || Vmem.Frame.policy t.frames = Vmem.Frame.Demand ->
+              (* pager-backed (or Demand-policy) touches stay
+                 sequential: a failed first touch may OOM-kill another
+                 process of the round, which the precompute-against-
+                 scratch-meters detour cannot express *)
+              None
+            | Core_touch _ | Core_fork _ -> Some (cpu, th, core))
           | Some _ | None -> None)
         pendings
   in

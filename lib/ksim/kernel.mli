@@ -58,12 +58,26 @@ type config = {
           order, so results are bit-identical at any value; [1] (the
           default) runs everything in the calling domain. Workers come
           from the shared {!Workload.Par} budget. *)
+  demand_paging : bool;
+      (** Install a simulated user-mode pager ({!Pager}) into every
+          address space the kernel creates: exec maps image segments as
+          lazy PTEs (O(segments), near-constant-time) and zygote spawns
+          share the template by reference, with first touches taken as
+          major faults that pull pages through the pager at
+          ["pager:*"] cost. [false] (the default) keeps every fault
+          path — and every historical BENCH number — bit-identical to
+          the eager simulator. *)
+  pager_readahead : int;
+      (** Pages of same-VMA readahead the pager pulls per major fault
+          (the E18 batching knob); [0] fetches exactly the faulting
+          page. Must be [>= 0]. *)
 }
 
 val default_config : config
 (** 1 GiB memory, 4 cpus, [Strict] commit, ASLR on, seed 42, FIFO
     scheduling, no tracing, 64 KiB pipes, 256 fds, no fault injection,
-    SMP off (legacy broadcast-TLB accounting), [par_jobs = 1]. *)
+    SMP off (legacy broadcast-TLB accounting), [par_jobs = 1], demand
+    paging off. *)
 
 type t
 
@@ -96,6 +110,12 @@ val fault : t -> Fault.t option
 (** The armed fault injector, for inspecting injection counts. *)
 
 val clock : t -> int
+
+val image_base : int
+(** The fixed address exec maps a program's text at (the data segment
+    follows immediately; image layout is not ASLR'd). Exposed so
+    demand-paging experiments and tests can touch image pages
+    directly. *)
 
 val spawn_init : t -> ?argv:string list -> string -> (Types.pid, Errno.t) result
 (** Create the initial process from a registered program, fds 0/1/2 on

@@ -24,6 +24,12 @@ type counters = {
   mutable inj_frame_allocs : int;
   mutable inj_commits : int;
   mutable inj_syscalls : int;
+  mutable inj_pager_fetches : int;
+  mutable major_faults : int;
+  mutable minor_faults : int;
+  mutable pages_fetched : int;
+  mutable readahead_hits : int;
+  mutable oom_kills : int;
   mutable tpl_freezes : int;
   mutable tpl_spawns : int;
   mutable tpl_subtrees_shared : int;
@@ -67,6 +73,12 @@ let make_counters () =
     inj_frame_allocs = 0;
     inj_commits = 0;
     inj_syscalls = 0;
+    inj_pager_fetches = 0;
+    major_faults = 0;
+    minor_faults = 0;
+    pages_fetched = 0;
+    readahead_hits = 0;
+    oom_kills = 0;
     tpl_freezes = 0;
     tpl_spawns = 0;
     tpl_subtrees_shared = 0;
@@ -187,11 +199,19 @@ let on_cost t category ~n cycles =
       | "fault:base" -> c.faults <- c.faults + n
       | "fault:cow-copy" ->
         c.cow_breaks <- c.cow_breaks + n;
+        c.minor_faults <- c.minor_faults + n;
         c.frames_copied <- c.frames_copied + n
       | "fault:cow-reuse" ->
         c.cow_breaks <- c.cow_breaks + n;
+        c.minor_faults <- c.minor_faults + n;
         c.cow_reuses <- c.cow_reuses + n
-      | "fault:zero-fill" -> c.frames_zeroed <- c.frames_zeroed + n
+      | "fault:zero-fill" ->
+        c.minor_faults <- c.minor_faults + n;
+        c.frames_zeroed <- c.frames_zeroed + n
+      | "pager:request" -> c.major_faults <- c.major_faults + n
+      | "pager:fetch-zero" | "pager:fetch-image" | "pager:fetch-template" ->
+        c.pages_fetched <- c.pages_fetched + n
+      | "pager:readahead-hit" -> c.readahead_hits <- c.readahead_hits + n
       | "fork:pt-node" -> c.pt_pages_copied <- c.pt_pages_copied + n
       | "fork:pte" -> c.ptes_copied <- c.ptes_copied + n
       | "fork:eager-copy" -> c.frames_copied <- c.frames_copied + n
@@ -239,7 +259,16 @@ let on_injection t site =
       match site with
       | Fault.Frame_alloc -> c.inj_frame_allocs <- c.inj_frame_allocs + 1
       | Fault.Commit -> c.inj_commits <- c.inj_commits + 1
-      | Fault.Syscall -> c.inj_syscalls <- c.inj_syscalls + 1)
+      | Fault.Syscall -> c.inj_syscalls <- c.inj_syscalls + 1
+      | Fault.Pager_fetch -> c.inj_pager_fetches <- c.inj_pager_fetches + 1)
+
+(* One OOM kill under the [Demand] commit policy: [pid] is the victim,
+   attributed explicitly (the kill happens inside the *faulter's*
+   syscall, so [current] is the wrong slot for the victim's death). *)
+let on_oom_kill t ~pid =
+  t.global.oom_kills <- t.global.oom_kills + 1;
+  let c = pid_slot t pid in
+  c.oom_kills <- c.oom_kills + 1
 
 (* Success-only hooks called from the template syscall handlers (a
    failed freeze/spawn must not move any counter). [pages] is the
@@ -308,6 +337,20 @@ let snapshot c =
     ("inj-commits", c.inj_commits);
     ("inj-syscalls", c.inj_syscalls);
   ]
+  (* demand-paging keys appear only once a pager served a fault or the
+     OOM killer fired (minor_faults is always maintained but only
+     emitted here), so snapshots of eager runs — including every
+     historical BENCH json — stay byte-identical *)
+  @ (if c.major_faults = 0 && c.oom_kills = 0 then []
+     else
+       [
+         ("major-faults", c.major_faults);
+         ("minor-faults", c.minor_faults);
+         ("pages-fetched", c.pages_fetched);
+         ("readahead-hits", c.readahead_hits);
+         ("oom-kills", c.oom_kills);
+         ("inj-pager-fetches", c.inj_pager_fetches);
+       ])
   (* template keys appear only once the subsystem is used, so snapshots
      (and the BENCH json counters derived from them) of template-free
      runs are bit-identical to pre-template builds *)

@@ -44,6 +44,17 @@ type counters = {
   mutable inj_frame_allocs : int;  (** injected frame-allocation failures *)
   mutable inj_commits : int;  (** injected commit-charge failures *)
   mutable inj_syscalls : int;  (** injected syscall-reply errnos *)
+  mutable inj_pager_fetches : int;  (** injected pager-pull denials *)
+  mutable major_faults : int;
+      (** first-touch faults served by the pager ("pager:request") *)
+  mutable minor_faults : int;
+      (** demand-zero fills + COW breaks — faults needing no pager *)
+  mutable pages_fetched : int;  (** pages the pager pulled (readahead incl.) *)
+  mutable readahead_hits : int;
+      (** first accesses landing on a readahead-prefetched page *)
+  mutable oom_kills : int;
+      (** processes killed by the [Demand]-policy OOM chooser; the
+          {e per-pid} value marks the victims *)
   mutable tpl_freezes : int;  (** templates frozen *)
   mutable tpl_spawns : int;  (** zygote spawns *)
   mutable tpl_subtrees_shared : int;
@@ -110,6 +121,11 @@ val on_cost : t -> string -> n:int -> float -> unit
 
 val on_injection : t -> Fault.site -> unit
 (** Record one injected failure at the given {!Fault.site}. *)
+
+val on_oom_kill : t -> pid:Types.pid -> unit
+(** Record one OOM kill of victim [pid] (globally and in the victim's
+    per-pid slot — the faulter whose touch triggered it is someone
+    else). *)
 
 val on_ipi : t -> src:int -> dsts:int list -> full:bool -> n:int -> unit
 (** Record [n] pages' worth of shootdown IPIs from CPU [src] to each

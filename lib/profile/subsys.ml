@@ -15,6 +15,7 @@ let group_of_uncached cat =
   | "fault:cow-copy" | "fork:eager-copy" -> "frame-copy"
   | _ ->
     if has_prefix "fault:" then "fault"
+    else if has_prefix "pager:" then "pager"
     else if has_prefix "tlb:" then "tlb"
     else if has_prefix "exec:" then "exec"
     else "other"
@@ -31,7 +32,8 @@ let group_of cat =
     Hashtbl.add tbl cat g;
     g
 
-let group_order = [ "pt-copy"; "fault"; "frame-copy"; "tlb"; "exec"; "other" ]
+let group_order =
+  [ "pt-copy"; "fault"; "pager"; "frame-copy"; "tlb"; "exec"; "other" ]
 
 let groups_of_breakdown breakdown =
   let tbl = Hashtbl.create 8 in

@@ -6,7 +6,17 @@
     instead of cloning themselves and mutating. Unlike raw fork+exec,
     exec failures in the child are reported {e synchronously} to the
     caller (the child writes the error over a close-on-exec pipe that a
-    successful exec silently closes). *)
+    successful exec silently closes).
+
+    Demand paging note: on a real OS the cold-start behaviour this
+    library's simulated counterpart measures in E18 comes for free —
+    [execve] maps the image file lazily and the kernel's page cache
+    plays the pager. The place a {e user-mode} pager would slot in here
+    is between [fork] and [exec]: a [userfaultfd] region (Linux) or
+    external pager port (Mach) registered by the child, with a monitor
+    process serving first-touch faults — the template-backed zygote
+    spawns of {!Ksim.Pager} model exactly that serving loop, including
+    the readahead batching an efficient monitor needs. *)
 
 type error =
   | Exec_failed of Unix.error  (** exec or a file action failed in the child *)

@@ -1,5 +1,21 @@
 type fault_error = [ `Segfault | `Perm_denied | `Out_of_memory ]
 
+(* A simulated user-mode pager: supplies the frame contents (and the
+   modelled fetch cost) for pager-backed pages on their first touch.
+   [fetch] resolves a lazy PTE's cookie; [fetch_backing] copies a page
+   out of a template backing table; both take the cost meter as an
+   argument because the SMP kernel swaps scratch meters in during its
+   record-and-replay phase and the closures are built once per space.
+   [deny] is the fault-injection hook, consulted once per pulled page
+   (readahead included); [readahead] is how many immediately-following
+   pager-backed pages one request also pulls in. *)
+type pager = {
+  fetch : Cost.t -> cookie:int -> frame:Frame.frame -> unit;
+  fetch_backing : Cost.t -> src:Frame.frame -> dst:Frame.frame -> unit;
+  deny : unit -> bool;
+  readahead : int;
+}
+
 type t = {
   frames : Frame.t;
   mutable cost : Cost.t;
@@ -24,6 +40,15 @@ type t = {
   mutable cpumask : Cpuset.t;
       (** which simulated CPUs may cache translations of this space —
           maintained by the SMP scheduler; drives targeted shootdowns *)
+  mutable pager : pager option;
+  mutable backing : Page_table.t option;
+      (** lazy-zygote backing: a sealed template table consulted on
+          faults to wholly-absent pages — a hit is a template-backed
+          first-touch major fault, a miss an ordinary demand-zero *)
+  mutable backing_holes : (int * int) list;
+      (** vpn ranges munmapped since the clone: the backing table is
+          immutable (shared with the template), so holes are recorded
+          here and faults inside them fall back to demand-zero *)
 }
 
 (* cost/tlb/blame are mutable only so the SMP kernel can swap scratch
@@ -61,7 +86,21 @@ let create ?(mmap_base = default_mmap_base) ?(batched = true) ?blame ~frames
     blame_origin = -1;
     family = Atomic.fetch_and_add next_family 1;
     cpumask = Cpuset.empty;
+    pager = None;
+    backing = None;
+    backing_holes = [];
   }
+
+let set_pager t pg = t.pager <- pg
+let pager_installed t = t.pager <> None
+let has_backing t = t.backing <> None
+let lazy_pages t = Page_table.lazy_count t.pt
+
+(* Demand paging is live in this space: faults may need the pager. The
+   default configuration (no pager, no lazy entries) keeps every fault
+   path bit-identical to the eager simulator. *)
+let pager_active t =
+  t.pager <> None && (t.backing <> None || Page_table.lazy_count t.pt > 0)
 
 let family t = t.family
 let cpumask t = t.cpumask
@@ -157,6 +196,21 @@ let mmap ?addr ?(shared = false) ~len ~perm ~kind t =
       | Some a -> place a)
   end
 
+(* Map a pager-backed (lazy) range: the VMA and commit admission of
+   [mmap], then one [map_lazy_range] installing empty leaves — no frame
+   allocated, no byte copied, cost O(ranges). Page [k] carries cookie
+   [cookie0 + k*stride] for the pager to resolve at first touch. *)
+let map_lazy ?addr ~len ~perm ~kind ~cookie0 ~stride t =
+  alive t "Addr_space.map_lazy";
+  if t.pager = None then invalid_arg "Addr_space.map_lazy: no pager installed";
+  match mmap ?addr ~len ~perm ~kind t with
+  | Error _ as e -> e
+  | Ok start ->
+    Page_table.map_lazy_range t.pt ~vpn:(Addr.page_number start)
+      ~n:(Addr.align_up len / Addr.page_size)
+      ~cookie0 ~stride ~perm;
+    Ok start
+
 (* Release the frames mapped under [start, stop) and return how many
    pages were resident. *)
 let release_pages t ~start ~stop =
@@ -189,6 +243,9 @@ let munmap t ~addr ~len =
     List.iter
       (fun (s, e, vma) ->
         ignore (release_pages t ~start:s ~stop:e);
+        if t.backing <> None then
+          t.backing_holes <-
+            (Addr.page_number s, Addr.page_number (e - 1)) :: t.backing_holes;
         if needs_commit vma then release_commit t ((e - s) / Addr.page_size))
       removed;
     if removed <> [] then as_shootdown t;
@@ -340,6 +397,74 @@ let break_cow t ~vpn ~pte ~region_perm =
       Ok ()
   end
 
+(* Where the pager would source the (non-present) page at [vpn], if
+   anywhere: a lazy PTE carries its fetch cookie; a wholly-absent page
+   over the backing table (outside any munmap hole) is template-backed;
+   anything else is ordinary demand-zero. *)
+let pager_src t ~vpn ~pte =
+  if Pte.lazy_ pte then Some (`Cookie (Pte.cookie pte))
+  else
+    match t.backing with
+    | None -> None
+    | Some bpt ->
+      if List.exists (fun (lo, hi) -> vpn >= lo && vpn <= hi) t.backing_holes
+      then None
+      else
+        let b = Page_table.lookup bpt ~vpn in
+        if Pte.present b then Some (`Backing (Pte.frame b)) else None
+
+(* Pull one page through the pager: allocate a frame, let the pager
+   charge its fetch and fill the contents, install the entry present at
+   the region permission. Failure (denied fetch or no frame) leaves the
+   entry exactly as it was — a lazy PTE stays lazy, a backing hit stays
+   absent — so a failed first touch rolls back cleanly. *)
+let pager_fill t pg ~vpn ~perm ~src ~prefetched =
+  if pg.deny () then Error `Out_of_memory
+  else
+    match Frame.alloc t.frames with
+    | Error `Out_of_memory -> Error `Out_of_memory
+    | Ok frame ->
+      (match src with
+      | `Cookie c -> pg.fetch t.cost ~cookie:c ~frame
+      | `Backing src -> pg.fetch_backing t.cost ~src ~dst:frame);
+      let pte = Pte.make ~frame ~perm () in
+      Page_table.map t.pt ~vpn
+        (if prefetched then Pte.mark_prefetched pte else pte);
+      Ok ()
+
+(* First-touch (major) fault on a pager-backed page: one pager request
+   serves the faulting page plus up to [readahead] immediately-following
+   pager-backed pages of the same VMA, installed with the prefetched
+   mark (their later first access tallies a readahead hit). Readahead
+   stops silently at the first non-pager-backed page, denied fetch or
+   allocation failure — only the faulting page's failure surfaces.
+   Charges carry the deferred-blame context: a zygote child's fetches
+   bill the spawn event that made its pages lazy. *)
+let pager_fault t pg ~region_perm ~region_stop ~vpn ~src =
+  let p = params t in
+  deferred_blame t (fun () ->
+      Cost.charge t.cost "fault:base" p.Cost.fault_base;
+      Cost.charge t.cost "pager:request" p.Cost.pager_request;
+      match pager_fill t pg ~vpn ~perm:region_perm ~src ~prefetched:false with
+      | Error _ as e -> e
+      | Ok () ->
+        let vpn_stop = min (Addr.page_number (region_stop - 1)) (vpn + pg.readahead) in
+        (try
+           for v = vpn + 1 to vpn_stop do
+             let pte = Page_table.lookup t.pt ~vpn:v in
+             if Pte.present pte then raise Exit;
+             match pager_src t ~vpn:v ~pte with
+             | None -> raise Exit
+             | Some src -> (
+               match
+                 pager_fill t pg ~vpn:v ~perm:region_perm ~src ~prefetched:true
+               with
+               | Error `Out_of_memory -> raise Exit
+               | Ok () -> ())
+           done
+         with Exit -> ());
+        Ok ())
+
 let fault t ~addr ~write =
   alive t "Addr_space.fault";
   let p = params t in
@@ -347,7 +472,7 @@ let fault t ~addr ~write =
   else
     match Region_map.find_containing addr t.regions with
     | None -> Error `Segfault
-    | Some (_, _, vma) ->
+    | Some (_, rstop, vma) ->
       let requested =
         if write then { Perm.none with Perm.write = true }
         else { Perm.none with Perm.read = true }
@@ -357,8 +482,17 @@ let fault t ~addr ~write =
         let vpn = Addr.page_number addr in
         let pte = Page_table.lookup t.pt ~vpn in
         if not (Pte.present pte) then begin
-          Cost.charge t.cost "fault:base" p.Cost.fault_base;
-          demand_fill t ~vpn ~perm:vma.Vma.perm
+          match pager_src t ~vpn ~pte with
+          | Some src -> (
+            match t.pager with
+            | None ->
+              invalid_arg "Addr_space.fault: pager-backed page but no pager"
+            | Some pg ->
+              pager_fault t pg ~region_perm:vma.Vma.perm ~region_stop:rstop
+                ~vpn ~src)
+          | None ->
+            Cost.charge t.cost "fault:base" p.Cost.fault_base;
+            demand_fill t ~vpn ~perm:vma.Vma.perm
         end
         else if write && not (Pte.perm pte).Perm.write then begin
           if Pte.cow pte then
@@ -378,9 +512,13 @@ let fault t ~addr ~write =
           end
         end
         else begin
+          if Pte.prefetched pte then
+            (* first real access to a page readahead pulled in: the
+               prefetch paid off — count the hit, clear the mark *)
+            Cost.tally t.cost "pager:readahead-hit";
           ignore
             (Page_table.update t.pt ~vpn (fun pte ->
-                 let pte = Pte.mark_accessed pte in
+                 let pte = Pte.clear_prefetched (Pte.mark_accessed pte) in
                  if write then Pte.mark_dirty pte else pte));
           Ok ()
         end
@@ -525,8 +663,14 @@ let touch_range_batched t ~addr ~len =
 
 let touch_range t ~addr ~len =
   if len <= 0 then Ok 0
-  else if t.batched then begin
-    (* the per-page walk hits [fault]'s liveness check on page one *)
+  else if t.batched && not (pager_active t) then begin
+    (* the per-page walk hits [fault]'s liveness check on page one.
+       With demand paging live the per-page reference walk is used even
+       in batched mode: readahead grouping makes the charge sequence
+       state-dependent, and the per-page walk IS that sequence — the
+       batched leaf pass would have to replay it page by page anyway
+       (total charges and event counts are identical either way, since
+       every cost parameter is an integer-valued float). *)
     alive t "Addr_space.fault";
     touch_range_batched t ~addr ~len
   end
@@ -598,6 +742,10 @@ let clone_common t ~pt ~committed_charge =
     family = t.family;
     (* no CPU caches the clone's translations until it is scheduled *)
     cpumask = Cpuset.empty;
+    pager = t.pager;
+    (* a forked lazy-zygote child keeps faulting against the template *)
+    backing = t.backing;
+    backing_holes = t.backing_holes;
   }
 
 (* After a COW page-table copy, pages of *shared* VMAs must not be COW:
@@ -718,6 +866,8 @@ let clone_eager t =
    template object owns frames, not commit). *)
 let seal t =
   alive t "Addr_space.seal";
+  if pager_active t then
+    invalid_arg "Addr_space.seal: unresolved pager-backed pages";
   let p = params t in
   Cost.charge ~n:(Region_map.cardinal t.regions) t.cost "fork:vma"
     (p.Cost.vma_clone *. float_of_int (Region_map.cardinal t.regions));
@@ -732,16 +882,31 @@ let seal t =
    The commit charge is the only fallible step and runs first, so a
    failed spawn leaves the template (and the machine) untouched —
    the transactional invariant the fault-injection tests check. *)
-let clone_from_sealed tpl ~commit_pages =
+let clone_from_sealed ?(lazy_ = false) tpl ~commit_pages =
   alive tpl "Addr_space.clone_from_sealed";
+  if lazy_ && tpl.pager = None then
+    invalid_arg "Addr_space.clone_from_sealed: lazy spawn but no pager";
   let p = params tpl in
   match Frame.commit tpl.frames commit_pages with
   | Error `Commit_limit -> Error `Commit_limit
   | Ok () ->
     Cost.charge ~n:(Region_map.cardinal tpl.regions) tpl.cost "fork:vma"
       (p.Cost.vma_clone *. float_of_int (Region_map.cardinal tpl.regions));
-    let pt, subtrees = Page_table.clone_sealed tpl.pt ~cost:tpl.cost in
-    Ok (clone_common tpl ~pt ~committed_charge:commit_pages, subtrees)
+    if lazy_ then begin
+      (* demand spawn: the child starts from an EMPTY table (one root
+         node, charged as a single subtree) and records the sealed
+         table as its fault-time backing — O(1) in the template's
+         footprint; each page is fetched privately on first touch *)
+      let child = clone_common tpl ~pt:(Page_table.create ()) ~committed_charge:commit_pages in
+      Cost.charge tpl.cost "zygote:subtree" p.Cost.pt_node_copy;
+      child.backing <- Some tpl.pt;
+      child.backing_holes <- [];
+      Ok (child, 0)
+    end
+    else begin
+      let pt, subtrees = Page_table.clone_sealed tpl.pt ~cost:tpl.cost in
+      Ok (clone_common tpl ~pt ~committed_charge:commit_pages, subtrees)
+    end
 
 (* True when every resident frame has refcount exactly 1 — no COW
    sharer, no template pin. Freezing demands this: a sole-owner source
@@ -786,6 +951,9 @@ let destroy t =
 
 let fold_resident t ~init ~f =
   Page_table.fold_present t.pt ~init ~f:(fun acc ~vpn pte -> f acc ~vpn ~pte)
+
+let fold_lazy t ~init ~f =
+  Page_table.fold_lazy t.pt ~init ~f:(fun acc ~vpn pte -> f acc ~vpn ~pte)
 
 let resident_pages t = Page_table.present_count t.pt
 let committed_pages t = t.committed

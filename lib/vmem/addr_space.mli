@@ -66,6 +66,46 @@ type meters = { m_cost : Cost.t; m_tlb : Tlb.t; m_blame : Blame.t option }
 val meters : t -> meters
 val set_meters : t -> meters -> unit
 
+type pager = {
+  fetch : Cost.t -> cookie:int -> frame:Frame.frame -> unit;
+      (** resolve a lazy PTE: charge the fetch and fill [frame] from
+          whatever source the cookie names (the cookie encoding is the
+          installer's — typically [Ksim.Pager]'s — private convention) *)
+  fetch_backing : Cost.t -> src:Frame.frame -> dst:Frame.frame -> unit;
+      (** pull one template page for a lazy-zygote child: charge the
+          fetch and copy [src] (a pinned template frame) into [dst] *)
+  deny : unit -> bool;
+      (** fault-injection hook, consulted once per pulled page
+          (readahead included); [true] fails that fetch like OOM *)
+  readahead : int;
+      (** extra consecutive pager-backed pages pulled per request *)
+}
+(** A simulated user-mode pager (see the module comment of
+    {!Ksim.Pager}). The cost meter is passed to each closure at call
+    time because the SMP kernel swaps scratch meters in during its
+    record-and-replay phase while the closures live as long as the
+    space. *)
+
+val set_pager : t -> pager option -> unit
+(** Install (or remove) the pager consulted on first-touch faults of
+    pager-backed pages. Must be installed before {!map_lazy} or a lazy
+    {!clone_from_sealed}; with no pager and no lazy pages every fault
+    path is bit-identical to the eager simulator. *)
+
+val pager_installed : t -> bool
+
+val pager_active : t -> bool
+(** A pager is installed {e and} this space has pager-backed pages
+    (lazy PTEs or a template backing table) — i.e. faults may reach the
+    pager. The SMP kernel excludes such spaces' touches from its
+    parallel phase. *)
+
+val lazy_pages : t -> int
+(** Number of lazy (mapped-but-unbacked) PTEs. *)
+
+val has_backing : t -> bool
+(** True for lazy-zygote children still backed by their template. *)
+
 val set_blame_origin : t -> int -> unit
 (** Stamp the {!Blame} event id that most recently made this space's
     pages COW-shared (fork stamps both sides; freeze stamps the source;
@@ -88,6 +128,23 @@ val mmap :
     at or above [mmap_base] is used; with [addr] the exact (page-aligned)
     address is required. Private mappings charge commit. Returns the
     start address. Pages are demand-faulted, not populated. *)
+
+val map_lazy :
+  ?addr:int ->
+  len:int ->
+  perm:Perm.t ->
+  kind:Vma.kind ->
+  cookie0:int ->
+  stride:int ->
+  t ->
+  (int, [> `No_space | `Overlap | `Commit_limit | `Invalid ]) result
+(** Like {!mmap} (private mapping, commit charged as usual) but the
+    pages are installed as {e lazy} PTEs — no frame allocated, no byte
+    copied, O(ranges) — each carrying the pager cookie
+    [cookie0 + k*stride] ([stride] 1 for consecutive image pages, 0 to
+    repeat a constant cookie such as demand-zero). First touch is a
+    major fault served by the installed pager.
+    @raise Invalid_argument when no pager is installed. *)
 
 val munmap : t -> addr:int -> len:int -> (unit, [> `Invalid ]) result
 (** Unmap every whole page of [[addr, addr+len)]; mapped sub-ranges are
@@ -157,13 +214,21 @@ val seal : t -> t
     and a zero commit charge. *)
 
 val clone_from_sealed :
-  t -> commit_pages:int -> (t * int, [> `Commit_limit ]) result
+  ?lazy_:bool -> t -> commit_pages:int -> (t * int, [> `Commit_limit ]) result
 (** Spawn a child space from a sealed template in O(shared subtrees):
     charge [commit_pages] of commit (the only fallible step, performed
     first so failure leaves the template untouched), then share the
     sealed table by bumping its root — one ["zygote:subtree"] charge per
     occupied root slot, independent of footprint. Returns the child and
-    the number of subtrees shared. *)
+    the number of subtrees shared.
+
+    With [~lazy_:true] (demand spawn) the child instead starts from an
+    empty table (one ["zygote:subtree"] charge, subtree count 0) and
+    records the sealed table as its fault-time {e backing}: each page
+    is pulled privately by the pager on first touch, so spawn cost is
+    independent even of the template's root fan-out and untouched pages
+    are never instantiated. @raise Invalid_argument when [~lazy_:true]
+    and no pager is installed. *)
 
 val sole_owner : t -> bool
 (** True when every resident frame has refcount exactly 1 — the freeze
@@ -184,6 +249,9 @@ val fold_resident :
 (** Ascending fold over the present PTEs — introspection for tests
     (the batched-vs-reference oracle compares exact table contents)
     and debugging. *)
+
+val fold_lazy : t -> init:'a -> f:('a -> vpn:int -> pte:Pte.t -> 'a) -> 'a
+(** Ascending fold over the lazy PTEs (same oracle role). *)
 
 val resident_pages : t -> int
 val committed_pages : t -> int

@@ -15,6 +15,10 @@ type params = {
   exec_per_page : float;
   fd_clone : float;
   sched_switch : float;
+  pager_request : float;
+  pager_fetch_zero : float;
+  pager_fetch_image : float;
+  pager_fetch_template : float;
 }
 
 (* Order-of-magnitude constants for a ~3 GHz server; see the module
@@ -37,6 +41,10 @@ let default =
     exec_per_page = 450.0;
     fd_clone = 120.0;
     sched_switch = 3_000.0;
+    pager_request = 3_000.0;
+    pager_fetch_zero = 1_000.0;
+    pager_fetch_image = 2_400.0;
+    pager_fetch_template = 1_600.0;
   }
 
 let ghz = 3.0

@@ -26,6 +26,14 @@ type params = {
   exec_per_page : float;  (** map one text/data page (no I/O model) *)
   fd_clone : float;  (** duplicate one fd-table slot *)
   sched_switch : float;  (** context switch *)
+  pager_request : float;
+      (** dispatch one first-touch fault batch to the user-mode pager
+          (upcall + reply; amortised over the batch by readahead) *)
+  pager_fetch_zero : float;  (** pager supplies one demand-zero page *)
+  pager_fetch_image : float;
+      (** pager pulls one page from the executable image *)
+  pager_fetch_template : float;
+      (** pager copies one page from a sealed template *)
 }
 
 val default : params

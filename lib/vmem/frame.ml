@@ -1,4 +1,4 @@
-type policy = Strict | Overcommit
+type policy = Strict | Overcommit | Demand
 
 type frame = int
 
@@ -325,7 +325,10 @@ let commit t pages =
     lock t;
     let r =
       match t.policy with
-      | Overcommit ->
+      | Overcommit | Demand ->
+        (* Demand admits like Overcommit at commit time; the reckoning
+           moves to first-touch faults, where the kernel's OOM killer
+           frees pressure instead of refusing admission. *)
         t.committed <- t.committed + pages;
         Ok ()
       | Strict ->

@@ -12,9 +12,13 @@
     exceed physical memory, so forking a large process fails even though
     COW would rarely copy the pages; [Overcommit] waives the check, which
     is exactly the Linux-style behaviour the paper blames fork for
-    encouraging (and which surfaces later as OOM kills). *)
+    encouraging (and which surfaces later as OOM kills). [Demand] also
+    waives the check — admission is identical to [Overcommit] — but is
+    the kernel's signal that backing failures at first-touch faults
+    should invoke the OOM-killer victim chooser rather than surface as
+    ENOMEM to the toucher (see [Ksim.Kernel]). *)
 
-type policy = Strict | Overcommit
+type policy = Strict | Overcommit | Demand
 
 type t
 

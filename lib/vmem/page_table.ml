@@ -11,6 +11,7 @@ type node =
 type t = {
   mutable root : node;
   mutable present : int;
+  mutable lazy_ : int;  (** mapped-but-unbacked (demand-paged) entries *)
   mutable nodes : int;
 }
 
@@ -20,7 +21,7 @@ let new_leaf () =
 let new_inner () =
   Inner { refs = 1; children = Array.make Addr.entries_per_table None }
 
-let create () = { root = new_inner (); present = 0; nodes = 1 }
+let create () = { root = new_inner (); present = 0; lazy_ = 0; nodes = 1 }
 
 let check_vpn vpn =
   if vpn < 0 || vpn >= Addr.max_va lsr Addr.page_shift then
@@ -89,7 +90,9 @@ let map t ~vpn pte =
   | None -> assert false
   | Some entries ->
     let idx = Addr.table_index ~level:0 vpn in
-    if not (Pte.present entries.(idx)) then t.present <- t.present + 1;
+    let old = entries.(idx) in
+    if not (Pte.present old) then t.present <- t.present + 1;
+    if Pte.lazy_ old then t.lazy_ <- t.lazy_ - 1;
     entries.(idx) <- pte
 
 let unmap t ~vpn =
@@ -102,6 +105,10 @@ let unmap t ~vpn =
     if Pte.present old then begin
       entries.(idx) <- Pte.absent;
       t.present <- t.present - 1
+    end
+    else if Pte.lazy_ old then begin
+      entries.(idx) <- Pte.absent;
+      t.lazy_ <- t.lazy_ - 1
     end;
     old
 
@@ -132,8 +139,10 @@ let update t ~vpn f =
     end
 
 let present_count t = t.present
+let lazy_count t = t.lazy_
 let node_count t = t.nodes
 let note_mapped t n = t.present <- t.present + n
+let note_lazy t n = t.lazy_ <- t.lazy_ + n
 
 let fold_present t ~init ~f =
   (* vpn is reconstructed incrementally: at each level the child index
@@ -144,6 +153,30 @@ let fold_present t ~init ~f =
       let acc = ref acc in
       for i = 0 to Addr.entries_per_table - 1 do
         if Pte.present l.entries.(i) then
+          acc := f !acc ~vpn:((vpn_prefix lsl Addr.index_bits) lor i)
+              l.entries.(i)
+      done;
+      !acc
+    | Inner inner ->
+      let acc = ref acc in
+      for i = 0 to Addr.entries_per_table - 1 do
+        match inner.children.(i) with
+        | None -> ()
+        | Some child ->
+          acc :=
+            go child (level - 1) ((vpn_prefix lsl Addr.index_bits) lor i) !acc
+      done;
+      !acc
+  in
+  go t.root (Addr.levels - 1) 0 init
+
+let fold_lazy t ~init ~f =
+  let rec go node level vpn_prefix acc =
+    match node with
+    | Leaf l ->
+      let acc = ref acc in
+      for i = 0 to Addr.entries_per_table - 1 do
+        if Pte.lazy_ l.entries.(i) then
           acc := f !acc ~vpn:((vpn_prefix lsl Addr.index_bits) lor i)
               l.entries.(i)
       done;
@@ -219,10 +252,46 @@ let map_range t ~vpn ptes =
          ~leaf:(fun () ~base ~entries:_ ~lo ~hi ~writable ->
            let entries = writable () in
            for i = lo to hi do
-             if not (Pte.present entries.(i)) then
-               t.present <- t.present + 1;
+             let old = entries.(i) in
+             if not (Pte.present old) then t.present <- t.present + 1;
+             if Pte.lazy_ old then t.lazy_ <- t.lazy_ - 1;
              entries.(i) <- ptes.(base + i - vpn)
            done))
+  end
+
+(* Install a run of lazy (demand-paged) entries over an absent range,
+   locating each leaf once: page k of the run carries cookie
+   [cookie0 + k*stride] (stride 1 indexes consecutive image pages,
+   stride 0 repeats a constant source cookie). No frame is allocated
+   and no byte copied — this is the O(ranges) map the lazy exec/spawn
+   paths buy. The range must be wholly absent (the loader maps into
+   fresh VMAs). *)
+let map_lazy_range t ~vpn ~n ~cookie0 ~stride ~perm =
+  if n > 0 then begin
+    check_vpn vpn;
+    check_vpn (vpn + n - 1);
+    if cookie0 < 0 || stride < 0 then
+      invalid_arg "Page_table.map_lazy_range: bad cookie run";
+    let install entries ~at ~from ~span =
+      let cookies =
+        Array.init span (fun k -> cookie0 + ((from + k) * stride))
+      in
+      Pte.lazy_blit_run ~cookies ~n:span ~perm entries ~at;
+      t.lazy_ <- t.lazy_ + span
+    in
+    ignore
+      (fold_leaves t ~vpn0:vpn ~vpn1:(vpn + n - 1) ~init:()
+         ~missing:(fun () ~vpn:v ~span ~materialize ->
+           install (materialize ())
+             ~at:(v land (Addr.entries_per_table - 1))
+             ~from:(v - vpn) ~span)
+         ~leaf:(fun () ~base ~entries ~lo ~hi ~writable ->
+           for i = lo to hi do
+             if entries.(i) <> Pte.absent then
+               invalid_arg "Page_table.map_lazy_range: occupied slot"
+           done;
+           install (writable ()) ~at:lo ~from:(base + lo - vpn)
+             ~span:(hi - lo + 1)))
   end
 
 let protect_range t ~vpn0 ~vpn1 ~f =
@@ -266,7 +335,7 @@ let unmap_range t ~vpn0 ~vpn1 ~f =
         let any = ref false in
         (try
            for i = lo to hi do
-             if Pte.present entries.(i) then begin
+             if entries.(i) <> Pte.absent then begin
                any := true;
                raise Exit
              end
@@ -275,7 +344,7 @@ let unmap_range t ~vpn0 ~vpn1 ~f =
         if not !any then acc
         else begin
           let entries = writable () in
-          let n = ref 0 in
+          let n = ref 0 and dropped_lazy = ref 0 in
           for i = lo to hi do
             let pte = entries.(i) in
             if Pte.present pte then begin
@@ -283,8 +352,14 @@ let unmap_range t ~vpn0 ~vpn1 ~f =
               entries.(i) <- Pte.absent;
               incr n
             end
+            else if Pte.lazy_ pte then begin
+              (* unbacked entry: nothing to release, just forget it *)
+              entries.(i) <- Pte.absent;
+              incr dropped_lazy
+            end
           done;
           t.present <- t.present - !n;
+          t.lazy_ <- t.lazy_ - !dropped_lazy;
           acc + !n
         end)
 
@@ -292,6 +367,7 @@ let clone_cow t ~frames ~cost =
   let p = Cost.params cost in
   let nodes = ref 0 in
   let present = ref 0 in
+  let lazies = ref 0 in
   let rec copy node =
     incr nodes;
     Cost.charge cost "fork:pt-node" p.Cost.pt_node_copy;
@@ -316,6 +392,13 @@ let clone_cow t ~frames ~cost =
           l.entries.(i) <- shared;
           dst.(i) <- shared
         end
+        else if Pte.lazy_ pte then begin
+          (* an unbacked entry is still a PTE word the fork copies; both
+             sides keep the cookie and fault their page independently *)
+          Cost.charge cost "fork:pte" p.Cost.pte_copy;
+          incr lazies;
+          dst.(i) <- pte
+        end
       done;
       Leaf { refs = 1; entries = dst }
     | Inner inner ->
@@ -328,7 +411,7 @@ let clone_cow t ~frames ~cost =
       Inner { refs = 1; children = dst }
   in
   let root = copy t.root in
-  { root; present = !present; nodes = !nodes }
+  { root; present = !present; lazy_ = !lazies; nodes = !nodes }
 
 (* The fork transform a PTE undergoes during {!clone_cow} followed by
    the shared-VMA fixup the address space applies afterwards, fused:
@@ -356,9 +439,9 @@ let clone_cow_shared t ~frames ~cost ~shared =
      same float exactly. *)
   Cost.charge ~n:t.nodes cost "fork:pt-node"
     (p.Cost.pt_node_copy *. float_of_int t.nodes);
-  if t.present > 0 then
-    Cost.charge ~n:t.present cost "fork:pte"
-      (p.Cost.pte_copy *. float_of_int t.present);
+  let ptes = t.present + t.lazy_ in
+  if ptes > 0 then
+    Cost.charge ~n:ptes cost "fork:pte" (p.Cost.pte_copy *. float_of_int ptes);
   (* One ascending pass over the leaves: incref every present frame and
      apply the fork transform in place. A leaf still shared with an
      earlier clone holds only PTEs the transform maps to themselves
@@ -422,7 +505,7 @@ let clone_cow_shared t ~frames ~cost ~shared =
   in
   go t.root (Addr.levels - 1) 0;
   bump t.root;
-  { root = t.root; present = t.present; nodes = t.nodes }
+  { root = t.root; present = t.present; lazy_ = t.lazy_; nodes = t.nodes }
 
 (* Seal pass: identical shape (and identical cost charges) to
    {!clone_cow_shared}, but the frames move into the immortal refcount
@@ -434,9 +517,9 @@ let seal_cow t ~frames ~cost ~shared =
   let p = Cost.params cost in
   Cost.charge ~n:t.nodes cost "fork:pt-node"
     (p.Cost.pt_node_copy *. float_of_int t.nodes);
-  if t.present > 0 then
-    Cost.charge ~n:t.present cost "fork:pte"
-      (p.Cost.pte_copy *. float_of_int t.present);
+  let ptes = t.present + t.lazy_ in
+  if ptes > 0 then
+    Cost.charge ~n:ptes cost "fork:pte" (p.Cost.pte_copy *. float_of_int ptes);
   let shared_tail = ref shared in
   let scratch = Array.make Addr.entries_per_table 0 in
   let transform_leaf entries base =
@@ -491,7 +574,7 @@ let seal_cow t ~frames ~cost ~shared =
   in
   go t.root (Addr.levels - 1) 0;
   bump t.root;
-  { root = t.root; present = t.present; nodes = t.nodes }
+  { root = t.root; present = t.present; lazy_ = t.lazy_; nodes = t.nodes }
 
 (* Clone from a sealed table: every frame behind it is immortal and
    every PTE is already in post-fork form, so there is nothing to
@@ -512,7 +595,8 @@ let clone_sealed t ~cost =
   let n = max subtrees 1 in
   Cost.charge ~n cost "zygote:subtree" (p.Cost.pt_node_copy *. float_of_int n);
   bump t.root;
-  ({ root = t.root; present = t.present; nodes = t.nodes }, subtrees)
+  ({ root = t.root; present = t.present; lazy_ = t.lazy_; nodes = t.nodes },
+   subtrees)
 
 let clear t ~frames =
   (* Same ascending decref order as a [fold_present] walk, but one
@@ -547,5 +631,6 @@ let clear t ~frames =
   release t.root;
   t.root <- new_inner ();
   t.present <- 0;
+  t.lazy_ <- 0;
   t.nodes <- 1;
   dropped

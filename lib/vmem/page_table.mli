@@ -25,7 +25,8 @@ val map : t -> vpn:int -> Pte.t -> unit
     absent. *)
 
 val unmap : t -> vpn:int -> Pte.t
-(** Remove and return the entry ({!Pte.absent} if none was present). *)
+(** Remove and return the entry ({!Pte.absent} if none was present).
+    Lazy (demand-paged) entries are removed too and returned. *)
 
 val lookup : t -> vpn:int -> Pte.t
 (** {!Pte.absent} when unmapped. *)
@@ -38,6 +39,9 @@ val update : t -> vpn:int -> (Pte.t -> Pte.t) -> bool
 val present_count : t -> int
 (** Number of present leaf entries. *)
 
+val lazy_count : t -> int
+(** Number of lazy (mapped-but-unbacked, demand-paged) entries. *)
+
 val node_count : t -> int
 (** Number of table pages this table logically owns, root included.
     Subtrees shared with a clone count towards both tables (each was
@@ -46,15 +50,29 @@ val node_count : t -> int
 val fold_present : t -> init:'a -> f:('a -> vpn:int -> Pte.t -> 'a) -> 'a
 (** Iterate all present entries in increasing vpn order. *)
 
+val fold_lazy : t -> init:'a -> f:('a -> vpn:int -> Pte.t -> 'a) -> 'a
+(** Iterate all lazy (demand-paged) entries in increasing vpn order. *)
+
 val map_range : t -> vpn:int -> Pte.t array -> unit
 (** Install [ptes.(i)] at [vpn + i] for every [i], locating each leaf
     once ([Array.blit] into fresh leaves). Equivalent to repeated
     {!map}. @raise Invalid_argument on out-of-range vpns or absent
     PTEs. *)
 
+val map_lazy_range :
+  t -> vpn:int -> n:int -> cookie0:int -> stride:int -> perm:Perm.t -> unit
+(** Install [n] lazy (demand-paged) entries from [vpn], locating each
+    leaf once: page [k] of the run carries cookie [cookie0 + k*stride]
+    ([stride] 1 indexes consecutive image pages, 0 repeats a constant
+    source cookie). No frame is allocated, no byte copied. The range
+    must be wholly absent. @raise Invalid_argument on out-of-range
+    vpns, negative cookie runs, or occupied slots. *)
+
 val unmap_range : t -> vpn0:int -> vpn1:int -> f:(Pte.t -> unit) -> int
 (** Remove every present entry in [[vpn0, vpn1]], calling [f] on each
     removed PTE in ascending vpn order; returns the number removed.
+    Lazy entries in the range are dropped too (without calling [f] —
+    there is no frame to release), but not counted in the result.
     Like {!unmap}, emptied leaf nodes stay allocated. *)
 
 val protect_range : t -> vpn0:int -> vpn1:int -> f:(Pte.t -> Pte.t) -> int
@@ -92,14 +110,22 @@ val note_mapped : t -> int -> unit
 (** Adjust the present-entry counter by [n] — for range fillers writing
     through {!fold_leaves}. *)
 
+val note_lazy : t -> int -> unit
+(** Adjust the lazy-entry counter by [n] — for batched fault paths that
+    convert lazy entries to present through {!fold_leaves} (which must
+    also {!note_mapped} the same count). *)
+
 val clone_cow : t -> frames:Frame.t -> cost:Cost.t -> t
 (** Duplicate the table for a forked child: every table node is copied
     (charged as [pt_node_copy]), every present entry visited (charged as
     [pte_copy]); writable entries are downgraded to read-only+COW in
     {b both} parent and child, and each referenced frame's refcount is
-    incremented. The caller is responsible for the parent TLB flush this
-    downgrade requires. This is the eager reference walk — the oracle
-    the batched path is tested against. *)
+    incremented. Lazy entries are copied verbatim (also [pte_copy] — a
+    PTE word the fork must copy, though no frame backs it): both sides
+    keep the cookie and fault their page independently. The caller is
+    responsible for the parent TLB flush this downgrade requires. This
+    is the eager reference walk — the oracle the batched path is tested
+    against. *)
 
 val clone_cow_shared :
   t ->

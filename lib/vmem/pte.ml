@@ -7,6 +7,7 @@ let bit_exec = 8
 let bit_cow = 16
 let bit_accessed = 32
 let bit_dirty = 64
+let bit_lazy = 128
 let frame_shift = 8
 let absent = 0
 let present t = t land bit_present <> 0
@@ -21,6 +22,29 @@ let make ~frame ~perm ?(cow = false) () =
   lor if cow then bit_cow else 0
 
 let frame t = t lsr frame_shift
+
+(* A lazy (not-present-until-touched) entry reuses the frame field as an
+   opaque pager cookie. It never sets bit_present, so every present-gated
+   walk (clear, refcount passes, the batch helpers below) skips it for
+   free; only the fault path and the explicit range installers look at
+   bit_lazy. *)
+let make_lazy ~cookie ~perm () =
+  if cookie < 0 then invalid_arg "Pte.make_lazy: negative cookie";
+  (cookie lsl frame_shift)
+  lor bit_lazy
+  lor (if perm.Perm.read then bit_read else 0)
+  lor (if perm.Perm.write then bit_write else 0)
+  lor if perm.Perm.exec then bit_exec else 0
+
+let lazy_ t = t land bit_lazy <> 0 && t land bit_present = 0
+let cookie t = t lsr frame_shift
+
+(* On a present entry, bit 7 marks "installed by readahead, not yet
+   touched" — the first real access clears it and counts as a readahead
+   hit instead of a fault. *)
+let mark_prefetched t = t lor bit_lazy
+let prefetched t = t land bit_lazy <> 0 && t land bit_present <> 0
+let clear_prefetched t = t land lnot bit_lazy
 
 let perm t =
   {
@@ -93,10 +117,24 @@ let downgrade_run src ~lo ~hi ~dst =
   done;
   !k
 
+let lazy_blit_run ~cookies ~n ~perm dst ~at =
+  if n < 0 || n > Array.length cookies || at < 0 || at + n > Array.length dst
+  then invalid_arg "Pte.lazy_blit_run";
+  if n > 0 then begin
+    let template = make_lazy ~cookie:0 ~perm () in
+    for k = 0 to n - 1 do
+      Array.unsafe_set dst (at + k)
+        (template lor (Array.unsafe_get cookies k lsl frame_shift))
+    done
+  end
+
 let pp ppf t =
-  if not (present t) then Format.pp_print_string ppf "<absent>"
+  if lazy_ t then
+    Format.fprintf ppf "lazy cookie=%d %a" (cookie t) Perm.pp (perm t)
+  else if not (present t) then Format.pp_print_string ppf "<absent>"
   else
-    Format.fprintf ppf "frame=%d %a%s%s%s" (frame t) Perm.pp (perm t)
+    Format.fprintf ppf "frame=%d %a%s%s%s%s" (frame t) Perm.pp (perm t)
       (if cow t then " cow" else "")
       (if accessed t then " acc" else "")
       (if dirty t then " dirty" else "")
+      (if prefetched t then " pref" else "")

@@ -2,9 +2,19 @@
 
     A PTE is a single immutable [int]: bit 0 = present, bits 1-3 =
     read/write/exec, bit 4 = copy-on-write, bit 5 = accessed, bit 6 =
-    dirty; the frame number occupies the bits above {!frame_shift}.
-    Packing keeps a fully-mapped multi-GiB address space cheap (one int
-    per page). *)
+    dirty, bit 7 = lazy/prefetched (see below); the frame number
+    occupies the bits above {!frame_shift}. Packing keeps a
+    fully-mapped multi-GiB address space cheap (one int per page).
+
+    Demand paging adds a third entry state besides absent and present:
+    a {e lazy} entry ([bit 7] set, present clear) records permissions
+    and a pager {e cookie} (in the frame field) for a page that has
+    been mapped but never backed — the first touch is a major fault
+    that asks the pager to supply the frame. Because lazy entries are
+    not present, every present-gated walk (refcounts, {!clear},
+    the batch helpers) skips them without change. On a {e present}
+    entry, the same bit 7 means "installed by readahead": the first
+    real access clears it and counts as a readahead hit. *)
 
 type t = int
 
@@ -15,11 +25,30 @@ val make : frame:Frame.frame -> perm:Perm.t -> ?cow:bool -> unit -> t
 (** A fresh present entry; [cow] defaults to false.
     @raise Invalid_argument on a negative frame. *)
 
+val make_lazy : cookie:int -> perm:Perm.t -> unit -> t
+(** A not-present-until-touched entry carrying a pager [cookie]
+    (an opaque non-negative int the pager interprets; this module
+    only stores it). @raise Invalid_argument on a negative cookie. *)
+
 val frame : t -> Frame.frame
 val perm : t -> Perm.t
 val cow : t -> bool
 val accessed : t -> bool
 val dirty : t -> bool
+
+val lazy_ : t -> bool
+(** True for lazy (mapped, unbacked) entries only — never for absent
+    or present ones. *)
+
+val cookie : t -> int
+(** The pager cookie of a lazy entry (reads the frame field). *)
+
+val prefetched : t -> bool
+(** True for a present entry installed by pager readahead and not yet
+    accessed. *)
+
+val mark_prefetched : t -> t
+val clear_prefetched : t -> t
 
 val with_perm : t -> Perm.t -> t
 val with_cow : t -> bool -> t
@@ -52,5 +81,11 @@ val downgrade_run : t array -> lo:int -> hi:int -> dst:int array -> int
     present writable entry in place to read-only COW (the
     accessed/dirty bits survive). Returns the number of present
     entries. *)
+
+val lazy_blit_run :
+  cookies:int array -> n:int -> perm:Perm.t -> t array -> at:int -> unit
+(** [lazy_blit_run ~cookies ~n ~perm dst ~at] writes
+    [make_lazy ~cookie:cookies.(k) ~perm ()] into [dst.(at + k)] for
+    [k < n]. @raise Invalid_argument on out-of-bounds slices. *)
 
 val pp : Format.formatter -> t -> unit

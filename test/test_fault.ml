@@ -385,6 +385,59 @@ let test_pb_start_retry_after_injected_failure () =
   check_int "no frame leak" 0 (Vmem.Frame.used (Ksim.Kernel.frames t));
   check_int "no commit leak" 0 (Vmem.Frame.committed (Ksim.Kernel.frames t))
 
+(* A first touch denied at the pager fetch must roll back cleanly: the
+   pages resolved before the denial keep their frames (touch is
+   restartable, like the hardware fault it models), the denied page
+   allocates nothing and stays lazy, the commit charge (paid at map
+   time, not fault time) never moves, the pid table is intact, and
+   retrying the same touch finishes the job. *)
+let test_injected_pager_fetch_rollback () =
+  (* init's image under Program.make defaults: 64 KiB text + 16 KiB
+     data, both mapped lazily when demand paging is on *)
+  let text_pages = 16 and data_pages = 4 in
+  let data_base = Ksim.Kernel.image_base + (text_pages * page) in
+  let fault =
+    { Ksim.Fault.seed = 0; triggers = [ Ksim.Fault.Pager_fetch_nth 3 ] }
+  in
+  let config =
+    {
+      Ksim.Kernel.default_config with
+      Ksim.Kernel.aslr = false;
+      demand_paging = true;
+      fault = Some fault;
+    }
+  in
+  let t, outcome =
+    boot_with ~config (fun t ->
+        let me = Option.get (Ksim.Kernel.find_proc t (Ksim.Api.getpid ())) in
+        let lazies () = Vmem.Addr_space.lazy_pages me.Ksim.Proc.aspace in
+        check_int "whole image mapped lazily" (text_pages + data_pages)
+          (lazies ());
+        let before = snap t in
+        expect_errno Ksim.Errno.ENOMEM
+          (Ksim.Api.touch ~addr:data_base ~len:(data_pages * page));
+        let after = snap t in
+        check_int "only the 2 pages resolved before the denial hold frames"
+          (before.used + 2) after.used;
+        check_int "denied page still lazy, no half-state"
+          (text_pages + data_pages - 2)
+          (lazies ());
+        check_int "commit charge unmoved" before.committed after.committed;
+        Alcotest.(check (list int)) "pid table intact" before.pids after.pids;
+        (* the denial was transient: the same touch now completes *)
+        ignore (ok (Ksim.Api.touch ~addr:data_base ~len:(data_pages * page)));
+        check_int "data segment fully resident" text_pages (lazies ());
+        check_int "all data frames arrived" (before.used + data_pages)
+          (Vmem.Frame.used (Ksim.Kernel.frames t)))
+  in
+  all_exited outcome;
+  check_int "one injection" 1 (Ksim.Fault.injected (fi t) Ksim.Fault.Pager_fetch);
+  check_int "kstat saw it" 1
+    (List.assoc "inj-pager-fetches"
+       (Ksim.Kstat.snapshot (Ksim.Kstat.global (Ksim.Kernel.kstat t))));
+  check_int "no frame leak" 0 (Vmem.Frame.used (Ksim.Kernel.frames t));
+  check_int "no commit leak" 0 (Vmem.Frame.committed (Ksim.Kernel.frames t))
+
 (* An injected syscall-level failure never runs the handler: a denied
    fork creates no child and a retrying spawn absorbs the transient. *)
 let test_injected_syscall_and_retry () =
@@ -626,6 +679,7 @@ let test_builder_retry_sim_time () =
 
 type fop =
   | F_mmap_touch of int
+  | F_warm_image
   | F_fork
   | F_fork_eager
   | F_vfork
@@ -644,6 +698,13 @@ let run_fop op =
     match Ksim.Api.mmap ~len:(pages * page) ~perm:Vmem.Perm.rw with
     | Ok addr -> ignore (Ksim.Api.touch ~addr ~len:(pages * page))
     | Error _ -> ())
+  | F_warm_image ->
+    (* resolve the caller's own image pages (data by write-touch, text
+       by reading) — under demand paging these are lazy PTEs, so this is
+       the op that actually drives the Pager_fetch triggers; under eager
+       paging it is a cheap no-op on already-present pages *)
+    ignore (Ksim.Api.touch ~addr:(Ksim.Kernel.image_base + (64 * 1024)) ~len:(16 * 1024));
+    ignore (Ksim.Api.mem_read ~addr:Ksim.Kernel.image_base ~len:(64 * 1024))
   | F_fork -> (
     match Ksim.Api.fork ~child:(fun () -> Ksim.Api.exit 0) with
     | Ok _ | Error _ -> ())
@@ -671,6 +732,7 @@ let gen_fop =
   QCheck.Gen.oneof
     [
       QCheck.Gen.map (fun n -> F_mmap_touch (1 + n)) (QCheck.Gen.int_bound 7);
+      QCheck.Gen.return F_warm_image;
       QCheck.Gen.return F_fork;
       QCheck.Gen.return F_fork_eager;
       QCheck.Gen.return F_vfork;
@@ -710,12 +772,17 @@ let gen_trigger =
           Ksim.Fault.Syscall_random
             { kind = None; p = 0.01 *. float_of_int p; errno = e })
         (int_bound 5) gen_errno;
+      map (fun n -> Ksim.Fault.Pager_fetch_nth (1 + n)) (int_bound 40);
+      map
+        (fun p -> Ksim.Fault.Pager_fetch_random (0.02 *. float_of_int p))
+        (int_bound 5);
     ]
 
 let gen_case =
-  QCheck.Gen.triple (QCheck.Gen.int_bound 10_000)
+  QCheck.Gen.quad (QCheck.Gen.int_bound 10_000)
     (QCheck.Gen.list_size (QCheck.Gen.int_range 0 4) gen_trigger)
     (QCheck.Gen.list_size (QCheck.Gen.int_range 0 15) gen_fop)
+    (QCheck.Gen.pair QCheck.Gen.bool (QCheck.Gen.int_bound 3))
 
 let show_trigger = function
   | Ksim.Fault.Frame_alloc_nth n -> Printf.sprintf "alloc#%d" n
@@ -728,9 +795,12 @@ let show_trigger = function
     Printf.sprintf "%s~%.2f=%s"
       (Option.value ~default:"*" kind)
       p (Ksim.Errno.to_string errno)
+  | Ksim.Fault.Pager_fetch_nth n -> Printf.sprintf "pager#%d" n
+  | Ksim.Fault.Pager_fetch_random p -> Printf.sprintf "pager~%.2f" p
 
 let show_fop = function
   | F_mmap_touch n -> Printf.sprintf "mmap%d" n
+  | F_warm_image -> "warm_image"
   | F_fork -> "fork"
   | F_fork_eager -> "fork_eager"
   | F_vfork -> "vfork"
@@ -743,10 +813,11 @@ let show_fop = function
   | F_tpl_spawn id -> Printf.sprintf "tpl_spawn%d" id
   | F_tpl_discard id -> Printf.sprintf "tpl_discard%d" id
 
-let show_case (seed, triggers, ops) =
-  Printf.sprintf "seed=%d faults=[%s] ops=[%s]" seed
+let show_case (seed, triggers, ops, (demand, readahead)) =
+  Printf.sprintf "seed=%d faults=[%s] ops=[%s] demand=%b ra=%d" seed
     (String.concat "; " (List.map show_trigger triggers))
     (String.concat "; " (List.map show_fop ops))
+    demand readahead
 
 (* The tentpole invariant: under ANY fault schedule, when everything has
    exited no frame and no commit charge is leaked, and every span the
@@ -755,7 +826,7 @@ let prop_fault_schedules =
   QCheck.Test.make ~count:120
     ~name:"fault schedules: no leaks, honest errnos"
     (QCheck.make ~print:show_case gen_case)
-    (fun (seed, triggers, ops) ->
+    (fun (seed, triggers, ops, (demand, readahead)) ->
       let spec = { Ksim.Fault.seed; triggers } in
       let config =
         {
@@ -765,6 +836,8 @@ let prop_fault_schedules =
           aslr = false;
           trace_capacity = Some 8192;
           fault = Some spec;
+          demand_paging = demand;
+          pager_readahead = readahead;
         }
       in
       let init =
@@ -833,6 +906,8 @@ let () =
           tc "failed fork, strict commit" test_failed_fork_strict_commit;
           tc "injected eager-fork rollback" test_injected_fork_eager_rollback;
           tc "pb_start retry after injection" test_pb_start_retry_after_injected_failure;
+          tc "injected pager fetch, first-touch rollback"
+            test_injected_pager_fetch_rollback;
           tc "injected syscall + retry" test_injected_syscall_and_retry;
           tc "injected zygote spawn" test_injected_template_spawn;
           tc "retry policy" test_retry_policy;

@@ -240,7 +240,7 @@ let test_registry_complete () =
   Alcotest.(check (list string))
     "ids in paper order"
     [ "T1"; "F1"; "F1-SIM"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9";
-      "E10"; "E11"; "E12"; "E13"; "E14"; "E16"; "E17" ]
+      "E10"; "E11"; "E12"; "E13"; "E14"; "E16"; "E17"; "E18" ]
     Forkroad.Registry.ids;
   check_bool "case-insensitive find" true
     (Option.is_some (Forkroad.Registry.find "f1-sim"))

@@ -110,13 +110,33 @@ let cowtax_folded_golden =
    root:1;fork:2;tlb 409600\n\
    root:1;fork:2;other 41500\n"
 
+(* The demand scenario's lazy spawns: almost no exec-side cost in the
+   children; each child's column is dominated by the pager group, and
+   grows with the share of the image it touches. *)
+let demand_folded_golden =
+  "root:1;exec 3600000\n\
+   root:1;other 133440\n\
+   root:1;spawn:2;fault 20000\n\
+   root:1;spawn:2;pager 196800\n\
+   root:1;spawn:2;other 21500\n\
+   root:1;spawn:3;fault 37500\n\
+   root:1;spawn:3;pager 369000\n\
+   root:1;spawn:3;other 21500\n\
+   root:1;spawn:4;fault 55000\n\
+   root:1;spawn:4;pager 541200\n\
+   root:1;spawn:4;other 21500\n\
+   root:1;spawn:5;fault 72500\n\
+   root:1;spawn:5;pager 701400\n\
+   root:1;spawn:5;other 41500\n"
+
 let test_folded_golden () =
   let folded key =
     let { Forkroad.Stat_driver.machine; _ } = stat key in
     Profile.Folded.render (Profile.Span_tree.build machine)
   in
   check_str "fig1-sim folded" fig1_folded_golden (folded "fig1-sim");
-  check_str "cowtax folded" cowtax_folded_golden (folded "cowtax")
+  check_str "cowtax folded" cowtax_folded_golden (folded "cowtax");
+  check_str "demand folded" demand_folded_golden (folded "demand")
 
 let test_critical_path_golden () =
   let { Forkroad.Stat_driver.machine; _ } = stat "fig1-sim" in
@@ -126,6 +146,16 @@ let test_critical_path_golden () =
      pid  style  created  creation span  last event    cycles\n\
      --------------------------------------------------------\n\
      1    root    0.00ns         0.00ns      5.48ms  14.5Mcyc\n"
+    (Profile.Critical_path.render tree)
+
+let test_demand_critical_path_golden () =
+  let { Forkroad.Stat_driver.machine; _ } = stat "demand" in
+  let tree = Profile.Span_tree.build machine in
+  check_str "demand critical path"
+    "critical path: 1 hop(s), ends at 2.25ms\n\
+     pid  style  created  creation span  last event    cycles\n\
+     --------------------------------------------------------\n\
+     1    root    0.00ns         0.00ns      2.25ms  3.73Mcyc\n"
     (Profile.Critical_path.render tree)
 
 (* ------------------------------------------------------------------ *)
@@ -363,6 +393,8 @@ let () =
           Alcotest.test_case "folded golden" `Quick test_folded_golden;
           Alcotest.test_case "critical-path golden" `Quick
             test_critical_path_golden;
+          Alcotest.test_case "demand critical-path golden" `Quick
+            test_demand_critical_path_golden;
           Alcotest.test_case "blame report" `Quick test_blame_report_table;
           Alcotest.test_case "chrome metadata" `Quick test_chrome_metadata;
         ] );

@@ -866,6 +866,7 @@ let prop_cow_model =
 
 type oracle_op =
   | O_mmap of int * int * int * bool  (* page offset, pages, perm, shared *)
+  | O_map_lazy of int * int * int  (* page offset, pages, perm *)
   | O_touch of int * int
   | O_protect of int * int * int
   | O_munmap of int * int
@@ -882,6 +883,10 @@ let gen_oracle_scenario =
               (fun off len (p, sh) -> O_mmap (off, len, p, sh))
               (int_bound (arena - 1)) (1 -- 16)
               (pair (int_bound 2) bool) );
+          ( 3,
+            map3
+              (fun off len p -> O_map_lazy (off, len, p))
+              (int_bound (arena - 1)) (1 -- 16) (int_bound 2) );
           (6, map2 (fun off len -> O_touch (off, len)) (int_bound (arena - 1)) (1 -- 24));
           ( 3,
             map3
@@ -891,7 +896,7 @@ let gen_oracle_scenario =
           (2, return O_clone);
         ]
     in
-    triple (list_size (1 -- 45) op) bool bool)
+    pair (triple (list_size (1 -- 45) op) bool bool) (int_bound 3))
 
 let prop_batched_oracle =
   let perm_of = [| Vmem.Perm.r; Vmem.Perm.rw; Vmem.Perm.rwx |] in
@@ -903,7 +908,7 @@ let prop_batched_oracle =
   QCheck.Test.make ~count:200
     ~name:"addr space: batched paths match the per-page oracle"
     (QCheck.make gen_oracle_scenario)
-    (fun (ops, small_phys, overcommit) ->
+    (fun ((ops, small_phys, overcommit), readahead) ->
       let make batched =
         let fr =
           Vmem.Frame.create
@@ -913,12 +918,33 @@ let prop_batched_oracle =
         in
         let cost = Vmem.Cost.create () in
         let tlb = Vmem.Tlb.create cost in
-        (fr, cost, Vmem.Addr_space.create ~batched ~frames:fr ~cost ~tlb (), ref None)
+        let a = Vmem.Addr_space.create ~batched ~frames:fr ~cost ~tlb () in
+        (* a minimal pager so lazy maps and first-touch major faults run
+           in both spaces: fetch costs are integer-valued so batching
+           cannot round differently *)
+        Vmem.Addr_space.set_pager a
+          (Some
+             {
+               Vmem.Addr_space.fetch =
+                 (fun cost ~cookie:_ ~frame:_ ->
+                   Vmem.Cost.charge cost "pager:fetch-zero" 100.0);
+               fetch_backing =
+                 (fun cost ~src ~dst ->
+                   Vmem.Cost.charge cost "pager:fetch-template" 60.0;
+                   Vmem.Frame.copy_contents fr ~src ~dst);
+               deny = (fun () -> false);
+               readahead;
+             });
+        (fr, cost, a, ref None)
       in
       let fast = make true in
       let slow = make false in
       let ptes a =
         Vmem.Addr_space.fold_resident a ~init:[] ~f:(fun acc ~vpn ~pte ->
+            (vpn, pte) :: acc)
+      in
+      let lazies a =
+        Vmem.Addr_space.fold_lazy a ~init:[] ~f:(fun acc ~vpn ~pte ->
             (vpn, pte) :: acc)
       in
       let state (fr, cost, a, child) =
@@ -927,9 +953,10 @@ let prop_batched_oracle =
           (Vmem.Frame.used fr, Vmem.Frame.committed fr),
           ( Vmem.Addr_space.resident_pages a,
             Vmem.Addr_space.pt_nodes a,
-            Vmem.Addr_space.vma_count a ),
-          ptes a,
-          Option.map ptes !child )
+            Vmem.Addr_space.vma_count a,
+            Vmem.Addr_space.lazy_pages a ),
+          (ptes a, lazies a),
+          Option.map (fun c -> (ptes c, lazies c)) !child )
       in
       let apply (fr, _, a, child) op =
         let base = Vmem.Addr_space.mmap_base a in
@@ -945,6 +972,17 @@ let prop_batched_oracle =
           | Error `Overlap -> "mmap:overlap"
           | Error `Commit_limit -> "mmap:commit"
           | Error `Invalid -> "mmap:invalid")
+        | O_map_lazy (off, len, p) -> (
+          match
+            Vmem.Addr_space.map_lazy ~addr:(base + (off * page))
+              ~len:(len * page) ~perm:perm_of.(p) ~kind:Vmem.Vma.Anon
+              ~cookie0:0 ~stride:0 a
+          with
+          | Ok x -> Printf.sprintf "lazy:%x" x
+          | Error `No_space -> "lazy:nospace"
+          | Error `Overlap -> "lazy:overlap"
+          | Error `Commit_limit -> "lazy:commit"
+          | Error `Invalid -> "lazy:invalid")
         | O_touch (off, len) -> (
           match
             Vmem.Addr_space.touch_range a ~addr:(base + (off * page))
